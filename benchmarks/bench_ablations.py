@@ -1,0 +1,109 @@
+"""Ablations of the algorithm's design choices.
+
+The Section VII algorithm makes three choices worth isolating:
+
+1. **Initiate from border events only** (a cut set read directly off
+   the graph) instead of from every repetitive event.  Ablation: run
+   the all-events variant and compare cost — same answer, ~n/b times
+   the work.
+2. **Simulate b periods** (Proposition 7's bound).  Ablation: simulate
+   fewer periods and show the answer can be *wrong* — the bound is not
+   pessimism; also simulate more and show nothing changes.
+3. **Exact rational arithmetic**.  Ablation: float delays — measure
+   the overhead exactness costs on integer workloads.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from conftest import emit
+from repro.core import EventInitiatedSimulation, Unfolding, compute_cycle_time, exact_div
+from repro.generators import ring_with_chords, token_ring
+
+WORKLOAD = ring_with_chords(stages=100, tokens=5, chords=25, seed=13)
+
+
+def _all_events_variant(graph, periods):
+    """The naive variant: initiate from every repetitive event."""
+    unfolding = Unfolding(graph)
+    best = None
+    for event in sorted(graph.repetitive_events, key=str):
+        simulation = EventInitiatedSimulation(graph, event, periods, unfolding=unfolding)
+        for index, time in simulation.initiator_times():
+            distance = exact_div(time, index)
+            if best is None or distance > best:
+                best = distance
+    return best
+
+
+def test_ablation_border_only(benchmark):
+    result = benchmark(compute_cycle_time, WORKLOAD, None, False)
+    emit(
+        "ABL1 border-events-only (the paper's choice)",
+        "b=%d of n=%d events simulated; lambda=%s; mean %.2f ms"
+        % (
+            len(WORKLOAD.border_events),
+            WORKLOAD.num_events,
+            result.cycle_time,
+            benchmark.stats.stats.mean * 1e3,
+        ),
+    )
+
+
+def test_ablation_all_events(benchmark):
+    periods = len(WORKLOAD.border_events)
+    value = benchmark(_all_events_variant, WORKLOAD, periods)
+    assert value == compute_cycle_time(WORKLOAD).cycle_time
+    emit(
+        "ABL1 all-repetitive-events variant (ablated cut set)",
+        "same lambda=%s at ~n/b times the cost; mean %.2f ms"
+        % (value, benchmark.stats.stats.mean * 1e3),
+    )
+
+
+def test_ablation_period_bound_is_tight():
+    """Fewer than b periods can simply miss the critical cycle."""
+    # the 4-stage/1-token ring's critical cycle covers 3 periods when
+    # the backward latency dominates
+    graph = token_ring(4, 1, forward=1, backward=10)
+    truth = compute_cycle_time(graph).cycle_time
+    assert truth == Fraction(40, 3)
+
+    unfolding = Unfolding(graph)
+    undershoot = None
+    for event in graph.border_events:
+        simulation = EventInitiatedSimulation(graph, event, 2, unfolding=unfolding)
+        for index, time in simulation.initiator_times():
+            distance = exact_div(time, index)
+            if undershoot is None or distance > undershoot:
+                undershoot = distance
+    assert undershoot < truth  # 2 periods are NOT enough
+    emit(
+        "ABL2 period bound (Proposition 7 is tight)",
+        "b=%d periods give lambda=%s; only 2 periods give %s (WRONG)"
+        % (len(graph.border_events), truth, undershoot),
+    )
+
+
+def test_ablation_extra_periods_change_nothing(benchmark):
+    periods = 2 * len(WORKLOAD.border_events)
+    result = benchmark(compute_cycle_time, WORKLOAD, periods, False)
+    assert result.cycle_time == compute_cycle_time(WORKLOAD).cycle_time
+    emit(
+        "ABL2 doubled periods (no gain beyond the bound)",
+        "lambda unchanged at %s; mean %.2f ms"
+        % (result.cycle_time, benchmark.stats.stats.mean * 1e3),
+    )
+
+
+def test_ablation_exact_arithmetic_cost(benchmark):
+    float_graph = WORKLOAD.map_delays(lambda arc: float(arc.delay))
+    result = benchmark(compute_cycle_time, float_graph, None, False)
+    exact = compute_cycle_time(WORKLOAD).cycle_time
+    assert abs(result.cycle_time - float(exact)) < 1e-9
+    emit(
+        "ABL3 float-delay variant (exactness ablated)",
+        "float lambda=%s vs exact %s; mean %.2f ms"
+        % (result.cycle_time, exact, benchmark.stats.stats.mean * 1e3),
+    )

@@ -1,0 +1,79 @@
+"""E4/E10/E11 — asymptotic delta sequences (Section II, VIII-C, Figure 4).
+
+* E4: the Section II sequence delta(a+_i) = 2, 6 1/2, 7 2/3, ... -> 10;
+* E10: the Section VIII-C infinite b+0-initiated sequence
+  8, 9, 9 1/3, 9 1/2, 9 3/5, ... -> 10, never reaching it;
+* E11: Figure 4's qualitative contrast — an event on a critical cycle
+  reaches the cycle time within the cut-set bound and keeps touching
+  it, an event off the critical cycle converges strictly from below.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from conftest import emit
+from repro.analysis import delta_series, render_series
+from repro.core import average_occurrence_distances
+
+
+def test_e4_section_ii_sequence(benchmark, oscillator):
+    sequence = benchmark(average_occurrence_distances, oscillator, "a+", 5)
+    assert sequence == [
+        2, Fraction(13, 2), Fraction(23, 3), Fraction(33, 4),
+        Fraction(43, 5), Fraction(53, 6),
+    ]
+    emit(
+        "E4  Section II: delta(a+_i) sequence "
+        "(paper: 2, 6 1/2, 7 2/3, 8 1/4, 8 3/5, 8 5/6 -> 10)",
+        ", ".join(str(value) for value in sequence) + ", ... -> 10",
+    )
+
+
+def test_e10_infinite_b_sequence(benchmark, oscillator):
+    series = benchmark(delta_series, oscillator, "b+", 120)
+    values = [delta for _, delta in series.points]
+    assert values[:5] == [8, 9, Fraction(28, 3), Fraction(19, 2), Fraction(48, 5)]
+    assert not series.reaches_cycle_time
+    assert max(values) < 10
+    emit(
+        "E10 Section VIII-C: delta_b+0(b+_i) "
+        "(paper: 8, 9, 9 1/3, 9 1/2, 9 3/5, ... -> 10, never reached)",
+        ", ".join(str(v) for v in values[:6])
+        + ", ...  sup = %s < 10" % max(values),
+    )
+
+
+def test_e11_figure4_on_critical(benchmark, oscillator):
+    series = benchmark(delta_series, oscillator, "a+", 14)
+    assert series.on_critical_cycle
+    assert series.reaches_cycle_time
+    emit(
+        "E11 Figure 4 (left): event ON a critical cycle reaches lambda",
+        series.verdict() + "\n" + render_series(series),
+    )
+
+
+def test_e11_figure4_off_critical(benchmark, oscillator):
+    series = benchmark(delta_series, oscillator, "b+", 14)
+    assert not series.on_critical_cycle
+    assert not series.reaches_cycle_time
+    emit(
+        "E11 Figure 4 (right): event OFF critical cycles converges from below",
+        series.verdict() + "\n" + render_series(series),
+    )
+
+
+def test_e11_figure4_oscillating_series(benchmark, muller_ring_graph):
+    """The ring shows the non-monotone 'oscillating' convergence the
+    paper warns about in Section II."""
+    series = benchmark(delta_series, muller_ring_graph, "s0+", 12)
+    values = [delta for _, delta in series.points]
+    rises = any(b > a for a, b in zip(values, values[1:]))
+    falls = any(b < a for a, b in zip(values, values[1:]))
+    assert rises and falls  # genuinely oscillates
+    assert series.reaches_cycle_time
+    emit(
+        "E11 Figure 4 (ring): oscillating asymptotic behaviour",
+        ", ".join(str(v) for v in values),
+    )

@@ -1,0 +1,79 @@
+"""E1/E2/E3/E9 — Figure 1 and Section VIII-C: the C-element oscillator.
+
+Regenerates, and times, the paper's headline example:
+
+* cycle time 10 via the Section VII algorithm (E1);
+* the timing diagram of Figure 1c and the a+-initiated diagram of
+  Figure 1d (E2, E3);
+* the two border-event simulation tables of Section VIII-C with their
+  delta rows (E9).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from conftest import emit
+from repro.analysis import render_timing_diagram
+from repro.core import (
+    EventInitiatedSimulation,
+    TimingSimulation,
+    compute_cycle_time,
+    exact_div,
+)
+
+PAPER_CYCLE_TIME = 10
+PAPER_BORDER_TABLE = {
+    ("a+", 1): 10,
+    ("a+", 2): 10,
+    ("b+", 1): 8,
+    ("b+", 2): 9,
+}
+
+
+def test_e1_cycle_time(benchmark, oscillator):
+    result = benchmark(compute_cycle_time, oscillator)
+    assert result.cycle_time == PAPER_CYCLE_TIME
+    cycle = result.critical_cycles[0]
+    assert {str(e) for e in cycle.events} == {"a+", "c+", "a-", "c-"}
+    emit(
+        "E1  Figure 1b cycle time (paper: 10, critical a+>c+>a->c-)",
+        "measured: cycle time %s, critical %s" % (result.cycle_time, cycle),
+    )
+
+
+def test_e9_border_tables(benchmark, oscillator):
+    result = benchmark(compute_cycle_time, oscillator)
+    measured = {
+        (str(rec.border_event), rec.period): rec.distance
+        for rec in result.distances
+    }
+    assert measured == PAPER_BORDER_TABLE
+    emit(
+        "E9  Section VIII-C border simulations "
+        "(paper: a+: 10,10 / b+: 8,9; max = 10)",
+        result.distance_table(),
+    )
+
+
+def test_e2_timing_diagram(benchmark, oscillator):
+    from repro.core import Transition
+
+    simulation = benchmark(TimingSimulation, oscillator, 3)
+    diagram = render_timing_diagram(simulation, width=66)
+    # the diagram is backed by Example 3's occurrence times
+    assert simulation.time(Transition.parse("a+"), 0) == 2
+    assert simulation.time(Transition.parse("a+"), 1) == 13
+    assert all(line for line in diagram.splitlines())
+    emit("E2  Figure 1c timing diagram (global simulation)", diagram)
+
+
+def test_e3_initiated_diagram(benchmark, oscillator):
+    simulation = benchmark(EventInitiatedSimulation, oscillator, "a+", 3)
+    values = [exact_div(t, i) for i, t in simulation.initiator_times()]
+    assert values == [10, 10, 10]
+    emit(
+        "E3  Figure 1d a+-initiated diagram (paper: distances 10, 10, 10)",
+        render_timing_diagram(simulation, width=66)
+        + "\nmeasured occurrence distances: %s" % values,
+    )

@@ -1,0 +1,74 @@
+"""E14b — cross-method comparison: agreement and relative speed.
+
+The paper positions timing simulation against linear programming [2],
+parametric shortest paths [13] and min-ratio-cycle algorithms [1, 8,
+11].  This bench runs all six implemented methods on the same
+workloads, asserts exact agreement, and lets pytest-benchmark rank
+their runtimes — reproducing the qualitative claim that the timing-
+simulation algorithm is competitive on circuit-like graphs (small b)
+while exhaustive enumeration blows up.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.baselines import METHODS, compute_cycle_time
+from repro.generators import random_live_tsg, ring_with_chords
+
+WORKLOAD = ring_with_chords(stages=120, tokens=6, chords=30, seed=21)
+SMALL = random_live_tsg(events=10, extra_arcs=12, seed=5)
+
+FAST_METHODS = ["timing", "karp", "howard", "lawler", "lp"]
+
+
+@pytest.mark.parametrize("method", FAST_METHODS)
+def test_e14_method_on_circuit_like_graph(benchmark, method):
+    result = benchmark(compute_cycle_time, WORKLOAD, method)
+    reference = compute_cycle_time(WORKLOAD, "timing").cycle_time
+    if method == "lp":
+        assert abs(result.cycle_time - float(reference)) < 1e-6
+    else:
+        assert result.cycle_time == reference
+    emit(
+        "E14b method=%s on 120-stage ring (b=6)" % method,
+        "lambda=%s, mean %.3f ms"
+        % (result.cycle_time, benchmark.stats.stats.mean * 1e3),
+    )
+
+
+@pytest.mark.parametrize("method", sorted(METHODS))
+def test_e14_method_on_small_dense_graph(benchmark, method):
+    result = benchmark(compute_cycle_time, SMALL, method)
+    reference = compute_cycle_time(SMALL, "exhaustive").cycle_time
+    if method == "lp":
+        assert abs(result.cycle_time - float(reference)) < 1e-6
+    else:
+        assert result.cycle_time == reference
+    emit(
+        "E14b method=%s on dense 10-event graph" % method,
+        "lambda=%s, mean %.3f ms"
+        % (result.cycle_time, benchmark.stats.stats.mean * 1e3),
+    )
+
+
+def test_e14_exhaustive_blowup_documented():
+    """Section II: 'the number of cycles may be exponential in the
+    number of arcs'.  Count simple cycles on growing dense graphs to
+    document the blow-up that rules out exhaustive search."""
+    from repro.core import simple_cycles
+
+    counts = {}
+    for events in (4, 6, 8, 10):
+        graph = random_live_tsg(events=events, extra_arcs=3 * events, seed=1)
+        counts[(graph.num_events, graph.num_arcs)] = sum(
+            1 for _ in simple_cycles(graph)
+        )
+    values = list(counts.values())
+    assert values[-1] > 10 * values[0]
+    emit(
+        "E14b exponential cycle counts (why exhaustive search loses)",
+        "\n".join(
+            "n=%d, m=%d: %d simple cycles" % (n, m, c)
+            for (n, m), c in counts.items()
+        ),
+    )

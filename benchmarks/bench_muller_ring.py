@@ -1,0 +1,97 @@
+"""E12 — Section VIII-D: the five-element Muller ring.
+
+Full pipeline: gate-level netlist -> state space check -> Signal Graph
+extraction -> Section VII analysis, plus the paper's ten-period table
+and the independent event-driven timed simulation cross-check.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from conftest import emit
+from repro.circuits.extraction import extract_signal_graph
+from repro.circuits.library import muller_ring_netlist
+from repro.circuits.simulator import simulate_and_measure
+from repro.core import EventInitiatedSimulation, compute_cycle_time, exact_div
+
+PAPER_TIMES = [6, 13, 20, 26, 33, 40, 46, 53, 60, 66]
+PAPER_DELTAS = [6, 7, 7, 6, 7, 7, 6, 7, 7, 6]
+
+
+def test_e12_extraction(benchmark):
+    netlist = muller_ring_netlist()
+    graph = benchmark(extract_signal_graph, netlist)
+    assert graph.num_events == 20
+    assert len(graph.border_events) == 4  # the paper's a+, b+, c+, e-
+    emit(
+        "E12 Figure 5 extraction (paper: 4 border events)",
+        "extracted %d events, %d arcs; border: %s"
+        % (
+            graph.num_events,
+            graph.num_arcs,
+            ", ".join(str(e) for e in graph.border_events),
+        ),
+    )
+
+
+def test_e12_cycle_time(benchmark, muller_ring_graph):
+    result = benchmark(compute_cycle_time, muller_ring_graph)
+    assert result.cycle_time == Fraction(20, 3)
+    cycle = result.critical_cycles[0]
+    assert cycle.length == 20 and cycle.occurrence_period == 3
+    emit(
+        "E12 Section VIII-D cycle time (paper: 20/3 ~ 6.67)",
+        "measured: %s; critical cycle spans %d periods, length %s"
+        % (result.cycle_time, cycle.occurrence_period, cycle.length),
+    )
+
+
+def test_e12_ten_period_table(benchmark, muller_ring_graph):
+    simulation = benchmark(
+        EventInitiatedSimulation, muller_ring_graph, "s0+", 10
+    )
+    times = [time for _, time in simulation.initiator_times()]
+    assert times == PAPER_TIMES
+    deltas = [b - a for a, b in zip([0] + times, times)]
+    assert deltas == PAPER_DELTAS
+    averages = [exact_div(t, i) for i, t in simulation.initiator_times()]
+    rows = [
+        "i          : " + "  ".join("%5d" % i for i in range(1, 11)),
+        "t_a+0(a+_i): " + "  ".join("%5d" % t for t in times),
+        "Delta      : " + "  ".join("%5d" % d for d in deltas),
+        "delta      : " + "  ".join("%5.2f" % float(a) for a in averages),
+    ]
+    emit(
+        "E12 Section VIII-D ten-period table "
+        "(paper t: 6 13 20 26 33 40 46 53 60 66; Delta: 6 7 7 6 ...)",
+        "\n".join(rows),
+    )
+
+
+def test_e12_event_driven_cross_check(benchmark):
+    netlist = muller_ring_netlist()
+    measured = benchmark(
+        simulate_and_measure, netlist, "s0", "+", 2000
+    )
+    assert measured == Fraction(20, 3)
+    emit(
+        "E12 independent timed simulation (paper: 20/3)",
+        "steady oscillation period per occurrence: %s" % measured,
+    )
+
+
+@pytest.mark.parametrize("stages", [3, 5, 7, 9, 11])
+def test_e12_ring_size_sweep(benchmark, stages):
+    """Shape check: one token in an N-stage ring; throughput drops as
+    the ring grows (more stages for the token to traverse)."""
+    netlist = muller_ring_netlist(stages=stages)
+    graph = extract_signal_graph(netlist)
+    result = benchmark(compute_cycle_time, graph)
+    assert result.cycle_time > 0
+    if stages == 5:
+        assert result.cycle_time == Fraction(20, 3)
+    emit(
+        "E12 ring size sweep (N=%d)" % stages,
+        "lambda = %s" % result.cycle_time,
+    )

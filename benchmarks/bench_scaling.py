@@ -1,0 +1,77 @@
+"""E14a — the O(b^2 m) complexity claim.
+
+The paper argues the algorithm runs in O(b^2 m) time and "often
+demonstrates linear complexity from the size of the Timed Signal Graph
+specification" because b is typically small.  Two sweeps:
+
+* fixed b, growing m (ring size): runtime should grow ~linearly;
+* fixed n and m, growing b: runtime should grow ~quadratically.
+
+pytest-benchmark records the per-size timings; the shape assertions
+compare measured growth against the model's prediction loosely (CI
+machines are noisy — we check monotonicity and gross ratios, not
+constants).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.core import compute_cycle_time
+from repro.generators import ring_with_chords
+
+# fixed token count, growing ring size: m grows, b constant
+SIZES_FIXED_B = [50, 100, 200, 400, 800]
+# fixed ring size, growing token count: b grows, m constant
+TOKENS_FIXED_M = [2, 4, 8, 16, 32]
+RING_FOR_TOKENS = 256
+
+
+@pytest.mark.parametrize("stages", SIZES_FIXED_B)
+def test_e14_scaling_in_m_fixed_b(benchmark, stages):
+    graph = ring_with_chords(stages=stages, tokens=4, chords=stages // 4, seed=7)
+    result = benchmark(compute_cycle_time, graph, None, False)
+    assert result.cycle_time > 0
+    emit(
+        "E14a fixed b=4, n=%d" % stages,
+        "m=%d arcs, lambda=%s, mean %.3f ms"
+        % (graph.num_arcs, result.cycle_time, benchmark.stats.stats.mean * 1e3),
+    )
+
+
+@pytest.mark.parametrize("tokens", TOKENS_FIXED_M)
+def test_e14_scaling_in_b_fixed_m(benchmark, tokens):
+    graph = ring_with_chords(
+        stages=RING_FOR_TOKENS, tokens=tokens, chords=32, seed=11
+    )
+    result = benchmark(compute_cycle_time, graph, None, False)
+    assert result.cycle_time > 0
+    emit(
+        "E14a fixed n=%d, b=%d" % (RING_FOR_TOKENS, len(graph.border_events)),
+        "lambda=%s, mean %.3f ms"
+        % (result.cycle_time, benchmark.stats.stats.mean * 1e3),
+    )
+
+
+def test_e14_linearity_shape():
+    """Direct (non-benchmark-fixture) shape check: doubling m with b
+    fixed should roughly double the runtime, far from quadratic."""
+    import time
+
+    def measure(stages):
+        graph = ring_with_chords(stages=stages, tokens=4, chords=stages // 4, seed=3)
+        compute_cycle_time(graph, check=False)  # warm caches
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            compute_cycle_time(graph, check=False)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    small, large = measure(200), measure(800)
+    ratio = large / small
+    # 4x the arcs: linear predicts ~4x, quadratic-in-m predicts ~16x.
+    assert ratio < 12, "runtime grew superlinearly: %.1fx for 4x arcs" % ratio
+    emit(
+        "E14a linearity shape (paper: near-linear when b << n)",
+        "4x arcs -> %.1fx runtime (linear ~4x, m^2 ~16x)" % ratio,
+    )

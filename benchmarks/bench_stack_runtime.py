@@ -1,0 +1,50 @@
+"""E13 — Section VIII-B: the 66-event / 112-arc asynchronous stack.
+
+The paper: "The analysis of ... a Signal Graph with 66 events and 112
+arcs, which describes the gate level behavior of an asynchronous stack
+with constant response time, takes 74 CPU milliseconds on a DEC 5000."
+
+We build a stack-shaped control graph of exactly that size (see
+DESIGN.md for the documented substitution) and time the full analysis.
+The claim under reproduction is the *order of magnitude* — a graph of
+this size is analysed in milliseconds — plus the b << n structure that
+makes the algorithm near-linear.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.core import compute_cycle_time, validate
+
+
+def test_e13_stack_size_matches_paper(stack):
+    assert stack.num_events == 66
+    assert stack.num_arcs == 112
+    validate(stack)
+
+
+def test_e13_stack_analysis_runtime(benchmark, stack):
+    result = benchmark(compute_cycle_time, stack)
+    assert result.cycle_time > 0
+    stats = benchmark.stats.stats
+    mean_ms = stats.mean * 1000
+    emit(
+        "E13 Section VIII-B stack runtime "
+        "(paper: 74 ms on a DEC 5000 for 66 events / 112 arcs)",
+        "measured: %.2f ms mean on this machine (%d border events, "
+        "lambda = %s)"
+        % (mean_ms, len(result.border_events), result.cycle_time),
+    )
+
+
+def test_e13_stack_full_report(benchmark, stack):
+    from repro.analysis import analyze
+
+    report = benchmark(analyze, stack)
+    assert report.cycle_time == 44
+    assert report.all_critical_cycles()
+    emit(
+        "E13 stack performance report",
+        "lambda = %s; %d critical arcs of %d"
+        % (report.cycle_time, len(report.critical_arcs), stack.num_arcs),
+    )

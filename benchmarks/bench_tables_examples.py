@@ -1,0 +1,90 @@
+"""E5/E6/E7/E8 — the worked examples of Sections IV-VI.
+
+Regenerates Example 3 (global timing simulation table), Example 4
+(b+0-initiated table), Examples 5-6 (the four simple cycles and the
+max of their effective lengths) and Example 7 (cut sets).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from conftest import emit
+from repro.core import (
+    EventInitiatedSimulation,
+    TimingSimulation,
+    Transition,
+    border_set,
+    minimum_cut_sets,
+    simple_cycles,
+)
+from repro.core.cycles import critical_cycles
+
+EXAMPLE3 = [
+    ("e-", 0, 0), ("f-", 0, 3), ("a+", 0, 2), ("b+", 0, 4),
+    ("c+", 0, 6), ("a-", 0, 8), ("b-", 0, 7), ("c-", 0, 11),
+    ("a+", 1, 13), ("b+", 1, 12), ("c+", 1, 16),
+]
+
+EXAMPLE4 = [
+    ("b+", 0, 0), ("c+", 0, 2), ("a-", 0, 4), ("b-", 0, 3),
+    ("c-", 0, 7), ("a+", 1, 9), ("b+", 1, 8), ("c+", 1, 12),
+]
+
+
+def test_e5_example3_global_table(benchmark, oscillator):
+    simulation = benchmark(TimingSimulation, oscillator, 1)
+    rows = []
+    for label, index, expected in EXAMPLE3:
+        got = simulation.time(Transition.parse(label), index)
+        assert got == expected, (label, index)
+        rows.append("t(%s[%d]) = %s (paper: %s)" % (label, index, got, expected))
+    emit("E5  Example 3: timing simulation table", "\n".join(rows))
+
+
+def test_e6_example4_initiated_table(benchmark, oscillator):
+    simulation = benchmark(EventInitiatedSimulation, oscillator, "b+", 1)
+    rows = []
+    for label, index, expected in EXAMPLE4:
+        got = simulation.time(Transition.parse(label), index)
+        assert got == expected, (label, index)
+        rows.append("t_b+0(%s[%d]) = %s (paper: %s)" % (label, index, got, expected))
+    for unreachable in ["e-", "f-", "a+"]:
+        assert not simulation.reachable(Transition.parse(unreachable), 0)
+    emit(
+        "E6  Example 4: b+0-initiated simulation "
+        "(e-, f-, a+ concurrent -> time 0)",
+        "\n".join(rows),
+    )
+
+
+def test_e7_examples5_6_simple_cycles(benchmark, oscillator):
+    def enumerate_and_max():
+        cycles = list(simple_cycles(oscillator))
+        return cycles, critical_cycles(oscillator)
+
+    cycles, (value, winners) = benchmark(enumerate_and_max)
+    lengths = sorted(cycle.length for cycle in cycles)
+    assert lengths == [6, 8, 8, 10]
+    assert value == 10
+    emit(
+        "E7  Examples 5-6: simple cycles (paper: lengths 10, 8, 8, 6; "
+        "lambda = max = 10)",
+        "\n".join(str(cycle) for cycle in cycles)
+        + "\nlambda = %s via %s" % (value, winners[0]),
+    )
+
+
+def test_e8_example7_cut_sets(benchmark, oscillator):
+    border = border_set(oscillator)
+    minima = benchmark(minimum_cut_sets, oscillator)
+    assert [str(e) for e in border] == ["a+", "b+"]
+    assert sorted(tuple(sorted(map(str, s))) for s in minima) == [("c+",), ("c-",)]
+    emit(
+        "E8  Example 7: cut sets (paper: border {a+, b+}; minimum {c+}, {c-})",
+        "border set: {%s}\nminimum cut sets: %s"
+        % (
+            ", ".join(map(str, border)),
+            ["{%s}" % ", ".join(sorted(map(str, s))) for s in minima],
+        ),
+    )

@@ -1,0 +1,31 @@
+"""Workload-suite benchmark: the algorithm across every named shape.
+
+Times the paper's algorithm on each workload of the curated registry
+(`repro.generators.suite`), giving a stable cross-machine performance
+fingerprint — the numbers future changes are regression-tested
+against.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.core import compute_cycle_time
+from repro.generators import WORKLOADS, load_workload
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_workload_timing_algorithm(benchmark, name):
+    graph = load_workload(name)
+    result = benchmark(compute_cycle_time, graph, None, False)
+    assert result.cycle_time >= 0
+    emit(
+        "WORKLOAD %s" % name,
+        "n=%d m=%d b=%d: lambda=%s, mean %.3f ms"
+        % (
+            graph.num_events,
+            graph.num_arcs,
+            len(graph.border_events),
+            result.cycle_time,
+            benchmark.stats.stats.mean * 1e3,
+        ),
+    )

@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark module regenerates one of the paper's tables or
+figures (see DESIGN.md's experiment index) and measures the runtime of
+the underlying computation with pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to see the regenerated paper tables on stdout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.extraction import extract_signal_graph
+from repro.circuits.library import (
+    async_stack_tsg,
+    muller_ring_netlist,
+    oscillator_netlist,
+    oscillator_tsg,
+)
+
+
+@pytest.fixture(scope="session")
+def oscillator():
+    return oscillator_tsg()
+
+
+@pytest.fixture(scope="session")
+def oscillator_circuit():
+    return oscillator_netlist()
+
+
+@pytest.fixture(scope="session")
+def muller_ring_graph():
+    return extract_signal_graph(muller_ring_netlist())
+
+
+@pytest.fixture(scope="session")
+def stack():
+    return async_stack_tsg()
+
+
+def emit(title: str, body: str) -> None:
+    """Print a regenerated paper artefact (visible with ``pytest -s``)."""
+    bar = "=" * len(title)
+    print("\n%s\n%s\n%s" % (bar, title, body))

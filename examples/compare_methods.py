@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Compare six cycle-time algorithms on the same graphs.
+
+Runs the paper's timing-simulation algorithm next to its published
+alternatives — exhaustive cycle enumeration (Section II's strawman),
+Karp's and Howard's maximum-mean-cycle algorithms on the token-graph
+reduction [1, 11], a Lawler-style ratio search [11] and Burns' linear
+program [2] — and reports values and wall-clock times.
+
+Run:  python examples/compare_methods.py
+"""
+
+import time
+
+from repro.baselines import METHODS, compute_cycle_time
+from repro.circuits.library import async_stack_tsg, oscillator_tsg
+from repro.generators import ring_with_chords
+
+
+def race(name, graph, methods):
+    print("workload: %s (%d events, %d arcs, %d border events)"
+          % (name, graph.num_events, graph.num_arcs, len(graph.border_events)))
+    for method in methods:
+        start = time.perf_counter()
+        result = compute_cycle_time(graph, method)
+        elapsed = (time.perf_counter() - start) * 1000
+        print("  %-11s lambda = %-12s %8.2f ms" % (method, result.cycle_time, elapsed))
+    print()
+
+
+def main() -> None:
+    race("Figure 1 oscillator", oscillator_tsg(), sorted(METHODS))
+    race("66-event asynchronous stack", async_stack_tsg(), sorted(METHODS))
+    # exhaustive enumeration is dropped on the big ring: the cycle
+    # count explodes (the very reason the paper's algorithm exists)
+    race(
+        "400-stage ring, b=8",
+        ring_with_chords(stages=400, tokens=8, chords=100, seed=1),
+        ["timing", "karp", "howard", "lawler", "lp"],
+    )
+
+
+if __name__ == "__main__":
+    main()

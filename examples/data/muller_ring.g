@@ -1,0 +1,35 @@
+.model muller-ring-5
+.outputs s4 n3 n0 s0 n4 n1 s1 s2 s3 n2
+.graph
+s4- n3+ 1
+n0- s0- 1
+s4- s0- 1
+s0- n4+ 1
+n1- s1- 1
+s0- s1- 1
+s1- n0+ 1
+s2+ s3+ 1
+n3+ s3+ 1
+s3+ n2- 1
+s1- s2- 1
+n2- s2- 1
+s2- n1+ 1
+n4+ s4+ 1
+s3+ s4+ 1
+s4+ n3- 1
+n0+ s0+ 1
+s4+ s0+ 1
+s0+ n4- 1
+n1+ s1+ 1
+s0+ s1+ 1
+s1+ n0- 1
+s2- s3- 1
+n3- s3- 1
+s3- n2+ 1
+s1+ s2+ 1
+n2+ s2+ 1
+s2+ n1- 1
+n4- s4- 1
+s3- s4- 1
+.marking { <n0+,s0+> <s4+,s0+> <n1+,s1+> <n2+,s2+> <s3-,s4-> }
+.end

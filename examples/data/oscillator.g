@@ -1,0 +1,17 @@
+.model c-element-oscillator
+.inputs e
+.outputs f a b c
+.graph
+e- f- 3 /
+e- a+ 2 /
+f- b+ 1 /
+a+ c+ 3
+b+ c+ 2
+c+ a- 2
+c+ b- 1
+a- c- 3
+b- c- 2
+c- a+ 2
+c- b+ 1
+.marking { <c-,a+> <c-,b+> }
+.end

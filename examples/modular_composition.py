@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Modular system construction and probabilistic timing sign-off.
+
+Real systems are specified as communicating components.  This example
+
+1. builds a closed handshake pipeline by *composing* reusable
+   fragments (requester, forwarding stages, reflector) that
+   synchronise on shared link events;
+2. analyses the composition exactly (cycle time, critical cycle);
+3. runs a Monte-Carlo campaign with ±15% Gaussian delay spread to get
+   a distribution of cycle times and the probability that each arc is
+   the bottleneck — the probabilistic counterpart of the paper's
+   critical cycle.
+
+Run:  python examples/modular_composition.py
+"""
+
+from repro.analysis import monte_carlo_cycle_time, normal_spread
+from repro.circuits import (
+    closed_pipeline_cycle_time,
+    forwarding_stage,
+    reflector,
+    requester,
+)
+from repro.core import compose, compute_cycle_time, validate
+
+
+def main() -> None:
+    stages = 4
+    parts = [requester(0, delay=1)]
+    # a heterogeneous pipeline: stage 2 is slower than the rest
+    for index in range(stages):
+        forward = 5 if index == 2 else 2
+        parts.append(forwarding_stage(index, forward=forward, backward=1))
+    parts.append(reflector(stages, delay=1))
+
+    system = compose(*parts, name="handshake-system")
+    validate(system)
+    print(
+        "composed %d fragments into %r: %d events, %d arcs"
+        % (len(parts), system.name, system.num_events, system.num_arcs)
+    )
+
+    result = compute_cycle_time(system)
+    print("cycle time:", result.cycle_time)
+    print("critical cycle:", result.critical_cycles[0])
+    uniform = closed_pipeline_cycle_time(stages, 2, 1, 1, 1)
+    print(
+        "(a uniform pipeline would run at %s; the slow stage 2 costs %s)"
+        % (uniform, result.cycle_time - uniform)
+    )
+    print()
+
+    campaign = monte_carlo_cycle_time(
+        system, normal_spread(0.15), samples=400, seed=42
+    )
+    print(campaign.summary())
+    print()
+    print("cycle-time histogram:")
+    for low, high, count in campaign.histogram(bins=8):
+        print("  %7.2f .. %7.2f | %s" % (low, high, "#" * count))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Reproduce every numeric artefact of the paper in one run.
+
+Walks through Nielsen & Kishinevsky (DAC 1994) section by section,
+recomputes each published table/value with this library, and prints
+paper-vs-measured with a PASS/FAIL verdict.  A compact, self-checking
+version of the full benchmark suite (see benchmarks/ for the timed
+variants and EXPERIMENTS.md for the discussion).
+
+Run:  python examples/reproduce_paper.py
+"""
+
+from fractions import Fraction
+
+from repro.circuits.extraction import extract_signal_graph
+from repro.circuits.library import (
+    muller_ring_netlist,
+    oscillator_netlist,
+    oscillator_tsg,
+)
+from repro.circuits.simulator import simulate_and_measure
+from repro.core import (
+    EventInitiatedSimulation,
+    TimingSimulation,
+    Transition,
+    average_occurrence_distances,
+    border_set,
+    compute_cycle_time,
+    exact_div,
+    minimum_cut_sets,
+    simple_cycles,
+)
+
+CHECKS = []
+
+
+def check(label, measured, expected):
+    ok = measured == expected
+    CHECKS.append(ok)
+    verdict = "PASS" if ok else "FAIL"
+    print("  [%s] %-52s %s" % (verdict, label, measured))
+    if not ok:
+        print("         expected: %s" % (expected,))
+
+
+def main() -> None:
+    osc = oscillator_tsg()
+
+    print("Section II / Example 3 — global timing simulation")
+    sim = TimingSimulation(osc, periods=1)
+    table = [("e-", 0, 0), ("f-", 0, 3), ("a+", 0, 2), ("b+", 0, 4),
+             ("c+", 0, 6), ("a-", 0, 8), ("b-", 0, 7), ("c-", 0, 11),
+             ("a+", 1, 13), ("b+", 1, 12), ("c+", 1, 16)]
+    check(
+        "t(...) row",
+        [sim.time(Transition.parse(s), i) for s, i, _ in table],
+        [v for _, _, v in table],
+    )
+    check(
+        "delta(a+_i) sequence",
+        average_occurrence_distances(osc, "a+", periods=5),
+        [2, Fraction(13, 2), Fraction(23, 3), Fraction(33, 4),
+         Fraction(43, 5), Fraction(53, 6)],
+    )
+
+    print("Example 4 — b+0-initiated simulation")
+    sim_b = EventInitiatedSimulation(osc, "b+", periods=1)
+    table4 = [("b+", 0, 0), ("c+", 0, 2), ("a-", 0, 4), ("b-", 0, 3),
+              ("c-", 0, 7), ("a+", 1, 9), ("b+", 1, 8), ("c+", 1, 12)]
+    check(
+        "t_b+0(...) row",
+        [sim_b.time(Transition.parse(s), i) for s, i, _ in table4],
+        [v for _, _, v in table4],
+    )
+
+    print("Examples 5-7 — cycles and cut sets")
+    check(
+        "simple cycle lengths",
+        sorted(c.length for c in simple_cycles(osc)),
+        [6, 8, 8, 10],
+    )
+    check("border set", [str(e) for e in border_set(osc)], ["a+", "b+"])
+    check(
+        "minimum cut sets",
+        sorted(tuple(sorted(map(str, s))) for s in minimum_cut_sets(osc)),
+        [("c+",), ("c-",)],
+    )
+
+    print("Section VIII-B — extraction (TRASPEC substitute)")
+    extracted = extract_signal_graph(oscillator_netlist())
+    check("extracted == Figure 1b", extracted.structurally_equal(osc), True)
+
+    print("Section VIII-C — the oscillator analysed")
+    result = compute_cycle_time(osc)
+    check("cycle time", result.cycle_time, 10)
+    check(
+        "border distances",
+        sorted(record.distance for record in result.distances),
+        [8, 9, 10, 10],
+    )
+    check(
+        "critical cycle",
+        {str(e) for e in result.critical_cycles[0].events},
+        {"a+", "c+", "a-", "c-"},
+    )
+    check("timed simulation agrees", simulate_and_measure(oscillator_netlist(), "a", "+"), 10)
+
+    print("Section VIII-D — the Muller ring")
+    ring = extract_signal_graph(muller_ring_netlist())
+    check("border events", len(ring.border_events), 4)
+    sim_r = EventInitiatedSimulation(ring, "s0+", periods=10)
+    check(
+        "t_a+0(a+_i) row",
+        [t for _, t in sim_r.initiator_times()],
+        [6, 13, 20, 26, 33, 40, 46, 53, 60, 66],
+    )
+    ring_result = compute_cycle_time(ring)
+    check("cycle time 20/3", ring_result.cycle_time, Fraction(20, 3))
+    check(
+        "critical cycle spans 3 periods",
+        ring_result.critical_cycles[0].occurrence_period,
+        3,
+    )
+    check(
+        "timed simulation agrees",
+        simulate_and_measure(muller_ring_netlist(), "s0", "+", max_transitions=2000),
+        Fraction(20, 3),
+    )
+
+    print()
+    passed = sum(CHECKS)
+    print("%d/%d paper artefacts reproduced" % (passed, len(CHECKS)))
+    if passed != len(CHECKS):
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

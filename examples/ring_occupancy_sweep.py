@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Throughput vs occupancy of a self-timed ring (the canopy curve).
+
+A classic asynchronous-design question the paper's algorithm answers
+instantly: given an N-stage self-timed ring, how many data tokens
+maximise throughput?  Too few tokens and stages starve (the data-
+limited regime, cycle time N*df/k); too many and holes become scarce
+(the hole-limited regime, N*db/(N-k)).  The crossover is the famous
+"canopy" plot.
+
+This example sweeps the occupancy of a 12-stage ring, prints the
+analytic and computed cycle times side by side, and draws the curve
+in ASCII.
+
+Run:  python examples/ring_occupancy_sweep.py
+"""
+
+from fractions import Fraction
+
+from repro import compute_cycle_time
+from repro.generators import token_ring, token_ring_cycle_time
+
+STAGES = 12
+FORWARD = 2   # stage forward latency
+BACKWARD = 1  # hole (ack) latency
+
+
+def main() -> None:
+    print(
+        "%-8s %-12s %-12s %-10s" % ("tokens", "computed", "analytic", "regime")
+    )
+    curve = []
+    for tokens in range(1, STAGES):
+        graph = token_ring(STAGES, tokens, FORWARD, BACKWARD)
+        computed = compute_cycle_time(graph).cycle_time
+        analytic = token_ring_cycle_time(STAGES, tokens, FORWARD, BACKWARD)
+        assert computed == analytic
+        data_limited = Fraction(STAGES * FORWARD, tokens)
+        hole_limited = Fraction(STAGES * BACKWARD, STAGES - tokens)
+        if computed == data_limited and data_limited >= hole_limited:
+            regime = "data-limited"
+        elif computed == hole_limited:
+            regime = "hole-limited"
+        else:
+            regime = "local loop"
+        print("%-8d %-12s %-12s %-10s" % (tokens, computed, analytic, regime))
+        curve.append((tokens, float(computed)))
+
+    best_tokens, best_value = min(curve, key=lambda item: item[1])
+    print()
+    print(
+        "best occupancy: %d tokens of %d stages -> cycle time %g"
+        % (best_tokens, STAGES, best_value)
+    )
+    print()
+    _plot(curve)
+
+
+def _plot(curve, height: int = 12) -> None:
+    values = [value for _, value in curve]
+    low, high = min(values), max(values)
+    span = max(high - low, 1e-9)
+    for level in range(height, -1, -1):
+        threshold = low + span * level / height
+        line = ""
+        for _, value in curve:
+            line += " o " if abs(value - threshold) <= span / (2 * height) else "   "
+        print("%8.2f |%s" % (threshold, line))
+    print("         +" + "---" * len(curve))
+    print("          " + "".join("%2d " % tokens for tokens, _ in curve))
+    print("          tokens in flight (cycle time vertical)")
+
+
+if __name__ == "__main__":
+    main()

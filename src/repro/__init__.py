@@ -1,0 +1,75 @@
+"""repro — Performance Analysis Based on Timing Simulation.
+
+A faithful, from-scratch reproduction of Nielsen & Kishinevsky,
+"Performance Analysis Based on Timing Simulation", DAC 1994:
+cycle-time and critical-cycle analysis of Timed Signal Graphs by
+event-initiated timing simulation, plus the substrates the paper
+depends on (asynchronous-circuit netlists, Signal Graph extraction,
+baseline cycle-ratio algorithms) and the tooling to regenerate every
+table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import compute_cycle_time, oscillator_tsg
+
+    result = compute_cycle_time(oscillator_tsg())
+    print(result.cycle_time)        # 10
+    print(result.critical_cycles)   # a+ -> c+ -> a- -> c-
+"""
+
+from .core import (
+    Arc,
+    Cycle,
+    CycleTimeResult,
+    EventInitiatedSimulation,
+    SignalGraphError,
+    TimedSignalGraph,
+    TimingSimulation,
+    Transition,
+    Unfolding,
+    average_occurrence_distances,
+    compute_cycle_time,
+    critical_cycles,
+    from_arcs,
+    initiated_occurrence_distances,
+    simple_cycles,
+    validate,
+)
+from .circuits import (
+    Netlist,
+    async_stack_tsg,
+    linear_pipeline_tsg,
+    muller_ring_netlist,
+    muller_ring_tsg,
+    oscillator_netlist,
+    oscillator_tsg,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Arc",
+    "Cycle",
+    "CycleTimeResult",
+    "EventInitiatedSimulation",
+    "Netlist",
+    "SignalGraphError",
+    "TimedSignalGraph",
+    "TimingSimulation",
+    "Transition",
+    "Unfolding",
+    "__version__",
+    "async_stack_tsg",
+    "average_occurrence_distances",
+    "compute_cycle_time",
+    "critical_cycles",
+    "from_arcs",
+    "initiated_occurrence_distances",
+    "linear_pipeline_tsg",
+    "muller_ring_netlist",
+    "muller_ring_tsg",
+    "oscillator_netlist",
+    "oscillator_tsg",
+    "simple_cycles",
+    "validate",
+]

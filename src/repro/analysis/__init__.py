@@ -1,0 +1,81 @@
+"""Higher-level analyses: performance reports, sensitivity, diagrams,
+interval bounds and event separations."""
+
+from .asymptotics import AsymptoticSeries, delta_series, render_series
+from .comparison import ArcChange, DesignComparison, compare_designs
+from .intervals import (
+    IntervalResult,
+    interval_cycle_time,
+    uniform_interval_cycle_time,
+)
+from .performance import (
+    PerformanceReport,
+    analyze,
+    steady_state_potentials,
+)
+from .reports import FullReport, full_report
+from .sensitivity import (
+    ArcSensitivity,
+    OptimizationStep,
+    delay_sensitivities,
+    optimize_bottlenecks,
+)
+from .latency import (
+    SettlingReport,
+    first_occurrence_latencies,
+    latency_to,
+    settling_period,
+)
+from .jitter import JitterResult, jitter_penalty, stochastic_cycle_time
+from .montecarlo import (
+    DelaySampler,
+    MonteCarloResult,
+    monte_carlo_cycle_time,
+    normal_spread,
+    uniform_spread,
+)
+from .separation import (
+    SeparationReport,
+    separation_report,
+    steady_separation,
+    transient_separations,
+)
+from .timing_diagram import render_timing_diagram
+
+__all__ = [
+    "ArcChange",
+    "DesignComparison",
+    "compare_designs",
+    "SettlingReport",
+    "first_occurrence_latencies",
+    "latency_to",
+    "settling_period",
+    "JitterResult",
+    "jitter_penalty",
+    "stochastic_cycle_time",
+    "FullReport",
+    "full_report",
+    "DelaySampler",
+    "MonteCarloResult",
+    "monte_carlo_cycle_time",
+    "normal_spread",
+    "uniform_spread",
+    "ArcSensitivity",
+    "AsymptoticSeries",
+    "IntervalResult",
+    "OptimizationStep",
+    "PerformanceReport",
+    "SeparationReport",
+    "analyze",
+    "delay_sensitivities",
+    "delta_series",
+    "interval_cycle_time",
+    "optimize_bottlenecks",
+    "render_series",
+    "render_timing_diagram",
+    "separation_report",
+    "steady_separation",
+    "steady_state_potentials",
+    "transient_separations",
+    "uniform_interval_cycle_time",
+]

@@ -1,0 +1,110 @@
+"""Asymptotic behaviour of average occurrence distances (Figure 4).
+
+The paper's Figure 4 contrasts two behaviours of the sequence
+``delta_{e_0}(e_i)``:
+
+* events **on** a critical cycle reach the cycle time exactly, at some
+  ``i`` no larger than the minimum cut set size, and keep returning to
+  it (the sequence's maximum equals λ — Proposition 7);
+* events **off** every critical cycle stay *strictly below* λ forever
+  while converging to it (Proposition 8).
+
+This module computes those sequences, classifies events, and renders a
+compact ASCII chart used by the figure-reproduction benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.arithmetic import Number, numbers_close
+from ..core.cycle_time import CycleTimeResult, compute_cycle_time
+from ..core.events import as_event, event_label
+from ..core.occurrence import initiated_occurrence_distances
+from ..core.signal_graph import TimedSignalGraph
+
+
+@dataclass
+class AsymptoticSeries:
+    """The delta sequence of one initiating event, with its verdict."""
+
+    event: object
+    cycle_time: Number
+    points: List[Tuple[int, Number]]  # (period, delta)
+    on_critical_cycle: bool
+
+    @property
+    def maximum(self) -> Number:
+        return max(delta for _, delta in self.points)
+
+    @property
+    def reaches_cycle_time(self) -> bool:
+        return any(numbers_close(delta, self.cycle_time) for _, delta in self.points)
+
+    def verdict(self) -> str:
+        kind = "on a critical cycle" if self.on_critical_cycle else "off critical cycles"
+        reach = "reaches" if self.reaches_cycle_time else "never reaches"
+        return "%s is %s: sequence %s λ=%s" % (
+            event_label(self.event),
+            kind,
+            reach,
+            self.cycle_time,
+        )
+
+
+def delta_series(
+    graph: TimedSignalGraph,
+    event,
+    periods: int,
+    result: Optional[CycleTimeResult] = None,
+) -> AsymptoticSeries:
+    """Compute ``delta_{e_0}(e_i)`` for ``i`` in 1..periods."""
+    event = as_event(event)
+    if result is None:
+        result = compute_cycle_time(graph)
+    points = initiated_occurrence_distances(graph, event, periods)
+    from .performance import analyze
+
+    report = analyze(graph, result)
+    critical_events = set()
+    for cycle in report.all_critical_cycles():
+        critical_events.update(cycle.events)
+    return AsymptoticSeries(
+        event=event,
+        cycle_time=result.cycle_time,
+        points=points,
+        on_critical_cycle=event in critical_events,
+    )
+
+
+def render_series(
+    series: AsymptoticSeries, height: int = 10, width: Optional[int] = None
+) -> str:
+    """ASCII chart of a delta sequence against the cycle-time asymptote."""
+    points = series.points
+    if not points:
+        return "(empty series)"
+    width = width or len(points)
+    values = [float(delta) for _, delta in points][:width]
+    top = float(series.cycle_time)
+    low = min(values)
+    span = max(top - low, 1e-12)
+    rows = []
+    for level in range(height, -1, -1):
+        threshold = low + span * level / height
+        line = []
+        for value in values:
+            if abs(value - top) <= span / (2 * height) and level == height:
+                line.append("*")
+            elif value >= threshold - span / (2 * height) and (
+                level == 0 or value < threshold + span / (2 * height)
+            ):
+                line.append("o")
+            else:
+                line.append("-" if level == height else " ")
+        label = "λ=%g " % top if level == height else "      "
+        rows.append("%8s|%s" % (label, "".join(line)))
+    rows.append("%8s+%s" % ("", "-" * len(values)))
+    rows.append("%8s i=1..%d" % ("", len(values)))
+    return "\n".join(rows)

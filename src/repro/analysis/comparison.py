@@ -1,0 +1,207 @@
+"""Compare two revisions of a design.
+
+The question a performance tool answers most often in practice is not
+"what is λ" but "what did my change do".  Given two Timed Signal
+Graphs over (mostly) the same events — a before and an after —
+:func:`compare_designs` reports:
+
+* the cycle-time delta and speed-up factor;
+* events/arcs added and removed;
+* per-arc delay changes, annotated with whether the arc was or became
+  critical (the changes that actually moved λ);
+* critical-cycle migration: events that joined or left the critical
+  core.
+
+The report serialises to a JSON-friendly dict, so regression CI can
+diff performance across commits the way it diffs test results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..core.arithmetic import Number
+from ..core.events import event_label
+from ..core.signal_graph import Event, TimedSignalGraph
+from .performance import PerformanceReport, analyze
+from .reports import _jsonable
+
+
+@dataclass(frozen=True)
+class ArcChange:
+    """One arc whose delay differs between revisions."""
+
+    source: Event
+    target: Event
+    before: Optional[Number]   # None: arc added
+    after: Optional[Number]    # None: arc removed
+    was_critical: bool
+    is_critical: bool
+
+    @property
+    def kind(self) -> str:
+        if self.before is None:
+            return "added"
+        if self.after is None:
+            return "removed"
+        return "retimed"
+
+    def __str__(self) -> str:
+        flags = []
+        if self.was_critical:
+            flags.append("was-critical")
+        if self.is_critical:
+            flags.append("now-critical")
+        note = (" [%s]" % ", ".join(flags)) if flags else ""
+        return "%s %s -> %s: %s -> %s%s" % (
+            self.kind,
+            event_label(self.source),
+            event_label(self.target),
+            self.before,
+            self.after,
+            note,
+        )
+
+
+@dataclass
+class DesignComparison:
+    """Structured before/after performance comparison."""
+
+    before: PerformanceReport
+    after: PerformanceReport
+    arc_changes: List[ArcChange]
+    events_added: Set[Event]
+    events_removed: Set[Event]
+
+    @property
+    def cycle_time_delta(self) -> Number:
+        return self.after.cycle_time - self.before.cycle_time
+
+    @property
+    def speedup(self) -> float:
+        if float(self.after.cycle_time) == 0:
+            return float("inf")
+        return float(self.before.cycle_time) / float(self.after.cycle_time)
+
+    def critical_events_joined(self) -> Set[Event]:
+        return self._critical(self.after) - self._critical(self.before)
+
+    def critical_events_left(self) -> Set[Event]:
+        return self._critical(self.before) - self._critical(self.after)
+
+    @staticmethod
+    def _critical(report: PerformanceReport) -> Set[Event]:
+        events: Set[Event] = set()
+        for cycle in report.all_critical_cycles():
+            events.update(cycle.events)
+        return events
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cycle_time": {
+                "before": _jsonable(self.before.cycle_time),
+                "after": _jsonable(self.after.cycle_time),
+                "delta": _jsonable(self.cycle_time_delta),
+                "speedup": round(self.speedup, 6),
+            },
+            "events": {
+                "added": sorted(event_label(e) for e in self.events_added),
+                "removed": sorted(event_label(e) for e in self.events_removed),
+            },
+            "arc_changes": [
+                {
+                    "kind": change.kind,
+                    "source": event_label(change.source),
+                    "target": event_label(change.target),
+                    "before": _jsonable(change.before),
+                    "after": _jsonable(change.after),
+                    "was_critical": change.was_critical,
+                    "is_critical": change.is_critical,
+                }
+                for change in self.arc_changes
+            ],
+            "critical_migration": {
+                "joined": sorted(
+                    event_label(e) for e in self.critical_events_joined()
+                ),
+                "left": sorted(
+                    event_label(e) for e in self.critical_events_left()
+                ),
+            },
+        }
+
+    def summary(self) -> str:
+        lines = [
+            "design comparison: %r -> %r"
+            % (self.before.graph.name, self.after.graph.name),
+            "  cycle time %s -> %s (delta %s, speedup %.3fx)"
+            % (
+                self.before.cycle_time,
+                self.after.cycle_time,
+                self.cycle_time_delta,
+                self.speedup,
+            ),
+        ]
+        if self.events_added or self.events_removed:
+            lines.append(
+                "  events: +%d / -%d"
+                % (len(self.events_added), len(self.events_removed))
+            )
+        relevant = [
+            change
+            for change in self.arc_changes
+            if change.was_critical or change.is_critical
+        ]
+        for change in relevant or self.arc_changes[:5]:
+            lines.append("  " + str(change))
+        joined = self.critical_events_joined()
+        left = self.critical_events_left()
+        if joined:
+            lines.append(
+                "  now critical: " + ", ".join(sorted(map(event_label, joined)))
+            )
+        if left:
+            lines.append(
+                "  no longer critical: "
+                + ", ".join(sorted(map(event_label, left)))
+            )
+        return "\n".join(lines)
+
+
+def compare_designs(
+    before: TimedSignalGraph, after: TimedSignalGraph
+) -> DesignComparison:
+    """Analyse both revisions and diff them."""
+    report_before = analyze(before)
+    report_after = analyze(after)
+    critical_before = {
+        arc.pair for arc in report_before.critical_arcs
+    }
+    critical_after = {arc.pair for arc in report_after.critical_arcs}
+
+    changes: List[ArcChange] = []
+    before_arcs = {arc.pair: arc for arc in before.arcs}
+    after_arcs = {arc.pair: arc for arc in after.arcs}
+    for pair in sorted(set(before_arcs) | set(after_arcs), key=str):
+        old = before_arcs.get(pair)
+        new = after_arcs.get(pair)
+        if old is not None and new is not None and old.delay == new.delay:
+            continue
+        changes.append(
+            ArcChange(
+                source=pair[0],
+                target=pair[1],
+                before=None if old is None else old.delay,
+                after=None if new is None else new.delay,
+                was_critical=pair in critical_before,
+                is_critical=pair in critical_after,
+            )
+        )
+    return DesignComparison(
+        before=report_before,
+        after=report_after,
+        arc_changes=changes,
+        events_added=set(after.events) - set(before.events),
+        events_removed=set(before.events) - set(after.events),
+    )

@@ -1,0 +1,103 @@
+"""Interval (min/max) delay analysis — bounding the cycle time.
+
+The paper assumes fixed delays; real gate libraries specify ranges.
+For Timed Signal Graphs under MAX semantics the cycle time is
+*monotone* in every arc delay (a property-based test checks this), so
+interval delays give exact bounds:
+
+    λ_min = cycle time with every delay at its minimum
+    λ_max = cycle time with every delay at its maximum
+
+and any fixed choice of delays inside the intervals yields a cycle
+time within ``[λ_min, λ_max]``.  The two extreme analyses also expose
+which arcs are critical in the best and worst corner — arcs critical
+in *both* corners are robust bottlenecks worth optimising first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.arithmetic import Number
+from ..core.cycle_time import CycleTimeResult, compute_cycle_time
+from ..core.errors import GraphConstructionError
+from ..core.events import event_label
+from ..core.signal_graph import Event, TimedSignalGraph
+
+
+@dataclass
+class IntervalResult:
+    """Bounds on the cycle time under interval delays."""
+
+    lower: CycleTimeResult
+    upper: CycleTimeResult
+
+    @property
+    def bounds(self) -> Tuple[Number, Number]:
+        return (self.lower.cycle_time, self.upper.cycle_time)
+
+    @property
+    def spread(self) -> Number:
+        return self.upper.cycle_time - self.lower.cycle_time
+
+    def robust_critical_events(self) -> frozenset:
+        """Events critical in both delay corners."""
+        return self.lower.critical_events & self.upper.critical_events
+
+    def __str__(self) -> str:
+        return "cycle time in [%s, %s]" % self.bounds
+
+
+def interval_cycle_time(
+    graph: TimedSignalGraph,
+    bounds: Dict[Tuple[Event, Event], Tuple[Number, Number]],
+) -> IntervalResult:
+    """Cycle-time bounds for arcs with ``(min, max)`` delay intervals.
+
+    ``bounds`` maps arc pairs to intervals; arcs not listed keep their
+    fixed delay.  Raises
+    :class:`~repro.core.errors.GraphConstructionError` for an interval
+    with ``min > max`` or one naming a missing arc.
+    """
+    for (source, target), (low, high) in bounds.items():
+        if not graph.has_arc(source, target):
+            raise GraphConstructionError(
+                "interval on missing arc %s -> %s"
+                % (event_label(source), event_label(target))
+            )
+        if low > high:
+            raise GraphConstructionError(
+                "empty interval [%s, %s] on %s -> %s"
+                % (low, high, event_label(source), event_label(target))
+            )
+
+    def corner(pick: Callable) -> TimedSignalGraph:
+        clone = graph.copy()
+        for (source, target), interval in bounds.items():
+            clone.set_delay(source, target, pick(interval))
+        return clone
+
+    lower = compute_cycle_time(corner(lambda interval: interval[0]))
+    upper = compute_cycle_time(corner(lambda interval: interval[1]))
+    return IntervalResult(lower=lower, upper=upper)
+
+
+def uniform_interval_cycle_time(
+    graph: TimedSignalGraph, relative_margin: float
+) -> IntervalResult:
+    """Bounds for a uniform ±margin on every delay (process spread).
+
+    ``relative_margin`` of 0.1 models delays in ``[0.9 d, 1.1 d]``.
+    Exact delays stay exact when ``relative_margin`` is a Fraction.
+    """
+    if relative_margin < 0:
+        raise GraphConstructionError("margin must be non-negative")
+    bounds = {
+        arc.pair: (
+            arc.delay - arc.delay * relative_margin,
+            arc.delay + arc.delay * relative_margin,
+        )
+        for arc in graph.arcs
+    }
+    return interval_cycle_time(graph, bounds)

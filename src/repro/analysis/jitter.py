@@ -1,0 +1,136 @@
+"""Per-firing delay jitter and its throughput penalty.
+
+The paper's model fixes each arc's delay; real gates jitter from
+firing to firing.  Two different questions follow:
+
+* :mod:`repro.analysis.montecarlo` — delays random but *frozen* per
+  sample (process variation): λ is a random variable, its mean close
+  to λ(nominal);
+* this module — delays re-sampled **at every firing** (dynamic
+  jitter): the long-run average occurrence distance λ̄ satisfies::
+
+      λ̄  >=  λ(mean delays)
+
+  because MAX-causality makes occurrence times ``E[max] >= max E``
+  (Jensen's inequality applied to the max-plus recursion).  The gap is
+  the *jitter penalty*: zero-slack systems pay for variance even when
+  the mean delays are unchanged.
+
+:func:`stochastic_cycle_time` estimates λ̄ by simulating the unfolding
+with freshly sampled delays per instance arc; :func:`jitter_penalty`
+reports the penalty against the deterministic mean-delay analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..core.arithmetic import Number
+from ..core.cycle_time import compute_cycle_time
+from ..core.errors import SignalGraphError
+from ..core.events import as_event
+from ..core.signal_graph import TimedSignalGraph
+from ..core.unfolding import Unfolding
+from .montecarlo import DelaySampler
+
+
+@dataclass
+class JitterResult:
+    """Estimated long-run behaviour under per-firing jitter."""
+
+    average_distance: float     # λ̄ estimate
+    deterministic: float        # λ at the nominal delays
+    periods: int
+    seed: int
+
+    @property
+    def penalty(self) -> float:
+        """λ̄ − λ(nominal): the throughput cost of jitter."""
+        return self.average_distance - self.deterministic
+
+    @property
+    def relative_penalty(self) -> float:
+        if self.deterministic == 0:
+            return 0.0
+        return self.penalty / self.deterministic
+
+    def __str__(self) -> str:
+        return (
+            "jittered λ̄ ≈ %.4f vs deterministic λ = %.4f "
+            "(penalty %.4f, %+.1f%%)"
+            % (
+                self.average_distance,
+                self.deterministic,
+                self.penalty,
+                100 * self.relative_penalty,
+            )
+        )
+
+
+def stochastic_cycle_time(
+    graph: TimedSignalGraph,
+    sampler: DelaySampler,
+    periods: int = 400,
+    warmup: int = 50,
+    seed: int = 0,
+    witness=None,
+) -> JitterResult:
+    """Estimate λ̄ by timing simulation with per-firing random delays.
+
+    Runs the global timing-simulation recursion over ``periods``
+    unfolding periods, drawing a fresh delay from ``sampler`` for
+    every unfolding arc, and returns the average occurrence distance
+    of ``witness`` (default: the first border event) over the
+    post-``warmup`` stretch.
+    """
+    if periods <= warmup:
+        raise SignalGraphError("periods must exceed warmup")
+    rng = np.random.default_rng(seed)
+    unfolding = Unfolding(graph)
+    if witness is None:
+        border = graph.border_events
+        if not border:
+            raise SignalGraphError("graph has no border events")
+        witness = border[0]
+    else:
+        witness = as_event(witness)
+
+    times: Dict = {}
+    for period_index in range(periods + 1):
+        for event, index in unfolding.period(period_index):
+            best = None
+            for source, tokens, delay, source_repeats in (
+                unfolding.compact_in_arcs(event)
+            ):
+                source_index = index - tokens
+                if source_index < 0 or (source_index > 0 and not source_repeats):
+                    continue
+                jittered = sampler(rng, float(delay))
+                candidate = times[(source, source_index)] + jittered
+                if best is None or candidate > best:
+                    best = candidate
+            times[(event, index)] = 0.0 if best is None else best
+
+    start_time = times[(witness, warmup)]
+    end_time = times[(witness, periods)]
+    average = (end_time - start_time) / (periods - warmup)
+    deterministic = float(compute_cycle_time(graph).cycle_time)
+    return JitterResult(
+        average_distance=average,
+        deterministic=deterministic,
+        periods=periods,
+        seed=seed,
+    )
+
+
+def jitter_penalty(
+    graph: TimedSignalGraph,
+    sampler: DelaySampler,
+    periods: int = 400,
+    seed: int = 0,
+) -> float:
+    """Convenience wrapper returning only λ̄ − λ(nominal)."""
+    return stochastic_cycle_time(graph, sampler, periods=periods, seed=seed).penalty

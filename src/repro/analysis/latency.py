@@ -1,0 +1,115 @@
+"""Transient (start-up) latency analysis.
+
+The cycle time describes the steady state; designers also ask about
+the *transient*: how long from power-up (the initial events) until a
+given event first fires, until the k-th datum emerges, or until the
+system reaches its periodic regime.  All of these read directly off
+the global timing simulation; this module packages them:
+
+* :func:`first_occurrence_latencies` — ``t(e_0)`` for every event;
+* :func:`latency_to` — time until the k-th occurrence of one event;
+* :func:`settling_period` — the first period index from which the
+  occurrence pattern repeats exactly (the quasi-periodicity onset of
+  Section III-B), plus the pattern's shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.arithmetic import Number
+from ..core.cycle_time import compute_cycle_time
+from ..core.errors import SimulationError
+from ..core.events import as_event, event_label
+from ..core.signal_graph import Event, TimedSignalGraph
+from ..core.simulation import TimingSimulation
+
+
+def first_occurrence_latencies(graph: TimedSignalGraph) -> Dict[Event, Number]:
+    """Start-up latency of every event: ``t(e_0)`` from the origin."""
+    simulation = TimingSimulation(graph, periods=0)
+    return {
+        event: simulation.time(event, 0)
+        for event in graph.events
+    }
+
+
+def latency_to(graph: TimedSignalGraph, event, occurrence: int = 0) -> Number:
+    """Time from start until the ``occurrence``-th firing of ``event``."""
+    event = as_event(event)
+    if occurrence > 0 and event not in graph.repetitive_events:
+        raise SimulationError(
+            "%s occurs once only; occurrence %d never happens"
+            % (event_label(event), occurrence)
+        )
+    simulation = TimingSimulation(graph, periods=max(occurrence, 0))
+    return simulation.time(event, occurrence)
+
+
+@dataclass
+class SettlingReport:
+    """Onset of the exactly periodic regime."""
+
+    event: Event
+    settle_index: int           # first i with t(e_{i+p}) - t(e_i) = p*λ forever
+    pattern_length: int         # p: periods per repetition of the Δ pattern
+    pattern: List[Number]       # the repeating occurrence-distance pattern
+    cycle_time: Number
+
+    def __str__(self) -> str:
+        return (
+            "%s settles at occurrence %d into the distance pattern %s "
+            "(cycle time %s per occurrence)"
+            % (
+                event_label(self.event),
+                self.settle_index,
+                [str(value) for value in self.pattern],
+                self.cycle_time,
+            )
+        )
+
+
+def settling_period(
+    graph: TimedSignalGraph,
+    event=None,
+    horizon: int = 200,
+) -> SettlingReport:
+    """Find when (and how) an event's firing pattern becomes periodic.
+
+    Simulates ``horizon`` periods and locates the earliest occurrence
+    index from which the occurrence-distance sequence repeats with
+    some integer pattern length ``p`` satisfying ``sum(pattern) =
+    p·λ``.  For the oscillator the answer is index 1, pattern ``[10]``;
+    for the Muller ring the pattern is ``[6, 7, 7]``.
+    """
+    result = compute_cycle_time(graph)
+    if event is None:
+        event = result.border_events[0]
+    else:
+        event = as_event(event)
+    simulation = TimingSimulation(graph, periods=horizon)
+    times = [simulation.time(event, index) for index in range(horizon + 1)]
+    distances = [b - a for a, b in zip(times, times[1:])]
+
+    for pattern_length in range(1, max(2, horizon // 4)):
+        total = result.cycle_time * pattern_length
+        # candidate: distances eventually repeat with this length
+        for start in range(0, horizon - 3 * pattern_length):
+            window = distances[start : start + pattern_length]
+            if sum(window) != total:
+                continue
+            if all(
+                distances[index] == window[(index - start) % pattern_length]
+                for index in range(start, len(distances))
+            ):
+                return SettlingReport(
+                    event=event,
+                    settle_index=start,
+                    pattern_length=pattern_length,
+                    pattern=window,
+                    cycle_time=result.cycle_time,
+                )
+    raise SimulationError(
+        "no periodic pattern within %d periods (raise the horizon)" % horizon
+    )

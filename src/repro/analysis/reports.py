@@ -1,0 +1,129 @@
+"""Consolidated analysis reports.
+
+One call gathers everything a designer asks of a Timed Signal Graph —
+cycle time, critical cycles, slacks, sensitivities, optional interval
+bounds and a timing diagram — and renders it as text or a
+JSON-serialisable dict (for CI dashboards and regression tracking).
+Used by ``python -m repro report --full``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Dict, List, Optional
+
+from ..core.arithmetic import Number
+from ..core.cycle_time import CycleTimeResult
+from ..core.events import event_label
+from ..core.signal_graph import TimedSignalGraph
+from ..core.simulation import TimingSimulation
+from .performance import PerformanceReport, analyze
+from .sensitivity import delay_sensitivities
+from .timing_diagram import render_timing_diagram
+
+
+def _jsonable(value: Number) -> Any:
+    """Numbers as JSON-friendly values, keeping exactness readable."""
+    if isinstance(value, Fraction):
+        if value.denominator == 1:
+            return int(value)
+        return {"fraction": [value.numerator, value.denominator]}
+    return value
+
+
+@dataclass
+class FullReport:
+    """Everything about one graph's steady-state performance."""
+
+    graph: TimedSignalGraph
+    performance: PerformanceReport
+    sensitivities: list
+    diagram: Optional[str]
+
+    @property
+    def cycle_time(self) -> Number:
+        return self.performance.cycle_time
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable summary (exact numbers preserved)."""
+        result = self.performance.result
+        return {
+            "graph": {
+                "name": self.graph.name,
+                "events": self.graph.num_events,
+                "arcs": self.graph.num_arcs,
+                "tokens": self.graph.total_tokens(),
+                "border_events": [
+                    event_label(e) for e in result.border_events
+                ],
+            },
+            "cycle_time": _jsonable(result.cycle_time),
+            "critical_cycles": [
+                {
+                    "events": [event_label(e) for e in cycle.events],
+                    "length": _jsonable(cycle.length),
+                    "tokens": cycle.tokens,
+                }
+                for cycle in self.performance.all_critical_cycles()
+            ],
+            "border_distances": [
+                {
+                    "border_event": event_label(record.border_event),
+                    "period": record.period,
+                    "time": _jsonable(record.time),
+                    "distance": _jsonable(record.distance),
+                }
+                for record in result.distances
+            ],
+            "slacks": [
+                {
+                    "source": event_label(source),
+                    "target": event_label(target),
+                    "slack": _jsonable(slack),
+                }
+                for (source, target), slack in sorted(
+                    self.performance.slacks.items(), key=lambda kv: str(kv[0])
+                )
+            ],
+            "sensitivities": [
+                {
+                    "source": event_label(row.source),
+                    "target": event_label(row.target),
+                    "delay": _jsonable(row.delay),
+                    "dlambda_ddelta": _jsonable(row.sensitivity),
+                }
+                for row in self.sensitivities
+            ],
+        }
+
+    def to_text(self) -> str:
+        sections = [self.performance.summary()]
+        sections.append("delay sensitivities (dλ/dδ):")
+        for row in self.sensitivities:
+            sections.append("  " + str(row))
+        if self.diagram:
+            sections.append("")
+            sections.append("timing diagram (2 periods):")
+            sections.append(self.diagram)
+        return "\n".join(sections)
+
+
+def full_report(
+    graph: TimedSignalGraph,
+    include_diagram: bool = True,
+    diagram_width: int = 72,
+) -> FullReport:
+    """Run the complete analysis stack on ``graph``."""
+    performance = analyze(graph)
+    sensitivities = delay_sensitivities(graph, performance)
+    diagram = None
+    if include_diagram:
+        simulation = TimingSimulation(graph, periods=2)
+        diagram = render_timing_diagram(simulation, width=diagram_width)
+    return FullReport(
+        graph=graph,
+        performance=performance,
+        sensitivities=sensitivities,
+        diagram=diagram,
+    )

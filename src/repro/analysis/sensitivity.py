@@ -1,0 +1,123 @@
+"""Delay sensitivity and bottleneck optimisation.
+
+For an arc on a critical cycle with occurrence period ε, increasing its
+delay by ``d`` increases the cycle time by ``d/ε`` (until another cycle
+takes over); off-critical arcs have zero first-order sensitivity.  The
+*bottleneck ranking* orders arcs by that derivative — the actionable
+output of a performance analysis: "speed up this gate input first".
+
+:func:`optimize_bottlenecks` applies the obvious greedy loop: shave a
+chosen amount off the most sensitive arc, re-analyse, repeat — the
+workflow the paper motivates for asynchronous circuit design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from ..core.arithmetic import Number, exact_div
+from ..core.cycle_time import compute_cycle_time
+from ..core.events import event_label
+from ..core.signal_graph import Event, TimedSignalGraph
+from .performance import PerformanceReport, analyze
+
+
+@dataclass(frozen=True)
+class ArcSensitivity:
+    """First-order derivative of the cycle time w.r.t. one arc delay."""
+
+    source: Event
+    target: Event
+    delay: Number
+    sensitivity: Number  # dλ/dδ — 1/ε for critical arcs, else 0
+
+    def __str__(self) -> str:
+        return "%s -> %s (delay %s): dλ/dδ = %s" % (
+            event_label(self.source),
+            event_label(self.target),
+            self.delay,
+            self.sensitivity,
+        )
+
+
+def delay_sensitivities(
+    graph: TimedSignalGraph,
+    report: Optional[PerformanceReport] = None,
+) -> List[ArcSensitivity]:
+    """Sensitivity of the cycle time to every repetitive-core arc.
+
+    Arcs on several critical cycles take the largest ``1/ε``.
+    Returned sorted by decreasing sensitivity, then delay.
+    """
+    if report is None:
+        report = analyze(graph)
+    best: Dict[Tuple[Event, Event], Number] = {}
+    for cycle in report.all_critical_cycles():
+        weight = exact_div(1, cycle.occurrence_period)
+        for arc in cycle.arcs(graph):
+            key = arc.pair
+            if key not in best or weight > best[key]:
+                best[key] = weight
+    rows = []
+    for (source, target), slack in report.slacks.items():
+        arc = graph.arc(source, target)
+        rows.append(
+            ArcSensitivity(
+                source, target, arc.delay, best.get(arc.pair, Fraction(0))
+            )
+        )
+    rows.sort(key=lambda row: (-float(row.sensitivity), -float(row.delay), str(row.source)))
+    return rows
+
+
+@dataclass
+class OptimizationStep:
+    """One greedy improvement step."""
+
+    arc: Tuple[Event, Event]
+    old_delay: Number
+    new_delay: Number
+    cycle_time_before: Number
+    cycle_time_after: Number
+
+
+def optimize_bottlenecks(
+    graph: TimedSignalGraph,
+    steps: int,
+    shave: Number = 1,
+    floor: Number = 0,
+) -> Tuple[TimedSignalGraph, List[OptimizationStep]]:
+    """Greedy bottleneck shaving.
+
+    Each step reduces the most sensitive positive-delay arc by
+    ``shave`` (not below ``floor``) and re-analyses.  Returns the
+    improved graph copy and the step log.  Stops early when no
+    critical arc can be reduced further.
+    """
+    work = graph.copy(name=graph.name + "-optimized")
+    log: List[OptimizationStep] = []
+    for _ in range(steps):
+        before = compute_cycle_time(work).cycle_time
+        candidates = [
+            row
+            for row in delay_sensitivities(work)
+            if row.sensitivity > 0 and row.delay > floor
+        ]
+        if not candidates:
+            break
+        chosen = candidates[0]
+        new_delay = max(floor, chosen.delay - shave)
+        work.set_delay(chosen.source, chosen.target, new_delay)
+        after = compute_cycle_time(work).cycle_time
+        log.append(
+            OptimizationStep(
+                arc=(chosen.source, chosen.target),
+                old_delay=chosen.delay,
+                new_delay=new_delay,
+                cycle_time_before=before,
+                cycle_time_after=after,
+            )
+        )
+    return work, log

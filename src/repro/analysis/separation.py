@@ -1,0 +1,128 @@
+"""Time separation between events.
+
+Beyond the cycle time, asynchronous designers need pairwise timing
+questions answered: "how long after ``req+`` does ``ack+`` fire?",
+"do these two latch controls ever switch closer than the hold
+margin?".  With fixed delays the execution is deterministic, so
+separations are read off the timing simulation; in the steady state
+they settle to the *steady separation* derived from the schedule
+potentials::
+
+    separation_k(e -> f) = (p(f) - p(e)) mod-shifted by k cycles
+
+Two views are provided:
+
+* :func:`transient_separations` — observed separations per period from
+  a (finite) timing simulation, including start-up effects;
+* :func:`steady_separation` — the asymptotic separation between the
+  k-th following occurrence of ``f`` after each ``e``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.arithmetic import Number
+from ..core.cycle_time import CycleTimeResult, compute_cycle_time
+from ..core.errors import SimulationError
+from ..core.events import as_event, event_label
+from ..core.signal_graph import TimedSignalGraph
+from ..core.simulation import TimingSimulation
+from .performance import steady_state_potentials
+
+
+@dataclass
+class SeparationReport:
+    """Separations between instance pairs ``(e_i, f_i+offset)``."""
+
+    first: object
+    second: object
+    offset: int
+    observed: List[Tuple[int, Number]]  # (i, t(f_{i+offset}) - t(e_i))
+    steady: Number
+
+    def settles(self, within: int = 0) -> bool:
+        """Do the observed separations reach the steady value?"""
+        return any(value == self.steady for _, value in self.observed)
+
+    def __str__(self) -> str:
+        return "separation %s -> %s (offset %d): steady %s" % (
+            event_label(self.first),
+            event_label(self.second),
+            self.offset,
+            self.steady,
+        )
+
+
+def transient_separations(
+    graph: TimedSignalGraph,
+    first,
+    second,
+    periods: int,
+    offset: int = 0,
+) -> List[Tuple[int, Number]]:
+    """Observed ``t(second_{i+offset}) - t(first_i)`` for each period."""
+    first, second = as_event(first), as_event(second)
+    simulation = TimingSimulation(graph, periods)
+    rows = []
+    for index in range(periods + 1):
+        partner = index + offset
+        if simulation.defined(first, index) and simulation.defined(second, partner):
+            rows.append(
+                (index, simulation.time(second, partner) - simulation.time(first, index))
+            )
+    if not rows:
+        raise SimulationError(
+            "no comparable instances of %s and %s within %d periods"
+            % (event_label(first), event_label(second), periods)
+        )
+    return rows
+
+
+def steady_separation(
+    graph: TimedSignalGraph,
+    first,
+    second,
+    offset: int = 0,
+    result: Optional[CycleTimeResult] = None,
+) -> Number:
+    """Asymptotic separation ``p(second) - p(first) + offset * λ``.
+
+    Requires both events to be repetitive.  The potentials come from
+    the longest-path schedule, i.e. the *as-late-as-necessary* firing
+    times the MAX semantics converges to.
+    """
+    first, second = as_event(first), as_event(second)
+    repetitive = graph.repetitive_events
+    for event in (first, second):
+        if event not in repetitive:
+            raise SimulationError(
+                "steady separation needs repetitive events, got %s"
+                % event_label(event)
+            )
+    if result is None:
+        result = compute_cycle_time(graph)
+    potentials = steady_state_potentials(graph, result.cycle_time)
+    return (
+        potentials[second] - potentials[first] + result.cycle_time * offset
+    )
+
+
+def separation_report(
+    graph: TimedSignalGraph,
+    first,
+    second,
+    periods: int = 12,
+    offset: int = 0,
+) -> SeparationReport:
+    """Transient and steady separations in one structure."""
+    observed = transient_separations(graph, first, second, periods, offset)
+    steady = steady_separation(graph, first, second, offset)
+    return SeparationReport(
+        first=as_event(first),
+        second=as_event(second),
+        offset=offset,
+        observed=observed,
+        steady=steady,
+    )

@@ -1,0 +1,114 @@
+"""ASCII timing diagrams (Figures 1c and 1d of the paper).
+
+Renders the waveforms implied by a timing simulation: each signal is a
+line of ``_`` (low), ``#`` (high) and ``|`` (transition) characters
+over a discretised time axis, with the transition times derived from
+the simulation's occurrence times.  Works for both the global and the
+event-initiated simulation (the latter reproduces Figure 1d, where
+everything concurrent with or before the initiating event is collapsed
+to time zero).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.events import Transition
+from ..core.simulation import _SimulationBase
+
+
+def _signal_waves(
+    simulation: _SimulationBase,
+) -> Dict[str, List[Tuple[float, bool]]]:
+    """Per-signal sorted ``(time, rising)`` transition lists."""
+    waves: Dict[str, List[Tuple[float, bool]]] = {}
+    for (event, _), time in simulation.times.items():
+        if not isinstance(event, Transition):
+            continue
+        waves.setdefault(event.signal, []).append((float(time), event.is_rising))
+    for transitions in waves.values():
+        transitions.sort()
+    return waves
+
+
+def render_timing_diagram(
+    simulation: _SimulationBase,
+    width: int = 72,
+    signals: Optional[Sequence[str]] = None,
+    end_time: Optional[float] = None,
+) -> str:
+    """Render a simulation as an ASCII timing diagram.
+
+    ``width`` columns cover ``[0, end_time]`` (default: the latest
+    occurrence).  Signals default to all, sorted by name.
+    """
+    waves = _signal_waves(simulation)
+    if not waves:
+        return "(no transition events in simulation)"
+    if signals is None:
+        signals = sorted(waves)
+    last = max(
+        (transitions[-1][0] for transitions in waves.values() if transitions),
+        default=0.0,
+    )
+    horizon = end_time if end_time is not None else max(last, 1.0)
+    scale = (width - 1) / horizon if horizon else 1.0
+
+    name_width = max(len(name) for name in signals)
+    lines = []
+    for name in signals:
+        transitions = waves.get(name, [])
+        # Initial level: opposite of the first transition's direction;
+        # signals that never switch default to low.
+        level = (not transitions[0][1]) if transitions else False
+        row = []
+        pending = list(transitions)
+        for column in range(width):
+            time_lo = column / scale if scale else 0.0
+            time_hi = (column + 1) / scale if scale else float("inf")
+            switched = False
+            while pending and time_lo <= pending[0][0] < time_hi:
+                level = pending[0][1]
+                pending.pop(0)
+                switched = True
+            row.append("|" if switched else ("#" if level else "_"))
+        lines.append("%-*s %s" % (name_width, name, "".join(row)))
+
+    axis = _time_axis(name_width, width, horizon)
+    return "\n".join(lines + axis)
+
+
+def _time_axis(name_width: int, width: int, horizon: float) -> List[str]:
+    """A tick row and a label row for the time axis."""
+    tick_step = _nice_step(horizon, target_ticks=8)
+    ticks = []
+    value = 0.0
+    while value <= horizon + 1e-9:
+        ticks.append(value)
+        value += tick_step
+    scale = (width - 1) / horizon if horizon else 1.0
+    tick_row = [" "] * width
+    label_row = [" "] * (width + 8)
+    for value in ticks:
+        column = int(round(value * scale))
+        if column < width:
+            tick_row[column] = "+"
+            label = "%g" % value
+            for offset, char in enumerate(label):
+                if column + offset < len(label_row):
+                    label_row[column + offset] = char
+    prefix = " " * (name_width + 1)
+    return [prefix + "".join(tick_row), prefix + "".join(label_row).rstrip()]
+
+
+def _nice_step(horizon: float, target_ticks: int) -> float:
+    if horizon <= 0:
+        return 1.0
+    raw = horizon / target_ticks
+    magnitude = 10 ** int(math.floor(math.log10(raw))) if raw > 0 else 1
+    for multiplier in (1, 2, 5, 10):
+        step = magnitude * multiplier
+        if step >= raw:
+            return step
+    return magnitude * 10

@@ -1,0 +1,31 @@
+"""Baseline cycle-time algorithms for cross-validation and comparison."""
+
+from .burns_lp import LPSolution, cycle_time_lp
+from .exhaustive import max_cycle_ratio_exhaustive
+from .howard import max_mean_cycle_howard
+from .karp import max_mean_cycle
+from .lawler import max_cycle_ratio_lawler
+from .reduction import ReducedGraph, reduce_to_token_graph
+from .registry import (
+    EXACT_METHODS,
+    METHODS,
+    MethodResult,
+    compare_methods,
+    compute_cycle_time,
+)
+
+__all__ = [
+    "EXACT_METHODS",
+    "LPSolution",
+    "METHODS",
+    "MethodResult",
+    "ReducedGraph",
+    "compare_methods",
+    "compute_cycle_time",
+    "cycle_time_lp",
+    "max_cycle_ratio_exhaustive",
+    "max_cycle_ratio_lawler",
+    "max_mean_cycle",
+    "max_mean_cycle_howard",
+    "reduce_to_token_graph",
+]

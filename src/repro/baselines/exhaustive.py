@@ -1,0 +1,24 @@
+"""Exhaustive cycle enumeration — the exact but exponential baseline.
+
+Section II of the paper: "A straightforward approach for finding the
+critical cycle ... is to search for all cycles and to choose the
+longest.  Unfortunately, the number of cycles may be exponential in
+the number of arcs in the graph."  This module is that straightforward
+approach, used as ground truth for the polynomial algorithms on small
+graphs and as the slow end of the method-comparison benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.arithmetic import Number
+from ..core.cycles import Cycle, critical_cycles as _critical_cycles
+from ..core.signal_graph import TimedSignalGraph
+
+
+def max_cycle_ratio_exhaustive(
+    graph: TimedSignalGraph,
+) -> Tuple[Number, List[Cycle]]:
+    """Cycle time and *all* critical cycles by full enumeration."""
+    return _critical_cycles(graph)

@@ -1,0 +1,146 @@
+"""Howard's policy-iteration algorithm for the maximum mean cycle.
+
+The max-plus / Markov-decision formulation of Baccelli et al. [1] in
+its multi-chain form (as described by Dasdan's survey of cycle-ratio
+algorithms):
+
+* a *policy* selects one out-edge per node; following the policy from
+  any node drains into exactly one *policy cycle*;
+* evaluation gives each node the mean ``eta`` of the cycle it drains
+  into and a potential ``h`` solving
+  ``h(u) = w(u, pi(u)) - eta(u) + h(pi(u))``;
+* improvement first raises ``eta`` (switch to a successor draining
+  into a better cycle), then — among equal-``eta`` successors —
+  raises ``h``;
+* at a fixed point the largest policy-cycle mean is the maximum mean
+  cycle of the graph.
+
+Typically converges in a handful of iterations and is the fastest
+baseline on large reduced graphs.  Exact with int/Fraction weights.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from ..core.arithmetic import Number, exact_div
+from ..core.errors import AcyclicGraphError
+
+
+def max_mean_cycle_howard(
+    graph: "nx.DiGraph",
+    weight: str = "weight",
+    max_iterations: int = 100_000,
+) -> Tuple[Number, List]:
+    """Maximum mean cycle by policy iteration: ``(mean, node cycle)``."""
+    work = _cyclic_closure(graph)
+    if work.number_of_nodes() == 0:
+        raise AcyclicGraphError("graph has no cycles")
+
+    policy: Dict[object, object] = {
+        node: max(work.successors(node), key=lambda s: (work[node][s][weight], str(s)))
+        for node in work.nodes
+    }
+    for _ in range(max_iterations):
+        eta, potential, cycles = _evaluate(work, policy, weight)
+        improved = False
+        for node in work.nodes:
+            for successor in work.successors(node):
+                if eta[successor] > eta[node]:
+                    policy[node] = successor
+                    improved = True
+                    break
+            else:
+                current = potential[node]
+                chosen = policy[node]
+                for successor in work.successors(node):
+                    if eta[successor] != eta[node]:
+                        continue
+                    candidate = (
+                        work[node][successor][weight] - eta[node] + potential[successor]
+                    )
+                    if candidate > current:
+                        current = candidate
+                        chosen = successor
+                if chosen != policy[node]:
+                    policy[node] = chosen
+                    improved = True
+        if not improved:
+            best_cycle = max(cycles, key=lambda cycle: eta[cycle[0]])
+            return eta[best_cycle[0]], best_cycle
+    raise RuntimeError("Howard iteration did not converge")
+
+
+def _cyclic_closure(graph: "nx.DiGraph") -> "nx.DiGraph":
+    """Copy of ``graph`` restricted to nodes that can lie on a cycle."""
+    work = graph.copy()
+    changed = True
+    while changed:
+        changed = False
+        doomed = [
+            node
+            for node in work.nodes
+            if work.out_degree(node) == 0 or work.in_degree(node) == 0
+        ]
+        if doomed:
+            work.remove_nodes_from(doomed)
+            changed = True
+    return work
+
+
+def _evaluate(
+    graph: "nx.DiGraph", policy: Dict, weight: str
+) -> Tuple[Dict, Dict, List[List]]:
+    """Per-node cycle means and potentials under ``policy``.
+
+    Returns ``(eta, potential, policy_cycles)``.
+    """
+    eta: Dict[object, Number] = {}
+    potential: Dict[object, Number] = {}
+    cycles: List[List] = []
+    state: Dict[object, int] = {}  # 0 in progress, 1 done
+
+    for start in graph.nodes:
+        if start in state:
+            continue
+        path: List = []
+        node = start
+        while node not in state and node not in eta:
+            state[node] = 0
+            path.append(node)
+            node = policy[node]
+        if node in path:  # discovered a fresh policy cycle
+            cycle = path[path.index(node) :]
+            total: Number = 0
+            for position, member in enumerate(cycle):
+                successor = cycle[(position + 1) % len(cycle)]
+                total = total + graph[member][successor][weight]
+            mean = exact_div(total, len(cycle))
+            cycles.append(cycle)
+            # Anchor the cycle: potential 0 at its first node, then walk
+            # the cycle backwards so the recurrence holds on every edge
+            # (it closes exactly because total - len*mean == 0).
+            anchor = cycle[0]
+            eta[anchor] = mean
+            potential[anchor] = 0
+            for member in reversed(cycle[1:]):
+                successor = policy[member]
+                eta[member] = mean
+                potential[member] = (
+                    graph[member][successor][weight] - mean + potential[successor]
+                )
+        # Propagate values back along the path that led into the cycle
+        # (or into previously valued territory).
+        for member in reversed(path):
+            if member in eta:
+                continue
+            successor = policy[member]
+            eta[member] = eta[successor]
+            potential[member] = (
+                graph[member][successor][weight] - eta[successor] + potential[successor]
+            )
+        for member in path:
+            state[member] = 1
+    return eta, potential, cycles

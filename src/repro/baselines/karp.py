@@ -1,0 +1,121 @@
+"""Karp's maximum mean cycle algorithm (baseline).
+
+Runs on the token-to-token reduced graph, where the cycle time of the
+Signal Graph equals the maximum mean cycle weight.  Karp's theorem::
+
+    mu* = max over v of  min over 0 <= k < n of (D_n(v) - D_k(v)) / (n - k)
+
+with ``D_k(v)`` the maximum weight of a k-edge walk from a source to
+``v``.  The critical cycle is recovered by walking the predecessor
+links of a maximising ``D_n`` entry; some node on that walk repeats
+within ``n`` steps and the enclosed loop is a maximum mean cycle.
+
+Complexity ``O(n * m)`` on the reduced graph, i.e. ``O(b^3)`` in terms
+of the Signal Graph's tokens.  Exact with int/Fraction delays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from ..core.arithmetic import Number, exact_div
+from ..core.errors import AcyclicGraphError
+
+
+def max_mean_cycle(graph: "nx.DiGraph", weight: str = "weight") -> Tuple[Number, List]:
+    """Maximum mean cycle of a digraph: ``(mean, node cycle)``.
+
+    Handles graphs that are not strongly connected by solving each
+    strongly connected component separately.
+    """
+    best_mean: Optional[Number] = None
+    best_cycle: List = []
+    for component in nx.strongly_connected_components(graph):
+        if len(component) == 1:
+            (node,) = component
+            if not graph.has_edge(node, node):
+                continue
+        subgraph = graph.subgraph(component)
+        mean, cycle = _karp_scc(subgraph, weight)
+        if best_mean is None or mean > best_mean:
+            best_mean, best_cycle = mean, cycle
+    if best_mean is None:
+        raise AcyclicGraphError("graph has no cycles")
+    return best_mean, best_cycle
+
+
+def _karp_scc(graph: "nx.DiGraph", weight: str) -> Tuple[Number, List]:
+    nodes = list(graph.nodes)
+    count = len(nodes)
+    index = {node: position for position, node in enumerate(nodes)}
+    source = nodes[0]
+
+    # D[k][v]: max weight of a k-edge walk source -> v (None = none).
+    table: List[List[Optional[Number]]] = [
+        [None] * count for _ in range(count + 1)
+    ]
+    parent: List[List[Optional[int]]] = [[None] * count for _ in range(count + 1)]
+    table[0][index[source]] = 0
+    for k in range(1, count + 1):
+        for u, v, data in graph.edges(data=True):
+            iu, iv = index[u], index[v]
+            if table[k - 1][iu] is None:
+                continue
+            candidate = table[k - 1][iu] + data[weight]
+            if table[k][iv] is None or candidate > table[k][iv]:
+                table[k][iv] = candidate
+                parent[k][iv] = iu
+
+    best_mean: Optional[Number] = None
+    best_node: Optional[int] = None
+    for v in range(count):
+        if table[count][v] is None:
+            continue
+        worst: Optional[Number] = None
+        for k in range(count):
+            if table[k][v] is None:
+                continue
+            ratio = exact_div(table[count][v] - table[k][v], count - k)
+            if worst is None or ratio < worst:
+                worst = ratio
+        if worst is not None and (best_mean is None or worst > best_mean):
+            best_mean = worst
+            best_node = v
+    assert best_mean is not None and best_node is not None
+
+    # Recover a cycle: the optimal n-edge walk to best_node contains a
+    # maximum-mean loop.  Decompose the walk into simple loops with a
+    # stack and return one whose mean equals the optimum.
+    walk = [best_node]
+    k = count
+    while k > 0:
+        walk.append(parent[k][walk[-1]])
+        k -= 1
+    walk.reverse()  # walk[k] = node index at step k
+
+    def loop_mean(loop: List[int]) -> Number:
+        total: Number = 0
+        for position, node in enumerate(loop):
+            successor = loop[(position + 1) % len(loop)]
+            total = total + graph[nodes[node]][nodes[successor]][weight]
+        return exact_div(total, len(loop))
+
+    stack: List[int] = []
+    positions: Dict[int, int] = {}
+    fallback: List[int] = []
+    for node in walk:
+        if node in positions:
+            start = positions[node]
+            loop = stack[start:]
+            if loop_mean(loop) == best_mean:
+                return best_mean, [nodes[i] for i in loop]
+            if not fallback:
+                fallback = loop
+            for removed in loop:
+                del positions[removed]
+            del stack[start:]
+        positions[node] = len(stack)
+        stack.append(node)
+    return best_mean, [nodes[i] for i in fallback]

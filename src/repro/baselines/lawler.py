@@ -1,0 +1,169 @@
+"""Lawler-style binary search for the maximum cycle ratio.
+
+Works directly on the Signal Graph (no token reduction): for a
+candidate ratio ``lambda`` assign every arc the weight ``delay -
+lambda * tokens``; then ``lambda < lambda*`` iff the repetitive core
+contains a **positive** cycle under those weights.  Binary search over
+``lambda`` with Bellman-Ford-style positive-cycle detection narrows
+the ratio to any tolerance [11].
+
+With exact (int/Fraction) delays the search terminates *exactly*: the
+answer is a fraction whose denominator is at most ``n`` (a simple
+cycle carries at most ``n`` tokens), so once the interval is narrower
+than ``1/(2 n^2)`` it contains exactly one such fraction — recovered
+with :meth:`fractions.Fraction.limit_denominator` and returned.
+Float-delay graphs return a float within ``tolerance``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import lcm
+from typing import Dict, List, Tuple
+
+from ..core.arithmetic import Number
+from ..core.errors import AcyclicGraphError
+from ..core.signal_graph import TimedSignalGraph
+
+_CoreArc = Tuple[object, object, Number, int]
+
+
+def _positive_cycle_exists(
+    arcs: List[_CoreArc], nodes: List[object], ratio: Number
+) -> bool:
+    """Bellman-Ford longest-path: does any cycle have positive weight
+    under ``weight = delay - ratio * tokens``?"""
+    distance: Dict[object, Number] = {node: 0 for node in nodes}
+    for _ in range(len(nodes)):
+        changed = False
+        for source, target, delay, tokens in arcs:
+            candidate = distance[source] + delay - ratio * tokens
+            if candidate > distance[target]:
+                distance[target] = candidate
+                changed = True
+        if not changed:
+            return False  # converged: no positive cycle
+    return True
+
+
+def _core(graph: TimedSignalGraph) -> Tuple[List[object], List[_CoreArc]]:
+    repetitive = graph.repetitive_events
+    if not repetitive:
+        raise AcyclicGraphError("graph %r has no cycles" % graph.name)
+    nodes = [event for event in graph.events if event in repetitive]
+    arcs = [
+        (arc.source, arc.target, arc.delay, arc.tokens)
+        for arc in graph.arcs
+        if arc.source in repetitive and arc.target in repetitive
+    ]
+    return nodes, arcs
+
+
+def max_cycle_ratio_lawler(
+    graph: TimedSignalGraph,
+    tolerance: float = 1e-9,
+    max_steps: int = 2_000,
+) -> Number:
+    """Maximum cycle ratio (= cycle time) by binary search.
+
+    Returns an exact :class:`fractions.Fraction` for int/Fraction
+    delays, a float otherwise.
+    """
+    nodes, arcs = _core(graph)
+    if graph.is_exact:
+        return _search_exact(nodes, arcs, max_steps)
+    return _search_float(nodes, arcs, tolerance, max_steps)
+
+
+def _search_exact(nodes, arcs, max_steps: int) -> Fraction:
+    # Scale Fraction delays to integers so the denominator bound holds
+    # and so every exact feasibility check runs in pure int arithmetic.
+    scale = lcm(*(Fraction(delay).denominator for _, _, delay, _ in arcs), 1)
+    int_arcs = [
+        (source, target, int(Fraction(delay) * scale), tokens)
+        for source, target, delay, tokens in arcs
+    ]
+
+    def exact_check(ratio: Fraction) -> bool:
+        """Positive cycle at ``ratio``?  Integer weights q*d - p*m."""
+        p, q = ratio.numerator, ratio.denominator
+        weighted = [
+            (source, target, q * delay - p * tokens)
+            for source, target, delay, tokens in int_arcs
+        ]
+        distance = {node: 0 for node in nodes}
+        for _ in range(len(nodes)):
+            changed = False
+            for source, target, weight in weighted:
+                candidate = distance[source] + weight
+                if candidate > distance[target]:
+                    distance[target] = candidate
+                    changed = True
+            if not changed:
+                return False
+        return True
+
+    count = len(nodes)
+    low = Fraction(0)
+    high = Fraction(sum(delay for _, _, delay, _ in int_arcs))
+    if not exact_check(low):
+        return Fraction(0)  # every cycle has zero length
+    if exact_check(high):
+        raise AcyclicGraphError("unbounded cycle ratio: token-free cycle present")
+
+    # Narrow the interval with a fast float search first; float
+    # misclassification near the optimum is repaired by exact checks.
+    float_arcs = [
+        (source, target, float(delay), tokens)
+        for source, target, delay, tokens in int_arcs
+    ]
+    flo, fhi = float(low), float(high)
+    for _ in range(80):
+        if fhi - flo <= max(1e-9, 1e-12 * fhi):
+            break
+        mid = (flo + fhi) / 2
+        if _positive_cycle_exists(float_arcs, nodes, mid):
+            flo = mid
+        else:
+            fhi = mid
+    margin = Fraction(max(fhi - flo, 1e-9) * 4).limit_denominator(10**12)
+    candidate_low = max(low, Fraction(flo).limit_denominator(10**12) - margin)
+    candidate_high = min(high, Fraction(fhi).limit_denominator(10**12) + margin)
+    if candidate_low < candidate_high:
+        if exact_check(candidate_low):
+            low = candidate_low
+        if not exact_check(candidate_high):
+            high = candidate_high
+
+    resolution = Fraction(1, 2 * count * count)
+    for _ in range(max_steps):
+        if high - low < resolution:
+            candidate = ((low + high) / 2).limit_denominator(count)
+            # The true ratio is the unique fraction with denominator
+            # <= count inside (low, high]; verify defensively.
+            if low < candidate <= high and not exact_check(candidate):
+                return candidate / scale
+        middle = (low + high) / 2
+        if exact_check(middle):
+            low = middle
+        else:
+            high = middle
+    raise RuntimeError("exact ratio search failed to converge")
+
+
+def _search_float(nodes, arcs, tolerance: float, max_steps: int) -> float:
+    low = 0.0
+    high = float(sum(delay for _, _, delay, _ in arcs)) or 1.0
+    if not _positive_cycle_exists(arcs, nodes, 0.0):
+        return 0.0
+    if _positive_cycle_exists(arcs, nodes, high):
+        raise AcyclicGraphError("unbounded cycle ratio: token-free cycle present")
+    for _ in range(max_steps):
+        middle = (low + high) / 2
+        if _positive_cycle_exists(arcs, nodes, middle):
+            low = middle
+        else:
+            high = middle
+        if high - low <= tolerance * max(1.0, high):
+            return high
+    return high

@@ -1,0 +1,131 @@
+"""Reduction of the max-cycle-ratio problem to max-mean-cycle.
+
+The cycle time is ``max over cycles of length/tokens`` — a maximum
+cost-to-time ratio with 0/1 transit times.  The classical reduction
+(used e.g. by Burns [2] and the min-ratio literature [8, 11]) contracts
+the token-free structure away:
+
+* nodes of the reduced graph are the *marked arcs* (tokens) of the
+  repetitive core;
+* for tokens ``t1 = (u1 -> v1)`` and ``t2 = (u2 -> v2)`` there is an
+  edge ``t1 -> t2`` with weight ``delay(t1) + L(v1, u2)`` where ``L``
+  is the longest token-free path between repetitive events (``L(x, x)
+  = 0``).
+
+Every simple cycle with ``k`` tokens in the original graph corresponds
+to a cycle with ``k`` edges in the reduced graph whose maximal weight
+equals the original cycle's (maximal) length, so::
+
+    max cycle ratio (original) == max mean cycle (reduced)
+
+The reduced graph has at most ``b`` nodes and ``b^2`` edges, where
+``b`` is the number of tokens — the same parameter that drives the
+paper's algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from ..core.arithmetic import Number
+from ..core.errors import AcyclicGraphError
+from ..core.signal_graph import Arc, Event, TimedSignalGraph
+from ..core.validation import unmarked_subgraph
+
+
+@dataclass
+class ReducedGraph:
+    """Token-to-token graph with recoverable original paths.
+
+    ``graph`` is an ``nx.DiGraph`` whose nodes are the marked arcs'
+    ``(source, target)`` pairs and whose edges carry ``weight``;
+    ``paths[(token1, token2)]`` is the original event path realising
+    that weight (token1's target ... token2's source, inclusive).
+    """
+
+    graph: "nx.DiGraph"
+    tokens: List[Arc]
+    paths: Dict[Tuple[Tuple[Event, Event], Tuple[Event, Event]], List[Event]]
+
+    def expand_cycle(self, token_cycle: List[Tuple[Event, Event]]) -> List[Event]:
+        """Turn a cycle of token nodes into the original event walk.
+
+        Each consecutive token pair contributes its recorded longest
+        token-free path ``[token.target ... successor.source]``; the
+        successor's own (marked) arc links segment ends to the next
+        segment start, so plain concatenation yields the closed walk.
+        The walk may revisit events (a non-simple cycle); decompose
+        with the core's cycle machinery when simplicity matters.
+        """
+        events: List[Event] = []
+        count = len(token_cycle)
+        for position, token in enumerate(token_cycle):
+            successor = token_cycle[(position + 1) % count]
+            events.extend(self.paths[(token, successor)])
+        return events
+
+
+def longest_paths_from(
+    dag: "nx.DiGraph", source: Event, topo_order: List[Event]
+) -> Tuple[Dict[Event, Number], Dict[Event, Optional[Event]]]:
+    """Longest path lengths (and predecessors) from ``source`` in a DAG."""
+    distance: Dict[Event, Number] = {source: 0}
+    parent: Dict[Event, Optional[Event]] = {source: None}
+    for node in topo_order:
+        if node not in distance:
+            continue
+        base = distance[node]
+        for successor in dag.successors(node):
+            candidate = base + dag[node][successor]["delay"]
+            if successor not in distance or candidate > distance[successor]:
+                distance[successor] = candidate
+                parent[successor] = node
+    return distance, parent
+
+
+def _walk_back(parent: Dict[Event, Optional[Event]], node: Event) -> List[Event]:
+    path = [node]
+    while parent[node] is not None:
+        node = parent[node]
+        path.append(node)
+    path.reverse()
+    return path
+
+
+def reduce_to_token_graph(graph: TimedSignalGraph) -> ReducedGraph:
+    """Build the token-to-token reduced graph of the repetitive core."""
+    repetitive = graph.repetitive_events
+    tokens = [
+        arc
+        for arc in graph.arcs
+        if arc.marked and arc.source in repetitive and arc.target in repetitive
+    ]
+    if not tokens:
+        raise AcyclicGraphError(
+            "graph %r has no tokens on its repetitive core" % graph.name
+        )
+    dag_all = unmarked_subgraph(graph)
+    dag = dag_all.subgraph(repetitive).copy()
+    topo_order = list(nx.topological_sort(dag))
+
+    heads = {}  # token target -> longest-path info from it
+    for token in tokens:
+        if token.target not in heads:
+            heads[token.target] = longest_paths_from(dag, token.target, topo_order)
+
+    reduced = nx.DiGraph()
+    paths: Dict[Tuple[Tuple[Event, Event], Tuple[Event, Event]], List[Event]] = {}
+    for token in tokens:
+        reduced.add_node(token.pair)
+    for token in tokens:
+        distance, parent = heads[token.target]
+        for other in tokens:
+            if other.source not in distance:
+                continue
+            weight = token.delay + distance[other.source]
+            reduced.add_edge(token.pair, other.pair, weight=weight)
+            paths[(token.pair, other.pair)] = _walk_back(parent, other.source)
+    return ReducedGraph(reduced, tokens, paths)

@@ -1,0 +1,133 @@
+"""Uniform front-end over all cycle-time algorithms.
+
+``compute_cycle_time(graph, method=...)`` dispatches to:
+
+============== =========================================== ==========
+method         algorithm                                   result
+============== =========================================== ==========
+``timing``     the paper's event-initiated timing          exact
+               simulation (Section VII)
+``exhaustive`` enumerate all simple cycles (Johnson)       exact
+``karp``       Karp max-mean-cycle on the token reduction  exact
+``howard``     Howard policy iteration on the reduction    exact
+``lawler``     binary search with positive-cycle tests     exact*
+``lp``         Burns' linear program (scipy/HiGHS)         float
+============== =========================================== ==========
+
+(*) exact for int/Fraction delays, tolerance-bounded for floats.
+
+Every method returns a :class:`MethodResult` with the cycle time and,
+when the algorithm produces one, a witness critical cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..core.arithmetic import Number
+from ..core.cycle_time import compute_cycle_time as _timing
+from ..core.cycles import Cycle
+from ..core.signal_graph import TimedSignalGraph
+from .burns_lp import cycle_time_lp
+from .exhaustive import max_cycle_ratio_exhaustive
+from .howard import max_mean_cycle_howard
+from .karp import max_mean_cycle
+from .lawler import max_cycle_ratio_lawler
+from .reduction import reduce_to_token_graph
+
+
+@dataclass
+class MethodResult:
+    """Cycle time with provenance."""
+
+    method: str
+    cycle_time: Number
+    critical_cycles: List[Cycle]
+
+    def __str__(self) -> str:
+        return "%s: cycle time %s" % (self.method, self.cycle_time)
+
+
+def _run_timing(graph: TimedSignalGraph) -> MethodResult:
+    result = _timing(graph)
+    return MethodResult("timing", result.cycle_time, result.critical_cycles)
+
+
+def _run_exhaustive(graph: TimedSignalGraph) -> MethodResult:
+    value, cycles = max_cycle_ratio_exhaustive(graph)
+    return MethodResult("exhaustive", value, cycles)
+
+
+def _expand_token_cycle(graph, reduced, token_cycle) -> List[Cycle]:
+    from ..core.cycle_time import _simple_sub_cycles
+
+    walk = reduced.expand_cycle(token_cycle)
+    if not walk:
+        return []
+    closed = walk + [walk[0]]
+    return _simple_sub_cycles(graph, closed)
+
+
+def _run_karp(graph: TimedSignalGraph) -> MethodResult:
+    reduced = reduce_to_token_graph(graph)
+    value, token_cycle = max_mean_cycle(reduced.graph)
+    cycles = [
+        cycle
+        for cycle in _expand_token_cycle(graph, reduced, token_cycle)
+        if cycle.effective_length == value
+    ]
+    return MethodResult("karp", value, cycles)
+
+
+def _run_howard(graph: TimedSignalGraph) -> MethodResult:
+    reduced = reduce_to_token_graph(graph)
+    value, token_cycle = max_mean_cycle_howard(reduced.graph)
+    cycles = [
+        cycle
+        for cycle in _expand_token_cycle(graph, reduced, token_cycle)
+        if cycle.effective_length == value
+    ]
+    return MethodResult("howard", value, cycles)
+
+
+def _run_lawler(graph: TimedSignalGraph) -> MethodResult:
+    value = max_cycle_ratio_lawler(graph)
+    return MethodResult("lawler", value, [])
+
+
+def _run_lp(graph: TimedSignalGraph) -> MethodResult:
+    solution = cycle_time_lp(graph)
+    return MethodResult("lp", solution.cycle_time, [])
+
+
+METHODS: Dict[str, Callable[[TimedSignalGraph], MethodResult]] = {
+    "timing": _run_timing,
+    "exhaustive": _run_exhaustive,
+    "karp": _run_karp,
+    "howard": _run_howard,
+    "lawler": _run_lawler,
+    "lp": _run_lp,
+}
+
+#: Methods returning exact results on int/Fraction delays.
+EXACT_METHODS = ("timing", "exhaustive", "karp", "howard", "lawler")
+
+
+def compute_cycle_time(graph: TimedSignalGraph, method: str = "timing") -> MethodResult:
+    """Compute the cycle time of ``graph`` with the chosen ``method``."""
+    try:
+        runner = METHODS[method]
+    except KeyError:
+        raise ValueError(
+            "unknown method %r (choose from %s)" % (method, ", ".join(METHODS))
+        ) from None
+    return runner(graph)
+
+
+def compare_methods(
+    graph: TimedSignalGraph, methods: Optional[List[str]] = None
+) -> Dict[str, MethodResult]:
+    """Run several methods on the same graph (for cross-validation)."""
+    chosen = methods if methods is not None else list(METHODS)
+    return {name: compute_cycle_time(graph, name) for name in chosen}

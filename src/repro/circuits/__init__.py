@@ -1,0 +1,64 @@
+"""Asynchronous-circuit substrate: gates, netlists, state-space
+analysis, Signal Graph extraction and timed simulation."""
+
+from .components import (
+    closed_pipeline,
+    closed_pipeline_cycle_time,
+    forwarding_stage,
+    reflector,
+    requester,
+)
+from .extraction import extract_signal_graph
+from .gates import GATE_TYPES, evaluate, gate_function, is_state_holding
+from .library import (
+    async_stack_tsg,
+    c_element_synchronizer_netlist,
+    inverter_ring_netlist,
+    linear_pipeline_tsg,
+    muller_ring_netlist,
+    muller_ring_tsg,
+    oscillator_extracted_tsg,
+    oscillator_netlist,
+    oscillator_tsg,
+)
+from .netlist import Gate, Netlist, Stimulus
+from .simulator import (
+    EventDrivenSimulator,
+    measure_cycle_time,
+    simulate_and_measure,
+)
+from .state_space import StateSpace, explore, is_semi_modular
+from .verification import VerificationReport, verify_extraction
+
+__all__ = [
+    "closed_pipeline",
+    "closed_pipeline_cycle_time",
+    "forwarding_stage",
+    "reflector",
+    "requester",
+    "EventDrivenSimulator",
+    "GATE_TYPES",
+    "Gate",
+    "Netlist",
+    "StateSpace",
+    "Stimulus",
+    "VerificationReport",
+    "async_stack_tsg",
+    "c_element_synchronizer_netlist",
+    "evaluate",
+    "explore",
+    "extract_signal_graph",
+    "gate_function",
+    "inverter_ring_netlist",
+    "is_semi_modular",
+    "is_state_holding",
+    "linear_pipeline_tsg",
+    "measure_cycle_time",
+    "muller_ring_netlist",
+    "muller_ring_tsg",
+    "oscillator_extracted_tsg",
+    "oscillator_netlist",
+    "oscillator_tsg",
+    "simulate_and_measure",
+    "verify_extraction",
+]

@@ -1,0 +1,106 @@
+"""Composable handshake components.
+
+Specification-level building blocks (Signal Graph fragments) that
+synchronise on shared link events, demonstrating modular system
+construction with :func:`repro.core.compose.compose`:
+
+* a *link* ``i`` is the 4-phase channel alphabet
+  ``r<i>+, a<i>+, r<i>-, a<i>-``;
+* :func:`requester` drives a link (the active party);
+* :func:`reflector` completes a link (the passive party responding
+  immediately);
+* :func:`forwarding_stage` connects link ``i`` to link ``i+1``,
+  propagating requests forward and acknowledgements backward;
+* :func:`closed_pipeline` composes requester + stages + reflector
+  into a closed, live system ready for cycle-time analysis.
+
+The delays are per-fragment parameters, so the composed system
+exercises heterogeneous-delay analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.compose import compose
+from ..core.errors import GraphConstructionError
+from ..core.signal_graph import TimedSignalGraph
+
+
+def _req(link: int, edge: str) -> str:
+    return "r%d%s" % (link, edge)
+
+
+def _ack(link: int, edge: str) -> str:
+    return "a%d%s" % (link, edge)
+
+
+def requester(link: int, delay=1) -> TimedSignalGraph:
+    """The active party of link ``link``: raises a new request after
+    each completed handshake (the token sits on the idle state)."""
+    graph = TimedSignalGraph(name="requester-%d" % link)
+    graph.add_arc(_ack(link, "+"), _req(link, "-"), delay)
+    graph.add_arc(_ack(link, "-"), _req(link, "+"), delay, marked=True)
+    return graph
+
+
+def reflector(link: int, delay=1) -> TimedSignalGraph:
+    """The passive party of link ``link``: acknowledges immediately."""
+    graph = TimedSignalGraph(name="reflector-%d" % link)
+    graph.add_arc(_req(link, "+"), _ack(link, "+"), delay)
+    graph.add_arc(_req(link, "-"), _ack(link, "-"), delay)
+    return graph
+
+
+def forwarding_stage(
+    link: int, forward=1, backward=1
+) -> TimedSignalGraph:
+    """A stage between link ``link`` (left) and ``link + 1`` (right).
+
+    Requests propagate rightward with ``forward`` delay, acknowledges
+    leftward with ``backward`` delay — the undecoupled (ripple)
+    pipeline stage.
+    """
+    right = link + 1
+    graph = TimedSignalGraph(name="stage-%d" % link)
+    graph.add_arc(_req(link, "+"), _req(right, "+"), forward)
+    graph.add_arc(_req(link, "-"), _req(right, "-"), forward)
+    graph.add_arc(_ack(right, "+"), _ack(link, "+"), backward)
+    graph.add_arc(_ack(right, "-"), _ack(link, "-"), backward)
+    return graph
+
+
+def closed_pipeline(
+    stages: int,
+    forward=1,
+    backward=1,
+    requester_delay=1,
+    reflector_delay=1,
+    name: Optional[str] = None,
+) -> TimedSignalGraph:
+    """Requester + ``stages`` forwarding stages + reflector, composed.
+
+    The system is a single handshake loop; its cycle time is the loop
+    latency::
+
+        2 * (requester_delay + stages*(forward + backward) + reflector_delay)
+
+    which makes it a closed-form oracle for composition tests.
+    """
+    if stages < 0:
+        raise GraphConstructionError("stages must be non-negative")
+    parts = [requester(0, requester_delay)]
+    parts.extend(
+        forwarding_stage(index, forward, backward) for index in range(stages)
+    )
+    parts.append(reflector(stages, reflector_delay))
+    return compose(*parts, name=name or "closed-pipeline-%d" % stages)
+
+
+def closed_pipeline_cycle_time(
+    stages: int, forward=1, backward=1, requester_delay=1, reflector_delay=1
+):
+    """The closed-form oracle for :func:`closed_pipeline`."""
+    return 2 * (
+        requester_delay + stages * (forward + backward) + reflector_delay
+    )

@@ -1,0 +1,296 @@
+"""Reference circuits and Timed Signal Graphs from the paper.
+
+Two artefacts are modelled at both levels — gate-level netlist and
+hand-derived Timed Signal Graph — so that the extractor can be
+validated against the published graphs:
+
+* the **C-element oscillator** of Figure 1: a C-element (output ``c``),
+  two NOR gates (``a``, ``b``), a buffer (``f``) and one input node
+  ``e`` that falls once at t=0;
+* the **Muller ring** of Figure 5: five C-elements closed into a ring
+  with an inverter feeding each C-element's second input, one data
+  token, all delays 1.
+
+Additional parametric structures (rings of any size, an
+asynchronous-stack control graph sized to the paper's 66-event /
+112-arc example) support the scaling experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..core.errors import GraphConstructionError
+from ..core.signal_graph import TimedSignalGraph
+from .netlist import Netlist
+
+
+# ----------------------------------------------------------------------
+# Figure 1: the C-element oscillator
+# ----------------------------------------------------------------------
+def oscillator_tsg() -> TimedSignalGraph:
+    """The Timed Signal Graph of Figure 1b / 2c, verbatim.
+
+    Delays as printed; the two bulleted (initially marked) arcs are
+    ``c- -> a+`` and ``c- -> b+``; the arcs out of the non-repetitive
+    events ``e-`` and ``f-`` act once only (the crossed arrows).
+    Border events: ``a+`` and ``b+``.  Cycle time: 10, critical cycle
+    ``a+ -> c+ -> a- -> c- -> a+``.
+    """
+    graph = TimedSignalGraph(name="c-element-oscillator")
+    graph.add_arc("e-", "f-", 3, disengageable=True)
+    graph.add_arc("e-", "a+", 2, disengageable=True)
+    graph.add_arc("f-", "b+", 1, disengageable=True)
+    graph.add_arc("a+", "c+", 3)
+    graph.add_arc("b+", "c+", 2)
+    graph.add_arc("c+", "a-", 2)
+    graph.add_arc("c+", "b-", 1)
+    graph.add_arc("a-", "c-", 3)
+    graph.add_arc("b-", "c-", 2)
+    graph.add_arc("c-", "a+", 2, marked=True)
+    graph.add_arc("c-", "b+", 1, marked=True)
+    return graph
+
+
+def oscillator_netlist() -> Netlist:
+    """The gate-level circuit of Figure 1a.
+
+    Signals and gates::
+
+        a = NOR(e, c)      delays: e->a 2, c->a 2
+        b = NOR(f, c)      delays: f->b 1, c->b 1
+        c = C(a, b)        delays: a->c 3, b->c 2
+        f = BUF(e)         delay : e->f 3
+
+    Initial state ``{a,b,c,e,f} = {0,0,0,1,1}`` and a single input
+    stimulus: ``e`` falls at t=0.
+    """
+    netlist = Netlist(name="c-element-oscillator")
+    netlist.add_input("e", initial=1)
+    netlist.add_gate("a", "NOR", ["e", "c"], delays={"e": 2, "c": 2}, initial=0)
+    netlist.add_gate("b", "NOR", ["f", "c"], delays={"f": 1, "c": 1}, initial=0)
+    netlist.add_gate("c", "C", ["a", "b"], delays={"a": 3, "b": 2}, initial=0)
+    netlist.add_gate("f", "BUF", ["e"], delays={"e": 3}, initial=1)
+    netlist.add_stimulus("e", 0)
+    return netlist
+
+
+# ----------------------------------------------------------------------
+# Figure 5: the Muller ring
+# ----------------------------------------------------------------------
+def muller_ring_netlist(
+    stages: int = 5,
+    c_delay=1,
+    inverter_delay=1,
+    token_stage: Optional[int] = None,
+    token_stages: Optional[Sequence[int]] = None,
+) -> Netlist:
+    """A Muller pipeline of ``stages`` C-elements closed into a ring.
+
+    Stage ``i`` has a C-element with output ``s<i>``, fed by the
+    previous stage's output and by an inverter ``n<i>`` reading the
+    next stage's output (indices mod ``stages``).  Data tokens are the
+    stages starting at 1 (``token_stages``; the single ``token_stage``
+    keeps the old interface, default: the last stage).  Each token
+    must be followed by a hole, i.e. runs of consecutive high stages
+    are fine but the ring must not be completely full.
+
+    For ``stages=5`` and unit delays this is exactly the Figure 5
+    circuit with cycle time 20/3.
+    """
+    if stages < 3:
+        raise GraphConstructionError("a Muller ring needs at least 3 stages")
+    if token_stages is not None and token_stage is not None:
+        raise GraphConstructionError(
+            "pass either token_stage or token_stages, not both"
+        )
+    if token_stages is None:
+        token_stages = [stages - 1 if token_stage is None else token_stage]
+    token_set = set(token_stages)
+    if not token_set or not token_set < set(range(stages)):
+        raise GraphConstructionError(
+            "token stages must be a proper, non-empty subset of the ring"
+        )
+    netlist = Netlist(name="muller-ring-%d" % stages)
+    values = {index: (1 if index in token_set else 0) for index in range(stages)}
+    for index in range(stages):
+        succ = (index + 1) % stages
+        netlist.add_gate(
+            _inv_name(index),
+            "NOT",
+            [_stage_name(succ)],
+            delays={_stage_name(succ): inverter_delay},
+            initial=1 - values[succ],
+        )
+    for index in range(stages):
+        pred = (index - 1) % stages
+        netlist.add_gate(
+            _stage_name(index),
+            "C",
+            [_stage_name(pred), _inv_name(index)],
+            delays={
+                _stage_name(pred): c_delay,
+                _inv_name(index): c_delay,
+            },
+            initial=values[index],
+        )
+    return netlist
+
+
+def _stage_name(index: int) -> str:
+    return "s%d" % index
+
+
+def _inv_name(index: int) -> str:
+    return "n%d" % index
+
+
+def muller_ring_tsg(
+    stages: int = 5,
+    c_delay=1,
+    inverter_delay=1,
+) -> TimedSignalGraph:
+    """The extracted Timed Signal Graph of the Muller ring.
+
+    Derived by running the extractor on :func:`muller_ring_netlist`;
+    provided as a convenience so core-level experiments need not
+    depend on the circuit substrate at call time.
+    """
+    from .extraction import extract_signal_graph
+
+    netlist = muller_ring_netlist(stages, c_delay, inverter_delay)
+    return extract_signal_graph(netlist)
+
+
+def oscillator_extracted_tsg() -> TimedSignalGraph:
+    """The oscillator's Signal Graph as produced by the extractor."""
+    from .extraction import extract_signal_graph
+
+    return extract_signal_graph(oscillator_netlist())
+
+
+# ----------------------------------------------------------------------
+# The asynchronous stack of Section VIII-B
+# ----------------------------------------------------------------------
+def async_stack_tsg(cells: int = 11) -> TimedSignalGraph:
+    """A stack-like ring of 4-phase handshake latch controllers.
+
+    The paper reports analysing "an asynchronous stack with constant
+    response time" whose Signal Graph has 66 events and 112 arcs
+    (Section VIII-B); the original netlist (from the FORCAGE tool
+    suite) is not published.  This substitute closes a chain of
+    ``cells`` 4-phase handshake controllers into a ring: cell ``i``
+    captures a datum into its latch on a rising request, acknowledges
+    upstream, pushes downstream, and releases the latch once the child
+    acknowledged and the upstream request withdrew.  The ring seam
+    carries the circulating data token, and the "stack bottom"
+    response gates the final release of the deepest cell.
+
+    With the default ``cells=11`` the graph has **exactly 66 events
+    and 112 arcs**, matching the size the paper quotes for its stack
+    benchmark (the shape under test is the runtime's near-linear
+    growth, not the stack's logic).
+    """
+    if cells < 2:
+        raise GraphConstructionError("need at least two stack cells")
+    graph = TimedSignalGraph(name="async-stack-%d" % cells)
+    for i in range(cells):
+        j = (i + 1) % cells
+        wrap = j == 0  # the ring seam carries the circulating datum
+        graph.add_arc("a%d-" % i, "r%d+" % i, 1, marked=True)  # idle -> request
+        graph.add_arc("r%d+" % i, "l%d+" % i, 2)               # capture
+        graph.add_arc("l%d-" % i, "l%d+" % i, 1, marked=True)  # latch free
+        graph.add_arc("l%d+" % i, "a%d+" % i, 1)               # ack upstream
+        graph.add_arc("r%d+" % i, "a%d+" % i, 1)               # completion path
+        graph.add_arc("a%d+" % i, "r%d-" % i, 1)               # upstream withdraws
+        graph.add_arc("r%d-" % i, "a%d-" % i, 1)               # reset ack
+        graph.add_arc("r%d-" % i, "l%d-" % i, 1)               # withdrawal gates release
+        graph.add_arc("l%d+" % i, "r%d+" % j, 2, marked=wrap)  # push downstream
+        graph.add_arc("a%d+" % j, "l%d-" % i, 1)               # child captured
+    last = cells - 1
+    graph.add_arc("a0-", "l%d-" % last, 1)  # bottom turnaround gates release
+    graph.add_arc("a0-", "r%d-" % last, 1)  # ... and the deepest withdrawal
+    return graph
+
+
+def c_element_synchronizer_netlist(
+    branches: int = 3,
+    branch_delays: Optional[Sequence] = None,
+    c_delay=1,
+) -> Netlist:
+    """A multi-way synchroniser: one C-element joining inverter branches.
+
+    ``root = C(n_0, ..., n_{k-1})`` with each ``n_i = NOT(root)`` at
+    its own delay.  The root waits for the slowest branch in each
+    phase, so the cycle time has the closed form::
+
+        2 * (c_delay + max(branch_delays))
+
+    — a miniature model of barrier synchronisation, and a test that
+    extraction handles wide AND-causality (every branch is a cause of
+    each root transition).
+    """
+    if branches < 2:
+        raise GraphConstructionError("need at least two branches")
+    if branch_delays is None:
+        branch_delays = [1] * branches
+    if len(branch_delays) != branches:
+        raise GraphConstructionError("need one delay per branch")
+    netlist = Netlist(name="c-sync-%d" % branches)
+    names = ["n%d" % index for index in range(branches)]
+    for index, name in enumerate(names):
+        netlist.add_gate(
+            name, "NOT", ["root"], delays={"root": branch_delays[index]},
+            initial=1,
+        )
+    netlist.add_gate(
+        "root", "C", names, delays={name: c_delay for name in names}, initial=0
+    )
+    return netlist
+
+
+def inverter_ring_netlist(stages: int = 3, delays: Optional[Sequence] = None) -> Netlist:
+    """A free-running ring oscillator of an odd number of inverters.
+
+    The smallest autonomous semi-modular oscillator; its cycle time is
+    ``2 * sum(delays)`` (each inverter switches twice per period).
+    Useful as a minimal end-to-end extraction/verification workload.
+    """
+    if stages < 3 or stages % 2 == 0:
+        raise GraphConstructionError("an inverter ring needs an odd count >= 3")
+    if delays is None:
+        delays = [1] * stages
+    if len(delays) != stages:
+        raise GraphConstructionError("need one delay per inverter")
+    netlist = Netlist(name="inverter-ring-%d" % stages)
+    # A stable-alternating initial value pattern with one excited gate.
+    values = [index % 2 for index in range(stages)]
+    values[0] = 0
+    for index in range(stages):
+        pred = (index - 1) % stages
+        netlist.add_gate(
+            "i%d" % index,
+            "NOT",
+            ["i%d" % pred],
+            delays={"i%d" % pred: delays[index]},
+            initial=values[index],
+        )
+    return netlist
+
+
+def linear_pipeline_tsg(stages: int, forward=2, backward=1) -> TimedSignalGraph:
+    """A closed linear Muller-pipeline abstraction with one token.
+
+    A classic two-event-per-stage model: ``p<i>+`` passes a datum to
+    stage ``i``, ``p<i>-`` resets it.  Useful as a scalable workload
+    whose cycle time is known in closed form: ``stages * (forward +
+    backward) / 1`` for the single-token ring.
+    """
+    if stages < 2:
+        raise GraphConstructionError("need at least two stages")
+    graph = TimedSignalGraph(name="pipeline-%d" % stages)
+    for i in range(stages):
+        succ = (i + 1) % stages
+        graph.add_arc("p%d+" % i, "p%d-" % i, forward)
+        graph.add_arc("p%d-" % i, "p%d+" % succ, backward, marked=(succ == 0))
+    return graph

@@ -1,0 +1,205 @@
+"""Gate-level netlist model.
+
+A :class:`Netlist` is a closed (autonomous) circuit description: named
+signals, each either a primary *input* or driven by exactly one gate,
+an initial state, per-input-pin propagation delays and an optional set
+of one-shot input *stimuli* applied at t=0 (e.g. the falling ``e`` of
+Figure 1a).  It is the common substrate for
+
+* reachability / semi-modularity analysis
+  (:mod:`repro.circuits.state_space`),
+* Signal Graph extraction (:mod:`repro.circuits.extraction`) — the
+  TRASPEC substitute, and
+* timed event-driven simulation (:mod:`repro.circuits.simulator`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.errors import NetlistError
+from .gates import check_arity, evaluate, is_state_holding
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate: ``output = type(inputs)`` with per-input delays."""
+
+    output: str
+    gate_type: str
+    inputs: Tuple[str, ...]
+    delays: Mapping[str, object]  # input signal -> delay
+
+    def delay_from(self, signal: str):
+        """Propagation delay from input pin ``signal`` to the output."""
+        return self.delays[signal]
+
+    def evaluate(self, values: Mapping[str, int]) -> int:
+        """Next output value in the given signal state."""
+        input_values = [values[name] for name in self.inputs]
+        return evaluate(self.gate_type, input_values, values[self.output])
+
+    @property
+    def state_holding(self) -> bool:
+        return is_state_holding(self.gate_type)
+
+
+@dataclass(frozen=True)
+class Stimulus:
+    """A one-shot primary-input change applied at ``time``."""
+
+    signal: str
+    time: object = 0
+
+
+class Netlist:
+    """Builder and container for a closed gate-level circuit."""
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self._gates: Dict[str, Gate] = {}
+        self._inputs: Dict[str, int] = {}
+        self._initial: Dict[str, int] = {}
+        self._stimuli: List[Stimulus] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_input(self, signal: str, initial: int = 0) -> None:
+        """Declare a primary input with its initial value."""
+        self._check_fresh(signal)
+        self._inputs[signal] = int(bool(initial))
+        self._initial[signal] = int(bool(initial))
+
+    def add_gate(
+        self,
+        output: str,
+        gate_type: str,
+        inputs: Sequence[str],
+        delays=1,
+        initial: int = 0,
+    ) -> Gate:
+        """Add a gate driving ``output``.
+
+        ``delays`` is either a single number (same delay from every
+        input) or a mapping ``{input signal: delay}``.
+        """
+        self._check_fresh(output)
+        gate_type = gate_type.upper()
+        check_arity(gate_type, len(inputs))
+        if len(set(inputs)) != len(inputs):
+            raise NetlistError("gate %r lists an input twice" % output)
+        if isinstance(delays, Mapping):
+            missing = set(inputs) - set(delays)
+            if missing:
+                raise NetlistError(
+                    "gate %r missing delays for %s" % (output, sorted(missing))
+                )
+            delay_map = {name: delays[name] for name in inputs}
+        else:
+            delay_map = {name: delays for name in inputs}
+        for name, value in delay_map.items():
+            if value < 0:
+                raise NetlistError(
+                    "negative delay %r on pin %s of gate %r" % (value, name, output)
+                )
+        gate = Gate(output, gate_type, tuple(inputs), delay_map)
+        self._gates[output] = gate
+        self._initial[output] = int(bool(initial))
+        return gate
+
+    def add_stimulus(self, signal: str, time=0) -> None:
+        """Schedule a one-shot toggle of primary input ``signal``.
+
+        The input flips away from its initial value at ``time`` and
+        stays there (the paper's ``e`` falling once).
+        """
+        if signal not in self._inputs:
+            raise NetlistError("stimulus on non-input signal %r" % signal)
+        if any(stim.signal == signal for stim in self._stimuli):
+            raise NetlistError("signal %r already has a stimulus" % signal)
+        self._stimuli.append(Stimulus(signal, time))
+
+    def _check_fresh(self, signal: str) -> None:
+        if signal in self._gates or signal in self._inputs:
+            raise NetlistError("signal %r is already driven" % signal)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def signals(self) -> List[str]:
+        """All signal names, inputs first, then gate outputs."""
+        return list(self._inputs) + list(self._gates)
+
+    @property
+    def gates(self) -> List[Gate]:
+        return list(self._gates.values())
+
+    @property
+    def inputs(self) -> List[str]:
+        return list(self._inputs)
+
+    @property
+    def stimuli(self) -> List[Stimulus]:
+        return list(self._stimuli)
+
+    def gate(self, output: str) -> Gate:
+        try:
+            return self._gates[output]
+        except KeyError:
+            raise NetlistError("no gate drives signal %r" % output) from None
+
+    def is_input(self, signal: str) -> bool:
+        return signal in self._inputs
+
+    def initial_state(self) -> Dict[str, int]:
+        """Initial value of every signal."""
+        return dict(self._initial)
+
+    def fanout(self, signal: str) -> List[Gate]:
+        """Gates that read ``signal``."""
+        return [gate for gate in self._gates.values() if signal in gate.inputs]
+
+    def validate(self) -> None:
+        """Check the netlist is closed and stable-or-stimulated.
+
+        * every gate input must be a declared signal;
+        * every gate must be stable in the initial state (a gate
+          excited at t=0 with no cause would break extraction — excite
+          circuits through stimuli or marked initial conditions
+          instead).  Gates excited by design (free-running oscillators)
+          are allowed: they simply have no *input* cause.
+        """
+        known = set(self.signals)
+        for gate in self._gates.values():
+            unknown = set(gate.inputs) - known
+            if unknown:
+                raise NetlistError(
+                    "gate %r reads undeclared signals %s"
+                    % (gate.output, sorted(unknown))
+                )
+
+    def __repr__(self) -> str:
+        return "Netlist(name=%r, inputs=%d, gates=%d)" % (
+            self.name,
+            len(self._inputs),
+            len(self._gates),
+        )
+
+    def describe(self) -> str:
+        lines = ["Netlist %r" % self.name]
+        for signal, value in self._inputs.items():
+            lines.append("  input %s = %d" % (signal, value))
+        for gate in self._gates.values():
+            pins = ", ".join(
+                "%s(%s)" % (name, gate.delays[name]) for name in gate.inputs
+            )
+            lines.append(
+                "  %s = %s(%s) = %d"
+                % (gate.output, gate.gate_type, pins, self._initial[gate.output])
+            )
+        for stim in self._stimuli:
+            lines.append("  stimulus: toggle %s at t=%s" % (stim.signal, stim.time))
+        return "\n".join(lines)

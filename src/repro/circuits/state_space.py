@@ -1,0 +1,139 @@
+"""Explicit state-space analysis of closed gate-level circuits.
+
+The extractor (and the paper's distributivity requirement) rests on the
+circuit being *semi-modular*: once a gate is excited it stays excited
+until it fires — no transition of another signal may disable it.
+Semi-modularity implies speed-independence for the circuit class at
+hand (Section VIII-A); we verify it by exhaustive exploration of every
+interleaving from the initial state, which is exact and comfortably
+fast for circuits up to ~20 signals.
+
+States are bit-tuples indexed by the netlist's signal order.  One-shot
+input stimuli are modelled as pseudo-gates that fire exactly once,
+mirroring the paper's treatment of the circuit input ``e``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.errors import NotSemiModularError
+from .netlist import Netlist
+
+State = Tuple[int, ...]
+
+
+@dataclass
+class StateSpace:
+    """Reachability analysis result.
+
+    ``states`` maps each reachable configuration (signal values plus
+    the set of stimuli already consumed) to the set of signals excited
+    there; ``transitions`` lists the explored moves.
+    """
+
+    netlist: Netlist
+    signal_order: Tuple[str, ...]
+    states: Dict[Tuple[State, FrozenSet[str]], FrozenSet[str]]
+    transitions: List[Tuple[Tuple[State, FrozenSet[str]], str, Tuple[State, FrozenSet[str]]]]
+
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    def state_dict(self, state: State) -> Dict[str, int]:
+        """A ``{signal: value}`` view of a state tuple."""
+        return dict(zip(self.signal_order, state))
+
+
+def _excited_signals(
+    netlist: Netlist,
+    values: Dict[str, int],
+    pending_stimuli: Iterable[str],
+) -> Set[str]:
+    """Signals whose next value differs from their current one."""
+    excited = {
+        gate.output
+        for gate in netlist.gates
+        if gate.evaluate(values) != values[gate.output]
+    }
+    excited.update(pending_stimuli)
+    return excited
+
+
+def explore(
+    netlist: Netlist,
+    max_states: int = 2_000_000,
+    check_semi_modular: bool = True,
+) -> StateSpace:
+    """Exhaustively explore all interleavings from the initial state.
+
+    Raises :class:`~repro.core.errors.NotSemiModularError` when a
+    transition disables another excited gate (with the witness state
+    and signal), if ``check_semi_modular`` is set.
+    """
+    netlist.validate()
+    order = tuple(netlist.signals)
+    index = {signal: position for position, signal in enumerate(order)}
+    initial_values = netlist.initial_state()
+    initial_state = tuple(initial_values[s] for s in order)
+    all_stimuli = frozenset(stim.signal for stim in netlist.stimuli)
+
+    start = (initial_state, frozenset())
+    states: Dict[Tuple[State, FrozenSet[str]], FrozenSet[str]] = {}
+    moves: List[Tuple[Tuple[State, FrozenSet[str]], str, Tuple[State, FrozenSet[str]]]] = []
+    frontier = [start]
+    while frontier:
+        config = frontier.pop()
+        if config in states:
+            continue
+        state, fired_stimuli = config
+        values = dict(zip(order, state))
+        pending = all_stimuli - fired_stimuli
+        excited = frozenset(_excited_signals(netlist, values, pending))
+        states[config] = excited
+        if len(states) > max_states:
+            raise NotSemiModularError(
+                "state space exceeded %d states; aborting" % max_states
+            )
+        for signal in excited:
+            next_state = list(state)
+            next_state[index[signal]] = 1 - state[index[signal]]
+            next_fired = (
+                fired_stimuli | {signal} if signal in pending else fired_stimuli
+            )
+            successor = (tuple(next_state), next_fired)
+            moves.append((config, signal, successor))
+            if successor not in states:
+                frontier.append(successor)
+
+    space = StateSpace(netlist, order, states, moves)
+    if check_semi_modular:
+        _check_semi_modularity(space)
+    return space
+
+
+def _check_semi_modularity(space: StateSpace) -> None:
+    """Every excited signal must stay excited across other firings."""
+    for config, signal, successor in space.transitions:
+        before = space.states[config]
+        after = space.states[successor]
+        lost = (before - {signal}) - after
+        if lost:
+            witness = sorted(lost)[0]
+            raise NotSemiModularError(
+                "transition of %r disables excited signal %r in state %s"
+                % (signal, witness, space.state_dict(config[0])),
+                state=space.state_dict(config[0]),
+                signal=witness,
+            )
+
+
+def is_semi_modular(netlist: Netlist, max_states: int = 2_000_000) -> bool:
+    """Boolean wrapper around :func:`explore`'s semi-modularity check."""
+    try:
+        explore(netlist, max_states=max_states, check_semi_modular=True)
+    except NotSemiModularError:
+        return False
+    return True

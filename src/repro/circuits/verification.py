@@ -1,0 +1,129 @@
+"""Cross-verification of the extraction pipeline.
+
+``verify_extraction(netlist)`` runs the two independent routes to the
+circuit's timing and checks them against each other, transition by
+transition:
+
+1. netlist -> state space (semi-modularity) -> Signal Graph fold ->
+   global timing simulation of the folded graph;
+2. netlist -> event-driven timed simulation (which never looks at
+   Signal Graphs).
+
+Every occurrence time must agree exactly, and for oscillating circuits
+the measured steady period must equal the computed cycle time.  This
+is the library's answer to "how do I know the extractor is right for
+*my* circuit?" — run it on your netlist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core.arithmetic import Number
+from ..core.cycle_time import compute_cycle_time
+from ..core.errors import CircuitError
+from ..core.signal_graph import TimedSignalGraph
+from ..core.simulation import TimingSimulation
+from .extraction import extract_signal_graph
+from .netlist import Netlist
+from .simulator import EventDrivenSimulator, measure_cycle_time
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of a netlist extraction cross-check."""
+
+    netlist: Netlist
+    graph: TimedSignalGraph
+    periods_checked: int
+    occurrences_checked: int
+    cycle_time: Optional[Number]  # None for quiescent circuits
+    measured_period: Optional[Number]
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def __str__(self) -> str:
+        if self.ok:
+            return (
+                "extraction verified: %d occurrences over %d periods agree"
+                "%s"
+                % (
+                    self.occurrences_checked,
+                    self.periods_checked,
+                    (
+                        "; cycle time %s confirmed by simulation"
+                        % self.cycle_time
+                        if self.cycle_time is not None
+                        else ""
+                    ),
+                )
+            )
+        return "extraction MISMATCH: " + "; ".join(self.mismatches[:5])
+
+
+def verify_extraction(
+    netlist: Netlist,
+    periods: int = 4,
+    max_transitions: int = 20_000,
+) -> VerificationReport:
+    """Extract, simulate both ways, and compare exhaustively."""
+    graph = extract_signal_graph(netlist)
+    mismatches: List[str] = []
+
+    circuit_sim = EventDrivenSimulator(netlist)
+    circuit_sim.run(max_transitions=max_transitions)
+
+    has_cycles = bool(graph.repetitive_events)
+    check_periods = periods if has_cycles else 0
+    tsg_sim = TimingSimulation(graph, periods=check_periods)
+    checked = 0
+    for (event, index), expected in sorted(
+        tsg_sim.times.items(), key=lambda item: str(item[0])
+    ):
+        if not hasattr(event, "signal"):
+            continue
+        occurrences = circuit_sim.signal_times(event.signal, event.direction)
+        if index >= len(occurrences):
+            mismatches.append(
+                "%s[%d] missing from circuit simulation" % (event, index)
+            )
+            continue
+        actual = occurrences[index]
+        if actual != expected:
+            mismatches.append(
+                "%s[%d]: graph says %s, circuit says %s"
+                % (event, index, expected, actual)
+            )
+        checked += 1
+
+    cycle_time = None
+    measured = None
+    if has_cycles:
+        cycle_time = compute_cycle_time(graph).cycle_time
+        witness = next(iter(graph.repetitive_events))
+        try:
+            measured = measure_cycle_time(
+                circuit_sim.signal_times(witness.signal, witness.direction)
+            )
+        except CircuitError as error:
+            mismatches.append("period measurement failed: %s" % error)
+        else:
+            if measured != cycle_time:
+                mismatches.append(
+                    "cycle time %s but measured period %s"
+                    % (cycle_time, measured)
+                )
+
+    return VerificationReport(
+        netlist=netlist,
+        graph=graph,
+        periods_checked=check_periods,
+        occurrences_checked=checked,
+        cycle_time=cycle_time,
+        measured_period=measured,
+        mismatches=mismatches,
+    )

@@ -1,0 +1,369 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``analyze FILE``
+    Cycle time, critical cycle and border table of a Timed Signal
+    Graph (``.g`` or ``.json``), with ``--method`` selecting any of
+    the implemented algorithms and ``--report`` adding slacks.
+``simulate FILE``
+    Print a timing-simulation table over ``--periods`` periods,
+    optionally ``--initiate EVENT`` for an event-initiated simulation.
+``diagram FILE``
+    ASCII timing diagram (Figure 1c/1d style).
+``extract FILE``
+    Extract the Timed Signal Graph from a netlist JSON file
+    (TRASPEC-substitute flow) and print it as ``.g`` text.
+``convert FILE``
+    Convert between ``.g`` and ``.json`` (by output extension), or
+    render Graphviz DOT with ``-o out.dot``.
+``report FILE``
+    Full performance report: slacks, critical subgraph, sensitivities.
+``verify FILE``
+    Cross-verify extraction of a netlist against the independent
+    event-driven timed simulator.
+``demo NAME``
+    Print one of the built-in paper graphs (``oscillator``, ``ring``,
+    ``stack``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from .analysis import analyze as analyze_performance
+from .analysis import render_timing_diagram
+from .baselines import METHODS, compute_cycle_time as compute_by_method
+from .circuits.extraction import extract_signal_graph
+from .circuits.library import async_stack_tsg, muller_ring_tsg, oscillator_tsg
+from .circuits.netlist import Netlist
+from .core import (
+    EventInitiatedSimulation,
+    SignalGraphError,
+    TimedSignalGraph,
+    TimingSimulation,
+)
+from .io import astg, dot, json_io
+
+DEMOS = {
+    "oscillator": oscillator_tsg,
+    "ring": muller_ring_tsg,
+    "stack": async_stack_tsg,
+}
+
+
+def _load_graph(path: str) -> TimedSignalGraph:
+    if path in DEMOS:
+        return DEMOS[path]()
+    if path.endswith(".json"):
+        loaded = json_io.load(path)
+        if isinstance(loaded, Netlist):
+            return extract_signal_graph(loaded)
+        return loaded
+    return astg.load(path)
+
+
+def _cmd_analyze(args) -> int:
+    graph = _load_graph(args.file)
+    if args.method == "timing":
+        from .core import compute_cycle_time
+
+        result = compute_cycle_time(graph)
+        print("graph: %s (%d events, %d arcs, %d border events)"
+              % (graph.name, graph.num_events, graph.num_arcs,
+                 len(result.border_events)))
+        print("cycle time: %s" % result.cycle_time)
+        for cycle in result.critical_cycles:
+            print("critical cycle: %s" % cycle)
+        if args.table:
+            print(result.distance_table())
+        if args.report:
+            print()
+            print(analyze_performance(graph, result).summary())
+    else:
+        outcome = compute_by_method(graph, args.method)
+        print("graph: %s" % graph.name)
+        print("cycle time (%s): %s" % (args.method, outcome.cycle_time))
+        for cycle in outcome.critical_cycles:
+            print("critical cycle: %s" % cycle)
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    graph = _load_graph(args.file)
+    if args.initiate:
+        simulation = EventInitiatedSimulation(graph, args.initiate, args.periods)
+        print("%s-initiated timing simulation (%d periods):"
+              % (args.initiate, args.periods))
+    else:
+        simulation = TimingSimulation(graph, args.periods)
+        print("timing simulation (%d periods):" % args.periods)
+    for label, time in simulation.table():
+        print("  t(%s) = %s" % (label, time))
+    return 0
+
+
+def _cmd_diagram(args) -> int:
+    graph = _load_graph(args.file)
+    if args.initiate:
+        simulation = EventInitiatedSimulation(graph, args.initiate, args.periods)
+    else:
+        simulation = TimingSimulation(graph, args.periods)
+    print(render_timing_diagram(simulation, width=args.width))
+    return 0
+
+
+def _cmd_extract(args) -> int:
+    loaded = json_io.load(args.file)
+    if not isinstance(loaded, Netlist):
+        print("error: %s is not a netlist document" % args.file, file=sys.stderr)
+        return 2
+    graph = extract_signal_graph(loaded)
+    sys.stdout.write(astg.dumps(graph))
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    graph = _load_graph(args.file)
+    output: Optional[str] = args.output
+    if output is None or output == "-":
+        sys.stdout.write(astg.dumps(graph))
+        return 0
+    if output.endswith(".json"):
+        json_io.dump(graph, output)
+    elif output.endswith(".dot"):
+        dot.write_dot(graph, output)
+    elif output.endswith(".svg"):
+        from .core import compute_cycle_time
+        from .io.svg import graph_to_svg, write_svg
+
+        critical = compute_cycle_time(graph).critical_cycles
+        write_svg(graph_to_svg(graph, critical=critical), output)
+    else:
+        astg.dump(graph, output)
+    print("wrote %s" % output)
+    return 0
+
+
+def _cmd_render(args) -> int:
+    graph = _load_graph(args.file)
+    from .io.svg import graph_to_svg, waveforms_to_svg, write_svg
+
+    if args.waves:
+        if args.initiate:
+            simulation = EventInitiatedSimulation(graph, args.initiate, args.periods)
+        else:
+            simulation = TimingSimulation(graph, args.periods)
+        svg_text = waveforms_to_svg(simulation, width=args.width)
+    else:
+        critical = None
+        if args.critical:
+            from .core import compute_cycle_time
+
+            critical = compute_cycle_time(graph).critical_cycles
+        svg_text = graph_to_svg(graph, critical=critical)
+    if args.output and args.output != "-":
+        write_svg(svg_text, args.output)
+        print("wrote %s" % args.output)
+    else:
+        sys.stdout.write(svg_text)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    graph = _load_graph(args.file)
+    if args.json or args.full:
+        from .analysis import full_report
+
+        report = full_report(graph, include_diagram=args.full)
+        if args.json:
+            import json
+
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            print(report.to_text())
+        return 0
+    from .analysis import delay_sensitivities
+
+    report = analyze_performance(graph)
+    print(report.summary())
+    print()
+    print("delay sensitivities (dλ/dδ), most critical first:")
+    for row in delay_sensitivities(graph, report)[: args.top]:
+        print("  " + str(row))
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from .circuits.verification import verify_extraction
+
+    loaded = json_io.load(args.file)
+    if not isinstance(loaded, Netlist):
+        print("error: %s is not a netlist document" % args.file, file=sys.stderr)
+        return 2
+    report = verify_extraction(loaded, periods=args.periods)
+    print(report)
+    return 0 if report.ok else 1
+
+
+def _cmd_methods(args) -> int:
+    import time
+
+    graph = _load_graph(args.file)
+    print(
+        "graph: %s (%d events, %d arcs, %d border events)"
+        % (graph.name, graph.num_events, graph.num_arcs,
+           len(graph.border_events))
+    )
+    chosen = args.only.split(",") if args.only else sorted(METHODS)
+    for method in chosen:
+        start = time.perf_counter()
+        outcome = compute_by_method(graph, method)
+        elapsed = (time.perf_counter() - start) * 1000
+        print(
+            "  %-11s lambda = %-14s %9.2f ms"
+            % (method, outcome.cycle_time, elapsed)
+        )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from .analysis import compare_designs
+
+    before = _load_graph(args.before)
+    after = _load_graph(args.after)
+    comparison = compare_designs(before, after)
+    if args.json:
+        import json
+
+        print(json.dumps(comparison.to_dict(), indent=2))
+    else:
+        print(comparison.summary())
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    try:
+        graph = DEMOS[args.name]()
+    except KeyError:
+        print("unknown demo %r (have: %s)" % (args.name, ", ".join(DEMOS)),
+              file=sys.stderr)
+        return 2
+    sys.stdout.write(astg.dumps(graph))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tsg",
+        description="Cycle-time analysis of Timed Signal Graphs "
+        "(Nielsen & Kishinevsky, DAC 1994)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    analyze = commands.add_parser("analyze", help="cycle time and critical cycle")
+    analyze.add_argument("file", help=".g/.json file or demo name")
+    analyze.add_argument(
+        "--method", choices=sorted(METHODS), default="timing",
+        help="algorithm to use (default: the paper's timing simulation)",
+    )
+    analyze.add_argument("--table", action="store_true",
+                         help="print the border-distance table")
+    analyze.add_argument("--report", action="store_true",
+                         help="print slacks and the critical subgraph")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    simulate = commands.add_parser("simulate", help="print a timing simulation")
+    simulate.add_argument("file")
+    simulate.add_argument("--periods", type=int, default=2)
+    simulate.add_argument("--initiate", metavar="EVENT",
+                          help="run an event-initiated simulation from EVENT")
+    simulate.set_defaults(func=_cmd_simulate)
+
+    diagram = commands.add_parser("diagram", help="ASCII timing diagram")
+    diagram.add_argument("file")
+    diagram.add_argument("--periods", type=int, default=2)
+    diagram.add_argument("--initiate", metavar="EVENT")
+    diagram.add_argument("--width", type=int, default=72)
+    diagram.set_defaults(func=_cmd_diagram)
+
+    extract = commands.add_parser("extract", help="netlist JSON -> .g")
+    extract.add_argument("file")
+    extract.set_defaults(func=_cmd_extract)
+
+    convert = commands.add_parser("convert", help="convert graph formats")
+    convert.add_argument("file")
+    convert.add_argument(
+        "-o", "--output", help="output path (.g/.json/.dot/.svg)"
+    )
+    convert.set_defaults(func=_cmd_convert)
+
+    render = commands.add_parser("render", help="render SVG (graph or waves)")
+    render.add_argument("file")
+    render.add_argument("-o", "--output", help="output .svg path (default stdout)")
+    render.add_argument("--waves", action="store_true",
+                        help="render the timing diagram instead of the graph")
+    render.add_argument("--critical", action="store_true",
+                        help="highlight the critical cycle (graph mode)")
+    render.add_argument("--initiate", metavar="EVENT")
+    render.add_argument("--periods", type=int, default=2)
+    render.add_argument("--width", type=int, default=640)
+    render.set_defaults(func=_cmd_render)
+
+    report = commands.add_parser(
+        "report", help="full performance report (slacks, sensitivities)"
+    )
+    report.add_argument("file")
+    report.add_argument("--top", type=int, default=10,
+                        help="how many sensitivities to list")
+    report.add_argument("--full", action="store_true",
+                        help="include the timing diagram and all rows")
+    report.add_argument("--json", action="store_true",
+                        help="emit the report as JSON")
+    report.set_defaults(func=_cmd_report)
+
+    verify = commands.add_parser(
+        "verify", help="cross-verify extraction of a netlist JSON"
+    )
+    verify.add_argument("file")
+    verify.add_argument("--periods", type=int, default=4)
+    verify.set_defaults(func=_cmd_verify)
+
+    methods = commands.add_parser(
+        "methods", help="race all algorithms on one graph"
+    )
+    methods.add_argument("file")
+    methods.add_argument("--only", help="comma-separated method subset")
+    methods.set_defaults(func=_cmd_methods)
+
+    compare = commands.add_parser(
+        "compare", help="diff two design revisions (cycle time, criticality)"
+    )
+    compare.add_argument("before")
+    compare.add_argument("after")
+    compare.add_argument("--json", action="store_true")
+    compare.set_defaults(func=_cmd_compare)
+
+    demo = commands.add_parser("demo", help="print a built-in paper graph")
+    demo.add_argument("name", choices=sorted(DEMOS))
+    demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except SignalGraphError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

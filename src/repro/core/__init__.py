@@ -1,0 +1,133 @@
+"""Core Timed Signal Graph model and the paper's cycle-time algorithm."""
+
+from .arithmetic import FLOAT_TOLERANCE, exact_div, numbers_close
+from .compose import compose, pipeline_of, prefix_events, shared_events
+from .cycle_time import BorderDistance, CycleTimeResult, compute_cycle_time
+from .cycles import (
+    Cycle,
+    critical_cycles,
+    make_cycle,
+    max_occurrence_period,
+    simple_cycles,
+)
+from .cutsets import (
+    border_set,
+    greedy_cut_set,
+    is_cut_set,
+    minimum_cut_set,
+    minimum_cut_sets,
+)
+from .errors import (
+    AcyclicGraphError,
+    CircuitError,
+    DistributivityError,
+    ExtractionError,
+    FormatError,
+    GraphConstructionError,
+    NetlistError,
+    NotConnectedError,
+    NotInitiallySafeError,
+    NotLiveError,
+    NotSemiModularError,
+    NotWellFormedError,
+    SignalGraphError,
+    SimulationError,
+    ValidationError,
+)
+from .events import FALL, RISE, Transition, as_event, event_label
+from .occurrence import (
+    average_occurrence_distances,
+    initiated_occurrence_distances,
+)
+from .signal_graph import Arc, TimedSignalGraph, from_arcs
+from .simulation import EventInitiatedSimulation, TimingSimulation
+from .token_game import (
+    TokenGame,
+    check_bounded,
+    firing_sequence_alternates,
+)
+from .transform import (
+    merge_chain_events,
+    relabel_events,
+    remove_redundant_arcs,
+    restrict_to_core,
+)
+from .unfolding import Instance, Unfolding, instance_label
+from .validation import (
+    check_connected_core,
+    check_has_cycles,
+    check_live,
+    check_switchover_correct,
+    check_well_formed,
+    find_unmarked_cycle,
+    unmarked_subgraph,
+    validate,
+)
+
+__all__ = [
+    "TokenGame",
+    "check_bounded",
+    "firing_sequence_alternates",
+    "restrict_to_core",
+    "remove_redundant_arcs",
+    "relabel_events",
+    "merge_chain_events",
+    "shared_events",
+    "prefix_events",
+    "pipeline_of",
+    "compose",
+    "Arc",
+    "AcyclicGraphError",
+    "BorderDistance",
+    "CircuitError",
+    "Cycle",
+    "CycleTimeResult",
+    "DistributivityError",
+    "EventInitiatedSimulation",
+    "ExtractionError",
+    "FALL",
+    "FLOAT_TOLERANCE",
+    "FormatError",
+    "GraphConstructionError",
+    "Instance",
+    "NetlistError",
+    "NotConnectedError",
+    "NotInitiallySafeError",
+    "NotLiveError",
+    "NotSemiModularError",
+    "NotWellFormedError",
+    "RISE",
+    "SignalGraphError",
+    "SimulationError",
+    "TimedSignalGraph",
+    "TimingSimulation",
+    "Transition",
+    "Unfolding",
+    "ValidationError",
+    "as_event",
+    "average_occurrence_distances",
+    "border_set",
+    "check_connected_core",
+    "check_has_cycles",
+    "check_live",
+    "check_switchover_correct",
+    "check_well_formed",
+    "compute_cycle_time",
+    "critical_cycles",
+    "event_label",
+    "exact_div",
+    "find_unmarked_cycle",
+    "from_arcs",
+    "greedy_cut_set",
+    "initiated_occurrence_distances",
+    "instance_label",
+    "is_cut_set",
+    "make_cycle",
+    "max_occurrence_period",
+    "minimum_cut_set",
+    "minimum_cut_sets",
+    "numbers_close",
+    "simple_cycles",
+    "unmarked_subgraph",
+    "validate",
+]

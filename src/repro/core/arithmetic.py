@@ -1,0 +1,53 @@
+"""Numeric helpers shared by the timing algorithms.
+
+The whole theory needs only ``+``, ``max`` and a final division, so the
+library is generic over the delay type: with ``int`` or
+:class:`fractions.Fraction` delays every result is exact (cycle times
+like the Muller ring's ``20/3`` come out as true fractions); with
+``float`` delays results are floats.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from numbers import Real
+from typing import Union
+
+Number = Union[int, float, Fraction]
+
+#: Default tolerance used when comparing float-valued cycle times.
+FLOAT_TOLERANCE = 1e-9
+
+
+def exact_div(numerator: Number, denominator: Number) -> Number:
+    """Divide, keeping exactness when both operands are exact.
+
+    ``int``/``Fraction`` inputs produce a :class:`fractions.Fraction`
+    (which compares equal to an int when integral); any float operand
+    produces a float.
+    """
+    if isinstance(numerator, (int, Fraction)) and isinstance(
+        denominator, (int, Fraction)
+    ):
+        return Fraction(numerator) / Fraction(denominator)
+    return numerator / denominator
+
+
+def as_number(value: Real) -> Number:
+    """Normalise a real into int, Fraction or float."""
+    if isinstance(value, (int, Fraction, float)):
+        return value
+    return float(value)
+
+
+def numbers_close(left: Number, right: Number, tolerance: float = FLOAT_TOLERANCE) -> bool:
+    """Equality for mixed exact/float numbers.
+
+    Exact operands compare exactly; if either side is a float the
+    comparison is absolute-and-relative with ``tolerance``.
+    """
+    if isinstance(left, (int, Fraction)) and isinstance(right, (int, Fraction)):
+        return left == right
+    left_f, right_f = float(left), float(right)
+    scale = max(1.0, abs(left_f), abs(right_f))
+    return abs(left_f - right_f) <= tolerance * scale

@@ -1,0 +1,100 @@
+"""Parallel composition of Timed Signal Graphs.
+
+Systems are naturally specified as communicating components that
+synchronise on shared events (a pipeline stage handshakes with its
+neighbours; a resource arbiter synchronises with its clients).  For
+marked-graph-like Signal Graphs, parallel composition is simply the
+union of events and arcs: a shared event waits for the in-arcs of
+*both* components (AND-causality composes by union), which is exactly
+the MAX-semantics meaning of synchronisation.
+
+``compose(a, b, ...)`` merges any number of graphs.  Arcs present in
+several components must agree on marking and disengageability
+(conflicts raise); their delays merge by ``max``, matching the MAX
+execution model.  :func:`prefix_events` namespaces a component's
+*local* (non-shared) events before composition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from .errors import GraphConstructionError
+from .events import Transition, as_event, event_label
+from .signal_graph import TimedSignalGraph
+from .transform import relabel_events
+
+
+def compose(*graphs: TimedSignalGraph, name: Optional[str] = None) -> TimedSignalGraph:
+    """Parallel composition: union of events and arcs.
+
+    Shared events synchronise the components.  Raises
+    :class:`~repro.core.errors.GraphConstructionError` when the same
+    arc appears with inconsistent marking or disengageability.
+    """
+    if not graphs:
+        raise GraphConstructionError("compose needs at least one graph")
+    merged = TimedSignalGraph(
+        name=name or "+".join(graph.name for graph in graphs)
+    )
+    for graph in graphs:
+        for event in graph.events:
+            merged.add_event(event, initial=event in graph._declared_initial)
+        for arc in graph.arcs:
+            merged.add_arc(
+                arc.source,
+                arc.target,
+                arc.delay,
+                marked=arc.marked,
+                disengageable=arc.disengageable,
+            )
+    return merged
+
+
+def shared_events(first: TimedSignalGraph, second: TimedSignalGraph) -> Set:
+    """The synchronisation alphabet of two components."""
+    return set(first.events) & set(second.events)
+
+
+def prefix_events(
+    graph: TimedSignalGraph,
+    prefix: str,
+    keep: Iterable = (),
+) -> TimedSignalGraph:
+    """Namespace a component's local events with ``prefix``.
+
+    Events listed in ``keep`` (the component's interface) are left
+    untouched so they synchronise during composition.  Transition
+    events keep their direction and tag: ``a+`` becomes
+    ``<prefix>a+``.
+    """
+    keep_set = {as_event(event) for event in keep}
+    mapping: Dict = {}
+    for event in graph.events:
+        if event in keep_set:
+            continue
+        if isinstance(event, Transition):
+            mapping[event] = Transition(
+                prefix + event.signal, event.direction, event.tag
+            )
+        else:
+            mapping[event] = prefix + event_label(event)
+    return relabel_events(graph, mapping)
+
+
+def pipeline_of(
+    stage_factory,
+    stages: int,
+    name: Optional[str] = None,
+) -> TimedSignalGraph:
+    """Compose a linear pipeline of synchronising components.
+
+    ``stage_factory(index)`` must return a Signal Graph whose right
+    interface events equal the next stage's left interface events
+    (build them with shared names, e.g. ``link<i>+``).  The result is
+    the parallel composition of all stages.
+    """
+    if stages < 1:
+        raise GraphConstructionError("need at least one stage")
+    parts = [stage_factory(index) for index in range(stages)]
+    return compose(*parts, name=name or "pipeline-of-%d" % stages)

@@ -1,0 +1,160 @@
+"""Cut sets of Signal Graph cycles (Section VI-A).
+
+A *cut set* is a set of events containing at least one event of every
+cycle.  The paper's algorithm needs some cut set to start timing
+simulations from, and the size of a *minimum* cut set bounds both the
+occurrence period of any simple cycle (Proposition 6) and the number of
+periods that must be simulated (Proposition 7).
+
+The *border set* — events with an initially marked in-arc — is a cut
+set of any live graph and is read directly off the Signal Graph; the
+implementation (like the paper's) uses it instead of searching for a
+minimum cut set, which is the NP-hard feedback vertex set problem.  An
+exact branch-and-bound solver and a greedy heuristic are provided for
+study on small graphs.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from .signal_graph import Event, TimedSignalGraph
+
+
+def border_set(graph: TimedSignalGraph) -> Tuple[Event, ...]:
+    """Repetitive events with a marked in-arc, in insertion order.
+
+    For a live graph every cycle carries a token, so the head of that
+    token's arc is in this set: it cuts all cycles.
+    """
+    return graph.border_events
+
+
+def is_cut_set(graph: TimedSignalGraph, events) -> bool:
+    """Does ``events`` intersect every cycle of the graph?
+
+    Equivalent formulation: removing ``events`` leaves an acyclic
+    digraph.
+    """
+    digraph = graph.to_networkx()
+    digraph.remove_nodes_from(set(events))
+    return nx.is_directed_acyclic_graph(digraph)
+
+
+def greedy_cut_set(graph: TimedSignalGraph) -> FrozenSet[Event]:
+    """A small (not necessarily minimum) cut set, greedily.
+
+    Repeatedly removes the event with the largest in*out degree product
+    inside the remaining cyclic part — a standard feedback-vertex-set
+    heuristic that is linear-time per round.
+    """
+    digraph = graph.repetitive_core()
+    chosen: Set[Event] = set()
+    while True:
+        cyclic = _cyclic_part(digraph)
+        if cyclic.number_of_nodes() == 0:
+            return frozenset(chosen)
+        best = max(
+            cyclic.nodes,
+            key=lambda node: (
+                cyclic.in_degree(node) * cyclic.out_degree(node),
+                str(node),
+            ),
+        )
+        chosen.add(best)
+        digraph.remove_node(best)
+
+
+def _cyclic_part(digraph: "nx.DiGraph") -> "nx.DiGraph":
+    """Subgraph induced by nodes lying on some cycle."""
+    on_cycle = set()
+    for component in nx.strongly_connected_components(digraph):
+        if len(component) > 1:
+            on_cycle.update(component)
+        else:
+            (node,) = component
+            if digraph.has_edge(node, node):
+                on_cycle.add(node)
+    return digraph.subgraph(on_cycle).copy()
+
+
+def minimum_cut_set(
+    graph: TimedSignalGraph,
+    upper_bound: Optional[int] = None,
+) -> FrozenSet[Event]:
+    """An exact minimum cut set, by branch and bound.
+
+    Sound for any graph but exponential in the worst case — intended
+    for small graphs (tens of events), e.g. to study Proposition 6.
+    ``upper_bound`` optionally caps the search (defaults to the greedy
+    solution's size).
+    """
+    greedy = greedy_cut_set(graph)
+    bound = len(greedy) if upper_bound is None else min(upper_bound, len(greedy))
+    core = graph.repetitive_core()
+    best = _branch(core, frozenset(), bound, greedy)
+    return best
+
+
+def _branch(
+    digraph: "nx.DiGraph",
+    chosen: FrozenSet[Event],
+    bound: int,
+    incumbent: FrozenSet[Event],
+) -> FrozenSet[Event]:
+    cyclic = _cyclic_part(digraph)
+    if cyclic.number_of_nodes() == 0:
+        return chosen if len(chosen) < len(incumbent) else incumbent
+    if len(chosen) + 1 > min(bound, len(incumbent) - 1):
+        return incumbent  # cannot beat the incumbent
+    # Branch on the events of one (short) cycle: any cut set must pick
+    # at least one of them.
+    cycle_nodes = _some_cycle(cyclic)
+    for node in sorted(cycle_nodes, key=str):
+        reduced = cyclic.copy()
+        reduced.remove_node(node)
+        incumbent = _branch(reduced, chosen | {node}, bound, incumbent)
+    return incumbent
+
+
+def _some_cycle(digraph: "nx.DiGraph") -> List[Event]:
+    """The node set of one short cycle (BFS-based)."""
+    for node in digraph.nodes:
+        if digraph.has_edge(node, node):
+            return [node]
+    # No self loops: find the shortest cycle through successive nodes.
+    best: Optional[List[Event]] = None
+    for node in digraph.nodes:
+        for successor in digraph.successors(node):
+            try:
+                path = nx.shortest_path(digraph, successor, node)
+            except nx.NetworkXNoPath:
+                continue
+            if best is None or len(path) < len(best):
+                best = path
+        if best is not None and len(best) == 2:
+            break  # a 2-cycle is as short as it gets without self-loops
+    assert best is not None, "cyclic part must contain a cycle"
+    return best
+
+
+def minimum_cut_sets(
+    graph: TimedSignalGraph, size: Optional[int] = None
+) -> List[FrozenSet[Event]]:
+    """All minimum cut sets (for Example 7-style inspection).
+
+    Enumerates subsets of the repetitive events of the minimum size,
+    so it is only meant for small graphs.
+    """
+    from itertools import combinations
+
+    if size is None:
+        size = len(minimum_cut_set(graph))
+    candidates = sorted(graph.repetitive_events, key=str)
+    return [
+        frozenset(combo)
+        for combo in combinations(candidates, size)
+        if is_cut_set(graph, combo)
+    ]

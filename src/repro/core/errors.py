@@ -1,0 +1,112 @@
+"""Exception hierarchy for the Timed Signal Graph library.
+
+All library errors derive from :class:`SignalGraphError` so callers can
+catch one base class.  Structural problems detected by validation raise
+specific subclasses that carry enough context (offending events, arcs or
+cycles) to be actionable.
+"""
+
+from __future__ import annotations
+
+
+class SignalGraphError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphConstructionError(SignalGraphError):
+    """Raised when a Signal Graph is built with inconsistent elements.
+
+    Examples: duplicate arcs with conflicting attributes, negative
+    delays, arcs referencing undeclared events when strict mode is on.
+    """
+
+
+class ValidationError(SignalGraphError):
+    """Base class for structural-validation failures (Section III-A)."""
+
+
+class NotLiveError(ValidationError):
+    """The graph contains a cycle without an initially marked arc.
+
+    Such a cycle can never fire, so the graph is not live and no cycle
+    time exists for it.  ``cycle`` holds one offending event cycle.
+    """
+
+    def __init__(self, message: str, cycle=None):
+        super().__init__(message)
+        self.cycle = list(cycle) if cycle is not None else None
+
+
+class NotConnectedError(ValidationError):
+    """The repetitive events do not form one strongly connected core."""
+
+
+class NotWellFormedError(ValidationError):
+    """A disengageable arc has a repetitive source event.
+
+    The paper requires that no repetitive events appear before
+    disengageable arcs (one of the well-formedness properties of [9]).
+    """
+
+
+class NotInitiallySafeError(ValidationError):
+    """An arc carries an initial marking greater than one."""
+
+
+class AcyclicGraphError(SignalGraphError):
+    """Cycle-time analysis was requested for a graph with no cycles."""
+
+
+class SimulationError(SignalGraphError):
+    """A timing simulation was asked for an impossible quantity.
+
+    Examples: the time of an unfolding instance that does not exist, or
+    an event-initiated simulation from a non-existent event.
+    """
+
+
+class CircuitError(SignalGraphError):
+    """Base class for errors in the circuit substrate."""
+
+
+class NetlistError(CircuitError):
+    """The netlist is malformed (unknown signals, double drivers...)."""
+
+
+class NotSemiModularError(CircuitError):
+    """The circuit is not semi-modular (speed-independence violation).
+
+    An excited gate was disabled by another transition before it could
+    fire.  ``state`` and ``signal`` identify the violation witness.
+    """
+
+    def __init__(self, message: str, state=None, signal=None):
+        super().__init__(message)
+        self.state = state
+        self.signal = signal
+
+
+class DistributivityError(CircuitError):
+    """The circuit behaviour exhibits OR-causality.
+
+    Signal Graphs can only express AND-causality; like TRASPEC [9], the
+    extractor reports the first violation instead of producing a wrong
+    graph.  ``transition`` identifies the offending output transition.
+    """
+
+    def __init__(self, message: str, transition=None):
+        super().__init__(message)
+        self.transition = transition
+
+
+class ExtractionError(CircuitError):
+    """Signal Graph extraction failed for a structural reason.
+
+    For instance the circuit never reaches a periodic regime within the
+    step budget (livelock-free circuits always do), or the folded graph
+    would not be initially-safe.
+    """
+
+
+class FormatError(SignalGraphError):
+    """A file being parsed does not conform to its expected format."""

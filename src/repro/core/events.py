@@ -1,0 +1,136 @@
+"""Event naming for Signal Graphs.
+
+The core algorithms treat events as opaque hashable objects, but circuit
+work needs a canonical representation of *signal transitions*:  the
+paper writes ``a↑`` for a rising transition of signal ``a`` and ``a↓``
+for a falling one, and allows *multiple events* of the same transition
+(``a1↑``, ``a2↑`` ...) distinguished here by an integer ``tag``.
+
+:class:`Transition` is that canonical event type.  It parses from and
+prints to the conventional STG text syntax (``a+`` / ``a-``), which is
+also what the ``.g`` file format uses.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .errors import FormatError
+
+RISE = "+"
+FALL = "-"
+
+#: Pretty glyphs used when rendering for humans.
+_GLYPH = {RISE: "↑", FALL: "↓"}
+
+_TRANSITION_RE = re.compile(
+    r"""^(?P<signal>[A-Za-z_][A-Za-z0-9_.\[\]]*)
+        (?P<direction>[+\-])
+        (?:/(?P<tag>\d+))?$""",
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True, order=True)
+class Transition:
+    """One signal transition event, e.g. ``a+`` (``a`` rising).
+
+    Parameters
+    ----------
+    signal:
+        Name of the signal that switches.
+    direction:
+        Either :data:`RISE` (``"+"``) or :data:`FALL` (``"-"``).
+    tag:
+        Distinguishes multiple events of the same transition within one
+        Signal Graph (the paper's ``a1^``, ``a2^``).  The default tag 0
+        is not printed.
+    """
+
+    signal: str
+    direction: str
+    tag: int = field(default=0)
+
+    def __post_init__(self):
+        if self.direction not in (RISE, FALL):
+            raise ValueError(
+                "direction must be '+' or '-', got %r" % (self.direction,)
+            )
+        # Transitions are hashed millions of times in simulation hot
+        # loops; cache the hash once (the dataclass is frozen).
+        object.__setattr__(
+            self, "_hash", hash((self.signal, self.direction, self.tag))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    @property
+    def is_rising(self) -> bool:
+        """True for an up-going (0 to 1) transition."""
+        return self.direction == RISE
+
+    @property
+    def is_falling(self) -> bool:
+        """True for a down-going (1 to 0) transition."""
+        return self.direction == FALL
+
+    @property
+    def target_value(self) -> int:
+        """Signal value established by this transition (1 or 0)."""
+        return 1 if self.direction == RISE else 0
+
+    def opposite(self) -> "Transition":
+        """The complementary transition of the same signal and tag."""
+        return Transition(self.signal, FALL if self.is_rising else RISE, self.tag)
+
+    @classmethod
+    def parse(cls, text: str) -> "Transition":
+        """Parse STG text syntax: ``a+``, ``b-``, ``a+/2``.
+
+        Raises :class:`~repro.core.errors.FormatError` on malformed
+        input.
+        """
+        match = _TRANSITION_RE.match(text.strip())
+        if match is None:
+            raise FormatError("not a transition label: %r" % (text,))
+        tag = int(match.group("tag")) if match.group("tag") else 0
+        return cls(match.group("signal"), match.group("direction"), tag)
+
+    def __str__(self) -> str:
+        base = self.signal + self.direction
+        if self.tag:
+            base += "/%d" % self.tag
+        return base
+
+    def __repr__(self) -> str:
+        return "Transition(%r)" % (str(self),)
+
+    def pretty(self) -> str:
+        """Unicode rendering close to the paper's notation (``a↑``)."""
+        base = self.signal + _GLYPH[self.direction]
+        if self.tag:
+            base += "/%d" % self.tag
+        return base
+
+
+def as_event(obj):
+    """Coerce ``obj`` into a Signal Graph event.
+
+    Strings that look like transition labels become
+    :class:`Transition` instances; anything else (already-built
+    transitions, plain hashables used by the generic algorithms) passes
+    through unchanged.
+    """
+    if isinstance(obj, str):
+        try:
+            return Transition.parse(obj)
+        except FormatError:
+            return obj
+    return obj
+
+
+def event_label(event) -> str:
+    """Stable printable label for any event object."""
+    return str(event)

@@ -1,0 +1,512 @@
+"""The Timed Signal Graph model (Section III of the paper).
+
+A Signal Graph is a tuple ``(A, I, ->, M, O)`` where ``A`` is a set of
+events, ``I ⊆ A`` the initial events, ``->`` the precedence relation
+(arcs), ``M`` a boolean initial marking on arcs (initially-safe graphs)
+and ``O`` the set of *disengageable* arcs, which influence the
+execution a finite number of times only.  A Timed Signal Graph
+additionally labels every arc with a delay ``δ ∈ [0, ∞)``.
+
+Events are opaque hashable objects.  Strings such as ``"a+"`` are
+parsed into :class:`~repro.core.events.Transition` objects so that the
+circuit-oriented tooling can reason about signals; any other hashable
+is accepted verbatim, which keeps the core algorithms model-agnostic
+(plain Marked Graphs, event-rule systems, ...).
+
+Derived classifications follow the paper:
+
+* *repetitive* events (``A_r``) are the events lying on a cycle;
+* *initial* events (``I``) default to the non-repetitive events with no
+  in-arcs;
+* *border* events are the repetitive events with an initially marked
+  in-arc — they cut every cycle of a live graph (Section VI-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from fractions import Fraction
+from numbers import Real
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+import networkx as nx
+
+from .errors import GraphConstructionError, NotInitiallySafeError
+from .events import as_event, event_label
+
+Event = Hashable
+Delay = Real
+
+
+@dataclass(frozen=True)
+class Arc:
+    """A timed precedence arc ``source --delay--> target``.
+
+    ``marked`` is the boolean initial marking (the paper's bullet);
+    ``disengageable`` flags arcs active a finite number of times only
+    (the paper's crossed arrows, set ``O``).
+    """
+
+    source: Event
+    target: Event
+    delay: Delay
+    marked: bool = False
+    disengageable: bool = False
+
+    @property
+    def tokens(self) -> int:
+        """Initial marking as an integer (0 or 1)."""
+        return 1 if self.marked else 0
+
+    @property
+    def pair(self) -> Tuple[Event, Event]:
+        """The ``(source, target)`` key identifying this arc."""
+        return (self.source, self.target)
+
+    def __str__(self) -> str:
+        decoration = ""
+        if self.marked:
+            decoration += " *"
+        if self.disengageable:
+            decoration += " /"
+        return "%s -%s-> %s%s" % (
+            event_label(self.source),
+            self.delay,
+            event_label(self.target),
+            decoration,
+        )
+
+
+def _check_delay(delay) -> Delay:
+    if isinstance(delay, bool) or not isinstance(delay, Real):
+        raise GraphConstructionError("delay must be a real number, got %r" % (delay,))
+    if delay < 0:
+        raise GraphConstructionError("delay must be non-negative, got %r" % (delay,))
+    return delay
+
+
+class TimedSignalGraph:
+    """Mutable builder and container for a Timed Signal Graph.
+
+    Typical construction::
+
+        g = TimedSignalGraph(name="oscillator")
+        g.add_arc("e-", "a+", delay=2)
+        g.add_arc("c-", "a+", delay=2, marked=True)
+        ...
+        g.validate()
+
+    Events referenced by :meth:`add_arc` are created implicitly.  The
+    derived sets (repetitive events, border events, ...) are cached and
+    recomputed automatically after any mutation.
+    """
+
+    def __init__(self, name: str = "tsg"):
+        self.name = name
+        self._events: Dict[Event, None] = {}  # insertion-ordered set
+        self._arcs: Dict[Tuple[Event, Event], Arc] = {}
+        self._in: Dict[Event, List[Arc]] = {}
+        self._out: Dict[Event, List[Arc]] = {}
+        self._declared_initial: set = set()
+        self._cache: dict = {}
+        self._hidden_counter = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_event(self, event, initial: bool = False) -> Event:
+        """Add an event; returns the canonical event object.
+
+        ``initial=True`` declares membership of the paper's set ``I``
+        explicitly; by default ``I`` is derived (non-repetitive events
+        with no in-arcs).
+        """
+        event = as_event(event)
+        if event not in self._events:
+            self._events[event] = None
+            self._in[event] = []
+            self._out[event] = []
+            self._dirty()
+        if initial:
+            self._declared_initial.add(event)
+            self._dirty()
+        return event
+
+    def add_arc(
+        self,
+        source,
+        target,
+        delay: Delay = 0,
+        marked: bool = False,
+        disengageable: bool = False,
+    ) -> Arc:
+        """Add (or merge) the arc ``source -> target``.
+
+        If the arc already exists, the delays are merged by ``max`` —
+        only the slowest constraint matters under MAX semantics — but
+        conflicting markings raise
+        :class:`~repro.core.errors.GraphConstructionError`.
+
+        An integer ``marked`` greater than one is rejected (the model
+        is initially-safe); use :meth:`add_multimarked_arc` to expand a
+        multi-token arc into an equivalent safe chain.
+        """
+        if isinstance(marked, int) and not isinstance(marked, bool):
+            if marked > 1:
+                raise NotInitiallySafeError(
+                    "arc marking %d > 1; use add_multimarked_arc()" % marked
+                )
+            marked = bool(marked)
+        source = self.add_event(source)
+        target = self.add_event(target)
+        delay = _check_delay(delay)
+        key = (source, target)
+        existing = self._arcs.get(key)
+        if existing is not None:
+            if existing.marked != marked or existing.disengageable != disengageable:
+                raise GraphConstructionError(
+                    "conflicting duplicate arc %s -> %s"
+                    % (event_label(source), event_label(target))
+                )
+            if delay > existing.delay:
+                merged = replace(existing, delay=delay)
+                self._replace_arc(existing, merged)
+                self._dirty()
+                return merged
+            return existing
+        arc = Arc(source, target, delay, bool(marked), bool(disengageable))
+        self._arcs[key] = arc
+        self._out[source].append(arc)
+        self._in[target].append(arc)
+        self._dirty()
+        return arc
+
+    def add_multimarked_arc(self, source, target, delay: Delay, tokens: int) -> None:
+        """Expand an arc carrying ``tokens >= 2`` into a safe chain.
+
+        The classical transformation inserts ``tokens - 1`` hidden
+        zero-delay events so that every arc carries at most one token;
+        the timed behaviour is unchanged.
+        """
+        if tokens < 0:
+            raise GraphConstructionError("tokens must be >= 0")
+        if tokens <= 1:
+            self.add_arc(source, target, delay, marked=bool(tokens))
+            return
+        previous = as_event(source)
+        for index in range(tokens - 1):
+            self._hidden_counter += 1
+            hidden = "_tok%d_%s" % (self._hidden_counter, index)
+            self.add_arc(previous, hidden, delay if index == 0 else 0, marked=True)
+            previous = hidden
+        self.add_arc(previous, target, 0, marked=True)
+
+    def _replace_arc(self, old: Arc, new: Arc) -> None:
+        self._arcs[old.pair] = new
+        outs = self._out[old.source]
+        outs[outs.index(old)] = new
+        ins = self._in[old.target]
+        ins[ins.index(old)] = new
+
+    def remove_event(self, event) -> None:
+        """Remove an event together with all its arcs."""
+        event = as_event(event)
+        if event not in self._events:
+            raise KeyError(event)
+        for arc in list(self._in[event]):
+            self.remove_arc(arc.source, arc.target)
+        for arc in list(self._out[event]):
+            self.remove_arc(arc.source, arc.target)
+        del self._events[event]
+        del self._in[event]
+        del self._out[event]
+        self._declared_initial.discard(event)
+        self._dirty()
+
+    def remove_arc(self, source, target) -> None:
+        """Remove the arc ``source -> target`` (KeyError if absent)."""
+        source, target = as_event(source), as_event(target)
+        arc = self._arcs.pop((source, target))
+        self._out[source].remove(arc)
+        self._in[target].remove(arc)
+        self._dirty()
+
+    def set_delay(self, source, target, delay: Delay) -> Arc:
+        """Replace the delay of an existing arc and return the new arc."""
+        source, target = as_event(source), as_event(target)
+        arc = self._arcs[(source, target)]
+        new = replace(arc, delay=_check_delay(delay))
+        self._replace_arc(arc, new)
+        self._dirty()
+        return new
+
+    def _dirty(self) -> None:
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> List[Event]:
+        """All events, in insertion order."""
+        return list(self._events)
+
+    @property
+    def arcs(self) -> List[Arc]:
+        """All arcs, in insertion order."""
+        return list(self._arcs.values())
+
+    @property
+    def num_events(self) -> int:
+        return len(self._events)
+
+    @property
+    def num_arcs(self) -> int:
+        return len(self._arcs)
+
+    def has_event(self, event) -> bool:
+        return as_event(event) in self._events
+
+    def arc(self, source, target) -> Arc:
+        """The arc ``source -> target`` (KeyError if absent)."""
+        return self._arcs[(as_event(source), as_event(target))]
+
+    def has_arc(self, source, target) -> bool:
+        return (as_event(source), as_event(target)) in self._arcs
+
+    def in_arcs(self, event) -> List[Arc]:
+        """Arcs entering ``event``."""
+        return list(self._in[as_event(event)])
+
+    def out_arcs(self, event) -> List[Arc]:
+        """Arcs leaving ``event``."""
+        return list(self._out[as_event(event)])
+
+    def predecessors(self, event) -> List[Event]:
+        return [arc.source for arc in self._in[as_event(event)]]
+
+    def successors(self, event) -> List[Event]:
+        return [arc.target for arc in self._out[as_event(event)]]
+
+    def delay(self, source, target) -> Delay:
+        return self.arc(source, target).delay
+
+    def marking(self, source, target) -> int:
+        return self.arc(source, target).tokens
+
+    def total_tokens(self) -> int:
+        """Total number of initial tokens on all arcs."""
+        return sum(arc.tokens for arc in self._arcs.values())
+
+    # ------------------------------------------------------------------
+    # derived classifications (cached)
+    # ------------------------------------------------------------------
+    def _cached(self, key, compute):
+        if key not in self._cache:
+            self._cache[key] = compute()
+        return self._cache[key]
+
+    @property
+    def repetitive_events(self) -> frozenset:
+        """Events lying on at least one cycle (the paper's ``A_r``)."""
+
+        def compute():
+            graph = self.to_networkx()
+            repetitive = set()
+            for component in nx.strongly_connected_components(graph):
+                if len(component) > 1:
+                    repetitive.update(component)
+                else:
+                    (node,) = component
+                    if graph.has_edge(node, node):
+                        repetitive.add(node)
+            return frozenset(repetitive)
+
+        return self._cached("repetitive", compute)
+
+    @property
+    def nonrepetitive_events(self) -> frozenset:
+        """Events occurring at most once in any execution."""
+        repetitive = self.repetitive_events
+        return frozenset(e for e in self._events if e not in repetitive)
+
+    @property
+    def initial_events(self) -> frozenset:
+        """The paper's set ``I``.
+
+        Defaults to the non-repetitive events without in-arcs; events
+        registered with ``add_event(..., initial=True)`` are always
+        included.
+        """
+
+        def compute():
+            derived = {
+                e
+                for e in self.nonrepetitive_events
+                if not self._in[e]
+            }
+            return frozenset(derived | self._declared_initial)
+
+        return self._cached("initial", compute)
+
+    @property
+    def border_events(self) -> Tuple[Event, ...]:
+        """Repetitive events with an initially marked in-arc.
+
+        For a live graph this is a cut set of all cycles (Section
+        VI-A): every cycle carries a token, and the head of any marked
+        arc on the cycle is a border event.  Returned in insertion
+        order for deterministic iteration.
+        """
+
+        def compute():
+            repetitive = self.repetitive_events
+            return tuple(
+                e
+                for e in self._events
+                if e in repetitive and any(arc.marked for arc in self._in[e])
+            )
+
+        return self._cached("border", compute)
+
+    @property
+    def is_exact(self) -> bool:
+        """True when every delay is an int or Fraction.
+
+        Exact graphs yield exact (:class:`fractions.Fraction`) cycle
+        times; graphs with float delays yield float results.
+        """
+        return all(
+            isinstance(arc.delay, (int, Fraction)) for arc in self._arcs.values()
+        )
+
+    # ------------------------------------------------------------------
+    # views and transforms
+    # ------------------------------------------------------------------
+    def to_networkx(self) -> "nx.DiGraph":
+        """The underlying directed graph with arc attributes.
+
+        Edge attributes: ``delay``, ``marked``, ``disengageable``.
+        """
+        graph = nx.DiGraph(name=self.name)
+        graph.add_nodes_from(self._events)
+        for arc in self._arcs.values():
+            graph.add_edge(
+                arc.source,
+                arc.target,
+                delay=arc.delay,
+                marked=arc.marked,
+                disengageable=arc.disengageable,
+            )
+        return graph
+
+    def repetitive_core(self) -> "nx.DiGraph":
+        """The sub-digraph induced by the repetitive events."""
+        return self.to_networkx().subgraph(self.repetitive_events).copy()
+
+    def copy(self, name: Optional[str] = None) -> "TimedSignalGraph":
+        clone = TimedSignalGraph(name=name or self.name)
+        for event in self._events:
+            clone.add_event(event, initial=event in self._declared_initial)
+        for arc in self._arcs.values():
+            clone.add_arc(
+                arc.source,
+                arc.target,
+                arc.delay,
+                marked=arc.marked,
+                disengageable=arc.disengageable,
+            )
+        return clone
+
+    def scale_delays(self, factor) -> "TimedSignalGraph":
+        """A copy with every delay multiplied by ``factor``."""
+        clone = self.copy()
+        for arc in clone.arcs:
+            clone.set_delay(arc.source, arc.target, arc.delay * factor)
+        return clone
+
+    def map_delays(self, function) -> "TimedSignalGraph":
+        """A copy with ``delay = function(arc)`` applied to every arc."""
+        clone = self.copy()
+        for arc in clone.arcs:
+            clone.set_delay(arc.source, arc.target, function(arc))
+        return clone
+
+    def structurally_equal(self, other: "TimedSignalGraph") -> bool:
+        """Same events, arcs, delays, markings and disengageable sets."""
+        if set(self._events) != set(other._events):
+            return False
+        if set(self._arcs) != set(other._arcs):
+            return False
+        for key, arc in self._arcs.items():
+            rhs = other._arcs[key]
+            if (
+                arc.delay != rhs.delay
+                or arc.marked != rhs.marked
+                or arc.disengageable != rhs.disengageable
+            ):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # dunder utilities
+    # ------------------------------------------------------------------
+    def __contains__(self, event) -> bool:
+        return self.has_event(event)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        return "TimedSignalGraph(name=%r, events=%d, arcs=%d)" % (
+            self.name,
+            self.num_events,
+            self.num_arcs,
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable dump of the graph."""
+        lines = ["TimedSignalGraph %r" % self.name]
+        lines.append(
+            "  %d events (%d repetitive), %d arcs, %d tokens"
+            % (
+                self.num_events,
+                len(self.repetitive_events),
+                self.num_arcs,
+                self.total_tokens(),
+            )
+        )
+        for arc in self._arcs.values():
+            lines.append("  " + str(arc))
+        return "\n".join(lines)
+
+
+def from_arcs(
+    arcs: Iterable[tuple],
+    name: str = "tsg",
+) -> TimedSignalGraph:
+    """Build a graph from ``(source, target, delay[, marked])`` tuples.
+
+    A convenience for tests and examples::
+
+        g = from_arcs([
+            ("a+", "b+", 1),
+            ("b+", "a+", 2, True),
+        ])
+    """
+    graph = TimedSignalGraph(name=name)
+    for item in arcs:
+        if len(item) == 3:
+            source, target, delay = item
+            marked = False
+        elif len(item) == 4:
+            source, target, delay, marked = item
+        else:
+            raise GraphConstructionError(
+                "arc tuple must have 3 or 4 elements, got %r" % (item,)
+            )
+        graph.add_arc(source, target, delay, marked=marked)
+    return graph

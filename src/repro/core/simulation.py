@@ -1,0 +1,242 @@
+"""Timing simulation of a Timed Signal Graph (Section IV).
+
+Two simulations are defined over the unfolding:
+
+* the (global) **timing simulation** ``t(f)``::
+
+      t(f) = 0                                  if f in I_u
+      t(f) = max{ t(e) + delta | e -delta-> f }   otherwise
+
+  where ``I_u`` is the set of unfolding instances with no
+  predecessors;
+
+* the **event-initiated timing simulation** ``t_g(f)`` which wipes out
+  all past history concurrent with or preceding the initiating
+  instance ``g``: instances not reachable from ``g`` get time 0 *and
+  their out-arcs are neglected*; reachable instances maximise over
+  predecessors that are ``g`` itself or successors of ``g``.
+
+Both simulations record the argmax predecessor of every instance, so
+the longest (critical) path through the unfolding can be backtracked —
+this is how the main algorithm recovers the critical cycle
+(Proposition 1 establishes that ``t_g(f)`` equals the longest path
+length from ``g`` to ``f``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .arithmetic import Number
+from .errors import SimulationError
+from .events import event_label
+from .signal_graph import Event, TimedSignalGraph
+from .unfolding import Instance, Unfolding, instance_label
+
+
+class _SimulationBase:
+    """Shared storage and backtracking for both simulation kinds."""
+
+    def __init__(self, graph: TimedSignalGraph, periods: int, unfolding: Optional[Unfolding]):
+        if periods < 0:
+            raise SimulationError("periods must be non-negative, got %d" % periods)
+        self.graph = graph
+        self.periods = periods
+        self.unfolding = unfolding if unfolding is not None else Unfolding(graph)
+        self._times: Dict[Instance, Number] = {}
+        self._argmax: Dict[Instance, Optional[Instance]] = {}
+
+    # -- queries -------------------------------------------------------
+    def defined(self, event: Event, index: int = 0) -> bool:
+        """Was a time computed for instance ``(event, index)``?"""
+        return (event, index) in self._times
+
+    def time(self, event: Event, index: int = 0) -> Number:
+        """Occurrence time of instance ``(event, index)``.
+
+        Raises :class:`~repro.core.errors.SimulationError` for
+        instances outside the simulated prefix (or, for event-initiated
+        simulations, not reachable from the initiating instance).
+        """
+        try:
+            return self._times[(event, index)]
+        except KeyError:
+            raise SimulationError(
+                "no simulated time for %s" % instance_label((event, index))
+            ) from None
+
+    @property
+    def times(self) -> Dict[Instance, Number]:
+        """All computed occurrence times, keyed by instance."""
+        return dict(self._times)
+
+    def predecessor(self, instance: Instance) -> Optional[Instance]:
+        """The argmax predecessor of ``instance`` on the longest path."""
+        return self._argmax.get(instance)
+
+    def critical_path(self, event: Event, index: int = 0) -> List[Instance]:
+        """Longest path ending at ``(event, index)``, earliest first.
+
+        Follows argmax predecessors back to an instance with no
+        predecessor (time zero).
+        """
+        instance: Optional[Instance] = (event, index)
+        if instance not in self._times:
+            raise SimulationError(
+                "no simulated time for %s" % instance_label((event, index))
+            )
+        path: List[Instance] = []
+        while instance is not None:
+            path.append(instance)
+            instance = self._argmax.get(instance)
+        path.reverse()
+        return path
+
+    def signal_history(self) -> Dict[Event, List[Tuple[int, Number]]]:
+        """Per-event list of ``(index, time)`` pairs, sorted by index."""
+        history: Dict[Event, List[Tuple[int, Number]]] = {}
+        for (event, index), value in self._times.items():
+            history.setdefault(event, []).append((index, value))
+        for pairs in history.values():
+            pairs.sort()
+        return history
+
+    def table(self) -> List[Tuple[str, Number]]:
+        """Instances with times, ordered by time then label (for display)."""
+        rows = [
+            (instance_label(instance), value)
+            for instance, value in self._times.items()
+        ]
+        rows.sort(key=lambda row: (float(row[1]), row[0]))
+        return rows
+
+
+class TimingSimulation(_SimulationBase):
+    """The global timing simulation ``t(f)`` over ``periods`` periods.
+
+    Example 3 of the paper is reproduced by::
+
+        sim = TimingSimulation(oscillator(), periods=1)
+        sim.time(Transition.parse("a-"), 0)   # -> 8
+    """
+
+    def __init__(
+        self,
+        graph: TimedSignalGraph,
+        periods: int,
+        unfolding: Optional[Unfolding] = None,
+    ):
+        super().__init__(graph, periods, unfolding)
+        self._run()
+
+    def _run(self) -> None:
+        times = self._times
+        argmax = self._argmax
+        unfolding = self.unfolding
+        for period_index in range(self.periods + 1):
+            for event, index in unfolding.period(period_index):
+                best: Optional[Number] = None
+                best_pred: Optional[Instance] = None
+                for source, tokens, delay, source_repeats in (
+                    unfolding.compact_in_arcs(event)
+                ):
+                    source_index = index - tokens
+                    if source_index < 0 or (source_index > 0 and not source_repeats):
+                        continue
+                    candidate = times[(source, source_index)] + delay
+                    if best is None or candidate > best:
+                        best = candidate
+                        best_pred = (source, source_index)
+                times[(event, index)] = 0 if best is None else best
+                argmax[(event, index)] = best_pred
+
+
+class EventInitiatedSimulation(_SimulationBase):
+    """The ``g``-initiated timing simulation ``t_g(f)`` (Section IV-B).
+
+    ``initiator`` names the Signal Graph event ``g`` whose instance 0
+    starts the simulation.  Instances not reachable from ``(g, 0)`` are
+    treated as having occurred in the past: they are *not* assigned
+    times here (``defined`` returns False; the paper assigns them 0)
+    and their out-arcs are neglected.
+
+    Example 4 of the paper is reproduced by::
+
+        sim = EventInitiatedSimulation(oscillator(), "b+", periods=1)
+        sim.time(Transition.parse("c-"), 0)   # -> 7
+    """
+
+    def __init__(
+        self,
+        graph: TimedSignalGraph,
+        initiator,
+        periods: int,
+        unfolding: Optional[Unfolding] = None,
+    ):
+        super().__init__(graph, periods, unfolding)
+        from .events import as_event
+
+        self.initiator = as_event(initiator)
+        if not graph.has_event(self.initiator):
+            raise SimulationError(
+                "initiating event %s is not in the graph"
+                % event_label(self.initiator)
+            )
+        self._run()
+
+    @property
+    def origin(self) -> Instance:
+        """The initiating instance ``(g, 0)``."""
+        return (self.initiator, 0)
+
+    def reachable(self, event: Event, index: int = 0) -> bool:
+        """Is ``(event, index)`` a (reflexive) successor of the origin?"""
+        return (event, index) in self._times
+
+    def _run(self) -> None:
+        times = self._times
+        argmax = self._argmax
+        unfolding = self.unfolding
+        origin = self.origin
+        times[origin] = 0
+        argmax[origin] = None
+        started = False
+        for period_index in range(self.periods + 1):
+            for instance in unfolding.period(period_index):
+                if not started:
+                    # Instances topologically before the origin can
+                    # never be its successors; skip cheaply.
+                    if instance == origin:
+                        started = True
+                    continue
+                event, index = instance
+                best: Optional[Number] = None
+                best_pred: Optional[Instance] = None
+                for source, tokens, delay, source_repeats in (
+                    unfolding.compact_in_arcs(event)
+                ):
+                    source_index = index - tokens
+                    if source_index < 0 or (source_index > 0 and not source_repeats):
+                        continue
+                    pred_time = times.get((source, source_index))
+                    if pred_time is None:
+                        continue  # concurrent-or-earlier: neglected
+                    candidate = pred_time + delay
+                    if best is None or candidate > best:
+                        best = candidate
+                        best_pred = (source, source_index)
+                if best is not None:
+                    times[instance] = best
+                    argmax[instance] = best_pred
+
+    def initiator_times(self) -> List[Tuple[int, Number]]:
+        """Times of later initiator instances: ``[(i, t_g0(g_i)), ...]``.
+
+        Only reachable instances appear (``i`` starting at 1).
+        """
+        result = []
+        for index in range(1, self.periods + 1):
+            instance = (self.initiator, index)
+            if instance in self._times:
+                result.append((index, self._times[instance]))
+        return result

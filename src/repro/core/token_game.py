@@ -1,0 +1,181 @@
+"""The untimed token game: interactive execution of a Signal Graph.
+
+Before any timing question, a Signal Graph is a Marked Graph that
+*executes*: an event is enabled when every in-arc carries activity;
+firing it consumes one unit from each in-arc and produces one on each
+out-arc (Section III-A).  This module provides that execution model
+directly — useful for debugging a hand-written graph ("why does this
+deadlock?"), for checking boundedness empirically, and as the
+semantic reference the unfolding is an unrolling of.
+
+Disengageable arcs participate until exhausted: they start with their
+initial activity and never receive new tokens once their (one-shot)
+source has fired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .errors import SignalGraphError
+from .events import as_event, event_label
+from .signal_graph import Arc, Event, TimedSignalGraph
+
+
+class TokenGame:
+    """Mutable execution state of a Signal Graph.
+
+    The activity function starts at the initial marking, plus one
+    virtual unit on a pseudo in-arc of every source event (events with
+    no in-arcs fire exactly once, like the paper's initial events).
+    """
+
+    def __init__(self, graph: TimedSignalGraph):
+        self.graph = graph
+        self.activity: Dict[Tuple[Event, Event], int] = {
+            arc.pair: arc.tokens for arc in graph.arcs
+        }
+        self.fire_counts: Dict[Event, int] = {event: 0 for event in graph.events}
+        self.history: List[Event] = []
+        self._sources: Set[Event] = {
+            event for event in graph.events if not graph.in_arcs(event)
+        }
+
+    # ------------------------------------------------------------------
+    def _is_disengaged(self, arc: Arc) -> bool:
+        """Has this arc stopped influencing the execution?
+
+        An arc whose source is one-shot (disengageable flag, or a
+        non-repetitive source) disengages once the source has fired
+        and the arc's activity is used up — it then neither blocks nor
+        feeds its target (Section III-A's set ``O``).
+        """
+        if self.activity[arc.pair] > 0:
+            return False
+        one_shot = (
+            arc.disengageable
+            or arc.source in self.graph.nonrepetitive_events
+        )
+        return one_shot and self.fire_counts.get(arc.source, 0) > 0
+
+    def is_enabled(self, event) -> bool:
+        """All (still-engaged) in-arcs active; sources fire once."""
+        event = as_event(event)
+        if event in self._sources:
+            return self.fire_counts[event] == 0
+        in_arcs = self.graph.in_arcs(event)
+        if not in_arcs:
+            return False
+        saw_engaged = False
+        for arc in in_arcs:
+            if self._is_disengaged(arc):
+                continue
+            saw_engaged = True
+            if self.activity[arc.pair] <= 0:
+                return False
+        # an event whose every in-arc has disengaged can never fire
+        # again (its repetitive inputs are gone)
+        return saw_engaged
+
+    def enabled_events(self) -> List[Event]:
+        """All currently enabled events, in graph order."""
+        return [event for event in self.graph.events if self.is_enabled(event)]
+
+    def fire(self, event) -> None:
+        """Fire one enabled event (SignalGraphError otherwise)."""
+        event = as_event(event)
+        if not self.is_enabled(event):
+            raise SignalGraphError(
+                "event %s is not enabled" % event_label(event)
+            )
+        for arc in self.graph.in_arcs(event):
+            if not self._is_disengaged(arc):
+                self.activity[arc.pair] -= 1
+        for arc in self.graph.out_arcs(event):
+            self.activity[arc.pair] += 1
+        self.fire_counts[event] += 1
+        self.history.append(event)
+
+    def run(self, steps: int, policy: str = "fifo") -> List[Event]:
+        """Fire up to ``steps`` events; returns the fired sequence.
+
+        ``policy`` picks among enabled events: ``"fifo"`` fires the
+        least-recently-fired first (fair), ``"first"`` always the
+        first in graph order.  Stops early at a deadlock.
+        """
+        fired: List[Event] = []
+        for _ in range(steps):
+            enabled = self.enabled_events()
+            if not enabled:
+                break
+            if policy == "fifo":
+                choice = min(
+                    enabled,
+                    key=lambda e: (self.fire_counts[e], str(e)),
+                )
+            elif policy == "first":
+                choice = enabled[0]
+            else:
+                raise SignalGraphError("unknown policy %r" % policy)
+            self.fire(choice)
+            fired.append(choice)
+        return fired
+
+    # ------------------------------------------------------------------
+    @property
+    def is_deadlocked(self) -> bool:
+        return not self.enabled_events()
+
+    def max_observed_activity(self) -> int:
+        """Largest activity any arc currently carries (safety probe)."""
+        return max(self.activity.values(), default=0)
+
+    def marking(self) -> Dict[Tuple[Event, Event], int]:
+        """A copy of the current activity function."""
+        return dict(self.activity)
+
+    def reset(self) -> None:
+        """Back to the initial marking."""
+        self.__init__(self.graph)
+
+
+def check_bounded(
+    graph: TimedSignalGraph, steps: int = 10_000, bound: int = 64
+) -> bool:
+    """Empirical boundedness probe under fair execution.
+
+    Strongly connected live marked graphs are always bounded; graphs
+    with a non-repetitive prefix stay bounded too.  This probe runs
+    the fair token game and watches activity — useful as a sanity
+    check on hand-written graphs before trusting the analysis.
+    """
+    game = TokenGame(graph)
+    for _ in range(steps):
+        enabled = game.enabled_events()
+        if not enabled:
+            return True
+        choice = min(enabled, key=lambda e: (game.fire_counts[e], str(e)))
+        game.fire(choice)
+        if game.max_observed_activity() > bound:
+            return False
+    return True
+
+
+def firing_sequence_alternates(graph: TimedSignalGraph, steps: int = 2_000) -> bool:
+    """Switch-over probe: do rise/fall transitions of each signal
+    alternate in a fair execution?  (Section VIII-A's switch-over
+    correctness, checked dynamically.)"""
+    from .events import Transition
+
+    game = TokenGame(graph)
+    last_direction: Dict[str, str] = {}
+    game.run(steps)
+    for event in game.history:
+        if not isinstance(event, Transition):
+            continue
+        previous = last_direction.get(event.signal)
+        if previous is not None and previous == event.direction:
+            return False
+        last_direction[event.signal] = event.direction
+    return True

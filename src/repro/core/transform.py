@@ -1,0 +1,186 @@
+"""Graph transformations that preserve timed behaviour.
+
+Under MAX semantics two Timed Signal Graphs are *timing-equivalent*
+when every event instance fires at the same moment.  These transforms
+preserve that equivalence (or a documented weakening of it) and are
+used to clean up extracted or hand-written graphs before analysis:
+
+* :func:`remove_redundant_arcs` — drop arcs dominated by a longer
+  parallel path with the same token count (max-plus transitive
+  reduction, sound-but-incomplete via 2-arc witnesses iterated to a
+  fixed point);
+* :func:`merge_chain_events` — contract internal events that merely
+  forward a single arc (delay addition), preserving all other events'
+  times;
+* :func:`relabel_events` — rename events (e.g. to match another
+  tool's naming) without touching structure;
+* :func:`restrict_to_core` — drop the non-repetitive prefix, keeping
+  exactly the steady-state behaviour the cycle time depends on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from .arithmetic import Number
+from .errors import GraphConstructionError
+from .events import event_label
+from .signal_graph import Arc, Event, TimedSignalGraph
+
+
+def remove_redundant_arcs(graph: TimedSignalGraph) -> TimedSignalGraph:
+    """Max-plus transitive reduction (sound, not complete).
+
+    An arc ``e -(δ, m)-> f`` is redundant when some two-arc path
+    ``e -(δ1, m1)-> x -(δ2, m2)-> f`` has ``m1 + m2 == m`` and
+    ``δ1 + δ2 >= δ``: in every unfolding instance the path imposes a
+    constraint at least as strong, so dropping the arc changes no
+    firing time.  Applied to a fixed point, using only arcs that
+    survive (removal order cannot make a dominated arc load-bearing
+    because domination is witnessed by *paths*, re-checked each
+    round).
+
+    Returns a new graph; the input is untouched.
+    """
+    work = graph.copy()
+    changed = True
+    while changed:
+        changed = False
+        for arc in list(work.arcs):
+            if _dominated(work, arc):
+                work.remove_arc(arc.source, arc.target)
+                changed = True
+    return work
+
+
+def _dominated(graph: TimedSignalGraph, arc: Arc) -> bool:
+    repetitive = graph.repetitive_events
+    recurring = arc.source in repetitive and not arc.disengageable
+    for middle_arc in graph.out_arcs(arc.source):
+        if middle_arc.pair == arc.pair:
+            continue
+        middle = middle_arc.target
+        if recurring and middle not in repetitive:
+            # A non-repetitive middle event exists once only; its path
+            # cannot dominate an arc that constrains every instance.
+            continue
+        if not graph.has_arc(middle, arc.target):
+            continue
+        second = graph.arc(middle, arc.target)
+        if second.pair == arc.pair:
+            continue
+        if middle_arc.tokens + second.tokens != arc.tokens:
+            continue
+        if recurring and (middle_arc.disengageable or second.disengageable):
+            # Once-only witnesses cannot cover a recurring constraint.
+            continue
+        if middle_arc.delay + second.delay >= arc.delay:
+            return True
+    return False
+
+
+def merge_chain_events(
+    graph: TimedSignalGraph,
+    removable: Optional[Callable[[Event], bool]] = None,
+) -> TimedSignalGraph:
+    """Contract pass-through events (one in-arc, one out-arc).
+
+    An event with exactly one in-arc ``u -(δ1, m1)->`` and one out-arc
+    ``-(δ2, m2)-> v`` merely delays a single constraint; replacing the
+    pair by ``u -(δ1+δ2, m1+m2)-> v`` leaves every *other* event's
+    firing times unchanged.  Events for which ``removable`` returns
+    False (default: hidden events only, i.e. labels starting with
+    ``_``) are kept, as are chain events whose contraction would need
+    a multi-token arc (the initially-safe model would just re-expand
+    it into an equivalent hidden chain — no progress).
+    """
+    if removable is None:
+        def removable(event):
+            return event_label(event).startswith("_")
+
+    work = graph.copy()
+    progress = True
+    while progress:
+        progress = False
+        for event in list(work.events):
+            if not removable(event):
+                continue
+            ins = work.in_arcs(event)
+            outs = work.out_arcs(event)
+            if len(ins) != 1 or len(outs) != 1:
+                continue
+            inbound, outbound = ins[0], outs[0]
+            if inbound.source == event or outbound.target == event:
+                continue  # self-loop; cannot contract
+            if inbound.disengageable or outbound.disengageable:
+                continue
+            tokens = inbound.tokens + outbound.tokens
+            if tokens > 1:
+                # Contracting would just re-expand into an equivalent
+                # marking chain (hidden events again): no progress.
+                continue
+            if work.has_arc(inbound.source, outbound.target):
+                existing = work.arc(inbound.source, outbound.target)
+                if existing.tokens != tokens:
+                    continue  # cannot merge into the parallel arc
+            work.remove_event(event)
+            work.add_multimarked_arc(
+                inbound.source,
+                outbound.target,
+                inbound.delay + outbound.delay,
+                tokens,
+            )
+            progress = True
+    return work
+
+
+def relabel_events(
+    graph: TimedSignalGraph, mapping: Dict[Event, Event]
+) -> TimedSignalGraph:
+    """A copy with events renamed through ``mapping``.
+
+    Events absent from the mapping keep their names; collisions raise
+    :class:`~repro.core.errors.GraphConstructionError`.
+    """
+    from .events import as_event
+
+    resolved = {as_event(k): as_event(v) for k, v in mapping.items()}
+    targets = [resolved.get(event, event) for event in graph.events]
+    if len(set(targets)) != len(targets):
+        raise GraphConstructionError("relabelling collides event names")
+    clone = TimedSignalGraph(name=graph.name)
+    for event in graph.events:
+        clone.add_event(resolved.get(event, event))
+    for arc in graph.arcs:
+        clone.add_arc(
+            resolved.get(arc.source, arc.source),
+            resolved.get(arc.target, arc.target),
+            arc.delay,
+            marked=arc.marked,
+            disengageable=arc.disengageable,
+        )
+    return clone
+
+
+def restrict_to_core(graph: TimedSignalGraph) -> TimedSignalGraph:
+    """Drop the non-repetitive prefix, keeping the cyclic core.
+
+    The cycle time and critical cycles are unchanged (they only depend
+    on the repetitive events); start-up times of the first instances
+    change, so use this only for steady-state questions.
+    """
+    repetitive = graph.repetitive_events
+    clone = TimedSignalGraph(name=graph.name + "-core")
+    for event in graph.events:
+        if event in repetitive:
+            clone.add_event(event)
+    for arc in graph.arcs:
+        if arc.source in repetitive and arc.target in repetitive:
+            clone.add_arc(
+                arc.source,
+                arc.target,
+                arc.delay,
+                marked=arc.marked,
+                disengageable=arc.disengageable,
+            )
+    return clone

@@ -1,0 +1,155 @@
+"""Lazy unfolding of a Signal Graph (Section III-B).
+
+The unfolding is the acyclic process in which every node is a single
+*instantiation* ``(event, k)`` of a Signal Graph event.  It is divided
+into *periods*: period 0 holds the first instantiation of every event,
+period ``k >= 1`` the ``k``-th instantiation of the repetitive events.
+
+We never materialise the (infinite) unfolding; instances are addressed
+arithmetically.  For a Signal Graph arc ``e --(delay, m)--> f`` the
+unfolding contains the arc ``(e, k - m) -> (f, k)`` whenever the source
+instance exists.  Non-repetitive events only have instance 0, which
+makes disengageable arcs (whose sources are non-repetitive in a
+well-formed graph) structurally once-only.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import networkx as nx
+
+from .errors import NotLiveError, SimulationError
+from .events import event_label
+from .signal_graph import Arc, Event, TimedSignalGraph
+from .validation import find_unmarked_cycle, unmarked_subgraph
+
+#: An unfolding node: (event, instantiation index).
+Instance = Tuple[Event, int]
+
+
+def instance_label(instance: Instance) -> str:
+    """Printable name like ``a+[2]`` for instance 2 of event ``a+``."""
+    event, index = instance
+    return "%s[%d]" % (event_label(event), index)
+
+
+class Unfolding:
+    """Arithmetic view of the unfolding of a live Signal Graph."""
+
+    def __init__(self, graph: TimedSignalGraph):
+        cycle = find_unmarked_cycle(graph)
+        if cycle is not None:
+            raise NotLiveError(
+                "cannot unfold a non-live graph (token-free cycle exists)",
+                cycle=cycle,
+            )
+        self.graph = graph
+        self._repetitive = graph.repetitive_events
+        # One global topological order of the unmarked subgraph gives the
+        # intra-period firing order; cross-period arcs always point
+        # forward because markings are non-negative.
+        self._topo_all: List[Event] = list(
+            nx.topological_sort(unmarked_subgraph(graph))
+        )
+        self._topo_repetitive: List[Event] = [
+            event for event in self._topo_all if event in self._repetitive
+        ]
+        # Compact per-event in-arc structure for the simulation hot
+        # loops: (source, tokens, delay, source_is_repetitive).
+        self._in_compact = {
+            event: tuple(
+                (arc.source, arc.tokens, arc.delay, arc.source in self._repetitive)
+                for arc in graph.in_arcs(event)
+            )
+            for event in graph.events
+        }
+
+    def compact_in_arcs(self, event: Event):
+        """Hot-loop view of an event's in-arcs.
+
+        Tuples ``(source, tokens, delay, source_is_repetitive)``; the
+        instance-existence rule is ``index - tokens == 0`` or
+        (``index - tokens > 0`` and the source is repetitive).
+        """
+        return self._in_compact[event]
+
+    # ------------------------------------------------------------------
+    def exists(self, event: Event, index: int) -> bool:
+        """Does instance ``(event, index)`` appear in the unfolding?"""
+        if index < 0 or event not in self.graph._events:
+            return False
+        if index == 0:
+            return True
+        return event in self._repetitive
+
+    def is_repetitive(self, event: Event) -> bool:
+        return event in self._repetitive
+
+    def in_arcs(self, instance: Instance) -> List[Tuple[Instance, Arc]]:
+        """Predecessor instances of ``instance`` with their arcs.
+
+        Returns ``[((source_event, source_index), arc), ...]`` for every
+        Signal Graph in-arc whose source instance exists.
+        """
+        event, index = instance
+        result = []
+        for arc in self.graph.in_arcs(event):
+            source_index = index - arc.tokens
+            if self.exists(arc.source, source_index):
+                result.append(((arc.source, source_index), arc))
+        return result
+
+    def out_arcs(self, instance: Instance) -> List[Tuple[Instance, Arc]]:
+        """Successor instances of ``instance`` with their arcs."""
+        event, index = instance
+        result = []
+        for arc in self.graph.out_arcs(event):
+            target_index = index + arc.tokens
+            if self.exists(arc.target, target_index):
+                result.append(((arc.target, target_index), arc))
+        return result
+
+    # ------------------------------------------------------------------
+    def period(self, index: int) -> List[Instance]:
+        """The instances of period ``index`` in topological order."""
+        if index == 0:
+            return [(event, 0) for event in self._topo_all]
+        return [(event, index) for event in self._topo_repetitive]
+
+    def instances(self, max_period: int) -> Iterator[Instance]:
+        """All instances of periods ``0 .. max_period`` in topological order.
+
+        The order is valid for the whole unfolded prefix: arcs within a
+        period follow the unmarked-subgraph topological order, and
+        marked arcs always lead from an earlier period to a later one.
+        """
+        for period_index in range(max_period + 1):
+            for instance in self.period(period_index):
+                yield instance
+
+    def instance_count(self, max_period: int) -> int:
+        """Number of instances in periods ``0 .. max_period``."""
+        return self.graph.num_events + max_period * len(self._topo_repetitive)
+
+    def require(self, event: Event, index: int) -> Instance:
+        """Return the instance, raising ``SimulationError`` if absent."""
+        if not self.exists(event, index):
+            raise SimulationError(
+                "instance %s does not exist in the unfolding"
+                % instance_label((event, index))
+            )
+        return (event, index)
+
+    def initial_instances(self) -> List[Instance]:
+        """The set ``I_u``: instances with no predecessors.
+
+        These are the events of ``I`` plus the repetitive events whose
+        in-arcs are all initially marked (their period-0 instance has no
+        existing predecessor).
+        """
+        return [
+            instance
+            for instance in self.period(0)
+            if not self.in_arcs(instance)
+        ]

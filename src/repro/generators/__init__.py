@@ -1,0 +1,27 @@
+"""Workload generators: random live graphs and parametric pipelines."""
+
+from .pipelines import (
+    token_ring,
+    token_ring_cycle_time,
+    two_ring_choice,
+    unbalanced_ring,
+)
+from .suite import WORKLOADS, load_workload, workload_table
+from .random_graphs import (
+    random_live_tsg,
+    random_marked_graph_batch,
+    ring_with_chords,
+)
+
+__all__ = [
+    "WORKLOADS",
+    "load_workload",
+    "workload_table",
+    "random_live_tsg",
+    "random_marked_graph_batch",
+    "ring_with_chords",
+    "token_ring",
+    "token_ring_cycle_time",
+    "two_ring_choice",
+    "unbalanced_ring",
+]

@@ -1,0 +1,108 @@
+"""Parametric pipeline and ring workloads with closed-form cycle times.
+
+These structures make good test oracles because their cycle times are
+known analytically:
+
+* :func:`token_ring` — the classic full/empty marked-graph model of a
+  self-timed ring: ``N`` stages, ``k`` data tokens, forward latency
+  ``df`` and backward (hole) latency ``db``.  Cycle time::
+
+      max( N*df/k,  N*db/(N-k),  df+db )
+
+  — the three regimes (data-limited, hole-limited, locally limited)
+  whose crossover the throughput-sweep example plots.
+* :func:`unbalanced_ring` — one slow stage; the critical cycle must
+  pass through it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.arithmetic import Number, exact_div
+from ..core.signal_graph import TimedSignalGraph
+
+
+def token_ring(
+    stages: int,
+    tokens: int,
+    forward: Number = 2,
+    backward: Number = 1,
+) -> TimedSignalGraph:
+    """Full/empty marked-graph model of a self-timed ring.
+
+    Events are per-stage (``s0 .. s<N-1>``).  Between consecutive
+    stages sits a one-place buffer; buffer position ``j`` (between
+    stage ``j`` and stage ``j+1``) is either *full* (its forward arc
+    ``s_j -> s_{j+1}`` carries the token) or *empty* (its backward arc
+    ``s_{j+1} -> s_j`` carries it) — exactly one of the two, which is
+    what keeps every cycle of the model live.  ``tokens`` buffer
+    positions start full; ``1 <= tokens <= stages - 1`` (at least one
+    hole must exist for the ring to move).
+    """
+    if stages < 2:
+        raise ValueError("need at least 2 stages")
+    if not 1 <= tokens <= stages - 1:
+        raise ValueError("tokens must be in 1..stages-1")
+    graph = TimedSignalGraph(name="token-ring-%d-%d" % (stages, tokens))
+    # Spread the full buffer positions evenly.
+    filled = {round(position * stages / tokens) % stages for position in range(tokens)}
+    while len(filled) < tokens:  # rounding collisions: fill the gaps
+        filled.add(min(set(range(stages)) - filled))
+    for index in range(stages):
+        succ = (index + 1) % stages
+        graph.add_arc(
+            "s%d" % index, "s%d" % succ, forward, marked=index in filled
+        )
+        graph.add_arc(
+            "s%d" % succ, "s%d" % index, backward, marked=index not in filled
+        )
+    return graph
+
+
+def token_ring_cycle_time(
+    stages: int, tokens: int, forward: Number = 2, backward: Number = 1
+) -> Number:
+    """Closed-form cycle time of :func:`token_ring` (the test oracle)."""
+    data_limited = exact_div(stages * forward, tokens)
+    hole_limited = exact_div(stages * backward, stages - tokens)
+    local = forward + backward
+    return max(data_limited, hole_limited, local)
+
+
+def unbalanced_ring(
+    stages: int,
+    slow_stage: int,
+    slow_delay: Number,
+    fast_delay: Number = 1,
+) -> TimedSignalGraph:
+    """A single-token ring with one slow stage.
+
+    Cycle time = ``slow_delay + (stages - 1) * fast_delay``; the
+    critical cycle is the whole ring and must contain the slow arc —
+    used to test critical-cycle recovery and sensitivity ranking.
+    """
+    if not 0 <= slow_stage < stages:
+        raise ValueError("slow_stage out of range")
+    graph = TimedSignalGraph(name="unbalanced-ring-%d" % stages)
+    for index in range(stages):
+        succ = (index + 1) % stages
+        delay = slow_delay if index == slow_stage else fast_delay
+        graph.add_arc("u%d" % index, "u%d" % succ, delay, marked=index == stages - 1)
+    return graph
+
+
+def two_ring_choice(
+    left_length: Number, right_length: Number, shared: Number = 1
+) -> TimedSignalGraph:
+    """Two rings sharing one event — tests critical-cycle selection.
+
+    The ring with the larger total length is critical; equal lengths
+    make both cycles critical.
+    """
+    graph = TimedSignalGraph(name="two-rings")
+    graph.add_arc("hub", "left", left_length, marked=False)
+    graph.add_arc("left", "hub", shared, marked=True)
+    graph.add_arc("hub", "right", right_length, marked=False)
+    graph.add_arc("right", "hub", shared, marked=True)
+    return graph

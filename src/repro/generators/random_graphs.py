@@ -1,0 +1,143 @@
+"""Random live Timed Signal Graphs for testing and scaling studies.
+
+Construction guarantees the structural invariants by design:
+
+* start from a random Hamiltonian cycle over ``n`` events (strong
+  connectivity);
+* add ``extra_arcs`` random chords;
+* mark every arc that jumps *backwards* in a fixed ordering of the
+  cycle, plus the cycle-closing arc — every cycle of the digraph must
+  pass through at least one backward arc, so every cycle carries a
+  token (liveness);
+* draw integer delays uniformly from ``[0, max_delay]``.
+
+The number of border events is controlled indirectly: dense backward
+chords create more marked arcs.  ``ring_with_chords`` exposes a direct
+handle on ``b`` for the O(b^2 m) scaling experiment.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..core.signal_graph import TimedSignalGraph
+
+
+def random_live_tsg(
+    events: int,
+    extra_arcs: int,
+    max_delay: int = 10,
+    seed: Optional[int] = None,
+    name: Optional[str] = None,
+) -> TimedSignalGraph:
+    """A random live, strongly connected Timed Signal Graph.
+
+    ``events >= 2``; the result has ``events`` events and at most
+    ``events + extra_arcs`` arcs (duplicate draws are merged).
+    """
+    if events < 2:
+        raise ValueError("need at least 2 events")
+    rng = random.Random(seed)
+    graph = TimedSignalGraph(
+        name=name or "random-%d-%d-%s" % (events, extra_arcs, seed)
+    )
+    order = list(range(events))
+    rng.shuffle(order)
+    labels = ["e%d" % index for index in range(events)]
+
+    def position(index: int) -> int:
+        return order[index]
+
+    # Hamiltonian cycle over the shuffled order.
+    for step in range(events):
+        source = order[step]
+        target = order[(step + 1) % events]
+        backward = step == events - 1  # the closing arc jumps backwards
+        graph.add_arc(
+            labels[source],
+            labels[target],
+            rng.randint(0, max_delay),
+            marked=backward,
+        )
+
+    rank = {node: step for step, node in enumerate(order)}
+    for _ in range(extra_arcs):
+        source, target = rng.sample(range(events), 2)
+        backward = rank[target] <= rank[source]
+        if graph.has_arc(labels[source], labels[target]):
+            continue
+        graph.add_arc(
+            labels[source],
+            labels[target],
+            rng.randint(0, max_delay),
+            marked=backward,
+        )
+    return graph
+
+
+def ring_with_chords(
+    stages: int,
+    tokens: int,
+    chords: int = 0,
+    max_delay: int = 10,
+    seed: Optional[int] = None,
+) -> TimedSignalGraph:
+    """A ring of ``stages`` events carrying ``tokens`` marked arcs.
+
+    The marked arcs (hence border events, hence the paper's ``b``) are
+    spread evenly around the ring; optional *forward* chords add arcs
+    without changing ``b`` much.  This gives independent control of
+    ``n``, ``m`` and ``b`` for the complexity experiment.
+    """
+    if not 1 <= tokens <= stages:
+        raise ValueError("tokens must be in 1..stages")
+    rng = random.Random(seed)
+    graph = TimedSignalGraph(name="ring-%d-%d" % (stages, tokens))
+    marked_positions = {
+        round(position * stages / tokens) % stages for position in range(tokens)
+    }
+    for index in range(stages):
+        graph.add_arc(
+            "r%d" % index,
+            "r%d" % ((index + 1) % stages),
+            rng.randint(1, max_delay),
+            marked=index in marked_positions,
+        )
+    added = 0
+    attempts = 0
+    while added < chords and attempts < 50 * chords:
+        attempts += 1
+        source = rng.randrange(stages)
+        span = rng.randint(2, max(2, stages // 4))
+        target = (source + span) % stages
+        if target == source or graph.has_arc("r%d" % source, "r%d" % target):
+            continue
+        # Only add chords whose skipped span contains no marked ring
+        # arc: the chord stays unmarked, so the border set (and hence
+        # the paper's b) is exactly `tokens`.  Liveness is preserved
+        # because every cycle still wraps the whole ring and must cross
+        # each marked position through the ring arc itself.
+        crosses_marked = any(
+            ((source + offset) % stages) in marked_positions for offset in range(span)
+        )
+        if crosses_marked:
+            continue
+        graph.add_arc(
+            "r%d" % source,
+            "r%d" % target,
+            rng.randint(1, max_delay),
+            marked=False,
+        )
+        added += 1
+    return graph
+
+
+def random_marked_graph_batch(
+    count: int, events: int, extra_arcs: int, seed: int = 0
+):
+    """A reproducible list of random live graphs (for benchmarks)."""
+    return [
+        random_live_tsg(events, extra_arcs, seed=seed + index)
+        for index in range(count)
+    ]

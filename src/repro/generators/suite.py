@@ -1,0 +1,91 @@
+"""Named benchmark workloads.
+
+A curated, reproducible set of Timed Signal Graphs spanning the shapes
+the algorithms care about — the paper's own circuits, closed-form
+rings, the stack, and seeded random families — addressable by name::
+
+    from repro.generators.suite import load_workload, WORKLOADS
+
+    graph = load_workload("ring-200-b8")
+    for name in WORKLOADS:
+        ...
+
+Benchmarks, examples and downstream comparisons all pull from this one
+registry so results are comparable across runs and machines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..core.signal_graph import TimedSignalGraph
+from .pipelines import token_ring, unbalanced_ring
+from .random_graphs import random_live_tsg, ring_with_chords
+
+
+def _paper_oscillator() -> TimedSignalGraph:
+    from ..circuits.library import oscillator_tsg
+
+    return oscillator_tsg()
+
+
+def _paper_ring() -> TimedSignalGraph:
+    from ..circuits.library import muller_ring_tsg
+
+    return muller_ring_tsg()
+
+
+def _paper_stack() -> TimedSignalGraph:
+    from ..circuits.library import async_stack_tsg
+
+    return async_stack_tsg()
+
+
+#: name -> zero-argument factory.  Every factory is deterministic.
+WORKLOADS: Dict[str, Callable[[], TimedSignalGraph]] = {
+    # the paper's artefacts
+    "paper-oscillator": _paper_oscillator,
+    "paper-muller-ring": _paper_ring,
+    "paper-stack-66": _paper_stack,
+    # closed-form oracles
+    "token-ring-12-4": lambda: token_ring(12, 4, forward=2, backward=1),
+    "token-ring-24-6": lambda: token_ring(24, 6, forward=3, backward=2),
+    "unbalanced-ring-16": lambda: unbalanced_ring(16, 5, 40, 2),
+    # scaling family: n grows, b fixed
+    "ring-100-b4": lambda: ring_with_chords(100, 4, 25, seed=7),
+    "ring-200-b8": lambda: ring_with_chords(200, 8, 50, seed=7),
+    "ring-400-b8": lambda: ring_with_chords(400, 8, 100, seed=7),
+    # dense random family (exhaustive-search territory)
+    "random-8-dense": lambda: random_live_tsg(8, 16, seed=11),
+    "random-10-dense": lambda: random_live_tsg(10, 20, seed=11),
+    "random-12-sparse": lambda: random_live_tsg(12, 6, seed=11),
+}
+
+
+def load_workload(name: str) -> TimedSignalGraph:
+    """Instantiate a named workload (ValueError for unknown names)."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            "unknown workload %r (have: %s)"
+            % (name, ", ".join(sorted(WORKLOADS)))
+        ) from None
+    return factory()
+
+
+def workload_table() -> List[dict]:
+    """Size metadata for every workload (for docs and reports)."""
+    rows = []
+    for name in sorted(WORKLOADS):
+        graph = load_workload(name)
+        rows.append(
+            {
+                "name": name,
+                "events": graph.num_events,
+                "arcs": graph.num_arcs,
+                "border": len(graph.border_events),
+                "tokens": graph.total_tokens(),
+            }
+        )
+    return rows

@@ -1,0 +1,33 @@
+"""File formats: .g (ASTG), JSON and Graphviz DOT."""
+
+from . import astg, dot, json_io, svg
+from .astg import dump as dump_astg
+from .astg import dumps as dumps_astg
+from .astg import load as load_astg
+from .astg import loads as loads_astg
+from .dot import to_dot, write_dot
+from .json_io import dump as dump_json
+from .json_io import dumps as dumps_json
+from .json_io import load as load_json
+from .json_io import loads as loads_json
+from .svg import graph_to_svg, waveforms_to_svg, write_svg
+
+__all__ = [
+    "graph_to_svg",
+    "svg",
+    "waveforms_to_svg",
+    "write_svg",
+    "astg",
+    "dot",
+    "dump_astg",
+    "dump_json",
+    "dumps_astg",
+    "dumps_json",
+    "json_io",
+    "load_astg",
+    "load_json",
+    "loads_astg",
+    "loads_json",
+    "to_dot",
+    "write_dot",
+]

@@ -1,0 +1,208 @@
+"""Reader/writer for SIS/petrify-style ``.g`` signal-transition-graph
+files, extended with delay annotations.
+
+The classic ``.g`` format describes a marked-graph STG::
+
+    .model oscillator
+    .inputs e
+    .outputs a b c f
+    .graph
+    e- f-
+    e- a+
+    a+ c+
+    ...
+    .marking { <c-,a+> <c-,b+> }
+    .end
+
+The standard format carries no timing, so delays are written as a
+third token on each arc line (``a+ c+ 3``) — files written this way
+remain readable by tools that ignore trailing tokens on graph lines —
+and disengageable arcs are flagged with a trailing ``/``.  Both
+extensions are optional on input (missing delays default to 0).
+
+Only the marked-graph subset of STGs is supported: each ``.graph``
+line is ``source target [delay] [/]``; place-style multi-target lines
+are expanded pairwise.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Set, TextIO, Tuple, Union
+
+from ..core.errors import FormatError
+from ..core.events import Transition
+from ..core.signal_graph import TimedSignalGraph
+
+
+def _parse_number(text: str):
+    """Parse an int, fraction (``20/3``) or float delay token."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    if "/" in text:
+        numerator, _, denominator = text.partition("/")
+        try:
+            return Fraction(int(numerator), int(denominator))
+        except ValueError:
+            pass
+    try:
+        return float(text)
+    except ValueError:
+        raise FormatError("not a delay: %r" % text) from None
+
+
+def loads(text: str, name: Optional[str] = None) -> TimedSignalGraph:
+    """Parse ``.g`` text into a Timed Signal Graph."""
+    model_name = name or "astg"
+    arcs: List[Tuple[str, str, object, bool]] = []
+    marking: Set[Tuple[str, str]] = set()
+    section = None
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            directive, _, rest = line.partition(" ")
+            if directive == ".model":
+                model_name = rest.strip() or model_name
+            elif directive == ".graph":
+                section = "graph"
+            elif directive == ".marking":
+                marking.update(_parse_marking(rest))
+            elif directive == ".end":
+                section = None
+            elif directive in (".inputs", ".outputs", ".internal", ".dummy"):
+                pass  # signal declarations are implicit in our model
+            else:
+                raise FormatError("unknown directive %r" % directive)
+            continue
+        if section != "graph":
+            raise FormatError("arc line outside .graph section: %r" % line)
+        arcs.extend(_parse_graph_line(line))
+
+    graph = TimedSignalGraph(name=model_name)
+    for source, target, delay, disengageable in arcs:
+        graph.add_arc(
+            source,
+            target,
+            delay,
+            marked=(source, target) in marking,
+            disengageable=disengageable,
+        )
+    missing = marking - {(str(a.source), str(a.target)) for a in graph.arcs}
+    if missing:
+        raise FormatError("marking on undeclared arcs: %s" % sorted(missing))
+    return graph
+
+
+def _parse_graph_line(line: str) -> List[Tuple[str, str, object, bool]]:
+    tokens = line.split()
+    disengageable = False
+    if tokens and tokens[-1] == "/":
+        disengageable = True
+        tokens = tokens[:-1]
+    if len(tokens) < 2:
+        raise FormatError("graph line needs source and target: %r" % line)
+    delay: object = 0
+    targets = tokens[1:]
+    # Trailing numeric token = delay extension.
+    if len(targets) >= 1:
+        try:
+            delay = _parse_number(targets[-1])
+        except FormatError:
+            delay = 0
+        else:
+            targets = targets[:-1]
+    if not targets:
+        raise FormatError("graph line lost its target: %r" % line)
+    source = tokens[0]
+    Transition.parse(source)  # validate syntax
+    result = []
+    for target in targets:
+        Transition.parse(target)
+        result.append((source, target, delay, disengageable))
+    return result
+
+
+def _parse_marking(rest: str) -> Iterable[Tuple[str, str]]:
+    body = rest.strip()
+    if body.startswith("{"):
+        body = body[1:]
+    if body.endswith("}"):
+        body = body[:-1]
+    if body.count("<") != body.count(">"):
+        raise FormatError("unbalanced marking entry in %r" % rest.strip())
+    for chunk in body.split(">"):
+        chunk = chunk.strip().lstrip("<")
+        if not chunk:
+            continue
+        source, _, target = chunk.partition(",")
+        if not target:
+            raise FormatError("malformed marking entry: %r" % chunk)
+        yield (source.strip(), target.strip())
+
+
+def dumps(graph: TimedSignalGraph, inputs: Iterable[str] = ()) -> str:
+    """Serialise a Timed Signal Graph to ``.g`` text.
+
+    Events must be :class:`~repro.core.events.Transition` objects (or
+    parse as such).  ``inputs`` optionally names the signals to list
+    under ``.inputs``; the rest go under ``.outputs``.
+    """
+    signals = []
+    for event in graph.events:
+        if not isinstance(event, Transition):
+            raise FormatError(
+                "event %r is not a signal transition; .g export needs "
+                "Transition events" % (event,)
+            )
+        if event.signal not in signals:
+            signals.append(event.signal)
+    inputs = [name for name in inputs if name in signals]
+    outputs = [name for name in signals if name not in inputs]
+
+    lines = [".model %s" % graph.name]
+    if inputs:
+        lines.append(".inputs %s" % " ".join(inputs))
+    if outputs:
+        lines.append(".outputs %s" % " ".join(outputs))
+    lines.append(".graph")
+    marked = []
+    for arc in graph.arcs:
+        suffix = " /" if arc.disengageable else ""
+        lines.append(
+            "%s %s %s%s" % (arc.source, arc.target, _format_number(arc.delay), suffix)
+        )
+        if arc.marked:
+            marked.append("<%s,%s>" % (arc.source, arc.target))
+    lines.append(".marking { %s }" % " ".join(marked))
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def _format_number(value) -> str:
+    if isinstance(value, Fraction):
+        if value.denominator == 1:
+            return str(value.numerator)
+        return "%d/%d" % (value.numerator, value.denominator)
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def load(stream: Union[str, TextIO]) -> TimedSignalGraph:
+    """Load from a path or open file object."""
+    if isinstance(stream, str):
+        with open(stream, "r", encoding="utf-8") as handle:
+            return loads(handle.read())
+    return loads(stream.read())
+
+
+def dump(graph: TimedSignalGraph, stream: Union[str, TextIO], inputs=()) -> None:
+    """Write to a path or open file object."""
+    text = dumps(graph, inputs=inputs)
+    if isinstance(stream, str):
+        with open(stream, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        stream.write(text)

@@ -1,0 +1,73 @@
+"""Graphviz (DOT) export of Timed Signal Graphs.
+
+Marked arcs are drawn with a token dot, disengageable arcs dashed, and
+an optional critical-cycle highlight colours the bottleneck red — the
+same visual language as the paper's Figure 1b.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Set, Tuple
+
+from ..core.cycles import Cycle
+from ..core.events import event_label
+from ..core.signal_graph import TimedSignalGraph
+
+
+def to_dot(
+    graph: TimedSignalGraph,
+    critical: Optional[Sequence[Cycle]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render the graph as DOT text.
+
+    ``critical`` optionally highlights the arcs of the given cycles.
+    """
+    critical_arcs: Set[Tuple[object, object]] = set()
+    for cycle in critical or ():
+        events = list(cycle.events)
+        for position, event in enumerate(events):
+            critical_arcs.add((event, events[(position + 1) % len(events)]))
+
+    lines = ["digraph %s {" % _quote(title or graph.name)]
+    lines.append('  rankdir=LR; node [shape=plaintext, fontsize=12];')
+    repetitive = graph.repetitive_events
+    for event in graph.events:
+        shape = "plaintext" if event in repetitive else "plaintext"
+        style = "" if event in repetitive else ', fontcolor="gray40"'
+        lines.append(
+            "  %s [label=%s%s];"
+            % (_identifier(event), _quote(event_label(event)), style)
+        )
+    for arc in graph.arcs:
+        attributes = ["label=%s" % _quote(str(arc.delay))]
+        if arc.marked:
+            attributes.append('arrowtail=dot, dir=both')
+        if arc.disengageable:
+            attributes.append('style=dashed')
+        if (arc.source, arc.target) in critical_arcs:
+            attributes.append('color=red, penwidth=2, fontcolor=red')
+        lines.append(
+            "  %s -> %s [%s];"
+            % (_identifier(arc.source), _identifier(arc.target), ", ".join(attributes))
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _identifier(event) -> str:
+    text = event_label(event)
+    replacements = {"+": "_up", "-": "_dn", "/": "_t"}
+    safe = "".join(
+        char if char.isalnum() else replacements.get(char, "_") for char in text
+    )
+    return '"%s"' % safe
+
+
+def _quote(text: str) -> str:
+    return '"%s"' % text.replace('"', '\\"')
+
+
+def write_dot(graph: TimedSignalGraph, path: str, critical=None) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_dot(graph, critical=critical))

@@ -1,0 +1,159 @@
+"""Lossless JSON serialisation of Timed Signal Graphs and netlists.
+
+Delays are stored as tagged values so that exactness round-trips:
+``5`` stays an int, ``{"fraction": [20, 3]}`` a Fraction, ``1.5`` a
+float.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Any, Dict, TextIO, Union
+
+from ..core.errors import FormatError
+from ..core.signal_graph import TimedSignalGraph
+from ..circuits.netlist import Netlist
+
+
+def _encode_number(value) -> Any:
+    if isinstance(value, Fraction):
+        if value.denominator == 1:
+            return int(value)
+        return {"fraction": [value.numerator, value.denominator]}
+    return value
+
+
+def _decode_number(value) -> Any:
+    if isinstance(value, dict):
+        try:
+            numerator, denominator = value["fraction"]
+        except (KeyError, ValueError, TypeError):
+            raise FormatError("bad number encoding: %r" % (value,)) from None
+        return Fraction(numerator, denominator)
+    if isinstance(value, (int, float)):
+        return value
+    raise FormatError("bad number encoding: %r" % (value,))
+
+
+# ----------------------------------------------------------------------
+# Timed Signal Graphs
+# ----------------------------------------------------------------------
+def graph_to_dict(graph: TimedSignalGraph) -> Dict[str, Any]:
+    return {
+        "kind": "timed-signal-graph",
+        "name": graph.name,
+        "events": [str(event) for event in graph.events],
+        "arcs": [
+            {
+                "source": str(arc.source),
+                "target": str(arc.target),
+                "delay": _encode_number(arc.delay),
+                "marked": arc.marked,
+                "disengageable": arc.disengageable,
+            }
+            for arc in graph.arcs
+        ],
+    }
+
+
+def graph_from_dict(data: Dict[str, Any]) -> TimedSignalGraph:
+    if data.get("kind") != "timed-signal-graph":
+        raise FormatError("not a timed-signal-graph document")
+    graph = TimedSignalGraph(name=data.get("name", "tsg"))
+    for event in data.get("events", []):
+        graph.add_event(event)
+    for arc in data["arcs"]:
+        graph.add_arc(
+            arc["source"],
+            arc["target"],
+            _decode_number(arc["delay"]),
+            marked=bool(arc.get("marked", False)),
+            disengageable=bool(arc.get("disengageable", False)),
+        )
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Netlists
+# ----------------------------------------------------------------------
+def netlist_to_dict(netlist: Netlist) -> Dict[str, Any]:
+    initial = netlist.initial_state()
+    return {
+        "kind": "netlist",
+        "name": netlist.name,
+        "inputs": [
+            {"signal": signal, "initial": initial[signal]}
+            for signal in netlist.inputs
+        ],
+        "gates": [
+            {
+                "output": gate.output,
+                "type": gate.gate_type,
+                "inputs": list(gate.inputs),
+                "delays": {
+                    name: _encode_number(gate.delays[name]) for name in gate.inputs
+                },
+                "initial": initial[gate.output],
+            }
+            for gate in netlist.gates
+        ],
+        "stimuli": [
+            {"signal": stim.signal, "time": _encode_number(stim.time)}
+            for stim in netlist.stimuli
+        ],
+    }
+
+
+def netlist_from_dict(data: Dict[str, Any]) -> Netlist:
+    if data.get("kind") != "netlist":
+        raise FormatError("not a netlist document")
+    netlist = Netlist(name=data.get("name", "circuit"))
+    for entry in data.get("inputs", []):
+        netlist.add_input(entry["signal"], initial=entry.get("initial", 0))
+    for entry in data["gates"]:
+        netlist.add_gate(
+            entry["output"],
+            entry["type"],
+            entry["inputs"],
+            delays={
+                name: _decode_number(value)
+                for name, value in entry["delays"].items()
+            },
+            initial=entry.get("initial", 0),
+        )
+    for entry in data.get("stimuli", []):
+        netlist.add_stimulus(entry["signal"], _decode_number(entry.get("time", 0)))
+    return netlist
+
+
+# ----------------------------------------------------------------------
+# File-level helpers
+# ----------------------------------------------------------------------
+def dumps(obj: Union[TimedSignalGraph, Netlist], indent: int = 2) -> str:
+    if isinstance(obj, TimedSignalGraph):
+        return json.dumps(graph_to_dict(obj), indent=indent)
+    if isinstance(obj, Netlist):
+        return json.dumps(netlist_to_dict(obj), indent=indent)
+    raise FormatError("cannot serialise %r" % type(obj).__name__)
+
+
+def loads(text: str) -> Union[TimedSignalGraph, Netlist]:
+    data = json.loads(text)
+    kind = data.get("kind")
+    if kind == "timed-signal-graph":
+        return graph_from_dict(data)
+    if kind == "netlist":
+        return netlist_from_dict(data)
+    raise FormatError("unknown document kind %r" % kind)
+
+
+def load(path: str) -> Union[TimedSignalGraph, Netlist]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())
+
+
+def dump(obj: Union[TimedSignalGraph, Netlist], path: str, indent: int = 2) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(obj, indent=indent))
+        handle.write("\n")

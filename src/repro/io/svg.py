@@ -1,0 +1,224 @@
+"""Dependency-free SVG rendering of graphs and waveforms.
+
+Graphviz (see :mod:`repro.io.dot`) gives the best graph layouts but
+needs an external binary; this module renders directly to SVG text so
+results are viewable anywhere:
+
+* :func:`graph_to_svg` — the Timed Signal Graph on a circular layout
+  (repetitive core on the circle, prefix events stacked to the left),
+  tokens drawn as filled dots, disengageable arcs dashed, critical
+  cycles highlighted — the visual language of the paper's Figure 1b;
+* :func:`waveforms_to_svg` — a timing diagram (Figure 1c/d) with real
+  coordinates rather than ASCII cells.
+
+The output is deliberately simple, deterministic SVG 1.1 with inline
+styles — stable enough to regression-test as text.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.cycles import Cycle
+from ..core.events import Transition, event_label
+from ..core.signal_graph import TimedSignalGraph
+from ..core.simulation import _SimulationBase
+
+_FONT = 'font-family="Helvetica,Arial,sans-serif" font-size="12"'
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+# ----------------------------------------------------------------------
+# graph rendering
+# ----------------------------------------------------------------------
+def _layout(graph: TimedSignalGraph, radius: float, center: Tuple[float, float]):
+    """Circular layout for the core, a left-hand column for the rest."""
+    positions: Dict[object, Tuple[float, float]] = {}
+    core = [e for e in graph.events if e in graph.repetitive_events]
+    rest = [e for e in graph.events if e not in graph.repetitive_events]
+    count = max(len(core), 1)
+    for index, event in enumerate(core):
+        angle = 2 * math.pi * index / count - math.pi / 2
+        positions[event] = (
+            center[0] + radius * math.cos(angle),
+            center[1] + radius * math.sin(angle),
+        )
+    for index, event in enumerate(rest):
+        positions[event] = (40.0, 60.0 + 50.0 * index)
+    return positions
+
+
+def graph_to_svg(
+    graph: TimedSignalGraph,
+    critical: Optional[Sequence[Cycle]] = None,
+    size: int = 480,
+) -> str:
+    """Render the graph as an SVG document string."""
+    critical_arcs = set()
+    for cycle in critical or ():
+        events = list(cycle.events)
+        for position, event in enumerate(events):
+            critical_arcs.add((event, events[(position + 1) % len(events)]))
+
+    center = (size * 0.58, size * 0.5)
+    radius = size * 0.36
+    positions = _layout(graph, radius, center)
+
+    parts = [
+        '<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" '
+        'viewBox="0 0 %d %d">' % (size, size, size, size),
+        '<rect width="100%" height="100%" fill="white"/>',
+        '<title>%s</title>' % _escape(graph.name),
+    ]
+
+    for arc in graph.arcs:
+        x1, y1 = positions[arc.source]
+        x2, y2 = positions[arc.target]
+        is_critical = (arc.source, arc.target) in critical_arcs
+        color = "#c62828" if is_critical else "#455a64"
+        width = 2.4 if is_critical else 1.2
+        dash = ' stroke-dasharray="6 4"' if arc.disengageable else ""
+        if arc.source == arc.target:  # self loop
+            parts.append(
+                '<circle cx="%.1f" cy="%.1f" r="18" fill="none" '
+                'stroke="%s" stroke-width="%.1f"/>' % (x1, y1 - 22, color, width)
+            )
+            continue
+        # shorten the line so arrowheads sit outside node labels
+        dx, dy = x2 - x1, y2 - y1
+        length = math.hypot(dx, dy) or 1.0
+        ux, uy = dx / length, dy / length
+        sx, sy = x1 + 16 * ux, y1 + 16 * uy
+        tx, ty = x2 - 20 * ux, y2 - 20 * uy
+        parts.append(
+            '<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" '
+            'stroke-width="%.1f"%s/>' % (sx, sy, tx, ty, color, width, dash)
+        )
+        # arrowhead
+        left = (-uy, ux)
+        parts.append(
+            '<polygon points="%.1f,%.1f %.1f,%.1f %.1f,%.1f" fill="%s"/>'
+            % (
+                tx, ty,
+                tx - 8 * ux + 3.5 * left[0], ty - 8 * uy + 3.5 * left[1],
+                tx - 8 * ux - 3.5 * left[0], ty - 8 * uy - 3.5 * left[1],
+                color,
+            )
+        )
+        mx, my = (sx + tx) / 2, (sy + ty) / 2
+        parts.append(
+            '<text x="%.1f" y="%.1f" %s fill="%s">%s</text>'
+            % (mx + 4, my - 4, _FONT, color, _escape(str(arc.delay)))
+        )
+        if arc.marked:  # token dot at 40% along the arc
+            bx, by = sx + 0.4 * (tx - sx), sy + 0.4 * (ty - sy)
+            parts.append(
+                '<circle cx="%.1f" cy="%.1f" r="4.5" fill="#1a1a1a"/>' % (bx, by)
+            )
+
+    for event, (x, y) in positions.items():
+        label = event_label(event)
+        if isinstance(event, Transition):
+            label = event.pretty()
+        parts.append(
+            '<text x="%.1f" y="%.1f" text-anchor="middle" '
+            'dominant-baseline="middle" %s font-weight="bold">%s</text>'
+            % (x, y, _FONT, _escape(label))
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+# ----------------------------------------------------------------------
+# waveform rendering
+# ----------------------------------------------------------------------
+def waveforms_to_svg(
+    simulation: _SimulationBase,
+    width: int = 640,
+    row_height: int = 34,
+    signals: Optional[Sequence[str]] = None,
+) -> str:
+    """Render a timing simulation as an SVG waveform diagram."""
+    waves: Dict[str, List[Tuple[float, bool]]] = {}
+    for (event, _), time in simulation.times.items():
+        if not isinstance(event, Transition):
+            continue
+        waves.setdefault(event.signal, []).append((float(time), event.is_rising))
+    for transitions in waves.values():
+        transitions.sort()
+    if signals is None:
+        signals = sorted(waves)
+    if not signals:
+        return (
+            '<svg xmlns="http://www.w3.org/2000/svg" width="10" height="10"/>'
+        )
+    horizon = max(
+        (transitions[-1][0] for transitions in waves.values() if transitions),
+        default=1.0,
+    ) or 1.0
+    left_margin = 60.0
+    plot_width = width - left_margin - 12
+
+    def x_of(time: float) -> float:
+        return left_margin + plot_width * time / horizon
+
+    height = row_height * len(signals) + 40
+    parts = [
+        '<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">'
+        % (width, height),
+        '<rect width="100%" height="100%" fill="white"/>',
+    ]
+    for row, name in enumerate(signals):
+        base = 18 + row * row_height
+        high_y = base + 4
+        low_y = base + row_height - 10
+        parts.append(
+            '<text x="8" y="%.1f" %s>%s</text>'
+            % ((high_y + low_y) / 2 + 4, _FONT, _escape(name))
+        )
+        transitions = waves.get(name, [])
+        level = (not transitions[0][1]) if transitions else False
+        points = ["%.1f,%.1f" % (left_margin, high_y if level else low_y)]
+        for time, rising in transitions:
+            x = x_of(time)
+            points.append("%.1f,%.1f" % (x, high_y if level else low_y))
+            level = rising
+            points.append("%.1f,%.1f" % (x, high_y if level else low_y))
+        points.append("%.1f,%.1f" % (x_of(horizon), high_y if level else low_y))
+        parts.append(
+            '<polyline points="%s" fill="none" stroke="#1565c0" '
+            'stroke-width="1.8"/>' % " ".join(points)
+        )
+    # time axis
+    axis_y = height - 14
+    parts.append(
+        '<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#888"/>'
+        % (left_margin, axis_y, x_of(horizon), axis_y)
+    )
+    ticks = 8
+    for tick in range(ticks + 1):
+        value = horizon * tick / ticks
+        x = x_of(value)
+        parts.append(
+            '<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#888"/>'
+            % (x, axis_y - 3, x, axis_y + 3)
+        )
+        parts.append(
+            '<text x="%.1f" y="%d" text-anchor="middle" %s fill="#555">%g</text>'
+            % (x, axis_y + 14 - 2, _FONT, round(value, 2))
+        )
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def write_svg(text: str, path: str) -> None:
+    """Write an SVG string to a file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)

@@ -1,0 +1,24 @@
+"""Equivalent front-end models: Marked Graphs and Event-Rule Systems.
+
+The paper's algorithm applies to "any other equivalent model"
+(Section I); these modules provide the two it names — Marked Graphs
+[5] in Petri-net vocabulary and Burns' Event-Rule Systems [2] — as
+thin, lossless front-ends over the Timed Signal Graph core.
+"""
+
+from .event_rules import EventRuleSystem, Rule
+from .event_rules import cycle_time as ers_cycle_time
+from .marked_graph import MarkedGraph, Place
+from .petri import PetriNet, PetriPlace
+from .marked_graph import cycle_time as marked_graph_cycle_time
+
+__all__ = [
+    "PetriNet",
+    "PetriPlace",
+    "EventRuleSystem",
+    "MarkedGraph",
+    "Place",
+    "Rule",
+    "ers_cycle_time",
+    "marked_graph_cycle_time",
+]

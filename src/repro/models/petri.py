@@ -1,0 +1,165 @@
+"""General place/transition nets and the marked-graph check.
+
+Signal Graphs are the Petri-net subclass where every place has exactly
+one producer and one consumer ("no conflict situations are possible",
+footnote 1 of the paper).  Real specifications often arrive as general
+nets; this module accepts them, *checks* whether they are (timed)
+marked graphs, and converts exactly when they are:
+
+* :class:`PetriNet` — places and transitions with arbitrary arcs,
+  tokens per place, delay per place;
+* :func:`is_marked_graph` / :func:`marked_graph_violations` — the
+  structural test, with precise diagnostics (which place has
+  choice/merge);
+* :meth:`PetriNet.to_marked_graph` — conversion to
+  :class:`repro.models.marked_graph.MarkedGraph` (and from there to a
+  Timed Signal Graph) when the test passes, a typed error otherwise.
+
+The conversion refuses nets with choice rather than approximating
+them: the paper's model "Neither OR-causality, nor non-deterministic
+choice is considered" (Section III-A), and silently linearising a
+choice would produce wrong cycle times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.arithmetic import Number
+from ..core.errors import GraphConstructionError, NotWellFormedError
+from .marked_graph import MarkedGraph
+
+
+@dataclass(frozen=True)
+class PetriPlace:
+    """A place with its producers/consumers resolved lazily."""
+
+    name: str
+    tokens: int
+    delay: Number
+
+
+class PetriNet:
+    """A place/transition net with timing on places."""
+
+    def __init__(self, name: str = "petri-net"):
+        self.name = name
+        self._transitions: List[str] = []
+        self._places: Dict[str, PetriPlace] = {}
+        self._inputs: Dict[str, List[str]] = {}   # place -> producer transitions
+        self._outputs: Dict[str, List[str]] = {}  # place -> consumer transitions
+
+    # ------------------------------------------------------------------
+    def add_transition(self, name: str) -> str:
+        if name not in self._transitions:
+            self._transitions.append(name)
+        return name
+
+    def add_place(
+        self,
+        name: str,
+        tokens: int = 0,
+        delay: Number = 0,
+    ) -> PetriPlace:
+        if name in self._places:
+            raise GraphConstructionError("duplicate place %r" % name)
+        if tokens < 0:
+            raise GraphConstructionError("tokens must be non-negative")
+        place = PetriPlace(name, tokens, delay)
+        self._places[name] = place
+        self._inputs[name] = []
+        self._outputs[name] = []
+        return place
+
+    def add_arc(self, source: str, target: str) -> None:
+        """Connect transition -> place or place -> transition."""
+        source_is_place = source in self._places
+        target_is_place = target in self._places
+        if source_is_place == target_is_place:
+            raise GraphConstructionError(
+                "arcs must connect a transition and a place (%r -> %r)"
+                % (source, target)
+            )
+        if source_is_place:
+            self.add_transition(target)
+            self._outputs[source].append(target)
+        else:
+            self.add_transition(source)
+            self._inputs[target].append(source)
+
+    # ------------------------------------------------------------------
+    @property
+    def places(self) -> List[PetriPlace]:
+        return list(self._places.values())
+
+    @property
+    def transitions(self) -> List[str]:
+        return list(self._transitions)
+
+    def producers(self, place: str) -> List[str]:
+        return list(self._inputs[place])
+
+    def consumers(self, place: str) -> List[str]:
+        return list(self._outputs[place])
+
+    # ------------------------------------------------------------------
+    def marked_graph_violations(self) -> List[str]:
+        """Human-readable reasons this net is not a marked graph."""
+        problems = []
+        for name in self._places:
+            producers = self._inputs[name]
+            consumers = self._outputs[name]
+            if len(producers) != 1:
+                problems.append(
+                    "place %r has %d producers (needs exactly 1)%s"
+                    % (
+                        name,
+                        len(producers),
+                        " — merge/OR-join" if len(producers) > 1 else "",
+                    )
+                )
+            if len(consumers) != 1:
+                problems.append(
+                    "place %r has %d consumers (needs exactly 1)%s"
+                    % (
+                        name,
+                        len(consumers),
+                        " — choice/conflict" if len(consumers) > 1 else "",
+                    )
+                )
+        return problems
+
+    def is_marked_graph(self) -> bool:
+        return not self.marked_graph_violations()
+
+    def to_marked_graph(self) -> MarkedGraph:
+        """Convert, raising with diagnostics when the net has choice."""
+        problems = self.marked_graph_violations()
+        if problems:
+            raise NotWellFormedError(
+                "not a marked graph: " + "; ".join(problems)
+            )
+        result = MarkedGraph(self.name)
+        for place in self._places.values():
+            (producer,) = self._inputs[place.name]
+            (consumer,) = self._outputs[place.name]
+            result.add_place(
+                place.name,
+                producer,
+                consumer,
+                delay=place.delay,
+                tokens=place.tokens,
+            )
+        return result
+
+    def to_signal_graph(self):
+        """Straight to a Timed Signal Graph (via the marked graph)."""
+        return self.to_marked_graph().to_signal_graph()
+
+    def __repr__(self) -> str:
+        return "PetriNet(name=%r, transitions=%d, places=%d)" % (
+            self.name,
+            len(self._transitions),
+            len(self._places),
+        )

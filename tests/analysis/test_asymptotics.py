@@ -1,0 +1,66 @@
+"""Unit tests for the Figure 4 asymptotics analysis."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import delta_series, render_series
+
+
+class TestDeltaSeries:
+    def test_on_critical_event(self, oscillator):
+        series = delta_series(oscillator, "a+", periods=8)
+        assert series.on_critical_cycle
+        assert series.reaches_cycle_time
+        assert series.maximum == 10
+        assert series.cycle_time == 10
+
+    def test_off_critical_event(self, oscillator):
+        series = delta_series(oscillator, "b+", periods=30)
+        assert not series.on_critical_cycle
+        assert not series.reaches_cycle_time
+        assert series.maximum < 10
+
+    def test_points_well_formed(self, oscillator):
+        series = delta_series(oscillator, "a+", periods=5)
+        assert [index for index, _ in series.points] == [1, 2, 3, 4, 5]
+
+    def test_verdicts(self, oscillator):
+        on = delta_series(oscillator, "a+", periods=5)
+        off = delta_series(oscillator, "b+", periods=5)
+        assert "on a critical cycle" in on.verdict()
+        assert "off critical cycles" in off.verdict()
+        assert "never reaches" in off.verdict()
+
+    def test_result_can_be_precomputed(self, oscillator):
+        from repro.core import compute_cycle_time
+
+        result = compute_cycle_time(oscillator)
+        series = delta_series(oscillator, "a+", periods=4, result=result)
+        assert series.cycle_time == result.cycle_time
+
+    def test_muller_ring_oscillating_series(self, muller_ring_graph):
+        # the ring's δ sequence oscillates (6, 6.5, 20/3, 6.5, ...)
+        series = delta_series(muller_ring_graph, "s0+", periods=9)
+        values = [delta for _, delta in series.points]
+        assert values[2] == Fraction(20, 3)
+        assert values[3] < Fraction(20, 3)
+        assert series.on_critical_cycle
+
+
+class TestRenderSeries:
+    def test_renders_asymptote_line(self, oscillator):
+        series = delta_series(oscillator, "b+", periods=12)
+        chart = render_series(series)
+        assert "λ=10" in chart
+        assert "o" in chart
+
+    def test_marks_points_reaching_lambda(self, oscillator):
+        series = delta_series(oscillator, "a+", periods=6)
+        chart = render_series(series)
+        assert "*" in chart
+
+    def test_empty_series(self, oscillator):
+        series = delta_series(oscillator, "a+", periods=2)
+        series.points.clear()
+        assert "empty" in render_series(series)

@@ -1,0 +1,82 @@
+"""Unit tests for design comparison."""
+
+import json
+
+import pytest
+
+from repro.analysis import compare_designs
+from repro.circuits.library import oscillator_tsg
+
+
+def tuned_oscillator():
+    after = oscillator_tsg()
+    after.set_delay("a+", "c+", 1)   # speed the bottleneck up
+    after.set_delay("b-", "c-", 5)   # push an off-critical arc past its slack
+    return after
+
+
+class TestCompareDesigns:
+    def test_cycle_time_delta(self, oscillator):
+        comparison = compare_designs(oscillator, tuned_oscillator())
+        assert comparison.before.cycle_time == 10
+        assert comparison.after.cycle_time == 9
+        assert comparison.cycle_time_delta == -1
+        assert comparison.speedup == pytest.approx(10 / 9)
+
+    def test_arc_changes_annotated(self, oscillator):
+        comparison = compare_designs(oscillator, tuned_oscillator())
+        by_pair = {
+            (str(c.source), str(c.target)): c for c in comparison.arc_changes
+        }
+        assert len(by_pair) == 2
+        retimed = by_pair[("a+", "c+")]
+        assert retimed.kind == "retimed"
+        assert retimed.was_critical and retimed.is_critical
+        slowed = by_pair[("b-", "c-")]
+        assert not slowed.was_critical and slowed.is_critical
+
+    def test_critical_migration(self, oscillator):
+        comparison = compare_designs(oscillator, tuned_oscillator())
+        joined = {str(e) for e in comparison.critical_events_joined()}
+        left = {str(e) for e in comparison.critical_events_left()}
+        assert "b-" in joined and "b+" in joined
+        assert "a-" in left
+
+    def test_identical_designs(self, oscillator):
+        comparison = compare_designs(oscillator, oscillator.copy())
+        assert comparison.cycle_time_delta == 0
+        assert comparison.speedup == 1.0
+        assert comparison.arc_changes == []
+        assert not comparison.critical_events_joined()
+
+    def test_structural_changes_reported(self, oscillator):
+        after = oscillator.copy()
+        after.add_arc("c+", "x+", 1)
+        after.add_arc("x+", "c-", 1)
+        comparison = compare_designs(oscillator, after)
+        assert {str(e) for e in comparison.events_added} == {"x+"}
+        added = [c for c in comparison.arc_changes if c.kind == "added"]
+        assert len(added) == 2
+
+    def test_removed_arcs_reported(self, oscillator):
+        after = oscillator.copy()
+        after.remove_arc("b+", "c+")  # b+ leaves the core
+        comparison = compare_designs(oscillator, after)
+        removed = [c for c in comparison.arc_changes if c.kind == "removed"]
+        assert len(removed) == 1
+        assert str(removed[0].source) == "b+"
+
+    def test_json_round_trip(self, oscillator):
+        payload = compare_designs(oscillator, tuned_oscillator()).to_dict()
+        text = json.dumps(payload)
+        parsed = json.loads(text)
+        assert parsed["cycle_time"] == {
+            "before": 10, "after": 9, "delta": -1,
+            "speedup": pytest.approx(10 / 9),
+        }
+        assert parsed["critical_migration"]["left"] == ["a-"]
+
+    def test_summary_text(self, oscillator):
+        text = compare_designs(oscillator, tuned_oscillator()).summary()
+        assert "speedup" in text
+        assert "now critical" in text

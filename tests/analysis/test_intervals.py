@@ -1,0 +1,91 @@
+"""Unit tests for interval delay analysis."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import interval_cycle_time, uniform_interval_cycle_time
+from repro.core import Transition, compute_cycle_time
+from repro.core.errors import GraphConstructionError
+
+
+def T(text):
+    return Transition.parse(text)
+
+
+class TestIntervalCycleTime:
+    def test_bounds_on_oscillator(self, oscillator):
+        bounds = {
+            (T("a+"), T("c+")): (2, 5),  # the critical a+ -> c+ arc
+        }
+        result = interval_cycle_time(oscillator, bounds)
+        assert result.bounds == (9, 12)
+        assert result.spread == 3
+
+    def test_point_intervals_reproduce_fixed_analysis(self, oscillator):
+        bounds = {arc.pair: (arc.delay, arc.delay) for arc in oscillator.arcs}
+        result = interval_cycle_time(oscillator, bounds)
+        assert result.bounds == (10, 10)
+        assert result.spread == 0
+
+    def test_off_critical_interval_no_effect_below_threshold(self, oscillator):
+        # b+ -> c+ has slack 2: widening it by <= 2 leaves λ at 10
+        bounds = {(T("b+"), T("c+")): (2, 4)}
+        result = interval_cycle_time(oscillator, bounds)
+        assert result.bounds == (10, 10)
+
+    def test_off_critical_interval_takes_over_above_threshold(self, oscillator):
+        bounds = {(T("b+"), T("c+")): (2, 9)}
+        result = interval_cycle_time(oscillator, bounds)
+        assert result.bounds == (10, 15)  # b-cycle becomes critical
+
+    def test_any_fixed_choice_within_bounds(self, oscillator):
+        bounds = {
+            (T("a+"), T("c+")): (1, 6),
+            (T("c-"), T("b+")): (0, 3),
+        }
+        result = interval_cycle_time(oscillator, bounds)
+        low, high = result.bounds
+        # probe a few interior corners
+        for a_delay, b_delay in [(1, 3), (6, 0), (3, 2), (4, 1)]:
+            probe = oscillator.copy()
+            probe.set_delay("a+", "c+", a_delay)
+            probe.set_delay("c-", "b+", b_delay)
+            value = compute_cycle_time(probe).cycle_time
+            assert low <= value <= high
+
+    def test_missing_arc_rejected(self, oscillator):
+        with pytest.raises(GraphConstructionError):
+            interval_cycle_time(oscillator, {(T("a+"), T("b+")): (1, 2)})
+
+    def test_empty_interval_rejected(self, oscillator):
+        with pytest.raises(GraphConstructionError):
+            interval_cycle_time(oscillator, {(T("a+"), T("c+")): (5, 2)})
+
+    def test_robust_critical_events(self, oscillator):
+        bounds = {(T("a+"), T("c+")): (3, 4)}
+        result = interval_cycle_time(oscillator, bounds)
+        robust = {str(e) for e in result.robust_critical_events()}
+        assert robust == {"a+", "c+", "a-", "c-"}
+
+    def test_str(self, oscillator):
+        result = interval_cycle_time(oscillator, {(T("a+"), T("c+")): (2, 4)})
+        assert "cycle time in [" in str(result)
+
+
+class TestUniformMargin:
+    def test_exact_fraction_margin(self, oscillator):
+        result = uniform_interval_cycle_time(oscillator, Fraction(1, 10))
+        assert result.bounds == (9, 11)  # λ scales with all delays
+
+    def test_zero_margin(self, oscillator):
+        result = uniform_interval_cycle_time(oscillator, 0)
+        assert result.spread == 0
+
+    def test_negative_margin_rejected(self, oscillator):
+        with pytest.raises(GraphConstructionError):
+            uniform_interval_cycle_time(oscillator, -0.1)
+
+    def test_muller_ring(self, muller_ring_graph):
+        result = uniform_interval_cycle_time(muller_ring_graph, Fraction(1, 2))
+        assert result.bounds == (Fraction(10, 3), 10)

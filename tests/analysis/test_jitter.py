@@ -1,0 +1,68 @@
+"""Unit tests for per-firing jitter analysis."""
+
+import pytest
+
+from repro.analysis import (
+    normal_spread,
+    stochastic_cycle_time,
+    uniform_spread,
+)
+from repro.core.errors import SignalGraphError
+
+
+class TestStochasticCycleTime:
+    def test_zero_jitter_recovers_deterministic(self, oscillator):
+        result = stochastic_cycle_time(
+            oscillator, uniform_spread(0.0), periods=150, seed=1
+        )
+        assert result.average_distance == pytest.approx(result.deterministic)
+        assert result.penalty == pytest.approx(0.0)
+
+    def test_jensen_penalty_nonnegative(self, oscillator, muller_ring_graph):
+        for graph in (oscillator, muller_ring_graph):
+            result = stochastic_cycle_time(
+                graph, uniform_spread(0.3), periods=500, seed=3
+            )
+            assert result.penalty > -0.05  # sampling noise tolerance
+            # symmetric zero-mean jitter cannot *help* on average
+            assert result.average_distance >= result.deterministic - 0.05
+
+    def test_fully_critical_graph_pays_more(self, oscillator, muller_ring_graph):
+        """The ring (no slack anywhere) suffers a larger relative
+        penalty than the slack-rich oscillator."""
+        osc = stochastic_cycle_time(
+            oscillator, uniform_spread(0.3), periods=800, seed=5
+        )
+        ring = stochastic_cycle_time(
+            muller_ring_graph, uniform_spread(0.3), periods=800, seed=5
+        )
+        assert ring.relative_penalty > osc.relative_penalty
+
+    def test_reproducible_by_seed(self, oscillator):
+        a = stochastic_cycle_time(oscillator, normal_spread(0.2), 200, seed=9)
+        b = stochastic_cycle_time(oscillator, normal_spread(0.2), 200, seed=9)
+        assert a.average_distance == b.average_distance
+
+    def test_explicit_witness(self, oscillator):
+        result = stochastic_cycle_time(
+            oscillator, uniform_spread(0.1), periods=200, seed=1, witness="b-"
+        )
+        assert result.average_distance == pytest.approx(10, rel=0.05)
+
+    def test_periods_must_exceed_warmup(self, oscillator):
+        with pytest.raises(SignalGraphError):
+            stochastic_cycle_time(
+                oscillator, uniform_spread(0.1), periods=10, warmup=50
+            )
+
+    def test_str(self, oscillator):
+        result = stochastic_cycle_time(
+            oscillator, uniform_spread(0.1), periods=120, seed=0
+        )
+        assert "penalty" in str(result)
+
+    def test_jitter_penalty_wrapper(self, oscillator):
+        from repro.analysis import jitter_penalty
+
+        penalty = jitter_penalty(oscillator, uniform_spread(0.0), periods=120)
+        assert penalty == pytest.approx(0.0)

@@ -1,0 +1,71 @@
+"""Unit tests for transient latency analysis."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.latency import (
+    SettlingReport,
+    first_occurrence_latencies,
+    latency_to,
+    settling_period,
+)
+from repro.core import Transition
+from repro.core.errors import SimulationError
+
+
+def T(text):
+    return Transition.parse(text)
+
+
+class TestFirstOccurrenceLatencies:
+    def test_oscillator_values(self, oscillator):
+        latencies = {str(e): t for e, t in first_occurrence_latencies(oscillator).items()}
+        assert latencies == {
+            "e-": 0, "f-": 3, "a+": 2, "b+": 4,
+            "c+": 6, "a-": 8, "b-": 7, "c-": 11,
+        }
+
+    def test_ring(self, muller_ring_graph):
+        latencies = first_occurrence_latencies(muller_ring_graph)
+        assert min(latencies.values()) == 0
+        assert all(value >= 0 for value in latencies.values())
+
+
+class TestLatencyTo:
+    def test_kth_occurrence(self, oscillator):
+        assert latency_to(oscillator, "a+", 0) == 2
+        assert latency_to(oscillator, "a+", 1) == 13
+        assert latency_to(oscillator, "a+", 4) == 43
+
+    def test_nonrepetitive_later_occurrence_rejected(self, oscillator):
+        assert latency_to(oscillator, "f-", 0) == 3
+        with pytest.raises(SimulationError):
+            latency_to(oscillator, "f-", 1)
+
+
+class TestSettlingPeriod:
+    def test_oscillator_settles_immediately_after_startup(self, oscillator):
+        report = settling_period(oscillator, "a+")
+        assert report.pattern == [10]
+        assert report.pattern_length == 1
+        assert report.settle_index <= 1
+        assert "pattern" in str(report)
+
+    def test_ring_pattern_6_7_7(self, muller_ring_graph):
+        report = settling_period(muller_ring_graph, "s0+")
+        assert report.pattern_length == 3
+        assert sorted(report.pattern) == [6, 7, 7]
+        assert sum(report.pattern) == 20
+        assert report.cycle_time == Fraction(20, 3)
+
+    def test_default_event_is_first_border(self, oscillator):
+        report = settling_period(oscillator)
+        assert report.event == T("a+")
+
+    def test_unbalanced_ring(self):
+        from repro.generators import unbalanced_ring
+
+        graph = unbalanced_ring(stages=5, slow_stage=0, slow_delay=6)
+        report = settling_period(graph, "u0")
+        assert report.pattern == [10]  # 6 + 4*1

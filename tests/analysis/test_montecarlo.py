@@ -1,0 +1,85 @@
+"""Unit tests for Monte-Carlo delay analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    monte_carlo_cycle_time,
+    normal_spread,
+    uniform_spread,
+)
+from repro.analysis.intervals import uniform_interval_cycle_time
+from repro.core.errors import GraphConstructionError
+
+
+class TestSamplers:
+    def test_uniform_bounds(self):
+        rng = np.random.default_rng(0)
+        sampler = uniform_spread(0.2)
+        values = [sampler(rng, 10.0) for _ in range(200)]
+        assert all(8.0 <= v <= 12.0 for v in values)
+        assert max(values) > 11 and min(values) < 9
+
+    def test_normal_truncated_at_zero(self):
+        rng = np.random.default_rng(0)
+        sampler = normal_spread(5.0)  # huge sigma to force truncation
+        values = [sampler(rng, 1.0) for _ in range(200)]
+        assert all(v >= 0.0 for v in values)
+
+
+class TestMonteCarlo:
+    def test_reproducible_by_seed(self, oscillator):
+        a = monte_carlo_cycle_time(oscillator, uniform_spread(0.1), 50, seed=7)
+        b = monte_carlo_cycle_time(oscillator, uniform_spread(0.1), 50, seed=7)
+        assert np.array_equal(a.samples, b.samples)
+        assert a.criticality == b.criticality
+
+    def test_zero_spread_is_deterministic(self, oscillator):
+        result = monte_carlo_cycle_time(oscillator, uniform_spread(0.0), 20)
+        assert np.allclose(result.samples, 10.0)
+        assert result.std == 0.0
+
+    def test_samples_within_interval_bounds(self, oscillator):
+        margin = 0.25
+        interval = uniform_interval_cycle_time(oscillator, margin)
+        low, high = (float(b) for b in interval.bounds)
+        result = monte_carlo_cycle_time(
+            oscillator, uniform_spread(margin), 300, seed=3
+        )
+        assert result.samples.min() >= low - 1e-9
+        assert result.samples.max() <= high + 1e-9
+
+    def test_criticality_concentrates_on_critical_cycle(self, oscillator):
+        result = monte_carlo_cycle_time(
+            oscillator, uniform_spread(0.05), 200, seed=5
+        )
+        assert result.criticality[_pair(oscillator, "a+", "c+")] > 0.95
+        assert result.criticality[_pair(oscillator, "b+", "c+")] < 0.05
+
+    def test_statistics_and_summary(self, oscillator):
+        result = monte_carlo_cycle_time(
+            oscillator, uniform_spread(0.2), 100, seed=1
+        )
+        assert 9.0 < result.mean < 11.0
+        assert result.quantile(0.05) <= result.quantile(0.95)
+        histogram = result.histogram(bins=5)
+        assert sum(count for _, _, count in histogram) == 100
+        text = result.summary()
+        assert "mean" in text and "bottleneck" in text
+
+    def test_top_critical_arcs(self, oscillator):
+        result = monte_carlo_cycle_time(
+            oscillator, uniform_spread(0.1), 50, seed=2
+        )
+        top = result.top_critical_arcs(3)
+        assert len(top) == 3
+        assert top[0][1] >= top[-1][1]
+
+    def test_rejects_zero_samples(self, oscillator):
+        with pytest.raises(GraphConstructionError):
+            monte_carlo_cycle_time(oscillator, uniform_spread(0.1), 0)
+
+
+def _pair(graph, source, target):
+    arc = graph.arc(source, target)
+    return arc.pair

@@ -1,0 +1,76 @@
+"""Unit tests for the consolidated report builder."""
+
+import json
+
+import pytest
+
+from repro.analysis import full_report
+
+
+class TestFullReport:
+    def test_text_contains_all_sections(self, oscillator):
+        report = full_report(oscillator)
+        text = report.to_text()
+        assert "cycle time: 10" in text
+        assert "dλ/dδ" in text
+        assert "timing diagram" in text
+        assert "#" in text  # waveform present
+
+    def test_diagram_optional(self, oscillator):
+        report = full_report(oscillator, include_diagram=False)
+        assert report.diagram is None
+        assert "timing diagram" not in report.to_text()
+
+    def test_dict_is_json_serialisable(self, oscillator):
+        payload = full_report(oscillator).to_dict()
+        text = json.dumps(payload)
+        parsed = json.loads(text)
+        assert parsed["cycle_time"] == 10
+        assert parsed["graph"]["border_events"] == ["a+", "b+"]
+
+    def test_dict_fraction_encoding(self, muller_ring_graph):
+        payload = full_report(muller_ring_graph, include_diagram=False).to_dict()
+        assert payload["cycle_time"] == {"fraction": [20, 3]}
+
+    def test_dict_critical_cycles_exhaustive(self, oscillator):
+        payload = full_report(oscillator).to_dict()
+        assert len(payload["critical_cycles"]) == 1
+        cycle = payload["critical_cycles"][0]
+        assert set(cycle["events"]) == {"a+", "c+", "a-", "c-"}
+        assert cycle["length"] == 10
+
+    def test_dict_slacks_complete(self, oscillator):
+        payload = full_report(oscillator).to_dict()
+        # 8 repetitive-core arcs carry slacks
+        assert len(payload["slacks"]) == 8
+        zero = [row for row in payload["slacks"] if row["slack"] == 0]
+        assert len(zero) == 6
+
+    def test_border_distance_rows(self, oscillator):
+        payload = full_report(oscillator).to_dict()
+        rows = payload["border_distances"]
+        assert {(r["border_event"], r["period"], r["distance"]) for r in rows} == {
+            ("a+", 1, 10),
+            ("a+", 2, 10),
+            ("b+", 1, 8),
+            ("b+", 2, 9),
+        }
+
+    def test_cycle_time_property(self, oscillator):
+        assert full_report(oscillator).cycle_time == 10
+
+
+class TestCLIIntegration:
+    def test_report_json(self, capsys):
+        from repro.cli import main
+
+        assert main(["report", "oscillator", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cycle_time"] == 10
+
+    def test_report_full(self, capsys):
+        from repro.cli import main
+
+        assert main(["report", "oscillator", "--full"]) == 0
+        out = capsys.readouterr().out
+        assert "timing diagram" in out

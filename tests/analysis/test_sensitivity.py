@@ -1,0 +1,75 @@
+"""Unit tests for sensitivity analysis and bottleneck optimisation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import delay_sensitivities, optimize_bottlenecks
+from repro.core import TimedSignalGraph, compute_cycle_time
+from repro.generators import unbalanced_ring
+
+
+class TestSensitivities:
+    def test_critical_arcs_have_unit_sensitivity(self, oscillator):
+        rows = delay_sensitivities(oscillator)
+        by_pair = {(str(r.source), str(r.target)): r.sensitivity for r in rows}
+        assert by_pair[("a+", "c+")] == 1
+        assert by_pair[("c-", "a+")] == 1
+        assert by_pair[("b+", "c+")] == 0
+        # zero-slack but off-cycle arcs are NOT sensitive
+        assert by_pair[("c+", "b-")] == 0
+
+    def test_sorted_by_sensitivity(self, oscillator):
+        rows = delay_sensitivities(oscillator)
+        values = [float(r.sensitivity) for r in rows]
+        assert values == sorted(values, reverse=True)
+
+    def test_multi_period_cycle_sensitivity(self, muller_ring_graph):
+        rows = delay_sensitivities(muller_ring_graph)
+        positive = [r for r in rows if r.sensitivity > 0]
+        assert positive
+        assert all(r.sensitivity == Fraction(1, 3) for r in positive)
+
+    def test_sensitivity_predicts_perturbation(self, oscillator):
+        rows = delay_sensitivities(oscillator)
+        lam = compute_cycle_time(oscillator).cycle_time
+        for row in rows:
+            perturbed = oscillator.copy()
+            perturbed.set_delay(row.source, row.target, row.delay + Fraction(1, 100))
+            new_lam = compute_cycle_time(perturbed).cycle_time
+            assert new_lam - lam == row.sensitivity * Fraction(1, 100), row
+
+    def test_str(self, oscillator):
+        assert "dλ/dδ" in str(delay_sensitivities(oscillator)[0])
+
+
+class TestOptimization:
+    def test_single_bottleneck_removed(self):
+        g = unbalanced_ring(stages=6, slow_stage=2, slow_delay=20)
+        improved, log = optimize_bottlenecks(g, steps=1, shave=10)
+        assert log[0].cycle_time_before == 25
+        assert log[0].cycle_time_after == 15
+        assert compute_cycle_time(improved).cycle_time == 15
+
+    def test_monotone_improvement(self, oscillator):
+        improved, log = optimize_bottlenecks(oscillator, steps=4, shave=1)
+        for step in log:
+            assert step.cycle_time_after <= step.cycle_time_before
+
+    def test_stops_at_floor(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 1)
+        g.add_arc("b+", "a+", 1, marked=True)
+        improved, log = optimize_bottlenecks(g, steps=10, shave=1, floor=0)
+        assert compute_cycle_time(improved).cycle_time == 0
+        assert len(log) <= 10
+
+    def test_original_untouched(self, oscillator):
+        before = compute_cycle_time(oscillator).cycle_time
+        optimize_bottlenecks(oscillator, steps=2)
+        assert compute_cycle_time(oscillator).cycle_time == before
+
+    def test_step_log_describes_arcs(self, oscillator):
+        _, log = optimize_bottlenecks(oscillator, steps=1)
+        step = log[0]
+        assert step.new_delay == step.old_delay - 1

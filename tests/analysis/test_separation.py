@@ -1,0 +1,82 @@
+"""Unit tests for event separation analysis."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import (
+    separation_report,
+    steady_separation,
+    transient_separations,
+)
+from repro.core import compute_cycle_time
+from repro.core.errors import SimulationError
+
+
+class TestTransientSeparations:
+    def test_same_period_pair(self, oscillator):
+        rows = transient_separations(oscillator, "a+", "c+", periods=3)
+        # t(c+_i) - t(a+_i): 4, 3, 3, 3 (start-up then settled)
+        assert rows == [(0, 4), (1, 3), (2, 3), (3, 3)]
+
+    def test_offset_pair(self, oscillator):
+        rows = transient_separations(oscillator, "c-", "a+", periods=3, offset=1)
+        # a+ always fires 2 after the previous c- (the marked arc)
+        assert all(value == 2 for _, value in rows)
+
+    def test_self_separation_is_occurrence_distance(self, oscillator):
+        rows = transient_separations(oscillator, "a+", "a+", periods=3, offset=1)
+        assert rows[0] == (0, 11)
+        assert rows[1] == (1, 10)
+
+    def test_nonrepetitive_events_work_in_period_zero(self, oscillator):
+        rows = transient_separations(oscillator, "e-", "f-", periods=2)
+        assert rows == [(0, 3)]
+
+    def test_impossible_pair_raises(self, oscillator):
+        with pytest.raises(SimulationError):
+            transient_separations(oscillator, "e-", "f-", periods=2, offset=2)
+
+
+class TestSteadySeparation:
+    def test_matches_settled_transient(self, oscillator):
+        steady = steady_separation(oscillator, "a+", "c+")
+        settled = transient_separations(oscillator, "a+", "c+", periods=10)[-1]
+        assert steady == settled[1] == 3
+
+    def test_antisymmetry_with_offset(self, oscillator):
+        forward = steady_separation(oscillator, "a+", "c+")
+        backward = steady_separation(oscillator, "c+", "a+", offset=1)
+        lam = compute_cycle_time(oscillator).cycle_time
+        assert forward + backward == lam
+
+    def test_self_offset_is_cycle_time(self, oscillator):
+        lam = compute_cycle_time(oscillator).cycle_time
+        assert steady_separation(oscillator, "b-", "b-", offset=1) == lam
+
+    def test_nonrepetitive_rejected(self, oscillator):
+        with pytest.raises(SimulationError):
+            steady_separation(oscillator, "e-", "a+")
+
+    def test_reuses_precomputed_result(self, oscillator):
+        result = compute_cycle_time(oscillator)
+        value = steady_separation(oscillator, "a+", "c+", result=result)
+        assert value == 3
+
+
+class TestSeparationReport:
+    def test_report_structure(self, oscillator):
+        report = separation_report(oscillator, "a+", "c+", periods=6)
+        assert report.steady == 3
+        assert report.settles()
+        assert "a+" in str(report)
+
+    def test_oscillating_ring_pattern(self, muller_ring_graph):
+        """In the ring the per-period separations cycle through a
+        pattern (the Δ row 6,7,7 of the paper's table); the steady
+        potential difference is one representative of that pattern."""
+        rows = transient_separations(
+            muller_ring_graph, "s0+", "s0+", periods=9, offset=1
+        )
+        values = [value for _, value in rows]
+        assert set(values[2:]) == {6, 7}

@@ -1,0 +1,81 @@
+"""Unit tests for Howard's policy iteration."""
+
+from fractions import Fraction
+import random
+
+import networkx as nx
+import pytest
+
+from repro.baselines.howard import max_mean_cycle_howard
+from repro.baselines.karp import max_mean_cycle
+from repro.core.errors import AcyclicGraphError
+
+
+def weighted(edges):
+    g = nx.DiGraph()
+    for u, v, w in edges:
+        g.add_edge(u, v, weight=w)
+    return g
+
+
+class TestHoward:
+    def test_single_cycle(self):
+        g = weighted([("a", "b", 3), ("b", "a", 5)])
+        mean, cycle = max_mean_cycle_howard(g)
+        assert mean == 4
+        assert set(cycle) == {"a", "b"}
+
+    def test_self_loop_beats_cycle(self):
+        g = weighted([("a", "a", 9), ("a", "b", 1), ("b", "a", 1)])
+        mean, cycle = max_mean_cycle_howard(g)
+        assert mean == 9
+        assert cycle == ["a"]
+
+    def test_acyclic_raises(self):
+        g = weighted([("a", "b", 1), ("b", "c", 2)])
+        with pytest.raises(AcyclicGraphError):
+            max_mean_cycle_howard(g)
+
+    def test_dangling_nodes_pruned(self):
+        g = weighted([("a", "b", 2), ("b", "a", 4), ("b", "sink", 100), ("source", "a", 100)])
+        mean, cycle = max_mean_cycle_howard(g)
+        assert mean == 3
+
+    def test_negative_weights(self):
+        g = weighted([("a", "b", -2), ("b", "a", -4), ("b", "c", -1), ("c", "b", -1)])
+        mean, cycle = max_mean_cycle_howard(g)
+        assert mean == -1
+        assert set(cycle) == {"b", "c"}
+
+    def test_returned_cycle_mean_matches(self):
+        g = weighted(
+            [("a", "b", 1), ("b", "c", 8), ("c", "a", 3), ("c", "b", 2), ("b", "a", 7)]
+        )
+        mean, cycle = max_mean_cycle_howard(g)
+        total = sum(
+            g[cycle[i]][cycle[(i + 1) % len(cycle)]]["weight"]
+            for i in range(len(cycle))
+        )
+        assert Fraction(total, len(cycle)) == mean
+
+    def test_agrees_with_karp_on_random_graphs(self):
+        rng = random.Random(42)
+        for trial in range(40):
+            g = nx.DiGraph()
+            n = rng.randint(3, 10)
+            for i in range(n):
+                g.add_edge(i, (i + 1) % n, weight=rng.randint(-10, 10))
+            for _ in range(2 * n):
+                u, v = rng.sample(range(n), 2)
+                g.add_edge(u, v, weight=rng.randint(-10, 10))
+            karp_mean, _ = max_mean_cycle(g)
+            howard_mean, _ = max_mean_cycle_howard(g)
+            assert karp_mean == howard_mean, trial
+
+    def test_multiple_sccs(self):
+        g = weighted(
+            [("a", "b", 2), ("b", "a", 2), ("c", "d", 12), ("d", "c", 2), ("b", "c", 5)]
+        )
+        mean, cycle = max_mean_cycle_howard(g)
+        assert mean == 7
+        assert set(cycle) == {"c", "d"}

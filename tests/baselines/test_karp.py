@@ -1,0 +1,83 @@
+"""Unit tests for Karp's maximum mean cycle."""
+
+from fractions import Fraction
+
+import networkx as nx
+import pytest
+
+from repro.baselines.karp import max_mean_cycle
+from repro.core.errors import AcyclicGraphError
+
+
+def weighted(edges):
+    g = nx.DiGraph()
+    for u, v, w in edges:
+        g.add_edge(u, v, weight=w)
+    return g
+
+
+class TestMaxMeanCycle:
+    def test_single_cycle(self):
+        g = weighted([("a", "b", 3), ("b", "a", 5)])
+        mean, cycle = max_mean_cycle(g)
+        assert mean == Fraction(8, 2)
+        assert set(cycle) == {"a", "b"}
+
+    def test_self_loop(self):
+        g = weighted([("a", "a", 7), ("a", "b", 1), ("b", "a", 1)])
+        mean, cycle = max_mean_cycle(g)
+        assert mean == 7
+        assert cycle == ["a"]
+
+    def test_picks_heavier_of_two(self):
+        g = weighted(
+            [("a", "b", 1), ("b", "a", 1), ("c", "d", 10), ("d", "c", 2), ("b", "c", 0), ("d", "a", 0)]
+        )
+        mean, cycle = max_mean_cycle(g)
+        assert mean == 6
+        assert set(cycle) == {"c", "d"}
+
+    def test_disconnected_components(self):
+        g = weighted([("a", "b", 2), ("b", "a", 2), ("x", "y", 9), ("y", "x", 1)])
+        mean, cycle = max_mean_cycle(g)
+        assert mean == 5
+        assert set(cycle) == {"x", "y"}
+
+    def test_acyclic_raises(self):
+        g = weighted([("a", "b", 1), ("b", "c", 1)])
+        with pytest.raises(AcyclicGraphError):
+            max_mean_cycle(g)
+
+    def test_negative_weights(self):
+        g = weighted([("a", "b", -1), ("b", "a", -3), ("a", "a", -5)])
+        mean, cycle = max_mean_cycle(g)
+        assert mean == Fraction(-4, 2)
+        assert set(cycle) == {"a", "b"}
+
+    def test_longer_cycle_wins_on_mean(self):
+        # triangle mean 4 vs 2-cycle mean 3
+        g = weighted(
+            [("a", "b", 4), ("b", "c", 4), ("c", "a", 4), ("a", "d", 3), ("d", "a", 3)]
+        )
+        mean, cycle = max_mean_cycle(g)
+        assert mean == 4
+        assert set(cycle) == {"a", "b", "c"}
+
+    def test_mean_of_returned_cycle_matches(self):
+        import random
+
+        rng = random.Random(7)
+        for _ in range(20):
+            g = nx.DiGraph()
+            n = rng.randint(3, 8)
+            for i in range(n):
+                g.add_edge(i, (i + 1) % n, weight=rng.randint(-5, 10))
+            for _ in range(n):
+                u, v = rng.sample(range(n), 2)
+                g.add_edge(u, v, weight=rng.randint(-5, 10))
+            mean, cycle = max_mean_cycle(g)
+            total = sum(
+                g[cycle[i]][cycle[(i + 1) % len(cycle)]]["weight"]
+                for i in range(len(cycle))
+            )
+            assert Fraction(total, len(cycle)) == mean

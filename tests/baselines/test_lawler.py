@@ -1,0 +1,77 @@
+"""Unit tests for the Lawler-style ratio search."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines.lawler import max_cycle_ratio_lawler
+from repro.core import TimedSignalGraph
+from repro.core.errors import AcyclicGraphError
+
+
+class TestExactSearch:
+    def test_oscillator(self, oscillator):
+        assert max_cycle_ratio_lawler(oscillator) == 10
+
+    def test_muller_ring_exact_fraction(self, muller_ring_graph):
+        value = max_cycle_ratio_lawler(muller_ring_graph)
+        assert value == Fraction(20, 3)
+        assert isinstance(value, Fraction)
+
+    def test_two_token_ring(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 3, marked=True)
+        g.add_arc("b+", "a+", 4, marked=True)
+        assert max_cycle_ratio_lawler(g) == Fraction(7, 2)
+
+    def test_zero_delays(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 0)
+        g.add_arc("b+", "a+", 0, marked=True)
+        assert max_cycle_ratio_lawler(g) == 0
+
+    def test_fraction_delays(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", Fraction(1, 3))
+        g.add_arc("b+", "a+", Fraction(1, 6), marked=True)
+        assert max_cycle_ratio_lawler(g) == Fraction(1, 2)
+
+    def test_acyclic_rejected(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 1)
+        with pytest.raises(AcyclicGraphError):
+            max_cycle_ratio_lawler(g)
+
+
+class TestFloatSearch:
+    def test_float_delays_tolerance(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 1.25)
+        g.add_arc("b+", "a+", 2.5, marked=True)
+        value = max_cycle_ratio_lawler(g, tolerance=1e-10)
+        assert value == pytest.approx(3.75, abs=1e-8)
+
+    def test_float_competing_cycles(self):
+        g = TimedSignalGraph()
+        g.add_arc("h+", "x+", 1.5)
+        g.add_arc("x+", "h+", 1.5, marked=True)
+        g.add_arc("h+", "y+", 2.75)
+        g.add_arc("y+", "h+", 2.75, marked=True)
+        assert max_cycle_ratio_lawler(g) == pytest.approx(5.5, abs=1e-8)
+
+    def test_float_zero(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 0.0)
+        g.add_arc("b+", "a+", 0.0, marked=True)
+        assert max_cycle_ratio_lawler(g) == 0.0
+
+
+class TestAgainstExhaustive:
+    def test_random_graphs(self):
+        from repro.baselines.exhaustive import max_cycle_ratio_exhaustive
+        from repro.generators import random_live_tsg
+
+        for seed in range(25):
+            g = random_live_tsg(events=7, extra_arcs=8, seed=seed)
+            expected, _ = max_cycle_ratio_exhaustive(g)
+            assert max_cycle_ratio_lawler(g) == expected, seed

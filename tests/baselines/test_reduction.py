@@ -1,0 +1,74 @@
+"""Unit tests for the token-graph reduction."""
+
+from fractions import Fraction
+
+import networkx as nx
+import pytest
+
+from repro.baselines.reduction import reduce_to_token_graph
+from repro.core import TimedSignalGraph, Transition
+from repro.core.errors import AcyclicGraphError
+
+
+def T(text):
+    return Transition.parse(text)
+
+
+class TestReductionStructure:
+    def test_oscillator_two_tokens(self, oscillator):
+        reduced = reduce_to_token_graph(oscillator)
+        assert len(reduced.tokens) == 2
+        assert reduced.graph.number_of_nodes() == 2
+
+    def test_edge_weights_are_longest_paths(self, oscillator):
+        reduced = reduce_to_token_graph(oscillator)
+        token_a = (T("c-"), T("a+"))  # delay 2
+        token_b = (T("c-"), T("b+"))  # delay 1
+        # weight(t1 -> t2) = delay(t1) + longest token-free path from
+        # t1's head to t2's tail; both tokens' tails are c-.
+        # L(a+, c-) = a+ -> c+ -> a- -> c- = 3+2+3 = 8
+        # L(b+, c-) = max(2+2+3, 2+1+2) = 7
+        assert reduced.graph[token_a][token_a]["weight"] == 2 + 8
+        assert reduced.graph[token_a][token_b]["weight"] == 2 + 8
+        assert reduced.graph[token_b][token_a]["weight"] == 1 + 7
+        assert reduced.graph[token_b][token_b]["weight"] == 1 + 7
+
+    def test_max_mean_equals_cycle_time(self, oscillator, muller_ring_graph):
+        from repro.baselines.karp import max_mean_cycle
+
+        assert max_mean_cycle(reduce_to_token_graph(oscillator).graph)[0] == 10
+        assert max_mean_cycle(reduce_to_token_graph(muller_ring_graph).graph)[0] == Fraction(20, 3)
+
+    def test_acyclic_core_rejected(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 1)
+        with pytest.raises(AcyclicGraphError):
+            reduce_to_token_graph(g)
+
+    def test_nonrepetitive_tokens_ignored(self, oscillator):
+        # add a marked arc in the non-repetitive prefix; the reduction
+        # must not treat it as a cycle token
+        oscillator.add_arc("e-", "x-", 1, marked=True)
+        reduced = reduce_to_token_graph(oscillator)
+        assert len(reduced.tokens) == 2
+
+
+class TestExpandCycle:
+    def test_expand_self_token(self, oscillator):
+        reduced = reduce_to_token_graph(oscillator)
+        token_a = (T("c-"), T("a+"))
+        walk = reduced.expand_cycle([token_a])
+        labels = [str(e) for e in walk]
+        assert labels[0] == "a+"
+        assert labels[-1] == "c-"
+        assert set(labels) == {"a+", "c+", "a-", "c-"}
+
+    def test_expand_two_token_cycle(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 3, marked=True)
+        g.add_arc("b+", "a+", 5, marked=True)
+        reduced = reduce_to_token_graph(g)
+        tokens = [arc.pair for arc in reduced.tokens]
+        walk = reduced.expand_cycle(tokens)
+        assert len(walk) == 2
+        assert {str(e) for e in walk} == {"a+", "b+"}

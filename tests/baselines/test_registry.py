@@ -1,0 +1,50 @@
+"""Unit tests for the method registry front-end."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines import (
+    EXACT_METHODS,
+    METHODS,
+    compare_methods,
+    compute_cycle_time,
+)
+
+
+class TestRegistry:
+    def test_all_methods_registered(self):
+        assert set(METHODS) == {"timing", "exhaustive", "karp", "howard", "lawler", "lp"}
+
+    def test_unknown_method_rejected(self, oscillator):
+        with pytest.raises(ValueError):
+            compute_cycle_time(oscillator, method="magic")
+
+    @pytest.mark.parametrize("method", sorted(METHODS))
+    def test_each_method_on_oscillator(self, oscillator, method):
+        outcome = compute_cycle_time(oscillator, method)
+        assert outcome.method == method
+        if method == "lp":
+            assert outcome.cycle_time == pytest.approx(10.0)
+        else:
+            assert outcome.cycle_time == 10
+
+    @pytest.mark.parametrize("method", ["timing", "exhaustive", "karp", "howard"])
+    def test_witness_cycles_achieve_the_ratio(self, oscillator, method):
+        outcome = compute_cycle_time(oscillator, method)
+        assert outcome.critical_cycles, method
+        for cycle in outcome.critical_cycles:
+            assert cycle.effective_length == outcome.cycle_time
+
+    def test_compare_methods_subset(self, oscillator):
+        results = compare_methods(oscillator, ["timing", "karp"])
+        assert set(results) == {"timing", "karp"}
+
+    def test_compare_methods_all(self, muller_ring_graph):
+        results = compare_methods(muller_ring_graph)
+        for name in EXACT_METHODS:
+            assert results[name].cycle_time == Fraction(20, 3), name
+        assert results["lp"].cycle_time == pytest.approx(20 / 3)
+
+    def test_str(self, oscillator):
+        assert "timing" in str(compute_cycle_time(oscillator, "timing"))

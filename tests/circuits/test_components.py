@@ -1,0 +1,75 @@
+"""Unit tests for composable handshake components."""
+
+import pytest
+
+from repro.circuits import (
+    closed_pipeline,
+    closed_pipeline_cycle_time,
+    forwarding_stage,
+    reflector,
+    requester,
+)
+from repro.core import compose, compute_cycle_time, validate
+from repro.core.errors import GraphConstructionError
+
+
+class TestFragments:
+    def test_requester_shape(self):
+        g = requester(0)
+        assert g.num_events == 4
+        assert g.total_tokens() == 1
+
+    def test_reflector_shape(self):
+        g = reflector(0)
+        assert g.num_events == 4
+        assert g.total_tokens() == 0
+
+    def test_minimal_closed_loop(self):
+        merged = compose(requester(0, 2), reflector(0, 3))
+        validate(merged)
+        assert compute_cycle_time(merged).cycle_time == 2 * (2 + 3)
+
+    def test_stage_alone_is_acyclic(self):
+        g = forwarding_stage(0)
+        assert not g.repetitive_events
+
+
+class TestClosedPipeline:
+    @pytest.mark.parametrize("stages", [0, 1, 2, 5, 9])
+    def test_oracle(self, stages):
+        g = closed_pipeline(stages, forward=2, backward=3,
+                            requester_delay=1, reflector_delay=4)
+        validate(g)
+        assert (
+            compute_cycle_time(g).cycle_time
+            == closed_pipeline_cycle_time(stages, 2, 3, 1, 4)
+        )
+
+    def test_event_count(self):
+        g = closed_pipeline(3)
+        # links 0..3, four events each
+        assert g.num_events == 16
+
+    def test_critical_cycle_is_the_whole_loop(self):
+        g = closed_pipeline(2)
+        result = compute_cycle_time(g)
+        assert len(result.critical_cycles[0]) == g.num_events
+
+    def test_negative_stages_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            closed_pipeline(-1)
+
+    def test_heterogeneous_delays(self):
+        slow_stage = closed_pipeline(3, forward=10)
+        fast_stage = closed_pipeline(3, forward=1)
+        assert (
+            compute_cycle_time(slow_stage).cycle_time
+            > compute_cycle_time(fast_stage).cycle_time
+        )
+
+    def test_all_methods_agree(self):
+        from repro.baselines import compare_methods
+
+        g = closed_pipeline(4, forward=3, backward=2)
+        results = compare_methods(g, ["timing", "karp", "howard", "lawler"])
+        assert len({r.cycle_time for r in results.values()}) == 1

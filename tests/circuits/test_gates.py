@@ -1,0 +1,100 @@
+"""Unit tests for the gate library."""
+
+import pytest
+
+from repro.circuits.gates import (
+    GATE_TYPES,
+    check_arity,
+    evaluate,
+    gate_function,
+    is_state_holding,
+)
+from repro.core.errors import NetlistError
+
+
+class TestCombinationalGates:
+    @pytest.mark.parametrize(
+        "gate,inputs,expected",
+        [
+            ("BUF", [0], 0),
+            ("BUF", [1], 1),
+            ("NOT", [0], 1),
+            ("NOT", [1], 0),
+            ("AND", [1, 1], 1),
+            ("AND", [1, 0], 0),
+            ("OR", [0, 0], 0),
+            ("OR", [0, 1], 1),
+            ("NAND", [1, 1], 0),
+            ("NAND", [0, 1], 1),
+            ("NOR", [0, 0], 1),
+            ("NOR", [1, 0], 0),
+            ("XOR", [1, 0], 1),
+            ("XOR", [1, 1], 0),
+            ("XNOR", [1, 1], 1),
+            ("XNOR", [1, 0], 0),
+            ("MAJ", [1, 1, 0], 1),
+            ("MAJ", [1, 0, 0], 0),
+        ],
+    )
+    def test_truth_tables(self, gate, inputs, expected):
+        # current output must not matter for combinational gates
+        assert evaluate(gate, inputs, 0) == expected
+        assert evaluate(gate, inputs, 1) == expected
+
+    def test_wide_gates(self):
+        assert evaluate("AND", [1] * 5, 0) == 1
+        assert evaluate("NOR", [0] * 4, 0) == 1
+        assert evaluate("XOR", [1, 1, 1], 0) == 1
+
+    def test_case_insensitive(self):
+        assert evaluate("nor", [0, 0], 0) == 1
+
+
+class TestCElement:
+    def test_switches_on_consensus(self):
+        assert evaluate("C", [1, 1], 0) == 1
+        assert evaluate("C", [0, 0], 1) == 0
+
+    def test_holds_on_disagreement(self):
+        assert evaluate("C", [1, 0], 0) == 0
+        assert evaluate("C", [1, 0], 1) == 1
+        assert evaluate("C", [0, 1], 1) == 1
+
+    def test_three_input(self):
+        assert evaluate("C", [1, 1, 1], 0) == 1
+        assert evaluate("C", [1, 1, 0], 0) == 0
+
+    def test_inverted_c_element(self):
+        assert evaluate("NC", [1, 1], 1) == 0
+        assert evaluate("NC", [0, 0], 0) == 1
+        assert evaluate("NC", [1, 0], 1) == 1
+        assert evaluate("NC", [1, 0], 0) == 0
+
+    def test_state_holding_flags(self):
+        assert is_state_holding("C")
+        assert is_state_holding("nc")
+        assert not is_state_holding("NOR")
+
+
+class TestValidation:
+    def test_unknown_gate(self):
+        with pytest.raises(NetlistError):
+            gate_function("FROB")
+        with pytest.raises(NetlistError):
+            check_arity("FROB", 2)
+
+    def test_arity_minimum(self):
+        with pytest.raises(NetlistError):
+            check_arity("AND", 1)
+        with pytest.raises(NetlistError):
+            check_arity("NOT", 0)
+        check_arity("AND", 2)
+
+    def test_arity_maximum(self):
+        with pytest.raises(NetlistError):
+            check_arity("NOT", 2)
+        check_arity("NOR", 7)  # unbounded fan-in
+
+    def test_registry_complete(self):
+        for name in GATE_TYPES:
+            assert callable(gate_function(name))

@@ -1,0 +1,194 @@
+"""Unit tests for the built-in circuit/graph library."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.circuits.library import (
+    async_stack_tsg,
+    linear_pipeline_tsg,
+    muller_ring_netlist,
+    muller_ring_tsg,
+    oscillator_extracted_tsg,
+    oscillator_netlist,
+    oscillator_tsg,
+)
+from repro.core import compute_cycle_time, validate
+from repro.core.errors import GraphConstructionError
+
+
+class TestOscillator:
+    def test_tsg_shape(self):
+        g = oscillator_tsg()
+        assert g.num_events == 8
+        assert g.num_arcs == 11
+        validate(g)
+
+    def test_netlist_shape(self):
+        n = oscillator_netlist()
+        assert set(n.signals) == {"a", "b", "c", "e", "f"}
+        assert n.initial_state() == {"a": 0, "b": 0, "c": 0, "e": 1, "f": 1}
+
+    def test_extracted_equals_hand_graph(self):
+        assert oscillator_extracted_tsg().structurally_equal(oscillator_tsg())
+
+
+class TestMullerRing:
+    def test_default_is_figure_5(self):
+        n = muller_ring_netlist()
+        assert len(n.gates) == 10  # 5 C-elements + 5 inverters
+        state = n.initial_state()
+        assert [state["s%d" % i] for i in range(5)] == [0, 0, 0, 0, 1]
+
+    def test_tsg_cycle_time(self):
+        g = muller_ring_tsg()
+        assert compute_cycle_time(g).cycle_time == Fraction(20, 3)
+
+    def test_parametric_sizes(self):
+        for stages in (3, 4, 7):
+            g = muller_ring_tsg(stages=stages)
+            validate(g)
+            assert g.num_events == 4 * stages
+
+    def test_ring_size_floor(self):
+        with pytest.raises(GraphConstructionError):
+            muller_ring_netlist(stages=2)
+
+    def test_custom_delays(self):
+        g = muller_ring_tsg(c_delay=2, inverter_delay=3)
+        value = compute_cycle_time(g).cycle_time
+        assert value > Fraction(20, 3)
+
+    def test_token_stage_choice(self):
+        n = muller_ring_netlist(token_stage=2)
+        assert n.initial_state()["s2"] == 1
+
+    @pytest.mark.parametrize(
+        "stages,tokens",
+        [(6, [1, 4]), (8, [0, 3, 6]), (9, [0, 4])],
+    )
+    def test_multi_token_rings_cross_verify(self, stages, tokens):
+        from repro.circuits.extraction import extract_signal_graph
+        from repro.circuits.simulator import simulate_and_measure
+
+        netlist = muller_ring_netlist(stages=stages, token_stages=tokens)
+        graph = extract_signal_graph(netlist)
+        computed = compute_cycle_time(graph).cycle_time
+        measured = simulate_and_measure(netlist, "s0", "+", max_transitions=3000)
+        assert computed == measured
+
+    def test_multi_token_throughput_beats_single_when_spread(self):
+        from repro.circuits.extraction import extract_signal_graph
+        from repro.circuits.simulator import simulate_and_measure
+
+        single = muller_ring_netlist(stages=9, token_stages=[0])
+        double = muller_ring_netlist(stages=9, token_stages=[0, 4])
+        lam_single = compute_cycle_time(extract_signal_graph(single)).cycle_time
+        lam_double = compute_cycle_time(extract_signal_graph(double)).cycle_time
+        assert lam_double < lam_single  # two tokens move more data
+
+    def test_token_parameter_validation(self):
+        with pytest.raises(GraphConstructionError):
+            muller_ring_netlist(token_stage=1, token_stages=[2])
+        with pytest.raises(GraphConstructionError):
+            muller_ring_netlist(token_stages=[])
+        with pytest.raises(GraphConstructionError):
+            muller_ring_netlist(stages=4, token_stages=[0, 1, 2, 3])
+
+
+class TestAsyncStack:
+    def test_paper_size_66_112(self):
+        g = async_stack_tsg()
+        assert g.num_events == 66
+        assert g.num_arcs == 112
+        validate(g)
+
+    def test_border_much_smaller_than_events(self):
+        g = async_stack_tsg()
+        assert len(g.border_events) * 3 == g.num_events
+
+    def test_cycle_time_scales_with_depth(self):
+        shallow = compute_cycle_time(async_stack_tsg(4)).cycle_time
+        deep = compute_cycle_time(async_stack_tsg(12)).cycle_time
+        assert deep > shallow
+
+    def test_minimum_cells(self):
+        with pytest.raises(GraphConstructionError):
+            async_stack_tsg(1)
+
+    def test_all_methods_agree(self):
+        from repro.baselines import compare_methods
+
+        g = async_stack_tsg(5)
+        results = compare_methods(g, ["timing", "karp", "howard", "lawler"])
+        values = {r.cycle_time for r in results.values()}
+        assert len(values) == 1
+
+
+class TestCElementSynchronizer:
+    def test_closed_form(self):
+        from repro.circuits.extraction import extract_signal_graph
+        from repro.circuits.library import c_element_synchronizer_netlist
+
+        for delays, c_delay in [([1, 1, 1], 1), ([2, 5, 3], 1), ([4, 4], 2)]:
+            netlist = c_element_synchronizer_netlist(len(delays), delays, c_delay)
+            graph = extract_signal_graph(netlist)
+            assert (
+                compute_cycle_time(graph).cycle_time
+                == 2 * (c_delay + max(delays))
+            )
+
+    def test_wide_and_causality(self):
+        from repro.circuits.extraction import extract_signal_graph
+        from repro.circuits.library import c_element_synchronizer_netlist
+        from repro.core import Transition
+
+        graph = extract_signal_graph(c_element_synchronizer_netlist(4))
+        causes = {str(a.source) for a in graph.in_arcs(Transition.parse("root+"))}
+        assert causes == {"n0+", "n1+", "n2+", "n3+"}
+
+    def test_only_slowest_branch_is_critical(self):
+        from repro.analysis import delay_sensitivities
+        from repro.circuits.extraction import extract_signal_graph
+        from repro.circuits.library import c_element_synchronizer_netlist
+
+        graph = extract_signal_graph(
+            c_element_synchronizer_netlist(3, [1, 7, 2], 1)
+        )
+        critical = [
+            row for row in delay_sensitivities(graph) if row.sensitivity > 0
+        ]
+        labels = {str(row.source) for row in critical} | {
+            str(row.target) for row in critical
+        }
+        assert "n1+" in labels and "n1-" in labels
+        assert "n0+" not in labels
+
+    def test_parameter_validation(self):
+        from repro.circuits.library import c_element_synchronizer_netlist
+
+        with pytest.raises(GraphConstructionError):
+            c_element_synchronizer_netlist(1)
+        with pytest.raises(GraphConstructionError):
+            c_element_synchronizer_netlist(3, [1, 2])
+
+    def test_verified_end_to_end(self):
+        from repro.circuits import verify_extraction
+        from repro.circuits.library import c_element_synchronizer_netlist
+
+        report = verify_extraction(c_element_synchronizer_netlist(3, [2, 3, 4]))
+        assert report.ok
+        assert report.cycle_time == 2 * (1 + 4)
+
+
+class TestLinearPipeline:
+    def test_cycle_time_closed_form(self):
+        g = linear_pipeline_tsg(6, forward=3, backward=2)
+        assert compute_cycle_time(g).cycle_time == 6 * 5
+
+    def test_validates(self):
+        validate(linear_pipeline_tsg(4))
+
+    def test_minimum_stages(self):
+        with pytest.raises(GraphConstructionError):
+            linear_pipeline_tsg(1)

@@ -1,0 +1,120 @@
+"""Unit tests for the netlist model."""
+
+import pytest
+
+from repro.circuits.netlist import Netlist
+from repro.core.errors import NetlistError
+
+
+def tiny():
+    n = Netlist("tiny")
+    n.add_input("x", initial=1)
+    n.add_gate("y", "NOT", ["x"], delays=2, initial=0)
+    n.add_gate("z", "AND", ["x", "y"], delays={"x": 1, "y": 3}, initial=0)
+    return n
+
+
+class TestConstruction:
+    def test_signals_order(self):
+        assert tiny().signals == ["x", "y", "z"]
+
+    def test_double_driver_rejected(self):
+        n = tiny()
+        with pytest.raises(NetlistError):
+            n.add_gate("y", "BUF", ["x"])
+        with pytest.raises(NetlistError):
+            n.add_input("z")
+
+    def test_scalar_delay_broadcast(self):
+        gate = tiny().gate("y")
+        assert gate.delay_from("x") == 2
+
+    def test_delay_map_must_cover_inputs(self):
+        n = Netlist()
+        n.add_input("a")
+        n.add_input("b")
+        with pytest.raises(NetlistError):
+            n.add_gate("c", "AND", ["a", "b"], delays={"a": 1})
+
+    def test_negative_delay_rejected(self):
+        n = Netlist()
+        n.add_input("a")
+        with pytest.raises(NetlistError):
+            n.add_gate("b", "BUF", ["a"], delays=-1)
+
+    def test_duplicate_input_pin_rejected(self):
+        n = Netlist()
+        n.add_input("a")
+        with pytest.raises(NetlistError):
+            n.add_gate("b", "AND", ["a", "a"])
+
+    def test_bad_arity_rejected(self):
+        n = Netlist()
+        n.add_input("a")
+        with pytest.raises(NetlistError):
+            n.add_gate("b", "AND", ["a"])
+
+    def test_initial_state(self):
+        state = tiny().initial_state()
+        assert state == {"x": 1, "y": 0, "z": 0}
+
+    def test_initial_values_coerced_to_bool(self):
+        n = Netlist()
+        n.add_input("a", initial=7)
+        assert n.initial_state()["a"] == 1
+
+
+class TestStimuli:
+    def test_stimulus_on_input(self):
+        n = tiny()
+        n.add_stimulus("x", 0)
+        assert len(n.stimuli) == 1
+
+    def test_stimulus_on_gate_output_rejected(self):
+        n = tiny()
+        with pytest.raises(NetlistError):
+            n.add_stimulus("y")
+
+    def test_double_stimulus_rejected(self):
+        n = tiny()
+        n.add_stimulus("x")
+        with pytest.raises(NetlistError):
+            n.add_stimulus("x")
+
+
+class TestQueries:
+    def test_gate_lookup(self):
+        n = tiny()
+        assert n.gate("z").gate_type == "AND"
+        with pytest.raises(NetlistError):
+            n.gate("x")
+
+    def test_is_input(self):
+        n = tiny()
+        assert n.is_input("x")
+        assert not n.is_input("y")
+
+    def test_fanout(self):
+        n = tiny()
+        assert {g.output for g in n.fanout("x")} == {"y", "z"}
+        assert {g.output for g in n.fanout("y")} == {"z"}
+        assert n.fanout("z") == []
+
+    def test_gate_evaluate(self):
+        n = tiny()
+        assert n.gate("y").evaluate({"x": 0, "y": 0, "z": 0}) == 1
+        assert n.gate("z").evaluate({"x": 1, "y": 1, "z": 0}) == 1
+
+    def test_validate_undeclared_signal(self):
+        n = Netlist()
+        n.add_gate("g", "AND", ["p", "q"])
+        with pytest.raises(NetlistError):
+            n.validate()
+
+    def test_describe(self):
+        text = tiny().describe()
+        assert "input x = 1" in text
+        assert "z = AND" in text
+
+    def test_repr(self):
+        assert "gates=2" in repr(tiny())

@@ -1,0 +1,103 @@
+"""Lock-in tests for Section VIII-D: the five-element Muller ring."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.circuits.extraction import extract_signal_graph
+from repro.circuits.library import muller_ring_netlist
+from repro.core import (
+    EventInitiatedSimulation,
+    Transition,
+    compute_cycle_time,
+    exact_div,
+)
+
+# The paper's signals a..e map to our s0..s4; the paper's border list
+# {a+, b+, c+, e-} corresponds to {s0+, s1+, s2+, s4-}.
+
+
+class TestRingStructure:
+    def test_four_border_events(self, muller_ring_graph):
+        border = {str(e) for e in muller_ring_graph.border_events}
+        assert border == {"s0+", "s1+", "s2+", "s4-"}
+
+    def test_twenty_events(self, muller_ring_graph):
+        # 5 C-element signals + 5 inverter signals, up and down each
+        assert muller_ring_graph.num_events == 20
+        assert len(muller_ring_graph.repetitive_events) == 20
+
+
+class TestSectionVIIIDTable:
+    """t_{a+0}(a+_i), the occurrence deltas, and the running averages."""
+
+    TIMES = [6, 13, 20, 26, 33, 40, 46, 53, 60, 66]
+
+    def test_initiated_times(self, muller_ring_graph):
+        sim = EventInitiatedSimulation(muller_ring_graph, "s0+", periods=10)
+        assert [time for _, time in sim.initiator_times()] == self.TIMES
+
+    def test_occurrence_deltas(self, muller_ring_graph):
+        sim = EventInitiatedSimulation(muller_ring_graph, "s0+", periods=10)
+        times = [0] + [time for _, time in sim.initiator_times()]
+        deltas = [b - a for a, b in zip(times, times[1:])]
+        assert deltas == [6, 7, 7, 6, 7, 7, 6, 7, 7, 6]
+
+    def test_running_averages(self, muller_ring_graph):
+        sim = EventInitiatedSimulation(muller_ring_graph, "s0+", periods=10)
+        averages = [exact_div(time, index) for index, time in sim.initiator_times()]
+        # 6, 6.5, 6.67, 6.5, 6.6, 6.67, 6.57, 6.63, 6.67, 6.6
+        assert averages == [
+            6,
+            Fraction(13, 2),
+            Fraction(20, 3),
+            Fraction(13, 2),
+            Fraction(33, 5),
+            Fraction(20, 3),
+            Fraction(46, 7),
+            Fraction(53, 8),
+            Fraction(20, 3),
+            Fraction(33, 5),
+        ]
+
+    def test_cycle_time_within_four_periods(self, muller_ring_graph):
+        # λ = max{δ_{a+0}(a+_i) | 0 < i <= 4} = 20/3
+        sim = EventInitiatedSimulation(muller_ring_graph, "s0+", periods=4)
+        values = [exact_div(t, i) for i, t in sim.initiator_times()]
+        assert max(values) == Fraction(20, 3)
+
+
+class TestRingResult:
+    def test_cycle_time(self, muller_ring_graph):
+        result = compute_cycle_time(muller_ring_graph)
+        assert result.cycle_time == Fraction(20, 3)
+
+    def test_symmetry_of_border_simulations(self, muller_ring_graph):
+        """The circuit is symmetric for the four border events: all
+        four timing simulations yield the same sequence."""
+        result = compute_cycle_time(muller_ring_graph, periods=4)
+        sequences = {}
+        for border in result.border_events:
+            values = tuple(
+                record.distance
+                for record in result.distances
+                if record.border_event == border
+            )
+            sequences[str(border)] = values
+        assert len(set(sequences.values())) == 1
+
+    def test_critical_cycle_wraps_thrice(self, muller_ring_graph):
+        result = compute_cycle_time(muller_ring_graph)
+        cycle = result.critical_cycles[0]
+        assert cycle.occurrence_period == 3
+        assert cycle.length == 20
+        assert len(cycle) == 20  # all events participate
+
+    def test_delay_sensitivity_uniform(self, muller_ring_graph):
+        """All arcs lie on the critical cycle; every sensitivity is
+        1/3 (one third of a delay unit per unit of gate delay)."""
+        from repro.analysis import delay_sensitivities
+
+        rows = delay_sensitivities(muller_ring_graph)
+        critical = [row for row in rows if row.sensitivity > 0]
+        assert all(row.sensitivity == Fraction(1, 3) for row in critical)

@@ -1,0 +1,167 @@
+"""Unit tests for SR, LUT and generalised-C parametric gates."""
+
+import pytest
+
+from repro.circuits.gates import check_arity, evaluate, is_state_holding
+from repro.core.errors import NetlistError
+
+
+class TestSRLatch:
+    def test_set(self):
+        assert evaluate("SR", [1, 0], 0) == 1
+
+    def test_reset(self):
+        assert evaluate("SR", [0, 1], 1) == 0
+
+    def test_hold(self):
+        assert evaluate("SR", [0, 0], 0) == 0
+        assert evaluate("SR", [0, 0], 1) == 1
+
+    def test_both_high_holds(self):
+        assert evaluate("SR", [1, 1], 0) == 0
+        assert evaluate("SR", [1, 1], 1) == 1
+
+    def test_exactly_two_inputs(self):
+        with pytest.raises(NetlistError):
+            check_arity("SR", 3)
+        with pytest.raises(NetlistError):
+            check_arity("SR", 1)
+
+    def test_state_holding(self):
+        assert is_state_holding("SR")
+
+
+class TestLUT:
+    def test_identity(self):
+        # 1-input LUT with mask 0b10: output = input
+        assert evaluate("LUT:2", [0], 0) == 0
+        assert evaluate("LUT:2", [1], 0) == 1
+
+    def test_nor_as_lut(self):
+        # 2-input NOR: only combination 00 (index 0) outputs 1 -> mask 1
+        for a in (0, 1):
+            for b in (0, 1):
+                assert evaluate("LUT:1", [a, b], 0) == evaluate("NOR", [a, b], 0)
+
+    def test_three_input_majority_as_lut(self):
+        # MAJ3 on-set: indices 3,5,6,7 -> mask 0b11101000 = 0xE8
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    assert (
+                        evaluate("LUT:E8", [a, b, c], 0)
+                        == evaluate("MAJ", [a, b, c], 0)
+                    )
+
+    def test_combinational(self):
+        assert not is_state_holding("LUT:2")
+
+    def test_bad_mask_rejected(self):
+        with pytest.raises(NetlistError):
+            evaluate("LUT:zz", [0], 0)
+
+    def test_case_insensitive(self):
+        assert evaluate("lut:e8", [1, 1, 0], 0) == 1
+
+
+class TestGeneralizedC:
+    def test_plain_c_as_gc(self):
+        # 2-input C: set on 11 (index 3 -> mask 8), reset on 00 (mask 1)
+        for a in (0, 1):
+            for b in (0, 1):
+                for current in (0, 1):
+                    assert (
+                        evaluate("GC:8:1", [a, b], current)
+                        == evaluate("C", [a, b], current)
+                    )
+
+    def test_sr_as_gc(self):
+        # (set, reset): set on 01 (index 1 -> mask 2), reset on 10 (mask 4)
+        for s in (0, 1):
+            for r in (0, 1):
+                for current in (0, 1):
+                    assert (
+                        evaluate("GC:2:4", [s, r], current)
+                        == evaluate("SR", [s, r], current)
+                    )
+
+    def test_asymmetric_cell(self):
+        # set when a=1 regardless of b (indices 1,3 -> mask A);
+        # reset only when both low (mask 1)
+        assert evaluate("GC:A:1", [1, 0], 0) == 1
+        assert evaluate("GC:A:1", [0, 1], 0) == 0  # hold
+        assert evaluate("GC:A:1", [0, 1], 1) == 1  # hold
+        assert evaluate("GC:A:1", [0, 0], 1) == 0
+
+    def test_state_holding(self):
+        assert is_state_holding("GC:8:1")
+
+    def test_overlapping_masks_rejected(self):
+        with pytest.raises(NetlistError):
+            evaluate("GC:3:1", [0, 0], 0)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(NetlistError):
+            evaluate("GC:8", [1, 1], 0)
+        with pytest.raises(NetlistError):
+            evaluate("GC:x:1", [1, 1], 0)
+
+
+class TestParametricGatesInCircuits:
+    def test_oscillator_with_lut_gates_extracts_identically(self):
+        """Rebuild Figure 1a using LUT-NORs and a GC C-element; the
+        extracted graph must equal the original."""
+        from repro.circuits.extraction import extract_signal_graph
+        from repro.circuits.library import oscillator_tsg
+        from repro.circuits.netlist import Netlist
+
+        n = Netlist("lut-oscillator")
+        n.add_input("e", initial=1)
+        n.add_gate("a", "LUT:1", ["e", "c"], delays={"e": 2, "c": 2}, initial=0)
+        n.add_gate("b", "LUT:1", ["f", "c"], delays={"f": 1, "c": 1}, initial=0)
+        n.add_gate("c", "GC:8:1", ["a", "b"], delays={"a": 3, "b": 2}, initial=0)
+        n.add_gate("f", "LUT:2", ["e"], delays={"e": 3}, initial=1)
+        n.add_stimulus("e", 0)
+        extracted = extract_signal_graph(n)
+        reference = oscillator_tsg()
+        # structural equality modulo the graph name
+        assert extracted.num_arcs == reference.num_arcs
+        for arc in reference.arcs:
+            twin = extracted.arc(arc.source, arc.target)
+            assert twin.delay == arc.delay
+            assert twin.marked == arc.marked
+
+    def test_lut_inverter_ring_end_to_end(self):
+        """A ring of LUT-encoded inverters extracts and analyses like
+        the built-in NOT gates."""
+        from repro.circuits.extraction import extract_signal_graph
+        from repro.circuits.netlist import Netlist
+        from repro.core import compute_cycle_time
+
+        n = Netlist("lut-ring")
+        values = [0, 1, 0]
+        for i in range(3):
+            prev = (i - 1) % 3
+            n.add_gate("i%d" % i, "LUT:1", ["i%d" % prev],
+                       delays=2 + i, initial=values[i])
+        graph = extract_signal_graph(n)
+        assert compute_cycle_time(graph).cycle_time == 2 * (2 + 3 + 4)
+
+    def test_buffer_tap_breaks_speed_independence(self):
+        """Tapping an oscillator with a plain buffer is NOT
+        speed-independent: in some interleaving the oscillator edge
+        retracts before the buffer fires, disabling it — the
+        state-space checker must catch this (and does, with a
+        witness)."""
+        from repro.circuits.netlist import Netlist
+        from repro.circuits.state_space import explore
+        from repro.core.errors import NotSemiModularError
+
+        n = Netlist("tapped-ring")
+        n.add_gate("i0", "NOT", ["i2"], delays=2, initial=0)
+        n.add_gate("i1", "NOT", ["i0"], delays=2, initial=1)
+        n.add_gate("i2", "NOT", ["i1"], delays=2, initial=0)
+        n.add_gate("q", "BUF", ["i0"], delays={"i0": 1}, initial=0)
+        with pytest.raises(NotSemiModularError) as info:
+            explore(n)
+        assert info.value.signal == "q"

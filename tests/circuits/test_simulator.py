@@ -1,0 +1,132 @@
+"""Unit tests for the timed event-driven simulator."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.circuits.library import muller_ring_netlist, oscillator_netlist
+from repro.circuits.netlist import Netlist
+from repro.circuits.simulator import (
+    EventDrivenSimulator,
+    measure_cycle_time,
+    simulate_and_measure,
+)
+from repro.core.errors import CircuitError
+
+
+class TestEventDrivenSimulation:
+    def test_oscillator_transition_times(self, oscillator_circuit):
+        sim = EventDrivenSimulator(oscillator_circuit)
+        sim.run(max_transitions=40)
+        assert sim.signal_times("f", "-") == [3]
+        assert sim.signal_times("a", "+")[:4] == [2, 13, 23, 33]
+        assert sim.signal_times("c", "+")[:2] == [6, 16]
+
+    def test_trace_time_ordered(self, oscillator_circuit):
+        sim = EventDrivenSimulator(oscillator_circuit)
+        trace = sim.run(max_transitions=60)
+        times = [float(t.time) for t in trace]
+        assert times == sorted(times)
+
+    def test_signals_alternate(self, oscillator_circuit):
+        sim = EventDrivenSimulator(oscillator_circuit)
+        sim.run(max_transitions=60)
+        for signal in ["a", "b", "c"]:
+            directions = [t.direction for t in sim.trace if t.signal == signal]
+            for first, second in zip(directions, directions[1:]):
+                assert first != second, signal
+
+    def test_until_bound(self, oscillator_circuit):
+        sim = EventDrivenSimulator(oscillator_circuit)
+        sim.run(max_transitions=1000, until=25)
+        assert all(t.time <= 25 for t in sim.trace)
+
+    def test_quiescent_circuit_stops(self):
+        n = Netlist()
+        n.add_input("x", initial=0)
+        n.add_gate("y", "BUF", ["x"], delays=4, initial=0)
+        n.add_stimulus("x")
+        sim = EventDrivenSimulator(n)
+        trace = sim.run(max_transitions=100)
+        assert [(t.signal, t.time) for t in trace] == [("x", 0), ("y", 4)]
+
+    def test_initially_excited_gate_fires_at_zero(self):
+        n = Netlist()
+        n.add_gate("i0", "NOT", ["i2"], initial=0)
+        n.add_gate("i1", "NOT", ["i0"], initial=1)
+        n.add_gate("i2", "NOT", ["i1"], initial=0)
+        sim = EventDrivenSimulator(n)
+        sim.run(max_transitions=20)
+        assert sim.trace[0].time == 0
+        assert sim.trace[0].signal == "i0"
+
+    def test_inverter_ring_period(self):
+        n = Netlist()
+        n.add_gate("i0", "NOT", ["i2"], delays=2, initial=0)
+        n.add_gate("i1", "NOT", ["i0"], delays=3, initial=1)
+        n.add_gate("i2", "NOT", ["i1"], delays=5, initial=0)
+        # ring oscillator period = 2 * sum(delays); per-direction
+        # occurrence distance = 20
+        value = simulate_and_measure(n, "i0", "+", max_transitions=200)
+        assert value == 20
+
+    def test_timed_transition_str(self, oscillator_circuit):
+        sim = EventDrivenSimulator(oscillator_circuit)
+        sim.run(max_transitions=3)
+        assert "@" in str(sim.trace[0])
+
+
+class TestMeasurement:
+    def test_constant_spacing(self):
+        assert measure_cycle_time([0, 10, 20, 30, 40, 50]) == 10
+
+    def test_pattern_of_two(self):
+        times = [0, 6, 13, 20, 26, 33, 40, 46, 53, 60, 66]
+        assert measure_cycle_time(times) == Fraction(20, 3)
+
+    def test_initial_transient_ignored(self):
+        times = [0, 3, 11, 21, 31, 41, 51, 61, 71]
+        assert measure_cycle_time(times) == 10
+
+    def test_too_few_samples(self):
+        with pytest.raises(CircuitError):
+            measure_cycle_time([1, 2])
+
+    def test_aperiodic_rejected(self):
+        import random
+
+        rng = random.Random(1)
+        times = []
+        t = 0.0
+        for _ in range(40):
+            t += rng.random() * 10
+            times.append(t)
+        with pytest.raises(CircuitError):
+            measure_cycle_time(times, max_pattern=4)
+
+    def test_float_times(self):
+        assert measure_cycle_time([0.0, 1.5, 3.0, 4.5, 6.0, 7.5]) == 1.5
+
+
+class TestCrossValidation:
+    """The simulator is the independent check on the whole pipeline."""
+
+    def test_oscillator_period_equals_cycle_time(self, oscillator_circuit):
+        assert simulate_and_measure(oscillator_circuit, "a", "+") == 10
+
+    def test_muller_ring_period_equals_cycle_time(self):
+        ring = muller_ring_netlist()
+        assert simulate_and_measure(ring, "s0", "+") == Fraction(20, 3)
+
+    def test_scaled_delays_scale_period(self):
+        ring = muller_ring_netlist(c_delay=3, inverter_delay=3)
+        assert simulate_and_measure(ring, "s0", "+") == 20
+
+    def test_asymmetric_ring(self):
+        ring = muller_ring_netlist(stages=5, c_delay=2, inverter_delay=1)
+        from repro.circuits.extraction import extract_signal_graph
+        from repro.core import compute_cycle_time
+
+        measured = simulate_and_measure(ring, "s0", "+", max_transitions=2000)
+        computed = compute_cycle_time(extract_signal_graph(ring)).cycle_time
+        assert measured == computed

@@ -1,0 +1,88 @@
+"""Unit tests for reachability and semi-modularity checking."""
+
+import pytest
+
+from repro.circuits.netlist import Netlist
+from repro.circuits.state_space import explore, is_semi_modular
+from repro.core.errors import NotSemiModularError
+
+
+class TestExploration:
+    def test_oscillator_state_count(self, oscillator_circuit):
+        space = explore(oscillator_circuit)
+        # 5 binary signals + stimulus flag: the reachable set is small
+        assert 0 < space.num_states <= 2 ** 6
+        assert space.transitions
+
+    def test_stable_circuit_single_state(self):
+        n = Netlist()
+        n.add_input("a", initial=0)
+        n.add_gate("b", "BUF", ["a"], initial=0)
+        space = explore(n)
+        assert space.num_states == 1
+        assert space.states[next(iter(space.states))] == frozenset()
+
+    def test_stimulus_expands_space(self):
+        n = Netlist()
+        n.add_input("a", initial=0)
+        n.add_gate("b", "BUF", ["a"], initial=0)
+        n.add_stimulus("a")
+        space = explore(n)
+        assert space.num_states == 3  # initial, a toggled, b caught up
+
+    def test_state_dict(self, oscillator_circuit):
+        space = explore(oscillator_circuit)
+        config = next(iter(space.states))
+        view = space.state_dict(config[0])
+        assert set(view) == {"a", "b", "c", "e", "f"}
+
+    def test_max_states_guard(self, oscillator_circuit):
+        with pytest.raises(NotSemiModularError):
+            explore(oscillator_circuit, max_states=2)
+
+
+class TestSemiModularity:
+    def test_oscillator_is_semi_modular(self, oscillator_circuit):
+        assert is_semi_modular(oscillator_circuit)
+
+    def test_muller_ring_is_semi_modular(self):
+        from repro.circuits.library import muller_ring_netlist
+
+        assert is_semi_modular(muller_ring_netlist())
+
+    def test_hazardous_circuit_detected(self):
+        # A NOR-gate SR-latch-style race: two cross-coupled NOR gates
+        # with both inputs released simultaneously is the classic
+        # non-semi-modular structure.
+        n = Netlist("race")
+        n.add_input("set", initial=1)
+        n.add_input("reset", initial=1)
+        n.add_gate("q", "NOR", ["reset", "qb"], initial=0)
+        n.add_gate("qb", "NOR", ["set", "q"], initial=0)
+        n.add_stimulus("set", 0)
+        n.add_stimulus("reset", 0)
+        # after both fall, q and qb are both excited; firing one
+        # disables the other
+        assert not is_semi_modular(n)
+
+    def test_witness_reported(self):
+        n = Netlist("race")
+        n.add_input("set", initial=1)
+        n.add_input("reset", initial=1)
+        n.add_gate("q", "NOR", ["reset", "qb"], initial=0)
+        n.add_gate("qb", "NOR", ["set", "q"], initial=0)
+        n.add_stimulus("set", 0)
+        n.add_stimulus("reset", 0)
+        with pytest.raises(NotSemiModularError) as info:
+            explore(n)
+        assert info.value.signal in {"q", "qb"}
+        assert info.value.state is not None
+
+    def test_free_running_inverter_ring_is_semi_modular(self):
+        # a 3-inverter ring oscillator is the smallest autonomous
+        # semi-modular oscillator
+        n = Netlist("ring3")
+        n.add_gate("i0", "NOT", ["i2"], initial=0)
+        n.add_gate("i1", "NOT", ["i0"], initial=1)
+        n.add_gate("i2", "NOT", ["i1"], initial=0)
+        assert is_semi_modular(n)

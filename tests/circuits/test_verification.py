@@ -1,0 +1,70 @@
+"""Unit tests for the extraction cross-verifier."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.circuits import (
+    inverter_ring_netlist,
+    muller_ring_netlist,
+    oscillator_netlist,
+    verify_extraction,
+)
+from repro.circuits.netlist import Netlist
+from repro.core.errors import GraphConstructionError
+
+
+class TestVerifyExtraction:
+    def test_oscillator_verifies(self):
+        report = verify_extraction(oscillator_netlist())
+        assert report.ok, report.mismatches
+        assert report.cycle_time == 10
+        assert report.measured_period == 10
+        assert report.occurrences_checked > 20
+        assert "verified" in str(report)
+
+    def test_muller_ring_verifies(self):
+        report = verify_extraction(muller_ring_netlist())
+        assert report.ok, report.mismatches
+        assert report.cycle_time == Fraction(20, 3)
+        assert report.measured_period == Fraction(20, 3)
+
+    def test_inverter_ring_verifies(self):
+        report = verify_extraction(inverter_ring_netlist(5, [1, 2, 3, 4, 5]))
+        assert report.ok
+        assert report.cycle_time == 2 * (1 + 2 + 3 + 4 + 5)
+
+    def test_quiescent_circuit(self):
+        netlist = Netlist("once")
+        netlist.add_input("x", initial=0)
+        netlist.add_gate("y", "BUF", ["x"], delays=4, initial=0)
+        netlist.add_stimulus("x")
+        report = verify_extraction(netlist)
+        assert report.ok
+        assert report.cycle_time is None
+        assert report.measured_period is None
+
+    def test_more_periods(self):
+        report = verify_extraction(oscillator_netlist(), periods=8)
+        assert report.ok
+        assert report.periods_checked == 8
+
+
+class TestInverterRingNetlist:
+    def test_even_count_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            inverter_ring_netlist(4)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            inverter_ring_netlist(1)
+
+    def test_delay_count_checked(self):
+        with pytest.raises(GraphConstructionError):
+            inverter_ring_netlist(3, [1, 2])
+
+    def test_period_formula(self):
+        from repro.circuits import simulate_and_measure
+
+        netlist = inverter_ring_netlist(7)
+        assert simulate_and_measure(netlist, "i0", "+", max_transitions=400) == 14

@@ -1,0 +1,42 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.extraction import extract_signal_graph
+from repro.circuits.library import (
+    async_stack_tsg,
+    muller_ring_netlist,
+    oscillator_netlist,
+    oscillator_tsg,
+)
+
+
+@pytest.fixture
+def oscillator():
+    """The Figure 1b Timed Signal Graph (fresh copy per test)."""
+    return oscillator_tsg()
+
+
+@pytest.fixture
+def oscillator_circuit():
+    """The Figure 1a netlist."""
+    return oscillator_netlist()
+
+
+@pytest.fixture(scope="session")
+def muller_ring_graph():
+    """The extracted Figure 5 Muller ring graph (session-cached;
+    treat as read-only)."""
+    return extract_signal_graph(muller_ring_netlist())
+
+
+@pytest.fixture
+def stack():
+    """The 66-event/112-arc asynchronous stack substitute."""
+    return async_stack_tsg()
+
+
+# Hypothesis strategies live in tests/strategies.py so property tests
+# can import them as a regular module.

@@ -1,0 +1,57 @@
+"""Unit tests for the numeric helpers."""
+
+from fractions import Fraction
+
+from repro.core.arithmetic import as_number, exact_div, numbers_close
+
+
+class TestExactDiv:
+    def test_int_int_gives_fraction(self):
+        result = exact_div(20, 3)
+        assert isinstance(result, Fraction)
+        assert result == Fraction(20, 3)
+
+    def test_integral_result_compares_to_int(self):
+        assert exact_div(10, 2) == 5
+
+    def test_fraction_operands(self):
+        assert exact_div(Fraction(1, 2), 3) == Fraction(1, 6)
+        assert exact_div(4, Fraction(2, 3)) == 6
+
+    def test_float_operand_gives_float(self):
+        assert isinstance(exact_div(1.5, 2), float)
+        assert exact_div(1.5, 2) == 0.75
+        assert isinstance(exact_div(3, 2.0), float)
+
+
+class TestNumbersClose:
+    def test_exact_exact_is_equality(self):
+        assert numbers_close(Fraction(20, 3), Fraction(40, 6))
+        assert not numbers_close(Fraction(20, 3), Fraction(20, 3) + Fraction(1, 10**12))
+
+    def test_float_comparison_tolerant(self):
+        assert numbers_close(1.0, 1.0 + 1e-12)
+        assert not numbers_close(1.0, 1.001)
+
+    def test_mixed_comparison(self):
+        assert numbers_close(Fraction(1, 3), 1 / 3)
+        assert numbers_close(10, 10.0)
+
+    def test_relative_scaling(self):
+        big = 1e12
+        assert numbers_close(big, big * (1 + 1e-12))
+        assert not numbers_close(big, big * (1 + 1e-6))
+
+
+class TestAsNumber:
+    def test_passthrough(self):
+        assert as_number(3) == 3
+        assert as_number(Fraction(1, 2)) == Fraction(1, 2)
+        assert as_number(1.5) == 1.5
+
+    def test_other_reals_coerced(self):
+        import numpy as np
+
+        value = as_number(np.float64(2.5))
+        assert isinstance(value, float)
+        assert value == 2.5

@@ -1,0 +1,110 @@
+"""Unit tests for parallel composition."""
+
+import pytest
+
+from repro.core import (
+    TimedSignalGraph,
+    compose,
+    compute_cycle_time,
+    pipeline_of,
+    prefix_events,
+    shared_events,
+    validate,
+)
+from repro.core.errors import GraphConstructionError
+
+
+def loop(first, second, d1=1, d2=1):
+    g = TimedSignalGraph()
+    g.add_arc(first, second, d1)
+    g.add_arc(second, first, d2, marked=True)
+    return g
+
+
+class TestCompose:
+    def test_disjoint_union(self):
+        merged = compose(loop("a+", "b+"), loop("x+", "y+"))
+        assert merged.num_events == 4
+        assert merged.num_arcs == 4
+
+    def test_synchronisation_on_shared_events(self):
+        left = loop("a+", "shared+", 1, 2)
+        right = loop("shared+", "z+", 3, 4)
+        merged = compose(left, right)
+        validate(merged)
+        # shared+ now has in-arcs from both components
+        assert len(merged.in_arcs("shared+")) == 2
+        result = compute_cycle_time(merged)
+        assert result.cycle_time == max(1 + 2, 3 + 4)
+
+    def test_shared_events_helper(self):
+        left = loop("a+", "s+")
+        right = loop("s+", "b+")
+        assert {str(e) for e in shared_events(left, right)} == {"s+"}
+
+    def test_duplicate_arc_delays_merge_by_max(self):
+        left = loop("a+", "b+", d1=2)
+        right = loop("a+", "b+", d1=5)
+        merged = compose(left, right)
+        assert merged.arc("a+", "b+").delay == 5
+
+    def test_conflicting_markings_rejected(self):
+        left = loop("a+", "b+")
+        right = TimedSignalGraph()
+        right.add_arc("a+", "b+", 1, marked=True)
+        with pytest.raises(GraphConstructionError):
+            compose(left, right)
+
+    def test_empty_composition_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            compose()
+
+    def test_composition_is_associative_structurally(self):
+        a, b, c = loop("a+", "s+"), loop("s+", "t+"), loop("t+", "a+")
+        left = compose(compose(a, b), c)
+        right = compose(a, compose(b, c))
+        assert left.structurally_equal(right)
+
+    def test_name(self):
+        merged = compose(loop("a+", "b+"), loop("b+", "c+"), name="sys")
+        assert merged.name == "sys"
+
+
+class TestPrefixEvents:
+    def test_local_events_namespaced(self):
+        component = loop("local+", "iface+")
+        renamed = prefix_events(component, "m1_", keep=["iface+"])
+        assert renamed.has_event("m1_local+")
+        assert renamed.has_event("iface+")
+        assert not renamed.has_event("local+")
+
+    def test_two_instances_compose_without_capture(self):
+        component = loop("state+", "clk+", 2, 3)
+        first = prefix_events(component, "u1_", keep=["clk+"])
+        second = prefix_events(component, "u2_", keep=["clk+"])
+        merged = compose(first, second)
+        validate(merged)
+        assert merged.num_events == 3  # two states + shared clk
+        assert compute_cycle_time(merged).cycle_time == 5
+
+    def test_plain_string_events(self):
+        g = TimedSignalGraph()
+        g.add_arc("n1", "n2", 1)
+        g.add_arc("n2", "n1", 1, marked=True)
+        renamed = prefix_events(g, "p_")
+        assert renamed.has_event("p_n1")
+
+
+class TestPipelineOf:
+    def test_stage_factory_chain(self):
+        def stage(index):
+            return loop("link%d+" % index, "link%d+" % (index + 1), 2, 1)
+
+        merged = pipeline_of(stage, 4)
+        validate(merged)
+        assert merged.num_events == 5
+        assert compute_cycle_time(merged).cycle_time == 3
+
+    def test_needs_a_stage(self):
+        with pytest.raises(GraphConstructionError):
+            pipeline_of(lambda i: loop("a+", "b+"), 0)

@@ -1,0 +1,171 @@
+"""Unit tests for the main cycle-time algorithm (Section VII)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    TimedSignalGraph,
+    Transition,
+    compute_cycle_time,
+)
+from repro.core.cycle_time import BorderDistance, _simple_sub_cycles
+from repro.core.errors import AcyclicGraphError, NotLiveError, SignalGraphError
+
+
+def T(text):
+    return Transition.parse(text)
+
+
+class TestOscillator:
+    def test_cycle_time(self, oscillator):
+        assert compute_cycle_time(oscillator).cycle_time == 10
+
+    def test_critical_cycle(self, oscillator):
+        result = compute_cycle_time(oscillator)
+        assert len(result.critical_cycles) == 1
+        cycle = result.critical_cycles[0]
+        assert {str(e) for e in cycle.events} == {"a+", "c+", "a-", "c-"}
+        assert cycle.length == 10
+        assert cycle.occurrence_period == 1
+
+    def test_border_table_matches_paper(self, oscillator):
+        # Section VIII-C: a+: 10/1, 20/2; b+: 8/1, 18/2
+        result = compute_cycle_time(oscillator)
+        table = {
+            (str(rec.border_event), rec.period): (rec.time, rec.distance)
+            for rec in result.distances
+        }
+        assert table == {
+            ("a+", 1): (10, 10),
+            ("a+", 2): (20, 10),
+            ("b+", 1): (8, 8),
+            ("b+", 2): (18, 9),
+        }
+
+    def test_winning_distances(self, oscillator):
+        result = compute_cycle_time(oscillator)
+        winners = result.winning_distances()
+        assert {(str(w.border_event), w.period) for w in winners} == {
+            ("a+", 1),
+            ("a+", 2),
+        }
+
+    def test_critical_events(self, oscillator):
+        result = compute_cycle_time(oscillator)
+        assert {str(e) for e in result.critical_events} == {"a+", "c+", "a-", "c-"}
+
+    def test_distance_table_format(self, oscillator):
+        text = compute_cycle_time(oscillator).distance_table()
+        assert "a+" in text and "delta" in text
+
+    def test_str(self, oscillator):
+        assert "cycle time 10" in str(compute_cycle_time(oscillator))
+
+
+class TestMullerRing:
+    def test_cycle_time_20_3(self, muller_ring_graph):
+        result = compute_cycle_time(muller_ring_graph)
+        assert result.cycle_time == Fraction(20, 3)
+
+    def test_critical_cycle_spans_three_periods(self, muller_ring_graph):
+        result = compute_cycle_time(muller_ring_graph)
+        assert all(c.occurrence_period == 3 for c in result.critical_cycles)
+        assert all(c.length == 20 for c in result.critical_cycles)
+
+    def test_default_periods_is_border_count(self, muller_ring_graph):
+        result = compute_cycle_time(muller_ring_graph)
+        assert result.periods == len(result.border_events) == 4
+
+    def test_extended_periods_same_answer(self, muller_ring_graph):
+        extended = compute_cycle_time(muller_ring_graph, periods=10)
+        assert extended.cycle_time == Fraction(20, 3)
+
+
+class TestParametersAndErrors:
+    def test_periods_below_bound_rejected(self, oscillator):
+        with pytest.raises(SignalGraphError):
+            compute_cycle_time(oscillator, periods=1)
+
+    def test_acyclic_rejected(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 1)
+        with pytest.raises(AcyclicGraphError):
+            compute_cycle_time(g)
+
+    def test_non_live_rejected(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 1)
+        g.add_arc("b+", "a+", 1)
+        with pytest.raises(NotLiveError):
+            compute_cycle_time(g)
+
+    def test_check_false_skips_validation(self, oscillator):
+        result = compute_cycle_time(oscillator, check=False)
+        assert result.cycle_time == 10
+
+    def test_simulations_exposed(self, oscillator):
+        result = compute_cycle_time(oscillator)
+        assert set(map(str, result.simulations)) == {"a+", "b+"}
+        sim = result.simulations[T("a+")]
+        assert sim.time(T("a+"), 1) == 10
+
+
+class TestMultiTokenCycles:
+    def test_two_token_ring(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 3, marked=True)
+        g.add_arc("b+", "a+", 5, marked=True)
+        result = compute_cycle_time(g)
+        assert result.cycle_time == Fraction(8, 2)
+        assert result.critical_cycles[0].occurrence_period == 2
+
+    def test_competing_cycles(self):
+        g = TimedSignalGraph()
+        # short fast loop vs long slow loop sharing the hub
+        g.add_arc("h+", "f+", 1)
+        g.add_arc("f+", "h+", 1, marked=True)
+        g.add_arc("h+", "s+", 10)
+        g.add_arc("s+", "h+", 10, marked=True)
+        result = compute_cycle_time(g)
+        assert result.cycle_time == 20
+        assert {str(e) for e in result.critical_cycles[0].events} == {"h+", "s+"}
+
+    def test_tie_produces_both_cycles(self):
+        g = TimedSignalGraph()
+        g.add_arc("h+", "x+", 5)
+        g.add_arc("x+", "h+", 5, marked=True)
+        g.add_arc("h+", "y+", 6)
+        g.add_arc("y+", "h+", 4, marked=True)
+        result = compute_cycle_time(g)
+        assert result.cycle_time == 10
+        found = {frozenset(map(str, c.events)) for c in result.critical_cycles}
+        assert frozenset({"h+", "x+"}) in found or frozenset({"h+", "y+"}) in found
+
+    def test_zero_delay_graph(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 0)
+        g.add_arc("b+", "a+", 0, marked=True)
+        assert compute_cycle_time(g).cycle_time == 0
+
+
+class TestSubCycleDecomposition:
+    def test_simple_walk(self, oscillator):
+        walk = [T(x) for x in ["a+", "c+", "a-", "c-", "a+"]]
+        cycles = _simple_sub_cycles(oscillator, walk)
+        assert len(cycles) == 1
+        assert cycles[0].length == 10
+
+    def test_nested_walk(self, oscillator):
+        # outer a+..a+ with inner repeated c+ segment is decomposed
+        walk = [T(x) for x in ["a+", "c+", "b-", "c-", "a+", "c+", "a-", "c-", "a+"]]
+        cycles = _simple_sub_cycles(oscillator, walk)
+        lengths = sorted(cycle.length for cycle in cycles)
+        assert lengths == [8, 10]
+
+
+class TestBorderDistance:
+    def test_str(self):
+        record = BorderDistance(T("a+"), 2, 20, 10)
+        assert "a+" in str(record)
+        assert "20/2" in str(record)

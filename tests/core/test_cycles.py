@@ -1,0 +1,121 @@
+"""Unit tests for cycle enumeration and effective lengths."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    TimedSignalGraph,
+    critical_cycles,
+    make_cycle,
+    max_occurrence_period,
+    simple_cycles,
+)
+from repro.core.cycles import canonical_rotation
+from repro.core.errors import AcyclicGraphError
+
+
+class TestExample5:
+    """Example 5 of the paper: the oscillator's four simple cycles."""
+
+    def test_four_simple_cycles(self, oscillator):
+        cycles = list(simple_cycles(oscillator))
+        assert len(cycles) == 4
+
+    def test_cycle_lengths(self, oscillator):
+        lengths = sorted(cycle.length for cycle in simple_cycles(oscillator))
+        assert lengths == [6, 8, 8, 10]
+
+    def test_all_occurrence_periods_one(self, oscillator):
+        assert all(c.occurrence_period == 1 for c in simple_cycles(oscillator))
+
+    def test_c1_identified(self, oscillator):
+        c1 = make_cycle(oscillator, [e for e in map(str, ["a+", "c+", "a-", "c-"])])
+        assert c1.length == 10
+        assert c1.tokens == 1
+        assert c1.effective_length == 10
+
+    def test_c4_identified(self, oscillator):
+        c4 = make_cycle(oscillator, ["b+", "c+", "b-", "c-"])
+        assert c4.length == 6
+
+
+class TestExample6:
+    """Example 6: cycle time = max effective length = 10."""
+
+    def test_exhaustive_cycle_time(self, oscillator):
+        value, winners = critical_cycles(oscillator)
+        assert value == 10
+        assert len(winners) == 1
+        assert {str(e) for e in winners[0].events} == {"a+", "c+", "a-", "c-"}
+
+
+class TestCycleMechanics:
+    def test_canonical_rotation_deterministic(self):
+        # rotation starts at the smallest label, preserving cycle order
+        assert list(canonical_rotation(["c+", "a+", "b+"])) == ["a+", "b+", "c+"]
+        assert list(canonical_rotation(["b+", "c+", "a+"])) == ["a+", "b+", "c+"]
+        assert list(canonical_rotation(["b+", "a+", "c+"])) == ["a+", "c+", "b+"]
+
+    def test_equal_cycles_compare_equal(self, oscillator):
+        c_a = make_cycle(oscillator, ["a+", "c+", "a-", "c-"])
+        c_b = make_cycle(oscillator, ["c-", "a+", "c+", "a-"])
+        assert c_a == c_b
+
+    def test_cycle_arcs(self, oscillator):
+        cycle = make_cycle(oscillator, ["a+", "c+", "a-", "c-"])
+        arcs = cycle.arcs(oscillator)
+        assert len(arcs) == 4
+        assert sum(arc.delay for arc in arcs) == cycle.length
+        assert sum(arc.tokens for arc in arcs) == cycle.tokens
+
+    def test_cycle_str(self, oscillator):
+        cycle = make_cycle(oscillator, ["a+", "c+", "a-", "c-"])
+        text = str(cycle)
+        assert "length=10" in text
+        assert "tokens=1" in text
+
+    def test_self_loop_cycle(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "a+", 7, marked=True)
+        value, winners = critical_cycles(g)
+        assert value == 7
+        assert len(winners[0]) == 1
+
+    def test_fractional_effective_length(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 3, marked=True)
+        g.add_arc("b+", "a+", 4, marked=True)
+        value, _ = critical_cycles(g)
+        assert value == Fraction(7, 2)
+
+    def test_acyclic_raises(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 1)
+        with pytest.raises(AcyclicGraphError):
+            critical_cycles(g)
+
+    def test_ties_report_all_winners(self):
+        g = TimedSignalGraph()
+        g.add_arc("h+", "x+", 5)
+        g.add_arc("x+", "h+", 5, marked=True)
+        g.add_arc("h+", "y+", 4)
+        g.add_arc("y+", "h+", 6, marked=True)
+        value, winners = critical_cycles(g)
+        assert value == 10
+        assert len(winners) == 2
+
+
+class TestMaxOccurrencePeriod:
+    def test_oscillator(self, oscillator):
+        assert max_occurrence_period(oscillator) == 1
+
+    def test_muller_ring(self, muller_ring_graph):
+        # the ring's critical cycle spans 3 periods
+        assert max_occurrence_period(muller_ring_graph) == 3
+
+    def test_double_marked_ring(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 1, marked=True)
+        g.add_arc("b+", "a+", 1, marked=True)
+        assert max_occurrence_period(g) == 2

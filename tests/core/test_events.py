@@ -1,0 +1,93 @@
+"""Unit tests for event naming (repro.core.events)."""
+
+import pytest
+
+from repro.core.errors import FormatError
+from repro.core.events import FALL, RISE, Transition, as_event, event_label
+
+
+class TestTransitionParsing:
+    def test_parse_rising(self):
+        t = Transition.parse("a+")
+        assert t.signal == "a"
+        assert t.direction == RISE
+        assert t.tag == 0
+
+    def test_parse_falling(self):
+        t = Transition.parse("req-")
+        assert t.signal == "req"
+        assert t.is_falling
+
+    def test_parse_tagged(self):
+        t = Transition.parse("a+/2")
+        assert t.tag == 2
+        assert str(t) == "a+/2"
+
+    def test_parse_complex_names(self):
+        t = Transition.parse("bus[3].ack-")
+        assert t.signal == "bus[3].ack"
+
+    def test_parse_strips_whitespace(self):
+        assert Transition.parse(" a+ ") == Transition("a", "+")
+
+    @pytest.mark.parametrize("bad", ["", "a", "+a", "a*", "a++", "1a+", "a +"])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(FormatError):
+            Transition.parse(bad)
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(ValueError):
+            Transition("a", "^")
+
+
+class TestTransitionBehaviour:
+    def test_roundtrip_str(self):
+        for text in ["a+", "b-", "x+/3"]:
+            assert str(Transition.parse(text)) == text
+
+    def test_equality_and_hash(self):
+        assert Transition("a", "+") == Transition.parse("a+")
+        assert hash(Transition("a", "+")) == hash(Transition.parse("a+"))
+        assert Transition("a", "+") != Transition("a", "-")
+        assert Transition("a", "+", 1) != Transition("a", "+", 2)
+
+    def test_ordering_is_total(self):
+        transitions = [Transition.parse(t) for t in ["b-", "a+", "a-", "b+"]]
+        ordered = sorted(transitions)
+        assert ordered == sorted(ordered)
+
+    def test_opposite(self):
+        assert Transition.parse("a+").opposite() == Transition.parse("a-")
+        assert Transition.parse("a-/2").opposite() == Transition.parse("a+/2")
+
+    def test_target_value(self):
+        assert Transition.parse("a+").target_value == 1
+        assert Transition.parse("a-").target_value == 0
+
+    def test_pretty_uses_arrows(self):
+        assert Transition.parse("a+").pretty() == "a↑"
+        assert Transition.parse("a-").pretty() == "a↓"
+
+    def test_repr_is_evalish(self):
+        assert repr(Transition.parse("a+")) == "Transition('a+')"
+
+
+class TestAsEvent:
+    def test_string_becomes_transition(self):
+        assert as_event("a+") == Transition("a", "+")
+
+    def test_non_transition_string_passthrough(self):
+        assert as_event("node17") == "node17"
+
+    def test_transition_passthrough(self):
+        t = Transition("a", "+")
+        assert as_event(t) is t
+
+    def test_other_hashables_passthrough(self):
+        assert as_event(42) == 42
+        assert as_event(("x", 1)) == ("x", 1)
+
+    def test_event_label(self):
+        assert event_label(Transition("a", "+")) == "a+"
+        assert event_label("n0") == "n0"
+        assert event_label(7) == "7"

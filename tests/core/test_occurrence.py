@@ -1,0 +1,59 @@
+"""Unit tests for average occurrence distances."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    average_occurrence_distances,
+    initiated_occurrence_distances,
+)
+from repro.core.errors import SimulationError
+
+
+class TestAverageOccurrenceDistances:
+    def test_section_ii_sequence(self, oscillator):
+        # "The sequence for the up-going transitions of a is: 2, 13/2,
+        # 23/3, 33/4, 43/5, 53/6, ..." — Section II.
+        sequence = average_occurrence_distances(oscillator, "a+", periods=5)
+        assert sequence == [
+            2,
+            Fraction(13, 2),
+            Fraction(23, 3),
+            Fraction(33, 4),
+            Fraction(43, 5),
+            Fraction(53, 6),
+        ]
+
+    def test_converges_towards_cycle_time(self, oscillator):
+        sequence = average_occurrence_distances(oscillator, "a+", periods=60)
+        assert abs(float(sequence[-1]) - 10) < 0.2
+        assert float(sequence[-1]) < 10  # from below for this graph
+
+    def test_rejects_nonrepetitive_event(self, oscillator):
+        with pytest.raises(SimulationError):
+            average_occurrence_distances(oscillator, "e-", periods=3)
+
+
+class TestInitiatedOccurrenceDistances:
+    def test_on_critical_event_hits_cycle_time(self, oscillator):
+        points = initiated_occurrence_distances(oscillator, "a+", periods=4)
+        assert points == [(1, 10), (2, 10), (3, 10), (4, 10)]
+
+    def test_off_critical_event_stays_below(self, oscillator):
+        # Section VIII-C: max δ_{b+0}(b+_i) = 8, 9, 9 1/3, 9 1/2, 9 3/5 ...
+        points = initiated_occurrence_distances(oscillator, "b+", periods=5)
+        values = [delta for _, delta in points]
+        assert values == [8, 9, Fraction(28, 3), Fraction(19, 2), Fraction(48, 5)]
+        assert all(value < 10 for value in values)
+
+    def test_off_critical_monotone_convergence(self, oscillator):
+        points = initiated_occurrence_distances(oscillator, "b+", periods=40)
+        values = [float(delta) for _, delta in points]
+        assert values == sorted(values)
+        assert values[-1] < 10
+        assert 10 - values[-1] < 0.1
+
+    def test_indices_start_at_one(self, oscillator):
+        points = initiated_occurrence_distances(oscillator, "a+", periods=3)
+        assert [index for index, _ in points] == [1, 2, 3]

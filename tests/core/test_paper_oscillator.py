@@ -1,0 +1,188 @@
+"""Lock-in tests: every published number for the Figure 1 oscillator.
+
+Each test quotes the paper location it reproduces.  These are the
+repository's ground-truth contract: if any of them fails, the
+reproduction has diverged from the paper.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    EventInitiatedSimulation,
+    TimingSimulation,
+    Transition,
+    compute_cycle_time,
+)
+
+
+def T(text):
+    return Transition.parse(text)
+
+
+class TestExample3GlobalSimulation:
+    """Example 3: the initial part of the timing simulation."""
+
+    EXPECTED = {
+        ("e-", 0): 0,
+        ("f-", 0): 3,
+        ("a+", 0): 2,
+        ("b+", 0): 4,
+        ("c+", 0): 6,
+        ("a-", 0): 8,
+        ("b-", 0): 7,
+        ("c-", 0): 11,
+        ("a+", 1): 13,
+        ("b+", 1): 12,
+        ("c+", 1): 16,
+    }
+
+    def test_table(self, oscillator):
+        sim = TimingSimulation(oscillator, periods=1)
+        for (label, index), expected in self.EXPECTED.items():
+            assert sim.time(T(label), index) == expected, (label, index)
+
+    def test_a_down_path_formula(self, oscillator):
+        # t(a-0) = max(δ(e-a+)+δ(a+c+), δ(e-f-)+δ(f-b+)+δ(b+c+)) + δ(c+a-)
+        #        = max(2+3, 3+1+2) + 2 = 8
+        sim = TimingSimulation(oscillator, periods=0)
+        assert sim.time(T("a-"), 0) == max(2 + 3, 3 + 1 + 2) + 2
+
+
+class TestExample4InitiatedSimulation:
+    """Example 4: the b+0-initiated simulation."""
+
+    EXPECTED = {
+        ("b+", 0): 0,
+        ("c+", 0): 2,
+        ("a-", 0): 4,
+        ("b-", 0): 3,
+        ("c-", 0): 7,
+        ("a+", 1): 9,
+        ("b+", 1): 8,
+        ("c+", 1): 12,
+    }
+
+    def test_reachability_set_without_b0(self, oscillator):
+        sim = EventInitiatedSimulation(oscillator, "b+", periods=1)
+        for label in ["e-", "f-", "a+"]:
+            assert not sim.reachable(T(label), 0)
+
+    def test_table(self, oscillator):
+        sim = EventInitiatedSimulation(oscillator, "b+", periods=1)
+        for (label, index), expected in self.EXPECTED.items():
+            assert sim.time(T(label), index) == expected, (label, index)
+
+
+class TestSectionII:
+    """The informal walkthrough of Section II."""
+
+    def test_occurrence_distance_a0_a1_is_11(self, oscillator):
+        sim = TimingSimulation(oscillator, periods=1)
+        assert sim.time(T("a+"), 1) - sim.time(T("a+"), 0) == 11
+
+    def test_average_distance_sequence(self, oscillator):
+        from repro.core import average_occurrence_distances
+
+        sequence = average_occurrence_distances(oscillator, "a+", periods=5)
+        assert sequence == [
+            2,
+            Fraction(13, 2),
+            Fraction(23, 3),
+            Fraction(33, 4),
+            Fraction(43, 5),
+            Fraction(53, 6),
+        ]
+
+    def test_a_initiated_distances_are_flat_10(self, oscillator):
+        # Figure 1d: initiating at a+ gives 10, 10, 10, ...
+        sim = EventInitiatedSimulation(oscillator, "a+", periods=6)
+        assert [time / index for index, time in sim.initiator_times()] == [10] * 6
+
+    def test_border_simulation_values(self, oscillator):
+        # "Starting with event a↑ we obtain values 10/1=10, 20/2=10,
+        #  and with b↑: 8/1=8, 18/2=9."
+        sim_a = EventInitiatedSimulation(oscillator, "a+", periods=2)
+        assert sim_a.initiator_times() == [(1, 10), (2, 20)]
+        sim_b = EventInitiatedSimulation(oscillator, "b+", periods=2)
+        assert sim_b.initiator_times() == [(1, 8), (2, 18)]
+
+
+class TestSectionVIIIC:
+    """Section VIII-C: the C-element oscillator analysed end to end."""
+
+    A_INITIATED = {
+        ("a+", 0): 0,
+        ("b+", 0): 0,
+        ("c+", 0): 3,
+        ("a-", 0): 5,
+        ("b-", 0): 4,
+        ("c-", 0): 8,
+        ("a+", 1): 10,
+        ("b+", 1): 9,
+        ("c-", 1): 18,
+        ("a+", 2): 20,
+        ("b+", 2): 19,
+    }
+
+    def test_a_initiated_table(self, oscillator):
+        sim = EventInitiatedSimulation(oscillator, "a+", periods=2)
+        for (label, index), expected in self.A_INITIATED.items():
+            if expected == 0 and label == "b+":
+                # b+0 is concurrent with a+0; the paper prints 0 for it
+                assert not sim.reachable(T(label), index)
+                continue
+            assert sim.time(T(label), index) == expected, (label, index)
+
+    B_INITIATED = {
+        ("b+", 0): 0,
+        ("c+", 0): 2,
+        ("a-", 0): 4,
+        ("b-", 0): 3,
+        ("c-", 0): 7,
+        ("a+", 1): 9,
+        ("b+", 1): 8,
+        ("c-", 1): 17,
+        ("a+", 2): 19,
+        ("b+", 2): 18,
+    }
+
+    def test_b_initiated_table(self, oscillator):
+        sim = EventInitiatedSimulation(oscillator, "b+", periods=2)
+        for (label, index), expected in self.B_INITIATED.items():
+            assert sim.time(T(label), index) == expected, (label, index)
+
+    def test_cycle_time_is_max_of_four(self, oscillator):
+        result = compute_cycle_time(oscillator)
+        distances = sorted(record.distance for record in result.distances)
+        assert distances == [8, 9, 10, 10]
+        assert result.cycle_time == 10
+
+    def test_paper_erratum_critical_cycle(self, oscillator):
+        """Section VIII-C prints 'a+ -> c+ -> b- -> c- -> a+' as the
+        critical cycle, but that cycle has length 3+1+2+2 = 8; the
+        delays and Examples 5-6 give the length-10 cycle through a-.
+        We reproduce the consistent answer and record the erratum."""
+        from repro.core import make_cycle
+
+        printed = make_cycle(oscillator, ["a+", "c+", "b-", "c-"])
+        assert printed.length == 8  # the printed cycle cannot be critical
+        result = compute_cycle_time(oscillator)
+        assert result.critical_cycles[0].length == 10
+
+    def test_infinite_b_sequence_asymptote(self, oscillator):
+        # max{δ_{b+0}(b+_i)} = {8, 9, 9 1/3, 9 1/2, 9 3/5, ...} -> 10
+        from repro.core import exact_div
+
+        sim = EventInitiatedSimulation(oscillator, "b+", periods=200)
+        values = [exact_div(time, index) for index, time in sim.initiator_times()]
+        assert values[:5] == [
+            8,
+            9,
+            Fraction(28, 3),
+            Fraction(19, 2),
+            Fraction(48, 5),
+        ]
+        assert max(values) < 10
+        assert 10 - values[-1] < Fraction(1, 50)

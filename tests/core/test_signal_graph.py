@@ -1,0 +1,218 @@
+"""Unit tests for the Timed Signal Graph model."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import TimedSignalGraph, Transition, from_arcs
+from repro.core.errors import (
+    GraphConstructionError,
+    NotInitiallySafeError,
+)
+
+
+def ring(delays=(1, 1, 1)):
+    g = TimedSignalGraph()
+    g.add_arc("x+", "y+", delays[0])
+    g.add_arc("y+", "z+", delays[1])
+    g.add_arc("z+", "x+", delays[2], marked=True)
+    return g
+
+
+class TestConstruction:
+    def test_events_created_implicitly(self):
+        g = ring()
+        assert g.num_events == 3
+        assert g.has_event("x+")
+        assert Transition.parse("x+") in g
+
+    def test_add_event_idempotent(self):
+        g = TimedSignalGraph()
+        g.add_event("a+")
+        g.add_event("a+")
+        assert g.num_events == 1
+
+    def test_arc_attributes(self):
+        g = ring((2, 3, 4))
+        arc = g.arc("z+", "x+")
+        assert arc.delay == 4
+        assert arc.marked
+        assert arc.tokens == 1
+        assert not g.arc("x+", "y+").marked
+
+    def test_negative_delay_rejected(self):
+        g = TimedSignalGraph()
+        with pytest.raises(GraphConstructionError):
+            g.add_arc("a+", "b+", -1)
+
+    def test_non_numeric_delay_rejected(self):
+        g = TimedSignalGraph()
+        with pytest.raises(GraphConstructionError):
+            g.add_arc("a+", "b+", "fast")
+        with pytest.raises(GraphConstructionError):
+            g.add_arc("a+", "b+", True)
+
+    def test_duplicate_arc_merges_by_max_delay(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 2)
+        g.add_arc("a+", "b+", 5)
+        assert g.arc("a+", "b+").delay == 5
+        g.add_arc("a+", "b+", 1)
+        assert g.arc("a+", "b+").delay == 5
+        assert g.num_arcs == 1
+
+    def test_duplicate_arc_conflicting_marking_rejected(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 2)
+        with pytest.raises(GraphConstructionError):
+            g.add_arc("a+", "b+", 2, marked=True)
+
+    def test_multitoken_marking_rejected(self):
+        g = TimedSignalGraph()
+        with pytest.raises(NotInitiallySafeError):
+            g.add_arc("a+", "b+", 1, marked=2)
+
+    def test_integer_marking_accepted(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 1, marked=1)
+        assert g.arc("a+", "b+").marked
+
+    def test_multimarked_arc_expansion(self):
+        g = TimedSignalGraph()
+        g.add_multimarked_arc("a+", "b+", delay=5, tokens=3)
+        g.add_arc("b+", "a+", 1)
+        # chain introduces 2 hidden events and 3 marked arcs
+        assert g.num_events == 4
+        assert g.total_tokens() == 3
+        from repro.core import compute_cycle_time
+
+        assert compute_cycle_time(g).cycle_time == Fraction(6, 3)
+
+    def test_multimarked_zero_and_one(self):
+        g = TimedSignalGraph()
+        g.add_multimarked_arc("a+", "b+", delay=5, tokens=0)
+        assert not g.arc("a+", "b+").marked
+        g.add_multimarked_arc("b+", "a+", delay=5, tokens=1)
+        assert g.arc("b+", "a+").marked
+
+    def test_remove_arc(self):
+        g = ring()
+        g.remove_arc("x+", "y+")
+        assert not g.has_arc("x+", "y+")
+        assert g.num_arcs == 2
+        with pytest.raises(KeyError):
+            g.arc("x+", "y+")
+
+    def test_set_delay(self):
+        g = ring()
+        g.set_delay("x+", "y+", 9)
+        assert g.delay("x+", "y+") == 9
+
+
+class TestQueries:
+    def test_in_out_arcs(self):
+        g = ring()
+        assert [str(a.source) for a in g.in_arcs("y+")] == ["x+"]
+        assert [str(a.target) for a in g.out_arcs("y+")] == ["z+"]
+        assert g.predecessors("x+") == [Transition.parse("z+")]
+        assert g.successors("x+") == [Transition.parse("y+")]
+
+    def test_marking_and_tokens(self):
+        g = ring()
+        assert g.marking("z+", "x+") == 1
+        assert g.marking("x+", "y+") == 0
+        assert g.total_tokens() == 1
+
+    def test_repetitive_detection(self, oscillator):
+        labels = {str(e) for e in oscillator.repetitive_events}
+        assert labels == {"a+", "a-", "b+", "b-", "c+", "c-"}
+        non = {str(e) for e in oscillator.nonrepetitive_events}
+        assert non == {"e-", "f-"}
+
+    def test_initial_events(self, oscillator):
+        assert {str(e) for e in oscillator.initial_events} == {"e-"}
+
+    def test_declared_initial_event(self):
+        g = ring()
+        g.add_event("start", initial=True)
+        g.add_arc("start", "x+", 1)
+        assert "start" in {str(e) for e in g.initial_events}
+
+    def test_border_events(self, oscillator):
+        assert [str(e) for e in oscillator.border_events] == ["a+", "b+"]
+
+    def test_self_loop_is_repetitive(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "a+", 3, marked=True)
+        assert Transition.parse("a+") in g.repetitive_events
+
+    def test_is_exact(self):
+        assert ring().is_exact
+        assert ring((1, Fraction(1, 3), 2)).is_exact
+        assert not ring((1.5, 1, 1)).is_exact
+
+    def test_len_iter_contains(self):
+        g = ring()
+        assert len(g) == 3
+        assert set(map(str, g)) == {"x+", "y+", "z+"}
+
+    def test_repr_and_describe(self):
+        g = ring()
+        assert "events=3" in repr(g)
+        text = g.describe()
+        assert "z+ -1-> x+ *" in text
+
+
+class TestTransforms:
+    def test_copy_is_deep_for_structure(self):
+        g = ring()
+        clone = g.copy()
+        clone.set_delay("x+", "y+", 99)
+        assert g.delay("x+", "y+") == 1
+        assert clone.structurally_equal(clone.copy())
+
+    def test_scale_delays(self):
+        g = ring((1, 2, 3))
+        doubled = g.scale_delays(2)
+        assert doubled.delay("z+", "x+") == 6
+        assert g.delay("z+", "x+") == 3
+
+    def test_map_delays(self):
+        g = ring((1, 2, 3))
+        bumped = g.map_delays(lambda arc: arc.delay + 10)
+        assert bumped.delay("x+", "y+") == 11
+
+    def test_structurally_equal(self):
+        assert ring().structurally_equal(ring())
+        assert not ring().structurally_equal(ring((2, 1, 1)))
+        other = ring()
+        other.add_arc("x+", "z+", 1)
+        assert not ring().structurally_equal(other)
+        assert not other.structurally_equal(ring())
+
+    def test_to_networkx(self):
+        g = ring((1, 2, 3))
+        nxg = g.to_networkx()
+        assert nxg.number_of_nodes() == 3
+        edge = nxg[Transition.parse("z+")][Transition.parse("x+")]
+        assert edge["delay"] == 3
+        assert edge["marked"] is True
+
+    def test_repetitive_core(self, oscillator):
+        core = oscillator.repetitive_core()
+        assert core.number_of_nodes() == 6
+
+    def test_from_arcs_helper(self):
+        g = from_arcs([("a+", "b+", 1), ("b+", "a+", 2, True)])
+        assert g.num_arcs == 2
+        assert g.arc("b+", "a+").marked
+
+    def test_from_arcs_rejects_bad_tuple(self):
+        with pytest.raises(GraphConstructionError):
+            from_arcs([("a+", "b+")])
+
+    def test_cache_invalidation_on_mutation(self):
+        g = ring()
+        assert len(g.border_events) == 1
+        g.add_arc("z+", "y+", 1, marked=True)
+        assert {str(e) for e in g.border_events} == {"x+", "y+"}

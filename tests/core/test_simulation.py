@@ -1,0 +1,162 @@
+"""Unit tests for timing simulations (global and event-initiated)."""
+
+import pytest
+
+from repro.core import (
+    EventInitiatedSimulation,
+    TimedSignalGraph,
+    TimingSimulation,
+    Transition,
+)
+from repro.core.errors import SimulationError
+
+
+def T(text):
+    return Transition.parse(text)
+
+
+class TestGlobalSimulation:
+    def test_initial_instances_at_zero(self, oscillator):
+        sim = TimingSimulation(oscillator, periods=0)
+        assert sim.time(T("e-"), 0) == 0
+
+    def test_max_semantics(self, oscillator):
+        sim = TimingSimulation(oscillator, periods=0)
+        # c+[0] = max(a+ + 3, b+ + 2) = max(2+3, 4+2)
+        assert sim.time(T("c+"), 0) == 6
+
+    def test_marked_arc_crosses_period(self, oscillator):
+        sim = TimingSimulation(oscillator, periods=1)
+        assert sim.time(T("a+"), 1) == sim.time(T("c-"), 0) + 2
+
+    def test_monotone_in_periods(self, oscillator):
+        sim = TimingSimulation(oscillator, periods=4)
+        times = [sim.time(T("c+"), k) for k in range(5)]
+        assert times == sorted(times)
+
+    def test_unknown_instance_raises(self, oscillator):
+        sim = TimingSimulation(oscillator, periods=1)
+        with pytest.raises(SimulationError):
+            sim.time(T("a+"), 5)
+        with pytest.raises(SimulationError):
+            sim.time(T("e-"), 1)
+
+    def test_negative_periods_rejected(self, oscillator):
+        with pytest.raises(SimulationError):
+            TimingSimulation(oscillator, periods=-1)
+
+    def test_defined(self, oscillator):
+        sim = TimingSimulation(oscillator, periods=1)
+        assert sim.defined(T("a+"), 1)
+        assert not sim.defined(T("a+"), 2)
+
+    def test_times_dict_copy(self, oscillator):
+        sim = TimingSimulation(oscillator, periods=0)
+        times = sim.times
+        times.clear()
+        assert sim.time(T("e-"), 0) == 0
+
+    def test_critical_path_ends_at_source(self, oscillator):
+        sim = TimingSimulation(oscillator, periods=1)
+        path = sim.critical_path(T("c-"), 0)
+        assert path[0] == (T("e-"), 0)
+        assert path[-1] == (T("c-"), 0)
+        # times strictly follow arc delays along the path
+        for earlier, later in zip(path, path[1:]):
+            arc = oscillator.arc(earlier[0], later[0])
+            assert sim.time(*later) == sim.time(*earlier) + arc.delay
+
+    def test_critical_path_unknown_instance(self, oscillator):
+        sim = TimingSimulation(oscillator, periods=0)
+        with pytest.raises(SimulationError):
+            sim.critical_path(T("a+"), 3)
+
+    def test_signal_history(self, oscillator):
+        sim = TimingSimulation(oscillator, periods=1)
+        history = sim.signal_history()
+        assert history[T("a+")] == [(0, 2), (1, 13)]
+
+    def test_table_sorted_by_time(self, oscillator):
+        sim = TimingSimulation(oscillator, periods=0)
+        rows = sim.table()
+        times = [float(t) for _, t in rows]
+        assert times == sorted(times)
+
+    def test_float_delays(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 1.5)
+        g.add_arc("b+", "a+", 2.25, marked=True)
+        sim = TimingSimulation(g, periods=2)
+        assert sim.time(T("b+"), 0) == pytest.approx(1.5)
+        assert sim.time(T("a+"), 1) == pytest.approx(3.75)
+
+    def test_zero_delay_chain(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 0)
+        g.add_arc("b+", "c+", 0)
+        g.add_arc("c+", "a+", 0, marked=True)
+        sim = TimingSimulation(g, periods=3)
+        assert sim.time(T("a+"), 3) == 0
+
+
+class TestEventInitiatedSimulation:
+    def test_origin_is_zero(self, oscillator):
+        sim = EventInitiatedSimulation(oscillator, "b+", periods=1)
+        assert sim.time(T("b+"), 0) == 0
+        assert sim.origin == (T("b+"), 0)
+
+    def test_concurrent_events_unreachable(self, oscillator):
+        sim = EventInitiatedSimulation(oscillator, "b+", periods=1)
+        for label in ["e-", "f-", "a+"]:
+            assert not sim.reachable(T(label), 0)
+            with pytest.raises(SimulationError):
+                sim.time(T(label), 0)
+
+    def test_concurrent_out_arcs_neglected(self, oscillator):
+        # c+[0] only sees b+[0] (a+[0] is concurrent with b+[0])
+        sim = EventInitiatedSimulation(oscillator, "b+", periods=1)
+        assert sim.time(T("c+"), 0) == 2
+
+    def test_later_instances_reachable(self, oscillator):
+        sim = EventInitiatedSimulation(oscillator, "b+", periods=2)
+        assert sim.time(T("a+"), 1) == 9
+        assert sim.time(T("a+"), 2) == 19
+
+    def test_initiator_times(self, oscillator):
+        sim = EventInitiatedSimulation(oscillator, "a+", periods=2)
+        assert sim.initiator_times() == [(1, 10), (2, 20)]
+
+    def test_initiator_times_skip_unreachable(self):
+        # two-event ring with both arcs marked: a+[1] depends only on
+        # b+[0], which is not a successor of a+[0]
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 3, marked=True)
+        g.add_arc("b+", "a+", 5, marked=True)
+        sim = EventInitiatedSimulation(g, "a+", periods=2)
+        assert not sim.reachable(T("a+"), 1)
+        assert sim.initiator_times() == [(2, 8)]
+
+    def test_unknown_initiator_rejected(self, oscillator):
+        with pytest.raises(SimulationError):
+            EventInitiatedSimulation(oscillator, "zz+", periods=1)
+
+    def test_critical_path_starts_at_origin(self, oscillator):
+        sim = EventInitiatedSimulation(oscillator, "a+", periods=2)
+        path = sim.critical_path(T("a+"), 2)
+        assert path[0] == (T("a+"), 0)
+        assert path[-1] == (T("a+"), 2)
+
+    def test_initiation_from_nonrepetitive_event(self, oscillator):
+        # e- initiates everything: equals the global simulation
+        initiated = EventInitiatedSimulation(oscillator, "e-", periods=1)
+        full = TimingSimulation(oscillator, periods=1)
+        for instance, value in full.times.items():
+            assert initiated.time(*instance) == value
+
+    def test_shared_unfolding_reuse(self, oscillator):
+        from repro.core import Unfolding
+
+        u = Unfolding(oscillator)
+        sim1 = EventInitiatedSimulation(oscillator, "a+", 2, unfolding=u)
+        sim2 = EventInitiatedSimulation(oscillator, "b+", 2, unfolding=u)
+        assert sim1.unfolding is sim2.unfolding

@@ -1,0 +1,134 @@
+"""Unit tests for the untimed token game."""
+
+import pytest
+
+from repro.core import TimedSignalGraph, Transition
+from repro.core.errors import SignalGraphError
+from repro.core.token_game import (
+    TokenGame,
+    check_bounded,
+    firing_sequence_alternates,
+)
+
+
+def T(text):
+    return Transition.parse(text)
+
+
+class TestEnabling:
+    def test_initially_enabled(self, oscillator):
+        game = TokenGame(oscillator)
+        assert [str(e) for e in game.enabled_events()] == ["e-"]
+
+    def test_source_fires_once(self, oscillator):
+        game = TokenGame(oscillator)
+        game.fire("e-")
+        assert not game.is_enabled("e-")
+
+    def test_firing_disabled_event_raises(self, oscillator):
+        game = TokenGame(oscillator)
+        with pytest.raises(SignalGraphError):
+            game.fire("c+")
+
+    def test_and_causality(self, oscillator):
+        game = TokenGame(oscillator)
+        game.fire("e-")
+        game.fire("a+")
+        assert not game.is_enabled("c+")  # still waits for b+
+        game.fire("f-")
+        game.fire("b+")
+        assert game.is_enabled("c+")
+
+    def test_disengageable_arc_releases_repetition(self, oscillator):
+        """After the one-shot e- -> a+ arc is consumed, a+ keeps firing
+        through its marked arc alone."""
+        game = TokenGame(oscillator)
+        sequence = game.run(20)
+        a_fires = sum(1 for event in sequence if str(event) == "a+")
+        assert a_fires >= 3
+        assert not game.is_deadlocked
+
+
+class TestExecution:
+    def test_oscillator_prefix_then_period(self, oscillator):
+        game = TokenGame(oscillator)
+        sequence = [str(e) for e in game.run(8 + 12)]
+        # one-shot events appear exactly once
+        assert sequence.count("e-") == 1
+        assert sequence.count("f-") == 1
+        # the oscillation repeats: each repetitive event fires 3 times
+        for label in ["a+", "b+", "c+", "a-", "b-", "c-"]:
+            assert sequence.count(label) == 3
+
+    def test_safety_observed(self, oscillator):
+        game = TokenGame(oscillator)
+        game.run(100)
+        assert game.max_observed_activity() == 1  # initially-safe stays safe
+
+    def test_marking_snapshot(self, oscillator):
+        game = TokenGame(oscillator)
+        before = game.marking()
+        game.fire("e-")
+        after = game.marking()
+        assert before != after
+        assert after[(T("e-"), T("a+"))] == 1
+
+    def test_reset(self, oscillator):
+        game = TokenGame(oscillator)
+        game.run(10)
+        game.reset()
+        assert game.history == []
+        assert [str(e) for e in game.enabled_events()] == ["e-"]
+
+    def test_policies(self, oscillator):
+        fifo = TokenGame(oscillator)
+        first = TokenGame(oscillator)
+        fifo.run(30, policy="fifo")
+        first.run(30, policy="first")
+        assert len(fifo.history) == len(first.history) == 30
+        with pytest.raises(SignalGraphError):
+            TokenGame(oscillator).run(5, policy="random-nonsense")
+
+    def test_deadlock_on_nonlive_graph(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 1)
+        g.add_arc("b+", "a+", 1)  # no token: nothing ever fires
+        game = TokenGame(g)
+        assert game.run(10) == []
+        assert game.is_deadlocked
+
+
+class TestProbes:
+    def test_bounded_library_graphs(self, oscillator, muller_ring_graph, stack):
+        for graph in (oscillator, muller_ring_graph, stack):
+            assert check_bounded(graph, steps=2_000)
+
+    def test_alternation_library_graphs(self, oscillator, muller_ring_graph):
+        assert firing_sequence_alternates(oscillator)
+        assert firing_sequence_alternates(muller_ring_graph)
+
+    def test_alternation_violation_detected(self):
+        # a+ fires repeatedly with no a- in between
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 1)
+        g.add_arc("b+", "a+", 1, marked=True)
+        assert not firing_sequence_alternates(g)
+
+    def test_unbounded_detection(self):
+        # a source pumping tokens into a slow consumer pair would need
+        # an unbounded place; emulate with a self-loop producer
+        g = TimedSignalGraph()
+        g.add_arc("p", "p", 0, marked=True)   # p fires forever
+        g.add_arc("p", "q", 0)                # floods q's in-arc
+        g.add_arc("q", "q", 0, marked=True)   # q also cycles, consuming 1 per fire
+        # fair execution alternates p and q, activity stays low; force
+        # unfairness with policy "first" through the probe's own loop:
+        assert check_bounded(g, steps=500, bound=300)
+
+    def test_token_game_agrees_with_unfolding_counts(self, oscillator):
+        """After N fair steps covering k periods, fire counts match the
+        unfolding's instance structure (prefix + k periods)."""
+        game = TokenGame(oscillator)
+        game.run(2 + 6 * 4)  # prefix + 4 periods
+        assert game.fire_counts[T("e-")] == 1
+        assert game.fire_counts[T("a+")] == 4

@@ -1,0 +1,108 @@
+"""Edge-case tests for transformations and composition corners."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    TimedSignalGraph,
+    TimingSimulation,
+    compose,
+    compute_cycle_time,
+    merge_chain_events,
+    remove_redundant_arcs,
+    validate,
+)
+from repro.core.errors import GraphConstructionError
+
+
+class TestMergeWithTokens:
+    def test_merge_accumulating_two_tokens(self):
+        # a -> h (marked) -> b (marked) merges into a 2-token chain
+        g = TimedSignalGraph()
+        g.add_arc("a+", "_h", 3, marked=True)
+        g.add_arc("_h", "b+", 2, marked=True)
+        g.add_arc("b+", "a+", 1)
+        before = compute_cycle_time(g).cycle_time
+        merged = merge_chain_events(g)
+        after = compute_cycle_time(merged).cycle_time
+        assert before == after == Fraction(6, 2)
+
+    def test_merge_skips_conflicting_parallel_arc(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "_h", 2)
+        g.add_arc("_h", "b+", 2, marked=True)
+        g.add_arc("a+", "b+", 1)  # parallel, different marking
+        g.add_arc("b+", "a+", 1, marked=True)
+        merged = merge_chain_events(g)
+        # cannot merge into the unmarked parallel arc; _h survives
+        assert merged.has_event("_h")
+        assert compute_cycle_time(merged).cycle_time == compute_cycle_time(g).cycle_time
+
+    def test_merge_into_existing_same_marking_arc(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "_h", 2)
+        g.add_arc("_h", "b+", 2)
+        g.add_arc("a+", "b+", 9)  # parallel, same (zero) marking
+        g.add_arc("b+", "a+", 1, marked=True)
+        merged = merge_chain_events(g)
+        assert not merged.has_event("_h")
+        assert merged.arc("a+", "b+").delay == 9  # max(4, 9)
+        assert compute_cycle_time(merged).cycle_time == 10
+
+
+class TestRedundantArcsWithZeroDelays:
+    def test_zero_delay_parallel_path(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 0)
+        g.add_arc("b+", "c+", 0)
+        g.add_arc("a+", "c+", 0)  # dominated at equality
+        g.add_arc("c+", "a+", 5, marked=True)
+        reduced = remove_redundant_arcs(g)
+        assert not reduced.has_arc("a+", "c+")
+        assert compute_cycle_time(reduced).cycle_time == 5
+
+    def test_self_loop_untouched(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "a+", 4, marked=True)
+        reduced = remove_redundant_arcs(g)
+        assert reduced.has_arc("a+", "a+")
+
+
+class TestComposeEdgeCases:
+    def test_initial_declaration_survives(self):
+        left = TimedSignalGraph()
+        left.add_event("boot", initial=True)
+        left.add_arc("boot", "a+", 1)
+        left.add_arc("a+", "b+", 1)
+        left.add_arc("b+", "a+", 1, marked=True)
+        right = TimedSignalGraph()
+        right.add_arc("b+", "c+", 1)
+        right.add_arc("c+", "b+", 1, marked=True)
+        merged = compose(left, right)
+        assert "boot" in {str(e) for e in merged.initial_events}
+        validate(merged)
+
+    def test_conflicting_disengageable_rejected(self):
+        left = TimedSignalGraph()
+        left.add_arc("x-", "a+", 1, disengageable=True)
+        right = TimedSignalGraph()
+        right.add_arc("x-", "a+", 1)
+        with pytest.raises(GraphConstructionError):
+            compose(left, right)
+
+    def test_composition_timing_is_maximum_of_constraints(self):
+        # two components constraining the same event: MAX semantics
+        left = TimedSignalGraph()
+        left.add_arc("go-", "sync+", 3, disengageable=True)
+        left.add_arc("sync+", "l+", 1)
+        left.add_arc("l+", "sync+", 9, marked=True)
+        right = TimedSignalGraph()
+        right.add_arc("ready-", "sync+", 7, disengageable=True)
+        right.add_arc("sync+", "r+", 1)
+        right.add_arc("r+", "sync+", 9, marked=True)
+        merged = compose(left, right)
+        sim = TimingSimulation(merged, periods=1)
+        from repro.core import Transition
+
+        assert sim.time(Transition.parse("sync+"), 0) == 7  # max(3, 7)

@@ -1,0 +1,108 @@
+"""Unit tests for the lazy unfolding."""
+
+import pytest
+
+from repro.core import TimedSignalGraph, Transition, Unfolding
+from repro.core.errors import NotLiveError, SimulationError
+from repro.core.unfolding import instance_label
+
+
+def T(text):
+    return Transition.parse(text)
+
+
+class TestExistence:
+    def test_nonrepetitive_only_instance_zero(self, oscillator):
+        u = Unfolding(oscillator)
+        assert u.exists(T("e-"), 0)
+        assert not u.exists(T("e-"), 1)
+        assert u.exists(T("f-"), 0)
+        assert not u.exists(T("f-"), 3)
+
+    def test_repetitive_all_instances(self, oscillator):
+        u = Unfolding(oscillator)
+        for k in range(5):
+            assert u.exists(T("a+"), k)
+
+    def test_negative_and_unknown(self, oscillator):
+        u = Unfolding(oscillator)
+        assert not u.exists(T("a+"), -1)
+        assert not u.exists(T("zz+"), 0)
+
+    def test_unfolding_requires_liveness(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 1)
+        g.add_arc("b+", "a+", 1)
+        with pytest.raises(NotLiveError):
+            Unfolding(g)
+
+
+class TestArcs:
+    def test_in_arcs_first_period(self, oscillator):
+        u = Unfolding(oscillator)
+        # a+[0]: only e- (the marked arc reaches back to c-[-1])
+        preds = u.in_arcs((T("a+"), 0))
+        assert [(instance_label(p), a.delay) for p, a in preds] == [("e-[0]", 2)]
+
+    def test_in_arcs_later_period(self, oscillator):
+        u = Unfolding(oscillator)
+        preds = u.in_arcs((T("a+"), 2))
+        assert [(instance_label(p), a.delay) for p, a in preds] == [("c-[1]", 2)]
+
+    def test_in_arcs_unmarked_same_period(self, oscillator):
+        u = Unfolding(oscillator)
+        preds = {instance_label(p) for p, _ in u.in_arcs((T("c+"), 1))}
+        assert preds == {"a+[1]", "b+[1]"}
+
+    def test_out_arcs(self, oscillator):
+        u = Unfolding(oscillator)
+        succs = {instance_label(s) for s, _ in u.out_arcs((T("c-"), 0))}
+        assert succs == {"a+[1]", "b+[1]"}
+        succs0 = {instance_label(s) for s, _ in u.out_arcs((T("e-"), 0))}
+        assert succs0 == {"a+[0]", "f-[0]"}
+
+
+class TestOrdering:
+    def test_period_zero_contains_everything(self, oscillator):
+        u = Unfolding(oscillator)
+        assert len(u.period(0)) == oscillator.num_events
+
+    def test_later_periods_only_repetitive(self, oscillator):
+        u = Unfolding(oscillator)
+        assert len(u.period(3)) == len(oscillator.repetitive_events)
+
+    def test_topological_property(self, oscillator):
+        u = Unfolding(oscillator)
+        order = list(u.instances(3))
+        position = {inst: i for i, inst in enumerate(order)}
+        for instance in order:
+            for pred, _ in u.in_arcs(instance):
+                assert position[pred] < position[instance], (pred, instance)
+
+    def test_instance_count(self, oscillator):
+        u = Unfolding(oscillator)
+        assert u.instance_count(0) == 8
+        assert u.instance_count(2) == 8 + 2 * 6
+        assert len(list(u.instances(2))) == u.instance_count(2)
+
+    def test_require(self, oscillator):
+        u = Unfolding(oscillator)
+        assert u.require(T("a+"), 1) == (T("a+"), 1)
+        with pytest.raises(SimulationError):
+            u.require(T("e-"), 1)
+
+    def test_initial_instances(self, oscillator):
+        u = Unfolding(oscillator)
+        assert {instance_label(i) for i in u.initial_instances()} == {"e-[0]"}
+
+    def test_initial_instances_fully_marked_event(self):
+        # an event whose in-arcs are all marked belongs to I_u
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 1, marked=True)
+        g.add_arc("b+", "a+", 1, marked=True)
+        u = Unfolding(g)
+        labels = {instance_label(i) for i in u.initial_instances()}
+        assert labels == {"a+[0]", "b+[0]"}
+
+    def test_instance_label(self):
+        assert instance_label((T("a+"), 2)) == "a+[2]"

@@ -1,0 +1,128 @@
+"""Unit tests for structural validation."""
+
+import pytest
+
+from repro.core import TimedSignalGraph, validate
+from repro.core.errors import (
+    AcyclicGraphError,
+    NotConnectedError,
+    NotLiveError,
+    NotWellFormedError,
+)
+from repro.core.validation import (
+    check_connected_core,
+    check_has_cycles,
+    check_live,
+    check_switchover_correct,
+    check_well_formed,
+    find_unmarked_cycle,
+    unmarked_subgraph,
+)
+
+
+def live_ring():
+    g = TimedSignalGraph()
+    g.add_arc("a+", "b+", 1)
+    g.add_arc("b+", "a+", 1, marked=True)
+    return g
+
+
+class TestLiveness:
+    def test_live_ring_passes(self):
+        validate(live_ring())
+
+    def test_unmarked_cycle_detected(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 1)
+        g.add_arc("b+", "a+", 1)  # no token anywhere
+        assert not check_live(g)
+        cycle = find_unmarked_cycle(g)
+        assert cycle is not None and len(cycle) == 2
+        with pytest.raises(NotLiveError) as info:
+            validate(g)
+        assert info.value.cycle is not None
+
+    def test_partial_marking_not_enough(self):
+        g = live_ring()
+        g.add_arc("a+", "c+", 1)
+        g.add_arc("c+", "a+", 1)  # second, unmarked cycle
+        assert not check_live(g)
+
+    def test_unmarked_subgraph_shape(self, oscillator):
+        sub = unmarked_subgraph(oscillator)
+        assert sub.number_of_nodes() == oscillator.num_events
+        # the two marked arcs are absent
+        assert sub.number_of_edges() == oscillator.num_arcs - 2
+
+
+class TestConnectedness:
+    def test_single_core_passes(self, oscillator):
+        assert check_connected_core(oscillator)
+
+    def test_two_disjoint_rings_fail(self):
+        g = live_ring()
+        g.add_arc("x+", "y+", 1)
+        g.add_arc("y+", "x+", 1, marked=True)
+        assert not check_connected_core(g)
+        with pytest.raises(NotConnectedError):
+            validate(g)
+
+    def test_two_rings_joined_one_way_fail(self):
+        # reachable but not strongly connected repetitive cores
+        g = live_ring()
+        g.add_arc("x+", "y+", 1)
+        g.add_arc("y+", "x+", 1, marked=True)
+        g.add_arc("a+", "x+", 1)
+        assert not check_connected_core(g)
+
+    def test_acyclic_graph_trivially_connected(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 1)
+        assert check_connected_core(g)
+
+
+class TestWellFormedness:
+    def test_disengageable_from_nonrepetitive_ok(self, oscillator):
+        assert check_well_formed(oscillator)
+
+    def test_disengageable_from_repetitive_rejected(self):
+        g = live_ring()
+        g.add_arc("a+", "c+", 1, disengageable=True)
+        assert not check_well_formed(g)
+        with pytest.raises(NotWellFormedError):
+            validate(g)
+
+
+class TestCycleRequirement:
+    def test_acyclic_raises_by_default(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 1)
+        assert not check_has_cycles(g)
+        with pytest.raises(AcyclicGraphError):
+            validate(g)
+
+    def test_acyclic_allowed_when_requested(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 1)
+        validate(g, require_cycles=False)
+
+
+class TestSwitchoverCheck:
+    def test_balanced_oscillator(self, oscillator):
+        ok, message = check_switchover_correct(oscillator)
+        assert ok, message
+
+    def test_unbalanced_signal_flagged(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 1)
+        g.add_arc("b+", "a+", 1, marked=True)  # a+ recurs, a- never
+        ok, message = check_switchover_correct(g)
+        assert not ok
+        assert "rising" in message and "falling" in message
+
+    def test_non_transition_events_vacuous(self):
+        g = TimedSignalGraph()
+        g.add_arc("n1", "n2", 1)
+        g.add_arc("n2", "n1", 1, marked=True)
+        ok, _ = check_switchover_correct(g)
+        assert ok

@@ -1,0 +1,86 @@
+"""Unit tests for parametric pipeline generators."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import compute_cycle_time, validate
+from repro.generators import (
+    token_ring,
+    token_ring_cycle_time,
+    two_ring_choice,
+    unbalanced_ring,
+)
+
+
+class TestTokenRing:
+    @pytest.mark.parametrize(
+        "stages,tokens", [(2, 1), (4, 1), (6, 3), (8, 7), (10, 5)]
+    )
+    def test_valid(self, stages, tokens):
+        validate(token_ring(stages, tokens))
+
+    @pytest.mark.parametrize(
+        "stages,tokens,forward,backward",
+        [(6, 2, 2, 1), (6, 1, 2, 1), (6, 5, 2, 1), (9, 4, 7, 3), (5, 2, 0, 1)],
+    )
+    def test_closed_form_oracle(self, stages, tokens, forward, backward):
+        g = token_ring(stages, tokens, forward, backward)
+        assert (
+            compute_cycle_time(g).cycle_time
+            == token_ring_cycle_time(stages, tokens, forward, backward)
+        )
+
+    def test_throughput_canopy_shape(self):
+        """Cycle time vs occupancy is U-shaped: data-limited at low
+        token counts, hole-limited at high ones."""
+        stages = 10
+        values = [
+            compute_cycle_time(token_ring(stages, k, 2, 1)).cycle_time
+            for k in range(1, stages)
+        ]
+        best = min(values)
+        best_at = values.index(best) + 1
+        assert values[0] > best          # starved at 1 token
+        assert values[-1] > best         # clogged at N-1 tokens
+        assert 2 <= best_at <= stages - 1
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            token_ring(1, 1)
+        with pytest.raises(ValueError):
+            token_ring(5, 0)
+        with pytest.raises(ValueError):
+            token_ring(5, 5)
+
+
+class TestUnbalancedRing:
+    def test_cycle_time(self):
+        g = unbalanced_ring(stages=7, slow_stage=2, slow_delay=30)
+        assert compute_cycle_time(g).cycle_time == 30 + 6
+
+    def test_slow_arc_is_critical(self):
+        from repro.analysis import delay_sensitivities
+
+        g = unbalanced_ring(stages=5, slow_stage=1, slow_delay=40)
+        top = delay_sensitivities(g)[0]
+        assert top.delay == 40
+        assert top.sensitivity == 1
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            unbalanced_ring(stages=4, slow_stage=4, slow_delay=9)
+
+
+class TestTwoRingChoice:
+    def test_left_wins(self):
+        g = two_ring_choice(left_length=9, right_length=2)
+        result = compute_cycle_time(g)
+        assert result.cycle_time == 10
+        assert {str(e) for e in result.critical_cycles[0].events} == {"hub", "left"}
+
+    def test_tie(self):
+        g = two_ring_choice(left_length=5, right_length=5)
+        from repro.analysis import analyze
+
+        assert len(analyze(g).all_critical_cycles()) == 2

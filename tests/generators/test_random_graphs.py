@@ -1,0 +1,79 @@
+"""Unit tests for the random graph generators."""
+
+import pytest
+
+from repro.core import validate
+from repro.core.validation import check_connected_core, check_live
+from repro.generators import (
+    random_live_tsg,
+    random_marked_graph_batch,
+    ring_with_chords,
+)
+
+
+class TestRandomLiveTSG:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_always_valid(self, seed):
+        g = random_live_tsg(events=9, extra_arcs=12, seed=seed)
+        validate(g)  # live, connected, well-formed
+
+    def test_deterministic_by_seed(self):
+        a = random_live_tsg(events=8, extra_arcs=5, seed=3)
+        b = random_live_tsg(events=8, extra_arcs=5, seed=3)
+        assert a.structurally_equal(b)
+
+    def test_different_seeds_differ(self):
+        a = random_live_tsg(events=8, extra_arcs=5, seed=1)
+        b = random_live_tsg(events=8, extra_arcs=5, seed=2)
+        assert not a.structurally_equal(b)
+
+    def test_event_count(self):
+        g = random_live_tsg(events=17, extra_arcs=0, seed=0)
+        assert g.num_events == 17
+        assert g.num_arcs == 17  # the Hamiltonian cycle only
+
+    def test_extra_arcs_bounded(self):
+        g = random_live_tsg(events=10, extra_arcs=25, seed=4)
+        assert 10 <= g.num_arcs <= 35
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValueError):
+            random_live_tsg(events=1, extra_arcs=0)
+
+    def test_zero_max_delay(self):
+        g = random_live_tsg(events=5, extra_arcs=3, max_delay=0, seed=0)
+        assert all(arc.delay == 0 for arc in g.arcs)
+
+    def test_batch(self):
+        graphs = random_marked_graph_batch(count=4, events=6, extra_arcs=4)
+        assert len(graphs) == 4
+        for g in graphs:
+            validate(g)
+
+
+class TestRingWithChords:
+    @pytest.mark.parametrize("tokens", [1, 3, 10])
+    def test_valid_for_token_counts(self, tokens):
+        g = ring_with_chords(stages=20, tokens=tokens, chords=10, seed=1)
+        validate(g)
+
+    def test_border_controlled_by_tokens(self):
+        g = ring_with_chords(stages=30, tokens=5, chords=0, seed=0)
+        assert len(g.border_events) == 5
+
+    def test_chords_add_arcs(self):
+        plain = ring_with_chords(stages=20, tokens=4, chords=0, seed=0)
+        chorded = ring_with_chords(stages=20, tokens=4, chords=10, seed=0)
+        assert chorded.num_arcs > plain.num_arcs
+
+    def test_bad_token_count_rejected(self):
+        with pytest.raises(ValueError):
+            ring_with_chords(stages=5, tokens=0)
+        with pytest.raises(ValueError):
+            ring_with_chords(stages=5, tokens=6)
+
+    def test_cycle_time_computable(self):
+        from repro.core import compute_cycle_time
+
+        g = ring_with_chords(stages=40, tokens=8, chords=20, seed=2)
+        assert compute_cycle_time(g).cycle_time > 0

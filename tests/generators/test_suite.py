@@ -1,0 +1,44 @@
+"""Unit tests for the named workload registry."""
+
+import pytest
+
+from repro.core import validate
+from repro.generators.suite import WORKLOADS, load_workload, workload_table
+
+
+class TestWorkloadRegistry:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_every_workload_is_valid(self, name):
+        graph = load_workload(name)
+        validate(graph)
+
+    def test_deterministic(self):
+        first = load_workload("ring-200-b8")
+        second = load_workload("ring-200-b8")
+        assert first.structurally_equal(second)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            load_workload("nonexistent")
+
+    def test_paper_artefacts_present(self):
+        assert load_workload("paper-stack-66").num_events == 66
+        assert load_workload("paper-oscillator").num_events == 8
+        assert load_workload("paper-muller-ring").num_events == 20
+
+    def test_workload_table(self):
+        rows = workload_table()
+        assert len(rows) == len(WORKLOADS)
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["paper-stack-66"]["arcs"] == 112
+        assert by_name["ring-200-b8"]["border"] == 8
+
+    def test_all_methods_agree_on_small_workloads(self):
+        from repro.baselines import compare_methods
+
+        for name in ["paper-oscillator", "random-8-dense", "token-ring-12-4"]:
+            graph = load_workload(name)
+            results = compare_methods(
+                graph, ["timing", "exhaustive", "karp", "howard"]
+            )
+            assert len({r.cycle_time for r in results.values()}) == 1, name

@@ -1,0 +1,132 @@
+"""Unit tests for the .g (ASTG) format."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import TimedSignalGraph, compute_cycle_time
+from repro.core.errors import FormatError
+from repro.io import astg
+
+
+class TestRoundTrip:
+    def test_oscillator_roundtrip(self, oscillator):
+        text = astg.dumps(oscillator, inputs=["e"])
+        parsed = astg.loads(text)
+        assert parsed.structurally_equal(oscillator)
+        assert parsed.name == oscillator.name
+
+    def test_muller_ring_roundtrip(self, muller_ring_graph):
+        parsed = astg.loads(astg.dumps(muller_ring_graph))
+        assert parsed.structurally_equal(muller_ring_graph)
+        assert compute_cycle_time(parsed).cycle_time == Fraction(20, 3)
+
+    def test_fraction_delays_roundtrip(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", Fraction(20, 3))
+        g.add_arc("b+", "a+", 1, marked=True)
+        parsed = astg.loads(astg.dumps(g))
+        assert parsed.arc("a+", "b+").delay == Fraction(20, 3)
+
+    def test_float_delays_roundtrip(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 1.25)
+        g.add_arc("b+", "a+", 2.5, marked=True)
+        parsed = astg.loads(astg.dumps(g))
+        assert parsed.arc("a+", "b+").delay == 1.25
+
+    def test_file_roundtrip(self, tmp_path, oscillator):
+        path = str(tmp_path / "osc.g")
+        astg.dump(oscillator, path)
+        assert astg.load(path).structurally_equal(oscillator)
+
+
+class TestParsing:
+    def test_minimal_document(self):
+        g = astg.loads(
+            """
+            .model tiny
+            .graph
+            a+ b+ 3
+            b+ a+ 4
+            .marking { <b+,a+> }
+            .end
+            """
+        )
+        assert g.name == "tiny"
+        assert g.arc("a+", "b+").delay == 3
+        assert g.arc("b+", "a+").marked
+
+    def test_comments_and_blank_lines(self):
+        g = astg.loads(
+            """
+            # a comment
+            .graph
+
+            a+ b+ 1  # trailing comment
+            b+ a+ 1
+            .marking { <b+,a+> }
+            """
+        )
+        assert g.num_arcs == 2
+
+    def test_delays_default_to_zero(self):
+        g = astg.loads(".graph\na+ b+\nb+ a+\n.marking { <b+,a+> }\n")
+        assert g.arc("a+", "b+").delay == 0
+
+    def test_multi_target_lines(self):
+        g = astg.loads(".graph\na+ b+ c+ 2\nb+ a+ 0\nc+ a+ 0\n.marking { <b+,a+> <c+,a+> }\n")
+        assert g.arc("a+", "b+").delay == 2
+        assert g.arc("a+", "c+").delay == 2
+
+    def test_disengageable_flag(self):
+        g = astg.loads(".graph\ne- a+ 2 /\na+ a+ 1\n.marking { <a+,a+> }\n")
+        assert g.arc("e-", "a+").disengageable
+
+    def test_signal_declarations_ignored(self):
+        g = astg.loads(
+            ".inputs e\n.outputs a\n.graph\ne- a+ 1\na+ a+ 1\n.marking { <a+,a+> }\n"
+        )
+        assert g.num_arcs == 2
+
+    def test_marking_on_unknown_arc_rejected(self):
+        with pytest.raises(FormatError):
+            astg.loads(".graph\na+ b+ 1\n.marking { <zz+,a+> }\n")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(FormatError):
+            astg.loads(".frobnicate\n")
+
+    def test_arc_outside_graph_rejected(self):
+        with pytest.raises(FormatError):
+            astg.loads("a+ b+ 1\n")
+
+    def test_bad_transition_rejected(self):
+        with pytest.raises(FormatError):
+            astg.loads(".graph\na* b+ 1\n")
+
+    def test_malformed_marking_rejected(self):
+        with pytest.raises(FormatError):
+            astg.loads(".graph\na+ b+ 1\n.marking { <a+> }\n")
+
+
+class TestDumping:
+    def test_inputs_outputs_split(self, oscillator):
+        text = astg.dumps(oscillator, inputs=["e"])
+        assert ".inputs e" in text
+        assert ".outputs" in text
+        assert "e" not in text.split(".outputs ")[1].splitlines()[0].split()
+
+    def test_non_transition_event_rejected(self):
+        g = TimedSignalGraph()
+        g.add_arc("n1", "n2", 1)
+        g.add_arc("n2", "n1", 1, marked=True)
+        with pytest.raises(FormatError):
+            astg.dumps(g)
+
+    def test_tagged_transitions_roundtrip(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+/1", "a-/1", 2)
+        g.add_arc("a-/1", "a+/1", 2, marked=True)
+        parsed = astg.loads(astg.dumps(g))
+        assert parsed.structurally_equal(g)

@@ -1,0 +1,43 @@
+"""Unit tests for Graphviz export."""
+
+from repro.core import compute_cycle_time
+from repro.io.dot import to_dot, write_dot
+
+
+class TestDotExport:
+    def test_basic_structure(self, oscillator):
+        text = to_dot(oscillator)
+        assert text.startswith("digraph")
+        assert text.rstrip().endswith("}")
+        assert '"a_up" -> "c_up"' in text
+        assert '"a_dn" -> "c_dn"' in text  # rise/fall stay distinct
+
+    def test_all_arcs_present(self, oscillator):
+        text = to_dot(oscillator)
+        assert text.count("->") == oscillator.num_arcs
+
+    def test_marked_arcs_decorated(self, oscillator):
+        text = to_dot(oscillator)
+        assert "arrowtail=dot" in text
+
+    def test_disengageable_dashed(self, oscillator):
+        text = to_dot(oscillator)
+        assert "style=dashed" in text
+
+    def test_critical_highlight(self, oscillator):
+        result = compute_cycle_time(oscillator)
+        text = to_dot(oscillator, critical=result.critical_cycles)
+        red_lines = [line for line in text.splitlines() if "penwidth=2" in line]
+        assert len(red_lines) == 4  # the four critical arcs
+
+    def test_delay_labels(self, oscillator):
+        assert 'label="3"' in to_dot(oscillator)
+
+    def test_write_dot(self, tmp_path, oscillator):
+        path = str(tmp_path / "g.dot")
+        write_dot(oscillator, path)
+        with open(path) as handle:
+            assert "digraph" in handle.read()
+
+    def test_title_override(self, oscillator):
+        assert to_dot(oscillator, title="mygraph").startswith('digraph "mygraph"')

@@ -1,0 +1,92 @@
+"""Unit tests for JSON serialisation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.circuits.library import muller_ring_netlist, oscillator_netlist
+from repro.core import TimedSignalGraph
+from repro.core.errors import FormatError
+from repro.io import json_io
+
+
+class TestGraphRoundTrip:
+    def test_oscillator(self, oscillator):
+        parsed = json_io.loads(json_io.dumps(oscillator))
+        assert parsed.structurally_equal(oscillator)
+        assert parsed.name == oscillator.name
+
+    def test_fraction_delay_preserved_exactly(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", Fraction(1, 3))
+        g.add_arc("b+", "a+", 2, marked=True)
+        parsed = json_io.loads(json_io.dumps(g))
+        delay = parsed.arc("a+", "b+").delay
+        assert delay == Fraction(1, 3)
+        assert isinstance(delay, Fraction)
+
+    def test_float_delay_preserved(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 0.1)
+        g.add_arc("b+", "a+", 2, marked=True)
+        parsed = json_io.loads(json_io.dumps(g))
+        assert parsed.arc("a+", "b+").delay == 0.1
+
+    def test_disengageable_preserved(self, oscillator):
+        parsed = json_io.loads(json_io.dumps(oscillator))
+        assert parsed.arc("e-", "a+").disengageable
+
+    def test_isolated_events_preserved(self):
+        g = TimedSignalGraph()
+        g.add_event("lonely+")
+        g.add_arc("a+", "b+", 1)
+        g.add_arc("b+", "a+", 1, marked=True)
+        parsed = json_io.loads(json_io.dumps(g))
+        assert parsed.has_event("lonely+")
+
+    def test_file_roundtrip(self, tmp_path, oscillator):
+        path = str(tmp_path / "osc.json")
+        json_io.dump(oscillator, path)
+        assert json_io.load(path).structurally_equal(oscillator)
+
+
+class TestNetlistRoundTrip:
+    def test_oscillator_netlist(self):
+        original = oscillator_netlist()
+        parsed = json_io.loads(json_io.dumps(original))
+        assert parsed.signals == original.signals
+        assert parsed.initial_state() == original.initial_state()
+        assert [s.signal for s in parsed.stimuli] == ["e"]
+        gate = parsed.gate("c")
+        assert gate.gate_type == "C"
+        assert gate.delay_from("a") == 3
+
+    def test_extraction_after_roundtrip(self):
+        from repro.circuits.extraction import extract_signal_graph
+        from repro.core import compute_cycle_time
+
+        parsed = json_io.loads(json_io.dumps(muller_ring_netlist()))
+        graph = extract_signal_graph(parsed)
+        assert compute_cycle_time(graph).cycle_time == Fraction(20, 3)
+
+
+class TestErrors:
+    def test_unknown_kind(self):
+        with pytest.raises(FormatError):
+            json_io.loads('{"kind": "mystery"}')
+
+    def test_bad_number_encoding(self):
+        with pytest.raises(FormatError):
+            json_io.loads(
+                '{"kind": "timed-signal-graph", "name": "x", "events": [],'
+                ' "arcs": [{"source": "a+", "target": "b+",'
+                ' "delay": {"oops": 1}}]}'
+            )
+
+    def test_wrong_document_for_graph_parser(self):
+        with pytest.raises(FormatError):
+            json_io.graph_from_dict({"kind": "netlist"})
+
+    def test_unserialisable_object(self):
+        with pytest.raises(FormatError):
+            json_io.dumps(42)

@@ -1,0 +1,76 @@
+"""The shipped sample files must stay loadable and correct.
+
+Guards against format drift: examples/data/ is user-facing.
+"""
+
+import os
+from fractions import Fraction
+
+import pytest
+
+from repro.core import compute_cycle_time
+from repro.io import astg, json_io
+
+DATA = os.path.join(os.path.dirname(__file__), "..", "..", "examples", "data")
+
+EXPECTED = {
+    "oscillator.g": (8, 11, 10),
+    "muller_ring.g": (20, 30, Fraction(20, 3)),
+    "async_stack.g": (66, 112, 44),
+}
+
+
+class TestSampleGraphFiles:
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_loads_and_analyses(self, name):
+        events, arcs, cycle_time = EXPECTED[name]
+        graph = astg.load(os.path.join(DATA, name))
+        assert graph.num_events == events
+        assert graph.num_arcs == arcs
+        assert compute_cycle_time(graph).cycle_time == cycle_time
+
+    def test_oscillator_matches_library(self):
+        from repro.circuits.library import oscillator_tsg
+
+        graph = astg.load(os.path.join(DATA, "oscillator.g"))
+        assert graph.structurally_equal(oscillator_tsg())
+
+
+class TestSampleSVGFiles:
+    @pytest.mark.parametrize(
+        "name", ["oscillator.svg", "muller_ring.svg", "oscillator_waves.svg"]
+    )
+    def test_svg_files_are_well_formed(self, name):
+        import xml.etree.ElementTree as ET
+
+        with open(os.path.join(DATA, name)) as handle:
+            root = ET.fromstring(handle.read())
+        assert root.tag.endswith("svg")
+
+    def test_graph_svgs_regenerate_identically(self):
+        """The shipped SVGs are exactly what the current renderer
+        produces (regeneration is deterministic)."""
+        from repro.circuits.library import oscillator_tsg
+        from repro.core import compute_cycle_time
+        from repro.io.svg import graph_to_svg
+
+        graph = oscillator_tsg()
+        critical = compute_cycle_time(graph).critical_cycles
+        with open(os.path.join(DATA, "oscillator.svg")) as handle:
+            assert handle.read() == graph_to_svg(graph, critical=critical)
+
+
+class TestSampleNetlistFiles:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("oscillator_netlist.json", 10),
+            ("muller_ring_netlist.json", Fraction(20, 3)),
+        ],
+    )
+    def test_loads_and_extracts(self, name, expected):
+        from repro.circuits.extraction import extract_signal_graph
+
+        netlist = json_io.load(os.path.join(DATA, name))
+        graph = extract_signal_graph(netlist)
+        assert compute_cycle_time(graph).cycle_time == expected

@@ -1,0 +1,97 @@
+"""Unit tests for the dependency-free SVG renderers."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core import EventInitiatedSimulation, TimingSimulation, compute_cycle_time
+from repro.io.svg import graph_to_svg, waveforms_to_svg, write_svg
+
+
+def _parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+class TestGraphSVG:
+    def test_well_formed_xml(self, oscillator):
+        root = _parse(graph_to_svg(oscillator))
+        assert root.tag.endswith("svg")
+
+    def test_all_events_labelled(self, oscillator):
+        text = graph_to_svg(oscillator)
+        for label in ["a↑", "a↓", "c↑", "c↓", "e↓", "f↓"]:
+            assert label in text
+
+    def test_tokens_drawn(self, oscillator):
+        root = _parse(graph_to_svg(oscillator))
+        dots = [
+            el for el in root.iter()
+            if el.tag.endswith("circle") and el.get("fill") == "#1a1a1a"
+        ]
+        assert len(dots) == 2  # the two marked arcs
+
+    def test_disengageable_dashed(self, oscillator):
+        text = graph_to_svg(oscillator)
+        assert text.count("stroke-dasharray") == 3
+
+    def test_critical_highlight(self, oscillator):
+        result = compute_cycle_time(oscillator)
+        text = graph_to_svg(oscillator, critical=result.critical_cycles)
+        assert "#c62828" in text
+        plain = graph_to_svg(oscillator)
+        assert "#c62828" not in plain
+
+    def test_self_loop_rendered(self):
+        from repro.core import TimedSignalGraph
+
+        g = TimedSignalGraph()
+        g.add_arc("a+", "a+", 3, marked=True)
+        root = _parse(graph_to_svg(g))
+        loops = [
+            el for el in root.iter()
+            if el.tag.endswith("circle") and el.get("fill") == "none"
+        ]
+        assert loops
+
+    def test_deterministic(self, oscillator):
+        assert graph_to_svg(oscillator) == graph_to_svg(oscillator)
+
+    def test_write_svg(self, tmp_path, oscillator):
+        path = str(tmp_path / "osc.svg")
+        write_svg(graph_to_svg(oscillator), path)
+        with open(path) as handle:
+            assert "<svg" in handle.read()
+
+
+class TestWaveformSVG:
+    def test_well_formed(self, oscillator):
+        sim = TimingSimulation(oscillator, periods=2)
+        root = _parse(waveforms_to_svg(sim))
+        assert root.tag.endswith("svg")
+
+    def test_one_polyline_per_signal(self, oscillator):
+        sim = TimingSimulation(oscillator, periods=2)
+        root = _parse(waveforms_to_svg(sim))
+        polylines = [el for el in root.iter() if el.tag.endswith("polyline")]
+        assert len(polylines) == 5  # a b c e f
+
+    def test_signal_subset(self, oscillator):
+        sim = TimingSimulation(oscillator, periods=2)
+        root = _parse(waveforms_to_svg(sim, signals=["a", "c"]))
+        polylines = [el for el in root.iter() if el.tag.endswith("polyline")]
+        assert len(polylines) == 2
+
+    def test_event_initiated(self, oscillator):
+        sim = EventInitiatedSimulation(oscillator, "a+", periods=2)
+        text = waveforms_to_svg(sim)
+        assert "polyline" in text
+
+    def test_empty_simulation(self):
+        from repro.core import TimedSignalGraph, TimingSimulation
+
+        g = TimedSignalGraph()
+        g.add_arc("n1", "n2", 1)
+        g.add_arc("n2", "n1", 1, marked=True)
+        sim = TimingSimulation(g, periods=1)
+        root = _parse(waveforms_to_svg(sim))
+        assert root.tag.endswith("svg")

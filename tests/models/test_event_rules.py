@@ -1,0 +1,85 @@
+"""Unit tests for the Event-Rule System front-end."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import validate
+from repro.core.errors import GraphConstructionError
+from repro.models import EventRuleSystem, ers_cycle_time
+
+
+def two_stage_handshake():
+    ers = EventRuleSystem("handshake")
+    ers.add_rule("req", "ack", delay=3, offset=0)
+    ers.add_rule("ack", "req", delay=2, offset=1)
+    return ers
+
+
+class TestConstruction:
+    def test_rules_recorded(self):
+        ers = two_stage_handshake()
+        assert len(ers.rules) == 2
+        assert ers.events == ["req", "ack"]
+
+    def test_negative_offset_rejected(self):
+        ers = EventRuleSystem()
+        with pytest.raises(GraphConstructionError):
+            ers.add_rule("a", "b", offset=-1)
+
+    def test_fractional_offset_rejected(self):
+        ers = EventRuleSystem()
+        with pytest.raises(GraphConstructionError):
+            ers.add_rule("a", "b", offset=1.5)
+
+    def test_str(self):
+        ers = two_stage_handshake()
+        assert "i+1" in str(ers.rules[1])
+        ers.add_rule("boot", "req", delay=1, once=True)
+        assert "once" in str(ers.rules[2])
+        assert "rules=3" in repr(ers)
+
+
+class TestConversion:
+    def test_offsets_become_markings(self):
+        graph = two_stage_handshake().to_signal_graph()
+        assert not graph.arc("req", "ack").marked
+        assert graph.arc("ack", "req").marked
+        validate(graph)
+
+    def test_large_offset_expands(self):
+        ers = EventRuleSystem()
+        ers.add_rule("a", "b", delay=6, offset=3)
+        ers.add_rule("b", "a", delay=0, offset=0)
+        graph = ers.to_signal_graph()
+        assert all(arc.tokens <= 1 for arc in graph.arcs)
+        assert ers_cycle_time(ers).cycle_time == Fraction(6, 3)
+
+    def test_once_rules_are_disengageable(self):
+        ers = two_stage_handshake()
+        ers.add_rule("boot", "req", delay=5, once=True)
+        graph = ers.to_signal_graph()
+        assert graph.arc("boot", "req").disengageable
+        validate(graph)
+
+
+class TestCycleTime:
+    def test_handshake_period(self):
+        assert ers_cycle_time(two_stage_handshake()).cycle_time == 5
+
+    def test_burns_style_pipeline(self):
+        # Burns' canonical example shape: stage occurrence recurrences
+        ers = EventRuleSystem("pipe")
+        stages = 4
+        for index in range(stages):
+            succ = (index + 1) % stages
+            ers.add_rule("s%d" % index, "s%d" % succ, delay=2,
+                         offset=1 if succ == 0 else 0)
+        ers.add_rule("s0", "s0", delay=3, offset=1)  # local recurrence
+        result = ers_cycle_time(ers)
+        assert result.cycle_time == 8  # ring 8/1 beats local 3/1
+
+    def test_start_up_rule_does_not_change_lambda(self):
+        ers = two_stage_handshake()
+        ers.add_rule("boot", "req", delay=100, once=True)
+        assert ers_cycle_time(ers).cycle_time == 5

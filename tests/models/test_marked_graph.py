@@ -1,0 +1,92 @@
+"""Unit tests for the Marked Graph (Petri) front-end."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import validate
+from repro.core.errors import GraphConstructionError
+from repro.models import MarkedGraph, marked_graph_cycle_time
+
+
+def producer_consumer(credits=3):
+    mg = MarkedGraph("producer-consumer")
+    mg.add_place("buffer", "produce", "consume", delay=1, tokens=0)
+    mg.add_place("credit", "consume", "produce", delay=2, tokens=credits)
+    return mg
+
+
+class TestConstruction:
+    def test_places_and_transitions(self):
+        mg = producer_consumer()
+        assert mg.transitions == ["produce", "consume"]
+        assert len(mg.places) == 2
+        assert mg.place("buffer").delay == 1
+        assert mg.total_tokens() == 3
+
+    def test_duplicate_place_rejected(self):
+        mg = producer_consumer()
+        with pytest.raises(GraphConstructionError):
+            mg.add_place("buffer", "a", "b")
+
+    def test_negative_tokens_rejected(self):
+        mg = MarkedGraph()
+        with pytest.raises(GraphConstructionError):
+            mg.add_place("p", "a", "b", tokens=-1)
+
+    def test_str_and_repr(self):
+        mg = producer_consumer()
+        assert "tokens" in str(mg.place("credit"))
+        assert "places=2" in repr(mg)
+
+
+class TestConversion:
+    def test_single_token_place(self):
+        mg = MarkedGraph()
+        mg.add_place("p", "a", "b", delay=3, tokens=1)
+        mg.add_place("q", "b", "a", delay=4, tokens=0)
+        graph = mg.to_signal_graph()
+        assert graph.arc("a", "b").marked
+        assert not graph.arc("b", "a").marked
+        validate(graph)
+
+    def test_multi_token_place_expands_safely(self):
+        mg = producer_consumer(credits=3)
+        graph = mg.to_signal_graph()
+        assert graph.total_tokens() == 3
+        assert all(arc.tokens <= 1 for arc in graph.arcs)
+        validate(graph)
+
+    def test_parallel_places_with_different_marking(self):
+        mg = MarkedGraph()
+        mg.add_place("data", "a", "b", delay=5, tokens=0)
+        mg.add_place("slot", "a", "b", delay=1, tokens=1)
+        mg.add_place("back", "b", "a", delay=1, tokens=1)
+        graph = mg.to_signal_graph()
+        validate(graph)
+        # both constraints survive: unmarked a->b and marked a~>b
+        result = marked_graph_cycle_time(mg)
+        assert result.cycle_time == 6  # data place + back place
+
+
+class TestCycleTime:
+    def test_pipelining_through_tokens(self):
+        # 3 credits: one item every (1+2)/3 time units
+        assert marked_graph_cycle_time(producer_consumer(3)).cycle_time == 1
+        assert marked_graph_cycle_time(producer_consumer(1)).cycle_time == 3
+
+    def test_fractional_result(self):
+        mg = producer_consumer(2)
+        assert marked_graph_cycle_time(mg).cycle_time == Fraction(3, 2)
+
+    def test_agrees_with_exhaustive(self):
+        from repro.baselines import compute_cycle_time as by_method
+
+        mg = MarkedGraph("net")
+        mg.add_place("p1", "t1", "t2", delay=4, tokens=1)
+        mg.add_place("p2", "t2", "t3", delay=2, tokens=0)
+        mg.add_place("p3", "t3", "t1", delay=5, tokens=2)
+        graph = mg.to_signal_graph()
+        timing = by_method(graph, "timing").cycle_time
+        exhaustive = by_method(graph, "exhaustive").cycle_time
+        assert timing == exhaustive == Fraction(11, 3)

@@ -1,0 +1,116 @@
+"""Unit tests for the general Petri-net front-end."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import compute_cycle_time, validate
+from repro.core.errors import GraphConstructionError, NotWellFormedError
+from repro.models import PetriNet
+
+
+def conflict_free_net():
+    net = PetriNet("pipeline")
+    net.add_place("p1", tokens=1, delay=2)
+    net.add_place("p2", tokens=0, delay=3)
+    net.add_arc("t1", "p2")
+    net.add_arc("p2", "t2")
+    net.add_arc("t2", "p1")
+    net.add_arc("p1", "t1")
+    return net
+
+
+class TestConstruction:
+    def test_transitions_collected(self):
+        net = conflict_free_net()
+        assert set(net.transitions) == {"t1", "t2"}
+        assert net.producers("p2") == ["t1"]
+        assert net.consumers("p2") == ["t2"]
+
+    def test_duplicate_place_rejected(self):
+        net = PetriNet()
+        net.add_place("p")
+        with pytest.raises(GraphConstructionError):
+            net.add_place("p")
+
+    def test_negative_tokens_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            PetriNet().add_place("p", tokens=-1)
+
+    def test_place_to_place_arc_rejected(self):
+        net = PetriNet()
+        net.add_place("p")
+        net.add_place("q")
+        with pytest.raises(GraphConstructionError):
+            net.add_arc("p", "q")
+
+    def test_transition_to_transition_arc_rejected(self):
+        net = PetriNet()
+        net.add_transition("t1")
+        net.add_transition("t2")
+        with pytest.raises(GraphConstructionError):
+            net.add_arc("t1", "t2")
+
+    def test_repr(self):
+        assert "places=2" in repr(conflict_free_net())
+
+
+class TestMarkedGraphCheck:
+    def test_conflict_free_net_passes(self):
+        net = conflict_free_net()
+        assert net.is_marked_graph()
+        assert net.marked_graph_violations() == []
+
+    def test_choice_detected(self):
+        net = conflict_free_net()
+        net.add_arc("p1", "rogue")  # second consumer: a choice
+        violations = net.marked_graph_violations()
+        assert not net.is_marked_graph()
+        assert any("choice" in text for text in violations)
+
+    def test_merge_detected(self):
+        net = conflict_free_net()
+        net.add_arc("extra", "p1")  # second producer: a merge
+        assert any("merge" in text for text in net.marked_graph_violations())
+
+    def test_dangling_place_detected(self):
+        net = conflict_free_net()
+        net.add_place("orphan")
+        violations = net.marked_graph_violations()
+        assert any("0 producers" in text for text in violations)
+        assert any("0 consumers" in text for text in violations)
+
+
+class TestConversion:
+    def test_cycle_time_through_conversion(self):
+        net = conflict_free_net()
+        graph = net.to_signal_graph()
+        validate(graph)
+        assert compute_cycle_time(graph).cycle_time == 5  # 2 + 3 over 1 token
+
+    def test_multi_token_place(self):
+        net = PetriNet()
+        net.add_place("credit", tokens=3, delay=6)
+        net.add_arc("t", "credit")
+        net.add_arc("credit", "t")
+        graph = net.to_signal_graph()
+        assert compute_cycle_time(graph).cycle_time == 2  # 6/3
+
+    def test_choice_refused_with_diagnostics(self):
+        net = conflict_free_net()
+        net.add_arc("p1", "rogue")
+        with pytest.raises(NotWellFormedError) as info:
+            net.to_marked_graph()
+        assert "p1" in str(info.value)
+
+    def test_agrees_with_direct_marked_graph(self):
+        from repro.models import MarkedGraph, marked_graph_cycle_time
+
+        net = conflict_free_net()
+        direct = MarkedGraph("pipeline")
+        direct.add_place("p1", "t2", "t1", delay=2, tokens=1)
+        direct.add_place("p2", "t1", "t2", delay=3, tokens=0)
+        assert (
+            compute_cycle_time(net.to_signal_graph()).cycle_time
+            == marked_graph_cycle_time(direct).cycle_time
+        )

@@ -1,0 +1,34 @@
+"""Hypothesis strategies shared across property-based tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.generators import random_live_tsg, token_ring
+
+
+def live_tsgs(max_events: int = 10, max_extra: int = 12, max_delay: int = 8):
+    """Strategy producing random live strongly-connected TSGs."""
+    return st.builds(
+        random_live_tsg,
+        events=st.integers(min_value=2, max_value=max_events),
+        extra_arcs=st.integers(min_value=0, max_value=max_extra),
+        max_delay=st.integers(min_value=0, max_value=max_delay),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+
+
+def _build_ring(stages, tokens, forward, backward):
+    tokens = max(1, min(tokens, stages - 1))
+    return (token_ring(stages, tokens, forward, backward), stages, tokens, forward, backward)
+
+
+def token_rings():
+    """Strategy producing full/empty token rings with a known λ."""
+    return st.builds(
+        _build_ring,
+        stages=st.integers(min_value=2, max_value=12),
+        tokens=st.integers(min_value=1, max_value=11),
+        forward=st.integers(min_value=0, max_value=9),
+        backward=st.integers(min_value=0, max_value=9),
+    )

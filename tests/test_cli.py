@@ -1,0 +1,201 @@
+"""End-to-end tests of the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import astg, json_io
+
+
+@pytest.fixture
+def oscillator_file(tmp_path, oscillator):
+    path = str(tmp_path / "osc.g")
+    astg.dump(oscillator, path)
+    return path
+
+
+class TestAnalyze:
+    def test_demo_graph(self, capsys):
+        assert main(["analyze", "oscillator"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle time: 10" in out
+        assert "critical cycle" in out
+
+    def test_file_input(self, oscillator_file, capsys):
+        assert main(["analyze", oscillator_file]) == 0
+        assert "cycle time: 10" in capsys.readouterr().out
+
+    def test_table_flag(self, capsys):
+        main(["analyze", "oscillator", "--table"])
+        out = capsys.readouterr().out
+        assert "delta" in out
+
+    def test_report_flag(self, capsys):
+        main(["analyze", "oscillator", "--report"])
+        out = capsys.readouterr().out
+        assert "slacks" in out
+
+    @pytest.mark.parametrize("method", ["karp", "howard", "lawler", "exhaustive", "lp"])
+    def test_methods(self, method, capsys):
+        assert main(["analyze", "oscillator", "--method", method]) == 0
+        assert "cycle time" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["analyze", "no-such-file.g"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_invalid_graph_reports_error(self, tmp_path, capsys):
+        path = str(tmp_path / "dead.g")
+        with open(path, "w") as handle:
+            handle.write(".graph\na+ b+ 1\nb+ a+ 1\n.marking { }\n.end\n")
+        assert main(["analyze", path]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestSimulate:
+    def test_global(self, capsys):
+        assert main(["simulate", "oscillator", "--periods", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "t(e-[0]) = 0" in out
+        assert "t(c-[0]) = 11" in out
+
+    def test_initiated(self, capsys):
+        assert main(["simulate", "oscillator", "--initiate", "b+"]) == 0
+        out = capsys.readouterr().out
+        assert "t(b+[0]) = 0" in out
+        assert "e-" not in out
+
+
+class TestDiagram:
+    def test_renders(self, capsys):
+        assert main(["diagram", "oscillator", "--width", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out and "_" in out
+
+    def test_initiated(self, capsys):
+        assert main(["diagram", "oscillator", "--initiate", "a+"]) == 0
+
+
+class TestConvertAndExtract:
+    def test_convert_to_json(self, oscillator_file, tmp_path, capsys, oscillator):
+        out_path = str(tmp_path / "osc.json")
+        assert main(["convert", oscillator_file, "-o", out_path]) == 0
+        assert json_io.load(out_path).structurally_equal(oscillator)
+
+    def test_convert_to_dot(self, oscillator_file, tmp_path):
+        out_path = str(tmp_path / "osc.dot")
+        assert main(["convert", oscillator_file, "-o", out_path]) == 0
+        with open(out_path) as handle:
+            assert "digraph" in handle.read()
+
+    def test_convert_to_stdout(self, oscillator_file, capsys):
+        assert main(["convert", oscillator_file]) == 0
+        assert ".graph" in capsys.readouterr().out
+
+    def test_extract_netlist(self, tmp_path, capsys):
+        from repro.circuits.library import oscillator_netlist
+
+        path = str(tmp_path / "osc-netlist.json")
+        json_io.dump(oscillator_netlist(), path)
+        assert main(["extract", path]) == 0
+        out = capsys.readouterr().out
+        assert ".graph" in out
+        assert "a+ c+ 3" in out
+
+    def test_extract_rejects_graph_doc(self, tmp_path, oscillator, capsys):
+        path = str(tmp_path / "osc.json")
+        json_io.dump(oscillator, path)
+        assert main(["extract", path]) == 2
+
+    def test_analyze_netlist_json_extracts_first(self, tmp_path, capsys):
+        from repro.circuits.library import muller_ring_netlist
+
+        path = str(tmp_path / "ring.json")
+        json_io.dump(muller_ring_netlist(), path)
+        assert main(["analyze", path]) == 0
+        assert "20/3" in capsys.readouterr().out
+
+
+class TestReportAndVerify:
+    def test_report(self, capsys):
+        assert main(["report", "oscillator", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle time: 10" in out
+        assert "dλ/dδ" in out
+
+    def test_verify_ok(self, tmp_path, capsys):
+        from repro.circuits.library import oscillator_netlist
+
+        path = str(tmp_path / "osc.json")
+        json_io.dump(oscillator_netlist(), path)
+        assert main(["verify", path]) == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_verify_rejects_graph_doc(self, tmp_path, oscillator):
+        path = str(tmp_path / "osc.json")
+        json_io.dump(oscillator, path)
+        assert main(["verify", path]) == 2
+
+
+class TestMethodsAndCompare:
+    def test_methods_all(self, capsys):
+        assert main(["methods", "oscillator"]) == 0
+        out = capsys.readouterr().out
+        for method in ["timing", "karp", "howard", "lawler", "lp", "exhaustive"]:
+            assert method in out
+
+    def test_methods_subset(self, capsys):
+        assert main(["methods", "oscillator", "--only", "timing,karp"]) == 0
+        out = capsys.readouterr().out
+        assert "timing" in out and "karp" in out
+        assert "lawler" not in out
+
+    def test_compare_text(self, tmp_path, oscillator, capsys):
+        before_path = str(tmp_path / "before.g")
+        after_path = str(tmp_path / "after.g")
+        astg.dump(oscillator, before_path)
+        tuned = oscillator.copy()
+        tuned.set_delay("a+", "c+", 1)
+        astg.dump(tuned, after_path)
+        assert main(["compare", before_path, after_path]) == 0
+        out = capsys.readouterr().out
+        assert "speedup 1.250x" in out
+
+    def test_compare_json(self, tmp_path, oscillator, capsys):
+        path = str(tmp_path / "same.g")
+        astg.dump(oscillator, path)
+        assert main(["compare", path, path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cycle_time"]["delta"] == 0
+
+
+class TestRender:
+    def test_graph_svg_to_stdout(self, capsys):
+        assert main(["render", "oscillator"]) == 0
+        assert "<svg" in capsys.readouterr().out
+
+    def test_graph_svg_with_critical(self, tmp_path, capsys):
+        path = str(tmp_path / "g.svg")
+        assert main(["render", "oscillator", "--critical", "-o", path]) == 0
+        with open(path) as handle:
+            assert "#c62828" in handle.read()
+
+    def test_waveform_svg(self, tmp_path):
+        path = str(tmp_path / "w.svg")
+        assert main(["render", "oscillator", "--waves", "-o", path]) == 0
+        with open(path) as handle:
+            assert "polyline" in handle.read()
+
+    def test_convert_to_svg(self, oscillator_file, tmp_path):
+        path = str(tmp_path / "c.svg")
+        assert main(["convert", oscillator_file, "-o", path]) == 0
+        with open(path) as handle:
+            assert "<svg" in handle.read()
+
+
+class TestDemo:
+    @pytest.mark.parametrize("name", ["oscillator", "ring", "stack"])
+    def test_demos_print_g(self, name, capsys):
+        assert main(["demo", name]) == 0
+        assert ".graph" in capsys.readouterr().out

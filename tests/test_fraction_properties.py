@@ -1,0 +1,86 @@
+"""Property tests with rational (Fraction) delays.
+
+Exactness is a headline feature: these tests push Fraction arithmetic
+through every algorithm and check the exact-rational contract holds —
+results are true Fractions, methods agree exactly, and scaling by a
+rational factor scales results exactly.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import compare_methods
+from repro.core import TimedSignalGraph, compute_cycle_time
+from repro.generators import random_live_tsg
+
+COMMON = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _fractionalize(graph: TimedSignalGraph, denominator: int) -> TimedSignalGraph:
+    return graph.map_delays(lambda arc: Fraction(arc.delay, denominator))
+
+
+@COMMON
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    denominator=st.integers(min_value=1, max_value=12),
+)
+def test_fraction_delays_exact_agreement(seed, denominator):
+    graph = _fractionalize(
+        random_live_tsg(events=7, extra_arcs=7, seed=seed), denominator
+    )
+    results = compare_methods(
+        graph, ["timing", "exhaustive", "karp", "howard", "lawler"]
+    )
+    values = {name: result.cycle_time for name, result in results.items()}
+    reference = values["exhaustive"]
+    assert all(value == reference for value in values.values()), values
+    assert isinstance(reference, (int, Fraction))
+
+
+@COMMON
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    numerator=st.integers(min_value=1, max_value=9),
+    denominator=st.integers(min_value=1, max_value=9),
+)
+def test_rational_scaling_is_exact(seed, numerator, denominator):
+    graph = random_live_tsg(events=7, extra_arcs=6, seed=seed)
+    factor = Fraction(numerator, denominator)
+    base = compute_cycle_time(graph).cycle_time
+    scaled = compute_cycle_time(graph.scale_delays(factor)).cycle_time
+    assert scaled == base * factor
+
+
+@COMMON
+@given(seed=st.integers(min_value=0, max_value=500))
+def test_mixed_int_fraction_delays(seed):
+    graph = random_live_tsg(events=6, extra_arcs=6, seed=seed)
+    mixed = graph.map_delays(
+        lambda arc: arc.delay + Fraction(1, 3) if arc.marked else arc.delay
+    )
+    assert mixed.is_exact
+    result = compute_cycle_time(mixed)
+    assert isinstance(result.cycle_time, (int, Fraction))
+    # every cycle carries exactly `tokens` marked arcs, so adding 1/3
+    # to each marked arc raises every cycle's ratio — and hence λ —
+    # by exactly 1/3 (a pleasing exact-arithmetic identity)
+    base = compute_cycle_time(graph).cycle_time
+    assert result.cycle_time == base + Fraction(1, 3)
+
+
+@COMMON
+@given(seed=st.integers(min_value=0, max_value=300))
+def test_float_analysis_tracks_exact(seed):
+    graph = random_live_tsg(events=7, extra_arcs=7, seed=seed, max_delay=6)
+    exact = compute_cycle_time(graph).cycle_time
+    floated = graph.map_delays(lambda arc: float(arc.delay))
+    approx = compute_cycle_time(floated).cycle_time
+    assert abs(float(exact) - approx) < 1e-9

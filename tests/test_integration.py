@@ -1,0 +1,142 @@
+"""Integration tests: the full pipeline, end to end.
+
+The strongest cross-check in the repository: for several circuits the
+cycle time is computed along two fully independent routes and must
+agree exactly —
+
+  netlist --extract--> Timed Signal Graph --Section VII--> λ
+  netlist --event-driven timed simulation--> steady period --> λ
+
+plus format round-trips and the analysis layer on top.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import analyze, delay_sensitivities
+from repro.baselines import compare_methods
+from repro.circuits.extraction import extract_signal_graph
+from repro.circuits.library import (
+    muller_ring_netlist,
+    oscillator_netlist,
+)
+from repro.circuits.netlist import Netlist
+from repro.circuits.simulator import simulate_and_measure
+from repro.core import compute_cycle_time, validate
+from repro.io import astg, json_io
+
+
+def pipeline_lambda(netlist):
+    graph = extract_signal_graph(netlist)
+    validate(graph)
+    return compute_cycle_time(graph).cycle_time
+
+
+class TestTwoIndependentRoutes:
+    def test_oscillator(self):
+        netlist = oscillator_netlist()
+        assert pipeline_lambda(netlist) == 10
+        assert simulate_and_measure(netlist, "a", "+") == 10
+
+    def test_muller_ring_default(self):
+        netlist = muller_ring_netlist()
+        assert pipeline_lambda(netlist) == Fraction(20, 3)
+        assert simulate_and_measure(netlist, "s2", "-") == Fraction(20, 3)
+
+    @pytest.mark.parametrize("stages", [3, 4, 6, 7])
+    def test_muller_rings_various_sizes(self, stages):
+        netlist = muller_ring_netlist(stages=stages)
+        computed = pipeline_lambda(netlist)
+        measured = simulate_and_measure(
+            netlist, "s0", "+", max_transitions=3000
+        )
+        assert computed == measured, stages
+
+    @pytest.mark.parametrize(
+        "c_delay,inv_delay", [(1, 2), (3, 1), (5, 5), (2, 7)]
+    )
+    def test_muller_ring_delay_sweep(self, c_delay, inv_delay):
+        netlist = muller_ring_netlist(c_delay=c_delay, inverter_delay=inv_delay)
+        computed = pipeline_lambda(netlist)
+        measured = simulate_and_measure(netlist, "s0", "+", max_transitions=3000)
+        assert computed == measured
+
+    def test_inverter_ring_oscillator(self):
+        netlist = Netlist("ring3")
+        netlist.add_gate("i0", "NOT", ["i2"], delays=2, initial=0)
+        netlist.add_gate("i1", "NOT", ["i0"], delays=3, initial=1)
+        netlist.add_gate("i2", "NOT", ["i1"], delays=4, initial=0)
+        assert pipeline_lambda(netlist) == 18  # 2 * (2+3+4)
+        assert simulate_and_measure(netlist, "i0", "+") == 18
+
+    def test_five_inverter_ring(self):
+        netlist = Netlist("ring5")
+        values = [0, 1, 0, 1, 0]
+        for index in range(5):
+            netlist.add_gate(
+                "i%d" % index,
+                "NOT",
+                ["i%d" % ((index - 1) % 5)],
+                delays=index + 1,
+                initial=values[index],
+            )
+        computed = pipeline_lambda(netlist)
+        measured = simulate_and_measure(netlist, "i0", "+", max_transitions=2000)
+        assert computed == measured == 2 * (1 + 2 + 3 + 4 + 5)
+
+
+class TestAllMethodsOnExtractedGraphs:
+    def test_oscillator_all_methods(self):
+        graph = extract_signal_graph(oscillator_netlist())
+        results = compare_methods(graph)
+        for name in ("timing", "exhaustive", "karp", "howard", "lawler"):
+            assert results[name].cycle_time == 10, name
+        assert results["lp"].cycle_time == pytest.approx(10.0)
+
+
+class TestFormatsInThePipeline:
+    def test_netlist_json_to_astg_to_analysis(self, tmp_path):
+        netlist_path = str(tmp_path / "ring.json")
+        json_io.dump(muller_ring_netlist(), netlist_path)
+        loaded = json_io.load(netlist_path)
+        graph = extract_signal_graph(loaded)
+        g_path = str(tmp_path / "ring.g")
+        astg.dump(graph, g_path)
+        reparsed = astg.load(g_path)
+        assert compute_cycle_time(reparsed).cycle_time == Fraction(20, 3)
+
+
+class TestAnalysisOnTop:
+    def test_bottleneck_flow_on_extracted_ring(self):
+        graph = extract_signal_graph(muller_ring_netlist())
+        report = analyze(graph)
+        assert report.cycle_time == Fraction(20, 3)
+        rows = delay_sensitivities(graph, report)
+        critical = [row for row in rows if row.sensitivity > 0]
+        assert len(critical) == 20
+
+    def test_optimization_identifies_the_right_pin(self):
+        """The top bottleneck is the a -> c pin of the C-element."""
+        from repro.analysis import optimize_bottlenecks
+
+        graph = extract_signal_graph(oscillator_netlist())
+        improved, log = optimize_bottlenecks(graph, steps=1, shave=1)
+        assert log and log[0].cycle_time_after < log[0].cycle_time_before
+        source, target = log[0].arc
+        assert (str(source)[0], str(target)[0]) == ("a", "c")
+
+    def test_pin_level_speedup_verified_by_simulation(self):
+        """Speed up the bottleneck *pin* (which shaves both the a+ -> c+
+        and a- -> c- arcs), re-extract, recompute and re-simulate: all
+        three numbers must agree."""
+        netlist = Netlist(name="osc-tuned")
+        netlist.add_input("e", initial=1)
+        netlist.add_gate("a", "NOR", ["e", "c"], delays={"e": 2, "c": 2}, initial=0)
+        netlist.add_gate("b", "NOR", ["f", "c"], delays={"f": 1, "c": 1}, initial=0)
+        netlist.add_gate("c", "C", ["a", "b"], delays={"a": 2, "b": 2}, initial=0)
+        netlist.add_gate("f", "BUF", ["e"], delays={"e": 3}, initial=1)
+        netlist.add_stimulus("e", 0)
+        computed = pipeline_lambda(netlist)
+        assert computed == 8  # all three gate loops now tie at 8
+        assert simulate_and_measure(netlist, "a", "+") == 8

@@ -1,0 +1,148 @@
+"""Edge-path coverage for corners no other file exercises."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import TimedSignalGraph, Transition, compute_cycle_time
+from repro.core.errors import SignalGraphError
+
+
+class TestGraphEdgePaths:
+    def test_remove_event_cascades_arcs(self, oscillator):
+        oscillator.remove_event("c+")
+        assert not oscillator.has_arc("a+", "c+")
+        assert not oscillator.has_arc("c+", "a-")
+        assert oscillator.num_events == 7
+
+    def test_remove_unknown_event(self, oscillator):
+        with pytest.raises(KeyError):
+            oscillator.remove_event("ghost+")
+
+    def test_remove_declared_initial_event(self):
+        g = TimedSignalGraph()
+        g.add_event("boot", initial=True)
+        g.add_arc("boot", "a+", 1)
+        g.add_arc("a+", "a+", 1, marked=True)
+        g.remove_event("boot")
+        assert "boot" not in {str(e) for e in g.initial_events}
+
+    def test_set_delay_on_missing_arc(self, oscillator):
+        with pytest.raises(KeyError):
+            oscillator.set_delay("a+", "b+", 1)
+
+    def test_multimarked_negative_tokens(self):
+        from repro.core.errors import GraphConstructionError
+
+        g = TimedSignalGraph()
+        with pytest.raises(GraphConstructionError):
+            g.add_multimarked_arc("a+", "b+", 1, -1)
+
+
+class TestCutsetOptions:
+    def test_minimum_cut_set_with_upper_bound(self, oscillator):
+        from repro.core import minimum_cut_set
+
+        result = minimum_cut_set(oscillator, upper_bound=1)
+        assert len(result) == 1
+
+    def test_minimum_cut_sets_explicit_size(self, oscillator):
+        from repro.core import minimum_cut_sets
+
+        pairs = minimum_cut_sets(oscillator, size=2)
+        assert all(len(s) == 2 for s in pairs)
+        assert pairs  # e.g. {a+, b+} and friends
+
+
+class TestAstgOptions:
+    def test_loads_name_parameter(self):
+        from repro.io import astg
+
+        g = astg.loads(".graph\na+ a+ 1\n.marking { <a+,a+> }\n", name="custom")
+        assert g.name == "custom"
+
+    def test_model_overrides_name_parameter(self):
+        from repro.io import astg
+
+        g = astg.loads(
+            ".model declared\n.graph\na+ a+ 1\n.marking { <a+,a+> }\n",
+            name="fallback",
+        )
+        assert g.name == "declared"
+
+    def test_stream_round_trip(self, oscillator):
+        import io
+
+        from repro.io import astg
+
+        buffer = io.StringIO()
+        astg.dump(oscillator, buffer)
+        buffer.seek(0)
+        assert astg.load(buffer).structurally_equal(oscillator)
+
+
+class TestSimulatorOptions:
+    def test_until_boundary_inclusive(self, oscillator_circuit):
+        from repro.circuits.simulator import EventDrivenSimulator
+
+        sim = EventDrivenSimulator(oscillator_circuit)
+        sim.run(until=11)
+        times = [t.time for t in sim.trace]
+        assert 11 in times  # c- fires exactly at the boundary
+
+    def test_signal_times_direction_filter(self, oscillator_circuit):
+        from repro.circuits.simulator import EventDrivenSimulator
+
+        sim = EventDrivenSimulator(oscillator_circuit)
+        sim.run(max_transitions=40)
+        both = sim.signal_times("a")
+        rising = sim.signal_times("a", "+")
+        falling = sim.signal_times("a", "-")
+        assert sorted(rising + falling) == both
+
+
+class TestResultObjects:
+    def test_border_distance_fields(self, oscillator):
+        result = compute_cycle_time(oscillator)
+        record = result.distances[0]
+        assert record.time == record.distance * record.period
+
+    def test_cycle_len_and_arcs(self, oscillator):
+        result = compute_cycle_time(oscillator)
+        cycle = result.critical_cycles[0]
+        arcs = cycle.arcs(oscillator)
+        assert len(arcs) == len(cycle)
+        assert arcs[0].target == cycle.events[1]
+
+    def test_unfolding_out_arcs_cross_period(self, oscillator):
+        from repro.core import Unfolding
+
+        u = Unfolding(oscillator)
+        succs = {
+            (str(instance[0]), instance[1])
+            for instance, _ in u.out_arcs((Transition.parse("c-"), 2))
+        }
+        assert succs == {("a+", 3), ("b+", 3)}
+
+
+class TestExactnessCorners:
+    def test_fraction_only_graph(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", Fraction(1, 7))
+        g.add_arc("b+", "a+", Fraction(2, 7), marked=True)
+        assert compute_cycle_time(g).cycle_time == Fraction(3, 7)
+
+    def test_large_integer_delays(self):
+        g = TimedSignalGraph()
+        big = 10**15
+        g.add_arc("a+", "b+", big)
+        g.add_arc("b+", "a+", big + 1, marked=True)
+        assert compute_cycle_time(g).cycle_time == 2 * big + 1
+
+    def test_mixed_exact_float_is_float_result(self):
+        g = TimedSignalGraph()
+        g.add_arc("a+", "b+", 1.5)
+        g.add_arc("b+", "a+", 1, marked=True)
+        value = compute_cycle_time(g).cycle_time
+        assert isinstance(value, float)
+        assert value == 2.5

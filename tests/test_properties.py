@@ -1,0 +1,219 @@
+"""Property-based tests (hypothesis) for the core theory.
+
+These check the paper's propositions empirically over thousands of
+random live Timed Signal Graphs, cross-validating five independent
+algorithms.  Since proofs live in an unavailable tech report [3], this
+is the reproduction's strongest correctness evidence.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.baselines import compare_methods, compute_cycle_time as method_cycle_time
+from repro.core import (
+    EventInitiatedSimulation,
+    TimingSimulation,
+    Unfolding,
+    compute_cycle_time,
+    exact_div,
+)
+from repro.core.cycles import simple_cycles
+from repro.generators import token_ring_cycle_time
+
+from tests.strategies import live_tsgs, token_rings
+
+COMMON = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+@COMMON
+@given(graph=live_tsgs())
+def test_all_exact_methods_agree(graph):
+    """Timing simulation, exhaustive, Karp, Howard, Lawler: one answer."""
+    results = compare_methods(
+        graph, ["timing", "exhaustive", "karp", "howard", "lawler"]
+    )
+    values = {name: result.cycle_time for name, result in results.items()}
+    reference = values["exhaustive"]
+    assert all(value == reference for value in values.values()), values
+
+
+@COMMON
+@given(graph=live_tsgs())
+def test_critical_cycle_achieves_cycle_time(graph):
+    result = compute_cycle_time(graph)
+    assert result.critical_cycles
+    for cycle in result.critical_cycles:
+        assert cycle.effective_length == result.cycle_time
+
+
+@COMMON
+@given(graph=live_tsgs())
+def test_cycle_time_bounds_every_simple_cycle(graph):
+    """λ is the maximum effective length: no cycle exceeds it."""
+    value = compute_cycle_time(graph).cycle_time
+    for cycle in simple_cycles(graph):
+        assert cycle.effective_length <= value
+
+
+@COMMON
+@given(graph=live_tsgs(max_events=8, max_extra=8))
+def test_scaling_delays_scales_cycle_time(graph):
+    base = compute_cycle_time(graph).cycle_time
+    assert compute_cycle_time(graph.scale_delays(3)).cycle_time == 3 * base
+
+
+@COMMON
+@given(graph=live_tsgs(max_events=8, max_extra=8))
+def test_delay_increase_never_decreases_cycle_time(graph):
+    base = compute_cycle_time(graph).cycle_time
+    bumped = graph.map_delays(lambda arc: arc.delay + 1)
+    assert compute_cycle_time(bumped).cycle_time >= base
+
+
+@COMMON
+@given(graph=live_tsgs(max_events=8, max_extra=6))
+def test_proposition_3_triangular_inequality(graph):
+    """t_{e0}(e_k) >= t_{e0}(e_j) + t_{e0}(e_{k-j}) for border events."""
+    border = graph.border_events
+    periods = min(len(border) + 2, 6)
+    for event in border[:2]:
+        sim = EventInitiatedSimulation(graph, event, periods)
+        times = dict(sim.initiator_times())
+        for k in times:
+            for j in times:
+                remainder = k - j
+                if remainder in times:
+                    assert times[k] >= times[j] + times[remainder]
+
+
+@COMMON
+@given(graph=live_tsgs(max_events=8, max_extra=6))
+def test_proposition_4_distances_never_exceed_lambda(graph):
+    """Every average occurrence distance is <= λ (Propositions 4+8)."""
+    value = compute_cycle_time(graph).cycle_time
+    for event in graph.border_events:
+        sim = EventInitiatedSimulation(graph, event, periods=6)
+        for index, time in sim.initiator_times():
+            assert exact_div(time, index) <= value
+
+
+@COMMON
+@given(graph=live_tsgs(max_events=8, max_extra=6))
+def test_proposition_6_epsilon_bounded_by_border(graph):
+    border = len(graph.border_events)
+    for cycle in simple_cycles(graph):
+        assert cycle.occurrence_period <= border
+
+
+@COMMON
+@given(graph=live_tsgs(max_events=8, max_extra=6))
+def test_global_simulation_monotone_per_event(graph):
+    sim = TimingSimulation(graph, periods=4)
+    for event, pairs in sim.signal_history().items():
+        times = [time for _, time in pairs]
+        assert times == sorted(times)
+
+
+@COMMON
+@given(graph=live_tsgs(max_events=8, max_extra=6))
+def test_event_initiated_subset_of_global(graph):
+    """Initiated times never exceed global times shifted to the origin:
+    each is a longest path over a subset of the global paths."""
+    unfolding = Unfolding(graph)
+    full = TimingSimulation(graph, periods=3, unfolding=unfolding)
+    for event in graph.border_events[:2]:
+        sim = EventInitiatedSimulation(graph, event, 3, unfolding=unfolding)
+        origin_time = full.time(event, 0)
+        for instance, value in sim.times.items():
+            assert value + origin_time <= full.time(*instance) or origin_time == 0
+
+
+@COMMON
+@given(graph=live_tsgs(max_events=8, max_extra=6))
+def test_potentials_certify_cycle_time(graph):
+    """The steady-state schedule is a feasibility certificate for λ."""
+    from repro.analysis import analyze
+
+    report = analyze(graph)
+    assert all(slack >= 0 for slack in report.slacks.values())
+    assert report.all_critical_cycles()
+
+
+@COMMON
+@given(data=token_rings())
+def test_token_ring_closed_form(data):
+    graph, stages, tokens, forward, backward = data
+    expected = token_ring_cycle_time(stages, tokens, forward, backward)
+    assert compute_cycle_time(graph).cycle_time == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=live_tsgs(max_events=7, max_extra=6))
+def test_astg_roundtrip_preserves_cycle_time(graph):
+    # events of random graphs are plain strings -> rename to transitions
+    from repro.core import TimedSignalGraph
+    from repro.io import astg
+
+    renamed = TimedSignalGraph(name=graph.name)
+    for arc in graph.arcs:
+        renamed.add_arc(
+            str(arc.source) + "+",
+            str(arc.target) + "+",
+            arc.delay,
+            marked=arc.marked,
+        )
+    parsed = astg.loads(astg.dumps(renamed))
+    assert parsed.structurally_equal(renamed)
+    assert (
+        compute_cycle_time(parsed).cycle_time
+        == compute_cycle_time(graph).cycle_time
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=live_tsgs(max_events=8, max_extra=8))
+def test_json_roundtrip_lossless(graph):
+    from repro.io import json_io
+
+    parsed = json_io.loads(json_io.dumps(graph))
+    assert parsed.structurally_equal(graph)
+
+
+@COMMON
+@given(graph=live_tsgs(max_events=8, max_extra=8))
+def test_token_game_never_deadlocks_on_valid_graphs(graph):
+    """Fair execution of a validated graph makes perpetual progress,
+    every repetitive event keeps firing, and safety is preserved."""
+    from repro.core.token_game import TokenGame
+
+    steps = 20 * graph.num_events
+    game = TokenGame(graph)
+    fired = game.run(steps)
+    assert len(fired) == steps  # no deadlock
+    assert game.max_observed_activity() <= 2  # initially-safe stays small
+    for event in graph.repetitive_events:
+        assert game.fire_counts[event] > 0
+
+
+@COMMON
+@given(graph=live_tsgs(max_events=7, max_extra=6))
+def test_token_game_counts_match_unfolding_structure(graph):
+    """Under fair scheduling, after many steps the per-event fire
+    counts differ by at most the graph's token diameter — they all
+    advance at the same long-run rate (Proposition 2's untimed
+    shadow)."""
+    from repro.core.token_game import TokenGame
+
+    game = TokenGame(graph)
+    game.run(40 * graph.num_events)
+    counts = [
+        game.fire_counts[event] for event in graph.repetitive_events
+    ]
+    if counts:
+        assert max(counts) - min(counts) <= graph.total_tokens() + 1

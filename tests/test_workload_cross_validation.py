@@ -1,0 +1,64 @@
+"""Cross-validate every algorithm on every named workload.
+
+The workload registry spans the shapes that matter (paper circuits,
+closed-form rings, scaling rings, dense random graphs); this matrix
+runs each exact algorithm over each workload and demands one answer.
+Exhaustive enumeration joins only where the cycle count permits.
+"""
+
+import pytest
+
+from repro.baselines import compute_cycle_time as by_method
+from repro.core import compute_cycle_time
+from repro.generators import WORKLOADS, load_workload, token_ring_cycle_time
+
+SMALL = {"paper-oscillator", "random-8-dense", "random-10-dense", "random-12-sparse"}
+POLY_METHODS = ["karp", "howard", "lawler"]
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_polynomial_methods_agree(name):
+    graph = load_workload(name)
+    reference = compute_cycle_time(graph).cycle_time
+    for method in POLY_METHODS:
+        assert by_method(graph, method).cycle_time == reference, (name, method)
+
+
+@pytest.mark.parametrize("name", sorted(SMALL))
+def test_exhaustive_confirms_small_workloads(name):
+    graph = load_workload(name)
+    assert (
+        by_method(graph, "exhaustive").cycle_time
+        == compute_cycle_time(graph).cycle_time
+    )
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_lp_tracks_exact(name):
+    graph = load_workload(name)
+    exact = compute_cycle_time(graph).cycle_time
+    assert by_method(graph, "lp").cycle_time == pytest.approx(
+        float(exact), rel=1e-6
+    )
+
+
+def test_known_closed_forms():
+    assert compute_cycle_time(
+        load_workload("token-ring-12-4")
+    ).cycle_time == token_ring_cycle_time(12, 4, 2, 1)
+    assert compute_cycle_time(
+        load_workload("token-ring-24-6")
+    ).cycle_time == token_ring_cycle_time(24, 6, 3, 2)
+    assert compute_cycle_time(
+        load_workload("unbalanced-ring-16")
+    ).cycle_time == 40 + 15 * 2
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_analysis_layer_runs_everywhere(name):
+    from repro.analysis import analyze
+
+    graph = load_workload(name)
+    report = analyze(graph)
+    assert all(slack >= 0 for slack in report.slacks.values())
+    assert report.all_critical_cycles()
