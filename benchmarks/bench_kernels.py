@@ -1,0 +1,110 @@
+"""Compiled-kernel speedups over the legacy dict-based simulation.
+
+The compiled kernels (:mod:`repro.core.kernel`) replace tuple-keyed
+dict relaxation with dense slots and per-period-class programs; the
+float kernel additionally specialises to straight-line generated code
+after a few runs.  These benchmarks measure all three engines on the
+scaling suite's graphs and assert the headline claim recorded in
+``BENCH_cycle_time.json`` (see ``scripts/bench_to_json.py``): the
+float fast path runs the border simulations at least 5x faster than
+the legacy loops on the largest scaling graph.
+
+Measured here as *simulation* time (``run_border_simulations``), the
+kernels' domain; end-to-end ``compute_cycle_time`` numbers are also
+recorded — they improve less because critical-path backtracking and
+distance collection are shared between engines.
+"""
+
+import time
+
+import pytest
+
+from conftest import emit
+from repro.core import compute_cycle_time, run_border_simulations
+from repro.generators import ring_with_chords
+
+SIZES = [100, 400, 800]
+KERNELS = ["legacy", "exact", "float"]
+
+#: The largest bench_scaling.py graph; the acceptance target.
+LARGEST = dict(stages=800, tokens=4, chords=200, seed=7)
+
+#: Runs before timing, so the float kernel reaches its codegen tier
+#: and every engine sees warm caches.
+WARMUP = 8
+
+
+def _graph(stages):
+    return ring_with_chords(stages=stages, tokens=4, chords=stages // 4, seed=7)
+
+
+def _best_of(fn, reps=15):
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.parametrize("stages", SIZES)
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_kernel_simulation_speed(benchmark, stages, kernel):
+    graph = _graph(stages)
+    for _ in range(WARMUP):
+        run_border_simulations(graph, kernel=kernel)
+    result = benchmark(run_border_simulations, graph, None, kernel)
+    assert len(result) == len(graph.border_events)
+    emit(
+        "kernel=%s, n=%d border simulations" % (kernel, stages),
+        "mean %.3f ms" % (benchmark.stats.stats.mean * 1e3),
+    )
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_kernel_end_to_end_speed(benchmark, kernel):
+    graph = ring_with_chords(**LARGEST)
+    for _ in range(WARMUP):
+        compute_cycle_time(graph, check=False, kernel=kernel)
+    result = benchmark(compute_cycle_time, graph, None, False, kernel)
+    assert result.cycle_time > 0
+    emit(
+        "kernel=%s, end-to-end cycle time (n=800)" % kernel,
+        "lambda=%s, mean %.3f ms" % (result.cycle_time, benchmark.stats.stats.mean * 1e3),
+    )
+
+
+def test_float_kernel_headline_speedup():
+    """The acceptance bar: float simulations >= 5x legacy on the
+    largest scaling graph."""
+    graph = ring_with_chords(**LARGEST)
+    for kernel in ("legacy", "float"):
+        for _ in range(WARMUP):
+            run_border_simulations(graph, kernel=kernel)
+    legacy = _best_of(lambda: run_border_simulations(graph, kernel="legacy"))
+    fast = _best_of(lambda: run_border_simulations(graph, kernel="float"))
+    speedup = legacy / fast
+    emit(
+        "float kernel headline speedup (n=800, b=4 simulations)",
+        "legacy %.3f ms, float %.3f ms -> %.1fx" % (legacy * 1e3, fast * 1e3, speedup),
+    )
+    assert speedup >= 5.0, "float kernel only %.1fx faster than legacy" % speedup
+
+
+def test_exact_kernel_is_faster_and_bit_identical():
+    """The exact kernel must win too, without giving up exactness."""
+    graph = ring_with_chords(stages=400, tokens=4, chords=100, seed=7)
+    for kernel in ("legacy", "exact"):
+        for _ in range(WARMUP):
+            compute_cycle_time(graph, check=False, kernel=kernel)
+    legacy = _best_of(lambda: compute_cycle_time(graph, check=False, kernel="legacy"))
+    exact = _best_of(lambda: compute_cycle_time(graph, check=False, kernel="exact"))
+    reference = compute_cycle_time(graph, check=False, kernel="legacy")
+    result = compute_cycle_time(graph, check=False, kernel="exact")
+    assert result.cycle_time == reference.cycle_time
+    emit(
+        "exact kernel end-to-end (n=400)",
+        "legacy %.3f ms, exact %.3f ms -> %.1fx"
+        % (legacy * 1e3, exact * 1e3, legacy / exact),
+    )
+    assert exact < legacy

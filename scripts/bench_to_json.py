@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Measure the kernel speedups and record them as BENCH_cycle_time.json.
+
+Times the legacy, exact and float engines — border simulations and
+end-to-end ``compute_cycle_time`` — on the scaling-suite graphs and
+writes the machine-readable record the README's performance note and
+CI smoke check consume::
+
+    PYTHONPATH=src python scripts/bench_to_json.py [-o BENCH_cycle_time.json]
+
+Timings are best-of-N wall clock after warmup (the float kernel's
+code-generation tier activates during warmup, as it does in any
+repeated analysis).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.core import compute_cycle_time, run_border_simulations  # noqa: E402
+from repro.generators import ring_with_chords  # noqa: E402
+
+KERNELS = ("legacy", "exact", "float")
+SIZES = (100, 400, 800)
+WARMUP = 8
+REPS = 15
+
+
+def best_of(fn, reps=REPS):
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure(stages):
+    graph = ring_with_chords(stages=stages, tokens=4, chords=stages // 4, seed=7)
+    row = {
+        "stages": stages,
+        "events": graph.num_events,
+        "arcs": graph.num_arcs,
+        "border_events": len(graph.border_events),
+        "simulate_ms": {},
+        "end_to_end_ms": {},
+    }
+    for kernel in KERNELS:
+        for _ in range(WARMUP):
+            run_border_simulations(graph, kernel=kernel)
+            compute_cycle_time(graph, check=False, kernel=kernel)
+        row["simulate_ms"][kernel] = 1e3 * best_of(
+            lambda: run_border_simulations(graph, kernel=kernel)
+        )
+        row["end_to_end_ms"][kernel] = 1e3 * best_of(
+            lambda: compute_cycle_time(graph, check=False, kernel=kernel)
+        )
+    for section in ("simulate_ms", "end_to_end_ms"):
+        legacy = row[section]["legacy"]
+        row[section.replace("_ms", "_speedup")] = {
+            kernel: legacy / row[section][kernel] for kernel in ("exact", "float")
+        }
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_cycle_time.json"
+        ),
+        help="output JSON path (default: repo-root BENCH_cycle_time.json)",
+    )
+    parser.add_argument(
+        "--sizes", default=",".join(str(s) for s in SIZES),
+        help="comma-separated ring sizes to measure",
+    )
+    args = parser.parse_args(argv)
+    sizes = [int(part) for part in args.sizes.split(",")]
+    rows = []
+    for stages in sizes:
+        row = measure(stages)
+        rows.append(row)
+        print(
+            "n=%-4d  sim legacy %7.3f ms  exact %7.3f ms (%.1fx)  "
+            "float %7.3f ms (%.1fx)"
+            % (
+                stages,
+                row["simulate_ms"]["legacy"],
+                row["simulate_ms"]["exact"],
+                row["simulate_speedup"]["exact"],
+                row["simulate_ms"]["float"],
+                row["simulate_speedup"]["float"],
+            )
+        )
+    largest = rows[-1]
+    document = {
+        "benchmark": "compiled simulation kernels vs legacy dict-based loops",
+        "workload": "ring_with_chords(stages=n, tokens=4, chords=n/4, seed=7)",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "warmup_runs": WARMUP,
+        "timer": "best of %d, wall clock" % REPS,
+        "rows": rows,
+        "headline": {
+            "graph": "stages=%d" % largest["stages"],
+            "float_simulation_speedup": largest["simulate_speedup"]["float"],
+            "exact_simulation_speedup": largest["simulate_speedup"]["exact"],
+            "float_end_to_end_speedup": largest["end_to_end_speedup"]["float"],
+        },
+    }
+    with open(args.output, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print("wrote %s" % os.path.abspath(args.output))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

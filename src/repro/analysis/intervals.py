@@ -23,7 +23,9 @@ from ..core.arithmetic import Number
 from ..core.cycle_time import CycleTimeResult, compute_cycle_time
 from ..core.errors import GraphConstructionError
 from ..core.events import event_label
+from ..core.kernel import compiled_graph, rebind_compiled
 from ..core.signal_graph import Event, TimedSignalGraph
+from ..core.validation import validate as validate_graph
 
 
 @dataclass
@@ -72,14 +74,20 @@ def interval_cycle_time(
                 % (low, high, event_label(source), event_label(target))
             )
 
+    # Both corners share the graph's structure: validate and compile it
+    # once, then rebind only the corner delays.
+    validate_graph(graph)
+    base = compiled_graph(graph)
+
     def corner(pick: Callable) -> TimedSignalGraph:
         clone = graph.copy()
         for (source, target), interval in bounds.items():
             clone.set_delay(source, target, pick(interval))
+        rebind_compiled(clone, base)
         return clone
 
-    lower = compute_cycle_time(corner(lambda interval: interval[0]))
-    upper = compute_cycle_time(corner(lambda interval: interval[1]))
+    lower = compute_cycle_time(corner(lambda interval: interval[0]), check=False)
+    upper = compute_cycle_time(corner(lambda interval: interval[1]), check=False)
     return IntervalResult(lower=lower, upper=upper)
 
 

@@ -25,6 +25,7 @@ import numpy as np
 from ..core.arithmetic import Number
 from ..core.cycle_time import compute_cycle_time
 from ..core.errors import GraphConstructionError
+from ..core.kernel import compiled_graph, rebind_compiled
 from ..core.signal_graph import Event, TimedSignalGraph
 
 #: A delay sampler: (rng, nominal_delay) -> sampled delay (float).
@@ -128,11 +129,15 @@ def monte_carlo_cycle_time(
     ]
     values = np.empty(samples)
     hits: Dict[Tuple[Event, Event], int] = {arc.pair: 0 for arc in core_arcs}
+    # All trials share the nominal graph's structure; compile it once
+    # and rebind only the sampled delays per trial.
+    base = compiled_graph(graph)
     for index in range(samples):
         trial = graph.copy()
         for arc in core_arcs:
             trial.set_delay(arc.source, arc.target, sampler(rng, float(arc.delay)))
-        result = compute_cycle_time(trial, check=False)
+        rebind_compiled(trial, base)
+        result = compute_cycle_time(trial, check=False, keep_simulations=False)
         values[index] = float(result.cycle_time)
         seen = set()
         for cycle in result.critical_cycles:

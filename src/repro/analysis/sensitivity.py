@@ -20,7 +20,9 @@ from typing import Dict, List, Optional, Tuple
 from ..core.arithmetic import Number, exact_div
 from ..core.cycle_time import compute_cycle_time
 from ..core.events import event_label
+from ..core.kernel import compiled_graph, rebind_compiled
 from ..core.signal_graph import Event, TimedSignalGraph
+from ..core.validation import validate as validate_graph
 from .performance import PerformanceReport, analyze
 
 
@@ -98,11 +100,18 @@ def optimize_bottlenecks(
     """
     work = graph.copy(name=graph.name + "-optimized")
     log: List[OptimizationStep] = []
+    # Validate and compile once: shaving only changes delays, so each
+    # re-analysis rebinds the compiled structure and skips the checks,
+    # and one cycle-time result per step feeds both the step log and
+    # the sensitivity ranking.
+    validate_graph(work)
+    base = compiled_graph(graph)
+    result = compute_cycle_time(work, check=False, keep_simulations=False)
     for _ in range(steps):
-        before = compute_cycle_time(work).cycle_time
+        before = result.cycle_time
         candidates = [
             row
-            for row in delay_sensitivities(work)
+            for row in delay_sensitivities(work, analyze(work, result))
             if row.sensitivity > 0 and row.delay > floor
         ]
         if not candidates:
@@ -110,14 +119,15 @@ def optimize_bottlenecks(
         chosen = candidates[0]
         new_delay = max(floor, chosen.delay - shave)
         work.set_delay(chosen.source, chosen.target, new_delay)
-        after = compute_cycle_time(work).cycle_time
+        rebind_compiled(work, base)
+        result = compute_cycle_time(work, check=False, keep_simulations=False)
         log.append(
             OptimizationStep(
                 arc=(chosen.source, chosen.target),
                 old_delay=chosen.delay,
                 new_delay=new_delay,
                 cycle_time_before=before,
-                cycle_time_after=after,
+                cycle_time_after=result.cycle_time,
             )
         )
     return work, log

@@ -40,6 +40,7 @@ from .circuits.extraction import extract_signal_graph
 from .circuits.library import async_stack_tsg, muller_ring_tsg, oscillator_tsg
 from .circuits.netlist import Netlist
 from .core import (
+    KERNELS,
     EventInitiatedSimulation,
     SignalGraphError,
     TimedSignalGraph,
@@ -70,7 +71,9 @@ def _cmd_analyze(args) -> int:
     if args.method == "timing":
         from .core import compute_cycle_time
 
-        result = compute_cycle_time(graph)
+        result = compute_cycle_time(
+            graph, kernel=args.kernel, workers=args.workers
+        )
         print("graph: %s (%d events, %d arcs, %d border events)"
               % (graph.name, graph.num_events, graph.num_arcs,
                  len(result.border_events)))
@@ -94,11 +97,13 @@ def _cmd_analyze(args) -> int:
 def _cmd_simulate(args) -> int:
     graph = _load_graph(args.file)
     if args.initiate:
-        simulation = EventInitiatedSimulation(graph, args.initiate, args.periods)
+        simulation = EventInitiatedSimulation(
+            graph, args.initiate, args.periods, kernel=args.kernel
+        )
         print("%s-initiated timing simulation (%d periods):"
               % (args.initiate, args.periods))
     else:
-        simulation = TimingSimulation(graph, args.periods)
+        simulation = TimingSimulation(graph, args.periods, kernel=args.kernel)
         print("timing simulation (%d periods):" % args.periods)
     for label, time in simulation.table():
         print("  t(%s) = %s" % (label, time))
@@ -273,6 +278,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the border-distance table")
     analyze.add_argument("--report", action="store_true",
                          help="print slacks and the critical subgraph")
+    analyze.add_argument(
+        "--kernel", choices=KERNELS, default="auto",
+        help="simulation engine (default auto: exact arithmetic for "
+        "int/Fraction delays, float64 fast path otherwise)",
+    )
+    analyze.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="run the border simulations on a thread pool of N workers",
+    )
     analyze.set_defaults(func=_cmd_analyze)
 
     simulate = commands.add_parser("simulate", help="print a timing simulation")
@@ -280,6 +294,10 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--periods", type=int, default=2)
     simulate.add_argument("--initiate", metavar="EVENT",
                           help="run an event-initiated simulation from EVENT")
+    simulate.add_argument(
+        "--kernel", choices=KERNELS, default="auto",
+        help="simulation engine (see 'analyze --kernel')",
+    )
     simulate.set_defaults(func=_cmd_simulate)
 
     diagram = commands.add_parser("diagram", help="ASCII timing diagram")

@@ -28,9 +28,9 @@ from .arithmetic import Number, exact_div, numbers_close
 from .cycles import Cycle, make_cycle
 from .errors import AcyclicGraphError, SignalGraphError
 from .events import event_label
+from .kernel import run_border_simulations
 from .signal_graph import Event, TimedSignalGraph
 from .simulation import EventInitiatedSimulation
-from .unfolding import Instance, Unfolding
 from .validation import validate as validate_graph
 
 
@@ -75,7 +75,9 @@ class CycleTimeResult:
         How many periods each simulation covered (>= ``b``).
     simulations:
         The per-border-event simulations, for inspection, timing
-        diagrams and backtracking.
+        diagrams and backtracking.  Empty when the analysis was run
+        with ``keep_simulations=False`` (bulk sweeps drop them to keep
+        the memory footprint flat).
     """
 
     cycle_time: Number
@@ -125,6 +127,9 @@ def compute_cycle_time(
     graph: TimedSignalGraph,
     periods: Optional[int] = None,
     check: bool = True,
+    kernel: str = "auto",
+    workers: Optional[int] = None,
+    keep_simulations: bool = True,
 ) -> CycleTimeResult:
     """Run the paper's algorithm on a validated Timed Signal Graph.
 
@@ -140,6 +145,18 @@ def compute_cycle_time(
     check:
         Run structural validation first (recommended; disable only for
         repeated analyses of a graph already validated).
+    kernel:
+        Simulation engine: ``"auto"`` (exact kernel for int/Fraction
+        delays, float64 fast path otherwise), ``"exact"``, ``"float"``
+        or ``"legacy"`` (the original dict-based loops).  See
+        :mod:`repro.core.kernel`.
+    workers:
+        Fan the ``b`` border simulations out over a thread pool of this
+        size (default: run them serially).
+    keep_simulations:
+        Retain the per-border simulations on the result.  Bulk sweeps
+        (Monte-Carlo, sensitivity) pass False to drop the ``b`` full
+        simulations once the critical cycles are backtracked.
     """
     if check:
         validate_graph(graph)
@@ -155,15 +172,12 @@ def compute_cycle_time(
             "periods=%d is below the sound bound b=%d" % (periods, len(border))
         )
 
-    unfolding = Unfolding(graph)
-    simulations: Dict[Event, EventInitiatedSimulation] = {}
+    simulations = run_border_simulations(
+        graph, periods, kernel=kernel, workers=workers, border=border
+    )
     records: List[BorderDistance] = []
     best: Optional[Number] = None
-    for border_event in border:
-        simulation = EventInitiatedSimulation(
-            graph, border_event, periods, unfolding=unfolding
-        )
-        simulations[border_event] = simulation
+    for border_event, simulation in simulations.items():
         for index, time in simulation.initiator_times():
             distance = exact_div(time, index)
             records.append(BorderDistance(border_event, index, time, distance))
@@ -182,7 +196,7 @@ def compute_cycle_time(
         border_events=border,
         distances=records,
         periods=periods,
-        simulations=simulations,
+        simulations=simulations if keep_simulations else {},
     )
 
 

@@ -124,10 +124,15 @@ def as_event(obj):
     through unchanged.
     """
     if isinstance(obj, str):
-        try:
-            return Transition.parse(obj)
-        except FormatError:
+        # Hot path (graph lookups coerce labels constantly): match the
+        # regex directly instead of letting Transition.parse raise —
+        # exception handling costs ~10x a failed match for plain-string
+        # events such as generator-produced "e12" labels.
+        match = _TRANSITION_RE.match(obj.strip())
+        if match is None:
             return obj
+        tag = int(match.group("tag")) if match.group("tag") else 0
+        return Transition(match.group("signal"), match.group("direction"), tag)
     return obj
 
 

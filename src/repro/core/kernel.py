@@ -1,0 +1,509 @@
+"""Compiled simulation kernel: dense-index unfolding fast paths.
+
+The legacy simulation loops (:mod:`repro.core.simulation`, kernel
+``"legacy"``) pay a tuple construction plus a dict lookup keyed by
+``(event, index)`` for every unfolding arc.  This module removes both
+costs by *compiling* a :class:`~repro.core.signal_graph.TimedSignalGraph`
+once into dense integer indices:
+
+* every event gets an integer id equal to its position in the
+  topological order of the unmarked subgraph (the paper's intra-period
+  firing order), so instance ``(event, k)`` lives in *slot*
+  ``id + k * n`` of a flat list;
+* all in-arcs are flattened into per-event programs of
+  ``(source_offset, delay)`` pairs addressing a rolling two-period
+  buffer — adding nothing at run time: the offsets are final.
+
+Because the model is initially safe (``tokens`` is 0 or 1), the set of
+unfolding in-arcs of an instance depends only on which of three period
+classes it is in, never on the period index itself:
+
+* **period 0** — arcs with ``tokens == 0`` (the source instance 0
+  always exists);
+* **period 1** — arcs with ``tokens == 1`` (source instance 0) plus
+  token-free arcs from repetitive sources (source instance 1);
+* **periods >= 2** (steady state) — arcs whose source is repetitive.
+
+Each class is precompiled into one program.  A period is simulated
+inside a buffer of ``2n`` slots — previous period in the lower half,
+current period in the upper half — and flushed to the flat result by a
+C-speed slice copy, so the inner loop performs no index arithmetic at
+all.  Period-over-period the structure is identical, which is what
+makes the driver :func:`run_border_simulations` able to run all ``b``
+border simulations of the cycle-time algorithm against one compiled
+structure.
+
+Two interchangeable kernels run over the same programs:
+
+* the **exact** kernel keeps the original delay objects, so ``int`` /
+  :class:`fractions.Fraction` arithmetic is preserved bit-for-bit;
+* the **float** kernel replays the programs over ``float64`` copies of
+  the delays — the fast path for Monte-Carlo and scaling sweeps.  Once
+  a compiled structure has been exercised a few times
+  (:data:`CODEGEN_THRESHOLD` kernel runs), its float programs are
+  additionally *specialised to straight-line Python source* — one
+  statement per unfolding arc, delays inlined as literals — compiled
+  with :func:`compile` and cached, removing even the interpreter's loop
+  and unpacking overhead.  One-shot analyses never pay the codegen
+  cost; benchmarks and repeated sweeps amortise it after the first
+  call.
+
+Both kernels are branch-free in the inner loop: undefined instances are
+the sentinel ``-inf`` (comparisons and additions with ``-inf`` behave
+like the paper's "neglected" arcs under MAX semantics, for exact
+operands too), and the argmax predecessor needed for critical-path
+backtracking is *not* tracked in the loop — it is recovered on demand
+by re-scanning the (tiny) in-arc program of the queried instance, which
+reproduces the legacy first-maximum tie-breaking exactly.
+
+The compiled structure is cached on the graph itself (see
+:meth:`TimedSignalGraph.cached`) and is invalidated automatically by
+any mutation.  Delay-only sweeps can skip recompilation entirely with
+:func:`rebind_compiled`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from .errors import NotLiveError, SignalGraphError
+from .signal_graph import Event, TimedSignalGraph
+from .validation import find_unmarked_cycle, unmarked_subgraph
+
+#: Sentinel for "instance has no simulated time" in flat time arrays.
+NEG_INF = float("-inf")
+
+#: Kernel names accepted by the public entry points.
+KERNELS = ("auto", "exact", "float", "legacy")
+
+#: Float-kernel runs of one compiled structure before its programs are
+#: specialised to straight-line code.  Small enough that benchmarks and
+#: sweeps hit the fast tier almost immediately, large enough that a
+#: single analysis (``b`` runs for typical small ``b``) stays on the
+#: no-setup interpreted tier.
+CODEGEN_THRESHOLD = 6
+
+_CACHE_KEY = "compiled-kernel"
+
+#: One compiled in-arc program row:
+#: (buffer_index_of_target, [(buffer_index_of_source, delay), ...]).
+Row = Tuple[int, List[Tuple[int, object]]]
+
+
+class CompiledGraph:
+    """Dense-index view of a live Timed Signal Graph.
+
+    Attributes
+    ----------
+    order:
+        Events in unmarked-subgraph topological order; the id of an
+        event is its position here, so ids themselves are topologically
+        sorted and slot ``id + k*n`` layouts are period-major.
+    id_of:
+        Event -> dense id.
+    repetitive:
+        Per-id booleans (is the event on a cycle?).
+    rep_ids / nonrep_ids:
+        Ids of the (non-)repetitive events, ascending (= topo order).
+    in_compact:
+        Per-event ``(source, tokens, delay, source_is_repetitive)``
+        tuples, shared with :class:`~repro.core.unfolding.Unfolding`.
+
+    Program rows address the rolling two-period buffer: the current
+    period occupies indices ``n .. 2n-1``, the previous period
+    ``0 .. n-1``, so a source reached over ``tokens`` marked arcs sits
+    at buffer index ``n + source_id - tokens * n``.
+    """
+
+    def __init__(self, graph: TimedSignalGraph):
+        cycle = find_unmarked_cycle(graph)
+        if cycle is not None:
+            raise NotLiveError(
+                "cannot unfold a non-live graph (token-free cycle exists)",
+                cycle=cycle,
+            )
+        self.graph = graph
+        order: List[Event] = list(nx.topological_sort(unmarked_subgraph(graph)))
+        self.order = order
+        self.n = n = len(order)
+        self.id_of: Dict[Event, int] = {event: i for i, event in enumerate(order)}
+        repetitive_set = graph.repetitive_events
+        self.repetitive: List[bool] = [event in repetitive_set for event in order]
+        self.rep_ids: List[int] = [i for i in range(n) if self.repetitive[i]]
+        self.nonrep_ids: List[int] = [i for i in range(n) if not self.repetitive[i]]
+        self.topo_repetitive: List[Event] = [order[i] for i in self.rep_ids]
+        # position of an id inside rep_ids, -1 for non-repetitive events
+        self.rep_index: List[int] = [-1] * n
+        for position, tid in enumerate(self.rep_ids):
+            self.rep_index[tid] = position
+        self._build_programs(graph, repetitive_set)
+
+    def _build_programs(self, graph: TimedSignalGraph, repetitive_set) -> None:
+        """(Re)build the per-period-class arc programs from the graph.
+
+        Factored out so :meth:`rebound` can refresh delays on an
+        existing topology without re-running the liveness check and the
+        topological sort.
+        """
+        n = self.n
+        order = self.order
+        id_of = self.id_of
+        self.in_compact = {
+            event: tuple(
+                (arc.source, arc.tokens, arc.delay, arc.source in repetitive_set)
+                for arc in graph.in_arcs(event)
+            )
+            for event in order
+        }
+        # In-arc order per event is preserved from the graph, which
+        # fixes argmax tie-breaking to match the legacy loops.
+        p0: List[Row] = []
+        p1: List[Row] = []
+        ps: List[Row] = []
+        for tid, event in enumerate(order):
+            p0.append(
+                (
+                    n + tid,
+                    [
+                        (n + id_of[source], delay)
+                        for source, tokens, delay, _ in self.in_compact[event]
+                        if tokens == 0
+                    ],
+                )
+            )
+        for tid in self.rep_ids:
+            arcs_one: List[Tuple[int, object]] = []
+            arcs_steady: List[Tuple[int, object]] = []
+            for source, tokens, delay, source_rep in self.in_compact[order[tid]]:
+                offset = n + id_of[source] - tokens * n
+                if tokens or source_rep:
+                    arcs_one.append((offset, delay))
+                if source_rep:
+                    arcs_steady.append((offset, delay))
+            p1.append((n + tid, arcs_one))
+            ps.append((n + tid, arcs_steady))
+        self.p0, self.p1, self.ps = p0, p1, ps
+        self._float_programs: Optional[tuple] = None
+        self._float_fns: Optional[tuple] = None
+        self._float_runs = 0
+        self._allow_codegen = True
+
+    @classmethod
+    def rebound(cls, base: "CompiledGraph", graph: TimedSignalGraph) -> "CompiledGraph":
+        """A compiled view of ``graph`` reusing ``base``'s topology.
+
+        ``graph`` must have exactly ``base.graph``'s events and arcs
+        (same objects, e.g. via :meth:`TimedSignalGraph.copy`) and may
+        differ only in delays — the contract of delay sweeps.  Skips
+        the liveness check and topological sort, so a rebind is O(m).
+        """
+        new = cls.__new__(cls)
+        new.graph = graph
+        new.order = base.order
+        new.n = base.n
+        new.id_of = base.id_of
+        new.repetitive = base.repetitive
+        new.rep_ids = base.rep_ids
+        new.nonrep_ids = base.nonrep_ids
+        new.topo_repetitive = base.topo_repetitive
+        new.rep_index = base.rep_index
+        new._build_programs(graph, frozenset(base.topo_repetitive))
+        # A rebound structure carries trial-specific delays and lives
+        # for one analysis; specialising code for it can never pay off.
+        new._allow_codegen = False
+        return new
+
+    # ------------------------------------------------------------------
+    def programs(self, float_mode: bool) -> tuple:
+        """The (period-0, period-1, steady) programs for one kernel."""
+        if not float_mode:
+            return self.p0, self.p1, self.ps
+        if self._float_programs is None:
+
+            def convert(program: List[Row]) -> List[Row]:
+                return [
+                    (tid, [(offset, float(delay)) for offset, delay in arcs])
+                    for tid, arcs in program
+                ]
+
+            self._float_programs = (
+                convert(self.p0),
+                convert(self.p1),
+                convert(self.ps),
+            )
+        return self._float_programs
+
+    def float_kernels(self) -> Optional[tuple]:
+        """Straight-line compiled float programs, once warmed up.
+
+        Returns ``None`` until :data:`CODEGEN_THRESHOLD` float runs
+        have been counted, then a ``(period0, period1, steady)`` triple
+        of generated functions ``f(buffer, empty)``.
+        """
+        if not self._allow_codegen:
+            return None
+        self._float_runs += 1
+        if self._float_fns is None:
+            if self._float_runs <= CODEGEN_THRESHOLD:
+                return None
+            self._float_fns = tuple(
+                _generate(program) for program in self.programs(True)
+            )
+        return self._float_fns
+
+    def arcs_for(self, tid: int, period: int, float_mode: bool):
+        """The in-arc program row of instance ``(order[tid], period)``."""
+        p0, p1, ps = self.programs(float_mode)
+        if period == 0:
+            return p0[tid][1]
+        position = self.rep_index[tid]
+        if position < 0:
+            return ()
+        return (p1 if period == 1 else ps)[position][1]
+
+    def slot(self, event: Event, index: int, periods: int) -> int:
+        """Flat slot of ``(event, index)``, or -1 if outside the prefix."""
+        tid = self.id_of.get(event, -1)
+        if tid < 0 or index < 0 or index > periods:
+            return -1
+        if index and not self.repetitive[tid]:
+            return -1
+        return tid + index * self.n
+
+    def instance_of(self, slot: int) -> Tuple[Event, int]:
+        """Inverse of :meth:`slot` for valid slots."""
+        index, tid = divmod(slot, self.n)
+        return (self.order[tid], index)
+
+
+def compiled_graph(graph: TimedSignalGraph) -> CompiledGraph:
+    """The compiled structure of ``graph``, cached until mutation."""
+    return graph.cached(_CACHE_KEY, lambda: CompiledGraph(graph))
+
+
+def rebind_compiled(graph: TimedSignalGraph, base: CompiledGraph) -> CompiledGraph:
+    """Install a delay-rebound compiled structure on ``graph``.
+
+    For bulk delay sweeps (Monte-Carlo sampling, interval corners,
+    bottleneck shaving): ``graph`` must be structurally identical to
+    ``base.graph`` — same events and arcs, only delays changed — which
+    holds for any :meth:`TimedSignalGraph.copy` mutated exclusively via
+    :meth:`set_delay`.  The structural classifications (repetitive,
+    border, initial events) and the compiled topology are carried over,
+    so re-analysis costs O(m) instead of a full recompilation; callers
+    then pass ``check=False`` to :func:`~repro.core.compute_cycle_time`.
+    """
+    donor = base.graph
+    graph.cached("repetitive", lambda: donor.repetitive_events)
+    graph.cached("border", lambda: donor.border_events)
+    graph.cached("initial", lambda: donor.initial_events)
+    rebound = CompiledGraph.rebound(base, graph)
+    return graph.cached(_CACHE_KEY, lambda: rebound)
+
+
+def resolve_kernel(graph: TimedSignalGraph, kernel: Optional[str]) -> str:
+    """Normalise a kernel selector to ``exact``/``float``/``legacy``.
+
+    ``auto`` (the default everywhere) keeps exact arithmetic whenever
+    every delay is an ``int`` or :class:`~fractions.Fraction` — so
+    auto-selected results are bit-identical to the legacy path — and
+    takes the float64 fast path when float delays are present (where
+    the legacy path computed floats anyway).
+    """
+    if kernel is None or kernel == "auto":
+        return "exact" if graph.is_exact else "float"
+    if kernel not in ("exact", "float", "legacy"):
+        raise SignalGraphError(
+            "unknown kernel %r (choose from %s)" % (kernel, ", ".join(KERNELS))
+        )
+    return kernel
+
+
+# ----------------------------------------------------------------------
+# the kernels
+# ----------------------------------------------------------------------
+def _sweep(buffer: list, rows: Sequence[Row], init) -> None:
+    """Relax one period's program inside the rolling buffer.
+
+    ``init`` is the MAX identity for the simulation kind: ``0`` for the
+    global simulation (instances with no predecessors occur at time 0;
+    all candidates are non-negative, so pre-seeding 0 never changes a
+    maximum) and ``-inf`` for event-initiated simulations (no defined
+    predecessor leaves the instance undefined).  ``-inf`` operands flow
+    through additions and comparisons exactly like the paper's
+    neglected arcs, so the loop needs no definedness branch.
+    """
+    for target, arcs in rows:
+        best = init
+        for offset, delay in arcs:
+            candidate = buffer[offset] + delay
+            if candidate > best:
+                best = candidate
+        buffer[target] = best
+
+
+def _generate(rows: Sequence[Row]):
+    """Specialise one float program to a straight-line Python function.
+
+    Emits one assignment per event — loop, unpacking and delay-lookup
+    overhead all disappear; float delays are inlined as repr literals
+    (repr round-trips float64 exactly).  ``empty`` supplies the value
+    of no-predecessor rows: 0.0 for global simulations, -inf for
+    event-initiated ones, so one generated function serves both kinds.
+    """
+    lines = ["def _kernel(b, empty):"]
+    for target, arcs in rows:
+        if not arcs:
+            lines.append("    b[%d] = empty" % target)
+        elif len(arcs) == 1:
+            offset, delay = arcs[0]
+            lines.append("    b[%d] = b[%d] + %r" % (target, offset, delay))
+        else:
+            offset, delay = arcs[0]
+            lines.append("    _a = b[%d] + %r" % (offset, delay))
+            for offset, delay in arcs[1:]:
+                lines.append("    _c = b[%d] + %r" % (offset, delay))
+                lines.append("    if _c > _a: _a = _c")
+            lines.append("    b[%d] = _a" % target)
+    namespace: dict = {}
+    exec(compile("\n".join(lines), "<repro-kernel>", "exec"), namespace)
+    return namespace["_kernel"]
+
+
+def _run_periods(
+    cg: CompiledGraph, times: list, buffer: list, periods: int, float_mode: bool, init
+) -> None:
+    """Replay periods 1..periods and flush each into ``times``."""
+    n = cg.n
+    _, p1, ps = cg.programs(float_mode)
+    fns = cg.float_kernels() if float_mode else None
+    nonrep = cg.nonrep_ids
+    for period in range(1, periods + 1):
+        buffer[:n] = buffer[n:]
+        if fns is not None:
+            (fns[1] if period == 1 else fns[2])(buffer, init)
+        else:
+            _sweep(buffer, p1 if period == 1 else ps, init)
+        kn = period * n
+        times[kn:kn + n] = buffer[n:]
+        # Non-repetitive events have no instance beyond period 0; their
+        # buffer slots carry stale period-0 values (never read by the
+        # repetitive-only programs) which must not leak into the result.
+        for tid in nonrep:
+            times[kn + tid] = NEG_INF
+
+
+def run_global(cg: CompiledGraph, periods: int, float_mode: bool) -> list:
+    """Flat times of the global timing simulation ``t(f)``."""
+    n = cg.n
+    zero = 0.0 if float_mode else 0
+    times = [NEG_INF] * ((periods + 1) * n)
+    buffer = [NEG_INF] * (2 * n)
+    fns = cg.float_kernels() if float_mode else None
+    if fns is not None:
+        fns[0](buffer, zero)
+    else:
+        _sweep(buffer, cg.programs(float_mode)[0], zero)
+    times[0:n] = buffer[n:]
+    _run_periods(cg, times, buffer, periods, float_mode, zero)
+    return times
+
+
+def run_initiated(
+    cg: CompiledGraph, origin_id: int, periods: int, float_mode: bool
+) -> list:
+    """Flat times of the event-initiated simulation ``t_g(f)``.
+
+    Instances topologically before the origin stay at the ``-inf``
+    sentinel (the paper assigns them "the past"); later instances
+    maximise over *defined* predecessors only, which the sentinel
+    arithmetic handles without branching.  The period-0 prefix depends
+    on the origin, so that one period is always interpreted; periods
+    1.. replay the shared (possibly code-generated) programs.
+    """
+    n = cg.n
+    p0 = cg.programs(float_mode)[0]
+    times = [NEG_INF] * ((periods + 1) * n)
+    buffer = [NEG_INF] * (2 * n)
+    buffer[n + origin_id] = 0.0 if float_mode else 0
+    # Ids equal topological positions, so the period-0 instances after
+    # the origin are exactly the rows origin_id+1 .. n-1.
+    _sweep(buffer, p0[origin_id + 1:], NEG_INF)
+    times[0:n] = buffer[n:]
+    _run_periods(cg, times, buffer, periods, float_mode, NEG_INF)
+    return times
+
+
+def argmax_slot(
+    cg: CompiledGraph, times: list, slot: int, float_mode: bool
+) -> Optional[int]:
+    """Recover the argmax predecessor slot of a defined instance.
+
+    The kernels do not track argmax in the hot loop; re-scanning the
+    queried instance's in-arc program and taking the *first* candidate
+    that equals its time reproduces the legacy strict-``>`` tie-break
+    (the first maximal predecessor in graph in-arc order).  Undefined
+    predecessors re-evaluate to ``-inf`` and can never match a defined
+    time, so they are skipped for free.
+    """
+    target = times[slot]
+    if target == NEG_INF:
+        return None
+    n = cg.n
+    period, tid = divmod(slot, n)
+    # Program offsets address the rolling buffer (current period at
+    # n..2n-1); shift them back to absolute slots of this period.
+    shift = (period - 1) * n
+    for offset, delay in cg.arcs_for(tid, period, float_mode):
+        if times[offset + shift] + delay == target:
+            return offset + shift
+    return None
+
+
+# ----------------------------------------------------------------------
+# batched border-event driver
+# ----------------------------------------------------------------------
+def run_border_simulations(
+    graph: TimedSignalGraph,
+    periods: Optional[int] = None,
+    kernel: str = "auto",
+    workers: Optional[int] = None,
+    border: Optional[Sequence[Event]] = None,
+):
+    """Run all border-initiated simulations against one compiled graph.
+
+    Returns ``{border_event: EventInitiatedSimulation}`` in border
+    order — the input of the cycle-time algorithm's distance collection.
+    ``workers`` > 1 fans the ``b`` simulations out over a thread pool;
+    the compiled structure is built once up front and shared read-only,
+    so the workers are safe (the pure-Python kernels still serialise on
+    the GIL, so this mainly helps when delays trigger non-trivial
+    arithmetic such as large Fractions).
+    """
+    from .simulation import EventInitiatedSimulation
+
+    if border is None:
+        border = graph.border_events
+    else:
+        border = tuple(border)
+    if periods is None:
+        periods = len(border)
+    kernel = resolve_kernel(graph, kernel)
+    if kernel != "legacy":
+        # Build (and cache) the shared structures before any fan-out.
+        cg = compiled_graph(graph)
+        cg.programs(kernel == "float")
+
+    def simulate(event):
+        return EventInitiatedSimulation(graph, event, periods, kernel=kernel)
+
+    if workers is not None and workers > 1 and len(border) > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            simulations = list(pool.map(simulate, border))
+    else:
+        simulations = [simulate(event) for event in border]
+    return dict(zip(border, simulations))

@@ -269,6 +269,12 @@ class TimedSignalGraph:
 
     def arc(self, source, target) -> Arc:
         """The arc ``source -> target`` (KeyError if absent)."""
+        # Callers on hot paths (cycle reconstruction, slack tables)
+        # already hold canonical events; try the raw key before paying
+        # for coercion.
+        found = self._arcs.get((source, target))
+        if found is not None:
+            return found
         return self._arcs[(as_event(source), as_event(target))]
 
     def has_arc(self, source, target) -> bool:
@@ -301,10 +307,20 @@ class TimedSignalGraph:
     # ------------------------------------------------------------------
     # derived classifications (cached)
     # ------------------------------------------------------------------
-    def _cached(self, key, compute):
+    def cached(self, key, compute):
+        """Memoise ``compute()`` under ``key`` until the next mutation.
+
+        Public hook for derived structures built from the graph (the
+        compiled simulation kernel, unfoldings, classifications): any
+        mutation (:meth:`add_arc`, :meth:`set_delay`, ...) clears the
+        cache, so stale structures are never served.
+        """
         if key not in self._cache:
             self._cache[key] = compute()
         return self._cache[key]
+
+    # Backwards-compatible internal alias.
+    _cached = cached
 
     @property
     def repetitive_events(self) -> frozenset:
@@ -374,10 +390,16 @@ class TimedSignalGraph:
         """True when every delay is an int or Fraction.
 
         Exact graphs yield exact (:class:`fractions.Fraction`) cycle
-        times; graphs with float delays yield float results.
+        times; graphs with float delays yield float results.  The
+        kernel auto-selection in :mod:`repro.core.kernel` keys off this
+        flag, so it is cached alongside the other classifications.
         """
-        return all(
-            isinstance(arc.delay, (int, Fraction)) for arc in self._arcs.values()
+        return self.cached(
+            "is_exact",
+            lambda: all(
+                isinstance(arc.delay, (int, Fraction))
+                for arc in self._arcs.values()
+            ),
         )
 
     # ------------------------------------------------------------------

@@ -16,11 +16,25 @@ Two simulations are defined over the unfolding:
   their out-arcs are neglected*; reachable instances maximise over
   predecessors that are ``g`` itself or successors of ``g``.
 
-Both simulations record the argmax predecessor of every instance, so
+Both simulations expose the argmax predecessor of every instance, so
 the longest (critical) path through the unfolding can be backtracked —
 this is how the main algorithm recovers the critical cycle
 (Proposition 1 establishes that ``t_g(f)`` equals the longest path
 length from ``g`` to ``f``).
+
+Since the compiled-kernel rework the default execution engine is
+:mod:`repro.core.kernel`: times live in a flat list indexed by
+``event_id + period * n`` instead of a dict keyed by ``(event, index)``
+tuples, and argmax predecessors are recovered lazily on demand.  The
+``kernel`` constructor argument selects the engine:
+
+* ``"auto"`` (default) — exact kernel for int/Fraction delays, float64
+  kernel when float delays are present;
+* ``"exact"`` / ``"float"`` — force one compiled kernel;
+* ``"legacy"`` — the original dict-based reference loops, kept for
+  cross-validation (see ``tests/core/test_kernel_properties.py``).
+
+All query methods behave identically across engines.
 """
 
 from __future__ import annotations
@@ -30,26 +44,72 @@ from typing import Dict, List, Optional, Tuple
 from .arithmetic import Number
 from .errors import SimulationError
 from .events import event_label
+from .kernel import (
+    NEG_INF,
+    argmax_slot,
+    compiled_graph,
+    resolve_kernel,
+    run_global,
+    run_initiated,
+)
 from .signal_graph import Event, TimedSignalGraph
 from .unfolding import Instance, Unfolding, instance_label
 
 
 class _SimulationBase:
-    """Shared storage and backtracking for both simulation kinds."""
+    """Shared storage, queries and backtracking for both simulation kinds.
 
-    def __init__(self, graph: TimedSignalGraph, periods: int, unfolding: Optional[Unfolding]):
+    Two storage backends sit behind one query API: the compiled kernels
+    fill ``_flat`` (a slot-indexed list with ``-inf`` marking undefined
+    instances), while the legacy engine fills the ``_times``/``_argmax``
+    dicts exactly as the original implementation did.
+    """
+
+    def __init__(
+        self,
+        graph: TimedSignalGraph,
+        periods: int,
+        unfolding: Optional[Unfolding],
+        kernel: str = "auto",
+    ):
         if periods < 0:
             raise SimulationError("periods must be non-negative, got %d" % periods)
         self.graph = graph
         self.periods = periods
-        self.unfolding = unfolding if unfolding is not None else Unfolding(graph)
-        self._times: Dict[Instance, Number] = {}
-        self._argmax: Dict[Instance, Optional[Instance]] = {}
+        self.kernel = resolve_kernel(graph, kernel)
+        self._unfolding = unfolding
+        self._times: Optional[Dict[Instance, Number]] = None
+        self._argmax: Optional[Dict[Instance, Optional[Instance]]] = None
+        self._flat: Optional[list] = None
+        self._cg = None
+        self._argmax_cache: Optional[dict] = None
+        if self.kernel == "legacy":
+            self._times = {}
+            self._argmax = {}
+            if self._unfolding is None:
+                self._unfolding = Unfolding(graph)
+        else:
+            # Raises NotLiveError for non-live graphs, like Unfolding.
+            self._cg = compiled_graph(graph)
+            self._argmax_cache = {}
+
+    @property
+    def unfolding(self) -> Unfolding:
+        """The (lazily created) unfolding backing this simulation."""
+        if self._unfolding is None:
+            self._unfolding = Unfolding(self.graph)
+        return self._unfolding
 
     # -- queries -------------------------------------------------------
+    def _slot(self, event: Event, index: int) -> int:
+        return self._cg.slot(event, index, self.periods)
+
     def defined(self, event: Event, index: int = 0) -> bool:
         """Was a time computed for instance ``(event, index)``?"""
-        return (event, index) in self._times
+        if self._flat is None:
+            return (event, index) in self._times
+        slot = self._slot(event, index)
+        return slot >= 0 and self._flat[slot] != NEG_INF
 
     def time(self, event: Event, index: int = 0) -> Number:
         """Occurrence time of instance ``(event, index)``.
@@ -58,21 +118,58 @@ class _SimulationBase:
         instances outside the simulated prefix (or, for event-initiated
         simulations, not reachable from the initiating instance).
         """
-        try:
-            return self._times[(event, index)]
-        except KeyError:
-            raise SimulationError(
-                "no simulated time for %s" % instance_label((event, index))
-            ) from None
+        if self._flat is None:
+            try:
+                return self._times[(event, index)]
+            except KeyError:
+                raise SimulationError(
+                    "no simulated time for %s" % instance_label((event, index))
+                ) from None
+        slot = self._slot(event, index)
+        if slot >= 0:
+            value = self._flat[slot]
+            if value != NEG_INF:
+                return value
+        raise SimulationError(
+            "no simulated time for %s" % instance_label((event, index))
+        )
 
     @property
     def times(self) -> Dict[Instance, Number]:
         """All computed occurrence times, keyed by instance."""
-        return dict(self._times)
+        if self._flat is None:
+            return dict(self._times)
+        cg = self._cg
+        flat = self._flat
+        order = cg.order
+        n = cg.n
+        result: Dict[Instance, Number] = {}
+        for period in range(self.periods + 1):
+            kn = period * n
+            ids = range(n) if period == 0 else cg.rep_ids
+            for tid in ids:
+                value = flat[tid + kn]
+                if value != NEG_INF:
+                    result[(order[tid], period)] = value
+        return result
 
     def predecessor(self, instance: Instance) -> Optional[Instance]:
         """The argmax predecessor of ``instance`` on the longest path."""
-        return self._argmax.get(instance)
+        if self._flat is None:
+            return self._argmax.get(instance)
+        event, index = instance
+        slot = self._slot(event, index)
+        if slot < 0 or self._flat[slot] == NEG_INF:
+            return None
+        cache = self._argmax_cache
+        if slot not in cache:
+            pred_slot = argmax_slot(
+                self._cg, self._flat, slot, self.kernel == "float"
+            )
+            cache[slot] = (
+                None if pred_slot is None else self._cg.instance_of(pred_slot)
+            )
+        return cache[slot]
 
     def critical_path(self, event: Event, index: int = 0) -> List[Instance]:
         """Longest path ending at ``(event, index)``, earliest first.
@@ -80,22 +177,36 @@ class _SimulationBase:
         Follows argmax predecessors back to an instance with no
         predecessor (time zero).
         """
-        instance: Optional[Instance] = (event, index)
-        if instance not in self._times:
+        if not self.defined(event, index):
             raise SimulationError(
                 "no simulated time for %s" % instance_label((event, index))
             )
+        if self._flat is not None:
+            # Backtrack in slot space: critical paths span every period,
+            # so skipping the per-step instance tuples and cache lookups
+            # matters for long unfoldings.
+            cg = self._cg
+            flat = self._flat
+            float_mode = self.kernel == "float"
+            slots: List[int] = []
+            slot: Optional[int] = self._slot(event, index)
+            while slot is not None:
+                slots.append(slot)
+                slot = argmax_slot(cg, flat, slot, float_mode)
+            slots.reverse()
+            return [cg.instance_of(position) for position in slots]
         path: List[Instance] = []
+        instance: Optional[Instance] = (event, index)
         while instance is not None:
             path.append(instance)
-            instance = self._argmax.get(instance)
+            instance = self.predecessor(instance)
         path.reverse()
         return path
 
     def signal_history(self) -> Dict[Event, List[Tuple[int, Number]]]:
         """Per-event list of ``(index, time)`` pairs, sorted by index."""
         history: Dict[Event, List[Tuple[int, Number]]] = {}
-        for (event, index), value in self._times.items():
+        for (event, index), value in self.times.items():
             history.setdefault(event, []).append((index, value))
         for pairs in history.values():
             pairs.sort()
@@ -105,7 +216,7 @@ class _SimulationBase:
         """Instances with times, ordered by time then label (for display)."""
         rows = [
             (instance_label(instance), value)
-            for instance, value in self._times.items()
+            for instance, value in self.times.items()
         ]
         rows.sort(key=lambda row: (float(row[1]), row[0]))
         return rows
@@ -125,11 +236,15 @@ class TimingSimulation(_SimulationBase):
         graph: TimedSignalGraph,
         periods: int,
         unfolding: Optional[Unfolding] = None,
+        kernel: str = "auto",
     ):
-        super().__init__(graph, periods, unfolding)
-        self._run()
+        super().__init__(graph, periods, unfolding, kernel)
+        if self.kernel == "legacy":
+            self._run_legacy()
+        else:
+            self._flat = run_global(self._cg, periods, self.kernel == "float")
 
-    def _run(self) -> None:
+    def _run_legacy(self) -> None:
         times = self._times
         argmax = self._argmax
         unfolding = self.unfolding
@@ -172,8 +287,9 @@ class EventInitiatedSimulation(_SimulationBase):
         initiator,
         periods: int,
         unfolding: Optional[Unfolding] = None,
+        kernel: str = "auto",
     ):
-        super().__init__(graph, periods, unfolding)
+        super().__init__(graph, periods, unfolding, kernel)
         from .events import as_event
 
         self.initiator = as_event(initiator)
@@ -182,7 +298,15 @@ class EventInitiatedSimulation(_SimulationBase):
                 "initiating event %s is not in the graph"
                 % event_label(self.initiator)
             )
-        self._run()
+        if self.kernel == "legacy":
+            self._run_legacy()
+        else:
+            self._flat = run_initiated(
+                self._cg,
+                self._cg.id_of[self.initiator],
+                periods,
+                self.kernel == "float",
+            )
 
     @property
     def origin(self) -> Instance:
@@ -191,9 +315,9 @@ class EventInitiatedSimulation(_SimulationBase):
 
     def reachable(self, event: Event, index: int = 0) -> bool:
         """Is ``(event, index)`` a (reflexive) successor of the origin?"""
-        return (event, index) in self._times
+        return self.defined(event, index)
 
-    def _run(self) -> None:
+    def _run_legacy(self) -> None:
         times = self._times
         argmax = self._argmax
         unfolding = self.unfolding
@@ -235,8 +359,17 @@ class EventInitiatedSimulation(_SimulationBase):
         Only reachable instances appear (``i`` starting at 1).
         """
         result = []
+        if self._flat is None:
+            for index in range(1, self.periods + 1):
+                instance = (self.initiator, index)
+                if instance in self._times:
+                    result.append((index, self._times[instance]))
+            return result
+        flat = self._flat
+        n = self._cg.n
+        tid = self._cg.id_of[self.initiator]
         for index in range(1, self.periods + 1):
-            instance = (self.initiator, index)
-            if instance in self._times:
-                result.append((index, self._times[instance]))
+            value = flat[tid + index * n]
+            if value != NEG_INF:
+                result.append((index, value))
         return result

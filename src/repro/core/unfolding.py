@@ -17,12 +17,10 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Tuple
 
-import networkx as nx
-
-from .errors import NotLiveError, SimulationError
+from .errors import SimulationError
 from .events import event_label
+from .kernel import compiled_graph
 from .signal_graph import Arc, Event, TimedSignalGraph
-from .validation import find_unmarked_cycle, unmarked_subgraph
 
 #: An unfolding node: (event, instantiation index).
 Instance = Tuple[Event, int]
@@ -38,32 +36,19 @@ class Unfolding:
     """Arithmetic view of the unfolding of a live Signal Graph."""
 
     def __init__(self, graph: TimedSignalGraph):
-        cycle = find_unmarked_cycle(graph)
-        if cycle is not None:
-            raise NotLiveError(
-                "cannot unfold a non-live graph (token-free cycle exists)",
-                cycle=cycle,
-            )
+        # The compiled kernel structure (cached on the graph, rebuilt on
+        # mutation) already performs the liveness check and owns the
+        # topological order of the unmarked subgraph — one global order
+        # giving the intra-period firing order; cross-period arcs always
+        # point forward because markings are non-negative.
+        compiled = compiled_graph(graph)
         self.graph = graph
         self._repetitive = graph.repetitive_events
-        # One global topological order of the unmarked subgraph gives the
-        # intra-period firing order; cross-period arcs always point
-        # forward because markings are non-negative.
-        self._topo_all: List[Event] = list(
-            nx.topological_sort(unmarked_subgraph(graph))
-        )
-        self._topo_repetitive: List[Event] = [
-            event for event in self._topo_all if event in self._repetitive
-        ]
+        self._topo_all: List[Event] = compiled.order
+        self._topo_repetitive: List[Event] = compiled.topo_repetitive
         # Compact per-event in-arc structure for the simulation hot
         # loops: (source, tokens, delay, source_is_repetitive).
-        self._in_compact = {
-            event: tuple(
-                (arc.source, arc.tokens, arc.delay, arc.source in self._repetitive)
-                for arc in graph.in_arcs(event)
-            )
-            for event in graph.events
-        }
+        self._in_compact = compiled.in_compact
 
     def compact_in_arcs(self, event: Event):
         """Hot-loop view of an event's in-arcs.
@@ -77,7 +62,7 @@ class Unfolding:
     # ------------------------------------------------------------------
     def exists(self, event: Event, index: int) -> bool:
         """Does instance ``(event, index)`` appear in the unfolding?"""
-        if index < 0 or event not in self.graph._events:
+        if index < 0 or not self.graph.has_event(event):
             return False
         if index == 0:
             return True

@@ -1,0 +1,119 @@
+"""Property-based cross-validation of the compiled simulation kernels.
+
+The legacy dict-based loops (``kernel="legacy"``) are the executable
+specification; the compiled exact and float kernels must agree with
+them on random live graphs — times, argmax backtracks and cycle times.
+The exact kernel must agree *bit for bit* (same ints/Fractions); the
+float kernel to float tolerance.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core import (
+    EventInitiatedSimulation,
+    TimingSimulation,
+    compute_cycle_time,
+)
+from repro.core.kernel import CODEGEN_THRESHOLD, compiled_graph
+from repro.generators import ring_with_chords
+
+from tests.strategies import live_tsgs
+
+COMMON = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+PERIODS = 3
+
+
+def _floatified(graph):
+    """A copy with the same structure but strictly float delays."""
+    clone = graph.copy(name=graph.name + "-float")
+    for arc in graph.arcs:
+        clone.set_delay(arc.source, arc.target, float(arc.delay) * 1.25)
+    return clone
+
+
+@COMMON
+@given(graph=live_tsgs())
+def test_exact_kernel_matches_legacy_global(graph):
+    legacy = TimingSimulation(graph, PERIODS, kernel="legacy")
+    exact = TimingSimulation(graph, PERIODS, kernel="exact")
+    assert legacy.times == exact.times
+    for event in graph.events:
+        assert legacy.critical_path(event, 0) == exact.critical_path(event, 0)
+
+
+@COMMON
+@given(graph=live_tsgs())
+def test_exact_kernel_matches_legacy_initiated(graph):
+    for initiator in graph.border_events:
+        legacy = EventInitiatedSimulation(graph, initiator, PERIODS, kernel="legacy")
+        exact = EventInitiatedSimulation(graph, initiator, PERIODS, kernel="exact")
+        assert legacy.times == exact.times
+        assert legacy.initiator_times() == exact.initiator_times()
+        for index, _ in legacy.initiator_times():
+            assert legacy.critical_path(initiator, index) == exact.critical_path(
+                initiator, index
+            )
+
+
+@COMMON
+@given(graph=live_tsgs())
+def test_exact_cycle_time_bit_identical_to_legacy(graph):
+    legacy = compute_cycle_time(graph, kernel="legacy")
+    exact = compute_cycle_time(graph, kernel="exact")
+    assert legacy.cycle_time == exact.cycle_time
+    assert type(legacy.cycle_time) is type(exact.cycle_time)
+    assert sorted(cycle.events for cycle in legacy.critical_cycles) == sorted(
+        cycle.events for cycle in exact.critical_cycles
+    )
+    assert [
+        (rec.border_event, rec.period, rec.time) for rec in legacy.distances
+    ] == [(rec.border_event, rec.period, rec.time) for rec in exact.distances]
+
+
+@COMMON
+@given(graph=live_tsgs())
+def test_float_kernel_approximates_legacy(graph):
+    clone = _floatified(graph)
+    legacy = TimingSimulation(clone, PERIODS, kernel="legacy")
+    fast = TimingSimulation(clone, PERIODS, kernel="float")
+    legacy_times = legacy.times
+    fast_times = fast.times
+    assert legacy_times.keys() == fast_times.keys()
+    for instance, value in legacy_times.items():
+        assert fast_times[instance] == pytest.approx(value)
+    legacy_result = compute_cycle_time(clone, kernel="legacy")
+    fast_result = compute_cycle_time(clone, kernel="float")
+    assert fast_result.cycle_time == pytest.approx(legacy_result.cycle_time)
+
+
+@COMMON
+@given(graph=live_tsgs())
+def test_auto_kernel_stays_exact_on_exact_graphs(graph):
+    result = compute_cycle_time(graph)  # kernel defaults to auto
+    reference = compute_cycle_time(graph, kernel="legacy")
+    assert result.cycle_time == reference.cycle_time
+    assert isinstance(result.cycle_time, (int, Fraction))
+
+
+def test_codegen_tier_matches_interpreted_tier():
+    """The straight-line generated float code reproduces the
+    interpreted float sweep exactly (same expression shapes, same
+    float64 operations)."""
+    graph = ring_with_chords(stages=40, tokens=2, chords=12, seed=5)
+    clone = _floatified(graph)
+    interpreted = compute_cycle_time(clone, kernel="float")
+    for _ in range(CODEGEN_THRESHOLD + 2):
+        warmed = compute_cycle_time(clone, check=False, kernel="float")
+    assert compiled_graph(clone)._float_fns is not None
+    assert warmed.cycle_time == interpreted.cycle_time
+    assert sorted(cycle.events for cycle in warmed.critical_cycles) == sorted(
+        cycle.events for cycle in interpreted.critical_cycles
+    )
