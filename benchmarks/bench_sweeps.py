@@ -1,0 +1,130 @@
+"""Batched delay-sweep throughput vs the per-sample rebind loop.
+
+The batch kernel (:func:`repro.core.run_border_simulations_batch`)
+advances S delay bindings in lockstep through one compiled arc
+program, so a Monte-Carlo run pays the Python interpreter once per
+period instead of once per sample.  These benchmarks measure
+Monte-Carlo samples/sec for both paths across graph sizes and batch
+widths, and assert the headline recorded in ``BENCH_montecarlo.json``
+(see ``scripts/bench_to_json.py --suite montecarlo``): the batched
+sweep is at least 5x the per-sample loop at S=1000 on the 200-stage
+scaling graph — with bit-identical λ samples, since IEEE float64
+addition and maximum do not care how the bindings are laid out.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.analysis import monte_carlo_cycle_time, uniform_spread
+from repro.generators import ring_with_chords
+
+SIZES = [50, 100, 200]
+BATCHES = [100, 1000]
+
+#: The acceptance target: the 200-stage scaling-suite graph, S=1000.
+HEADLINE = dict(stages=200, tokens=4, chords=50, seed=7)
+HEADLINE_SAMPLES = 1000
+
+WARMUP = 2
+SPREAD = uniform_spread(0.1)
+
+
+def _graph(stages):
+    return ring_with_chords(stages=stages, tokens=4, chords=stages // 4, seed=7)
+
+
+def _best_of(fn, reps=3):
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _run(graph, samples, method):
+    return monte_carlo_cycle_time(
+        graph, SPREAD, samples=samples, seed=0,
+        track_criticality=False, method=method,
+    )
+
+
+@pytest.mark.parametrize("samples", BATCHES)
+@pytest.mark.parametrize("stages", SIZES)
+def test_batch_sweep_speed(benchmark, stages, samples):
+    graph = _graph(stages)
+    for _ in range(WARMUP):
+        _run(graph, samples, "batch")
+    result = benchmark(_run, graph, samples, "batch")
+    assert result.count == samples
+    emit(
+        "batch Monte-Carlo, n=%d, S=%d" % (stages, samples),
+        "%.0f samples/sec" % (samples / benchmark.stats.stats.mean),
+    )
+
+
+@pytest.mark.parametrize("stages", SIZES)
+def test_persample_reference_speed(benchmark, stages):
+    graph = _graph(stages)
+    samples = 100  # the slow path; keep the suite's runtime bounded
+    for _ in range(WARMUP):
+        _run(graph, samples, "persample")
+    result = benchmark(_run, graph, samples, "persample")
+    assert result.count == samples
+    emit(
+        "per-sample Monte-Carlo, n=%d, S=%d" % (stages, samples),
+        "%.0f samples/sec" % (samples / benchmark.stats.stats.mean),
+    )
+
+
+def test_montecarlo_headline_speedup():
+    """The acceptance bar: batched sweep >= 5x the per-sample rebind
+    loop at S=1000 on the 200-stage graph, bit-identically."""
+    graph = ring_with_chords(**HEADLINE)
+    for _ in range(WARMUP):
+        _run(graph, HEADLINE_SAMPLES, "batch")
+    batch = _best_of(lambda: _run(graph, HEADLINE_SAMPLES, "batch"))
+    loop = _best_of(lambda: _run(graph, HEADLINE_SAMPLES, "persample"))
+    speedup = loop / batch
+    batched = _run(graph, HEADLINE_SAMPLES, "batch")
+    reference = _run(graph, HEADLINE_SAMPLES, "persample")
+    assert np.array_equal(batched.samples, reference.samples)
+    emit(
+        "batched Monte-Carlo headline (n=200, S=1000)",
+        "per-sample %.0f samples/sec, batch %.0f samples/sec -> %.1fx"
+        % (HEADLINE_SAMPLES / loop, HEADLINE_SAMPLES / batch, speedup),
+    )
+    assert speedup >= 5.0, "batched sweep only %.1fx the per-sample loop" % speedup
+
+
+def test_chunked_sweep_matches_and_stays_fast():
+    """Chunking bounds memory without giving up the vectorized win."""
+    graph = _graph(100)
+    samples = 1000
+    whole = _run(graph, samples, "batch")
+    chunked = monte_carlo_cycle_time(
+        graph, SPREAD, samples=samples, seed=0,
+        track_criticality=False, batch_size=128, workers=2,
+    )
+    assert np.array_equal(whole.samples, chunked.samples)
+    for _ in range(WARMUP):
+        monte_carlo_cycle_time(
+            graph, SPREAD, samples=samples, seed=0,
+            track_criticality=False, batch_size=128,
+        )
+    timed = _best_of(
+        lambda: monte_carlo_cycle_time(
+            graph, SPREAD, samples=samples, seed=0,
+            track_criticality=False, batch_size=128,
+        )
+    )
+    loop = _best_of(lambda: _run(graph, 100, "persample")) * (samples / 100)
+    emit(
+        "chunked batch Monte-Carlo (n=100, S=1000, batch_size=128)",
+        "%.0f samples/sec (%.1fx the per-sample loop)"
+        % (samples / timed, loop / timed),
+    )
+    assert timed < loop

@@ -1,12 +1,20 @@
 #!/usr/bin/env python
-"""Measure the kernel speedups and record them as BENCH_cycle_time.json.
+"""Measure the kernel speedups and record them as JSON.
 
-Times the legacy, exact and float engines — border simulations and
-end-to-end ``compute_cycle_time`` — on the scaling-suite graphs and
-writes the machine-readable record the README's performance note and
-CI smoke check consume::
+Two suites::
 
-    PYTHONPATH=src python scripts/bench_to_json.py [-o BENCH_cycle_time.json]
+    PYTHONPATH=src python scripts/bench_to_json.py [--suite kernels]
+    PYTHONPATH=src python scripts/bench_to_json.py --suite montecarlo
+
+``kernels`` (the default) times the legacy, exact and float engines —
+border simulations and end-to-end ``compute_cycle_time`` — on the
+scaling-suite graphs and writes ``BENCH_cycle_time.json``.
+
+``montecarlo`` times Monte-Carlo sweep throughput (samples/sec) for
+the batched vectorized kernel vs the per-sample rebind loop across
+graph sizes and batch widths, verifies the two paths produce
+bit-identical λ samples, and writes ``BENCH_montecarlo.json``.  Both
+records feed the README's performance notes and the CI smoke checks.
 
 Timings are best-of-N wall clock after warmup (the float kernel's
 code-generation tier activates during warmup, as it does in any
@@ -26,6 +34,9 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
 )
 
+import numpy as np  # noqa: E402
+
+from repro.analysis import monte_carlo_cycle_time, uniform_spread  # noqa: E402
 from repro.core import compute_cycle_time, run_border_simulations  # noqa: E402
 from repro.generators import ring_with_chords  # noqa: E402
 
@@ -33,6 +44,11 @@ KERNELS = ("legacy", "exact", "float")
 SIZES = (100, 400, 800)
 WARMUP = 8
 REPS = 15
+
+MC_SIZES = (50, 100, 200)
+MC_BATCHES = (100, 1000)
+MC_WARMUP = 2
+MC_REPS = 3
 
 
 def best_of(fn, reps=REPS):
@@ -72,22 +88,123 @@ def measure(stages):
     return row
 
 
+def measure_montecarlo(stages, batches):
+    graph = ring_with_chords(stages=stages, tokens=4, chords=stages // 4, seed=7)
+    sampler = uniform_spread(0.1)
+
+    def run(samples, method):
+        return monte_carlo_cycle_time(
+            graph, sampler, samples=samples, seed=0,
+            track_criticality=False, method=method,
+        )
+
+    row = {
+        "stages": stages,
+        "events": graph.num_events,
+        "arcs": graph.num_arcs,
+        "border_events": len(graph.border_events),
+        "sweeps": [],
+    }
+    for samples in batches:
+        for _ in range(MC_WARMUP):
+            run(samples, "batch")
+        batch = best_of(lambda: run(samples, "batch"), reps=MC_REPS)
+        loop = best_of(lambda: run(samples, "persample"), reps=MC_REPS)
+        identical = bool(
+            np.array_equal(
+                run(samples, "batch").samples, run(samples, "persample").samples
+            )
+        )
+        row["sweeps"].append(
+            {
+                "samples": samples,
+                "batch_samples_per_sec": samples / batch,
+                "persample_samples_per_sec": samples / loop,
+                "speedup": loop / batch,
+                "identical": identical,
+            }
+        )
+    return row
+
+
+def run_montecarlo_suite(sizes, batches, output):
+    rows = []
+    for stages in sizes:
+        row = measure_montecarlo(stages, batches)
+        rows.append(row)
+        for sweep in row["sweeps"]:
+            print(
+                "n=%-4d S=%-5d  per-sample %8.0f samples/sec  "
+                "batch %8.0f samples/sec (%.1fx)  identical=%s"
+                % (
+                    stages,
+                    sweep["samples"],
+                    sweep["persample_samples_per_sec"],
+                    sweep["batch_samples_per_sec"],
+                    sweep["speedup"],
+                    sweep["identical"],
+                )
+            )
+    headline = rows[-1]["sweeps"][-1]
+    document = {
+        "benchmark": "batched Monte-Carlo delay sweep vs per-sample rebind loop",
+        "workload": "ring_with_chords(stages=n, tokens=4, chords=n/4, seed=7), "
+        "uniform_spread(0.1), track_criticality=False",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "warmup_runs": MC_WARMUP,
+        "timer": "best of %d, wall clock" % MC_REPS,
+        "rows": rows,
+        "headline": {
+            "graph": "stages=%d" % rows[-1]["stages"],
+            "samples": headline["samples"],
+            "batch_samples_per_sec": headline["batch_samples_per_sec"],
+            "persample_samples_per_sec": headline["persample_samples_per_sec"],
+            "speedup": headline["speedup"],
+            "identical": headline["identical"],
+        },
+    }
+    with open(output, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print("wrote %s" % os.path.abspath(output))
+    return 0
+
+
 def main(argv=None) -> int:
+    root = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--suite", choices=("kernels", "montecarlo"), default="kernels",
+        help="what to measure (default: the single-analysis kernels)",
+    )
     parser.add_argument(
         "-o",
         "--output",
-        default=os.path.join(
-            os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_cycle_time.json"
-        ),
-        help="output JSON path (default: repo-root BENCH_cycle_time.json)",
+        default=None,
+        help="output JSON path (default: repo-root BENCH_cycle_time.json "
+        "or BENCH_montecarlo.json by suite)",
     )
     parser.add_argument(
-        "--sizes", default=",".join(str(s) for s in SIZES),
+        "--sizes", default=None,
         help="comma-separated ring sizes to measure",
     )
+    parser.add_argument(
+        "--samples", default=",".join(str(s) for s in MC_BATCHES),
+        help="comma-separated batch widths S (montecarlo suite only)",
+    )
     args = parser.parse_args(argv)
-    sizes = [int(part) for part in args.sizes.split(",")]
+    if args.suite == "montecarlo":
+        sizes = [
+            int(part)
+            for part in (args.sizes or ",".join(map(str, MC_SIZES))).split(",")
+        ]
+        batches = [int(part) for part in args.samples.split(",")]
+        output = args.output or os.path.join(root, "BENCH_montecarlo.json")
+        return run_montecarlo_suite(sizes, batches, output)
+    sizes = [
+        int(part) for part in (args.sizes or ",".join(map(str, SIZES))).split(",")
+    ]
     rows = []
     for stages in sizes:
         row = measure(stages)
@@ -120,10 +237,11 @@ def main(argv=None) -> int:
             "float_end_to_end_speedup": largest["end_to_end_speedup"]["float"],
         },
     }
-    with open(args.output, "w") as handle:
+    output = args.output or os.path.join(root, "BENCH_cycle_time.json")
+    with open(output, "w") as handle:
         json.dump(document, handle, indent=2)
         handle.write("\n")
-    print("wrote %s" % os.path.abspath(args.output))
+    print("wrote %s" % os.path.abspath(output))
     return 0
 
 

@@ -18,7 +18,9 @@ from .sensitivity import (
     ArcSensitivity,
     OptimizationStep,
     delay_sensitivities,
+    empirical_sensitivities,
     optimize_bottlenecks,
+    what_if_delays,
 )
 from .latency import (
     SettlingReport,
@@ -30,8 +32,10 @@ from .jitter import JitterResult, jitter_penalty, stochastic_cycle_time
 from .montecarlo import (
     DelaySampler,
     MonteCarloResult,
+    draw_delays,
     monte_carlo_cycle_time,
     normal_spread,
+    sample_delay_matrix,
     uniform_spread,
 )
 from .separation import (
@@ -57,8 +61,10 @@ __all__ = [
     "full_report",
     "DelaySampler",
     "MonteCarloResult",
+    "draw_delays",
     "monte_carlo_cycle_time",
     "normal_spread",
+    "sample_delay_matrix",
     "uniform_spread",
     "ArcSensitivity",
     "AsymptoticSeries",
@@ -69,8 +75,10 @@ __all__ = [
     "analyze",
     "delay_sensitivities",
     "delta_series",
+    "empirical_sensitivities",
     "interval_cycle_time",
     "optimize_bottlenecks",
+    "what_if_delays",
     "render_series",
     "render_timing_diagram",
     "separation_report",

@@ -16,9 +16,13 @@ firing to firing.  Two different questions follow:
   the *jitter penalty*: zero-slack systems pay for variance even when
   the mean delays are unchanged.
 
-:func:`stochastic_cycle_time` estimates λ̄ by simulating the unfolding
-with freshly sampled delays per instance arc; :func:`jitter_penalty`
-reports the penalty against the deterministic mean-delay analysis.
+:func:`stochastic_cycle_time` estimates λ̄ by replaying the batch
+kernel's compiled arc programs (:mod:`repro.core.kernel`) with a
+freshly sampled ``(R, m)`` delay matrix per period — ``R`` independent
+*replications* advance in lockstep through the same vectorized
+max-plus sweep, so tightening the estimate costs one wider NumPy
+array, not another full simulation.  :func:`jitter_penalty` reports
+the penalty against the deterministic mean-delay analysis.
 """
 
 from __future__ import annotations
@@ -31,20 +35,22 @@ import numpy as np
 from ..core.arithmetic import Number
 from ..core.cycle_time import compute_cycle_time
 from ..core.errors import SignalGraphError
-from ..core.events import as_event
+from ..core.events import as_event, event_label
+from ..core.kernel import _batch_structure_of, _batch_sweep, compiled_graph
 from ..core.signal_graph import TimedSignalGraph
-from ..core.unfolding import Unfolding
-from .montecarlo import DelaySampler
+from .montecarlo import DelaySampler, draw_delays
 
 
 @dataclass
 class JitterResult:
     """Estimated long-run behaviour under per-firing jitter."""
 
-    average_distance: float     # λ̄ estimate
+    average_distance: float     # λ̄ estimate (mean over replications)
     deterministic: float        # λ at the nominal delays
     periods: int
     seed: int
+    replications: int = 1
+    spread: float = 0.0         # std of the estimate across replications
 
     @property
     def penalty(self) -> float:
@@ -77,19 +83,28 @@ def stochastic_cycle_time(
     warmup: int = 50,
     seed: int = 0,
     witness=None,
+    replications: int = 1,
 ) -> JitterResult:
     """Estimate λ̄ by timing simulation with per-firing random delays.
 
     Runs the global timing-simulation recursion over ``periods``
-    unfolding periods, drawing a fresh delay from ``sampler`` for
-    every unfolding arc, and returns the average occurrence distance
-    of ``witness`` (default: the first border event) over the
-    post-``warmup`` stretch.
+    unfolding periods, drawing a fresh delay for every arc instance,
+    and returns the average occurrence distance of ``witness``
+    (default: the first border event; must be a repetitive event) over
+    the post-``warmup`` stretch.  ``replications`` independent runs
+    share each vectorized period sweep; ``average_distance`` is their
+    mean and ``spread`` their standard deviation.
     """
     if periods <= warmup:
         raise SignalGraphError("periods must exceed warmup")
+    if warmup < 0:
+        raise SignalGraphError("warmup must be non-negative")
+    if replications < 1:
+        raise SignalGraphError("need at least one replication")
     rng = np.random.default_rng(seed)
-    unfolding = Unfolding(graph)
+    cg = compiled_graph(graph)
+    structure = _batch_structure_of(cg)
+    n = structure.n
     if witness is None:
         border = graph.border_events
         if not border:
@@ -97,32 +112,38 @@ def stochastic_cycle_time(
         witness = border[0]
     else:
         witness = as_event(witness)
+    if witness not in graph.repetitive_events:
+        raise SignalGraphError(
+            "witness %s must be a repetitive event" % event_label(witness)
+        )
+    witness_slot = n + cg.id_of[witness]
 
-    times: Dict = {}
-    for period_index in range(periods + 1):
-        for event, index in unfolding.period(period_index):
-            best = None
-            for source, tokens, delay, source_repeats in (
-                unfolding.compact_in_arcs(event)
-            ):
-                source_index = index - tokens
-                if source_index < 0 or (source_index > 0 and not source_repeats):
-                    continue
-                jittered = sampler(rng, float(delay))
-                candidate = times[(source, source_index)] + jittered
-                if best is None or candidate > best:
-                    best = candidate
-            times[(event, index)] = 0.0 if best is None else best
+    nominal = np.asarray(
+        [float(arc.delay) for arc in graph.arcs], dtype=np.float64
+    )
+    shape = (replications, len(nominal))
+    buffer = np.zeros((replications, 2 * n), dtype=np.float64)
 
-    start_time = times[(witness, warmup)]
-    end_time = times[(witness, periods)]
-    average = (end_time - start_time) / (periods - warmup)
+    def sweep(program) -> None:
+        matrix = draw_delays(rng, sampler, nominal, shape)
+        _batch_sweep(program, matrix[:, program.cols], buffer, 0.0)
+
+    sweep(structure.p0)
+    start = buffer[:, witness_slot].copy() if warmup == 0 else None
+    for period in range(1, periods + 1):
+        buffer[:, :n] = buffer[:, n:]
+        sweep(structure.p1 if period == 1 else structure.ps)
+        if period == warmup:
+            start = buffer[:, witness_slot].copy()
+    averages = (buffer[:, witness_slot] - start) / (periods - warmup)
     deterministic = float(compute_cycle_time(graph).cycle_time)
     return JitterResult(
-        average_distance=average,
+        average_distance=float(np.mean(averages)),
         deterministic=deterministic,
         periods=periods,
         seed=seed,
+        replications=replications,
+        spread=float(np.std(averages)),
     )
 
 

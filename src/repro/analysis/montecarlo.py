@@ -10,34 +10,54 @@ distributions, re-analyses each sample, and aggregates:
   critical cycle across samples, the probabilistic generalisation of
   the deterministic sensitivity ranking.
 
-Because the deterministic analysis is exact and fast, a few thousand
-samples run in seconds on circuit-sized graphs.  Sampling uses
-``numpy.random.Generator`` with an explicit seed for reproducibility.
+Since the batched kernel rework the S sampled bindings advance
+through one compiled arc program in lockstep
+(:func:`~repro.core.kernel.run_border_simulations_batch`): the sampled
+delays form one ``(S, m)`` matrix, λ per sample falls out of a
+vectorized max, and critical cycles are backtracked lazily — only when
+``track_criticality`` is on, and then only for the winning border
+simulation of each sample.  ``method="persample"`` keeps the original
+rebind-per-trial loop as the executable reference; both methods
+consume the same sampled matrix and produce bit-identical λ samples.
+
+Sampling uses ``numpy.random.Generator`` with an explicit seed for
+reproducibility.  Samplers are drawn vectorized (one stream of ``S``
+values per arc, arc-major); a plain scalar ``(rng, nominal) -> float``
+callable still works through an element-wise fallback.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..core.arithmetic import Number
 from ..core.cycle_time import compute_cycle_time
-from ..core.errors import GraphConstructionError
-from ..core.kernel import compiled_graph, rebind_compiled
+from ..core.errors import GraphConstructionError, SignalGraphError
+from ..core.kernel import (
+    BatchBindings,
+    compiled_graph,
+    rebind_compiled,
+    run_border_simulations_batch,
+)
 from ..core.signal_graph import Event, TimedSignalGraph
 
-#: A delay sampler: (rng, nominal_delay) -> sampled delay (float).
-DelaySampler = Callable[[np.random.Generator, float], float]
+#: A delay sampler: ``(rng, nominal) -> float`` — or, vectorized,
+#: ``(rng, nominal, size=...) -> ndarray`` (``nominal`` may then be an
+#: array broadcast against ``size``).
+DelaySampler = Callable[..., float]
 
 
 def normal_spread(sigma_fraction: float) -> DelaySampler:
     """Gaussian variation: delay ~ N(nominal, (sigma_fraction*nominal)^2),
     truncated at zero."""
 
-    def sample(rng: np.random.Generator, nominal: float) -> float:
-        return max(0.0, rng.normal(nominal, sigma_fraction * nominal))
+    def sample(rng: np.random.Generator, nominal, size=None):
+        if size is None:
+            return max(0.0, rng.normal(nominal, sigma_fraction * nominal))
+        loc = np.asarray(nominal, dtype=np.float64)
+        return np.maximum(0.0, rng.normal(loc, sigma_fraction * loc, size=size))
 
     return sample
 
@@ -45,10 +65,72 @@ def normal_spread(sigma_fraction: float) -> DelaySampler:
 def uniform_spread(fraction: float) -> DelaySampler:
     """Uniform variation on [nominal*(1-f), nominal*(1+f)]."""
 
-    def sample(rng: np.random.Generator, nominal: float) -> float:
-        return rng.uniform(nominal * (1 - fraction), nominal * (1 + fraction))
+    def sample(rng: np.random.Generator, nominal, size=None):
+        if size is None:
+            return rng.uniform(nominal * (1 - fraction), nominal * (1 + fraction))
+        loc = np.asarray(nominal, dtype=np.float64)
+        return rng.uniform(loc * (1 - fraction), loc * (1 + fraction), size=size)
 
     return sample
+
+
+def draw_delays(
+    rng: np.random.Generator, sampler: DelaySampler, nominal, size
+):
+    """Draw sampled delays, falling back to element-wise calls.
+
+    Vector-aware samplers (the built-in spreads) receive ``size`` and
+    return the whole block in one RNG call; legacy scalar samplers
+    raise ``TypeError`` on the extra argument and are applied
+    element-wise instead.
+    """
+    try:
+        values = sampler(rng, nominal, size=size)
+    except TypeError:
+        shape = (size,) if isinstance(size, int) else tuple(size)
+        nominals = np.broadcast_to(
+            np.asarray(nominal, dtype=np.float64), shape[-1:] if len(shape) > 1 else ()
+        )
+        out = np.empty(shape, dtype=np.float64)
+        flat = out.reshape(-1, shape[-1]) if len(shape) > 1 else out.reshape(1, -1)
+        if len(shape) > 1:
+            for row in flat:
+                for column in range(shape[-1]):
+                    row[column] = sampler(rng, float(nominals[column]))
+        else:
+            for index in range(shape[0]):
+                out[index] = sampler(rng, float(nominal))
+        return out
+    values = np.asarray(values, dtype=np.float64)
+    expected = (size,) if isinstance(size, int) else tuple(size)
+    if values.shape != expected:
+        raise SignalGraphError(
+            "sampler returned shape %r, expected %r" % (values.shape, expected)
+        )
+    return values
+
+
+def sample_delay_matrix(
+    graph: TimedSignalGraph,
+    sampler: DelaySampler,
+    samples: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """An ``(S, m)`` sampled delay matrix in graph arc order.
+
+    Only arcs of the repetitive core are resampled (prefix arcs cannot
+    affect λ); other columns carry the nominal delay.
+    """
+    repetitive = graph.repetitive_events
+    arcs = graph.arcs
+    nominal = np.asarray([float(arc.delay) for arc in arcs], dtype=np.float64)
+    matrix = np.tile(nominal, (samples, 1))
+    for column, arc in enumerate(arcs):
+        if arc.source in repetitive and arc.target in repetitive:
+            matrix[:, column] = draw_delays(
+                rng, sampler, float(arc.delay), samples
+            )
+    return matrix
 
 
 @dataclass
@@ -96,13 +178,16 @@ class MonteCarloResult:
             "  mean %.4f, std %.4f" % (self.mean, self.std),
             "  quantiles: p05 %.4f, p50 %.4f, p95 %.4f"
             % (self.quantile(0.05), self.quantile(0.5), self.quantile(0.95)),
-            "  most probable bottleneck arcs:",
         ]
-        for (source, target), probability in self.top_critical_arcs():
-            lines.append(
-                "    %s -> %s : critical in %.0f%% of samples"
-                % (source, target, 100 * probability)
-            )
+        if self.criticality:
+            lines.append("  most probable bottleneck arcs:")
+            for (source, target), probability in self.top_critical_arcs():
+                lines.append(
+                    "    %s -> %s : critical in %.0f%% of samples"
+                    % (source, target, 100 * probability)
+                )
+        else:
+            lines.append("  (criticality tracking disabled)")
         return "\n".join(lines)
 
 
@@ -111,40 +196,83 @@ def monte_carlo_cycle_time(
     sampler: DelaySampler,
     samples: int = 1000,
     seed: int = 0,
+    track_criticality: bool = True,
+    batch_size: Optional[int] = None,
+    workers: Optional[int] = None,
+    method: str = "batch",
 ) -> MonteCarloResult:
     """Sample delays, re-analyse, aggregate.
 
     Delay sampling applies to every arc of the repetitive core (prefix
     arcs cannot affect λ).  Criticality is attributed through each
-    sample's backtracked critical cycles.
+    sample's backtracked critical cycles; pass
+    ``track_criticality=False`` when only the λ distribution matters —
+    no backtracking runs at all then, which is the fast path for
+    histograms and quantiles.
+
+    ``method="batch"`` (default) sweeps all samples through the
+    vectorized batch kernel, with ``batch_size`` bounding per-chunk
+    memory and ``workers`` overlapping chunks on a thread pool;
+    ``method="persample"`` keeps the original rebind-per-trial loop
+    (the executable reference — bit-identical λ samples).
     """
     if samples < 1:
         raise GraphConstructionError("need at least one sample")
+    if method not in ("batch", "persample"):
+        raise SignalGraphError(
+            "unknown Monte-Carlo method %r (choose batch or persample)" % method
+        )
     rng = np.random.default_rng(seed)
-    core_arcs = [
-        arc
-        for arc in graph.arcs
-        if arc.source in graph.repetitive_events
-        and arc.target in graph.repetitive_events
-    ]
-    values = np.empty(samples)
-    hits: Dict[Tuple[Event, Event], int] = {arc.pair: 0 for arc in core_arcs}
-    # All trials share the nominal graph's structure; compile it once
-    # and rebind only the sampled delays per trial.
     base = compiled_graph(graph)
-    for index in range(samples):
-        trial = graph.copy()
-        for arc in core_arcs:
-            trial.set_delay(arc.source, arc.target, sampler(rng, float(arc.delay)))
-        rebind_compiled(trial, base)
-        result = compute_cycle_time(trial, check=False, keep_simulations=False)
-        values[index] = float(result.cycle_time)
+    matrix = sample_delay_matrix(graph, sampler, samples, rng)
+    repetitive = graph.repetitive_events
+    hits: Dict[Tuple[Event, Event], int] = {
+        arc.pair: 0
+        for arc in graph.arcs
+        if arc.source in repetitive and arc.target in repetitive
+    }
+
+    def attribute(critical_cycles) -> None:
         seen = set()
-        for cycle in result.critical_cycles:
-            for cycle_arc in cycle.arcs(trial):
+        for cycle in critical_cycles:
+            for cycle_arc in cycle.arcs(graph):
                 seen.add(cycle_arc.pair)
         for pair in seen:
             if pair in hits:
                 hits[pair] += 1
-    criticality = {pair: count / samples for pair, count in hits.items()}
+
+    if method == "batch":
+        sweep = run_border_simulations_batch(
+            graph,
+            BatchBindings(base, matrix),
+            batch_size=batch_size,
+            workers=workers,
+        )
+        values = sweep.cycle_times()
+        if track_criticality:
+            for index in range(samples):
+                attribute(sweep.sample_result(index).critical_cycles)
+    else:
+        pairs = [arc.pair for arc in graph.arcs]
+        values = np.empty(samples)
+        for index in range(samples):
+            trial = graph.copy()
+            for pair, value in zip(pairs, matrix[index]):
+                trial.set_delay(pair[0], pair[1], float(value))
+            rebind_compiled(trial, base)
+            result = compute_cycle_time(
+                trial,
+                check=False,
+                kernel="float",
+                keep_simulations=False,
+                backtrack=track_criticality,
+            )
+            values[index] = float(result.cycle_time)
+            if track_criticality:
+                attribute(result.critical_cycles)
+    criticality = (
+        {pair: count / samples for pair, count in hits.items()}
+        if track_criticality
+        else {}
+    )
     return MonteCarloResult(samples=values, criticality=criticality, seed=seed)

@@ -9,18 +9,29 @@ output of a performance analysis: "speed up this gate input first".
 :func:`optimize_bottlenecks` applies the obvious greedy loop: shave a
 chosen amount off the most sensitive arc, re-analyse, repeat — the
 workflow the paper motivates for asynchronous circuit design.
+
+Two batch-powered probes complement the analytic ranking:
+:func:`what_if_delays` sweeps candidate delays for one arc through the
+vectorized float64 kernel in a single call, and
+:func:`empirical_sensitivities` measures finite-difference dλ/dδ for
+every repetitive-core arc as one ``(m+1)``-row batch — the empirical
+cross-check of the ``1/ε`` derivation (they agree for perturbations
+small enough not to switch the critical cycle).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..core.arithmetic import Number, exact_div
 from ..core.cycle_time import compute_cycle_time
+from ..core.errors import GraphConstructionError
 from ..core.events import event_label
-from ..core.kernel import compiled_graph, rebind_compiled
+from ..core.kernel import compiled_graph, rebind_compiled, run_border_simulations_batch
 from ..core.signal_graph import Event, TimedSignalGraph
 from ..core.validation import validate as validate_graph
 from .performance import PerformanceReport, analyze
@@ -71,6 +82,98 @@ def delay_sensitivities(
             )
         )
     rows.sort(key=lambda row: (-float(row.sensitivity), -float(row.delay), str(row.source)))
+    return rows
+
+
+def what_if_delays(
+    graph: TimedSignalGraph,
+    arc: Tuple[Event, Event],
+    values: Sequence[Number],
+    batch_size: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> List[Tuple[float, float]]:
+    """λ for each candidate delay of one arc, as ``(delay, λ)`` rows.
+
+    All candidates sweep through the vectorized batch kernel as one
+    ``(len(values), m)`` binding matrix — the "what if this gate were
+    faster/slower" probe at one kernel invocation instead of
+    ``len(values)`` re-analyses.  Results are float64; exact callers
+    evaluate corners individually via
+    :func:`~repro.core.compute_cycle_time`.
+    """
+    source, target = arc
+    if not graph.has_arc(source, target):
+        raise GraphConstructionError(
+            "no arc %s -> %s" % (event_label(source), event_label(target))
+        )
+    if not values:
+        raise GraphConstructionError("need at least one candidate delay")
+    validate_graph(graph)
+    compiled_graph(graph)
+    arcs = graph.arcs
+    nominal = np.asarray([float(row.delay) for row in arcs], dtype=np.float64)
+    matrix = np.tile(nominal, (len(values), 1))
+    column = next(
+        index for index, row in enumerate(arcs) if row.pair == (source, target)
+    )
+    matrix[:, column] = [float(value) for value in values]
+    sweep = run_border_simulations_batch(
+        graph, matrix, batch_size=batch_size, workers=workers
+    )
+    lambdas = sweep.cycle_times()
+    return [
+        (float(value), float(lam)) for value, lam in zip(values, lambdas)
+    ]
+
+
+def empirical_sensitivities(
+    graph: TimedSignalGraph,
+    epsilon: float = 1e-6,
+    batch_size: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> List[ArcSensitivity]:
+    """Finite-difference dλ/dδ for every repetitive-core arc.
+
+    One batched sweep evaluates the nominal binding plus one
+    ``+epsilon`` perturbation per core arc (``m+1`` rows total); the
+    sensitivity of arc ``a`` is ``(λ_a − λ_nominal) / epsilon``.  For
+    ``epsilon`` small enough not to switch the critical cycle this
+    reproduces the analytic :func:`delay_sensitivities` ranking —
+    the empirical cross-check, and the fallback when the analytic
+    preconditions (exhaustive critical-cycle enumeration) are too
+    expensive.  Returned sorted like :func:`delay_sensitivities`.
+    """
+    if epsilon <= 0:
+        raise GraphConstructionError("epsilon must be positive")
+    validate_graph(graph)
+    compiled_graph(graph)
+    repetitive = graph.repetitive_events
+    arcs = graph.arcs
+    core = [
+        (column, row)
+        for column, row in enumerate(arcs)
+        if row.source in repetitive and row.target in repetitive
+    ]
+    nominal = np.asarray([float(row.delay) for row in arcs], dtype=np.float64)
+    matrix = np.tile(nominal, (len(core) + 1, 1))
+    for sample, (column, _) in enumerate(core, start=1):
+        matrix[sample, column] += epsilon
+    sweep = run_border_simulations_batch(
+        graph, matrix, batch_size=batch_size, workers=workers
+    )
+    lambdas = sweep.cycle_times()
+    rows = [
+        ArcSensitivity(
+            row.source,
+            row.target,
+            row.delay,
+            float((lambdas[sample] - lambdas[0]) / epsilon),
+        )
+        for sample, (_, row) in enumerate(core, start=1)
+    ]
+    rows.sort(
+        key=lambda row: (-float(row.sensitivity), -float(row.delay), str(row.source))
+    )
     return rows
 
 

@@ -19,6 +19,9 @@ Commands
     render Graphviz DOT with ``-o out.dot``.
 ``report FILE``
     Full performance report: slacks, critical subgraph, sensitivities.
+``montecarlo FILE``
+    Monte-Carlo λ distribution under random delay variation, with the
+    per-arc criticality ranking (batched vectorized kernel).
 ``verify FILE``
     Cross-verify extraction of a netlist against the independent
     event-driven timed simulator.
@@ -201,6 +204,48 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_montecarlo(args) -> int:
+    from .analysis import monte_carlo_cycle_time, normal_spread, uniform_spread
+
+    graph = _load_graph(args.file)
+    spreads = {"uniform": uniform_spread, "normal": normal_spread}
+    sampler = spreads[args.distribution](args.spread)
+    result = monte_carlo_cycle_time(
+        graph,
+        sampler,
+        samples=args.samples,
+        seed=args.seed,
+        track_criticality=not args.no_criticality,
+        batch_size=args.batch_size,
+        workers=args.workers,
+        method=args.kernel,
+    )
+    print(
+        "graph: %s (%d events, %d arcs, %d border events)"
+        % (graph.name, graph.num_events, graph.num_arcs,
+           len(graph.border_events))
+    )
+    print(
+        "sampler: %s spread %.3f, %s kernel%s"
+        % (
+            args.distribution,
+            args.spread,
+            args.kernel,
+            "" if args.batch_size is None else
+            " (batch size %d)" % args.batch_size,
+        )
+    )
+    print(result.summary())
+    if args.bins:
+        print("  histogram:")
+        rows = result.histogram(bins=args.bins)
+        widest = max(count for _, _, count in rows)
+        for low, high, count in rows:
+            bar = "#" * (0 if widest == 0 else round(40 * count / widest))
+            print("    [%8.4f, %8.4f) %6d %s" % (low, high, count, bar))
+    return 0
+
+
 def _cmd_verify(args) -> int:
     from .circuits.verification import verify_extraction
 
@@ -341,6 +386,45 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--json", action="store_true",
                         help="emit the report as JSON")
     report.set_defaults(func=_cmd_report)
+
+    montecarlo = commands.add_parser(
+        "montecarlo",
+        help="Monte-Carlo λ distribution under random delay variation",
+    )
+    montecarlo.add_argument("file", help=".g/.json file or demo name")
+    montecarlo.add_argument("--samples", type=int, default=1000,
+                            help="number of sampled delay bindings")
+    montecarlo.add_argument("--seed", type=int, default=0)
+    montecarlo.add_argument(
+        "--spread", type=float, default=0.1,
+        help="relative delay spread (default 0.1 = ±10%%)",
+    )
+    montecarlo.add_argument(
+        "--distribution", choices=("uniform", "normal"), default="uniform",
+        help="per-arc delay distribution around the nominal value",
+    )
+    montecarlo.add_argument(
+        "--batch-size", type=int, default=None, metavar="S",
+        help="chunk the samples to bound memory (default: one batch)",
+    )
+    montecarlo.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="sweep chunks on a thread pool of N workers",
+    )
+    montecarlo.add_argument(
+        "--kernel", choices=("batch", "persample"), default="batch",
+        help="vectorized batch sweep (default) or the per-sample "
+        "reference loop",
+    )
+    montecarlo.add_argument(
+        "--no-criticality", action="store_true",
+        help="skip critical-cycle backtracking (λ distribution only)",
+    )
+    montecarlo.add_argument(
+        "--bins", type=int, default=0, metavar="B",
+        help="also print a B-bin ASCII histogram of λ",
+    )
+    montecarlo.set_defaults(func=_cmd_montecarlo)
 
     verify = commands.add_parser(
         "verify", help="cross-verify extraction of a netlist JSON"

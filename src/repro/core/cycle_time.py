@@ -130,6 +130,7 @@ def compute_cycle_time(
     kernel: str = "auto",
     workers: Optional[int] = None,
     keep_simulations: bool = True,
+    backtrack: bool = True,
 ) -> CycleTimeResult:
     """Run the paper's algorithm on a validated Timed Signal Graph.
 
@@ -157,6 +158,11 @@ def compute_cycle_time(
         Retain the per-border simulations on the result.  Bulk sweeps
         (Monte-Carlo, sensitivity) pass False to drop the ``b`` full
         simulations once the critical cycles are backtracked.
+    backtrack:
+        Recover critical cycles from the winning simulations.  Sweeps
+        that only need λ (a Monte-Carlo histogram, an interval bound
+        probe) pass False and skip the backtracking cost entirely;
+        ``critical_cycles`` is then empty.
     """
     if check:
         validate_graph(graph)
@@ -188,8 +194,13 @@ def compute_cycle_time(
             "no border event of %r re-occurs within %d periods" % (graph.name, periods)
         )
 
-    winners = [record for record in records if numbers_close(record.distance, best)]
-    cycles = _backtrack_critical_cycles(graph, simulations, winners, best)
+    if backtrack:
+        winners = [
+            record for record in records if numbers_close(record.distance, best)
+        ]
+        cycles = _backtrack_critical_cycles(graph, simulations, winners, best)
+    else:
+        cycles = []
     return CycleTimeResult(
         cycle_time=best,
         critical_cycles=cycles,

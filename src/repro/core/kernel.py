@@ -60,6 +60,23 @@ The compiled structure is cached on the graph itself (see
 :meth:`TimedSignalGraph.cached`) and is invalidated automatically by
 any mutation.  Delay-only sweeps can skip recompilation entirely with
 :func:`rebind_compiled`.
+
+Statistical workloads go one dimension further: a **batch axis**.
+:class:`BatchBindings` holds an ``(S, m)`` float64 delay matrix — S
+delay bindings over one compiled topology — and
+:func:`run_border_simulations_batch` advances all S bindings through
+the same arc programs in lockstep.  The in-arc programs are flattened
+into NumPy index arrays grouped by intra-period dependency depth
+(*levels*), so one period is a handful of gathers plus
+``np.maximum.reduceat`` segment maxima over ``(S, arcs)`` blocks
+instead of S Python-level sweeps; λ per binding falls out of one
+vectorized max over the collected border distances.  Critical-cycle
+backtracking stays lazy and per-sample
+(:meth:`BatchSweepResult.sample_result`), so bindings whose critical
+cycle is never requested pay nothing for it.  The batched float64
+sweep is bit-identical to S independent :func:`rebind_compiled` +
+single-kernel runs (same IEEE additions and maxima, different loop
+order only).
 """
 
 from __future__ import annotations
@@ -67,6 +84,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
+import numpy as np
 
 from .errors import NotLiveError, SignalGraphError
 from .signal_graph import Event, TimedSignalGraph
@@ -189,6 +207,7 @@ class CompiledGraph:
         self._float_fns: Optional[tuple] = None
         self._float_runs = 0
         self._allow_codegen = True
+        self._batch_structure: Optional["_BatchStructure"] = None
 
     @classmethod
     def rebound(cls, base: "CompiledGraph", graph: TimedSignalGraph) -> "CompiledGraph":
@@ -507,3 +526,469 @@ def run_border_simulations(
     else:
         simulations = [simulate(event) for event in border]
     return dict(zip(border, simulations))
+
+
+# ----------------------------------------------------------------------
+# vectorized multi-binding batch kernel
+# ----------------------------------------------------------------------
+class _BatchLevel:
+    """One dependency level of a batch program.
+
+    All rows in a level only read buffer slots written by earlier
+    levels (or the previous period), so the whole level is one gather
+    ``buf[:, offsets] + dmat[:, lo:hi]`` followed by a per-row segment
+    maximum — no Python-level loop over rows.
+    """
+
+    __slots__ = ("targets", "starts", "offsets", "lo", "hi", "single",
+                 "empty_targets")
+
+    def __init__(self, targets, starts, offsets, lo, hi, single,
+                 empty_targets):
+        self.targets = targets
+        self.starts = starts
+        self.offsets = offsets
+        self.lo = lo
+        self.hi = hi
+        self.single = single
+        self.empty_targets = empty_targets
+
+
+class _BatchProgram:
+    """A per-period-class arc program flattened to index arrays.
+
+    ``cols`` maps every flattened arc (level-major, graph in-arc order
+    within a row) to its column in the ``(S, m)`` delay matrix, so a
+    binding's per-program delay block is the single fancy-index
+    ``matrix[:, cols]``.
+    """
+
+    __slots__ = ("levels", "cols")
+
+    def __init__(self, levels, cols):
+        self.levels = levels
+        self.cols = cols
+
+
+def _compile_batch_program(rows, n):
+    """Level-schedule ``(target, [(offset, col), ...])`` rows.
+
+    Rows arrive in topological id order; an arc with ``offset >= n``
+    reads the *current* period, i.e. a row computed earlier, which
+    pins the row's level to one past its deepest same-period source.
+    Rows of one level never read each other, so they can be reduced in
+    a single vectorized step.
+    """
+    level_of_tid: Dict[int, int] = {}
+    row_levels = []
+    for target, arcs in rows:
+        level = 0
+        for offset, _ in arcs:
+            if offset >= n:
+                # Sources outside the row set (rows before an origin
+                # suffix) hold fixed sentinel values, i.e. depth -1.
+                depth = level_of_tid.get(offset - n, -1) + 1
+                if depth > level:
+                    level = depth
+        level_of_tid[target - n] = level
+        row_levels.append(level)
+    levels: List[_BatchLevel] = []
+    cols_flat: List[int] = []
+    position = 0
+    for level in range(max(row_levels) + 1 if row_levels else 0):
+        targets: List[int] = []
+        starts: List[int] = []
+        offsets: List[int] = []
+        empty: List[int] = []
+        single = True
+        for index, (target, arcs) in enumerate(rows):
+            if row_levels[index] != level:
+                continue
+            if not arcs:
+                empty.append(target)
+                continue
+            if len(arcs) != 1:
+                single = False
+            starts.append(len(offsets))
+            targets.append(target)
+            for offset, col in arcs:
+                offsets.append(offset)
+                cols_flat.append(col)
+        levels.append(
+            _BatchLevel(
+                targets=np.asarray(targets, dtype=np.intp),
+                starts=np.asarray(starts, dtype=np.intp),
+                offsets=np.asarray(offsets, dtype=np.intp),
+                lo=position,
+                hi=position + len(offsets),
+                single=single,
+                empty_targets=(
+                    np.asarray(empty, dtype=np.intp) if empty else None
+                ),
+            )
+        )
+        position += len(offsets)
+    return _BatchProgram(levels, np.asarray(cols_flat, dtype=np.intp))
+
+
+class _BatchStructure:
+    """The batch-compiled view of one topology: index-array programs
+    for the three period classes plus per-origin period-0 suffixes."""
+
+    def __init__(self, cg: CompiledGraph):
+        graph = cg.graph
+        self.pairs: List[Tuple[Event, Event]] = [arc.pair for arc in graph.arcs]
+        col_of = {pair: index for index, pair in enumerate(self.pairs)}
+        n = cg.n
+        id_of = cg.id_of
+        order = cg.order
+        self._p0_rows: List[Tuple[int, List[Tuple[int, int]]]] = []
+        for tid, event in enumerate(order):
+            self._p0_rows.append(
+                (
+                    n + tid,
+                    [
+                        (n + id_of[source], col_of[(source, event)])
+                        for source, tokens, _, _ in cg.in_compact[event]
+                        if tokens == 0
+                    ],
+                )
+            )
+        p1_rows: List[Tuple[int, List[Tuple[int, int]]]] = []
+        ps_rows: List[Tuple[int, List[Tuple[int, int]]]] = []
+        for tid in cg.rep_ids:
+            event = order[tid]
+            arcs_one: List[Tuple[int, int]] = []
+            arcs_steady: List[Tuple[int, int]] = []
+            for source, tokens, _, source_rep in cg.in_compact[event]:
+                offset = n + id_of[source] - tokens * n
+                col = col_of[(source, event)]
+                if tokens or source_rep:
+                    arcs_one.append((offset, col))
+                if source_rep:
+                    arcs_steady.append((offset, col))
+            p1_rows.append((n + tid, arcs_one))
+            ps_rows.append((n + tid, arcs_steady))
+        self.n = n
+        self.p0 = _compile_batch_program(self._p0_rows, n)
+        self.p1 = _compile_batch_program(p1_rows, n)
+        self.ps = _compile_batch_program(ps_rows, n)
+        self._suffixes: Dict[int, _BatchProgram] = {}
+
+    def p0_suffix(self, origin_id: int) -> _BatchProgram:
+        """The period-0 program restricted to rows after ``origin_id``.
+
+        Ids equal topological positions, so the instances an
+        event-initiated simulation computes in period 0 are exactly
+        the rows ``origin_id + 1 .. n - 1``; earlier rows stay at the
+        ``-inf`` sentinel, which the level gather reads back as
+        neglected arcs, exactly like the scalar kernel.
+        """
+        if origin_id not in self._suffixes:
+            self._suffixes[origin_id] = _compile_batch_program(
+                self._p0_rows[origin_id + 1:], self.n
+            )
+        return self._suffixes[origin_id]
+
+
+def _batch_structure_of(cg: CompiledGraph) -> _BatchStructure:
+    """The (lazily built, cached) batch structure of a compiled graph."""
+    if cg._batch_structure is None:
+        cg._batch_structure = _BatchStructure(cg)
+    return cg._batch_structure
+
+
+class BatchBindings:
+    """S delay bindings over one compiled topology.
+
+    ``matrix`` is an ``(S, m)`` float64 matrix whose columns follow
+    the graph's arc insertion order (``base.graph.arcs``; the order is
+    exposed as :attr:`pairs`).  Row ``s`` is one complete delay
+    binding — the batched equivalent of ``graph.copy()`` + S
+    ``set_delay`` calls + :func:`rebind_compiled`, at a fraction of
+    the cost.
+    """
+
+    def __init__(self, base: CompiledGraph, matrix):
+        self.base = base
+        self.structure = _batch_structure_of(base)
+        matrix = np.ascontiguousarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != len(self.structure.pairs):
+            raise SignalGraphError(
+                "delay matrix must have shape (S, %d) for %r, got %r"
+                % (len(self.structure.pairs), base.graph.name, matrix.shape)
+            )
+        if matrix.shape[0] < 1:
+            raise SignalGraphError("need at least one delay binding")
+        self.matrix = matrix
+        self._dmats: Dict[int, np.ndarray] = {}
+
+    @classmethod
+    def nominal(cls, base: CompiledGraph, samples: int = 1) -> "BatchBindings":
+        """``samples`` copies of the graph's own (floatified) delays."""
+        row = np.asarray(
+            [float(arc.delay) for arc in base.graph.arcs], dtype=np.float64
+        )
+        return cls(base, np.tile(row, (samples, 1)))
+
+    @property
+    def pairs(self) -> List[Tuple[Event, Event]]:
+        """Arc ``(source, target)`` pairs, one per matrix column."""
+        return self.structure.pairs
+
+    @property
+    def samples(self) -> int:
+        return self.matrix.shape[0]
+
+    def subset(self, lo: int, hi: int) -> "BatchBindings":
+        """Bindings ``lo .. hi-1`` as a view (no matrix copy)."""
+        clone = object.__new__(BatchBindings)
+        clone.base = self.base
+        clone.structure = self.structure
+        clone.matrix = self.matrix[lo:hi]
+        clone._dmats = {}
+        return clone
+
+    def delays_for(self, program: _BatchProgram) -> np.ndarray:
+        """The ``(S, arcs)`` delay block of one program (cached)."""
+        key = id(program)
+        if key not in self._dmats:
+            self._dmats[key] = self.matrix[:, program.cols]
+        return self._dmats[key]
+
+
+def _batch_sweep(program: _BatchProgram, dmat: np.ndarray,
+                 buffer: np.ndarray, init: float) -> None:
+    """Relax one period's program for all S bindings at once.
+
+    Mirrors :func:`_sweep` with the sample axis vectorized: per level
+    one gather of the source slots, one in-place add of the delay
+    block, and one ``np.maximum.reduceat`` segment maximum scattered
+    back to the target slots (or a plain assignment when every row of
+    the level has a single in-arc).
+    """
+    for level in program.levels:
+        if level.empty_targets is not None:
+            buffer[:, level.empty_targets] = init
+        if level.hi > level.lo:
+            values = buffer[:, level.offsets]
+            values += dmat[:, level.lo:level.hi]
+            if level.single:
+                buffer[:, level.targets] = values
+            else:
+                buffer[:, level.targets] = np.maximum.reduceat(
+                    values, level.starts, axis=1
+                )
+
+
+def run_initiated_batch(
+    bindings: BatchBindings, origin_id: int, periods: int
+) -> np.ndarray:
+    """Initiator times of S event-initiated simulations in lockstep.
+
+    Returns an ``(S, periods)`` float64 array whose ``[s, i-1]`` entry
+    is ``t_{g_0}(g_i)`` under binding ``s`` (``-inf`` where the
+    initiator does not re-occur), bit-identical to S scalar
+    :func:`run_initiated` runs.
+    """
+    structure = bindings.structure
+    n = structure.n
+    samples = bindings.samples
+    buffer = np.full((samples, 2 * n), NEG_INF)
+    buffer[:, n + origin_id] = 0.0
+    p0 = structure.p0_suffix(origin_id)
+    _batch_sweep(p0, bindings.delays_for(p0), buffer, NEG_INF)
+    collected = np.full((samples, periods), NEG_INF)
+    column = n + origin_id
+    for period in range(1, periods + 1):
+        buffer[:, :n] = buffer[:, n:]
+        program = structure.p1 if period == 1 else structure.ps
+        _batch_sweep(program, bindings.delays_for(program), buffer, NEG_INF)
+        collected[:, period - 1] = buffer[:, column]
+    return collected
+
+
+class BatchSweepResult:
+    """Outcome of a batched border sweep over S delay bindings.
+
+    ``initiator_times[g]`` is the ``(S, periods)`` table of collected
+    ``t_{g_0}(g_i)`` values; everything else — λ per binding, δ
+    records, critical cycles — is derived lazily so bindings whose
+    details are never inspected cost nothing beyond the sweep itself.
+    """
+
+    def __init__(self, graph, cg, bindings, border, periods, initiator_times):
+        self.graph = graph
+        self.cg = cg
+        self.bindings = bindings
+        self.border = border
+        self.periods = periods
+        self.initiator_times = initiator_times
+
+    @property
+    def samples(self) -> int:
+        return self.bindings.samples
+
+    def cycle_times(self) -> np.ndarray:
+        """λ per binding: the vectorized max over all collected δ."""
+        from .errors import AcyclicGraphError
+
+        divisors = np.arange(1, self.periods + 1, dtype=np.float64)
+        best = np.full(self.samples, NEG_INF)
+        for event in self.border:
+            distances = self.initiator_times[event] / divisors
+            np.maximum(best, distances.max(axis=1), out=best)
+        if np.isneginf(best).any():
+            raise AcyclicGraphError(
+                "no border event of %r re-occurs within %d periods"
+                % (self.graph.name, self.periods)
+            )
+        return best
+
+    def sample_records(self, sample: int) -> list:
+        """All ``BorderDistance`` records of one binding, in the same
+        order the per-sample algorithm collects them."""
+        from .cycle_time import BorderDistance
+
+        records = []
+        for event in self.border:
+            row = self.initiator_times[event][sample]
+            for index in range(self.periods):
+                time = row[index]
+                if time == NEG_INF:
+                    continue
+                time = float(time)
+                records.append(
+                    BorderDistance(event, index + 1, time, time / (index + 1))
+                )
+        return records
+
+    def sample_graph(self, sample: int) -> TimedSignalGraph:
+        """A graph copy carrying binding ``sample``'s delays, rebound
+        to the shared compiled topology."""
+        trial = self.graph.copy()
+        for pair, value in zip(self.bindings.pairs, self.bindings.matrix[sample]):
+            trial.set_delay(pair[0], pair[1], float(value))
+        rebind_compiled(trial, self.cg)
+        return trial
+
+    def sample_result(self, sample: int, keep_simulations: bool = False):
+        """The full :class:`~repro.core.cycle_time.CycleTimeResult` of
+        one binding — λ, δ table and backtracked critical cycles —
+        bit-identical to the per-sample float64 path.
+
+        This is the lazy backtracking hook: it re-runs only the
+        *winning* border simulations of the requested binding against
+        a rebound graph copy, so a sweep that inspects criticality for
+        a handful of samples never pays for the rest.
+        """
+        from .arithmetic import numbers_close
+        from .cycle_time import (
+            CycleTimeResult,
+            _backtrack_critical_cycles,
+        )
+        from .errors import AcyclicGraphError
+        from .simulation import EventInitiatedSimulation
+
+        records = self.sample_records(sample)
+        best = None
+        for record in records:
+            if best is None or record.distance > best:
+                best = record.distance
+        if best is None:
+            raise AcyclicGraphError(
+                "no border event of %r re-occurs within %d periods"
+                % (self.graph.name, self.periods)
+            )
+        winners = [r for r in records if numbers_close(r.distance, best)]
+        trial = self.sample_graph(sample)
+        simulations = {}
+        for record in winners:
+            if record.border_event not in simulations:
+                simulations[record.border_event] = EventInitiatedSimulation(
+                    trial, record.border_event, self.periods, kernel="float"
+                )
+        cycles = _backtrack_critical_cycles(trial, simulations, winners, best)
+        return CycleTimeResult(
+            cycle_time=best,
+            critical_cycles=cycles,
+            border_events=self.border,
+            distances=records,
+            periods=self.periods,
+            simulations=simulations if keep_simulations else {},
+        )
+
+
+def run_border_simulations_batch(
+    graph: TimedSignalGraph,
+    delays,
+    periods: Optional[int] = None,
+    border: Optional[Sequence[Event]] = None,
+    batch_size: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> BatchSweepResult:
+    """Sweep all S delay bindings through every border simulation.
+
+    ``delays`` is a :class:`BatchBindings` or an ``(S, m)`` matrix in
+    graph arc order.  ``batch_size`` bounds memory by splitting the S
+    bindings into chunks (each chunk allocates ``(chunk, 2n)`` buffers
+    and delay blocks); ``workers`` fans the chunks out over a thread
+    pool — NumPy releases the GIL inside the large vector ops, so
+    chunked sweeps overlap.  Always float64; int/Fraction callers that
+    need exact results use the per-sample exact path instead.
+    """
+    from .errors import AcyclicGraphError
+
+    cg = compiled_graph(graph)
+    if isinstance(delays, BatchBindings):
+        bindings = delays
+    else:
+        bindings = BatchBindings(cg, delays)
+    if border is None:
+        border = graph.border_events
+    else:
+        border = tuple(border)
+    if not border:
+        raise AcyclicGraphError(
+            "graph %r has no border events (no marked arcs on cycles)"
+            % graph.name
+        )
+    if periods is None:
+        periods = len(border)
+    origin_ids = [cg.id_of[event] for event in border]
+    structure = bindings.structure
+    for origin_id in origin_ids:
+        structure.p0_suffix(origin_id)  # compile before any fan-out
+    samples = bindings.samples
+    if batch_size is None or batch_size >= samples:
+        chunks = [bindings]
+    else:
+        if batch_size < 1:
+            raise SignalGraphError("batch_size must be positive")
+        chunks = [
+            bindings.subset(lo, min(lo + batch_size, samples))
+            for lo in range(0, samples, batch_size)
+        ]
+
+    def run_chunk(chunk: BatchBindings):
+        return [
+            run_initiated_batch(chunk, origin_id, periods)
+            for origin_id in origin_ids
+        ]
+
+    if workers is not None and workers > 1 and len(chunks) > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            parts = list(pool.map(run_chunk, chunks))
+    else:
+        parts = [run_chunk(chunk) for chunk in chunks]
+    initiator_times = {}
+    for position, event in enumerate(border):
+        if len(parts) == 1:
+            initiator_times[event] = parts[0][position]
+        else:
+            initiator_times[event] = np.concatenate(
+                [part[position] for part in parts], axis=0
+            )
+    return BatchSweepResult(graph, cg, bindings, border, periods, initiator_times)

@@ -89,3 +89,32 @@ class TestUniformMargin:
     def test_muller_ring(self, muller_ring_graph):
         result = uniform_interval_cycle_time(muller_ring_graph, Fraction(1, 2))
         assert result.bounds == (Fraction(10, 3), 10)
+
+
+class TestBatchedFloatCorners:
+    def test_float_bounds_match_exact_corners(self, oscillator):
+        bounds = {(T("a+"), T("c+")): (2, 5), (T("c-"), T("a+")): (1, 3)}
+        exact = interval_cycle_time(oscillator, bounds)
+        float_bounds = {
+            pair: (float(low), float(high))
+            for pair, (low, high) in bounds.items()
+        }
+        batched = interval_cycle_time(oscillator, float_bounds)
+        assert batched.bounds[0] == float(exact.bounds[0])
+        assert batched.bounds[1] == float(exact.bounds[1])
+        assert (
+            batched.robust_critical_events() == exact.robust_critical_events()
+        )
+
+    def test_float_corners_recover_critical_cycles(self, oscillator):
+        result = interval_cycle_time(
+            oscillator, {(T("a+"), T("c+")): (3.0, 3.0)}
+        )
+        assert result.lower.critical_cycles
+        assert result.spread == 0.0
+
+    def test_float_margin_brackets_exact_bounds(self, oscillator):
+        exact = uniform_interval_cycle_time(oscillator, Fraction(1, 5))
+        floated = uniform_interval_cycle_time(oscillator, 0.2)
+        assert floated.bounds[0] == pytest.approx(float(exact.bounds[0]))
+        assert floated.bounds[1] == pytest.approx(float(exact.bounds[1]))

@@ -66,3 +66,34 @@ class TestStochasticCycleTime:
 
         penalty = jitter_penalty(oscillator, uniform_spread(0.0), periods=120)
         assert penalty == pytest.approx(0.0)
+
+
+class TestReplications:
+    def test_replications_tighten_the_estimate(self, oscillator):
+        result = stochastic_cycle_time(
+            oscillator, uniform_spread(0.3), periods=300, seed=2,
+            replications=8,
+        )
+        assert result.replications == 8
+        assert result.spread >= 0.0
+        assert result.average_distance == pytest.approx(
+            result.deterministic, rel=0.25
+        )
+
+    def test_zero_jitter_has_zero_spread(self, oscillator):
+        result = stochastic_cycle_time(
+            oscillator, uniform_spread(0.0), periods=120, seed=0,
+            replications=4,
+        )
+        assert result.spread == pytest.approx(0.0)
+        assert result.penalty == pytest.approx(0.0)
+
+    def test_rejects_bad_witness_and_replications(self, oscillator):
+        with pytest.raises(SignalGraphError):
+            stochastic_cycle_time(
+                oscillator, uniform_spread(0.1), periods=100, replications=0
+            )
+        with pytest.raises(SignalGraphError):
+            stochastic_cycle_time(
+                oscillator, uniform_spread(0.1), periods=100, witness="e-"
+            )

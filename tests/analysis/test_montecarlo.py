@@ -79,6 +79,57 @@ class TestMonteCarlo:
         with pytest.raises(GraphConstructionError):
             monte_carlo_cycle_time(oscillator, uniform_spread(0.1), 0)
 
+    def test_batch_matches_persample_bit_identical(self, oscillator):
+        batch = monte_carlo_cycle_time(
+            oscillator, normal_spread(0.15), 60, seed=11, method="batch"
+        )
+        loop = monte_carlo_cycle_time(
+            oscillator, normal_spread(0.15), 60, seed=11, method="persample"
+        )
+        assert np.array_equal(batch.samples, loop.samples)
+        assert batch.criticality == loop.criticality
+
+    def test_scalar_sampler_fallback(self, oscillator):
+        def halved(rng, nominal):
+            return nominal * (0.75 + 0.5 * rng.random())
+
+        batch = monte_carlo_cycle_time(oscillator, halved, 20, seed=4)
+        loop = monte_carlo_cycle_time(
+            oscillator, halved, 20, seed=4, method="persample"
+        )
+        assert np.array_equal(batch.samples, loop.samples)
+
+    def test_disabled_criticality_skips_backtracking(self, oscillator):
+        fast = monte_carlo_cycle_time(
+            oscillator, uniform_spread(0.1), 40, seed=6,
+            track_criticality=False,
+        )
+        full = monte_carlo_cycle_time(
+            oscillator, uniform_spread(0.1), 40, seed=6
+        )
+        assert fast.criticality == {}
+        assert np.array_equal(fast.samples, full.samples)
+        assert "criticality tracking disabled" in fast.summary()
+
+    def test_chunked_and_threaded_run_identical(self, oscillator):
+        whole = monte_carlo_cycle_time(
+            oscillator, uniform_spread(0.2), 50, seed=8
+        )
+        chunked = monte_carlo_cycle_time(
+            oscillator, uniform_spread(0.2), 50, seed=8,
+            batch_size=13, workers=3,
+        )
+        assert np.array_equal(whole.samples, chunked.samples)
+        assert whole.criticality == chunked.criticality
+
+    def test_rejects_unknown_method(self, oscillator):
+        from repro.core.errors import SignalGraphError
+
+        with pytest.raises(SignalGraphError):
+            monte_carlo_cycle_time(
+                oscillator, uniform_spread(0.1), 10, method="magic"
+            )
+
 
 def _pair(graph, source, target):
     arc = graph.arc(source, target)

@@ -73,3 +73,54 @@ class TestOptimization:
         _, log = optimize_bottlenecks(oscillator, steps=1)
         step = log[0]
         assert step.new_delay == step.old_delay - 1
+
+
+class TestBatchProbes:
+    def test_what_if_sweep_matches_individual_analyses(self, oscillator):
+        from repro.analysis import what_if_delays
+        from repro.core.kernel import compiled_graph, rebind_compiled
+
+        pair = oscillator.arc("a+", "c+").pair
+        candidates = [1.0, 3.0, 5.0, 9.0]
+        rows = what_if_delays(oscillator, pair, candidates)
+        assert [value for value, _ in rows] == candidates
+        base = compiled_graph(oscillator)
+        for value, lam in rows:
+            trial = oscillator.copy()
+            for arc in oscillator.arcs:
+                trial.set_delay(arc.source, arc.target, float(arc.delay))
+            trial.set_delay(pair[0], pair[1], value)
+            rebind_compiled(trial, base)
+            reference = compute_cycle_time(trial, check=False, kernel="float")
+            assert lam == float(reference.cycle_time)
+
+    def test_what_if_rejects_missing_arc(self, oscillator):
+        from repro.analysis import what_if_delays
+        from repro.core import Transition
+        from repro.core.errors import GraphConstructionError
+
+        ghost = (Transition.parse("a+"), Transition.parse("b-"))
+        with pytest.raises(GraphConstructionError):
+            what_if_delays(oscillator, ghost, [1.0])
+        with pytest.raises(GraphConstructionError):
+            what_if_delays(
+                oscillator, oscillator.arc("a+", "c+").pair, []
+            )
+
+    def test_empirical_matches_analytic_ranking(self, oscillator):
+        from repro.analysis import empirical_sensitivities
+
+        analytic = {
+            (row.source, row.target): float(row.sensitivity)
+            for row in delay_sensitivities(oscillator)
+        }
+        for row in empirical_sensitivities(oscillator, epsilon=1e-6):
+            expected = analytic.get((row.source, row.target), 0.0)
+            assert row.sensitivity == pytest.approx(expected, abs=1e-3)
+
+    def test_empirical_rejects_bad_epsilon(self, oscillator):
+        from repro.analysis import empirical_sensitivities
+        from repro.core.errors import GraphConstructionError
+
+        with pytest.raises(GraphConstructionError):
+            empirical_sensitivities(oscillator, epsilon=0.0)

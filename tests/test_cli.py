@@ -199,3 +199,34 @@ class TestDemo:
     def test_demos_print_g(self, name, capsys):
         assert main(["demo", name]) == 0
         assert ".graph" in capsys.readouterr().out
+
+
+class TestMonteCarlo:
+    def test_summary_output(self, capsys):
+        assert main([
+            "montecarlo", "oscillator", "--samples", "80", "--seed", "3",
+            "--spread", "0.2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Monte-Carlo cycle time over 80 samples" in out
+        assert "bottleneck" in out
+        assert "uniform spread 0.200, batch kernel" in out
+
+    def test_histogram_and_normal_distribution(self, capsys):
+        assert main([
+            "montecarlo", "oscillator", "--samples", "60",
+            "--distribution", "normal", "--bins", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "histogram:" in out
+        assert out.count("[") >= 4
+
+    def test_no_criticality_and_persample_kernel(self, capsys):
+        assert main([
+            "montecarlo", "oscillator", "--samples", "30",
+            "--no-criticality", "--kernel", "persample",
+            "--batch-size", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "criticality tracking disabled" in out
+        assert "persample kernel (batch size 8)" in out
