@@ -32,7 +32,7 @@ import numpy as np
 from ..core.arithmetic import Number
 from ..core.cycle_time import CycleTimeResult, compute_cycle_time
 from ..core.errors import GraphConstructionError
-from ..core.events import event_label
+from ..core.events import as_event, event_label
 from ..core.kernel import compiled_graph, rebind_compiled, run_border_simulations_batch
 from ..core.signal_graph import Event, TimedSignalGraph
 from ..core.validation import validate as validate_graph
@@ -72,6 +72,13 @@ def interval_cycle_time(
     :class:`~repro.core.errors.GraphConstructionError` for an interval
     with ``min > max`` or one naming a missing arc.
     """
+    # Canonicalize keys once so string labels ("a+") and Transition
+    # events address the same arc in both the validation below and the
+    # arc.pair lookups of the float fast path.
+    bounds = {
+        (as_event(source), as_event(target)): interval
+        for (source, target), interval in bounds.items()
+    }
     for (source, target), (low, high) in bounds.items():
         if not graph.has_arc(source, target):
             raise GraphConstructionError(

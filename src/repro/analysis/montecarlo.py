@@ -28,6 +28,7 @@ callable still works through an element-wise fallback.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -74,40 +75,53 @@ def uniform_spread(fraction: float) -> DelaySampler:
     return sample
 
 
+def _accepts_size(sampler: DelaySampler) -> bool:
+    """Whether ``sampler`` takes a ``size`` argument (vector-aware)."""
+    try:
+        parameters = inspect.signature(sampler).parameters
+    except (TypeError, ValueError):
+        return False
+    if "size" in parameters:
+        return True
+    return any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
+
+
 def draw_delays(
     rng: np.random.Generator, sampler: DelaySampler, nominal, size
 ):
     """Draw sampled delays, falling back to element-wise calls.
 
-    Vector-aware samplers (the built-in spreads) receive ``size`` and
-    return the whole block in one RNG call; legacy scalar samplers
-    raise ``TypeError`` on the extra argument and are applied
-    element-wise instead.
+    Vector-aware samplers (the built-in spreads — detected by a
+    ``size`` parameter in their signature) receive ``size`` and return
+    the whole block in one RNG call; scalar ``(rng, nominal)``
+    samplers are applied element-wise.  Exceptions raised inside a
+    sampler propagate unchanged — a ``TypeError`` bug in a
+    vector-aware sampler is not mistaken for scalar-ness.
     """
-    try:
-        values = sampler(rng, nominal, size=size)
-    except TypeError:
-        shape = (size,) if isinstance(size, int) else tuple(size)
-        nominals = np.broadcast_to(
-            np.asarray(nominal, dtype=np.float64), shape[-1:] if len(shape) > 1 else ()
-        )
-        out = np.empty(shape, dtype=np.float64)
-        flat = out.reshape(-1, shape[-1]) if len(shape) > 1 else out.reshape(1, -1)
-        if len(shape) > 1:
-            for row in flat:
-                for column in range(shape[-1]):
-                    row[column] = sampler(rng, float(nominals[column]))
-        else:
-            for index in range(shape[0]):
-                out[index] = sampler(rng, float(nominal))
-        return out
-    values = np.asarray(values, dtype=np.float64)
-    expected = (size,) if isinstance(size, int) else tuple(size)
-    if values.shape != expected:
-        raise SignalGraphError(
-            "sampler returned shape %r, expected %r" % (values.shape, expected)
-        )
-    return values
+    if _accepts_size(sampler):
+        values = np.asarray(sampler(rng, nominal, size=size), dtype=np.float64)
+        expected = (size,) if isinstance(size, int) else tuple(size)
+        if values.shape != expected:
+            raise SignalGraphError(
+                "sampler returned shape %r, expected %r" % (values.shape, expected)
+            )
+        return values
+    shape = (size,) if isinstance(size, int) else tuple(size)
+    nominals = np.broadcast_to(
+        np.asarray(nominal, dtype=np.float64), shape[-1:] if len(shape) > 1 else ()
+    )
+    out = np.empty(shape, dtype=np.float64)
+    if len(shape) > 1:
+        for row in out:
+            for column in range(shape[-1]):
+                row[column] = sampler(rng, float(nominals[column]))
+    else:
+        for index in range(shape[0]):
+            out[index] = sampler(rng, float(nominal))
+    return out
 
 
 def sample_delay_matrix(

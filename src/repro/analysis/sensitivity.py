@@ -30,7 +30,7 @@ import numpy as np
 from ..core.arithmetic import Number, exact_div
 from ..core.cycle_time import compute_cycle_time
 from ..core.errors import GraphConstructionError
-from ..core.events import event_label
+from ..core.events import as_event, event_label
 from ..core.kernel import compiled_graph, rebind_compiled, run_border_simulations_batch
 from ..core.signal_graph import Event, TimedSignalGraph
 from ..core.validation import validate as validate_graph
@@ -101,7 +101,7 @@ def what_if_delays(
     evaluate corners individually via
     :func:`~repro.core.compute_cycle_time`.
     """
-    source, target = arc
+    source, target = as_event(arc[0]), as_event(arc[1])
     if not graph.has_arc(source, target):
         raise GraphConstructionError(
             "no arc %s -> %s" % (event_label(source), event_label(target))

@@ -113,6 +113,13 @@ class TestBatchedFloatCorners:
         assert result.lower.critical_cycles
         assert result.spread == 0.0
 
+    def test_string_keys_with_float_endpoints(self, oscillator):
+        # Regression: string-labelled bounds with float endpoints used
+        # to pass validation yet miss the arc.pair lookup, silently
+        # returning the nominal cycle time for both corners.
+        result = interval_cycle_time(oscillator, {("a+", "c+"): (2.0, 5.0)})
+        assert result.bounds == (9.0, 12.0)
+
     def test_float_margin_brackets_exact_bounds(self, oscillator):
         exact = uniform_interval_cycle_time(oscillator, Fraction(1, 5))
         floated = uniform_interval_cycle_time(oscillator, 0.2)

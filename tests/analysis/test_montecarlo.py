@@ -26,6 +26,27 @@ class TestSamplers:
         values = [sampler(rng, 1.0) for _ in range(200)]
         assert all(v >= 0.0 for v in values)
 
+    def test_vector_sampler_typeerror_propagates(self):
+        # Regression: a genuine TypeError inside a vector-aware sampler
+        # must surface, not reroute into the scalar fallback.
+        from repro.analysis.montecarlo import draw_delays
+
+        def buggy(rng, nominal, size=None):
+            raise TypeError("bug inside sampler")
+
+        with pytest.raises(TypeError, match="bug inside sampler"):
+            draw_delays(np.random.default_rng(0), buggy, 1.0, 4)
+
+    def test_scalar_sampler_drawn_element_wise(self):
+        from repro.analysis.montecarlo import draw_delays
+
+        def scalar(rng, nominal):
+            return nominal + rng.uniform(0.0, 1.0)
+
+        out = draw_delays(np.random.default_rng(0), scalar, 2.0, 5)
+        assert out.shape == (5,)
+        assert np.all((out >= 2.0) & (out <= 3.0))
+
 
 class TestMonteCarlo:
     def test_reproducible_by_seed(self, oscillator):

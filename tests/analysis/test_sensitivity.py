@@ -94,6 +94,14 @@ class TestBatchProbes:
             reference = compute_cycle_time(trial, check=False, kernel="float")
             assert lam == float(reference.cycle_time)
 
+    def test_what_if_accepts_string_arc_labels(self, oscillator):
+        # Regression: string labels passed has_arc validation but then
+        # missed the arc.pair column search (uncaught StopIteration).
+        from repro.analysis import what_if_delays
+
+        rows = what_if_delays(oscillator, ("a+", "c+"), [2.0, 5.0])
+        assert rows == [(2.0, 9.0), (5.0, 12.0)]
+
     def test_what_if_rejects_missing_arc(self, oscillator):
         from repro.analysis import what_if_delays
         from repro.core import Transition
