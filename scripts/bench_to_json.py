@@ -1,10 +1,11 @@
 #!/usr/bin/env python
 """Measure the kernel speedups and record them as JSON.
 
-Two suites::
+Three suites::
 
     PYTHONPATH=src python scripts/bench_to_json.py [--suite kernels]
     PYTHONPATH=src python scripts/bench_to_json.py --suite montecarlo
+    PYTHONPATH=src python scripts/bench_to_json.py --suite service
 
 ``kernels`` (the default) times the legacy, exact and float engines —
 border simulations and end-to-end ``compute_cycle_time`` — on the
@@ -13,8 +14,13 @@ scaling-suite graphs and writes ``BENCH_cycle_time.json``.
 ``montecarlo`` times Monte-Carlo sweep throughput (samples/sec) for
 the batched vectorized kernel vs the per-sample rebind loop across
 graph sizes and batch widths, verifies the two paths produce
-bit-identical λ samples, and writes ``BENCH_montecarlo.json``.  Both
-records feed the README's performance notes and the CI smoke checks.
+bit-identical λ samples, and writes ``BENCH_montecarlo.json``.
+
+``service`` times the ``repro.service`` layer — cold compiles vs
+warm content-addressed cache resolutions (adopt and delay-rebind
+tiers), and serial vs coalesced Monte-Carlo dispatch — and writes
+``BENCH_service.json``.  All records feed the README's performance
+notes and the CI smoke checks.
 
 Timings are best-of-N wall clock after warmup (the float kernel's
 code-generation tier activates during warmup, as it does in any
@@ -171,11 +177,176 @@ def run_montecarlo_suite(sizes, batches, output):
     return 0
 
 
+SERVICE_SIZES = (100, 200, 400)
+SERVICE_COPIES = 12
+SERVICE_REQUESTS = 16
+SERVICE_SAMPLES = 32
+SERVICE_REPS = 5
+
+
+def _timed_each(fn, items):
+    start = time.perf_counter()
+    for item in items:
+        fn(item)
+    return (time.perf_counter() - start) / len(items)
+
+
+def measure_service_compile(stages):
+    from repro.core.kernel import CompiledGraph
+    from repro.service.cache import clear_caches, configure, shared_compiled_graph
+
+    graph = ring_with_chords(stages=stages, tokens=4, chords=stages // 4, seed=7)
+    CompiledGraph(graph.copy())  # warm interpreter paths
+    cold = min(
+        _timed_each(CompiledGraph, [graph.copy() for _ in range(SERVICE_COPIES)])
+        for _ in range(SERVICE_REPS)
+    )
+    configure()
+    shared_compiled_graph(graph)  # seed the cache
+    warm = min(
+        _timed_each(
+            shared_compiled_graph, [graph.copy() for _ in range(SERVICE_COPIES)]
+        )
+        for _ in range(SERVICE_REPS)
+    )
+
+    def variants():
+        built = []
+        for index in range(SERVICE_COPIES):
+            variant = graph.copy()
+            arc = variant.arcs[index % variant.num_arcs]
+            variant.set_delay(arc.source, arc.target, float(arc.delay) + 0.25)
+            built.append(variant)
+        return built
+
+    rebound = min(
+        _timed_each(shared_compiled_graph, variants())
+        for _ in range(SERVICE_REPS)
+    )
+    clear_caches()
+    return {
+        "stages": stages,
+        "events": graph.num_events,
+        "arcs": graph.num_arcs,
+        "cold_compile_ms": 1e3 * cold,
+        "warm_adopt_ms": 1e3 * warm,
+        "warm_rebind_ms": 1e3 * rebound,
+        "warm_adopt_speedup": cold / warm,
+        "warm_rebind_speedup": cold / rebound,
+    }
+
+
+def measure_service_coalescing(stages):
+    from repro.core.kernel import BatchBindings, compiled_graph
+    from repro.core.kernel import run_border_simulations_batch
+    from repro.analysis.montecarlo import sample_delay_matrix
+    from repro.service.queue import RequestCoalescer
+
+    graph = ring_with_chords(stages=stages, tokens=4, chords=stages // 4, seed=7)
+    sampler = uniform_spread(0.1)
+    rng = np.random.default_rng(0)
+    matrices = [
+        sample_delay_matrix(graph, sampler, SERVICE_SAMPLES, rng)
+        for _ in range(SERVICE_REQUESTS)
+    ]
+    cg = compiled_graph(graph)
+
+    def serial():
+        for matrix in matrices:
+            run_border_simulations_batch(
+                graph, BatchBindings(cg, matrix)
+            ).cycle_times()
+
+    serial()  # warm
+    serial_s = best_of(serial, reps=SERVICE_REPS)
+
+    def coalesced(coalescer):
+        futures = [coalescer.submit(graph, m) for m in matrices]
+        for future in futures:
+            future.result(60)
+
+    with RequestCoalescer(linger_s=0.005) as coalescer:
+        coalesced(coalescer)  # warm
+        coalesced_s = best_of(lambda: coalesced(coalescer), reps=SERVICE_REPS)
+    total = SERVICE_REQUESTS * SERVICE_SAMPLES
+    return {
+        "stages": stages,
+        "requests": SERVICE_REQUESTS,
+        "samples_per_request": SERVICE_SAMPLES,
+        "serial_samples_per_sec": total / serial_s,
+        "coalesced_samples_per_sec": total / coalesced_s,
+        "coalesced_speedup": serial_s / coalesced_s,
+    }
+
+
+def run_service_suite(sizes, output):
+    compile_rows = []
+    for stages in sizes:
+        row = measure_service_compile(stages)
+        compile_rows.append(row)
+        print(
+            "n=%-4d  cold %7.3f ms  adopt %7.3f ms (%.1fx)  "
+            "rebind %7.3f ms (%.1fx)"
+            % (
+                stages,
+                row["cold_compile_ms"],
+                row["warm_adopt_ms"],
+                row["warm_adopt_speedup"],
+                row["warm_rebind_ms"],
+                row["warm_rebind_speedup"],
+            )
+        )
+    coalesce_row = measure_service_coalescing(100)
+    print(
+        "coalescing n=100, %dx%d: serial %8.0f samples/sec  "
+        "coalesced %8.0f samples/sec (%.1fx)"
+        % (
+            coalesce_row["requests"],
+            coalesce_row["samples_per_request"],
+            coalesce_row["serial_samples_per_sec"],
+            coalesce_row["coalesced_samples_per_sec"],
+            coalesce_row["coalesced_speedup"],
+        )
+    )
+    largest = compile_rows[-1]
+    document = {
+        "benchmark": "repro.service content-addressed cache and request coalescer",
+        "workload": "ring_with_chords(stages=n, tokens=4, chords=n/4, seed=7); "
+        "cold CompiledGraph() vs shared_compiled_graph() on fresh "
+        "content-equal copies; %d Monte-Carlo requests x %d samples "
+        "serial vs coalesced" % (SERVICE_REQUESTS, SERVICE_SAMPLES),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "timer": "best of %d, wall clock, %d graphs per measurement"
+        % (SERVICE_REPS, SERVICE_COPIES),
+        "compile_rows": compile_rows,
+        "coalescing": coalesce_row,
+        "headline": {
+            "graph": "stages=%d" % largest["stages"],
+            "warm_compile_speedup": largest["warm_adopt_speedup"],
+            "warm_rebind_speedup": largest["warm_rebind_speedup"],
+            "coalesced_speedup": coalesce_row["coalesced_speedup"],
+        },
+    }
+    with open(output, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print("wrote %s" % os.path.abspath(output))
+    if largest["warm_adopt_speedup"] < 5.0:
+        print(
+            "WARNING: warm compile speedup %.1fx below the 5x target"
+            % largest["warm_adopt_speedup"]
+        )
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     root = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--suite", choices=("kernels", "montecarlo"), default="kernels",
+        "--suite", choices=("kernels", "montecarlo", "service"),
+        default="kernels",
         help="what to measure (default: the single-analysis kernels)",
     )
     parser.add_argument(
@@ -194,6 +365,13 @@ def main(argv=None) -> int:
         help="comma-separated batch widths S (montecarlo suite only)",
     )
     args = parser.parse_args(argv)
+    if args.suite == "service":
+        sizes = [
+            int(part)
+            for part in (args.sizes or ",".join(map(str, SERVICE_SIZES))).split(",")
+        ]
+        output = args.output or os.path.join(root, "BENCH_service.json")
+        return run_service_suite(sizes, output)
     if args.suite == "montecarlo":
         sizes = [
             int(part)

@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the ``repro serve`` daemon.
+
+Spawns ``python -m repro serve`` on an ephemeral port, drives it
+through the typed client — two identical ``/analyze`` requests and one
+``/montecarlo`` — asserts ``/stats`` reports a result-cache hit on the
+second identical request, then sends SIGINT and asserts a clean
+shutdown.  Exit code 0 means the whole loop works; this is the CI
+service smoke job.
+
+Usage::
+
+    PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from fractions import Fraction
+
+ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.circuits.library import muller_ring_tsg  # noqa: E402
+from repro.service.client import ServiceClient, free_port  # noqa: E402
+
+
+def fail(message: str, daemon: subprocess.Popen) -> int:
+    print("FAIL: %s" % message, file=sys.stderr)
+    daemon.kill()
+    out, _ = daemon.communicate(timeout=10)
+    print("--- daemon output ---\n%s" % out, file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    port = free_port()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", str(port), "--quiet"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        client = ServiceClient("http://127.0.0.1:%d" % port, timeout=30)
+        if not client.wait_until_ready(timeout=30):
+            return fail("daemon did not come up within 30s", daemon)
+
+        graph = muller_ring_tsg(5)
+        first = client.analyze(graph)
+        if first["cycle_time"] != Fraction(20, 3):
+            return fail("wrong cycle time: %r" % (first["cycle_time"],), daemon)
+        if first["cached"]:
+            return fail("first /analyze claimed a cache hit", daemon)
+
+        second = client.analyze(graph)
+        if not second["cached"]:
+            return fail("second identical /analyze missed the cache", daemon)
+        if second["cycle_time"] != first["cycle_time"]:
+            return fail("cached result disagrees", daemon)
+
+        mc = client.montecarlo(graph, samples=200, seed=4, spread=0.15)
+        if mc["count"] != 200 or not mc["min"] <= mc["mean"] <= mc["max"]:
+            return fail("implausible Monte-Carlo summary: %r" % mc, daemon)
+
+        stats = client.stats()
+        if stats["cache"]["result"]["hits"] < 1:
+            return fail("/stats reports no result-cache hit", daemon)
+        if stats["requests"]["analyze"] != 2:
+            return fail("request counters wrong: %r" % stats["requests"], daemon)
+        print(
+            "smoke: lambda=%s, result-cache hits=%d, compile misses=%d, "
+            "mc mean=%.4f"
+            % (
+                first["cycle_time"],
+                stats["cache"]["result"]["hits"],
+                stats["cache"]["compile"]["misses"],
+                mc["mean"],
+            )
+        )
+    except Exception as error:  # noqa: BLE001 — smoke harness boundary
+        return fail("%s: %s" % (type(error).__name__, error), daemon)
+
+    daemon.send_signal(signal.SIGINT)
+    try:
+        out, _ = daemon.communicate(timeout=15)
+    except subprocess.TimeoutExpired:
+        return fail("daemon did not exit on SIGINT", daemon)
+    if daemon.returncode != 0:
+        print("FAIL: daemon exit code %d\n%s" % (daemon.returncode, out),
+              file=sys.stderr)
+        return 1
+    if "shut down cleanly" not in out:
+        print("FAIL: missing clean-shutdown message\n%s" % out, file=sys.stderr)
+        return 1
+    print("smoke: clean SIGINT shutdown")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -214,6 +214,7 @@ def monte_carlo_cycle_time(
     batch_size: Optional[int] = None,
     workers: Optional[int] = None,
     method: str = "batch",
+    cache: bool = True,
 ) -> MonteCarloResult:
     """Sample delays, re-analyse, aggregate.
 
@@ -229,6 +230,10 @@ def monte_carlo_cycle_time(
     memory and ``workers`` overlapping chunks on a thread pool;
     ``method="persample"`` keeps the original rebind-per-trial loop
     (the executable reference — bit-identical λ samples).
+    ``cache=True`` (default) resolves the compiled topology through the
+    process-wide content-addressed compile cache
+    (:func:`repro.service.cache.shared_compiled_graph`), so repeated
+    runs over content-equal graphs skip recompilation.
     """
     if samples < 1:
         raise GraphConstructionError("need at least one sample")
@@ -237,7 +242,12 @@ def monte_carlo_cycle_time(
             "unknown Monte-Carlo method %r (choose batch or persample)" % method
         )
     rng = np.random.default_rng(seed)
-    base = compiled_graph(graph)
+    if cache:
+        from ..service.cache import shared_compiled_graph
+
+        base = shared_compiled_graph(graph)
+    else:
+        base = compiled_graph(graph)
     matrix = sample_delay_matrix(graph, sampler, samples, rng)
     repetitive = graph.repetitive_events
     hits: Dict[Tuple[Event, Event], int] = {

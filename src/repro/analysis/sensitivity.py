@@ -85,12 +85,22 @@ def delay_sensitivities(
     return rows
 
 
+def _resolve_compiled(graph: TimedSignalGraph, cache: bool):
+    """Compile ``graph`` through the content-addressed cache or directly."""
+    if cache:
+        from ..service.cache import shared_compiled_graph
+
+        return shared_compiled_graph(graph)
+    return compiled_graph(graph)
+
+
 def what_if_delays(
     graph: TimedSignalGraph,
     arc: Tuple[Event, Event],
     values: Sequence[Number],
     batch_size: Optional[int] = None,
     workers: Optional[int] = None,
+    cache: bool = True,
 ) -> List[Tuple[float, float]]:
     """λ for each candidate delay of one arc, as ``(delay, λ)`` rows.
 
@@ -109,7 +119,7 @@ def what_if_delays(
     if not values:
         raise GraphConstructionError("need at least one candidate delay")
     validate_graph(graph)
-    compiled_graph(graph)
+    _resolve_compiled(graph, cache)
     arcs = graph.arcs
     nominal = np.asarray([float(row.delay) for row in arcs], dtype=np.float64)
     matrix = np.tile(nominal, (len(values), 1))
@@ -131,6 +141,7 @@ def empirical_sensitivities(
     epsilon: float = 1e-6,
     batch_size: Optional[int] = None,
     workers: Optional[int] = None,
+    cache: bool = True,
 ) -> List[ArcSensitivity]:
     """Finite-difference dλ/dδ for every repetitive-core arc.
 
@@ -146,7 +157,7 @@ def empirical_sensitivities(
     if epsilon <= 0:
         raise GraphConstructionError("epsilon must be positive")
     validate_graph(graph)
-    compiled_graph(graph)
+    _resolve_compiled(graph, cache)
     repetitive = graph.repetitive_events
     arcs = graph.arcs
     core = [

@@ -28,6 +28,10 @@ Commands
 ``demo NAME``
     Print one of the built-in paper graphs (``oscillator``, ``ring``,
     ``stack``).
+``serve``
+    Run the JSON-over-HTTP analysis daemon (:mod:`repro.service`):
+    content-addressed compile/result caching plus request coalescing
+    behind ``/analyze``, ``/montecarlo``, ``/stats`` and ``/healthz``.
 """
 
 from __future__ import annotations
@@ -75,7 +79,8 @@ def _cmd_analyze(args) -> int:
         from .core import compute_cycle_time
 
         result = compute_cycle_time(
-            graph, kernel=args.kernel, workers=args.workers
+            graph, kernel=args.kernel, workers=args.workers,
+            cache="off" if args.no_cache else "auto",
         )
         print("graph: %s (%d events, %d arcs, %d border events)"
               % (graph.name, graph.num_events, graph.num_arcs,
@@ -294,6 +299,27 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .service.cache import configure
+    from .service.server import ServiceConfig, serve
+
+    configure(
+        compile_entries=args.compile_entries,
+        result_entries=args.result_entries,
+        disk=args.disk_cache,
+        disk_dir=args.cache_dir,
+    )
+    return serve(
+        ServiceConfig(
+            host=args.host,
+            port=args.port,
+            request_timeout=args.request_timeout,
+            linger_ms=args.linger_ms,
+            quiet=args.quiet,
+        )
+    )
+
+
 def _cmd_demo(args) -> int:
     try:
         graph = DEMOS[args.name]()
@@ -306,10 +332,15 @@ def _cmd_demo(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro-tsg",
         description="Cycle-time analysis of Timed Signal Graphs "
         "(Nielsen & Kishinevsky, DAC 1994)",
+    )
+    parser.add_argument(
+        "--version", action="version", version="%(prog)s " + __version__
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -331,6 +362,10 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--workers", type=int, default=None, metavar="N",
         help="run the border simulations on a thread pool of N workers",
+    )
+    analyze.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the content-addressed compile cache",
     )
     analyze.set_defaults(func=_cmd_analyze)
 
@@ -447,6 +482,36 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("after")
     compare.add_argument("--json", action="store_true")
     compare.set_defaults(func=_cmd_compare)
+
+    serve = commands.add_parser(
+        "serve", help="run the JSON-over-HTTP analysis daemon"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8177,
+                       help="TCP port (0 picks an ephemeral port)")
+    serve.add_argument(
+        "--request-timeout", type=float, default=30.0, metavar="S",
+        help="per-request socket timeout in seconds",
+    )
+    serve.add_argument(
+        "--linger-ms", type=float, default=2.0, metavar="MS",
+        help="coalescing window: how long a Monte-Carlo request waits "
+        "for same-topology companions before dispatch",
+    )
+    serve.add_argument(
+        "--disk-cache", action="store_true",
+        help="persist compiled topologies and results under "
+        "~/.cache/repro (or $REPRO_CACHE_DIR)",
+    )
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="override the on-disk cache root")
+    serve.add_argument("--compile-entries", type=int, default=128,
+                       help="compile-cache entry bound")
+    serve.add_argument("--result-entries", type=int, default=1024,
+                       help="result-cache entry bound")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request access logging")
+    serve.set_defaults(func=_cmd_serve)
 
     demo = commands.add_parser("demo", help="print a built-in paper graph")
     demo.add_argument("name", choices=sorted(DEMOS))

@@ -28,7 +28,7 @@ from .arithmetic import Number, exact_div, numbers_close
 from .cycles import Cycle, make_cycle
 from .errors import AcyclicGraphError, SignalGraphError
 from .events import event_label
-from .kernel import run_border_simulations
+from .kernel import resolve_kernel, run_border_simulations
 from .signal_graph import Event, TimedSignalGraph
 from .simulation import EventInitiatedSimulation
 from .validation import validate as validate_graph
@@ -131,6 +131,7 @@ def compute_cycle_time(
     workers: Optional[int] = None,
     keep_simulations: bool = True,
     backtrack: bool = True,
+    cache: object = "auto",
 ) -> CycleTimeResult:
     """Run the paper's algorithm on a validated Timed Signal Graph.
 
@@ -163,9 +164,26 @@ def compute_cycle_time(
         that only need λ (a Monte-Carlo histogram, an interval bound
         probe) pass False and skip the backtracking cost entirely;
         ``critical_cycles`` is then empty.
+    cache:
+        Content-addressed caching policy (:mod:`repro.service.cache`).
+        ``"auto"`` (default) resolves the compiled topology through the
+        process-wide compile cache — a graph content-equal to one seen
+        before adopts its compiled programs instead of recompiling, and
+        a delay-only variant rebinds in O(m).  ``"results"``
+        additionally memoises the finished analysis by content hash
+        (only applied together with ``keep_simulations=False``, since
+        cached results are shared).  ``False``/``"off"`` bypasses both.
     """
     if check:
         validate_graph(graph)
+    use_cache = cache not in (False, None, "off")
+    resolved = resolve_kernel(graph, kernel)
+    if use_cache and resolved != "legacy":
+        # Lazy import: core must stay importable without the service
+        # package, and the service package imports core.
+        from ..service.cache import shared_compiled_graph
+
+        shared_compiled_graph(graph)
     border = graph.border_events
     if not border:
         raise AcyclicGraphError(
@@ -177,6 +195,22 @@ def compute_cycle_time(
         raise SignalGraphError(
             "periods=%d is below the sound bound b=%d" % (periods, len(border))
         )
+
+    cache_key = None
+    if use_cache and cache == "results" and not keep_simulations:
+        from ..service.cache import result_cache
+        from ..service.hashing import analysis_key
+
+        cache_key = analysis_key(
+            graph,
+            "cycle-time",
+            periods=periods,
+            kernel=resolved,
+            backtrack=backtrack,
+        )
+        memoised = result_cache().get(cache_key)
+        if memoised is not None:
+            return memoised
 
     simulations = run_border_simulations(
         graph, periods, kernel=kernel, workers=workers, border=border
@@ -201,7 +235,7 @@ def compute_cycle_time(
         cycles = _backtrack_critical_cycles(graph, simulations, winners, best)
     else:
         cycles = []
-    return CycleTimeResult(
+    result = CycleTimeResult(
         cycle_time=best,
         critical_cycles=cycles,
         border_events=border,
@@ -209,6 +243,11 @@ def compute_cycle_time(
         periods=periods,
         simulations=simulations if keep_simulations else {},
     )
+    if cache_key is not None:
+        from ..service.cache import result_cache
+
+        result_cache().put(cache_key, result)
+    return result
 
 
 def _backtrack_critical_cycles(

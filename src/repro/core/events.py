@@ -66,6 +66,12 @@ class Transition:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # str hashes are salted per process (PYTHONHASHSEED), so the
+        # cached ``_hash`` must never travel in a pickle: rebuild via
+        # the constructor, which recomputes it for the loading process.
+        return (Transition, (self.signal, self.direction, self.tag))
+
     @property
     def is_rising(self) -> bool:
         """True for an up-going (0 to 1) transition."""
@@ -139,3 +145,21 @@ def as_event(obj):
 def event_label(event) -> str:
     """Stable printable label for any event object."""
     return str(event)
+
+
+def event_sort_key(event) -> str:
+    """Canonical, type-qualified ordering key for events.
+
+    Used wherever a content-determined iteration order is needed — the
+    compiled kernel's canonical topological order and the service
+    layer's content hashing.  The type qualifier keeps distinct event
+    kinds with colliding labels apart (the string ``"5"`` vs the int
+    ``5``); :func:`as_event` guarantees a string event never collides
+    with a transition label.  Requires ``str(event)`` to be stable
+    across processes, which holds for every supported event type.
+    """
+    if isinstance(event, Transition):
+        return "t:" + str(event)
+    if isinstance(event, str):
+        return "s:" + event
+    return "%s:%s" % (type(event).__name__, event)

@@ -87,6 +87,7 @@ import networkx as nx
 import numpy as np
 
 from .errors import NotLiveError, SignalGraphError
+from .events import event_sort_key
 from .signal_graph import Event, TimedSignalGraph
 from .validation import find_unmarked_cycle, unmarked_subgraph
 
@@ -143,7 +144,17 @@ class CompiledGraph:
                 cycle=cycle,
             )
         self.graph = graph
-        order: List[Event] = list(nx.topological_sort(unmarked_subgraph(graph)))
+        # The *lexicographical* topological sort makes the compiled
+        # structure canonical: two content-equal graphs compile to the
+        # same order (and hence the same slot layout and programs) no
+        # matter what order their events and arcs were inserted in —
+        # the property that makes content-hash -> compiled-program
+        # reuse in repro.service sound.
+        order: List[Event] = list(
+            nx.lexicographical_topological_sort(
+                unmarked_subgraph(graph), key=event_sort_key
+            )
+        )
         self.order = order
         self.n = n = len(order)
         self.id_of: Dict[Event, int] = {event: i for i, event in enumerate(order)}
@@ -210,13 +221,24 @@ class CompiledGraph:
         self._batch_structure: Optional["_BatchStructure"] = None
 
     @classmethod
-    def rebound(cls, base: "CompiledGraph", graph: TimedSignalGraph) -> "CompiledGraph":
+    def rebound(
+        cls,
+        base: "CompiledGraph",
+        graph: TimedSignalGraph,
+        allow_codegen: bool = False,
+    ) -> "CompiledGraph":
         """A compiled view of ``graph`` reusing ``base``'s topology.
 
         ``graph`` must have exactly ``base.graph``'s events and arcs
-        (same objects, e.g. via :meth:`TimedSignalGraph.copy`) and may
-        differ only in delays — the contract of delay sweeps.  Skips
-        the liveness check and topological sort, so a rebind is O(m).
+        (equal values, e.g. via :meth:`TimedSignalGraph.copy` or a
+        content-hash match) and may differ only in delays — the
+        contract of delay sweeps.  Skips the liveness check and
+        topological sort, so a rebind is O(m).
+
+        ``allow_codegen`` defaults to False because a rebound structure
+        typically carries trial-specific delays and lives for one
+        analysis, where specialising code can never pay off; the
+        service compile cache passes True for long-lived client graphs.
         """
         new = cls.__new__(cls)
         new.graph = graph
@@ -229,10 +251,52 @@ class CompiledGraph:
         new.topo_repetitive = base.topo_repetitive
         new.rep_index = base.rep_index
         new._build_programs(graph, frozenset(base.topo_repetitive))
-        # A rebound structure carries trial-specific delays and lives
-        # for one analysis; specialising code for it can never pay off.
-        new._allow_codegen = False
+        new._allow_codegen = allow_codegen
         return new
+
+    @classmethod
+    def adopt(cls, base: "CompiledGraph", graph: TimedSignalGraph) -> "CompiledGraph":
+        """A compiled view of ``graph`` sharing ``base``'s programs.
+
+        Requires ``graph`` to be *content-equal* to the graph ``base``
+        was compiled from — same events, arcs, markings, disengageable
+        sets **and delays** (equal values; the service layer guarantees
+        this via the full content hash).  Everything expensive — the
+        topology, the arc programs, already-converted float programs
+        and generated straight-line kernels — is shared by reference;
+        only the per-graph lazy state (the batch structure, whose
+        column order follows ``graph``'s own arc insertion order) is
+        reset.  Adoption is O(1): the warm path of the compile cache.
+        """
+        new = cls.__new__(cls)
+        new.graph = graph
+        new.order = base.order
+        new.n = base.n
+        new.id_of = base.id_of
+        new.repetitive = base.repetitive
+        new.rep_ids = base.rep_ids
+        new.nonrep_ids = base.nonrep_ids
+        new.topo_repetitive = base.topo_repetitive
+        new.rep_index = base.rep_index
+        new.in_compact = base.in_compact
+        new.p0, new.p1, new.ps = base.p0, base.p1, base.ps
+        new._float_programs = base._float_programs
+        new._float_fns = base._float_fns
+        new._float_runs = base._float_runs
+        new._allow_codegen = base._allow_codegen
+        new._batch_structure = None
+        return new
+
+    def __getstate__(self) -> dict:
+        # Generated straight-line kernels are exec-compiled functions
+        # and cannot be pickled; the batch structure holds NumPy index
+        # arrays cheap to rebuild.  Both regenerate lazily after a
+        # round-trip (e.g. through the service disk cache).
+        state = dict(self.__dict__)
+        state["_float_fns"] = None
+        state["_float_runs"] = 0
+        state["_batch_structure"] = None
+        return state
 
     # ------------------------------------------------------------------
     def programs(self, float_mode: bool) -> tuple:
@@ -300,6 +364,30 @@ class CompiledGraph:
 def compiled_graph(graph: TimedSignalGraph) -> CompiledGraph:
     """The compiled structure of ``graph``, cached until mutation."""
     return graph.cached(_CACHE_KEY, lambda: CompiledGraph(graph))
+
+
+def peek_compiled(graph: TimedSignalGraph) -> Optional[CompiledGraph]:
+    """The already-installed compiled structure of ``graph``, if any.
+
+    Never compiles; the service cache uses this to skip content
+    hashing entirely when the graph object was compiled (or rebound)
+    before and has not been mutated since.
+    """
+    return graph._cache.get(_CACHE_KEY)
+
+
+def install_compiled(graph: TimedSignalGraph, cg: CompiledGraph) -> CompiledGraph:
+    """Install ``cg`` as ``graph``'s compiled structure.
+
+    Also installs the repetitive classification derived from the
+    compiled topology, so no networkx pass runs on ``graph`` at all;
+    border/initial events then derive from it with one cheap linear
+    scan.  ``cg`` must have been built for (or rebound/adopted onto)
+    ``graph``.
+    """
+    repetitive = frozenset(cg.topo_repetitive)
+    graph.cached("repetitive", lambda: repetitive)
+    return graph.cached(_CACHE_KEY, lambda: cg)
 
 
 def rebind_compiled(graph: TimedSignalGraph, base: CompiledGraph) -> CompiledGraph:

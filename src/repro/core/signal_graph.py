@@ -32,7 +32,7 @@ from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
 import networkx as nx
 
 from .errors import GraphConstructionError, NotInitiallySafeError
-from .events import as_event, event_label
+from .events import as_event, event_label, event_sort_key
 
 Event = Hashable
 Delay = Real
@@ -257,6 +257,42 @@ class TimedSignalGraph:
         return list(self._arcs.values())
 
     @property
+    def sorted_events(self) -> List[Event]:
+        """All events in canonical (content-determined) order.
+
+        Unlike :attr:`events` the order does not depend on insertion
+        history, so it is the stable iteration used by content hashing
+        (:mod:`repro.service.hashing`).  Memoised until mutation.
+        """
+        return self.cached(
+            "sorted-events", lambda: sorted(self._events, key=event_sort_key)
+        )
+
+    @property
+    def sorted_arcs(self) -> List[Arc]:
+        """All arcs in canonical ``(source, target)`` order.
+
+        The stable iteration used by content hashing — two graphs with
+        the same arcs enumerate them identically here regardless of the
+        order :meth:`add_arc` was called in.  Memoised until mutation.
+        """
+        return self.cached(
+            "sorted-arcs",
+            lambda: sorted(
+                self._arcs.values(),
+                key=lambda arc: (
+                    event_sort_key(arc.source),
+                    event_sort_key(arc.target),
+                ),
+            ),
+        )
+
+    @property
+    def declared_initial_events(self) -> frozenset:
+        """Events explicitly declared initial via :meth:`add_event`."""
+        return frozenset(self._declared_initial)
+
+    @property
     def num_events(self) -> int:
         return len(self._events)
 
@@ -473,6 +509,14 @@ class TimedSignalGraph:
     # ------------------------------------------------------------------
     # dunder utilities
     # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        # Derived structures (classifications, the compiled kernel and
+        # its generated code) are cheap to recompute and may hold
+        # unpicklable objects; persist only the definitional state.
+        state = dict(self.__dict__)
+        state["_cache"] = {}
+        return state
+
     def __contains__(self, event) -> bool:
         return self.has_event(event)
 

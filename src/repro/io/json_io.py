@@ -24,6 +24,21 @@ def _encode_number(value) -> Any:
     return value
 
 
+def encode_number(value) -> Any:
+    """Tagged JSON encoding of an exact or float delay/number.
+
+    Public alias used by the service wire format: ints and floats pass
+    through, Fractions become ``{"fraction": [num, den]}`` (denominator
+    1 collapses to an int).
+    """
+    return _encode_number(value)
+
+
+def decode_number(value) -> Any:
+    """Inverse of :func:`encode_number`."""
+    return _decode_number(value)
+
+
 def _decode_number(value) -> Any:
     if isinstance(value, dict):
         try:

@@ -1,0 +1,52 @@
+"""repro.service — content-addressed caching and the analysis daemon.
+
+The service layer turns the library into a shareable system:
+
+* :mod:`repro.service.hashing` — canonical, order-independent content
+  hashes of Timed Signal Graph topologies and delay bindings;
+* :mod:`repro.service.cache` — a thread-safe two-tier (memory LRU +
+  optional on-disk) cache of compiled topologies and finished analysis
+  results, wired into :func:`repro.core.compute_cycle_time` and the
+  analysis modules behind their ``cache=`` parameters;
+* :mod:`repro.service.queue` — a request coalescer that merges pending
+  Monte-Carlo sweeps sharing a topology into single batched kernel
+  calls;
+* :mod:`repro.service.server` / :mod:`repro.service.client` — a
+  stdlib-only JSON-over-HTTP daemon (``repro serve``) and its typed
+  Python client.
+"""
+
+from .cache import (
+    CacheStats,
+    DiskCache,
+    LRUCache,
+    TwoTierCache,
+    clear_caches,
+    compile_cache,
+    configure,
+    result_cache,
+    service_cache_stats,
+    shared_compiled_graph,
+)
+from .client import ServiceClient, ServiceError
+from .hashing import delay_hash, graph_hash, topology_hash
+from .queue import RequestCoalescer
+
+__all__ = [
+    "CacheStats",
+    "DiskCache",
+    "LRUCache",
+    "RequestCoalescer",
+    "ServiceClient",
+    "ServiceError",
+    "TwoTierCache",
+    "clear_caches",
+    "compile_cache",
+    "configure",
+    "delay_hash",
+    "graph_hash",
+    "result_cache",
+    "service_cache_stats",
+    "shared_compiled_graph",
+    "topology_hash",
+]

@@ -1,0 +1,398 @@
+"""Thread-safe two-tier caching of compiled topologies and results.
+
+Three layers, composable and individually testable:
+
+* :class:`LRUCache` — an in-memory least-recently-used map with entry
+  *and* cost bounds (cost defaults to 1 per entry; the compile cache
+  weighs entries by graph size so one huge topology cannot pin the
+  whole budget);
+* :class:`DiskCache` — an optional on-disk pickle store under
+  ``~/.cache/repro`` (override with ``REPRO_CACHE_DIR``), written
+  atomically (temp file + ``os.replace``) into a directory versioned
+  by both the cache-format and the content-hash version, so a layout
+  change can never serve stale entries;
+* :class:`TwoTierCache` — memory first, disk second, promoting disk
+  hits into memory; every get/put/eviction feeds a
+  :class:`CacheStats` counter block surfaced by the daemon's
+  ``/stats`` endpoint.
+
+On top sit two process-wide caches plus the entry point the rest of
+the library calls:
+
+* :func:`shared_compiled_graph` — the content-addressed compile cache.
+  A full-hash hit *adopts* the cached
+  :class:`~repro.core.kernel.CompiledGraph` (O(1): programs and any
+  generated kernels shared by reference); a topology-only hit
+  *rebinds* it (O(m): delay programs rebuilt, networkx liveness /
+  toposort / SCC passes all skipped); a miss compiles and publishes.
+* :func:`result_cache` — finished analysis results keyed by
+  :func:`~repro.service.hashing.analysis_key`.
+
+Everything is safe under concurrent get/put from server threads: the
+LRU serialises on an ``RLock``, disk writes are atomic renames, and a
+racing double-compile of the same topology is benign (last put wins,
+both structures are valid).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..core.kernel import (
+    CompiledGraph,
+    compiled_graph,
+    install_compiled,
+    peek_compiled,
+)
+from ..core.signal_graph import TimedSignalGraph
+from .hashing import HASH_VERSION, delay_hash, topology_hash
+
+#: Bump when the pickle payload layout changes.
+CACHE_FORMAT = "1"
+
+_MISSING = object()
+
+
+class CacheStats:
+    """Thread-safe hit/miss/eviction counters for one cache."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {}
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + amount
+
+    def maximum(self, name: str, value: int) -> None:
+        with self._lock:
+            if value > self._counts.get(name, 0):
+                self._counts[name] = value
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._counts.get(name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts.clear()
+
+
+class LRUCache:
+    """A bounded, thread-safe least-recently-used mapping.
+
+    ``max_entries`` bounds the entry count; ``max_cost`` (with
+    ``cost_fn``) bounds the summed cost of retained values.  Either
+    bound evicts from the least recently used end and bumps the
+    ``evictions`` counter of the attached stats block.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 128,
+        max_cost: Optional[float] = None,
+        cost_fn: Optional[Callable[[Any], float]] = None,
+        stats: Optional[CacheStats] = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.max_cost = max_cost
+        self._cost_fn = cost_fn or (lambda value: 1)
+        self.stats = stats or CacheStats()
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[Any, Tuple[Any, float]]" = OrderedDict()
+        self._total_cost = 0.0
+
+    def get(self, key, default=None):
+        with self._lock:
+            found = self._entries.get(key, _MISSING)
+            if found is _MISSING:
+                return default
+            self._entries.move_to_end(key)
+            return found[0]
+
+    def put(self, key, value) -> None:
+        cost = float(self._cost_fn(value))
+        with self._lock:
+            old = self._entries.pop(key, _MISSING)
+            if old is not _MISSING:
+                self._total_cost -= old[1]
+            self._entries[key] = (value, cost)
+            self._total_cost += cost
+            while len(self._entries) > self.max_entries or (
+                self.max_cost is not None
+                and self._total_cost > self.max_cost
+                and len(self._entries) > 1
+            ):
+                _, (_, evicted_cost) = self._entries.popitem(last=False)
+                self._total_cost -= evicted_cost
+                self.stats.increment("evictions")
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._total_cost = 0.0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def total_cost(self) -> float:
+        with self._lock:
+            return self._total_cost
+
+
+def default_cache_dir() -> str:
+    """The on-disk store root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    return os.environ.get("REPRO_CACHE_DIR") or os.path.join(
+        os.path.expanduser("~"), ".cache", "repro"
+    )
+
+
+class DiskCache:
+    """Pickle-per-entry store with atomic writes and versioned layout.
+
+    Entries live under ``<root>/c<format>-h<hash-version>/<namespace>/``,
+    one file per key, so bumping either version abandons (never
+    mis-reads) old entries.  All failures — unreadable, truncated or
+    version-skewed files, unwritable directories — degrade to cache
+    misses; a cache must never take the analysis down with it.
+    """
+
+    def __init__(self, directory: Optional[str] = None, namespace: str = "default"):
+        root = directory or default_cache_dir()
+        self.directory = os.path.join(
+            root, "c%s-h%s" % (CACHE_FORMAT, HASH_VERSION), namespace
+        )
+
+    def _path(self, key: str) -> str:
+        # Keys are hex digests already, but guard arbitrary strings.
+        safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in key)
+        return os.path.join(self.directory, safe[:128] + ".pkl")
+
+    def get(self, key: str, default=None):
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                record = pickle.load(handle)
+            if record.get("key") == key:
+                return record["value"]
+        except FileNotFoundError:
+            pass
+        except Exception:
+            # Corrupt or incompatible entry: drop it and miss.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        return default
+
+    def put(self, key: str, value) -> bool:
+        record = {"key": key, "format": CACHE_FORMAT, "value": value}
+        try:
+            payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return False  # unpicklable value: memory-tier only
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            return True
+        except OSError:
+            return False
+
+    def clear(self) -> None:
+        try:
+            for name in os.listdir(self.directory):
+                if name.endswith(".pkl") or name.endswith(".tmp"):
+                    try:
+                        os.unlink(os.path.join(self.directory, name))
+                    except OSError:
+                        pass
+        except OSError:
+            pass
+
+
+class TwoTierCache:
+    """Memory LRU in front of an optional disk store, with stats."""
+
+    def __init__(
+        self,
+        memory: LRUCache,
+        disk: Optional[DiskCache] = None,
+        name: str = "cache",
+    ) -> None:
+        self.memory = memory
+        self.disk = disk
+        self.name = name
+        self.stats = memory.stats  # one block for both tiers
+
+    def get(self, key, default=None):
+        value = self.memory.get(key, _MISSING)
+        if value is not _MISSING:
+            self.stats.increment("hits")
+            return value
+        if self.disk is not None:
+            value = self.disk.get(key, _MISSING)
+            if value is not _MISSING:
+                self.stats.increment("disk_hits")
+                self.memory.put(key, value)  # promote
+                return value
+        self.stats.increment("misses")
+        return default
+
+    def put(self, key, value) -> None:
+        self.stats.increment("puts")
+        self.memory.put(key, value)
+        if self.disk is not None:
+            self.disk.put(key, value)
+
+    def clear(self) -> None:
+        self.memory.clear()
+        if self.disk is not None:
+            self.disk.clear()
+
+    def snapshot(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = dict(self.stats.snapshot())
+        data["entries"] = len(self.memory)
+        data["max_entries"] = self.memory.max_entries
+        data["disk"] = self.disk is not None
+        return data
+
+
+# ----------------------------------------------------------------------
+# the process-wide caches
+# ----------------------------------------------------------------------
+def _compiled_cost(entry: Tuple[CompiledGraph, str]) -> float:
+    cg = entry[0]
+    return 1 + cg.n + cg.graph.num_arcs
+
+
+_lock = threading.Lock()
+_compile: Optional[TwoTierCache] = None
+_results: Optional[TwoTierCache] = None
+
+#: Default bounds; overridable via :func:`configure`.
+DEFAULT_COMPILE_ENTRIES = 128
+DEFAULT_COMPILE_COST = 2_000_000  # ~sum of (events + arcs) retained
+DEFAULT_RESULT_ENTRIES = 1024
+
+
+def configure(
+    compile_entries: int = DEFAULT_COMPILE_ENTRIES,
+    compile_cost: Optional[float] = DEFAULT_COMPILE_COST,
+    result_entries: int = DEFAULT_RESULT_ENTRIES,
+    disk: bool = False,
+    disk_dir: Optional[str] = None,
+) -> None:
+    """(Re)build the process-wide caches with the given bounds.
+
+    ``disk=True`` attaches the on-disk tier to both caches (compiled
+    topologies and finished results survive process restarts).
+    Existing in-memory entries are dropped.
+    """
+    global _compile, _results
+    with _lock:
+        _compile = TwoTierCache(
+            LRUCache(
+                max_entries=compile_entries,
+                max_cost=compile_cost,
+                cost_fn=_compiled_cost,
+            ),
+            disk=DiskCache(disk_dir, "compiled") if disk else None,
+            name="compile",
+        )
+        _results = TwoTierCache(
+            LRUCache(max_entries=result_entries),
+            disk=DiskCache(disk_dir, "results") if disk else None,
+            name="result",
+        )
+
+
+def compile_cache() -> TwoTierCache:
+    """The process-wide compiled-topology cache."""
+    if _compile is None:
+        configure()
+    return _compile  # type: ignore[return-value]
+
+
+def result_cache() -> TwoTierCache:
+    """The process-wide finished-analysis-result cache."""
+    if _results is None:
+        configure()
+    return _results  # type: ignore[return-value]
+
+
+def clear_caches() -> None:
+    """Drop every cached entry (both tiers) and reset counters."""
+    for cache in (compile_cache(), result_cache()):
+        cache.clear()
+        cache.stats.reset()
+
+
+def service_cache_stats() -> Dict[str, Any]:
+    """Counters of both process-wide caches, for ``/stats``."""
+    return {
+        "compile": compile_cache().snapshot(),
+        "result": result_cache().snapshot(),
+    }
+
+
+def shared_compiled_graph(graph: TimedSignalGraph) -> CompiledGraph:
+    """The compiled structure of ``graph`` via the content-addressed cache.
+
+    Resolution order:
+
+    1. the graph object already carries a compiled structure — return
+       it, no hashing at all (repeated analyses of one object stay as
+       cheap as before);
+    2. full content hash matches a cached entry —
+       :meth:`~repro.core.kernel.CompiledGraph.adopt` it (O(1));
+    3. topology hash matches — ``rebound`` onto it (O(m) delay-program
+       rebuild; liveness check, toposort and the repetitive-core SCC
+       pass all skipped);
+    4. miss — compile, publish under the topology hash.
+
+    Counter semantics on the compile cache's stats block: ``hits`` /
+    ``disk_hits`` / ``misses`` count topology lookups as usual, and the
+    extra ``adopted`` / ``rebound`` counters split the hits by kind.
+    """
+    existing = peek_compiled(graph)
+    if existing is not None:
+        return existing
+    cache = compile_cache()
+    topo = topology_hash(graph)
+    delays = delay_hash(graph)
+    entry = cache.get(topo)
+    if entry is not None:
+        base, base_delays = entry
+        if base_delays == delays:
+            cg = CompiledGraph.adopt(base, graph)
+            cache.stats.increment("adopted")
+        else:
+            cg = CompiledGraph.rebound(base, graph, allow_codegen=True)
+            cache.stats.increment("rebound")
+        return install_compiled(graph, cg)
+    cg = compiled_graph(graph)
+    cache.put(topo, (cg, delays))
+    return cg

@@ -1,0 +1,189 @@
+"""Typed Python client for the repro analysis daemon.
+
+Stdlib only (``urllib``); speaks the JSON wire format of
+:mod:`repro.service.server`.  Graphs are serialised with
+:func:`repro.io.json_io.graph_to_dict`; exact cycle times come back as
+tagged numbers and are decoded to :class:`fractions.Fraction`
+transparently.
+
+>>> client = ServiceClient("http://127.0.0.1:8177")
+>>> client.healthz()
+True
+>>> result = client.analyze(graph)
+>>> result["cycle_time"]          # Fraction(20, 3) — exact
+>>> mc = client.montecarlo(graph, samples=5000, seed=7)
+>>> mc["mean"], mc["quantiles"]["p95"]
+
+Structured service errors raise :class:`ServiceError`, carrying the
+server-reported ``type`` (the domain exception class name, e.g.
+``NotLiveError``), ``message`` and HTTP ``status``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+from ..core.signal_graph import TimedSignalGraph
+from ..io.json_io import decode_number, graph_to_dict
+
+
+class ServiceError(Exception):
+    """A structured error reported by the analysis daemon."""
+
+    def __init__(self, kind: str, message: str, status: int):
+        super().__init__("%s (%s, HTTP %d)" % (message, kind, status))
+        self.kind = kind
+        self.message = message
+        self.status = status
+
+
+class ServiceClient:
+    """Talks to one ``repro serve`` daemon.
+
+    Parameters
+    ----------
+    base_url:
+        e.g. ``"http://127.0.0.1:8177"`` (trailing slash tolerated).
+    timeout:
+        Socket timeout per request, seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                raw = reply.read()
+                status = reply.status
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            status = error.code
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                "Unreachable", "cannot reach %s: %s" % (self.base_url, error.reason),
+                status=0,
+            ) from None
+        try:
+            document = json.loads(raw)
+        except ValueError:
+            raise ServiceError(
+                "BadResponse",
+                "non-JSON response (HTTP %d)" % status,
+                status=status,
+            ) from None
+        if status != 200 or "error" in document:
+            error_body = document.get("error") or {}
+            raise ServiceError(
+                error_body.get("type", "UnknownError"),
+                error_body.get("message", "unexpected response"),
+                status=status,
+            )
+        return document
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> bool:
+        """Liveness probe; False instead of raising when unreachable."""
+        try:
+            return self._request("GET", "/healthz").get("status") == "ok"
+        except ServiceError:
+            return False
+
+    def wait_until_ready(self, timeout: float = 10.0, interval: float = 0.05) -> bool:
+        """Poll :meth:`healthz` until the daemon answers or time runs out."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.healthz():
+                return True
+            time.sleep(interval)
+        return False
+
+    def stats(self) -> Dict[str, Any]:
+        """Request counters, cache statistics and coalescer statistics."""
+        return self._request("GET", "/stats")
+
+    def analyze(
+        self,
+        graph: TimedSignalGraph,
+        periods: Optional[int] = None,
+        kernel: str = "auto",
+        backtrack: bool = True,
+    ) -> Dict[str, Any]:
+        """Cycle time and critical cycles of ``graph``.
+
+        ``result["cycle_time"]`` and each critical cycle's ``length``
+        are decoded back to exact numbers.
+        """
+        payload: Dict[str, Any] = {
+            "graph": graph_to_dict(graph),
+            "kernel": kernel,
+            "backtrack": backtrack,
+        }
+        if periods is not None:
+            payload["periods"] = periods
+        result = self._request("POST", "/analyze", payload)
+        result["cycle_time"] = decode_number(result["cycle_time"])
+        for cycle in result.get("critical_cycles", []):
+            cycle["length"] = decode_number(cycle["length"])
+        return result
+
+    def montecarlo(
+        self,
+        graph: TimedSignalGraph,
+        samples: int = 1000,
+        seed: int = 0,
+        spread: float = 0.1,
+        distribution: str = "uniform",
+        track_criticality: bool = False,
+        bins: int = 0,
+    ) -> Dict[str, Any]:
+        """λ distribution of ``graph`` under random delay variation."""
+        return self._request(
+            "POST",
+            "/montecarlo",
+            {
+                "graph": graph_to_dict(graph),
+                "samples": samples,
+                "seed": seed,
+                "spread": spread,
+                "distribution": distribution,
+                "track_criticality": track_criticality,
+                "bins": bins,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def local_url(port: int, host: str = "127.0.0.1") -> str:
+        return "http://%s:%d" % (host, port)
+
+    def __repr__(self) -> str:
+        return "ServiceClient(%r)" % self.base_url
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """An ephemeral TCP port, for tests and smoke scripts."""
+    with socket.socket() as probe:
+        probe.bind((host, 0))
+        return probe.getsockname()[1]

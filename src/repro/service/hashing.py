@@ -1,0 +1,133 @@
+"""Canonical content hashing of Timed Signal Graphs.
+
+Two cooperating hashes address the cache:
+
+* :func:`topology_hash` covers everything *except* delays — the event
+  set, the arc set, markings, disengageable flags and the declared
+  initial events.  Graphs that differ only in delays share a topology
+  hash, so a delay-only rebind reuses the compiled topology of any
+  previously seen sibling (:func:`repro.core.kernel.CompiledGraph` is
+  canonical for content-equal topologies since the lexicographical
+  topological order rework).
+* :func:`delay_hash` covers the delay binding alone, keyed per arc.
+* :func:`graph_hash` combines both: the full content address.
+
+All hashes are insertion-order independent — events and arcs are
+enumerated in the canonical sorted order of
+:attr:`~repro.core.signal_graph.TimedSignalGraph.sorted_arcs` — and
+ignore the graph's display ``name``.  Delays hash by *exact value and
+kind*: ``int`` and ``Fraction`` with denominator 1 coincide (they are
+interchangeable under exact arithmetic), while ``5`` and ``5.0``
+differ (they select different kernels).  Hashes are memoised on the
+graph via :meth:`~repro.core.signal_graph.TimedSignalGraph.cached`,
+so they are invalidated automatically by any mutation and repeated
+lookups on the same object cost one dict hit.
+
+Events must have a stable ``str()`` across processes (true for
+:class:`~repro.core.events.Transition`, strings and ints — every type
+the toolkit produces); see :func:`repro.core.events.event_sort_key`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from fractions import Fraction
+from typing import Iterable
+
+from ..core.events import event_sort_key
+from ..core.signal_graph import TimedSignalGraph
+
+#: Bump when the hash payload layout changes; embedded in every hash
+#: and in the disk-cache directory layout, so stale on-disk entries
+#: from older layouts can never be served.
+HASH_VERSION = "1"
+
+_TOPOLOGY_KEY = "service-topology-hash"
+_DELAY_KEY = "service-delay-hash"
+
+
+def delay_token(delay) -> str:
+    """Exact, kind-preserving encoding of one delay value."""
+    if isinstance(delay, Fraction):
+        if delay.denominator == 1:
+            return "i%d" % delay.numerator
+        return "f%d/%d" % (delay.numerator, delay.denominator)
+    if isinstance(delay, int):
+        return "i%d" % delay
+    # repr round-trips float64 exactly; coerce other Real types
+    # (e.g. numpy scalars) through float first.
+    return "d" + repr(float(delay))
+
+
+def _digest(lines: Iterable[str]) -> str:
+    h = hashlib.sha256()
+    for line in lines:
+        h.update(line.encode("utf-8"))
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def topology_hash(graph: TimedSignalGraph) -> str:
+    """Order-independent hash of the delay-free topology."""
+
+    def compute() -> str:
+        lines = ["topology-v" + HASH_VERSION]
+        lines.extend("e|" + event_sort_key(e) for e in graph.sorted_events)
+        lines.extend(
+            "i|" + key
+            for key in sorted(
+                event_sort_key(e) for e in graph.declared_initial_events
+            )
+        )
+        for arc in graph.sorted_arcs:
+            lines.append(
+                "a|%s|%s|%d%d"
+                % (
+                    event_sort_key(arc.source),
+                    event_sort_key(arc.target),
+                    arc.tokens,
+                    1 if arc.disengageable else 0,
+                )
+            )
+        return _digest(lines)
+
+    return graph.cached(_TOPOLOGY_KEY, compute)
+
+
+def delay_hash(graph: TimedSignalGraph) -> str:
+    """Order-independent hash of the delay binding alone."""
+
+    def compute() -> str:
+        lines = ["delays-v" + HASH_VERSION]
+        for arc in graph.sorted_arcs:
+            lines.append(
+                "d|%s|%s|%s"
+                % (
+                    event_sort_key(arc.source),
+                    event_sort_key(arc.target),
+                    delay_token(arc.delay),
+                )
+            )
+        return _digest(lines)
+
+    return graph.cached(_DELAY_KEY, compute)
+
+
+def graph_hash(graph: TimedSignalGraph) -> str:
+    """The full content address: topology plus delay binding."""
+    return _digest(
+        ["graph-v" + HASH_VERSION, topology_hash(graph), delay_hash(graph)]
+    )
+
+
+def analysis_key(graph: TimedSignalGraph, kind: str, **params) -> str:
+    """Cache key for one finished analysis of ``graph``.
+
+    ``params`` must be JSON-ish scalars (str/int/float/bool/None);
+    they are folded into the key sorted by name, so keyword order at
+    the call site never matters.
+    """
+    lines = ["analysis-v" + HASH_VERSION, kind, graph_hash(graph)]
+    for name in sorted(params):
+        lines.append("%s=%r" % (name, params[name]))
+    return _digest(lines)

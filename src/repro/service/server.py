@@ -1,0 +1,422 @@
+"""The analysis daemon: JSON over HTTP, stdlib only.
+
+``repro serve`` (or :func:`serve` programmatically) runs a
+:class:`http.server.ThreadingHTTPServer` exposing
+
+* ``POST /analyze`` — cycle time / critical cycles of a posted graph;
+* ``POST /montecarlo`` — λ distribution under random delay variation;
+* ``GET /stats`` — request counters, cache hit/miss/eviction counters
+  and coalescer statistics;
+* ``GET /healthz`` — liveness probe.
+
+Request graphs use the standard JSON document format of
+:mod:`repro.io.json_io` under a ``"graph"`` key.  Every response is
+JSON; errors are *structured* —
+``{"error": {"type": ..., "message": ...}}`` with a meaningful HTTP
+status — and a traceback is never written to the wire.  Exact cycle
+times travel as tagged numbers (``{"fraction": [n, d]}``) so the
+typed client round-trips them losslessly.
+
+Work sharing: ``/analyze`` and ``/montecarlo`` responses are memoised
+in the process-wide result cache keyed by content hash + parameters;
+compiled topologies are shared through
+:func:`~repro.service.cache.shared_compiled_graph`; and concurrent
+λ-only Monte-Carlo requests over one topology are merged into single
+batched kernel calls by the :class:`~repro.service.queue.RequestCoalescer`.
+
+The daemon shuts down cleanly on SIGINT/SIGTERM: the listener closes,
+the coalescer drains its queue, and ``serve`` returns 0.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.montecarlo import (
+    monte_carlo_cycle_time,
+    normal_spread,
+    sample_delay_matrix,
+    uniform_spread,
+)
+from ..core.cycle_time import compute_cycle_time
+from ..core.errors import SignalGraphError
+from ..core.events import event_label
+from ..core.kernel import KERNELS
+from ..core.signal_graph import TimedSignalGraph
+from ..io.json_io import encode_number, graph_from_dict
+from .cache import CacheStats, result_cache, service_cache_stats
+from .hashing import analysis_key
+from .queue import RequestCoalescer
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8177
+
+
+class RequestError(Exception):
+    """A client-side error with an HTTP status and a stable type name."""
+
+    def __init__(self, message: str, status: int = 400, kind: str = "BadRequest"):
+        super().__init__(message)
+        self.status = status
+        self.kind = kind
+
+
+@dataclass
+class ServiceConfig:
+    """Daemon knobs (all reachable from ``repro serve`` flags)."""
+
+    host: str = DEFAULT_HOST
+    port: int = DEFAULT_PORT
+    request_timeout: float = 30.0    # per-connection socket timeout
+    max_body_bytes: int = 16 * 1024 * 1024
+    max_samples: int = 100_000       # per Monte-Carlo request
+    max_periods: int = 10_000
+    linger_ms: float = 2.0           # coalescer window
+    max_batch_samples: int = 65536
+    quiet: bool = False
+
+
+class AnalysisService:
+    """Protocol-independent request handlers backing the HTTP layer."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        self.results = result_cache()
+        self.coalescer = RequestCoalescer(
+            linger_s=self.config.linger_ms / 1000.0,
+            max_batch_samples=self.config.max_batch_samples,
+        )
+        self.counters = CacheStats()
+        self.started = time.time()
+
+    def close(self) -> None:
+        self.coalescer.close()
+
+    # ------------------------------------------------------------------
+    # decoding helpers
+    # ------------------------------------------------------------------
+    def _decode_graph(self, payload: Dict[str, Any]) -> TimedSignalGraph:
+        document = payload.get("graph")
+        if not isinstance(document, dict):
+            raise RequestError("request must carry a 'graph' document")
+        try:
+            return graph_from_dict(document)
+        except SignalGraphError as error:
+            raise RequestError(str(error), kind=type(error).__name__)
+
+    @staticmethod
+    def _int_field(payload, name, default, low, high) -> int:
+        value = payload.get(name, default)
+        if value is None:
+            return default
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise RequestError("'%s' must be an integer" % name)
+        if not low <= value <= high:
+            raise RequestError(
+                "'%s' must be in [%d, %d], got %d" % (name, low, high, value)
+            )
+        return value
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def handle_analyze(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        graph = self._decode_graph(payload)
+        periods = payload.get("periods")
+        if periods is not None:
+            periods = self._int_field(
+                payload, "periods", None, 1, self.config.max_periods
+            )
+        kernel = payload.get("kernel", "auto")
+        if kernel not in KERNELS:
+            raise RequestError(
+                "unknown kernel %r (choose from %s)" % (kernel, ", ".join(KERNELS))
+            )
+        backtrack = bool(payload.get("backtrack", True))
+        key = analysis_key(
+            graph, "analyze", periods=periods, kernel=kernel, backtrack=backtrack
+        )
+        cached = self.results.get(key)
+        if cached is not None:
+            return dict(cached, cached=True)
+        result = compute_cycle_time(
+            graph,
+            periods=periods,
+            kernel=kernel,
+            backtrack=backtrack,
+            keep_simulations=False,
+        )
+        response = {
+            "graph": graph.name,
+            "events": graph.num_events,
+            "arcs": graph.num_arcs,
+            "cycle_time": encode_number(result.cycle_time),
+            "cycle_time_float": float(result.cycle_time),
+            "critical_cycles": [
+                {
+                    "events": [event_label(e) for e in cycle.events],
+                    "length": encode_number(cycle.length),
+                    "tokens": cycle.tokens,
+                }
+                for cycle in result.critical_cycles
+            ],
+            "border_events": [event_label(e) for e in result.border_events],
+            "periods": result.periods,
+            "distances": len(result.distances),
+        }
+        self.results.put(key, response)
+        return dict(response, cached=False)
+
+    def handle_montecarlo(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        graph = self._decode_graph(payload)
+        samples = self._int_field(
+            payload, "samples", 1000, 1, self.config.max_samples
+        )
+        seed = self._int_field(payload, "seed", 0, -(2 ** 62), 2 ** 62)
+        bins = self._int_field(payload, "bins", 0, 0, 1000)
+        track = bool(payload.get("track_criticality", False))
+        distribution = payload.get("distribution", "uniform")
+        if distribution not in ("uniform", "normal"):
+            raise RequestError(
+                "unknown distribution %r (uniform or normal)" % (distribution,)
+            )
+        spread = payload.get("spread", 0.1)
+        if isinstance(spread, bool) or not isinstance(spread, (int, float)):
+            raise RequestError("'spread' must be a number")
+        spread = float(spread)
+        if not 0.0 <= spread < 1.0:
+            raise RequestError("'spread' must be in [0, 1), got %r" % spread)
+        key = analysis_key(
+            graph,
+            "montecarlo",
+            samples=samples,
+            seed=seed,
+            spread=spread,
+            distribution=distribution,
+            track_criticality=track,
+            bins=bins,
+        )
+        cached = self.results.get(key)
+        if cached is not None:
+            return dict(cached, cached=True)
+        sampler = (
+            uniform_spread(spread) if distribution == "uniform"
+            else normal_spread(spread)
+        )
+        if track:
+            # Criticality attribution backtracks per sample; no
+            # cross-request batching to exploit.
+            outcome = monte_carlo_cycle_time(
+                graph, sampler, samples=samples, seed=seed,
+                track_criticality=True,
+            )
+            values = outcome.samples
+            criticality = [
+                {
+                    "source": event_label(pair[0]),
+                    "target": event_label(pair[1]),
+                    "probability": probability,
+                }
+                for pair, probability in outcome.top_critical_arcs(10)
+            ]
+        else:
+            # λ-only distribution: sample here, let the coalescer merge
+            # this sweep with concurrent same-topology requests.
+            rng = np.random.default_rng(seed)
+            matrix = sample_delay_matrix(graph, sampler, samples, rng)
+            values = self.coalescer.run(
+                graph, matrix, timeout=self.config.request_timeout
+            )
+            criticality = None
+        response = {
+            "graph": graph.name,
+            "count": int(len(values)),
+            "seed": seed,
+            "spread": spread,
+            "distribution": distribution,
+            "mean": float(np.mean(values)),
+            "std": float(np.std(values)),
+            "min": float(np.min(values)),
+            "max": float(np.max(values)),
+            "quantiles": {
+                "p05": float(np.quantile(values, 0.05)),
+                "p50": float(np.quantile(values, 0.50)),
+                "p95": float(np.quantile(values, 0.95)),
+            },
+        }
+        if criticality is not None:
+            response["criticality"] = criticality
+        if bins:
+            counts, edges = np.histogram(values, bins=bins)
+            response["histogram"] = [
+                [float(edges[i]), float(edges[i + 1]), int(counts[i])]
+                for i in range(len(counts))
+            ]
+        self.results.put(key, response)
+        return dict(response, cached=False)
+
+    def handle_stats(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "uptime_s": time.time() - self.started,
+            "requests": self.counters.snapshot(),
+            "cache": service_cache_stats(),
+            "coalescer": self.coalescer.stats.snapshot(),
+            "config": {
+                "request_timeout": self.config.request_timeout,
+                "max_samples": self.config.max_samples,
+                "linger_ms": self.config.linger_ms,
+                "max_batch_samples": self.config.max_batch_samples,
+            },
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-service"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> AnalysisService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def setup(self) -> None:
+        self.timeout = self.service.config.request_timeout
+        super().setup()
+
+    # -- plumbing ------------------------------------------------------
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, kind: str, message: str) -> None:
+        self.service.counters.increment("errors")
+        self._send_json(status, {"error": {"type": kind, "message": message}})
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = self.headers.get("Content-Length")
+        try:
+            length = int(length)
+        except (TypeError, ValueError):
+            raise RequestError("Content-Length required", status=411,
+                               kind="LengthRequired")
+        if length > self.service.config.max_body_bytes:
+            raise RequestError(
+                "request body exceeds %d bytes"
+                % self.service.config.max_body_bytes,
+                status=413, kind="PayloadTooLarge",
+            )
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except (ValueError, UnicodeDecodeError):
+            raise RequestError("request body is not valid JSON")
+        if not isinstance(payload, dict):
+            raise RequestError("request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, handler) -> None:
+        try:
+            response = handler()
+        except RequestError as error:
+            self._send_error_json(error.status, error.kind, str(error))
+        except SignalGraphError as error:
+            # Domain errors (non-live graph, no border events, ...) are
+            # the client's problem: structured 422, never a traceback.
+            self._send_error_json(422, type(error).__name__, str(error))
+        except Exception as error:  # noqa: BLE001 — last-resort guard
+            self._send_error_json(
+                500, "InternalError", "%s: %s" % (type(error).__name__, error)
+            )
+        else:
+            self._send_json(200, response)
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            self.service.counters.increment("healthz")
+            self._dispatch(lambda: {"status": "ok"})
+        elif path == "/stats":
+            self.service.counters.increment("stats")
+            self._dispatch(self.service.handle_stats)
+        else:
+            self._send_error_json(404, "NotFound", "no such endpoint: %s" % path)
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+        path = self.path.split("?", 1)[0]
+        if path == "/analyze":
+            self.service.counters.increment("analyze")
+            self._dispatch(lambda: self.service.handle_analyze(self._read_body()))
+        elif path == "/montecarlo":
+            self.service.counters.increment("montecarlo")
+            self._dispatch(
+                lambda: self.service.handle_montecarlo(self._read_body())
+            )
+        else:
+            self._send_error_json(404, "NotFound", "no such endpoint: %s" % path)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.service.config.quiet:
+            sys.stderr.write(
+                "[repro.service] %s - %s\n" % (self.address_string(),
+                                               format % args)
+            )
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the :class:`AnalysisService`."""
+
+    daemon_threads = True
+
+    def __init__(self, config: ServiceConfig):
+        self.service = AnalysisService(config)
+        super().__init__((config.host, config.port), _Handler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return "http://%s:%d" % (host, port)
+
+    def close(self) -> None:
+        self.server_close()
+        self.service.close()
+
+
+def make_server(
+    host: str = DEFAULT_HOST, port: int = 0, **overrides
+) -> ServiceServer:
+    """Build a service server (``port=0`` picks an ephemeral port)."""
+    return ServiceServer(ServiceConfig(host=host, port=port, **overrides))
+
+
+def serve(config: Optional[ServiceConfig] = None) -> int:
+    """Run the daemon until SIGINT/SIGTERM; returns 0 on clean exit."""
+    server = ServiceServer(config or ServiceConfig())
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
+    print("repro service listening on %s" % server.url, flush=True)
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        server.close()
+    print("repro service: shut down cleanly", flush=True)
+    return 0

@@ -1,0 +1,70 @@
+"""Canonical compilation: equal graphs compile to equal structures.
+
+The service cache shares compiled programs between content-equal
+graphs, which is only sound if compilation is deterministic — the
+lexicographical topological sort makes the event order (and hence the
+slot layout and programs) a function of graph *content*, not of
+insertion order or iteration incidentals.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.library import async_stack_tsg, muller_ring_tsg, oscillator_tsg
+from repro.core.cycle_time import compute_cycle_time
+from repro.core.kernel import CompiledGraph
+
+from tests.service.test_hashing import shuffled_copy
+
+
+def assert_programs_equivalent(a: CompiledGraph, b: CompiledGraph) -> None:
+    """Same slot layout; per-event in-arc sets equal (their relative
+    order follows each graph's own in-arc enumeration, which only
+    affects argmax tie-breaking among equally-critical paths)."""
+    for pa, pb in ((a.p0, b.p0), (a.p1, b.p1), (a.ps, b.ps)):
+        assert len(pa) == len(pb)
+        for (slot_a, arcs_a), (slot_b, arcs_b) in zip(pa, pb):
+            assert slot_a == slot_b
+            assert sorted(arcs_a, key=repr) == sorted(arcs_b, key=repr)
+
+
+class TestIndependentCompiles:
+    def test_two_compiles_of_one_graph_are_identical(self, oscillator):
+        one = CompiledGraph(oscillator)
+        two = CompiledGraph(oscillator)
+        assert one.order == two.order
+        assert one.id_of == two.id_of
+        assert one.rep_ids == two.rep_ids
+        assert one.p0 == two.p0
+        assert one.p1 == two.p1
+        assert one.ps == two.ps
+
+    def test_copy_compiles_identically(self):
+        ring = muller_ring_tsg(4)
+        one = CompiledGraph(ring)
+        two = CompiledGraph(ring.copy())
+        assert one.order == two.order
+        assert one.p0 == two.p0 and one.p1 == two.p1 and one.ps == two.ps
+
+    def test_shuffled_insertion_order_yields_same_canonical_order(self):
+        for builder in (oscillator_tsg, lambda: muller_ring_tsg(3), async_stack_tsg):
+            graph = builder()
+            base = CompiledGraph(graph)
+            for seed in range(3):
+                twin = shuffled_copy(graph, seed=seed)
+                other = CompiledGraph(twin)
+                assert other.order == base.order
+                assert other.id_of == base.id_of
+                assert other.rep_ids == base.rep_ids
+                assert other.topo_repetitive == base.topo_repetitive
+                assert_programs_equivalent(base, other)
+
+    def test_shuffled_insertion_order_same_cycle_time(self):
+        graph = muller_ring_tsg(5)
+        reference = compute_cycle_time(graph, cache="off")
+        for seed in range(3):
+            twin = shuffled_copy(graph, seed=seed)
+            result = compute_cycle_time(twin, cache="off")
+            assert result.cycle_time == reference.cycle_time
+            assert {c.events for c in result.critical_cycles} == {
+                c.events for c in reference.critical_cycles
+            }

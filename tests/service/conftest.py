@@ -1,0 +1,16 @@
+"""Service-layer fixtures: isolated process-wide caches per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.cache import clear_caches, configure
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    """Rebuild the process-wide caches around every service test."""
+    configure()
+    yield
+    clear_caches()
+    configure()

@@ -1,0 +1,220 @@
+"""Two-tier cache behaviour: LRU bounds, sharing tiers, persistence."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.circuits.library import muller_ring_tsg, oscillator_tsg
+from repro.core.cycle_time import compute_cycle_time
+from repro.core.kernel import peek_compiled
+from repro.service.cache import (
+    DiskCache,
+    LRUCache,
+    TwoTierCache,
+    compile_cache,
+    shared_compiled_graph,
+)
+from .test_hashing import shuffled_copy
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+class TestLRUCache:
+    def test_entry_bound_evicts_lru_first(self):
+        cache = LRUCache(max_entries=3)
+        for key in "abc":
+            cache.put(key, key.upper())
+        cache.get("a")  # refresh a; b is now the LRU
+        cache.put("d", "D")
+        assert cache.get("b") is None
+        assert cache.get("a") == "A" and cache.get("d") == "D"
+        assert len(cache) == 3
+        assert cache.stats.get("evictions") == 1
+
+    def test_cost_bound(self):
+        cache = LRUCache(max_entries=100, max_cost=10, cost_fn=lambda v: v)
+        cache.put("a", 4)
+        cache.put("b", 4)
+        cache.put("c", 4)  # 12 > 10: evict a
+        assert cache.get("a") is None
+        assert cache.total_cost == 8
+
+    def test_oversized_entry_is_kept_alone(self):
+        # One entry above max_cost must not evict itself into a loop.
+        cache = LRUCache(max_entries=100, max_cost=10, cost_fn=lambda v: v)
+        cache.put("big", 50)
+        assert cache.get("big") == 50
+
+    def test_overwrite_updates_cost(self):
+        cache = LRUCache(max_entries=10, max_cost=10, cost_fn=lambda v: v)
+        cache.put("a", 9)
+        cache.put("a", 2)
+        assert cache.total_cost == 2
+
+    def test_concurrent_get_put(self):
+        cache = LRUCache(max_entries=64)
+        errors = []
+
+        def worker(base):
+            try:
+                for i in range(500):
+                    cache.put((base, i % 80), i)
+                    cache.get((base, (i * 7) % 80))
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 64
+
+
+class TestSharedCompiledGraph:
+    def test_identical_content_adopts(self, oscillator):
+        shared_compiled_graph(oscillator)
+        twin = shuffled_copy(oscillator, seed=3)
+        cg = shared_compiled_graph(twin)
+        stats = compile_cache().stats
+        assert stats.get("adopted") == 1
+        # Programs are shared by reference with the cached compile.
+        base = peek_compiled(oscillator)
+        assert cg.p0 is base.p0 and cg.order is base.order
+
+    def test_delay_variant_rebinds(self, oscillator):
+        shared_compiled_graph(oscillator)
+        variant = oscillator.copy()
+        arc = variant.arcs[0]
+        variant.set_delay(arc.source, arc.target, arc.delay + 1)
+        shared_compiled_graph(variant)
+        stats = compile_cache().stats
+        assert stats.get("rebound") == 1
+        assert stats.get("misses") == 1  # only the first compile missed
+
+    def test_analysis_matches_uncached(self, oscillator):
+        baseline = compute_cycle_time(oscillator.copy(), cache="off")
+        shared_compiled_graph(oscillator)  # warm
+        twin = shuffled_copy(oscillator, seed=11)
+        cached = compute_cycle_time(twin)
+        assert cached.cycle_time == baseline.cycle_time
+        assert {c.events for c in cached.critical_cycles} == {
+            c.events for c in baseline.critical_cycles
+        }
+
+    def test_rebound_analysis_matches(self):
+        ring = muller_ring_tsg(4)
+        shared_compiled_graph(ring)
+        variant = shuffled_copy(ring, seed=5)
+        arc = variant.arcs[0]
+        variant.set_delay(arc.source, arc.target, arc.delay + 2)
+        fresh = variant.copy()
+        assert (
+            compute_cycle_time(variant).cycle_time
+            == compute_cycle_time(fresh, cache="off").cycle_time
+        )
+        assert compile_cache().stats.get("rebound") == 1
+
+    def test_concurrent_resolution_is_safe(self, oscillator):
+        graphs = [shuffled_copy(oscillator, seed=s) for s in range(16)]
+        results = [None] * len(graphs)
+
+        def resolve(index):
+            results[index] = shared_compiled_graph(graphs[index])
+
+        threads = [
+            threading.Thread(target=resolve, args=(i,))
+            for i in range(len(graphs))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(cg is not None for cg in results)
+        lambdas = {compute_cycle_time(g).cycle_time for g in graphs}
+        assert len(lambdas) == 1
+
+
+class TestDiskCache:
+    def test_round_trip_and_corruption(self, tmp_path):
+        disk = DiskCache(str(tmp_path), "t")
+        assert disk.put("key1", {"x": 1})
+        assert disk.get("key1") == {"x": 1}
+        assert disk.get("absent", default="d") == "d"
+        # Corrupt the entry on disk: must degrade to a miss and clean up.
+        path = disk._path("key1")
+        with open(path, "wb") as handle:
+            handle.write(b"not a pickle")
+        assert disk.get("key1") is None
+        assert not os.path.exists(path)
+
+    def test_unpicklable_value_degrades(self, tmp_path):
+        disk = DiskCache(str(tmp_path), "t")
+        assert not disk.put("key", lambda: None)
+
+    def test_two_tier_promotes_disk_hits(self, tmp_path):
+        disk = DiskCache(str(tmp_path), "t")
+        cache = TwoTierCache(LRUCache(max_entries=4), disk=disk)
+        cache.put("k", [1, 2])
+        cache.memory.clear()  # simulate memory pressure
+        assert cache.get("k") == [1, 2]
+        assert cache.stats.get("disk_hits") == 1
+        assert cache.get("k") == [1, 2]  # promoted: memory hit now
+        assert cache.stats.get("hits") == 1
+
+    def test_survives_process_restart(self, tmp_path):
+        """A second process (different PYTHONHASHSEED) reuses the disk tier.
+
+        Exercises cross-process pickling of the compiled structure,
+        including Transition's salted-hash reconstruction.
+        """
+        script = (
+            "import sys; sys.path.insert(0, %r)\n"
+            "from repro.circuits.library import muller_ring_tsg\n"
+            "from repro.service.cache import configure, compile_cache\n"
+            "from repro.service.cache import shared_compiled_graph\n"
+            "from repro.core.cycle_time import compute_cycle_time\n"
+            "configure(disk=True, disk_dir=%r)\n"
+            "g = muller_ring_tsg(3)\n"
+            "shared_compiled_graph(g)\n"
+            "print(compute_cycle_time(g).cycle_time)\n"
+            "s = compile_cache().stats\n"
+            "print('disk_hits=%%d misses=%%d'\n"
+            "      %% (s.get('disk_hits'), s.get('misses')))\n"
+        ) % (os.path.abspath(REPO_SRC), str(tmp_path))
+
+        def run(seed):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            return subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, env=env, timeout=120,
+            )
+
+        first = run("1")
+        assert first.returncode == 0, first.stderr
+        assert "disk_hits=0 misses=1" in first.stdout
+        second = run("2")
+        assert second.returncode == 0, second.stderr
+        assert "disk_hits=1 misses=0" in second.stdout
+        assert first.stdout.splitlines()[0] == second.stdout.splitlines()[0]
+
+
+class TestComputeCycleTimeCacheModes:
+    def test_results_mode_memoises(self, oscillator):
+        first = compute_cycle_time(
+            oscillator, cache="results", keep_simulations=False
+        )
+        twin = shuffled_copy(oscillator, seed=2)
+        second = compute_cycle_time(twin, cache="results", keep_simulations=False)
+        assert second is first  # memoised object, served by content hash
+
+    def test_off_mode_skips_the_shared_cache(self, oscillator):
+        compute_cycle_time(oscillator, cache="off")
+        stats = compile_cache().stats
+        assert stats.get("misses") == 0 and stats.get("puts") == 0

@@ -1,0 +1,109 @@
+"""Content-hash properties: canonical, order-independent, delay-split."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from repro.circuits.library import muller_ring_tsg, oscillator_tsg
+from repro.core.signal_graph import TimedSignalGraph
+from repro.service.hashing import (
+    analysis_key,
+    delay_hash,
+    delay_token,
+    graph_hash,
+    topology_hash,
+)
+
+
+def shuffled_copy(graph, seed=0, name=None):
+    """A content-equal copy with randomised insertion order."""
+    rng = random.Random(seed)
+    clone = TimedSignalGraph(name=name or graph.name)
+    events = list(graph.events)
+    rng.shuffle(events)
+    initial = graph.declared_initial_events
+    for event in events:
+        clone.add_event(event, initial=event in initial)
+    arcs = list(graph.arcs)
+    rng.shuffle(arcs)
+    for arc in arcs:
+        clone.add_arc(
+            arc.source, arc.target, arc.delay,
+            marked=arc.marked, disengageable=arc.disengageable,
+        )
+    return clone
+
+
+class TestInsertionOrderIndependence:
+    def test_topology_hash_stable_across_insertion_order(self, oscillator):
+        for seed in range(5):
+            clone = shuffled_copy(oscillator, seed=seed)
+            assert topology_hash(clone) == topology_hash(oscillator)
+            assert delay_hash(clone) == delay_hash(oscillator)
+            assert graph_hash(clone) == graph_hash(oscillator)
+
+    def test_transition_events_hash_stably(self):
+        ring = muller_ring_tsg(3)
+        assert topology_hash(shuffled_copy(ring, seed=7)) == topology_hash(ring)
+
+    def test_name_is_ignored(self, oscillator):
+        renamed = shuffled_copy(oscillator, name="something-else")
+        assert graph_hash(renamed) == graph_hash(oscillator)
+
+
+class TestDelaySplit:
+    def test_delay_rebind_shares_topology_hash(self, oscillator):
+        variant = oscillator.copy()
+        arc = variant.arcs[0]
+        variant.set_delay(arc.source, arc.target, arc.delay + 3)
+        assert topology_hash(variant) == topology_hash(oscillator)
+        assert delay_hash(variant) != delay_hash(oscillator)
+        assert graph_hash(variant) != graph_hash(oscillator)
+
+    def test_structural_change_breaks_topology_hash(self, oscillator):
+        variant = oscillator.copy()
+        arc = variant.arcs[0]
+        variant.remove_arc(arc.source, arc.target)
+        assert topology_hash(variant) != topology_hash(oscillator)
+
+    def test_marking_is_part_of_topology(self):
+        a = TimedSignalGraph(name="a")
+        a.add_arc("x", "y", 1)
+        a.add_arc("y", "x", 1, marked=True)
+        b = TimedSignalGraph(name="b")
+        b.add_arc("x", "y", 1, marked=True)
+        b.add_arc("y", "x", 1)
+        assert topology_hash(a) != topology_hash(b)
+
+
+class TestDelayTokens:
+    def test_int_and_unit_fraction_coincide(self):
+        assert delay_token(5) == delay_token(Fraction(5, 1))
+
+    def test_int_and_float_differ(self):
+        # 5 selects the exact kernel, 5.0 the float one.
+        assert delay_token(5) != delay_token(5.0)
+
+    def test_fraction_is_exact(self):
+        assert delay_token(Fraction(20, 3)) == "f20/3"
+        assert delay_token(Fraction(20, 3)) != delay_token(float(Fraction(20, 3)))
+
+    def test_float_round_trips(self):
+        assert delay_token(0.1) == delay_token(0.1)
+        assert delay_token(0.1) != delay_token(0.1 + 1e-12)
+
+
+class TestMemoisation:
+    def test_mutation_invalidates_cached_hash(self, oscillator):
+        before = topology_hash(oscillator)
+        arc = oscillator.arcs[0]
+        oscillator.remove_arc(arc.source, arc.target)
+        assert topology_hash(oscillator) != before
+
+    def test_analysis_key_kwarg_order_irrelevant(self, oscillator):
+        one = analysis_key(oscillator, "analyze", periods=4, kernel="auto")
+        two = analysis_key(oscillator, "analyze", kernel="auto", periods=4)
+        assert one == two
+        assert one != analysis_key(oscillator, "analyze", periods=5, kernel="auto")
+        assert one != analysis_key(oscillator, "montecarlo", periods=4, kernel="auto")

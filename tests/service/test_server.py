@@ -1,0 +1,177 @@
+"""Daemon end-to-end: routes, caching semantics, structured errors."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+from fractions import Fraction
+
+import pytest
+
+from repro.circuits.library import muller_ring_tsg, oscillator_tsg
+from repro.core.cycle_time import compute_cycle_time
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import make_server
+
+
+@pytest.fixture
+def service():
+    server = make_server(quiet=True)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient(server.url, timeout=30)
+    yield client
+    server.shutdown()
+    server.close()
+    thread.join(timeout=5)
+
+
+class TestAnalyze:
+    def test_exact_cycle_time_round_trips(self, service):
+        ring = muller_ring_tsg(5)
+        result = service.analyze(ring)
+        assert result["cycle_time"] == Fraction(20, 3)
+        assert isinstance(result["cycle_time"], Fraction)
+        assert result["cached"] is False
+        assert result["critical_cycles"]
+        assert result["border_events"]
+
+    def test_second_identical_request_hits_the_cache(self, service, oscillator):
+        assert service.analyze(oscillator)["cached"] is False
+        repeat = service.analyze(oscillator)
+        assert repeat["cached"] is True
+        assert repeat["cycle_time"] == 10
+        stats = service.stats()
+        assert stats["cache"]["result"]["hits"] >= 1
+        assert stats["requests"]["analyze"] == 2
+
+    def test_different_parameters_miss(self, service, oscillator):
+        service.analyze(oscillator)
+        assert service.analyze(oscillator, periods=4)["cached"] is False
+
+    def test_matches_library_result(self, service):
+        ring = muller_ring_tsg(4)
+        local = compute_cycle_time(ring.copy(), cache="off")
+        remote = service.analyze(ring)
+        assert remote["cycle_time"] == local.cycle_time
+
+
+class TestMonteCarlo:
+    def test_matches_library_run(self, service, oscillator):
+        from repro.analysis.montecarlo import (
+            monte_carlo_cycle_time,
+            uniform_spread,
+        )
+
+        remote = service.montecarlo(oscillator, samples=300, seed=9, spread=0.2)
+        local = monte_carlo_cycle_time(
+            oscillator.copy(), uniform_spread(0.2), samples=300, seed=9,
+            track_criticality=False,
+        )
+        assert remote["mean"] == pytest.approx(local.mean)
+        assert remote["std"] == pytest.approx(local.std)
+        assert remote["count"] == 300
+
+    def test_caches_identical_requests(self, service, oscillator):
+        first = service.montecarlo(oscillator, samples=100, seed=1)
+        again = service.montecarlo(oscillator, samples=100, seed=1)
+        assert first["cached"] is False and again["cached"] is True
+        other = service.montecarlo(oscillator, samples=100, seed=2)
+        assert other["cached"] is False
+
+    def test_histogram_and_criticality(self, service, oscillator):
+        result = service.montecarlo(
+            oscillator, samples=80, seed=3, bins=6, track_criticality=True
+        )
+        assert len(result["histogram"]) == 6
+        assert sum(row[2] for row in result["histogram"]) == 80
+        assert result["criticality"]
+        assert all(0 <= row["probability"] <= 1 for row in result["criticality"])
+
+    def test_concurrent_requests_coalesce(self, service):
+        ring = muller_ring_tsg(3)
+        outcomes = [None] * 6
+
+        def worker(index):
+            outcomes[index] = service.montecarlo(ring, samples=50, seed=index)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(o["count"] == 50 for o in outcomes)
+        stats = service.stats()
+        assert stats["coalescer"]["requests"] >= 6
+
+
+class TestErrors:
+    def test_malformed_json_is_structured_400(self, service):
+        with pytest.raises(ServiceError) as caught:
+            service._request("POST", "/analyze", None) or None
+        assert caught.value.status in (400, 411)
+
+    def test_invalid_graph_document(self, service):
+        with pytest.raises(ServiceError) as caught:
+            service._request("POST", "/analyze", {"graph": {"kind": "bogus"}})
+        assert caught.value.status == 400
+        assert caught.value.kind == "FormatError"
+
+    def test_domain_error_is_422_with_class_name(self, service):
+        from repro.core.signal_graph import TimedSignalGraph
+        from repro.io.json_io import graph_to_dict
+
+        dead = TimedSignalGraph(name="dead")
+        dead.add_arc("a", "b", 1)
+        dead.add_arc("b", "a", 1)  # no marking: not live
+        with pytest.raises(ServiceError) as caught:
+            service._request("POST", "/analyze", {"graph": graph_to_dict(dead)})
+        assert caught.value.status == 422
+        assert caught.value.kind.endswith("Error")
+
+    def test_bad_parameters(self, service, oscillator):
+        with pytest.raises(ServiceError):
+            service.montecarlo(oscillator, samples=0)
+        with pytest.raises(ServiceError):
+            service.montecarlo(oscillator, samples=10, spread=2.0)
+        with pytest.raises(ServiceError):
+            service.analyze(oscillator, kernel="warp")
+
+    def test_unknown_endpoint_is_404(self, service):
+        with pytest.raises(ServiceError) as caught:
+            service._request("GET", "/nope")
+        assert caught.value.status == 404
+
+    def test_raw_garbage_body_never_yields_traceback(self, service):
+        request = urllib.request.Request(
+            service.base_url + "/analyze",
+            data=b"{{{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=30) as reply:
+                body = reply.read()
+        except urllib.error.HTTPError as error:
+            body = error.read()
+        document = json.loads(body)  # always JSON, never a traceback
+        assert set(document["error"]) == {"type", "message"}
+        assert "Traceback" not in body.decode()
+
+
+class TestOperational:
+    def test_healthz_and_stats(self, service):
+        assert service.healthz() is True
+        assert service.wait_until_ready(timeout=2) is True
+        stats = service.stats()
+        assert stats["status"] == "ok"
+        assert "compile" in stats["cache"] and "result" in stats["cache"]
+        assert stats["uptime_s"] >= 0
+
+    def test_unreachable_daemon(self):
+        client = ServiceClient("http://127.0.0.1:9", timeout=0.5)
+        assert client.healthz() is False
+        with pytest.raises(ServiceError) as caught:
+            client.stats()
+        assert caught.value.status == 0

@@ -230,3 +230,28 @@ class TestMonteCarlo:
         out = capsys.readouterr().out
         assert "criticality tracking disabled" in out
         assert "persample kernel (batch size 8)" in out
+
+
+class TestVersionAndServe:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as caught:
+            main(["--version"])
+        assert caught.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_no_cache_flag(self, capsys):
+        assert main(["analyze", "oscillator", "--no-cache"]) == 0
+        assert "cycle time: 10" in capsys.readouterr().out
+
+    def test_serve_parser_accepts_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "serve", "--port", "0", "--linger-ms", "5",
+            "--disk-cache", "--cache-dir", "/tmp/x",
+            "--compile-entries", "16", "--result-entries", "32", "--quiet",
+        ])
+        assert args.port == 0 and args.linger_ms == 5.0
+        assert args.disk_cache and args.cache_dir == "/tmp/x"
