@@ -1,0 +1,350 @@
+#!/usr/bin/env python
+"""Chaos smoke test: the daemon's failure behaviour stays bounded.
+
+Spawns ``python -m repro serve --chaos ...`` with seeded latency,
+error, cache-corruption and slow-kernel injection plus a deliberately
+tiny admission queue, then
+
+1. warms 12 distinct results onto the (corrupting) disk tier and reads
+   them back — every corrupt entry must be detected by checksum,
+   counted, evicted, and the result recomputed bit-identically, with
+   the disk tier tripping into degraded memory-only mode;
+2. fires a 200-request seeded storm from 8 threads (a fifth of the
+   requests carry a 40 ms deadline) and requires every request to be
+   *answered* — success or a structured 429/503/504 — never a hang,
+   transport error, 500, or traceback, with p99 wall time bounded;
+3. asserts `/stats` reports nonzero ``shed``, ``expired`` and
+   ``corrupt_evicted`` counters and the degraded flag;
+4. replays one idempotency-keyed request and requires byte-identical
+   bodies;
+5. sends SIGTERM while a request is in flight and requires the
+   response to *drain* (complete) and the daemon to exit 0 cleanly.
+
+Exit code 0 means every bound held; this is the CI chaos-smoke job.
+
+Usage::
+
+    PYTHONPATH=src python scripts/chaos_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+
+ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.circuits.library import muller_ring_tsg  # noqa: E402
+from repro.io.json_io import graph_to_dict  # noqa: E402
+from repro.service.client import (  # noqa: E402
+    DeadlineExceededError,
+    ServerSaturatedError,
+    ServiceClient,
+    ServiceError,
+    free_port,
+)
+from repro.service.resilience import RetryPolicy  # noqa: E402
+
+CHAOS = (
+    "latency:p=0.35,ms=120,site=handler;"
+    "error:p=0.08,site=handler;"
+    "corrupt:p=1,site=disk;"
+    "slowkernel:p=0.2,ms=40;"
+    "seed=11"
+)
+STORM_REQUESTS = 200
+STORM_THREADS = 8
+RING_SIZES = (3, 4, 5, 6, 7, 8)
+P99_BOUND_S = 8.0
+
+
+class Failure(Exception):
+    pass
+
+
+def check(condition, message):
+    if not condition:
+        raise Failure(message)
+
+
+def make_client(url, seed, retries=4):
+    return ServiceClient(
+        url,
+        timeout=20,
+        retries=retries,
+        retry_policy=RetryPolicy(retries=retries, base=0.05, cap=0.5,
+                                 rng=random.Random(seed)),
+    )
+
+
+def warm_and_corrupt_disk(url):
+    """Fill the disk tier with 12 results, then re-read them through
+    100% corruption: checksum evictions + deterministic recompute."""
+    client = make_client(url, seed=999)
+    ring = muller_ring_tsg(3)
+    first_pass = {}
+    for index in range(12):
+        result = client.montecarlo(ring, samples=50, seed=100 + index)
+        first_pass[index] = (result["mean"], result["std"])
+    # Memory LRU holds only 4 results: most re-reads must fall through
+    # to the (corrupting) disk tier and be recomputed.
+    for index in range(12):
+        result = client.montecarlo(ring, samples=50, seed=100 + index)
+        check(
+            (result["mean"], result["std"]) == first_pass[index],
+            "recomputed result after corrupt eviction diverged "
+            "(seed %d)" % (100 + index),
+        )
+    return len(first_pass)
+
+
+def storm(url):
+    """200 seeded mixed requests from 8 threads; every one answered."""
+    graphs = {size: muller_ring_tsg(size) for size in RING_SIZES}
+    tasks = list(range(STORM_REQUESTS))
+    lock = threading.Lock()
+    outcomes = {}
+    durations = []
+    montecarlo_bodies = {}
+
+    def run_worker(worker_index):
+        client = make_client(url, seed=worker_index)
+        while True:
+            with lock:
+                if not tasks:
+                    return
+                index = tasks.pop()
+            graph = graphs[RING_SIZES[index % len(RING_SIZES)]]
+            tight = index % 5 == 0
+            timeout_ms = 40 if tight else 15000
+            started = time.monotonic()
+            try:
+                if index % 13 == 0:
+                    client.analyze(graph, timeout_ms=timeout_ms)
+                    outcome = "ok"
+                else:
+                    signature = (index % len(RING_SIZES), index % 3, tight)
+                    reply = client.montecarlo(
+                        graph, samples=200, seed=index % 3,
+                        timeout_ms=timeout_ms,
+                    )
+                    outcome = "ok"
+                    body = {
+                        key: value for key, value in reply.items()
+                        if key not in ("cached",)
+                    }
+                    with lock:
+                        montecarlo_bodies.setdefault(signature, []).append(body)
+            except DeadlineExceededError:
+                outcome = "deadline_504"
+            except ServerSaturatedError:
+                outcome = "saturated_429"
+            except ServiceError as error:
+                if error.status == 503:
+                    outcome = "injected_503"
+                else:
+                    outcome = "UNBOUNDED:%s status=%d" % (error.kind,
+                                                          error.status)
+            finally:
+                elapsed = time.monotonic() - started
+            with lock:
+                outcomes[outcome] = outcomes.get(outcome, 0) + 1
+                durations.append(elapsed)
+
+    threads = [
+        threading.Thread(target=run_worker, args=(i,))
+        for i in range(STORM_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    check(len(durations) == STORM_REQUESTS, "lost requests: %d answered"
+          % len(durations))
+    unbounded = {k: v for k, v in outcomes.items() if k.startswith("UNBOUNDED")}
+    check(not unbounded, "unbounded failures: %r" % unbounded)
+    check(outcomes.get("ok", 0) >= STORM_REQUESTS // 2,
+          "too few successes: %r" % outcomes)
+    durations.sort()
+    p99 = durations[int(0.99 * (len(durations) - 1))]
+    check(p99 < P99_BOUND_S,
+          "p99 latency %.2fs exceeds %.1fs bound" % (p99, P99_BOUND_S))
+
+    # Bit-identical results for identical logical requests, across
+    # cache hits, coalesced sweeps and post-corruption recomputes.
+    for signature, bodies in montecarlo_bodies.items():
+        for body in bodies[1:]:
+            check(body == bodies[0],
+                  "divergent results for request signature %r" % (signature,))
+    return outcomes, p99
+
+
+def replay_bit_identical(url):
+    body = json.dumps({
+        "graph": graph_to_dict(muller_ring_tsg(3)),
+        "samples": 64, "seed": 42, "timeout_ms": 15000,
+    }).encode("utf-8")
+
+    def post():
+        request = urllib.request.Request(
+            url + "/montecarlo", data=body,
+            headers={"Content-Type": "application/json",
+                     "X-Idempotency-Key": "chaos-smoke-replay"},
+            method="POST",
+        )
+        for _ in range(20):  # chaos may 503/429 the first attempts
+            try:
+                with urllib.request.urlopen(request, timeout=20) as reply:
+                    return reply.read()
+            except urllib.error.HTTPError as error:
+                if error.code not in (429, 503, 504):
+                    raise
+                time.sleep(0.1)
+        raise Failure("replay request never succeeded")
+
+    first, second = post(), post()
+    check(first == second, "idempotent replay was not byte-identical")
+
+
+def drain_on_sigterm(url, daemon):
+    """SIGTERM with a request in flight: the response must complete."""
+    client = ServiceClient(url, timeout=30, retries=0)
+    outcome = {}
+
+    def slow_request():
+        try:
+            outcome["result"] = client.montecarlo(
+                muller_ring_tsg(9), samples=60000, seed=7,
+                timeout_ms=25000,
+            )
+        except ServiceError as error:
+            outcome["error"] = error
+
+    thread = threading.Thread(target=slow_request, daemon=True)
+    thread.start()
+    probe = ServiceClient(url, timeout=10, retries=0)
+    for _ in range(600):
+        try:
+            if probe.stats()["admission"]["inflight"] >= 1:
+                break
+        except ServiceError:
+            break
+        time.sleep(0.01)
+    daemon.send_signal(signal.SIGTERM)
+    thread.join(30)
+    check(not thread.is_alive(), "in-flight request hung through SIGTERM")
+    if "error" in outcome:
+        error = outcome["error"]
+        # The only acceptable structured outcomes at the drain boundary.
+        check(error.status in (429, 503, 504),
+              "drained request failed unstructured: %s" % error)
+    else:
+        check(outcome["result"]["count"] == 60000,
+              "drained response incomplete: %r" % outcome["result"])
+    out, _ = daemon.communicate(timeout=30)
+    check(daemon.returncode == 0, "daemon exit code %d" % daemon.returncode)
+    check("shut down cleanly" in out, "missing clean-shutdown message")
+    return out
+
+
+def main() -> int:
+    cache_dir = tempfile.mkdtemp(prefix="repro-chaos-cache-")
+    port = free_port()
+    url = "http://127.0.0.1:%d" % port
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    daemon = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", str(port), "--quiet",
+            "--disk-cache", "--cache-dir", cache_dir,
+            "--result-entries", "4",
+            "--max-inflight", "2", "--max-queue-depth", "2",
+            "--request-timeout", "15",
+            "--drain-timeout", "15",
+            "--chaos", CHAOS,
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    out = ""
+    try:
+        client = make_client(url, seed=0)
+        check(client.wait_until_ready(timeout=30),
+              "daemon did not come up within 30s")
+
+        warmed = warm_and_corrupt_disk(url)
+        print("chaos: %d results warmed + re-read through 100%% disk "
+              "corruption, all recomputed identically" % warmed)
+
+        outcomes, p99 = storm(url)
+        print("chaos: storm outcomes %r, p99 %.2fs" % (outcomes, p99))
+
+        stats = client.stats()
+        requests = stats["requests"]
+        result_cache = stats["cache"]["result"]
+        check(requests.get("shed", 0) > 0,
+              "/stats shed counter is zero: %r" % requests)
+        check(requests.get("expired", 0) > 0,
+              "/stats expired counter is zero: %r" % requests)
+        check(result_cache.get("corrupt_evicted", 0) > 0,
+              "/stats corrupt_evicted is zero: %r" % result_cache)
+        check(result_cache.get("degraded") is True,
+              "corrupting disk tier did not trip degraded mode: %r"
+              % result_cache)
+        check(stats["faults"] is not None
+              and stats["faults"]["injected"].get("latency_injected", 0) > 0,
+              "fault injection counters missing: %r" % stats["faults"])
+        print(
+            "chaos: shed=%d expired=%d corrupt_evicted=%d degraded=%s "
+            "injected=%r"
+            % (
+                requests["shed"], requests["expired"],
+                result_cache["corrupt_evicted"], result_cache["degraded"],
+                stats["faults"]["injected"],
+            )
+        )
+
+        replay_bit_identical(url)
+        print("chaos: idempotency-keyed replay byte-identical")
+
+        out = drain_on_sigterm(url, daemon)
+        print("chaos: SIGTERM drained the in-flight response, clean exit")
+    except Failure as failure:
+        print("FAIL: %s" % failure, file=sys.stderr)
+        if daemon.poll() is None:
+            daemon.kill()
+            out, _ = daemon.communicate(timeout=10)
+        print("--- daemon output ---\n%s" % out, file=sys.stderr)
+        return 1
+    except Exception as error:  # noqa: BLE001 — smoke harness boundary
+        print("FAIL: %s: %s" % (type(error).__name__, error), file=sys.stderr)
+        if daemon.poll() is None:
+            daemon.kill()
+            out, _ = daemon.communicate(timeout=10)
+        print("--- daemon output ---\n%s" % out, file=sys.stderr)
+        return 1
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    if "Traceback" in out:
+        print("FAIL: traceback in daemon log\n%s" % out, file=sys.stderr)
+        return 1
+    print("chaos smoke: every bound held (no hangs, no tracebacks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

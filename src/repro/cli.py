@@ -31,7 +31,10 @@ Commands
 ``serve``
     Run the JSON-over-HTTP analysis daemon (:mod:`repro.service`):
     content-addressed compile/result caching plus request coalescing
-    behind ``/analyze``, ``/montecarlo``, ``/stats`` and ``/healthz``.
+    behind ``/analyze``, ``/montecarlo``, ``/stats``, ``/healthz`` and
+    ``/readyz``, with per-request deadlines, bounded admission (429 +
+    ``Retry-After``), graceful drain on SIGTERM and an optional
+    ``--chaos`` fault-injection harness.
 """
 
 from __future__ import annotations
@@ -303,6 +306,15 @@ def _cmd_serve(args) -> int:
     from .service.cache import configure
     from .service.server import ServiceConfig, serve
 
+    if args.chaos:
+        # Validate the spec before binding the port.
+        from .service.faults import FaultInjector
+
+        try:
+            FaultInjector.parse(args.chaos)
+        except ValueError as error:
+            print("error: bad --chaos spec: %s" % error, file=sys.stderr)
+            return 2
     configure(
         compile_entries=args.compile_entries,
         result_entries=args.result_entries,
@@ -315,6 +327,10 @@ def _cmd_serve(args) -> int:
             port=args.port,
             request_timeout=args.request_timeout,
             linger_ms=args.linger_ms,
+            max_inflight=args.max_inflight,
+            max_queue_depth=args.max_queue_depth,
+            drain_timeout=args.drain_timeout,
+            chaos=args.chaos,
             quiet=args.quiet,
         )
     )
@@ -491,7 +507,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="TCP port (0 picks an ephemeral port)")
     serve.add_argument(
         "--request-timeout", type=float, default=30.0, metavar="S",
-        help="per-request socket timeout in seconds",
+        help="per-request socket timeout and default server-side "
+        "deadline in seconds (requests may override with timeout_ms)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=8, metavar="N",
+        help="admission control: how many requests compute concurrently",
+    )
+    serve.add_argument(
+        "--max-queue-depth", type=int, default=32, metavar="N",
+        help="admission control: bounded wait queue; beyond it requests "
+        "are shed with 429 + Retry-After",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="S",
+        help="on SIGTERM/SIGINT, wait up to S seconds for in-flight "
+        "responses to finish before closing sockets",
+    )
+    serve.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="arm deterministic fault injection, e.g. "
+        "'latency:p=0.3,ms=100;error:p=0.1;corrupt:p=0.5;seed=7' "
+        "(kinds: latency, error, corrupt, slowkernel)",
     )
     serve.add_argument(
         "--linger-ms", type=float, default=2.0, metavar="MS",

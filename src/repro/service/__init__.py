@@ -5,15 +5,22 @@ The service layer turns the library into a shareable system:
 * :mod:`repro.service.hashing` — canonical, order-independent content
   hashes of Timed Signal Graph topologies and delay bindings;
 * :mod:`repro.service.cache` — a thread-safe two-tier (memory LRU +
-  optional on-disk) cache of compiled topologies and finished analysis
-  results, wired into :func:`repro.core.compute_cycle_time` and the
-  analysis modules behind their ``cache=`` parameters;
+  optional on-disk, sha256-checksummed) cache of compiled topologies
+  and finished analysis results, wired into
+  :func:`repro.core.compute_cycle_time` and the analysis modules
+  behind their ``cache=`` parameters, degrading to memory-only when
+  the disk tier keeps failing;
 * :mod:`repro.service.queue` — a request coalescer that merges pending
   Monte-Carlo sweeps sharing a topology into single batched kernel
-  calls;
+  calls, evicting requests whose deadline lapses while they linger;
+* :mod:`repro.service.resilience` — deadlines, bounded admission
+  queues, retry backoff and circuit breakers shared by server and
+  client;
+* :mod:`repro.service.faults` — the deterministic, seedable
+  fault-injection harness behind ``repro serve --chaos``;
 * :mod:`repro.service.server` / :mod:`repro.service.client` — a
-  stdlib-only JSON-over-HTTP daemon (``repro serve``) and its typed
-  Python client.
+  stdlib-only JSON-over-HTTP daemon (``repro serve``) and its typed,
+  retrying client.
 """
 
 from .cache import (
@@ -28,17 +35,45 @@ from .cache import (
     service_cache_stats,
     shared_compiled_graph,
 )
-from .client import ServiceClient, ServiceError
+from .client import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ServerSaturatedError,
+    ServiceClient,
+    ServiceError,
+    TransportError,
+)
+from .faults import FaultInjector, InjectedFault
 from .hashing import delay_hash, graph_hash, topology_hash
 from .queue import RequestCoalescer
+from .resilience import (
+    AdmissionQueue,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+    Saturated,
+)
 
 __all__ = [
+    "AdmissionQueue",
     "CacheStats",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "Deadline",
+    "DeadlineExceeded",
+    "DeadlineExceededError",
     "DiskCache",
+    "FaultInjector",
+    "InjectedFault",
     "LRUCache",
     "RequestCoalescer",
+    "RetryPolicy",
+    "Saturated",
+    "ServerSaturatedError",
     "ServiceClient",
     "ServiceError",
+    "TransportError",
     "TwoTierCache",
     "clear_caches",
     "compile_cache",

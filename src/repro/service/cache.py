@@ -36,6 +36,7 @@ both structures are valid).
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import tempfile
@@ -50,10 +51,16 @@ from ..core.kernel import (
     peek_compiled,
 )
 from ..core.signal_graph import TimedSignalGraph
+from . import faults
 from .hashing import HASH_VERSION, delay_hash, topology_hash
 
 #: Bump when the pickle payload layout changes.
-CACHE_FORMAT = "1"
+#: "2": entries are sha256-checksummed (digest prefix before the pickle).
+CACHE_FORMAT = "2"
+
+#: Consecutive disk-tier failures before a TwoTierCache trips to
+#: memory-only degraded mode.
+DISK_TRIP_THRESHOLD = 5
 
 _MISSING = object()
 
@@ -161,55 +168,130 @@ def default_cache_dir() -> str:
 
 
 class DiskCache:
-    """Pickle-per-entry store with atomic writes and versioned layout.
+    """Pickle-per-entry store with atomic, checksummed writes.
 
     Entries live under ``<root>/c<format>-h<hash-version>/<namespace>/``,
     one file per key, so bumping either version abandons (never
-    mis-reads) old entries.  All failures — unreadable, truncated or
-    version-skewed files, unwritable directories — degrade to cache
-    misses; a cache must never take the analysis down with it.
+    mis-reads) old entries.  Each file is ``sha256(payload) + payload``
+    so a flipped bit, truncation or partial write is *detected* — not
+    merely hoped to fail unpickling — counted (``corrupt_evicted``),
+    deleted, and treated as a miss.  Leftover ``mkstemp`` temp files
+    from a crashed writer are garbage-collected on startup.  All
+    failures — unreadable, truncated or version-skewed files,
+    unwritable directories — degrade to cache misses; a cache must
+    never take the analysis down with it.  :attr:`consecutive_failures`
+    lets :class:`TwoTierCache` trip a persistently failing disk tier
+    into degraded memory-only mode.
     """
 
-    def __init__(self, directory: Optional[str] = None, namespace: str = "default"):
+    _DIGEST_BYTES = 32  # sha256
+
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        namespace: str = "default",
+        stats: Optional[CacheStats] = None,
+    ):
         root = directory or default_cache_dir()
         self.directory = os.path.join(
             root, "c%s-h%s" % (CACHE_FORMAT, HASH_VERSION), namespace
         )
+        self.stats = stats or CacheStats()
+        self._failure_lock = threading.Lock()
+        self._consecutive_failures = 0
+        self._gc_temp_files()
+
+    def _gc_temp_files(self) -> None:
+        """Drop temp files a crashed concurrent writer left behind."""
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        for name in names:
+            if name.endswith(".tmp"):
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                    self.stats.increment("temp_gc")
+                except OSError:
+                    pass
 
     def _path(self, key: str) -> str:
         # Keys are hex digests already, but guard arbitrary strings.
         safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in key)
         return os.path.join(self.directory, safe[:128] + ".pkl")
 
+    # -- tier-health accounting ----------------------------------------
+    def _note_failure(self) -> None:
+        with self._failure_lock:
+            self._consecutive_failures += 1
+
+    def _note_success(self) -> None:
+        with self._failure_lock:
+            self._consecutive_failures = 0
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._failure_lock:
+            return self._consecutive_failures
+
+    # ------------------------------------------------------------------
     def get(self, key: str, default=None):
         path = self._path(key)
         try:
             with open(path, "rb") as handle:
-                record = pickle.load(handle)
-            if record.get("key") == key:
-                return record["value"]
+                blob = handle.read()
         except FileNotFoundError:
-            pass
-        except Exception:
-            # Corrupt or incompatible entry: drop it and miss.
+            return default  # a plain miss, not a tier failure
+        except OSError:
+            self.stats.increment("io_errors")
+            self._note_failure()
+            return default
+        injector = faults.active()
+        if injector is not None:
+            blob = injector.corrupt_blob(blob, site="disk")
+        record = self._verify(blob)
+        if record is None:
+            # Truncated, bit-flipped or unpicklable: evict and miss.
+            self.stats.increment("corrupt_evicted")
+            self._note_failure()
             try:
                 os.unlink(path)
             except OSError:
                 pass
-        return default
+            return default
+        self._note_success()
+        if record.get("key") != key:
+            return default  # sanitised-filename collision: plain miss
+        return record["value"]
+
+    def _verify(self, blob: bytes) -> Optional[Dict[str, Any]]:
+        """Checksum + unpickle ``blob``; None on any corruption."""
+        if len(blob) <= self._DIGEST_BYTES:
+            return None
+        digest, payload = blob[: self._DIGEST_BYTES], blob[self._DIGEST_BYTES:]
+        if hashlib.sha256(payload).digest() != digest:
+            return None
+        try:
+            record = pickle.loads(payload)
+        except Exception:
+            return None
+        if not isinstance(record, dict) or "value" not in record:
+            return None
+        return record
 
     def put(self, key: str, value) -> bool:
         record = {"key": key, "format": CACHE_FORMAT, "value": value}
         try:
             payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception:
-            return False  # unpicklable value: memory-tier only
+            return False  # unpicklable value: memory-tier only, not a failure
+        blob = hashlib.sha256(payload).digest() + payload
         try:
             os.makedirs(self.directory, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as handle:
-                    handle.write(payload)
+                    handle.write(blob)
                 os.replace(tmp, self._path(key))
             except BaseException:
                 try:
@@ -217,8 +299,12 @@ class DiskCache:
                 except OSError:
                     pass
                 raise
+            # A write landing does not clear the failure streak: a tier
+            # that writes fine but reads back garbage is still failing.
             return True
         except OSError:
+            self.stats.increment("io_errors")
+            self._note_failure()
             return False
 
     def clear(self) -> None:
@@ -234,25 +320,57 @@ class DiskCache:
 
 
 class TwoTierCache:
-    """Memory LRU in front of an optional disk store, with stats."""
+    """Memory LRU in front of an optional disk store, with stats.
+
+    The disk tier is watched for health: after ``trip_threshold``
+    *consecutive* disk failures (I/O errors or corrupt entries) the
+    cache trips into a degraded memory-only mode — visible in
+    :meth:`snapshot` as ``degraded`` and counted as ``disk_trips`` —
+    instead of paying (and logging) a disk failure on every request.
+    :meth:`reset_degraded` re-arms the disk tier (e.g. after an
+    operator fixed the volume).
+    """
 
     def __init__(
         self,
         memory: LRUCache,
         disk: Optional[DiskCache] = None,
         name: str = "cache",
+        trip_threshold: int = DISK_TRIP_THRESHOLD,
     ) -> None:
         self.memory = memory
         self.disk = disk
         self.name = name
+        self.trip_threshold = trip_threshold
         self.stats = memory.stats  # one block for both tiers
+        if disk is not None:
+            disk.stats = self.stats
+        self._degraded = False
+
+    @property
+    def degraded(self) -> bool:
+        return self._degraded
+
+    def reset_degraded(self) -> None:
+        self._degraded = False
+        if self.disk is not None:
+            self.disk._note_success()
+
+    def _disk_available(self) -> bool:
+        if self.disk is None or self._degraded:
+            return False
+        if self.disk.consecutive_failures >= self.trip_threshold:
+            self._degraded = True
+            self.stats.increment("disk_trips")
+            return False
+        return True
 
     def get(self, key, default=None):
         value = self.memory.get(key, _MISSING)
         if value is not _MISSING:
             self.stats.increment("hits")
             return value
-        if self.disk is not None:
+        if self._disk_available():
             value = self.disk.get(key, _MISSING)
             if value is not _MISSING:
                 self.stats.increment("disk_hits")
@@ -264,7 +382,7 @@ class TwoTierCache:
     def put(self, key, value) -> None:
         self.stats.increment("puts")
         self.memory.put(key, value)
-        if self.disk is not None:
+        if self._disk_available():
             self.disk.put(key, value)
 
     def clear(self) -> None:
@@ -277,6 +395,7 @@ class TwoTierCache:
         data["entries"] = len(self.memory)
         data["max_entries"] = self.memory.max_entries
         data["disk"] = self.disk is not None
+        data["degraded"] = self._degraded
         return data
 
 

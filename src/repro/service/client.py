@@ -1,4 +1,4 @@
-"""Typed Python client for the repro analysis daemon.
+"""Typed, resilient Python client for the repro analysis daemon.
 
 Stdlib only (``urllib``); speaks the JSON wire format of
 :mod:`repro.service.server`.  Graphs are serialised with
@@ -14,22 +14,48 @@ True
 >>> mc = client.montecarlo(graph, samples=5000, seed=7)
 >>> mc["mean"], mc["quantiles"]["p95"]
 
-Structured service errors raise :class:`ServiceError`, carrying the
-server-reported ``type`` (the domain exception class name, e.g.
-``NotLiveError``), ``message`` and HTTP ``status``.
+Resilience (:mod:`repro.service.resilience`):
+
+* every call has a default read **timeout** and retries transport
+  errors, 429 and 503 with exponential backoff + *full jitter*,
+  honouring a server-supplied ``Retry-After``;
+* idempotent POSTs (``/analyze``, ``/montecarlo`` are pure functions
+  of their payload) carry an ``X-Idempotency-Key`` so a retried
+  request that actually reached the server replays the stored
+  byte-identical response instead of recomputing;
+* a small **circuit breaker** fast-fails calls after consecutive
+  *transport* errors (:exc:`CircuitOpenError`) with a half-open probe
+  after ``reset_after`` seconds — structured HTTP errors never trip it
+  (they prove the server is alive).
+
+Error taxonomy (all subclasses of :class:`ServiceError`, carrying the
+server-reported ``type``, ``message`` and HTTP ``status``):
+
+=========================== ==========================================
+:class:`TransportError`     connection refused/reset, read timeout
+                            (status 0) — retries exhausted
+:class:`CircuitOpenError`   fast-fail, no network attempt made
+:class:`ServerSaturatedError` HTTP 429 — admission queue full
+:class:`DeadlineExceededError` HTTP 504 — server-side deadline hit
+:class:`ServiceError`       any other structured error (400/404/411/
+                            413/422/500/503)
+=========================== ==========================================
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import os
 import socket
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from ..core.signal_graph import TimedSignalGraph
 from ..io.json_io import decode_number, graph_to_dict
+from .resilience import CircuitBreaker, RetryPolicy
 
 
 class ServiceError(Exception):
@@ -42,6 +68,40 @@ class ServiceError(Exception):
         self.status = status
 
 
+class TransportError(ServiceError):
+    """The daemon could not be reached (after any retries)."""
+
+    def __init__(self, message: str):
+        super().__init__("Unreachable", message, status=0)
+
+
+class CircuitOpenError(ServiceError):
+    """The client's circuit breaker is open: fast-fail, no request sent."""
+
+    def __init__(self, message: str = "circuit breaker is open"):
+        super().__init__("CircuitOpen", message, status=0)
+
+
+class ServerSaturatedError(ServiceError):
+    """HTTP 429: the admission queue shed this request."""
+
+
+class DeadlineExceededError(ServiceError):
+    """HTTP 504: the server-side request deadline expired."""
+
+
+#: statuses the client may safely retry for idempotent requests
+RETRYABLE_STATUSES = (429, 503)
+
+
+def _typed_error(kind: str, message: str, status: int) -> ServiceError:
+    if status == 429:
+        return ServerSaturatedError(kind, message, status)
+    if status == 504:
+        return DeadlineExceededError(kind, message, status)
+    return ServiceError(kind, message, status)
+
+
 class ServiceClient:
     """Talks to one ``repro serve`` daemon.
 
@@ -50,65 +110,172 @@ class ServiceClient:
     base_url:
         e.g. ``"http://127.0.0.1:8177"`` (trailing slash tolerated).
     timeout:
-        Socket timeout per request, seconds.
+        Socket read timeout per attempt, seconds.
+    retries:
+        How many times to retry a retryable failure (transport error,
+        429, 503) of an idempotent request.  0 disables retries.
+    retry_policy:
+        Backoff schedule; defaults to exponential + full jitter
+        (``base=0.1``, ``cap=2.0``).  Pass a seeded policy for
+        deterministic tests.
+    breaker:
+        Circuit breaker; defaults to 5 consecutive transport failures
+        → open for 10 s.  Pass ``None`` to share one across clients.
+    deadline_ms:
+        When set, sent as ``X-Request-Timeout-Ms`` on every request so
+        the server bounds its own work (504 instead of a client-side
+        socket timeout).
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retries: int = 3,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        deadline_ms: Optional[float] = None,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry_policy = retry_policy or RetryPolicy(retries=retries)
+        self.retry_policy.retries = retries
+        self.breaker = breaker or CircuitBreaker()
+        self.deadline_ms = deadline_ms
 
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
+    def _attempt(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        headers: Dict[str, str],
+    ) -> Tuple[int, bytes, Optional[str]]:
+        """One wire attempt; returns (status, raw body, Retry-After)."""
+        request = urllib.request.Request(
+            self.base_url + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                return reply.status, reply.read(), reply.headers.get("Retry-After")
+        except urllib.error.HTTPError as error:
+            return error.code, error.read(), error.headers.get("Retry-After")
+
     def _request(
-        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        idempotent: bool = True,
+        use_breaker: bool = True,
+        retries: Optional[int] = None,
     ) -> Dict[str, Any]:
         body = None
         headers = {"Accept": "application/json"}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            self.base_url + path, data=body, headers=headers, method=method
+        if self.deadline_ms is not None:
+            headers["X-Request-Timeout-Ms"] = "%g" % self.deadline_ms
+        if idempotent and method == "POST":
+            # A stable key across retries lets the server replay the
+            # stored byte-identical response instead of recomputing.
+            headers["X-Idempotency-Key"] = os.urandom(16).hex()
+        attempts = 1 + (
+            (self.retry_policy.retries if retries is None else retries)
+            if idempotent else 0
         )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
-                raw = reply.read()
-                status = reply.status
-        except urllib.error.HTTPError as error:
-            raw = error.read()
-            status = error.code
-        except urllib.error.URLError as error:
-            raise ServiceError(
-                "Unreachable", "cannot reach %s: %s" % (self.base_url, error.reason),
-                status=0,
-            ) from None
-        try:
-            document = json.loads(raw)
-        except ValueError:
-            raise ServiceError(
-                "BadResponse",
-                "non-JSON response (HTTP %d)" % status,
-                status=status,
-            ) from None
-        if status != 200 or "error" in document:
-            error_body = document.get("error") or {}
-            raise ServiceError(
-                error_body.get("type", "UnknownError"),
-                error_body.get("message", "unexpected response"),
-                status=status,
-            )
-        return document
+        last_error: Optional[ServiceError] = None
+        for attempt in range(attempts):
+            if use_breaker and not self.breaker.allow():
+                raise CircuitOpenError(
+                    "circuit breaker open for %s" % self.base_url
+                )
+            retry_after: Optional[str] = None
+            try:
+                status, raw, retry_after = self._attempt(
+                    method, path, body, headers
+                )
+            except (
+                urllib.error.URLError,
+                http.client.HTTPException,
+                socket.timeout,
+                ConnectionError,
+                OSError,
+            ) as error:
+                if use_breaker:
+                    self.breaker.record_failure()
+                reason = getattr(error, "reason", None) or error
+                last_error = TransportError(
+                    "cannot reach %s: %s" % (self.base_url, reason)
+                )
+            else:
+                if use_breaker:
+                    # The server answered: the transport is healthy,
+                    # whatever the HTTP status says.
+                    self.breaker.record_success()
+                try:
+                    document = json.loads(raw)
+                except ValueError:
+                    raise ServiceError(
+                        "BadResponse",
+                        "non-JSON response (HTTP %d)" % status,
+                        status=status,
+                    ) from None
+                if status == 200 and "error" not in document:
+                    return document
+                error_body = document.get("error") or {}
+                last_error = _typed_error(
+                    error_body.get("type", "UnknownError"),
+                    error_body.get("message", "unexpected response"),
+                    status,
+                )
+                if status not in RETRYABLE_STATUSES:
+                    raise last_error
+            if attempt + 1 < attempts:
+                parsed_retry_after: Optional[float] = None
+                if retry_after is not None:
+                    try:
+                        parsed_retry_after = float(retry_after)
+                    except ValueError:
+                        parsed_retry_after = None
+                time.sleep(
+                    self.retry_policy.backoff(attempt, parsed_retry_after)
+                )
+        assert last_error is not None
+        raise last_error
 
     # ------------------------------------------------------------------
     # endpoints
     # ------------------------------------------------------------------
     def healthz(self) -> bool:
-        """Liveness probe; False instead of raising when unreachable."""
+        """Liveness probe; False instead of raising when unreachable.
+
+        Bypasses the circuit breaker (a probe must always be able to
+        discover recovery) and never retries.
+        """
         try:
-            return self._request("GET", "/healthz").get("status") == "ok"
+            reply = self._request(
+                "GET", "/healthz", use_breaker=False, retries=0
+            )
         except ServiceError:
             return False
+        if reply.get("status") == "ok":
+            self.breaker.record_success()
+            return True
+        return False
+
+    def readyz(self) -> bool:
+        """Readiness probe: False while the daemon drains or is saturated."""
+        try:
+            reply = self._request(
+                "GET", "/readyz", use_breaker=False, retries=0
+            )
+        except ServiceError:
+            return False
+        return reply.get("status") == "ready"
 
     def wait_until_ready(self, timeout: float = 10.0, interval: float = 0.05) -> bool:
         """Poll :meth:`healthz` until the daemon answers or time runs out."""
@@ -120,7 +287,7 @@ class ServiceClient:
         return False
 
     def stats(self) -> Dict[str, Any]:
-        """Request counters, cache statistics and coalescer statistics."""
+        """Request counters, cache/coalescer/admission statistics."""
         return self._request("GET", "/stats")
 
     def analyze(
@@ -129,11 +296,13 @@ class ServiceClient:
         periods: Optional[int] = None,
         kernel: str = "auto",
         backtrack: bool = True,
+        timeout_ms: Optional[float] = None,
     ) -> Dict[str, Any]:
         """Cycle time and critical cycles of ``graph``.
 
         ``result["cycle_time"]`` and each critical cycle's ``length``
-        are decoded back to exact numbers.
+        are decoded back to exact numbers.  ``timeout_ms`` bounds the
+        *server-side* work (a structured 504 on expiry).
         """
         payload: Dict[str, Any] = {
             "graph": graph_to_dict(graph),
@@ -142,6 +311,8 @@ class ServiceClient:
         }
         if periods is not None:
             payload["periods"] = periods
+        if timeout_ms is not None:
+            payload["timeout_ms"] = timeout_ms
         result = self._request("POST", "/analyze", payload)
         result["cycle_time"] = decode_number(result["cycle_time"])
         for cycle in result.get("critical_cycles", []):
@@ -157,21 +328,21 @@ class ServiceClient:
         distribution: str = "uniform",
         track_criticality: bool = False,
         bins: int = 0,
+        timeout_ms: Optional[float] = None,
     ) -> Dict[str, Any]:
         """λ distribution of ``graph`` under random delay variation."""
-        return self._request(
-            "POST",
-            "/montecarlo",
-            {
-                "graph": graph_to_dict(graph),
-                "samples": samples,
-                "seed": seed,
-                "spread": spread,
-                "distribution": distribution,
-                "track_criticality": track_criticality,
-                "bins": bins,
-            },
-        )
+        payload: Dict[str, Any] = {
+            "graph": graph_to_dict(graph),
+            "samples": samples,
+            "seed": seed,
+            "spread": spread,
+            "distribution": distribution,
+            "track_criticality": track_criticality,
+            "bins": bins,
+        }
+        if timeout_ms is not None:
+            payload["timeout_ms"] = timeout_ms
+        return self._request("POST", "/montecarlo", payload)
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -1,0 +1,275 @@
+"""Deterministic, seedable fault injection for the analysis service.
+
+``repro serve --chaos SPEC`` (or :func:`install` programmatically)
+arms a process-wide :class:`FaultInjector` whose hooks the serving
+stack consults at well-defined *sites*:
+
+========== =========================================================
+site       where the hook fires
+========== =========================================================
+handler    the HTTP request path, after admission, before compute
+disk       :class:`~repro.service.cache.DiskCache` reads (blob
+           corruption — exercises the checksum/eviction path)
+kernel     inside the coalescer's batched kernel dispatch
+========== =========================================================
+
+A spec is ``;``-separated rules, each ``kind:key=val,key=val``:
+
+``latency:p=0.4,ms=120,jitter_ms=30,site=handler``
+    With probability ``p`` sleep ``ms`` (+ uniform jitter) at the site.
+``error:p=0.1,status=503,site=handler``
+    With probability ``p`` raise :exc:`InjectedFault` (a structured
+    ``status`` response on the wire — never a traceback).
+``corrupt:p=0.5,site=disk``
+    With probability ``p`` flip one byte of a disk-cache blob before
+    it is parsed (the checksum must catch it).
+``slowkernel:p=0.2,ms=50``
+    With probability ``p`` sleep ``ms`` inside kernel dispatch.
+``seed=7``
+    Seed every per-site random stream (bare rule, no kind).
+
+All randomness is drawn from per-``(kind, site)`` ``random.Random``
+streams derived from the seed, so a chaos run is reproducible and two
+sites never perturb each other's sequences.  Counters of every
+injected fault are exposed via :meth:`FaultInjector.snapshot` on the
+daemon's ``/stats``.
+
+This module is stdlib-only and imports nothing from the rest of the
+service package, so the cache, queue and server can all hook into it
+without cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from random import Random
+from typing import Dict, List, Optional
+
+KINDS = ("latency", "error", "corrupt", "slowkernel")
+
+_DEFAULT_MS = {"latency": 100.0, "slowkernel": 50.0}
+
+
+class InjectedFault(Exception):
+    """An error deliberately injected by the chaos harness."""
+
+    def __init__(self, status: int = 503, site: str = "handler"):
+        super().__init__("injected fault at site %r (chaos)" % site)
+        self.status = status
+        self.site = site
+
+
+class FaultRule:
+    """One parsed chaos rule."""
+
+    __slots__ = ("kind", "p", "site", "ms", "jitter_ms", "status")
+
+    def __init__(
+        self,
+        kind: str,
+        p: float = 1.0,
+        site: Optional[str] = None,
+        ms: float = 0.0,
+        jitter_ms: float = 0.0,
+        status: int = 503,
+    ) -> None:
+        if kind not in KINDS:
+            raise ValueError(
+                "unknown fault kind %r (choose from %s)" % (kind, ", ".join(KINDS))
+            )
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("fault probability must be in [0, 1], got %r" % p)
+        self.kind = kind
+        self.p = p
+        self.site = site
+        self.ms = ms
+        self.jitter_ms = jitter_ms
+        self.status = status
+
+    def matches(self, site: str) -> bool:
+        return self.site is None or self.site == site
+
+    def __repr__(self) -> str:
+        parts = ["p=%g" % self.p]
+        if self.site is not None:
+            parts.append("site=%s" % self.site)
+        if self.kind in ("latency", "slowkernel"):
+            parts.append("ms=%g" % self.ms)
+            if self.jitter_ms:
+                parts.append("jitter_ms=%g" % self.jitter_ms)
+        if self.kind == "error":
+            parts.append("status=%d" % self.status)
+        return "%s:%s" % (self.kind, ",".join(parts))
+
+
+class FaultInjector:
+    """Seedable fault hooks; every draw is per-(kind, site) deterministic."""
+
+    def __init__(self, rules: List[FaultRule], seed: int = 0) -> None:
+        self.rules = list(rules)
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        self._rngs: Dict[str, Random] = {}
+        self._counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str) -> "FaultInjector":
+        """Build an injector from a ``--chaos`` spec string."""
+        rules: List[FaultRule] = []
+        seed = 0
+        for chunk in (piece.strip() for piece in spec.split(";")):
+            if not chunk:
+                continue
+            head, _, tail = chunk.partition(":")
+            head = head.strip()
+            if "=" in head:  # bare top-level parameter, e.g. "seed=7"
+                key, _, value = head.partition("=")
+                if key.strip() != "seed":
+                    raise ValueError("unknown chaos parameter %r" % key.strip())
+                seed = int(value)
+                continue
+            params: Dict[str, str] = {}
+            if tail:
+                for pair in tail.split(","):
+                    key, sep, value = pair.partition("=")
+                    if not sep:
+                        raise ValueError(
+                            "malformed chaos parameter %r in %r" % (pair, chunk)
+                        )
+                    params[key.strip()] = value.strip()
+            try:
+                rule = FaultRule(
+                    head,
+                    p=float(params.pop("p", 1.0)),
+                    site=params.pop("site", None),
+                    ms=float(params.pop("ms", _DEFAULT_MS.get(head, 0.0))),
+                    jitter_ms=float(params.pop("jitter_ms", 0.0)),
+                    status=int(params.pop("status", 503)),
+                )
+            except ValueError:
+                raise
+            if params:
+                raise ValueError(
+                    "unknown chaos parameter(s) %s for %r"
+                    % (", ".join(sorted(params)), head)
+                )
+            rules.append(rule)
+        return cls(rules, seed=seed)
+
+    # ------------------------------------------------------------------
+    def _rng(self, key: str) -> Random:
+        rng = self._rngs.get(key)
+        if rng is None:
+            rng = Random((self.seed << 32) ^ zlib.crc32(key.encode("utf-8")))
+            self._rngs[key] = rng
+        return rng
+
+    def _fires(self, rule: FaultRule, site: str) -> bool:
+        if rule.p <= 0.0:
+            return False
+        with self._lock:
+            if rule.p >= 1.0:
+                return True
+            return self._rng("%s@%s" % (rule.kind, site)).random() < rule.p
+
+    def _count(self, name: str) -> None:
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    # ------------------------------------------------------------------
+    # hooks
+    # ------------------------------------------------------------------
+    def sleep_latency(self, site: str = "handler") -> float:
+        """Latency injection at ``site``; returns the seconds slept."""
+        slept = 0.0
+        for rule in self.rules:
+            if rule.kind != "latency" or not rule.matches(site):
+                continue
+            if self._fires(rule, site):
+                delay = rule.ms / 1000.0
+                if rule.jitter_ms > 0.0:
+                    with self._lock:
+                        jitter = self._rng("jitter@%s" % site).random()
+                    delay += jitter * rule.jitter_ms / 1000.0
+                time.sleep(delay)
+                slept += delay
+                self._count("latency_injected")
+        return slept
+
+    def maybe_error(self, site: str = "handler") -> None:
+        """Error injection at ``site``; raises :exc:`InjectedFault`."""
+        for rule in self.rules:
+            if rule.kind != "error" or not rule.matches(site):
+                continue
+            if self._fires(rule, site):
+                self._count("errors_injected")
+                raise InjectedFault(rule.status, site)
+
+    def corrupt_blob(self, blob: bytes, site: str = "disk") -> bytes:
+        """Maybe flip one byte of ``blob`` (cache-corruption injection)."""
+        for rule in self.rules:
+            if rule.kind != "corrupt" or not rule.matches(site):
+                continue
+            if blob and self._fires(rule, site):
+                with self._lock:
+                    index = self._rng("corrupt-index@%s" % site).randrange(
+                        len(blob)
+                    )
+                mutated = bytearray(blob)
+                mutated[index] ^= 0xFF
+                self._count("blobs_corrupted")
+                return bytes(mutated)
+        return blob
+
+    def sleep_kernel(self, site: str = "kernel") -> float:
+        """Slow-kernel injection inside batched dispatch."""
+        slept = 0.0
+        for rule in self.rules:
+            if rule.kind != "slowkernel" or not rule.matches(site):
+                continue
+            if self._fires(rule, site):
+                delay = rule.ms / 1000.0
+                time.sleep(delay)
+                slept += delay
+                self._count("kernel_slowed")
+        return slept
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            counts = dict(self._counts)
+        return {
+            "seed": self.seed,
+            "rules": [repr(rule) for rule in self.rules],
+            "injected": counts,
+        }
+
+
+# ----------------------------------------------------------------------
+# the process-wide injector (None = chaos disabled, all hooks no-ops)
+# ----------------------------------------------------------------------
+_active: Optional[FaultInjector] = None
+_install_lock = threading.Lock()
+
+
+def install(injector: FaultInjector) -> FaultInjector:
+    """Arm ``injector`` process-wide; returns it for chaining."""
+    global _active
+    with _install_lock:
+        _active = injector
+    return injector
+
+
+def clear() -> None:
+    """Disarm fault injection."""
+    global _active
+    with _install_lock:
+        _active = None
+
+
+def active() -> Optional[FaultInjector]:
+    """The armed injector, or ``None`` when chaos is off."""
+    return _active

@@ -30,8 +30,10 @@ import numpy as np
 
 from ..core.kernel import BatchBindings, run_border_simulations_batch
 from ..core.signal_graph import TimedSignalGraph
+from . import faults
 from .cache import CacheStats, shared_compiled_graph
 from .hashing import topology_hash
+from .resilience import Deadline, DeadlineExceeded
 
 
 @dataclass
@@ -41,6 +43,7 @@ class _Pending:
     graph: TimedSignalGraph
     matrix: np.ndarray          # (S, m) in this graph's own arc order
     periods: Optional[int]
+    deadline: Optional[Deadline] = None
     future: "Future[np.ndarray]" = field(default_factory=Future)
 
 
@@ -87,6 +90,7 @@ class RequestCoalescer:
         graph: TimedSignalGraph,
         matrix,
         periods: Optional[int] = None,
+        deadline: Optional[Deadline] = None,
     ) -> "Future[np.ndarray]":
         """Queue one sweep; resolves to the ``(S,)`` λ array.
 
@@ -94,11 +98,21 @@ class RequestCoalescer:
         own arc insertion order, exactly as
         :func:`~repro.analysis.montecarlo.sample_delay_matrix` builds
         it.  Requests with different ``periods`` never share a batch.
+        A request whose ``deadline`` expires while lingering in the
+        queue (or while earlier batch chunks compute) is evicted from
+        its batch and fails with :exc:`DeadlineExceeded` instead of
+        being swept for a caller that already gave up.
         """
         matrix = np.ascontiguousarray(matrix, dtype=np.float64)
         if matrix.ndim != 2:
             raise ValueError("matrix must be 2-D (samples, arcs)")
-        request = _Pending(graph=graph, matrix=matrix, periods=periods)
+        request = _Pending(
+            graph=graph, matrix=matrix, periods=periods, deadline=deadline
+        )
+        if deadline is not None and deadline.expired():
+            self.stats.increment("requests")
+            self._expire(request)
+            return request.future
         key = "%s|p%r" % (topology_hash(graph), periods)
         with self._lock:
             if self._closed:
@@ -108,9 +122,11 @@ class RequestCoalescer:
             self._wakeup.notify()
         return request.future
 
-    def run(self, graph, matrix, periods=None, timeout=None) -> np.ndarray:
+    def run(self, graph, matrix, periods=None, timeout=None, deadline=None) -> np.ndarray:
         """Blocking convenience wrapper around :meth:`submit`."""
-        return self.submit(graph, matrix, periods).result(timeout=timeout)
+        return self.submit(graph, matrix, periods, deadline=deadline).result(
+            timeout=timeout
+        )
 
     def close(self, timeout: Optional[float] = 10.0) -> None:
         """Stop accepting work, drain queued requests, join the worker."""
@@ -142,8 +158,36 @@ class RequestCoalescer:
                 if not self._pending:
                     continue
                 key, group = self._pending.popitem(last=False)
+            # Evict requests whose deadline lapsed while lingering: they
+            # are answered (504 upstream), never silently swept.
+            group = self._evict_expired(group)
             for batch in self._split(group):
-                self._dispatch(batch)
+                # Deadlines are re-checked between batch chunks — an
+                # earlier chunk's kernel time may have consumed the
+                # budget of requests queued for a later chunk.
+                batch = self._evict_expired(batch)
+                if batch:
+                    self._dispatch(batch)
+
+    def _evict_expired(self, group: List[_Pending]) -> List[_Pending]:
+        fresh: List[_Pending] = []
+        for request in group:
+            if request.deadline is not None and request.deadline.expired():
+                self._expire(request)
+            else:
+                fresh.append(request)
+        return fresh
+
+    def _expire(self, request: _Pending) -> None:
+        self.stats.increment("expired")
+        if request.future.set_running_or_notify_cancel():
+            request.future.set_exception(
+                DeadlineExceeded(
+                    "coalescer-queue",
+                    None if request.deadline is None
+                    else request.deadline.timeout_s,
+                )
+            )
 
     def _split(self, group: List[_Pending]) -> List[List[_Pending]]:
         batches: List[List[_Pending]] = []
@@ -181,6 +225,9 @@ class RequestCoalescer:
         self.stats.maximum("max_batch_requests", len(batch))
 
     def _sweep(self, batch: List[_Pending]) -> np.ndarray:
+        injector = faults.active()
+        if injector is not None:
+            injector.sleep_kernel()
         host = batch[0].graph
         cg = shared_compiled_graph(host)
         host_pairs = [arc.pair for arc in host.arcs]

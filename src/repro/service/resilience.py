@@ -1,0 +1,310 @@
+"""Resilience primitives for the analysis service.
+
+The serving stack (PR 3) made the reproduction shareable; this module
+makes its failure behaviour *bounded and testable*, in the same spirit
+as the paper's Propositions 7–8 bounding when timing simulation may
+stop: every request carries an explicit deadline, every queue has an
+explicit depth, and every failure mode maps to a declared, structured
+outcome instead of an unbounded hang.
+
+Four independent, composable pieces:
+
+* :class:`Deadline` / :exc:`DeadlineExceeded` — a monotonic-clock
+  budget threaded through the whole request path and checked at each
+  expensive stage (admission, compile, kernel dispatch, between batch
+  chunks).  An expired deadline becomes a structured HTTP 504, never a
+  hung thread.
+* :class:`AdmissionQueue` / :exc:`Saturated` — a bounded in-flight cap
+  plus a bounded wait queue in front of the compute path.  When both
+  are full the request is *shed* immediately with a 429 +
+  ``Retry-After`` instead of piling another unbounded thread onto
+  ``ThreadingHTTPServer``.
+* :class:`RetryPolicy` — client-side exponential backoff with *full
+  jitter* (delay drawn uniformly from ``[0, min(cap, base·2^attempt)]``),
+  honouring a server-supplied ``Retry-After`` floor.
+* :class:`CircuitBreaker` — fast-fails client calls after a run of
+  consecutive transport errors, with a half-open single-probe recovery
+  after ``reset_after`` seconds.
+
+Everything here is stdlib-only and has no dependency on the rest of
+the service package, so the server, client, cache and coalescer can
+all import it freely.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Optional
+
+
+class DeadlineExceeded(Exception):
+    """A request's time budget ran out at ``stage``.
+
+    The server maps this to a structured HTTP 504; the coalescer uses
+    it to evict lingering requests whose callers have already given up.
+    """
+
+    def __init__(self, stage: str, timeout_s: Optional[float] = None):
+        detail = "request deadline exceeded at stage %r" % stage
+        if timeout_s is not None:
+            detail += " (budget %.3fs)" % timeout_s
+        super().__init__(detail)
+        self.stage = stage
+        self.timeout_s = timeout_s
+
+
+class Deadline:
+    """A monotonic-clock time budget for one request.
+
+    >>> deadline = Deadline.after_ms(250)
+    >>> deadline.check("pre-compile")   # raises DeadlineExceeded if late
+    >>> deadline.remaining()            # seconds left (may be negative)
+    """
+
+    __slots__ = ("timeout_s", "_clock", "_expires")
+
+    def __init__(self, timeout_s: float, clock=time.monotonic):
+        self.timeout_s = float(timeout_s)
+        self._clock = clock
+        self._expires = clock() + self.timeout_s
+
+    @classmethod
+    def after_ms(cls, timeout_ms: float, clock=time.monotonic) -> "Deadline":
+        return cls(float(timeout_ms) / 1000.0, clock=clock)
+
+    def remaining(self) -> float:
+        return self._expires - self._clock()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, stage: str) -> None:
+        if self.expired():
+            raise DeadlineExceeded(stage, self.timeout_s)
+
+    def __repr__(self) -> str:
+        return "Deadline(remaining=%.3fs)" % self.remaining()
+
+
+class Saturated(Exception):
+    """Both the in-flight cap and the wait queue are full: shed."""
+
+    def __init__(self, retry_after: float = 0.25):
+        super().__init__(
+            "server saturated; retry after %.2fs" % retry_after
+        )
+        self.retry_after = retry_after
+
+
+class AdmissionQueue:
+    """Bounded admission control in front of the compute path.
+
+    At most ``max_inflight`` requests compute concurrently; at most
+    ``max_queue_depth`` more wait for a slot.  A request arriving with
+    both full is rejected immediately with :exc:`Saturated` (the
+    *shed* counter); a queued request whose :class:`Deadline` expires
+    before a slot frees raises :exc:`DeadlineExceeded` (the
+    ``expired_in_queue`` counter).  All counters surface through
+    :meth:`snapshot` on the daemon's ``/stats``.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int = 8,
+        max_queue_depth: int = 32,
+        retry_after: float = 0.25,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be positive")
+        if max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be >= 0")
+        self.max_inflight = max_inflight
+        self.max_queue_depth = max_queue_depth
+        self.retry_after = retry_after
+        self._cond = threading.Condition(threading.Lock())
+        self._inflight = 0
+        self._waiting = 0
+        self._counts: Dict[str, int] = {
+            "admitted": 0, "shed": 0, "expired_in_queue": 0,
+            "peak_inflight": 0, "peak_waiting": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def acquire(self, deadline: Optional[Deadline] = None) -> None:
+        with self._cond:
+            if self._inflight < self.max_inflight and self._waiting == 0:
+                self._admit()
+                return
+            if self._waiting >= self.max_queue_depth:
+                self._counts["shed"] += 1
+                raise Saturated(self.retry_after)
+            self._waiting += 1
+            if self._waiting > self._counts["peak_waiting"]:
+                self._counts["peak_waiting"] = self._waiting
+            try:
+                while self._inflight >= self.max_inflight:
+                    if deadline is not None:
+                        remaining = deadline.remaining()
+                        if remaining <= 0.0:
+                            self._counts["expired_in_queue"] += 1
+                            raise DeadlineExceeded(
+                                "admission-queue", deadline.timeout_s
+                            )
+                        self._cond.wait(min(remaining, 0.05))
+                    else:
+                        self._cond.wait(0.05)
+            finally:
+                self._waiting -= 1
+            self._admit()
+
+    def _admit(self) -> None:
+        self._inflight += 1
+        self._counts["admitted"] += 1
+        if self._inflight > self._counts["peak_inflight"]:
+            self._counts["peak_inflight"] = self._inflight
+
+    def release(self) -> None:
+        with self._cond:
+            self._inflight -= 1
+            self._cond.notify()
+
+    @contextmanager
+    def admit(self, deadline: Optional[Deadline] = None):
+        """``with queue.admit(deadline):`` — acquire a slot, always release."""
+        self.acquire(deadline)
+        try:
+            yield
+        finally:
+            self.release()
+
+    # ------------------------------------------------------------------
+    def inflight(self) -> int:
+        with self._cond:
+            return self._inflight
+
+    def waiting(self) -> int:
+        with self._cond:
+            return self._waiting
+
+    def saturated(self) -> bool:
+        """Would a request arriving right now be shed?"""
+        with self._cond:
+            return (
+                self._inflight >= self.max_inflight
+                and self._waiting >= self.max_queue_depth
+            )
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._cond:
+            data = dict(self._counts)
+            data["inflight"] = self._inflight
+            data["waiting"] = self._waiting
+            data["max_inflight"] = self.max_inflight
+            data["max_queue_depth"] = self.max_queue_depth
+            return data
+
+
+class RetryPolicy:
+    """Exponential backoff with full jitter (AWS-style).
+
+    ``backoff(attempt)`` draws uniformly from
+    ``[0, min(cap, base * 2**attempt)]``; a server-supplied
+    ``retry_after`` acts as a floor so the client never hammers a
+    saturated server earlier than it asked.  Pass a seeded
+    ``random.Random`` for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        retries: int = 3,
+        base: float = 0.1,
+        cap: float = 2.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.retries = retries
+        self.base = base
+        self.cap = cap
+        self._rng = rng or random.Random()
+        self._lock = threading.Lock()
+
+    def backoff(self, attempt: int, retry_after: Optional[float] = None) -> float:
+        ceiling = min(self.cap, self.base * (2.0 ** max(0, attempt)))
+        with self._lock:
+            delay = self._rng.uniform(0.0, ceiling)
+        if retry_after is not None:
+            delay = max(delay, float(retry_after))
+        return delay
+
+
+class CircuitBreaker:
+    """Fast-fail after a run of consecutive transport errors.
+
+    Closed (normal) → open after ``failure_threshold`` consecutive
+    failures → half-open after ``reset_after`` seconds, admitting a
+    single probe; the probe's outcome closes or re-opens the circuit.
+    Only *transport* errors (connection refused/reset, timeouts) should
+    feed :meth:`record_failure` — a structured HTTP error proves the
+    server is alive.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_after: float = 10.0,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_after = reset_after
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            if self._opened_at is None:
+                return self.CLOSED
+            if self._clock() - self._opened_at >= self.reset_after:
+                return self.HALF_OPEN
+            return self.OPEN
+
+    def allow(self) -> bool:
+        """May a call proceed right now?"""
+        with self._lock:
+            if self._opened_at is None:
+                return True
+            if self._clock() - self._opened_at < self.reset_after:
+                return False
+            if self._probing:
+                return False  # one probe at a time in half-open
+            self._probing = True
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            self._probing = False
+            if self._failures >= self.failure_threshold:
+                self._opened_at = self._clock()
+
+    def reset(self) -> None:
+        self.record_success()

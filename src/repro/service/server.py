@@ -5,9 +5,12 @@
 
 * ``POST /analyze`` — cycle time / critical cycles of a posted graph;
 * ``POST /montecarlo`` — λ distribution under random delay variation;
-* ``GET /stats`` — request counters, cache hit/miss/eviction counters
-  and coalescer statistics;
-* ``GET /healthz`` — liveness probe.
+* ``GET /stats`` — request counters, cache hit/miss/eviction counters,
+  coalescer, admission-queue and fault-injection statistics;
+* ``GET /healthz`` — liveness probe;
+* ``GET /readyz`` — readiness probe: 503 while draining or saturated,
+  200 otherwise (distinct from liveness so a load balancer can stop
+  routing before shutdown).
 
 Request graphs use the standard JSON document format of
 :mod:`repro.io.json_io` under a ``"graph"`` key.  Every response is
@@ -17,6 +20,22 @@ status — and a traceback is never written to the wire.  Exact cycle
 times travel as tagged numbers (``{"fraction": [n, d]}``) so the
 typed client round-trips them losslessly.
 
+Bounded failure behaviour (:mod:`repro.service.resilience`):
+
+* every request carries a server-side deadline (``timeout_ms`` field
+  or ``X-Request-Timeout-Ms`` header; default ``--request-timeout``),
+  checked before compile, before kernel dispatch and between batch
+  chunks — an exhausted budget is a structured **504**, never a hung
+  thread;
+* a bounded admission queue (``--max-inflight`` computing,
+  ``--max-queue-depth`` waiting) sheds excess load with **429** +
+  ``Retry-After`` instead of letting ``ThreadingHTTPServer`` pile up
+  unbounded threads;
+* POSTs carrying an ``X-Idempotency-Key`` header replay the stored
+  byte-identical response on retry instead of recomputing;
+* ``--chaos SPEC`` arms the deterministic fault-injection harness
+  (:mod:`repro.service.faults`) for resilience testing.
+
 Work sharing: ``/analyze`` and ``/montecarlo`` responses are memoised
 in the process-wide result cache keyed by content hash + parameters;
 compiled topologies are shared through
@@ -25,7 +44,9 @@ compiled topologies are shared through
 batched kernel calls by the :class:`~repro.service.queue.RequestCoalescer`.
 
 The daemon shuts down cleanly on SIGINT/SIGTERM: the listener closes,
-the coalescer drains its queue, and ``serve`` returns 0.
+in-flight requests *drain* (finish writing their responses) for up to
+``--drain-timeout`` seconds, the coalescer drains its queue, and
+``serve`` returns 0.
 """
 
 from __future__ import annotations
@@ -35,6 +56,7 @@ import signal
 import sys
 import threading
 import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
@@ -53,9 +75,11 @@ from ..core.events import event_label
 from ..core.kernel import KERNELS
 from ..core.signal_graph import TimedSignalGraph
 from ..io.json_io import encode_number, graph_from_dict
-from .cache import CacheStats, result_cache, service_cache_stats
+from . import faults
+from .cache import CacheStats, LRUCache, result_cache, service_cache_stats
 from .hashing import analysis_key
 from .queue import RequestCoalescer
+from .resilience import AdmissionQueue, Deadline, DeadlineExceeded, Saturated
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8177
@@ -76,12 +100,18 @@ class ServiceConfig:
 
     host: str = DEFAULT_HOST
     port: int = DEFAULT_PORT
-    request_timeout: float = 30.0    # per-connection socket timeout
+    request_timeout: float = 30.0    # socket timeout *and* default deadline
     max_body_bytes: int = 16 * 1024 * 1024
     max_samples: int = 100_000       # per Monte-Carlo request
     max_periods: int = 10_000
     linger_ms: float = 2.0           # coalescer window
     max_batch_samples: int = 65536
+    max_inflight: int = 8            # admission: concurrent compute cap
+    max_queue_depth: int = 32        # admission: bounded wait queue
+    retry_after_s: float = 0.25      # Retry-After hint on 429/503
+    drain_timeout: float = 10.0      # SIGTERM: wait for in-flight writes
+    idempotency_entries: int = 256   # replay cache for keyed retries
+    chaos: Optional[str] = None      # fault-injection spec (faults.py)
     quiet: bool = False
 
 
@@ -95,11 +125,23 @@ class AnalysisService:
             linger_s=self.config.linger_ms / 1000.0,
             max_batch_samples=self.config.max_batch_samples,
         )
+        self.admission = AdmissionQueue(
+            max_inflight=self.config.max_inflight,
+            max_queue_depth=self.config.max_queue_depth,
+            retry_after=self.config.retry_after_s,
+        )
+        self.idempotency = LRUCache(max_entries=self.config.idempotency_entries)
         self.counters = CacheStats()
+        self.draining = False
+        self.faults: Optional[faults.FaultInjector] = None
+        if self.config.chaos:
+            self.faults = faults.install(faults.FaultInjector.parse(self.config.chaos))
         self.started = time.time()
 
     def close(self) -> None:
         self.coalescer.close()
+        if self.faults is not None and faults.active() is self.faults:
+            faults.clear()
 
     # ------------------------------------------------------------------
     # decoding helpers
@@ -126,10 +168,34 @@ class AnalysisService:
             )
         return value
 
+    def deadline_for(
+        self, payload: Optional[Dict[str, Any]], header_ms: Optional[str]
+    ) -> Deadline:
+        """The request's time budget: field, header, or server default."""
+        timeout_ms: Optional[float] = None
+        if payload is not None and payload.get("timeout_ms") is not None:
+            raw = payload["timeout_ms"]
+            if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+                raise RequestError("'timeout_ms' must be a number")
+            timeout_ms = float(raw)
+        elif header_ms is not None:
+            try:
+                timeout_ms = float(header_ms)
+            except ValueError:
+                raise RequestError("X-Request-Timeout-Ms must be a number")
+        if timeout_ms is None:
+            timeout_ms = self.config.request_timeout * 1000.0
+        if timeout_ms <= 0:
+            raise RequestError("'timeout_ms' must be positive")
+        return Deadline.after_ms(timeout_ms)
+
     # ------------------------------------------------------------------
     # endpoints
     # ------------------------------------------------------------------
-    def handle_analyze(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+    def handle_analyze(
+        self, payload: Dict[str, Any], deadline: Optional[Deadline] = None
+    ) -> Dict[str, Any]:
+        deadline = deadline or self.deadline_for(payload, None)
         graph = self._decode_graph(payload)
         periods = payload.get("periods")
         if periods is not None:
@@ -148,6 +214,7 @@ class AnalysisService:
         cached = self.results.get(key)
         if cached is not None:
             return dict(cached, cached=True)
+        deadline.check("pre-compile")
         result = compute_cycle_time(
             graph,
             periods=periods,
@@ -176,7 +243,10 @@ class AnalysisService:
         self.results.put(key, response)
         return dict(response, cached=False)
 
-    def handle_montecarlo(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+    def handle_montecarlo(
+        self, payload: Dict[str, Any], deadline: Optional[Deadline] = None
+    ) -> Dict[str, Any]:
+        deadline = deadline or self.deadline_for(payload, None)
         graph = self._decode_graph(payload)
         samples = self._int_field(
             payload, "samples", 1000, 1, self.config.max_samples
@@ -212,9 +282,11 @@ class AnalysisService:
             uniform_spread(spread) if distribution == "uniform"
             else normal_spread(spread)
         )
+        deadline.check("pre-compile")
         if track:
             # Criticality attribution backtracks per sample; no
             # cross-request batching to exploit.
+            deadline.check("pre-dispatch")
             outcome = monte_carlo_cycle_time(
                 graph, sampler, samples=samples, seed=seed,
                 track_criticality=True,
@@ -230,12 +302,20 @@ class AnalysisService:
             ]
         else:
             # λ-only distribution: sample here, let the coalescer merge
-            # this sweep with concurrent same-topology requests.
+            # this sweep with concurrent same-topology requests.  The
+            # deadline rides along so a lingering request is evicted
+            # (504) instead of swept for a caller that gave up.
             rng = np.random.default_rng(seed)
             matrix = sample_delay_matrix(graph, sampler, samples, rng)
-            values = self.coalescer.run(
-                graph, matrix, timeout=self.config.request_timeout
-            )
+            deadline.check("pre-dispatch")
+            try:
+                values = self.coalescer.run(
+                    graph, matrix,
+                    deadline=deadline,
+                    timeout=max(0.05, deadline.remaining()) + 1.0,
+                )
+            except FutureTimeoutError:
+                raise DeadlineExceeded("kernel-sweep", deadline.timeout_s)
             criticality = None
         response = {
             "graph": graph.name,
@@ -268,16 +348,30 @@ class AnalysisService:
         return {
             "status": "ok",
             "uptime_s": time.time() - self.started,
+            "draining": self.draining,
             "requests": self.counters.snapshot(),
             "cache": service_cache_stats(),
             "coalescer": self.coalescer.stats.snapshot(),
+            "admission": self.admission.snapshot(),
+            "faults": None if self.faults is None else self.faults.snapshot(),
             "config": {
                 "request_timeout": self.config.request_timeout,
                 "max_samples": self.config.max_samples,
                 "linger_ms": self.config.linger_ms,
                 "max_batch_samples": self.config.max_batch_samples,
+                "max_inflight": self.config.max_inflight,
+                "max_queue_depth": self.config.max_queue_depth,
+                "drain_timeout": self.config.drain_timeout,
+                "chaos": self.config.chaos,
             },
         }
+
+    def handle_readyz(self) -> Tuple[int, Dict[str, Any]]:
+        if self.draining:
+            return 503, {"status": "draining"}
+        if self.admission.saturated():
+            return 503, {"status": "saturated"}
+        return 200, {"status": "ready"}
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -293,17 +387,45 @@ class _Handler(BaseHTTPRequestHandler):
         super().setup()
 
     # -- plumbing ------------------------------------------------------
-    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
-        body = json.dumps(payload).encode("utf-8")
+    def _send_raw(
+        self,
+        status: int,
+        body: bytes,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        if self.service.draining:
+            # Stop keep-alive reuse so the drain can finish.
+            self.send_header("Connection", "close")
+            self.close_connection = True
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, kind: str, message: str) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self._send_raw(
+            status, json.dumps(payload).encode("utf-8"), extra_headers
+        )
+
+    def _send_error_json(
+        self,
+        status: int,
+        kind: str,
+        message: str,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         self.service.counters.increment("errors")
-        self._send_json(status, {"error": {"type": kind, "message": message}})
+        self._send_json(
+            status, {"error": {"type": kind, "message": message}}, extra_headers
+        )
 
     def _read_body(self) -> Dict[str, Any]:
         length = self.headers.get("Content-Length")
@@ -327,11 +449,32 @@ class _Handler(BaseHTTPRequestHandler):
             raise RequestError("request body must be a JSON object")
         return payload
 
+    def _retry_after_header(self) -> Dict[str, str]:
+        return {"Retry-After": "%g" % self.service.config.retry_after_s}
+
     def _dispatch(self, handler) -> None:
+        service = self.service
         try:
             response = handler()
         except RequestError as error:
             self._send_error_json(error.status, error.kind, str(error))
+        except Saturated as error:
+            service.counters.increment("shed")
+            self._send_error_json(
+                429, "Saturated", str(error),
+                extra_headers={"Retry-After": "%g" % error.retry_after},
+            )
+        except DeadlineExceeded as error:
+            service.counters.increment("expired")
+            self._send_error_json(504, "DeadlineExceeded", str(error))
+        except faults.InjectedFault as error:
+            service.counters.increment("faults_injected")
+            headers = (
+                self._retry_after_header() if error.status in (429, 503) else None
+            )
+            self._send_error_json(
+                error.status, "InjectedFault", str(error), extra_headers=headers
+            )
         except SignalGraphError as error:
             # Domain errors (non-live graph, no border events, ...) are
             # the client's problem: structured 422, never a traceback.
@@ -341,7 +484,86 @@ class _Handler(BaseHTTPRequestHandler):
                 500, "InternalError", "%s: %s" % (type(error).__name__, error)
             )
         else:
-            self._send_json(200, response)
+            if isinstance(response, tuple):
+                status, payload = response
+                self._send_json(status, payload)
+            else:
+                self._send_json(200, response)
+
+    def _dispatch_post(self, method) -> None:
+        """The full resilient POST path: deadline, admission, chaos,
+        idempotent replay."""
+        service = self.service
+
+        def run():
+            if service.draining:
+                raise RequestError(
+                    "server is draining", status=503, kind="Draining"
+                )
+            payload = self._read_body()
+            deadline = service.deadline_for(
+                payload, self.headers.get("X-Request-Timeout-Ms")
+            )
+            idempotency_key = self.headers.get("X-Idempotency-Key")
+            if idempotency_key:
+                stored = service.idempotency.get(idempotency_key)
+                if stored is not None:
+                    service.counters.increment("idempotent_replays")
+                    status, body = stored
+                    self._send_raw(status, body)
+                    return _SENT
+            # The admission slot covers compute AND the response write,
+            # so drain() waiting on inflight==0 guarantees no response
+            # is cut mid-write by shutdown.
+            with service.admission.admit(deadline):
+                injector = service.faults
+                if injector is not None:
+                    injector.sleep_latency(site="handler")
+                    injector.maybe_error(site="handler")
+                deadline.check("admitted")
+                response = method(payload, deadline)
+                body = json.dumps(response).encode("utf-8")
+                if idempotency_key:
+                    # Replayed retries must be byte-identical: store
+                    # the serialised body, not the dict.
+                    service.idempotency.put(idempotency_key, (200, body))
+                self._send_raw(200, body)
+            return _SENT
+
+        try:
+            outcome = run()
+        except RequestError as error:
+            headers = (
+                self._retry_after_header() if error.status == 503 else None
+            )
+            self._send_error_json(
+                error.status, error.kind, str(error), extra_headers=headers
+            )
+        except Saturated as error:
+            service.counters.increment("shed")
+            self._send_error_json(
+                429, "Saturated", str(error),
+                extra_headers={"Retry-After": "%g" % error.retry_after},
+            )
+        except DeadlineExceeded as error:
+            service.counters.increment("expired")
+            self._send_error_json(504, "DeadlineExceeded", str(error))
+        except faults.InjectedFault as error:
+            service.counters.increment("faults_injected")
+            headers = (
+                self._retry_after_header() if error.status in (429, 503) else None
+            )
+            self._send_error_json(
+                error.status, "InjectedFault", str(error), extra_headers=headers
+            )
+        except SignalGraphError as error:
+            self._send_error_json(422, type(error).__name__, str(error))
+        except Exception as error:  # noqa: BLE001 — last-resort guard
+            self._send_error_json(
+                500, "InternalError", "%s: %s" % (type(error).__name__, error)
+            )
+        else:
+            assert outcome is _SENT
 
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 — stdlib naming
@@ -349,6 +571,9 @@ class _Handler(BaseHTTPRequestHandler):
         if path == "/healthz":
             self.service.counters.increment("healthz")
             self._dispatch(lambda: {"status": "ok"})
+        elif path == "/readyz":
+            self.service.counters.increment("readyz")
+            self._dispatch(self.service.handle_readyz)
         elif path == "/stats":
             self.service.counters.increment("stats")
             self._dispatch(self.service.handle_stats)
@@ -359,12 +584,10 @@ class _Handler(BaseHTTPRequestHandler):
         path = self.path.split("?", 1)[0]
         if path == "/analyze":
             self.service.counters.increment("analyze")
-            self._dispatch(lambda: self.service.handle_analyze(self._read_body()))
+            self._dispatch_post(self.service.handle_analyze)
         elif path == "/montecarlo":
             self.service.counters.increment("montecarlo")
-            self._dispatch(
-                lambda: self.service.handle_montecarlo(self._read_body())
-            )
+            self._dispatch_post(self.service.handle_montecarlo)
         else:
             self._send_error_json(404, "NotFound", "no such endpoint: %s" % path)
 
@@ -374,6 +597,9 @@ class _Handler(BaseHTTPRequestHandler):
                 "[repro.service] %s - %s\n" % (self.address_string(),
                                                format % args)
             )
+
+
+_SENT = object()  # sentinel: response already written by the handler
 
 
 class ServiceServer(ThreadingHTTPServer):
@@ -389,6 +615,31 @@ class ServiceServer(ThreadingHTTPServer):
     def url(self) -> str:
         host, port = self.server_address[:2]
         return "http://%s:%d" % (host, port)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop taking new work and wait for in-flight requests.
+
+        Marks the service as draining (new requests get 503, responses
+        carry ``Connection: close``) and blocks until the admission
+        queue reports zero in-flight requests or ``timeout`` (default
+        ``--drain-timeout``) elapses.  Returns True when fully drained
+        — meaning no response was cut mid-write.
+        """
+        if timeout is None:
+            timeout = self.service.config.drain_timeout
+        self.service.draining = True
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if (
+                self.service.admission.inflight() == 0
+                and self.service.admission.waiting() == 0
+            ):
+                return True
+            time.sleep(0.02)
+        return (
+            self.service.admission.inflight() == 0
+            and self.service.admission.waiting() == 0
+        )
 
     def close(self) -> None:
         self.server_close()
@@ -417,6 +668,13 @@ def serve(config: Optional[ServiceConfig] = None) -> int:
         pass
     finally:
         signal.signal(signal.SIGTERM, previous)
+        drained = server.drain()
+        if not drained:
+            print(
+                "repro service: drain timeout — %d request(s) abandoned"
+                % server.service.admission.inflight(),
+                flush=True,
+            )
         server.close()
     print("repro service: shut down cleanly", flush=True)
     return 0

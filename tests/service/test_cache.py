@@ -205,6 +205,86 @@ class TestDiskCache:
         assert first.stdout.splitlines()[0] == second.stdout.splitlines()[0]
 
 
+class TestDiskCacheAdversarial:
+    """Checksummed entries under hostile bytes: every corruption is
+    detected, counted, evicted, and degrades to a miss."""
+
+    @staticmethod
+    def _seeded(tmp_path):
+        disk = DiskCache(str(tmp_path), "adv")
+        assert disk.put("victim", {"payload": list(range(32))})
+        assert disk.get("victim") == {"payload": list(range(32))}
+        return disk, disk._path("victim")
+
+    def test_truncated_pickle_is_evicted(self, tmp_path):
+        disk, path = self._seeded(tmp_path)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])
+        assert disk.get("victim") is None
+        assert not os.path.exists(path)
+        assert disk.stats.get("corrupt_evicted") == 1
+
+    def test_flipped_byte_fails_checksum(self, tmp_path):
+        disk, path = self._seeded(tmp_path)
+        blob = bytearray(open(path, "rb").read())
+        blob[len(blob) // 2] ^= 0x01  # single bit deep in the payload
+        with open(path, "wb") as handle:
+            handle.write(bytes(blob))
+        assert disk.get("victim") is None
+        assert not os.path.exists(path)
+        assert disk.stats.get("corrupt_evicted") == 1
+
+    def test_zero_length_file_is_evicted(self, tmp_path):
+        disk, path = self._seeded(tmp_path)
+        open(path, "wb").close()
+        assert disk.get("victim") is None
+        assert not os.path.exists(path)
+        assert disk.stats.get("corrupt_evicted") == 1
+
+    def test_valid_checksum_over_garbage_pickle_is_evicted(self, tmp_path):
+        import hashlib
+
+        disk, path = self._seeded(tmp_path)
+        garbage = b"\x80\x05definitely not a pickle"
+        with open(path, "wb") as handle:
+            handle.write(hashlib.sha256(garbage).digest() + garbage)
+        assert disk.get("victim") is None
+        assert disk.stats.get("corrupt_evicted") == 1
+
+    def test_crashed_writer_temp_files_gcd_on_startup(self, tmp_path):
+        disk, _ = self._seeded(tmp_path)
+        # Simulate a writer that died between mkstemp and os.replace.
+        for index in range(3):
+            leftover = os.path.join(disk.directory, "crash%d.tmp" % index)
+            with open(leftover, "wb") as handle:
+                handle.write(b"partial write")
+        reopened = DiskCache(str(tmp_path), "adv")
+        assert not [
+            name for name in os.listdir(reopened.directory)
+            if name.endswith(".tmp")
+        ]
+        assert reopened.stats.get("temp_gc") == 3
+        # The committed entry survived the GC.
+        assert reopened.get("victim") == {"payload": list(range(32))}
+
+    def test_concurrent_readers_of_corrupt_entry_are_safe(self, tmp_path):
+        disk, path = self._seeded(tmp_path)
+        with open(path, "wb") as handle:
+            handle.write(b"\x00" * 40)
+        outcomes = []
+
+        def read():
+            outcomes.append(disk.get("victim", default="miss"))
+
+        threads = [threading.Thread(target=read) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert outcomes == ["miss"] * 8
+
+
 class TestComputeCycleTimeCacheModes:
     def test_results_mode_memoises(self, oscillator):
         first = compute_cycle_time(

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -11,6 +12,7 @@ from repro.analysis.montecarlo import sample_delay_matrix, uniform_spread
 from repro.circuits.library import muller_ring_tsg, oscillator_tsg
 from repro.core.kernel import BatchBindings, compiled_graph, run_border_simulations_batch
 from repro.service.queue import RequestCoalescer
+from repro.service.resilience import Deadline, DeadlineExceeded
 from .test_hashing import shuffled_copy
 
 
@@ -120,6 +122,57 @@ class TestBatching:
                 np.testing.assert_array_equal(got, want)
             assert coalescer.stats.get("requests") == 8
             assert coalescer.stats.get("coalesced_requests") >= 2
+
+
+class TestDeadlines:
+    def test_expired_lingering_request_is_evicted_not_swept(self, oscillator):
+        """Regression: a request whose deadline lapses during the linger
+        window must fail with DeadlineExceeded, not be swept with the
+        batch for a caller that already gave up."""
+        with RequestCoalescer(linger_s=0.15) as coalescer:
+            rng = np.random.default_rng(7)
+            sampler = uniform_spread(0.2)
+            doomed = sample_delay_matrix(oscillator, sampler, 6, rng)
+            alive = sample_delay_matrix(oscillator, sampler, 9, rng)
+            doomed_future = coalescer.submit(
+                oscillator, doomed, deadline=Deadline.after_ms(20)
+            )
+            live_future = coalescer.submit(
+                oscillator, alive, deadline=Deadline.after_ms(30000)
+            )
+            time.sleep(0.05)  # doomed expires while the group lingers
+            with pytest.raises(DeadlineExceeded):
+                doomed_future.result(timeout=30)
+            values = live_future.result(timeout=30)
+            np.testing.assert_array_equal(
+                values, reference_lambdas(oscillator.copy(), alive)
+            )
+            assert coalescer.stats.get("expired") == 1
+            # The survivor's batch must not include the evicted rows.
+            assert coalescer.stats.get("coalesced_requests") == 0
+
+    def test_already_expired_submit_fails_immediately(self, oscillator):
+        with RequestCoalescer(linger_s=0.01) as coalescer:
+            rng = np.random.default_rng(8)
+            matrix = sample_delay_matrix(
+                oscillator, uniform_spread(0.1), 4, rng
+            )
+            deadline = Deadline.after_ms(0.001)
+            time.sleep(0.002)
+            future = coalescer.submit(oscillator, matrix, deadline=deadline)
+            with pytest.raises(DeadlineExceeded):
+                future.result(timeout=5)
+            assert coalescer.stats.get("expired") == 1
+
+    def test_no_deadline_means_no_eviction(self, oscillator):
+        with RequestCoalescer(linger_s=0.05) as coalescer:
+            rng = np.random.default_rng(9)
+            matrix = sample_delay_matrix(
+                oscillator, uniform_spread(0.1), 5, rng
+            )
+            values = coalescer.run(oscillator, matrix, timeout=30)
+            assert values.shape == (5,)
+            assert coalescer.stats.get("expired") == 0
 
 
 class TestLifecycle:

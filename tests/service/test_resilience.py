@@ -1,0 +1,551 @@
+"""Resilience layer: deadlines, backpressure, retries, chaos, drain."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.circuits.library import muller_ring_tsg
+from repro.io.json_io import graph_to_dict
+from repro.service import faults
+from repro.service.cache import DiskCache, LRUCache, TwoTierCache
+from repro.service.client import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ServerSaturatedError,
+    ServiceClient,
+    ServiceError,
+)
+from repro.service.faults import FaultInjector, InjectedFault
+from repro.service.resilience import (
+    AdmissionQueue,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+    Saturated,
+)
+from repro.service.server import make_server
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_faults():
+    """Chaos armed by a test must never leak into the next one."""
+    yield
+    faults.clear()
+
+
+@pytest.fixture
+def server_factory():
+    """Spin up daemons with arbitrary config; tear all of them down."""
+    servers = []
+
+    def build(**overrides):
+        server = make_server(quiet=True, **overrides)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        servers.append((server, thread))
+        return server
+
+    yield build
+    for server, thread in servers:
+        server.shutdown()
+        server.close()
+        thread.join(timeout=5)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestDeadline:
+    def test_fresh_deadline_has_budget(self):
+        deadline = Deadline.after_ms(5000)
+        assert not deadline.expired()
+        assert 4.0 < deadline.remaining() <= 5.0
+        deadline.check("anywhere")  # must not raise
+
+    def test_expired_deadline_raises_with_stage(self):
+        clock = FakeClock()
+        deadline = Deadline(0.05, clock=clock)
+        clock.now = 0.06
+        assert deadline.expired()
+        with pytest.raises(DeadlineExceeded) as caught:
+            deadline.check("pre-compile")
+        assert caught.value.stage == "pre-compile"
+        assert caught.value.timeout_s == pytest.approx(0.05)
+
+
+class TestAdmissionQueue:
+    def test_admit_and_release(self):
+        queue = AdmissionQueue(max_inflight=2, max_queue_depth=1)
+        with queue.admit():
+            assert queue.inflight() == 1
+        assert queue.inflight() == 0
+        assert queue.snapshot()["admitted"] == 1
+
+    def test_sheds_when_queue_full(self):
+        queue = AdmissionQueue(max_inflight=1, max_queue_depth=0,
+                               retry_after=0.5)
+        release = threading.Event()
+
+        def occupant():
+            with queue.admit():
+                release.wait(5)
+
+        thread = threading.Thread(target=occupant, daemon=True)
+        thread.start()
+        for _ in range(100):
+            if queue.inflight() == 1:
+                break
+            time.sleep(0.005)
+        with pytest.raises(Saturated) as caught:
+            queue.acquire()
+        assert caught.value.retry_after == 0.5
+        assert queue.snapshot()["shed"] == 1
+        assert queue.saturated()
+        release.set()
+        thread.join(5)
+        with queue.admit():  # slot is free again
+            pass
+
+    def test_queued_request_expires_with_deadline(self):
+        queue = AdmissionQueue(max_inflight=1, max_queue_depth=2)
+        release = threading.Event()
+
+        def occupant():
+            with queue.admit():
+                release.wait(5)
+
+        thread = threading.Thread(target=occupant, daemon=True)
+        thread.start()
+        for _ in range(100):
+            if queue.inflight() == 1:
+                break
+            time.sleep(0.005)
+        with pytest.raises(DeadlineExceeded):
+            queue.acquire(Deadline.after_ms(40))
+        assert queue.snapshot()["expired_in_queue"] == 1
+        release.set()
+        thread.join(5)
+
+    def test_queued_request_gets_slot_when_freed(self):
+        queue = AdmissionQueue(max_inflight=1, max_queue_depth=2)
+        release = threading.Event()
+        acquired = threading.Event()
+
+        def occupant():
+            with queue.admit():
+                release.wait(5)
+
+        def waiter():
+            with queue.admit(Deadline.after_ms(5000)):
+                acquired.set()
+
+        occupant_thread = threading.Thread(target=occupant, daemon=True)
+        occupant_thread.start()
+        for _ in range(100):
+            if queue.inflight() == 1:
+                break
+            time.sleep(0.005)
+        waiter_thread = threading.Thread(target=waiter, daemon=True)
+        waiter_thread.start()
+        time.sleep(0.05)
+        assert not acquired.is_set()  # still parked in the queue
+        release.set()
+        assert acquired.wait(5)
+        occupant_thread.join(5)
+        waiter_thread.join(5)
+
+
+class TestRetryPolicy:
+    def test_full_jitter_is_bounded_and_grows(self):
+        import random
+
+        policy = RetryPolicy(retries=5, base=0.1, cap=10.0,
+                             rng=random.Random(7))
+        for attempt in range(5):
+            ceiling = 0.1 * (2 ** attempt)
+            for _ in range(50):
+                assert 0.0 <= policy.backoff(attempt) <= ceiling
+
+    def test_cap_limits_backoff(self):
+        import random
+
+        policy = RetryPolicy(retries=8, base=0.1, cap=0.3,
+                             rng=random.Random(1))
+        assert all(policy.backoff(10) <= 0.3 for _ in range(100))
+
+    def test_retry_after_is_a_floor(self):
+        import random
+
+        policy = RetryPolicy(retries=3, base=0.001, cap=0.002,
+                             rng=random.Random(2))
+        assert policy.backoff(0, retry_after=0.7) >= 0.7
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, reset_after=10,
+                                 clock=clock)
+        assert breaker.state == CircuitBreaker.CLOSED
+        for _ in range(3):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_run(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_probe_then_close(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_after=5,
+                                 clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.now = 6.0
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()        # single probe
+        assert not breaker.allow()    # second caller must wait
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_after=5,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.now = 6.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+
+class TestFaultInjector:
+    def test_parse_round_trip(self):
+        injector = FaultInjector.parse(
+            "latency:p=0.4,ms=80,site=handler;error:p=0.1,status=500;"
+            "corrupt:p=0.5;slowkernel:ms=40;seed=11"
+        )
+        assert injector.seed == 11
+        kinds = [rule.kind for rule in injector.rules]
+        assert kinds == ["latency", "error", "corrupt", "slowkernel"]
+        assert injector.rules[0].site == "handler"
+        assert injector.rules[1].status == 500
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            FaultInjector.parse("explode:p=1")
+        with pytest.raises(ValueError):
+            FaultInjector.parse("latency:p=2")
+        with pytest.raises(ValueError):
+            FaultInjector.parse("latency:warp=9")
+        with pytest.raises(ValueError):
+            FaultInjector.parse("turbo=1")
+
+    def test_corruption_is_deterministic_per_seed(self):
+        blob = bytes(range(256))
+        first = FaultInjector.parse("corrupt:p=1;seed=3").corrupt_blob(blob)
+        second = FaultInjector.parse("corrupt:p=1;seed=3").corrupt_blob(blob)
+        other = FaultInjector.parse("corrupt:p=1;seed=4").corrupt_blob(blob)
+        assert first == second != blob
+        assert sum(a != b for a, b in zip(first, blob)) == 1  # one byte
+        assert other != first
+
+    def test_error_injection_respects_probability(self):
+        always = FaultInjector.parse("error:p=1")
+        with pytest.raises(InjectedFault) as caught:
+            always.maybe_error("handler")
+        assert caught.value.status == 503
+        never = FaultInjector.parse("error:p=0")
+        never.maybe_error("handler")  # must not raise
+        assert always.snapshot()["injected"]["errors_injected"] == 1
+
+    def test_latency_injection_sleeps(self):
+        injector = FaultInjector.parse("latency:p=1,ms=30")
+        start = time.monotonic()
+        slept = injector.sleep_latency("handler")
+        assert time.monotonic() - start >= 0.025
+        assert slept == pytest.approx(0.03)
+
+    def test_site_scoping(self):
+        injector = FaultInjector.parse("error:p=1,site=disk")
+        injector.maybe_error("handler")  # different site: no fault
+        with pytest.raises(InjectedFault):
+            injector.maybe_error("disk")
+
+
+class TestServerDeadlines:
+    def test_tiny_deadline_is_structured_504(self, server_factory):
+        server = server_factory(
+            chaos="latency:p=1,ms=300,site=handler", request_timeout=30
+        )
+        client = ServiceClient(server.url, timeout=30, retries=0)
+        assert client.wait_until_ready(10)
+        with pytest.raises(DeadlineExceededError) as caught:
+            client.analyze(muller_ring_tsg(3), timeout_ms=50)
+        assert caught.value.status == 504
+        stats = client.stats()
+        assert stats["requests"]["expired"] >= 1
+        assert stats["faults"]["injected"]["latency_injected"] >= 1
+
+    def test_generous_deadline_succeeds(self, server_factory):
+        server = server_factory()
+        client = ServiceClient(server.url, timeout=30)
+        assert client.wait_until_ready(10)
+        result = client.analyze(muller_ring_tsg(3), timeout_ms=30000)
+        assert result["cycle_time"] is not None
+
+    def test_bad_timeout_field_is_400(self, server_factory):
+        server = server_factory()
+        client = ServiceClient(server.url, timeout=30, retries=0)
+        assert client.wait_until_ready(10)
+        with pytest.raises(ServiceError) as caught:
+            client.analyze(muller_ring_tsg(3), timeout_ms=-5)
+        assert caught.value.status == 400
+
+
+class TestBackpressure:
+    def test_excess_load_is_shed_with_429(self, server_factory):
+        server = server_factory(
+            chaos="latency:p=1,ms=400,site=handler",
+            max_inflight=1, max_queue_depth=0,
+        )
+        url = server.url
+        probe = ServiceClient(url, timeout=30, retries=0)
+        assert probe.wait_until_ready(10)
+        graph = muller_ring_tsg(3)
+        outcomes = []
+        lock = threading.Lock()
+
+        def fire(seed):
+            client = ServiceClient(url, timeout=30, retries=0)
+            try:
+                client.montecarlo(graph, samples=20, seed=seed)
+                value = "ok"
+            except ServerSaturatedError:
+                value = "shed"
+            except ServiceError as error:
+                value = "error:%s" % error.kind
+            with lock:
+                outcomes.append(value)
+
+        threads = [threading.Thread(target=fire, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert "ok" in outcomes
+        assert "shed" in outcomes
+        assert not any(o.startswith("error:") for o in outcomes)
+        stats = probe.stats()
+        assert stats["requests"]["shed"] >= 1
+        assert stats["admission"]["shed"] >= 1
+
+    def test_retry_after_header_present_on_429(self, server_factory):
+        server = server_factory(
+            chaos="latency:p=1,ms=400,site=handler",
+            max_inflight=1, max_queue_depth=0, retry_after_s=0.75,
+        )
+        probe = ServiceClient(server.url, timeout=30, retries=0)
+        assert probe.wait_until_ready(10)
+        graph = muller_ring_tsg(3)
+        slow = threading.Thread(
+            target=lambda: ServiceClient(server.url, retries=0).montecarlo(
+                graph, samples=20, seed=1
+            ),
+            daemon=True,
+        )
+        slow.start()
+        for _ in range(200):
+            if server.service.admission.inflight() >= 1:
+                break
+            time.sleep(0.005)
+        body = json.dumps(
+            {"graph": graph_to_dict(graph), "samples": 10}
+        ).encode()
+        request = urllib.request.Request(
+            server.url + "/montecarlo", data=body,
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=30) as reply:
+                pytest.fail("expected 429, got %d" % reply.status)
+        except urllib.error.HTTPError as error:
+            assert error.code == 429
+            assert error.headers.get("Retry-After") == "0.75"
+        slow.join(10)
+
+
+class TestReadiness:
+    def test_readyz_ready_then_draining(self, server_factory):
+        server = server_factory()
+        client = ServiceClient(server.url, timeout=30)
+        assert client.wait_until_ready(10)
+        assert client.readyz() is True
+        server.service.draining = True
+        assert client.readyz() is False
+        assert client.healthz() is True  # liveness unaffected
+
+
+class TestClientResilience:
+    def test_retries_recover_from_injected_errors(self, server_factory):
+        # error:p=0.5 with a seeded stream: some attempts 503, retries win.
+        server = server_factory(chaos="error:p=0.5,site=handler;seed=2")
+        import random
+
+        client = ServiceClient(
+            server.url, timeout=30, retries=6,
+            retry_policy=RetryPolicy(retries=6, base=0.005, cap=0.02,
+                                     rng=random.Random(0)),
+        )
+        assert client.wait_until_ready(10)
+        for seed in range(4):
+            result = client.montecarlo(muller_ring_tsg(3), samples=10,
+                                       seed=seed)
+            assert result["count"] == 10
+
+    def test_retry_exhaustion_surfaces_last_error(self, server_factory):
+        server = server_factory(chaos="error:p=1,site=handler")
+        import random
+
+        client = ServiceClient(
+            server.url, timeout=30, retries=2,
+            retry_policy=RetryPolicy(retries=2, base=0.001, cap=0.005,
+                                     rng=random.Random(0)),
+        )
+        assert client.wait_until_ready(10)
+        with pytest.raises(ServiceError) as caught:
+            client.montecarlo(muller_ring_tsg(3), samples=10)
+        assert caught.value.status == 503
+        assert caught.value.kind == "InjectedFault"
+
+    def test_idempotent_replay_is_byte_identical(self, server_factory):
+        server = server_factory()
+        client = ServiceClient(server.url, timeout=30)
+        assert client.wait_until_ready(10)
+        graph = muller_ring_tsg(3)
+        body = json.dumps({"graph": graph_to_dict(graph), "samples": 30,
+                           "seed": 5}).encode()
+
+        def post():
+            request = urllib.request.Request(
+                server.url + "/montecarlo", data=body,
+                headers={"Content-Type": "application/json",
+                         "X-Idempotency-Key": "test-key-1"},
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=30) as reply:
+                return reply.read()
+
+        first, second = post(), post()
+        assert first == second  # bit-identical replay, not a recompute
+        stats = client.stats()
+        assert stats["requests"]["idempotent_replays"] == 1
+
+    def test_circuit_breaker_fast_fails_and_recovers(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=2, reset_after=30,
+                                 clock=clock)
+        client = ServiceClient("http://127.0.0.1:9", timeout=0.2,
+                               retries=0, breaker=breaker)
+        for _ in range(2):
+            with pytest.raises(ServiceError):
+                client.stats()
+        with pytest.raises(CircuitOpenError):
+            client.stats()  # no network attempt: fast-fail
+        # healthz bypasses the breaker so probes can observe recovery.
+        assert client.healthz() is False
+
+
+class TestDegradedMode:
+    def test_corrupt_disk_reads_trip_memory_only_mode(self, tmp_path):
+        faults.install(FaultInjector.parse("corrupt:p=1,site=disk;seed=1"))
+        disk = DiskCache(str(tmp_path), "t")
+        cache = TwoTierCache(LRUCache(max_entries=4), disk=disk,
+                             trip_threshold=3)
+        for index in range(6):
+            cache.put("k%d" % index, index)
+            cache.memory.clear()   # force the disk tier on reads
+            cache.get("k%d" % index)
+        snapshot = cache.snapshot()
+        assert snapshot["degraded"] is True
+        assert snapshot["corrupt_evicted"] >= 3
+        assert snapshot["disk_trips"] == 1
+        # Memory-only service continues: no disk errors on further traffic.
+        cache.put("fresh", 42)
+        assert cache.get("fresh") == 42
+
+    def test_reset_degraded_rearms_the_disk_tier(self, tmp_path):
+        disk = DiskCache(str(tmp_path), "t")
+        cache = TwoTierCache(LRUCache(max_entries=4), disk=disk,
+                             trip_threshold=2)
+        faults.install(FaultInjector.parse("corrupt:p=1,site=disk;seed=1"))
+        for index in range(4):
+            cache.put("k%d" % index, index)
+            cache.memory.clear()
+            cache.get("k%d" % index)
+        assert cache.degraded
+        faults.clear()
+        cache.reset_degraded()
+        cache.put("back", 1)
+        cache.memory.clear()
+        assert cache.get("back") == 1
+        assert not cache.degraded
+
+
+class TestDrain:
+    def test_drain_completes_inflight_slow_response(self, server_factory):
+        server = server_factory(
+            chaos="latency:p=1,ms=400,site=handler", drain_timeout=10
+        )
+        client = ServiceClient(server.url, timeout=30, retries=0)
+        assert client.wait_until_ready(10)
+        graph = muller_ring_tsg(3)
+        outcome = {}
+
+        def slow_request():
+            try:
+                outcome["result"] = client.montecarlo(graph, samples=20,
+                                                      seed=3)
+            except ServiceError as error:
+                outcome["error"] = error
+
+        thread = threading.Thread(target=slow_request, daemon=True)
+        thread.start()
+        for _ in range(400):
+            if server.service.admission.inflight() >= 1:
+                break
+            time.sleep(0.005)
+        assert server.service.admission.inflight() >= 1
+        server.shutdown()                      # stop accepting
+        assert server.drain() is True          # in-flight write finished
+        thread.join(10)
+        assert "result" in outcome, outcome.get("error")
+        assert outcome["result"]["count"] == 20
+
+    def test_new_requests_rejected_while_draining(self, server_factory):
+        server = server_factory()
+        client = ServiceClient(server.url, timeout=30, retries=0)
+        assert client.wait_until_ready(10)
+        server.service.draining = True
+        with pytest.raises(ServiceError) as caught:
+            client.analyze(muller_ring_tsg(3))
+        assert caught.value.status == 503
+        assert caught.value.kind == "Draining"
