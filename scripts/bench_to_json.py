@@ -1,11 +1,12 @@
 #!/usr/bin/env python
 """Measure the kernel speedups and record them as JSON.
 
-Three suites::
+Four suites::
 
     PYTHONPATH=src python scripts/bench_to_json.py [--suite kernels]
     PYTHONPATH=src python scripts/bench_to_json.py --suite montecarlo
     PYTHONPATH=src python scripts/bench_to_json.py --suite service
+    PYTHONPATH=src python scripts/bench_to_json.py --suite obs
 
 ``kernels`` (the default) times the legacy, exact and float engines —
 border simulations and end-to-end ``compute_cycle_time`` — on the
@@ -19,8 +20,14 @@ bit-identical λ samples, and writes ``BENCH_montecarlo.json``.
 ``service`` times the ``repro.service`` layer — cold compiles vs
 warm content-addressed cache resolutions (adopt and delay-rebind
 tiers), and serial vs coalesced Monte-Carlo dispatch — and writes
-``BENCH_service.json``.  All records feed the README's performance
-notes and the CI smoke checks.
+``BENCH_service.json``.
+
+``obs`` times the observability layer (``repro.obs``) and writes
+``BENCH_obs.json``: end-to-end analysis latency with the layer
+disabled vs tracing vs phase profiling, the measured cost of the
+disabled no-op hooks (must fit a 2%% budget), and warm-cache
+``/analyze`` HTTP throughput with metrics off/on/traced.  All records
+feed the README's performance notes and the CI smoke checks.
 
 Timings are best-of-N wall clock after warmup (the float kernel's
 code-generation tier activates during warmup, as it does in any
@@ -341,11 +348,245 @@ def run_service_suite(sizes, output):
     return 0
 
 
+OBS_SIZES = (200, 400)
+OBS_REPS = 5
+OBS_WARMUP = 4
+OBS_SERVER_REQUESTS = 80
+OBS_HOOK_LOOPS = 200000
+OBS_DISABLED_BUDGET_PCT = 2.0
+
+
+def _per_call_ns(fn, loops=OBS_HOOK_LOOPS):
+    start = time.perf_counter()
+    for _ in range(loops):
+        fn()
+    return 1e9 * (time.perf_counter() - start) / loops
+
+
+def measure_obs_null_hooks():
+    """Nanoseconds per *disabled* observability touchpoint.
+
+    These are the only costs the instrumentation adds when the obs
+    layer is off: a no-op span context manager, a no-op phase context
+    manager, and a contextvar lookup.  Each includes Python call
+    overhead, so the per-analysis estimate built from them is an
+    upper bound.
+    """
+    import repro.obs as obs
+    from repro.obs.profile import active_profiler, phase
+    from repro.obs.tracing import tracer
+
+    obs.disable()
+    t = tracer()
+
+    def null_span():
+        with t.span("bench"):
+            pass
+
+    def null_phase():
+        with phase("bench"):
+            pass
+
+    return {
+        "null_span_ns": _per_call_ns(null_span),
+        "null_phase_ns": _per_call_ns(null_phase),
+        "profiler_lookup_ns": _per_call_ns(active_profiler),
+    }
+
+
+def measure_obs_kernel(stages, hooks):
+    """Analysis latency with obs disabled / traced / phase-profiled."""
+    import repro.obs as obs
+    from repro.obs.profile import PhaseProfiler, profile_phases
+    from repro.obs.tracing import RingExporter, tracer
+
+    graph = ring_with_chords(stages=stages, tokens=4, chords=stages // 4, seed=7)
+    border = len(graph.border_events)
+
+    def run():
+        compute_cycle_time(graph, check=False, cache="off")
+
+    obs.disable()
+    for _ in range(OBS_WARMUP):
+        run()
+    disabled = best_of(run, reps=OBS_REPS)
+
+    obs.enable(metrics=True, tracing=True)
+    ring = RingExporter(capacity=4096)
+    tracer().add_exporter(ring)
+    try:
+        for _ in range(OBS_WARMUP):
+            run()
+        traced = best_of(run, reps=OBS_REPS)
+    finally:
+        tracer().remove_exporter(ring)
+        obs.disable()
+
+    def run_profiled():
+        with profile_phases(PhaseProfiler()):
+            run()
+
+    for _ in range(OBS_WARMUP):
+        run_profiled()
+    profiled = best_of(run_profiled, reps=OBS_REPS)
+
+    # Disabled-path budget: per-analysis hook counts x measured no-op
+    # costs.  One kernel.analyze span; phases = validate + simulate +
+    # collect + one run per border simulation (toposort/codegen hit
+    # the compile path, counted once); one profiler lookup per
+    # simulation plus the per-period `is not None` branches (counted
+    # at lookup cost — another overestimate).
+    spans = 1
+    phases = 3 + border
+    lookups = border + border * (border + 3)
+    hook_s = 1e-9 * (
+        spans * hooks["null_span_ns"]
+        + phases * hooks["null_phase_ns"]
+        + lookups * hooks["profiler_lookup_ns"]
+    )
+    return {
+        "stages": stages,
+        "events": graph.num_events,
+        "arcs": graph.num_arcs,
+        "border_events": border,
+        "disabled_ms": 1e3 * disabled,
+        "traced_ms": 1e3 * traced,
+        "profiled_ms": 1e3 * profiled,
+        "traced_overhead_pct": 100.0 * (traced - disabled) / disabled,
+        "profiled_overhead_pct": 100.0 * (profiled - disabled) / disabled,
+        "disabled_overhead_pct": 100.0 * hook_s / disabled,
+    }
+
+
+def measure_obs_server():
+    """Warm-cache /analyze requests/sec with obs off, on, and traced."""
+    import tempfile
+    import threading
+
+    import repro.obs as obs
+    from repro.service.client import ServiceClient
+    from repro.service.server import make_server
+
+    graph = ring_with_chords(stages=60, tokens=4, chords=15, seed=7)
+    trace_path = os.path.join(
+        tempfile.mkdtemp(prefix="repro-bench-obs-"), "trace.json"
+    )
+    modes = (
+        ("disabled", dict(metrics=False)),
+        ("metrics", dict(metrics=True)),
+        ("metrics+tracing", dict(metrics=True, trace_export=trace_path)),
+    )
+    rows = {}
+    for mode, overrides in modes:
+        obs.disable()
+        server = make_server(quiet=True, **overrides)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(server.url, timeout=10, retries=0)
+            for _ in range(OBS_WARMUP):
+                client.analyze(graph)  # first call seeds the result cache
+            start = time.perf_counter()
+            for _ in range(OBS_SERVER_REQUESTS):
+                client.analyze(graph)
+            elapsed = time.perf_counter() - start
+        finally:
+            server.shutdown()
+            server.close()
+            thread.join(timeout=5)
+            obs.disable()
+        rows[mode] = OBS_SERVER_REQUESTS / elapsed
+    return {
+        "requests": OBS_SERVER_REQUESTS,
+        "workload": "warm result-cache /analyze, sequential HTTP client",
+        "requests_per_sec": rows,
+        "metrics_overhead_pct":
+            100.0 * (rows["disabled"] / rows["metrics"] - 1.0),
+        "tracing_overhead_pct":
+            100.0 * (rows["disabled"] / rows["metrics+tracing"] - 1.0),
+    }
+
+
+def run_obs_suite(sizes, output):
+    hooks = measure_obs_null_hooks()
+    print(
+        "null hooks: span %.0f ns  phase %.0f ns  profiler lookup %.0f ns"
+        % (hooks["null_span_ns"], hooks["null_phase_ns"],
+           hooks["profiler_lookup_ns"])
+    )
+    kernel_rows = []
+    for stages in sizes:
+        row = measure_obs_kernel(stages, hooks)
+        kernel_rows.append(row)
+        print(
+            "n=%-4d  disabled %7.3f ms  traced %7.3f ms (+%.2f%%)  "
+            "profiled %7.3f ms (+%.2f%%)  disabled budget %.4f%%"
+            % (
+                stages,
+                row["disabled_ms"],
+                row["traced_ms"],
+                row["traced_overhead_pct"],
+                row["profiled_ms"],
+                row["profiled_overhead_pct"],
+                row["disabled_overhead_pct"],
+            )
+        )
+    server_row = measure_obs_server()
+    rps = server_row["requests_per_sec"]
+    print(
+        "server /analyze: disabled %7.0f req/s  metrics %7.0f req/s "
+        "(+%.2f%%)  metrics+tracing %7.0f req/s (+%.2f%%)"
+        % (
+            rps["disabled"],
+            rps["metrics"],
+            server_row["metrics_overhead_pct"],
+            rps["metrics+tracing"],
+            server_row["tracing_overhead_pct"],
+        )
+    )
+    worst_disabled = max(r["disabled_overhead_pct"] for r in kernel_rows)
+    document = {
+        "benchmark": "repro.obs overhead: disabled no-op hooks vs "
+        "tracing and phase profiling",
+        "workload": "ring_with_chords(stages=n, tokens=4, chords=n/4, "
+        "seed=7) end-to-end compute_cycle_time; warm-cache /analyze "
+        "over HTTP",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "timer": "best of %d after %d warmups, wall clock"
+        % (OBS_REPS, OBS_WARMUP),
+        "disabled_overhead_method": "per-analysis hook counts x measured "
+        "no-op hook costs (upper bound; each no-op includes Python "
+        "call overhead)",
+        "null_hooks_ns": hooks,
+        "kernel_rows": kernel_rows,
+        "server": server_row,
+        "headline": {
+            "disabled_overhead_pct": worst_disabled,
+            "disabled_budget_pct": OBS_DISABLED_BUDGET_PCT,
+            "traced_overhead_pct": kernel_rows[-1]["traced_overhead_pct"],
+            "profiled_overhead_pct": kernel_rows[-1]["profiled_overhead_pct"],
+            "server_metrics_overhead_pct": server_row["metrics_overhead_pct"],
+        },
+    }
+    with open(output, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print("wrote %s" % os.path.abspath(output))
+    if worst_disabled > OBS_DISABLED_BUDGET_PCT:
+        print(
+            "WARNING: disabled-path overhead %.3f%% exceeds the %.1f%% budget"
+            % (worst_disabled, OBS_DISABLED_BUDGET_PCT)
+        )
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     root = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--suite", choices=("kernels", "montecarlo", "service"),
+        "--suite", choices=("kernels", "montecarlo", "service", "obs"),
         default="kernels",
         help="what to measure (default: the single-analysis kernels)",
     )
@@ -365,6 +606,13 @@ def main(argv=None) -> int:
         help="comma-separated batch widths S (montecarlo suite only)",
     )
     args = parser.parse_args(argv)
+    if args.suite == "obs":
+        sizes = [
+            int(part)
+            for part in (args.sizes or ",".join(map(str, OBS_SIZES))).split(",")
+        ]
+        output = args.output or os.path.join(root, "BENCH_obs.json")
+        return run_obs_suite(sizes, output)
     if args.suite == "service":
         sizes = [
             int(part)

@@ -1,0 +1,313 @@
+#!/usr/bin/env python
+"""Observability smoke test: metrics, tracing and the complexity fit.
+
+Spawns ``python -m repro serve --chaos ... --trace-export TRACE`` with
+metrics enabled, then
+
+1. fires a small seeded storm of ``/analyze`` + ``/montecarlo``
+   requests (some with tight deadlines, through a chaos injector, so
+   shed/expired/injected paths all execute);
+2. scrapes ``/metrics`` and *parses* it with the pure-python
+   Prometheus text-format validator — malformed exposition fails the
+   job, and the request-latency, cache, coalescer, admission and
+   fault-injection families must all be present with nonzero traffic;
+3. cross-checks one atomic ``/stats`` snapshot (requests answered ==
+   sum of per-status counters is not required, but counters must be
+   internally consistent: hits+misses == gets);
+4. SIGTERMs the daemon, requires a clean exit, then loads the trace
+   file: it must be valid Chrome ``trace_event`` JSON with properly
+   nested B/E pairs containing client->server->kernel span chains;
+5. runs ``scripts/complexity_check.py`` and requires a scaling
+   exponent consistent with the paper's ``O(b^2 * m)`` bound.
+
+Exit code 0 means the whole observability loop closed; this is the
+CI obs-smoke job.
+
+Usage::
+
+    PYTHONPATH=src python scripts/obs_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import urllib.request
+
+ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+import repro.obs as obs  # noqa: E402
+from repro.circuits.library import muller_ring_tsg  # noqa: E402
+from repro.obs import textformat  # noqa: E402
+from repro.obs.tracing import (  # noqa: E402
+    RingExporter,
+    chrome_trace_events,
+    tracer,
+    validate_chrome_trace,
+)
+from repro.service.client import (  # noqa: E402
+    ServiceClient,
+    ServiceError,
+    free_port,
+)
+from repro.service.resilience import RetryPolicy  # noqa: E402
+
+CHAOS = "latency:p=0.25,ms=60,site=handler;error:p=0.05,site=handler;seed=5"
+STORM_REQUESTS = 60
+STORM_THREADS = 6
+
+REQUIRED_FAMILIES = (
+    "repro_requests_total",
+    "repro_request_seconds",
+    "repro_cache_events_total",
+    "repro_coalescer_events_total",
+    "repro_admission_queue_depth",
+    "repro_admission_events_total",
+    "repro_fault_injections_total",
+)
+
+REQUIRED_SPANS = (
+    "client.request",
+    "server.handle",
+    "kernel.analyze",
+    "coalescer.sweep",
+    "kernel.batch",
+)
+
+
+class Failure(Exception):
+    pass
+
+
+def check(condition, message):
+    if not condition:
+        raise Failure(message)
+
+
+def storm(url):
+    tasks = list(range(STORM_REQUESTS))
+    lock = threading.Lock()
+    answered = []
+
+    def run_worker(worker_index):
+        client = ServiceClient(
+            url, timeout=20, retries=3,
+            retry_policy=RetryPolicy(retries=3, base=0.05, cap=0.5,
+                                     rng=random.Random(worker_index)),
+        )
+        while True:
+            with lock:
+                if not tasks:
+                    return
+                index = tasks.pop()
+            graph = muller_ring_tsg(3 + index % 4)
+            timeout_ms = 50 if index % 7 == 0 else 15000
+            try:
+                if index % 3 == 0:
+                    client.analyze(graph, timeout_ms=timeout_ms)
+                else:
+                    client.montecarlo(
+                        graph, samples=150, seed=index % 2,
+                        timeout_ms=timeout_ms,
+                    )
+                outcome = "ok"
+            except ServiceError as error:
+                outcome = "%s:%d" % (error.kind, error.status)
+            with lock:
+                answered.append(outcome)
+
+    threads = [
+        threading.Thread(target=run_worker, args=(i,))
+        for i in range(STORM_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    check(len(answered) == STORM_REQUESTS,
+          "lost requests: %d answered" % len(answered))
+    ok = sum(1 for outcome in answered if outcome == "ok")
+    check(ok >= STORM_REQUESTS // 2, "too few successes: %r" % answered)
+    return ok
+
+
+def family_total(families, name, **labels):
+    return sum(families[name].values(**labels)) if name in families else 0.0
+
+
+def check_scrape(url):
+    scrape = urllib.request.urlopen(url + "/metrics", timeout=10).read()
+    text = scrape.decode("utf-8")
+    families = textformat.parse(text)  # raises on malformed exposition
+    for name in REQUIRED_FAMILIES:
+        check(name in families, "scrape is missing family %r" % name)
+    check(families["repro_request_seconds"].type == "histogram",
+          "repro_request_seconds is not a histogram")
+    requests_total = family_total(families, "repro_requests_total")
+    check(requests_total > 0, "repro_requests_total is zero")
+    analyze_ok = family_total(
+        families, "repro_requests_total", endpoint="/analyze", status="200"
+    )
+    check(analyze_ok > 0, "no successful /analyze samples in scrape")
+    latency_count = sum(
+        value
+        for sample_name, labels, value in
+        families["repro_request_seconds"].samples
+        if sample_name.endswith("_count")
+    )
+    check(latency_count > 0, "request latency histogram is empty")
+    injected = family_total(families, "repro_fault_injections_total")
+    check(injected > 0, "fault injection counters are zero under chaos")
+    batches = family_total(
+        families, "repro_coalescer_events_total", event="batches"
+    )
+    check(batches > 0, "coalescer dispatched no batches")
+    return len(families), int(requests_total), int(injected)
+
+
+def check_stats_consistency(url):
+    client = ServiceClient(url, timeout=10, retries=0)
+    stats = client.stats()
+    for cache_name, block in stats["cache"].items():
+        gets = block.get("hits", 0) + block.get("misses", 0) \
+            + block.get("disk_hits", 0)
+        check(gets >= 0 and isinstance(gets, int),
+              "cache %r counters malformed: %r" % (cache_name, block))
+    admission = stats["admission"]
+    check(admission["admitted"] > 0, "no requests admitted: %r" % admission)
+    check(admission["inflight"] >= 0 and admission["waiting"] >= 0,
+          "negative admission gauges: %r" % admission)
+    return stats
+
+
+def check_trace(trace_path, client_spans):
+    """Validate the daemon's export merged with this process's spans.
+
+    ``client.request`` spans live in the smoke process, not the
+    daemon; the daemon's ``server.handle`` spans reference them via
+    the propagated traceparent, so the merged event list carries the
+    full client->server->kernel chain.
+    """
+    with open(trace_path) as handle:
+        events = json.load(handle)
+    check(isinstance(events, list) and events,
+          "trace export is empty or not a JSON array")
+    validate_chrome_trace(events)  # the daemon file alone must be valid
+    events = events + chrome_trace_events(client_spans)
+    validate_chrome_trace(events)  # ...and so must the merged view
+    names = {event["name"] for event in events}
+    for span_name in REQUIRED_SPANS:
+        check(span_name in names, "trace is missing span %r" % span_name)
+    # Walk one kernel.analyze B event's parent chain up to the client.
+    begins = {
+        event["args"]["span_id"]: event
+        for event in events
+        if event["ph"] == "B"
+    }
+    for event in events:
+        if event["ph"] == "B" and event["name"] == "kernel.analyze":
+            chain = []
+            cursor = event
+            while cursor is not None:
+                chain.append(cursor["name"])
+                parent = cursor["args"].get("parent_id")
+                cursor = begins.get(parent) if parent else None
+            check(chain[:3] == ["kernel.analyze", "server.handle",
+                                "client.request"],
+                  "unexpected span chain: %r" % chain)
+            return len(events), chain
+    raise Failure("no kernel.analyze span found in trace")
+
+
+def main() -> int:
+    trace_path = os.path.join(
+        tempfile.mkdtemp(prefix="repro-obs-"), "trace.json"
+    )
+    port = free_port()
+    url = "http://127.0.0.1:%d" % port
+    # Client-side spans: enable tracing in *this* process so every
+    # request carries a traceparent header and lands in `ring`.
+    obs.enable(metrics=False, tracing=True)
+    ring = RingExporter(capacity=10000)
+    tracer().add_exporter(ring)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    daemon = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", str(port), "--quiet",
+            "--request-timeout", "15",
+            "--drain-timeout", "15",
+            "--chaos", CHAOS,
+            "--trace-export", trace_path,
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    out = ""
+    try:
+        client = ServiceClient(url, timeout=10, retries=0)
+        check(client.wait_until_ready(timeout=30),
+              "daemon did not come up within 30s")
+
+        ok = storm(url)
+        print("obs: storm answered %d/%d requests successfully"
+              % (ok, STORM_REQUESTS))
+
+        families, requests_total, injected = check_scrape(url)
+        print("obs: /metrics parsed clean — %d families, "
+              "%d requests counted, %d faults injected"
+              % (families, requests_total, injected))
+
+        check_stats_consistency(url)
+        print("obs: /stats snapshot internally consistent")
+
+        daemon.send_signal(signal.SIGTERM)
+        out, _ = daemon.communicate(timeout=30)
+        check(daemon.returncode == 0, "daemon exit code %d" % daemon.returncode)
+
+        events, chain = check_trace(trace_path, ring.spans())
+        print("obs: trace export valid — %d events, analyze chain %r"
+              % (events, chain))
+
+        fit = subprocess.run(
+            [sys.executable, os.path.join(ROOT, "scripts",
+                                          "complexity_check.py"),
+             "--repeats", "2"],
+            env=env, capture_output=True, text=True, timeout=600,
+        )
+        sys.stdout.write(fit.stdout)
+        check(fit.returncode == 0,
+              "complexity_check failed:\n%s%s" % (fit.stdout, fit.stderr))
+    except Failure as failure:
+        print("FAIL: %s" % failure, file=sys.stderr)
+        if daemon.poll() is None:
+            daemon.kill()
+            out, _ = daemon.communicate(timeout=10)
+        print("--- daemon output ---\n%s" % out, file=sys.stderr)
+        return 1
+    except Exception as error:  # noqa: BLE001 — smoke harness boundary
+        print("FAIL: %s: %s" % (type(error).__name__, error), file=sys.stderr)
+        if daemon.poll() is None:
+            daemon.kill()
+            out, _ = daemon.communicate(timeout=10)
+        print("--- daemon output ---\n%s" % out, file=sys.stderr)
+        return 1
+
+    if "Traceback" in out:
+        print("FAIL: traceback in daemon log\n%s" % out, file=sys.stderr)
+        return 1
+    print("obs smoke: metrics, traces and the O(b^2*m) fit all check out")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

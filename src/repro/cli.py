@@ -81,10 +81,23 @@ def _cmd_analyze(args) -> int:
     if args.method == "timing":
         from .core import compute_cycle_time
 
-        result = compute_cycle_time(
-            graph, kernel=args.kernel, workers=args.workers,
-            cache="off" if args.no_cache else "auto",
-        )
+        profiler = None
+        if getattr(args, "profile", False):
+            from .obs.profile import PhaseProfiler, profile_phases
+
+            profiler = PhaseProfiler()
+            with profile_phases(profiler):
+                result = compute_cycle_time(
+                    graph, kernel=args.kernel, workers=args.workers,
+                    cache="off" if args.no_cache else "auto",
+                )
+        else:
+            result = compute_cycle_time(
+                graph, kernel=args.kernel, workers=args.workers,
+                cache="off" if args.no_cache else "auto",
+            )
+        if profiler is not None:
+            print(profiler.table(), file=sys.stderr)
         print("graph: %s (%d events, %d arcs, %d border events)"
               % (graph.name, graph.num_events, graph.num_arcs,
                  len(result.border_events)))
@@ -332,6 +345,8 @@ def _cmd_serve(args) -> int:
             drain_timeout=args.drain_timeout,
             chaos=args.chaos,
             quiet=args.quiet,
+            metrics=not args.no_metrics,
+            trace_export=args.trace_export,
         )
     )
 
@@ -382,6 +397,11 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--no-cache", action="store_true",
         help="bypass the content-addressed compile cache",
+    )
+    analyze.add_argument(
+        "--profile", action="store_true",
+        help="print a per-phase timing table (toposort/codegen/run/"
+        "backtrack + per-period timings) on stderr",
     )
     analyze.set_defaults(func=_cmd_analyze)
 
@@ -548,6 +568,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="result-cache entry bound")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress per-request access logging")
+    serve.add_argument(
+        "--trace-export", default=None, metavar="PATH",
+        help="enable tracing and write a Chrome trace_event JSON file "
+        "on shutdown (loadable in chrome://tracing or ui.perfetto.dev)",
+    )
+    serve.add_argument(
+        "--no-metrics", action="store_true",
+        help="disable the /metrics Prometheus endpoint and request "
+        "latency instrumentation",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     demo = commands.add_parser("demo", help="print a built-in paper graph")

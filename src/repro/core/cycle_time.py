@@ -32,6 +32,8 @@ from .kernel import resolve_kernel, run_border_simulations
 from .signal_graph import Event, TimedSignalGraph
 from .simulation import EventInitiatedSimulation
 from .validation import validate as validate_graph
+from ..obs.profile import phase as _phase
+from ..obs.tracing import tracer as _tracer
 
 
 @dataclass(frozen=True)
@@ -175,7 +177,8 @@ def compute_cycle_time(
         cached results are shared).  ``False``/``"off"`` bypasses both.
     """
     if check:
-        validate_graph(graph)
+        with _phase("validate"):
+            validate_graph(graph)
     use_cache = cache not in (False, None, "off")
     resolved = resolve_kernel(graph, kernel)
     if use_cache and resolved != "legacy":
@@ -212,29 +215,43 @@ def compute_cycle_time(
         if memoised is not None:
             return memoised
 
-    simulations = run_border_simulations(
-        graph, periods, kernel=kernel, workers=workers, border=border
-    )
-    records: List[BorderDistance] = []
-    best: Optional[Number] = None
-    for border_event, simulation in simulations.items():
-        for index, time in simulation.initiator_times():
-            distance = exact_div(time, index)
-            records.append(BorderDistance(border_event, index, time, distance))
-            if best is None or distance > best:
-                best = distance
-    if best is None:
-        raise AcyclicGraphError(
-            "no border event of %r re-occurs within %d periods" % (graph.name, periods)
-        )
+    with _tracer().span(
+        "kernel.analyze",
+        attributes={"events": len(graph), "border": len(border), "periods": periods},
+    ):
+        with _phase("simulate"):
+            simulations = run_border_simulations(
+                graph, periods, kernel=kernel, workers=workers, border=border
+            )
+        with _phase("collect"):
+            records: List[BorderDistance] = []
+            best: Optional[Number] = None
+            for border_event, simulation in simulations.items():
+                for index, time in simulation.initiator_times():
+                    distance = exact_div(time, index)
+                    records.append(
+                        BorderDistance(border_event, index, time, distance)
+                    )
+                    if best is None or distance > best:
+                        best = distance
+        if best is None:
+            raise AcyclicGraphError(
+                "no border event of %r re-occurs within %d periods"
+                % (graph.name, periods)
+            )
 
-    if backtrack:
-        winners = [
-            record for record in records if numbers_close(record.distance, best)
-        ]
-        cycles = _backtrack_critical_cycles(graph, simulations, winners, best)
-    else:
-        cycles = []
+        if backtrack:
+            with _phase("backtrack"):
+                winners = [
+                    record
+                    for record in records
+                    if numbers_close(record.distance, best)
+                ]
+                cycles = _backtrack_critical_cycles(
+                    graph, simulations, winners, best
+                )
+        else:
+            cycles = []
     result = CycleTimeResult(
         cycle_time=best,
         critical_cycles=cycles,

@@ -81,6 +81,7 @@ order only).
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
@@ -90,6 +91,7 @@ from .errors import NotLiveError, SignalGraphError
 from .events import event_sort_key
 from .signal_graph import Event, TimedSignalGraph
 from .validation import find_unmarked_cycle, unmarked_subgraph
+from ..obs.profile import active_profiler, phase as _phase
 
 #: Sentinel for "instance has no simulated time" in flat time arrays.
 NEG_INF = float("-inf")
@@ -150,11 +152,12 @@ class CompiledGraph:
         # matter what order their events and arcs were inserted in —
         # the property that makes content-hash -> compiled-program
         # reuse in repro.service sound.
-        order: List[Event] = list(
-            nx.lexicographical_topological_sort(
-                unmarked_subgraph(graph), key=event_sort_key
+        with _phase("toposort"):
+            order: List[Event] = list(
+                nx.lexicographical_topological_sort(
+                    unmarked_subgraph(graph), key=event_sort_key
+                )
             )
-        )
         self.order = order
         self.n = n = len(order)
         self.id_of: Dict[Event, int] = {event: i for i, event in enumerate(order)}
@@ -331,9 +334,10 @@ class CompiledGraph:
         if self._float_fns is None:
             if self._float_runs <= CODEGEN_THRESHOLD:
                 return None
-            self._float_fns = tuple(
-                _generate(program) for program in self.programs(True)
-            )
+            with _phase("codegen"):
+                self._float_fns = tuple(
+                    _generate(program) for program in self.programs(True)
+                )
         return self._float_fns
 
     def arcs_for(self, tid: int, period: int, float_mode: bool):
@@ -487,7 +491,9 @@ def _run_periods(
     _, p1, ps = cg.programs(float_mode)
     fns = cg.float_kernels() if float_mode else None
     nonrep = cg.nonrep_ids
+    profiler = active_profiler()
     for period in range(1, periods + 1):
+        started = time.perf_counter() if profiler is not None else 0.0
         buffer[:n] = buffer[n:]
         if fns is not None:
             (fns[1] if period == 1 else fns[2])(buffer, init)
@@ -500,21 +506,24 @@ def _run_periods(
         # repetitive-only programs) which must not leak into the result.
         for tid in nonrep:
             times[kn + tid] = NEG_INF
+        if profiler is not None:
+            profiler.record_period(time.perf_counter() - started)
 
 
 def run_global(cg: CompiledGraph, periods: int, float_mode: bool) -> list:
     """Flat times of the global timing simulation ``t(f)``."""
     n = cg.n
     zero = 0.0 if float_mode else 0
-    times = [NEG_INF] * ((periods + 1) * n)
-    buffer = [NEG_INF] * (2 * n)
-    fns = cg.float_kernels() if float_mode else None
-    if fns is not None:
-        fns[0](buffer, zero)
-    else:
-        _sweep(buffer, cg.programs(float_mode)[0], zero)
-    times[0:n] = buffer[n:]
-    _run_periods(cg, times, buffer, periods, float_mode, zero)
+    with _phase("run"):
+        times = [NEG_INF] * ((periods + 1) * n)
+        buffer = [NEG_INF] * (2 * n)
+        fns = cg.float_kernels() if float_mode else None
+        if fns is not None:
+            fns[0](buffer, zero)
+        else:
+            _sweep(buffer, cg.programs(float_mode)[0], zero)
+        times[0:n] = buffer[n:]
+        _run_periods(cg, times, buffer, periods, float_mode, zero)
     return times
 
 
@@ -531,15 +540,16 @@ def run_initiated(
     1.. replay the shared (possibly code-generated) programs.
     """
     n = cg.n
-    p0 = cg.programs(float_mode)[0]
-    times = [NEG_INF] * ((periods + 1) * n)
-    buffer = [NEG_INF] * (2 * n)
-    buffer[n + origin_id] = 0.0 if float_mode else 0
-    # Ids equal topological positions, so the period-0 instances after
-    # the origin are exactly the rows origin_id+1 .. n-1.
-    _sweep(buffer, p0[origin_id + 1:], NEG_INF)
-    times[0:n] = buffer[n:]
-    _run_periods(cg, times, buffer, periods, float_mode, NEG_INF)
+    with _phase("run"):
+        p0 = cg.programs(float_mode)[0]
+        times = [NEG_INF] * ((periods + 1) * n)
+        buffer = [NEG_INF] * (2 * n)
+        buffer[n + origin_id] = 0.0 if float_mode else 0
+        # Ids equal topological positions, so the period-0 instances
+        # after the origin are exactly the rows origin_id+1 .. n-1.
+        _sweep(buffer, p0[origin_id + 1:], NEG_INF)
+        times[0:n] = buffer[n:]
+        _run_periods(cg, times, buffer, periods, float_mode, NEG_INF)
     return times
 
 
@@ -882,17 +892,22 @@ def run_initiated_batch(
     structure = bindings.structure
     n = structure.n
     samples = bindings.samples
-    buffer = np.full((samples, 2 * n), NEG_INF)
-    buffer[:, n + origin_id] = 0.0
-    p0 = structure.p0_suffix(origin_id)
-    _batch_sweep(p0, bindings.delays_for(p0), buffer, NEG_INF)
-    collected = np.full((samples, periods), NEG_INF)
-    column = n + origin_id
-    for period in range(1, periods + 1):
-        buffer[:, :n] = buffer[:, n:]
-        program = structure.p1 if period == 1 else structure.ps
-        _batch_sweep(program, bindings.delays_for(program), buffer, NEG_INF)
-        collected[:, period - 1] = buffer[:, column]
+    profiler = active_profiler()
+    with _phase("run"):
+        buffer = np.full((samples, 2 * n), NEG_INF)
+        buffer[:, n + origin_id] = 0.0
+        p0 = structure.p0_suffix(origin_id)
+        _batch_sweep(p0, bindings.delays_for(p0), buffer, NEG_INF)
+        collected = np.full((samples, periods), NEG_INF)
+        column = n + origin_id
+        for period in range(1, periods + 1):
+            started = time.perf_counter() if profiler is not None else 0.0
+            buffer[:, :n] = buffer[:, n:]
+            program = structure.p1 if period == 1 else structure.ps
+            _batch_sweep(program, bindings.delays_for(program), buffer, NEG_INF)
+            collected[:, period - 1] = buffer[:, column]
+            if profiler is not None:
+                profiler.record_period(time.perf_counter() - started)
     return collected
 
 

@@ -1,0 +1,123 @@
+"""repro.obs — zero-dependency observability for the analysis stack.
+
+"Performance analysis of the performance analyzer": the paper's
+headline claim is a complexity bound (``O(b^2 * m)`` event-initiated
+simulation), and after the kernel, cache, coalescer and resilience
+layers the repo could state that bound only on paper.  This subsystem
+closes the loop with four stdlib-only modules:
+
+* :mod:`repro.obs.metrics` — a thread-safe registry of labelled
+  Counters, Gauges and log-bucketed Histograms with Prometheus
+  text-format exposition (served by the daemon's ``/metrics``);
+* :mod:`repro.obs.tracing` — contextvars-propagated spans with
+  monotonic clocks, W3C ``traceparent`` header propagation
+  (client -> server -> coalescer -> kernel), a bounded in-memory ring
+  exporter and a Chrome ``trace_event`` exporter loadable in
+  Perfetto (``repro serve --trace-export``);
+* :mod:`repro.obs.logging` — structured JSON logs bound to the
+  active trace/span ids;
+* :mod:`repro.obs.profile` — a kernel phase profiler (toposort /
+  codegen / run / backtrack, optional per-period timings) behind
+  ``repro analyze --profile`` and ``scripts/complexity_check.py``.
+
+The whole layer is **off by default and cheap when off**: every
+instrumentation site guards on :data:`STATE` (one attribute read) or
+an inactive contextvar, so the kernel and server hot paths pay a
+no-op fast path whose overhead is benchmarked
+(``benchmarks/bench_obs.py``, ``BENCH_obs.json``).  Nothing here
+imports the rest of the library, so kernel, cache, coalescer, server
+and client can all hook in without cycles.
+"""
+
+from __future__ import annotations
+
+
+class ObsState:
+    """The process-wide observability switchboard.
+
+    Hot paths read these attributes directly (``if STATE.metrics:``)
+    — a single attribute load, no function call — so the disabled
+    fast path costs almost nothing.
+    """
+
+    __slots__ = ("metrics", "tracing")
+
+    def __init__(self) -> None:
+        self.metrics = False
+        self.tracing = False
+
+
+#: The singleton switchboard consulted by every instrumentation site.
+STATE = ObsState()
+
+
+def enable(metrics: bool = True, tracing: bool = True) -> None:
+    """Turn observability on (both layers by default)."""
+    if metrics:
+        STATE.metrics = True
+    if tracing:
+        STATE.tracing = True
+
+
+def disable() -> None:
+    """Turn every observability layer off (the default state)."""
+    STATE.metrics = False
+    STATE.tracing = False
+
+
+def enabled() -> bool:
+    """Is any observability layer currently on?"""
+    return STATE.metrics or STATE.tracing
+
+
+from .logging import get_logger, set_log_level, set_log_stream  # noqa: E402
+from .metrics import (  # noqa: E402
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+    reset_registry,
+)
+from .profile import PhaseProfiler, active_profiler, phase, profile_phases  # noqa: E402
+from .tracing import (  # noqa: E402
+    ChromeTraceExporter,
+    RingExporter,
+    Span,
+    SpanContext,
+    current_span,
+    current_traceparent,
+    parse_traceparent,
+    tracer,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "STATE",
+    "ChromeTraceExporter",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsState",
+    "PhaseProfiler",
+    "RingExporter",
+    "Span",
+    "SpanContext",
+    "active_profiler",
+    "current_span",
+    "current_traceparent",
+    "disable",
+    "enable",
+    "enabled",
+    "get_logger",
+    "parse_traceparent",
+    "phase",
+    "profile_phases",
+    "registry",
+    "reset_registry",
+    "set_log_level",
+    "set_log_stream",
+    "tracer",
+    "write_chrome_trace",
+]

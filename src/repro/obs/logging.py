@@ -1,0 +1,118 @@
+"""Structured JSON logging bound to the active trace context.
+
+One JSON object per line on the configured stream (stderr by
+default), with ``trace_id``/``span_id`` stamped automatically when a
+span is active, so daemon logs correlate with exported traces:
+
+    {"ts": "2026-08-06T12:00:00.123Z", "level": "info",
+     "logger": "repro.service", "event": "degraded mode tripped",
+     "failures": 3, "trace_id": "4bf9...", "span_id": "00f0..."}
+
+This module is for *sparse, meaningful* events (startup, degraded
+trips, drain) — high-frequency signals belong in metrics.  Loggers
+are cheap and cached; emission honours a process-wide level.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Any, Dict, Optional, TextIO
+
+from .tracing import current_span
+
+_LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+_state_lock = threading.Lock()
+_level = _LEVELS["info"]
+_stream: Optional[TextIO] = None  # None -> sys.stderr at emit time
+_loggers: Dict[str, "StructuredLogger"] = {}
+
+
+def set_log_level(level: str) -> None:
+    """Set the process-wide log level (debug/info/warning/error)."""
+    global _level
+    normalized = level.strip().lower()
+    if normalized not in _LEVELS:
+        raise ValueError(
+            "unknown log level %r (expected one of %s)"
+            % (level, ", ".join(sorted(_LEVELS)))
+        )
+    with _state_lock:
+        _level = _LEVELS[normalized]
+
+
+def set_log_stream(stream: Optional[TextIO]) -> None:
+    """Redirect log output (``None`` restores stderr)."""
+    global _stream
+    with _state_lock:
+        _stream = stream
+
+
+def _isoformat(epoch_seconds: float) -> str:
+    fractional = epoch_seconds - int(epoch_seconds)
+    base = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(epoch_seconds))
+    return "%s.%03dZ" % (base, int(fractional * 1000))
+
+
+class StructuredLogger:
+    """Named emitter of one-JSON-object-per-line log records."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def _emit(self, level_name: str, event: str, fields: Dict[str, Any]) -> None:
+        with _state_lock:
+            if _LEVELS[level_name] < _level:
+                return
+            stream = _stream
+        record: Dict[str, Any] = {
+            "ts": _isoformat(time.time()),
+            "level": level_name,
+            "logger": self.name,
+            "event": event,
+        }
+        span = current_span()
+        if span is not None and span.context is not None:
+            record["trace_id"] = span.trace_id
+            record["span_id"] = span.span_id
+        for key, value in fields.items():
+            if key in record:
+                key = "field_" + key
+            if isinstance(value, (str, int, float, bool)) or value is None:
+                record[key] = value
+            else:
+                record[key] = repr(value)
+        line = json.dumps(record, sort_keys=False)
+        target = stream if stream is not None else sys.stderr
+        try:
+            target.write(line + "\n")
+            target.flush()
+        except (ValueError, OSError):
+            pass  # closed stream: logging must never take the service down
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self._emit("debug", event, fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self._emit("info", event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self._emit("warning", event, fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self._emit("error", event, fields)
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """Fetch (or create) the cached logger for ``name``."""
+    with _state_lock:
+        logger = _loggers.get(name)
+        if logger is None:
+            logger = StructuredLogger(name)
+            _loggers[name] = logger
+        return logger

@@ -1,0 +1,461 @@
+"""Labelled Counters, Gauges and log-bucketed Histograms.
+
+A small, thread-safe metrics core with Prometheus text-format
+exposition (the format served by the daemon's ``/metrics`` endpoint
+and validated by :mod:`repro.obs.textformat`).  Three instrument
+kinds, all supporting label dimensions:
+
+* :class:`Counter` — monotonically increasing totals (name them
+  ``*_total`` by convention);
+* :class:`Gauge` — point-in-time values that go up and down;
+* :class:`Histogram` — log-bucketed distributions (request latency,
+  coalescer batch sizes); buckets default to a geometric ladder so a
+  handful of buckets cover microseconds to minutes, and exposition
+  follows the Prometheus cumulative-``le`` convention.
+
+Instruments are created through a :class:`MetricsRegistry`
+(get-or-create, so import order never matters) and rendered together
+by :meth:`MetricsRegistry.render`.  Components that already keep
+their own counters (the service's ``CacheStats`` blocks, the fault
+injector) bridge into the exposition via *collect callbacks*
+returning :class:`Family` snapshots at scrape time, instead of
+double-counting into parallel instruments.
+
+Everything serialises on per-instrument locks; the registry lock only
+guards the name table, so two threads observing different metrics
+never contend.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError("invalid metric name %r" % name)
+    return name
+
+
+def _check_labels(label_names: Sequence[str]) -> Tuple[str, ...]:
+    names = tuple(label_names)
+    for label in names:
+        if not _LABEL_RE.match(label) or label.startswith("__"):
+            raise ValueError("invalid label name %r" % label)
+    return names
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if value != value:  # NaN
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        '%s="%s"' % (key, _escape_label(value))
+        for key, value in labels.items()
+    )
+    return "{%s}" % inner
+
+
+class Family:
+    """A rendered-at-scrape-time metric family (collect callbacks).
+
+    ``samples`` are ``(labels_dict, value)`` pairs; ``kind`` is
+    ``"counter"`` or ``"gauge"``.  Histograms are only produced by
+    native :class:`Histogram` instruments.
+    """
+
+    __slots__ = ("name", "help", "kind", "samples")
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        kind: str,
+        samples: Iterable[Tuple[Dict[str, str], float]],
+    ) -> None:
+        if kind not in ("counter", "gauge"):
+            raise ValueError("Family kind must be counter or gauge")
+        self.name = _check_name(name)
+        self.help = help
+        self.kind = kind
+        self.samples = list(samples)
+
+    def render(self) -> List[str]:
+        lines = [
+            "# HELP %s %s" % (self.name, _escape_help(self.help)),
+            "# TYPE %s %s" % (self.name, self.kind),
+        ]
+        for labels, value in self.samples:
+            lines.append(
+                "%s%s %s"
+                % (self.name, _render_labels(labels), _format_value(value))
+            )
+        return lines
+
+
+class _Instrument:
+    """Shared labelled-series bookkeeping of all three instruments."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, label_names: Sequence[str] = ()):
+        self.name = _check_name(name)
+        self.help = help
+        self.label_names = _check_labels(label_names)
+        self._lock = threading.Lock()
+        self._series: Dict[Tuple[str, ...], object] = {}
+
+    def _key(self, labels: Dict[str, object]) -> Tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                "metric %r takes labels %r, got %r"
+                % (self.name, self.label_names, tuple(sorted(labels)))
+            )
+        return tuple(str(labels[name]) for name in self.label_names)
+
+    def _labels_of(self, key: Tuple[str, ...]) -> Dict[str, str]:
+        return dict(zip(self.label_names, key))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._series.clear()
+
+
+class Counter(_Instrument):
+    """A monotonically increasing total, optionally labelled.
+
+    >>> requests = registry().counter(
+    ...     "repro_requests_total", "Requests served", ("endpoint",))
+    >>> requests.inc(endpoint="analyze")
+    """
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return float(self._series.get(key, 0.0))
+
+    def render(self) -> List[str]:
+        lines = [
+            "# HELP %s %s" % (self.name, _escape_help(self.help)),
+            "# TYPE %s counter" % self.name,
+        ]
+        with self._lock:
+            items = sorted(self._series.items())
+        for key, value in items:
+            lines.append(
+                "%s%s %s"
+                % (
+                    self.name,
+                    _render_labels(self._labels_of(key)),
+                    _format_value(value),
+                )
+            )
+        return lines
+
+
+class Gauge(_Instrument):
+    """A point-in-time value that can go up and down."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return float(self._series.get(key, 0.0))
+
+    def render(self) -> List[str]:
+        lines = [
+            "# HELP %s %s" % (self.name, _escape_help(self.help)),
+            "# TYPE %s gauge" % self.name,
+        ]
+        with self._lock:
+            items = sorted(self._series.items())
+        for key, value in items:
+            lines.append(
+                "%s%s %s"
+                % (
+                    self.name,
+                    _render_labels(self._labels_of(key)),
+                    _format_value(value),
+                )
+            )
+        return lines
+
+
+def log_buckets(
+    start: float, factor: float, count: int
+) -> Tuple[float, ...]:
+    """A geometric bucket ladder: ``start * factor**i`` for i < count.
+
+    Log-spaced buckets keep the bucket count small while resolving
+    several orders of magnitude — the right shape for latencies
+    (microseconds to minutes) and batch sizes (1 to 10^5) alike.
+    """
+    if start <= 0 or factor <= 1 or count < 1:
+        raise ValueError("need start > 0, factor > 1, count >= 1")
+    return tuple(start * factor ** i for i in range(count))
+
+
+#: Default latency ladder: 100 µs .. ~52 s in twenty x2 steps.
+DEFAULT_BUCKETS = log_buckets(0.0001, 2.0, 20)
+
+
+class Histogram(_Instrument):
+    """A log-bucketed distribution with Prometheus exposition.
+
+    Buckets are *upper bounds* (the ``le`` convention); an implicit
+    ``+Inf`` bucket always exists, and exposition emits cumulative
+    bucket counts plus ``_sum`` and ``_count`` series.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        super().__init__(name, help, label_names)
+        chosen = tuple(float(b) for b in (buckets or DEFAULT_BUCKETS))
+        if list(chosen) != sorted(chosen) or len(set(chosen)) != len(chosen):
+            raise ValueError("histogram buckets must be strictly increasing")
+        if chosen and chosen[-1] == math.inf:
+            chosen = chosen[:-1]
+        self.buckets = chosen
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        value = float(value)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = [[0] * (len(self.buckets) + 1), 0.0, 0]
+                self._series[key] = series
+            counts, _, _ = series
+            index = len(self.buckets)
+            for position, bound in enumerate(self.buckets):
+                if value <= bound:
+                    index = position
+                    break
+            counts[index] += 1
+            series[1] += value
+            series[2] += 1
+
+    def snapshot(self, **labels: object) -> Dict[str, object]:
+        """``{"count", "sum", "buckets": [(le, cumulative), ...]}``."""
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                return {"count": 0, "sum": 0.0, "buckets": []}
+            counts, total, count = list(series[0]), series[1], series[2]
+        cumulative = []
+        running = 0
+        for bound, bucket_count in zip(
+            list(self.buckets) + [math.inf], counts
+        ):
+            running += bucket_count
+            cumulative.append((bound, running))
+        return {"count": count, "sum": total, "buckets": cumulative}
+
+    def render(self) -> List[str]:
+        lines = [
+            "# HELP %s %s" % (self.name, _escape_help(self.help)),
+            "# TYPE %s histogram" % self.name,
+        ]
+        with self._lock:
+            items = sorted(
+                (key, (list(series[0]), series[1], series[2]))
+                for key, series in self._series.items()
+            )
+        for key, (counts, total, count) in items:
+            labels = self._labels_of(key)
+            running = 0
+            for bound, bucket_count in zip(
+                list(self.buckets) + [math.inf], counts
+            ):
+                running += bucket_count
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = _format_value(bound)
+                lines.append(
+                    "%s_bucket%s %d"
+                    % (self.name, _render_labels(bucket_labels), running)
+                )
+            lines.append(
+                "%s_sum%s %s"
+                % (self.name, _render_labels(labels), _format_value(total))
+            )
+            lines.append(
+                "%s_count%s %d" % (self.name, _render_labels(labels), count)
+            )
+        return lines
+
+
+class MetricsRegistry:
+    """Name table + exposition for one set of instruments.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: calling
+    twice with the same name returns the existing instrument (and
+    raises if the kind or labels differ, catching accidental reuse).
+    ``register_callback`` attaches a zero-argument callable returning
+    :class:`Family` snapshots, evaluated at every :meth:`render` — the
+    bridge for components that keep their own counters.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: "Dict[str, _Instrument]" = {}
+        self._callbacks: List[Callable[[], Iterable[Family]]] = []
+
+    def _get_or_create(self, cls, name, help, label_names, **kwargs):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or existing.label_names != tuple(
+                    label_names
+                ):
+                    raise ValueError(
+                        "metric %r already registered with a different "
+                        "kind or labels" % name
+                    )
+                return existing
+            instrument = cls(name, help, label_names, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(
+        self, name: str, help: str, label_names: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, label_names)
+
+    def gauge(
+        self, name: str, help: str, label_names: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, label_names)
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        label_names: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, label_names, buckets=buckets
+        )
+
+    def register_callback(
+        self, callback: Callable[[], Iterable[Family]]
+    ) -> None:
+        with self._lock:
+            if callback not in self._callbacks:
+                self._callbacks.append(callback)
+
+    def unregister_callback(
+        self, callback: Callable[[], Iterable[Family]]
+    ) -> None:
+        with self._lock:
+            if callback in self._callbacks:
+                self._callbacks.remove(callback)
+
+    def render(self) -> str:
+        """The full Prometheus text exposition, newline-terminated."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+            callbacks = list(self._callbacks)
+        lines: List[str] = []
+        seen = {instrument.name for instrument in instruments}
+        for instrument in instruments:
+            lines.extend(instrument.render())
+        for callback in callbacks:
+            for family in callback():
+                if family.name in seen:
+                    continue  # native instruments own their name
+                seen.add(family.name)
+                lines.extend(family.render())
+        return "\n".join(lines) + "\n"
+
+    def clear(self) -> None:
+        """Drop every series (instruments and callbacks stay)."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+        for instrument in instruments:
+            instrument.clear()
+
+
+# ----------------------------------------------------------------------
+# the process-wide registry
+# ----------------------------------------------------------------------
+_registry_lock = threading.Lock()
+_registry: Optional[MetricsRegistry] = None
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide registry (created on first use)."""
+    global _registry
+    with _registry_lock:
+        if _registry is None:
+            _registry = MetricsRegistry()
+        return _registry
+
+
+def reset_registry() -> MetricsRegistry:
+    """Replace the process-wide registry with a fresh one (tests)."""
+    global _registry
+    with _registry_lock:
+        _registry = MetricsRegistry()
+        return _registry

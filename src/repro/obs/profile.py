@@ -1,0 +1,187 @@
+"""Kernel phase profiler: where does an analysis spend its time?
+
+The cycle-time pipeline has well-separated phases — validate,
+toposort, codegen, run (the `O(b^2 * m)` simulation loop itself),
+collect, backtrack — and :class:`PhaseProfiler` accumulates wall
+time per phase plus optional per-period timings.  It powers
+``repro analyze --profile`` (a table on stderr) and
+``scripts/complexity_check.py`` (empirical exponent fits).
+
+Activation is scoped, not global: ``with profile_phases(profiler):``
+binds the profiler to a contextvar, and the instrumentation sites
+call the module-level :func:`phase` helper, which returns a shared
+no-op context manager whenever no profiler is active — so the kernel
+hot path pays one contextvar read when profiling is off.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+from typing import Any, Dict, List, Optional
+
+_active: "contextvars.ContextVar[Optional[PhaseProfiler]]" = (
+    contextvars.ContextVar("repro_obs_active_profiler", default=None)
+)
+
+
+class _PhaseTimer:
+    """Times one ``with phase("name"):`` block into its profiler."""
+
+    __slots__ = ("_profiler", "_name", "_start")
+
+    def __init__(self, profiler: "PhaseProfiler", name: str):
+        self._profiler = profiler
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_PhaseTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._profiler.record(
+            self._name, time.perf_counter() - self._start
+        )
+        return None
+
+
+class _NullPhase:
+    """Shared no-op yielded when no profiler is active."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class PhaseProfiler:
+    """Accumulates per-phase wall time and per-period samples.
+
+    Not thread-safe by design: a profiler belongs to the single
+    analysis call it is scoped around (``profile_phases``).  The
+    batch kernel runs single-threaded per sweep, so this holds.
+    """
+
+    def __init__(self) -> None:
+        self.totals: Dict[str, float] = {}
+        self.counts: Dict[str, int] = {}
+        #: Per-period simulation timings (seconds), in execution order.
+        self.period_times: List[float] = []
+
+    # -- recording -----------------------------------------------------
+    def phase(self, name: str) -> _PhaseTimer:
+        return _PhaseTimer(self, name)
+
+    def record(self, name: str, seconds: float) -> None:
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def record_period(self, seconds: float) -> None:
+        self.period_times.append(seconds)
+
+    # -- reading -------------------------------------------------------
+    def total(self, name: str) -> float:
+        return self.totals.get(name, 0.0)
+
+    def as_dict(self) -> Dict[str, Any]:
+        phases = {
+            name: {
+                "total_s": self.totals[name],
+                "count": self.counts.get(name, 0),
+            }
+            for name in self.totals
+        }
+        result: Dict[str, Any] = {"phases": phases}
+        if self.period_times:
+            result["periods"] = {
+                "count": len(self.period_times),
+                "total_s": sum(self.period_times),
+                "max_s": max(self.period_times),
+            }
+        return result
+
+    def table(self) -> str:
+        """Human-readable per-phase breakdown (for ``--profile``)."""
+        rows = sorted(
+            self.totals.items(), key=lambda item: item[1], reverse=True
+        )
+        grand_total = sum(self.totals.values()) or 1.0
+        lines = [
+            "%-12s %10s %8s %7s" % ("phase", "total", "calls", "share"),
+            "-" * 40,
+        ]
+        for name, total in rows:
+            lines.append(
+                "%-12s %9.3fms %8d %6.1f%%"
+                % (
+                    name,
+                    total * 1e3,
+                    self.counts.get(name, 0),
+                    100.0 * total / grand_total,
+                )
+            )
+        if self.period_times:
+            lines.append("-" * 40)
+            lines.append(
+                "periods: %d simulated, %.3fms total, %.3fms max"
+                % (
+                    len(self.period_times),
+                    sum(self.period_times) * 1e3,
+                    max(self.period_times) * 1e3,
+                )
+            )
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self.totals.clear()
+        self.counts.clear()
+        del self.period_times[:]
+
+
+class _ProfileScope:
+    """Binds a profiler to the context for a ``with`` block."""
+
+    __slots__ = ("_profiler", "_token")
+
+    def __init__(self, profiler: PhaseProfiler):
+        self._profiler = profiler
+        self._token: Optional[contextvars.Token] = None
+
+    def __enter__(self) -> PhaseProfiler:
+        self._token = _active.set(self._profiler)
+        return self._profiler
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self._token is not None:
+            _active.reset(self._token)
+        return None
+
+
+def profile_phases(profiler: Optional[PhaseProfiler] = None) -> _ProfileScope:
+    """Activate ``profiler`` (new one if omitted) for the block."""
+    return _ProfileScope(profiler if profiler is not None else PhaseProfiler())
+
+
+def active_profiler() -> Optional[PhaseProfiler]:
+    """The profiler bound to this context, or ``None``."""
+    return _active.get()
+
+
+def phase(name: str):
+    """Time a named phase into the active profiler (no-op if none).
+
+    This is the instrumentation-site entry point: when no profiler
+    is active it returns a pre-allocated inert context manager, so
+    the cost is one contextvar read and no allocation.
+    """
+    profiler = _active.get()
+    if profiler is None:
+        return _NULL_PHASE
+    return _PhaseTimer(profiler, name)

@@ -1,0 +1,281 @@
+"""A small pure-python Prometheus text-format validator/parser.
+
+Used by the exporter-format tests and ``scripts/obs_smoke.py`` to
+assert that a ``/metrics`` scrape is *well-formed*, not merely
+non-empty.  Enforces the text-exposition rules that matter:
+
+* ``# HELP`` / ``# TYPE`` comment syntax, with a known type and at
+  most one TYPE per metric name, appearing before its samples;
+* sample-line grammar ``name{label="value",...} value [timestamp]``
+  with valid metric/label names, properly quoted/escaped label
+  values and parseable float values;
+* histogram invariants: ``_bucket`` series carry an ``le`` label,
+  cumulative bucket counts are non-decreasing, a ``+Inf`` bucket
+  exists and equals the ``_count`` series, and ``_sum``/``_count``
+  are present.
+
+``parse(text)`` returns ``{metric_name: MetricFamilySamples}`` so
+callers can assert on specific series after validation.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?\s*$"
+)
+
+KNOWN_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+class PrometheusFormatError(ValueError):
+    """The scrape violates the Prometheus text exposition format."""
+
+    def __init__(self, message: str, line_number: Optional[int] = None):
+        if line_number is not None:
+            message = "line %d: %s" % (line_number, message)
+        super().__init__(message)
+        self.line_number = line_number
+
+
+class MetricFamilySamples:
+    """One parsed family: its type, help and raw samples."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.type: Optional[str] = None
+        self.help: Optional[str] = None
+        #: ``(sample_name, labels, value)`` triples in scrape order.
+        self.samples: List[Tuple[str, Dict[str, str], float]] = []
+
+    def values(self, **labels: str) -> List[float]:
+        """Values of samples whose labels include ``labels``."""
+        return [
+            value
+            for _, sample_labels, value in self.samples
+            if all(sample_labels.get(k) == v for k, v in labels.items())
+        ]
+
+
+def _parse_label_block(block: str, line_number: int) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    position = 0
+    length = len(block)
+    while position < length:
+        match = re.match(r"[a-zA-Z_][a-zA-Z0-9_]*", block[position:])
+        if not match:
+            raise PrometheusFormatError(
+                "bad label name at %r" % block[position:], line_number
+            )
+        name = match.group(0)
+        position += len(name)
+        if position >= length or block[position] != "=":
+            raise PrometheusFormatError(
+                "expected '=' after label %r" % name, line_number
+            )
+        position += 1
+        if position >= length or block[position] != '"':
+            raise PrometheusFormatError(
+                "label value of %r must be quoted" % name, line_number
+            )
+        position += 1
+        value_chars: List[str] = []
+        while position < length:
+            char = block[position]
+            if char == "\\":
+                if position + 1 >= length:
+                    raise PrometheusFormatError(
+                        "dangling escape in label value", line_number
+                    )
+                escape = block[position + 1]
+                if escape == "n":
+                    value_chars.append("\n")
+                elif escape in ('"', "\\"):
+                    value_chars.append(escape)
+                else:
+                    raise PrometheusFormatError(
+                        "unknown escape \\%s in label value" % escape,
+                        line_number,
+                    )
+                position += 2
+                continue
+            if char == '"':
+                break
+            value_chars.append(char)
+            position += 1
+        else:
+            raise PrometheusFormatError(
+                "unterminated label value of %r" % name, line_number
+            )
+        position += 1  # closing quote
+        if name in labels:
+            raise PrometheusFormatError(
+                "duplicate label %r" % name, line_number
+            )
+        labels[name] = "".join(value_chars)
+        if position < length:
+            if block[position] != ",":
+                raise PrometheusFormatError(
+                    "expected ',' between labels, got %r" % block[position],
+                    line_number,
+                )
+            position += 1
+    return labels
+
+
+def _parse_value(raw: str, line_number: int) -> float:
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    if raw == "NaN":
+        return math.nan
+    try:
+        return float(raw)
+    except ValueError:
+        raise PrometheusFormatError("bad sample value %r" % raw, line_number)
+
+
+def _base_name(sample_name: str) -> str:
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def parse(text: str) -> Dict[str, MetricFamilySamples]:
+    """Validate a scrape; returns families or raises
+    :exc:`PrometheusFormatError`."""
+    families: Dict[str, MetricFamilySamples] = {}
+    samples_seen_for: set = set()
+
+    def family(name: str) -> MetricFamilySamples:
+        if name not in families:
+            families[name] = MetricFamilySamples(name)
+        return families[name]
+
+    for line_number, line in enumerate(text.split("\n"), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                continue  # free-form comment: allowed
+            kind, name = parts[1], parts[2]
+            if not _NAME_RE.match(name):
+                raise PrometheusFormatError(
+                    "bad metric name %r in %s" % (name, kind), line_number
+                )
+            if kind == "TYPE":
+                if len(parts) != 4 or parts[3] not in KNOWN_TYPES:
+                    raise PrometheusFormatError(
+                        "bad TYPE line %r" % line, line_number
+                    )
+                entry = family(name)
+                if entry.type is not None:
+                    raise PrometheusFormatError(
+                        "duplicate TYPE for %r" % name, line_number
+                    )
+                if name in samples_seen_for:
+                    raise PrometheusFormatError(
+                        "TYPE for %r after its samples" % name, line_number
+                    )
+                entry.type = parts[3]
+            else:
+                entry = family(name)
+                entry.help = parts[3] if len(parts) == 4 else ""
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise PrometheusFormatError(
+                "unparseable sample line %r" % line, line_number
+            )
+        sample_name = match.group("name")
+        label_block = match.group("labels")
+        labels = (
+            _parse_label_block(label_block, line_number)
+            if label_block
+            else {}
+        )
+        for label_name in labels:
+            if not _LABEL_NAME_RE.match(label_name):
+                raise PrometheusFormatError(
+                    "bad label name %r" % label_name, line_number
+                )
+        value = _parse_value(match.group("value"), line_number)
+        base = _base_name(sample_name)
+        target = base if base in families else sample_name
+        entry = family(target)
+        samples_seen_for.add(target)
+        entry.samples.append((sample_name, labels, value))
+
+    for entry in families.values():
+        if entry.type == "histogram":
+            _check_histogram(entry)
+    return families
+
+
+def _labels_without_le(labels: Dict[str, str]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(
+        sorted((k, v) for k, v in labels.items() if k != "le")
+    )
+
+
+def _check_histogram(entry: MetricFamilySamples) -> None:
+    buckets: Dict[tuple, List[Tuple[float, float]]] = {}
+    counts: Dict[tuple, float] = {}
+    sums: set = set()
+    for sample_name, labels, value in entry.samples:
+        key = _labels_without_le(labels)
+        if sample_name == entry.name + "_bucket":
+            if "le" not in labels:
+                raise PrometheusFormatError(
+                    "histogram %r bucket without le label" % entry.name
+                )
+            bound = _parse_value(labels["le"], None)
+            buckets.setdefault(key, []).append((bound, value))
+        elif sample_name == entry.name + "_count":
+            counts[key] = value
+        elif sample_name == entry.name + "_sum":
+            sums.add(key)
+        else:
+            raise PrometheusFormatError(
+                "unexpected sample %r in histogram %r"
+                % (sample_name, entry.name)
+            )
+    if not buckets:
+        raise PrometheusFormatError(
+            "histogram %r exposes no buckets" % entry.name
+        )
+    for key, series in buckets.items():
+        bounds = [bound for bound, _ in series]
+        if bounds != sorted(bounds):
+            raise PrometheusFormatError(
+                "histogram %r buckets out of order" % entry.name
+            )
+        values = [value for _, value in series]
+        if values != sorted(values):
+            raise PrometheusFormatError(
+                "histogram %r bucket counts not cumulative" % entry.name
+            )
+        if bounds[-1] != math.inf:
+            raise PrometheusFormatError(
+                "histogram %r is missing the +Inf bucket" % entry.name
+            )
+        if key not in counts or key not in sums:
+            raise PrometheusFormatError(
+                "histogram %r is missing _sum/_count" % entry.name
+            )
+        if counts[key] != values[-1]:
+            raise PrometheusFormatError(
+                "histogram %r: _count %r != +Inf bucket %r"
+                % (entry.name, counts[key], values[-1])
+            )

@@ -1,0 +1,466 @@
+"""Spans, ``traceparent`` propagation and Chrome trace export.
+
+A deliberately small tracer: spans carry 128-bit trace ids / 64-bit
+span ids (W3C ``traceparent``-compatible), measure time with the
+monotonic clock (anchored once to the wall clock so exported
+timestamps are meaningful), and propagate through ``contextvars`` so
+nested ``with tracer().span(...)`` blocks parent correctly across
+``await``-free threaded code.  Two exporters ship:
+
+* :class:`RingExporter` — a bounded in-memory ring, handy for tests
+  and for the daemon's introspection;
+* :class:`ChromeTraceExporter` — buffers finished spans and writes a
+  Chrome ``trace_event``-format JSON array (one event per line)
+  loadable in ``chrome://tracing`` and https://ui.perfetto.dev.
+
+Everything short-circuits when ``repro.obs.STATE.tracing`` is off:
+``tracer().span(...)`` then returns a shared no-op context manager —
+no allocation, no contextvar traffic.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import re
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from . import STATE
+
+_TRACEPARENT_RE = re.compile(
+    r"^([0-9a-f]{2})-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$"
+)
+
+# Anchor the monotonic clock to the wall clock once so span
+# timestamps are comparable across processes while durations stay
+# monotonic within one.
+_EPOCH_OFFSET_US = int(time.time() * 1e6) - int(time.monotonic() * 1e6)
+
+
+def _now_us() -> int:
+    return int(time.monotonic() * 1e6) + _EPOCH_OFFSET_US
+
+
+def _new_trace_id() -> str:
+    return os.urandom(16).hex()
+
+
+def _new_span_id() -> str:
+    return os.urandom(8).hex()
+
+
+class SpanContext:
+    """The propagatable identity of a span (what goes on the wire)."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str):
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def to_traceparent(self) -> str:
+        return "00-%s-%s-01" % (self.trace_id, self.span_id)
+
+    def __repr__(self) -> str:
+        return "SpanContext(trace_id=%r, span_id=%r)" % (
+            self.trace_id,
+            self.span_id,
+        )
+
+
+def parse_traceparent(header: Optional[str]) -> Optional[SpanContext]:
+    """Parse a W3C ``traceparent`` header; ``None`` if absent/invalid."""
+    if not header:
+        return None
+    match = _TRACEPARENT_RE.match(header.strip().lower())
+    if not match:
+        return None
+    version, trace_id, span_id = match.group(1), match.group(2), match.group(3)
+    if version == "ff":
+        return None
+    if trace_id == "0" * 32 or span_id == "0" * 16:
+        return None
+    return SpanContext(trace_id, span_id)
+
+
+class Span:
+    """One timed operation; created via :meth:`Tracer.span`."""
+
+    __slots__ = (
+        "name",
+        "context",
+        "parent_id",
+        "start_us",
+        "end_us",
+        "attributes",
+        "pid",
+        "tid",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        context: SpanContext,
+        parent_id: Optional[str] = None,
+        attributes: Optional[Dict[str, Any]] = None,
+    ):
+        self.name = name
+        self.context = context
+        self.parent_id = parent_id
+        self.start_us = _now_us()
+        self.end_us: Optional[int] = None
+        self.attributes: Dict[str, Any] = dict(attributes) if attributes else {}
+        self.pid = os.getpid()
+        self.tid = threading.get_ident()
+
+    @property
+    def trace_id(self) -> str:
+        return self.context.trace_id
+
+    @property
+    def span_id(self) -> str:
+        return self.context.span_id
+
+    @property
+    def duration_us(self) -> Optional[int]:
+        if self.end_us is None:
+            return None
+        return self.end_us - self.start_us
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def end(self) -> None:
+        if self.end_us is None:
+            self.end_us = _now_us()
+
+    def to_traceparent(self) -> str:
+        return self.context.to_traceparent()
+
+    def __repr__(self) -> str:
+        return "Span(name=%r, trace_id=%r, span_id=%r, parent_id=%r)" % (
+            self.name,
+            self.trace_id,
+            self.span_id,
+            self.parent_id,
+        )
+
+
+class _NullSpan:
+    """Inert stand-in yielded while tracing is disabled."""
+
+    __slots__ = ()
+    context = None
+    parent_id = None
+    attributes: Dict[str, Any] = {}
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def end(self) -> None:
+        pass
+
+    def to_traceparent(self) -> None:  # type: ignore[override]
+        return None
+
+
+class _NullSpanCM:
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_CM = _NullSpanCM()
+
+_current_span: "contextvars.ContextVar[Optional[Span]]" = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+def current_span() -> Optional[Span]:
+    """The span active in this context, or ``None``."""
+    return _current_span.get()
+
+
+def current_traceparent() -> Optional[str]:
+    """``traceparent`` header for the active span, or ``None``."""
+    span = _current_span.get()
+    if span is None:
+        return None
+    return span.to_traceparent()
+
+
+class _SpanCM:
+    """Context manager that activates a span for its `with` block."""
+
+    __slots__ = ("_tracer", "_span", "_token")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+        self._token: Optional[contextvars.Token] = None
+
+    def __enter__(self) -> Span:
+        self._token = _current_span.set(self._span)
+        return self._span
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if exc_type is not None:
+            self._span.attributes.setdefault("error", True)
+            self._span.attributes.setdefault(
+                "error.type", getattr(exc_type, "__name__", str(exc_type))
+            )
+        self._span.end()
+        if self._token is not None:
+            _current_span.reset(self._token)
+        self._tracer._export(self._span)
+        return None
+
+
+ParentLike = Union[Span, SpanContext, None]
+
+
+class Tracer:
+    """Creates spans and fans finished ones out to exporters."""
+
+    def __init__(self) -> None:
+        self._exporters: List[Any] = []
+        self._lock = threading.Lock()
+
+    # -- exporter management -------------------------------------------
+    def add_exporter(self, exporter: Any) -> None:
+        with self._lock:
+            if exporter not in self._exporters:
+                self._exporters.append(exporter)
+
+    def remove_exporter(self, exporter: Any) -> None:
+        with self._lock:
+            if exporter in self._exporters:
+                self._exporters.remove(exporter)
+
+    def clear_exporters(self) -> None:
+        with self._lock:
+            self._exporters = []
+
+    def _export(self, span: Span) -> None:
+        with self._lock:
+            exporters = list(self._exporters)
+        for exporter in exporters:
+            try:
+                exporter.export(span)
+            except Exception:
+                pass  # observability must never break the operation
+
+    # -- span creation -------------------------------------------------
+    def start_span(
+        self,
+        name: str,
+        parent: ParentLike = None,
+        attributes: Optional[Dict[str, Any]] = None,
+    ) -> Span:
+        """Create (but do not activate) a span; caller must end+export."""
+        parent_context = self._resolve_parent(parent)
+        if parent_context is not None:
+            context = SpanContext(parent_context.trace_id, _new_span_id())
+            parent_id: Optional[str] = parent_context.span_id
+        else:
+            context = SpanContext(_new_trace_id(), _new_span_id())
+            parent_id = None
+        return Span(name, context, parent_id=parent_id, attributes=attributes)
+
+    def span(
+        self,
+        name: str,
+        parent: ParentLike = None,
+        attributes: Optional[Dict[str, Any]] = None,
+    ) -> Union[_SpanCM, _NullSpanCM]:
+        """Context manager: activate a child span for the block.
+
+        Parent resolution: explicit ``parent`` (a :class:`Span` or
+        :class:`SpanContext`, e.g. parsed from a ``traceparent``
+        header or carried across a thread boundary) wins; otherwise
+        the contextvar-active span; otherwise a new root.
+        """
+        if not STATE.tracing:
+            return _NULL_CM
+        return _SpanCM(self, self.start_span(name, parent, attributes))
+
+    def finish_span(self, span: Span) -> None:
+        """End and export a span created with :meth:`start_span`."""
+        span.end()
+        self._export(span)
+
+    @staticmethod
+    def _resolve_parent(parent: ParentLike) -> Optional[SpanContext]:
+        if parent is None:
+            active = _current_span.get()
+            return active.context if active is not None else None
+        if isinstance(parent, Span):
+            return parent.context
+        return parent
+
+
+_TRACER = Tracer()
+
+
+def tracer() -> Tracer:
+    """The process-wide tracer."""
+    return _TRACER
+
+
+# ---------------------------------------------------------------------------
+# Exporters
+# ---------------------------------------------------------------------------
+
+
+class RingExporter:
+    """Keeps the last ``capacity`` finished spans in memory."""
+
+    def __init__(self, capacity: int = 2048):
+        self._spans: "deque[Span]" = deque(maxlen=int(capacity))
+        self._lock = threading.Lock()
+
+    def export(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    def spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+def _span_args(span: Span) -> Dict[str, Any]:
+    args: Dict[str, Any] = {
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+    }
+    if span.parent_id is not None:
+        args["parent_id"] = span.parent_id
+    for key, value in span.attributes.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            args[key] = value
+        else:
+            args[key] = repr(value)
+    return args
+
+
+def chrome_trace_events(spans: Iterable[Span]) -> List[Dict[str, Any]]:
+    """Chrome ``trace_event`` B/E pairs for *finished* spans.
+
+    Events are ordered so that B/E pairs nest properly per thread
+    even at timestamp ties: at the same ``ts``, E events come first
+    (innermost — shortest duration — ending first) and B events last
+    (outermost — longest duration — beginning first).
+    """
+    events: List[Tuple[Tuple[int, int, int], Dict[str, Any]]] = []
+    for span in spans:
+        if span.end_us is None:
+            continue
+        duration = span.end_us - span.start_us
+        args = _span_args(span)
+        common = {
+            "name": span.name,
+            "cat": "repro",
+            "pid": span.pid,
+            "tid": span.tid,
+        }
+        begin = dict(common)
+        begin.update({"ph": "B", "ts": span.start_us, "args": args})
+        end = dict(common)
+        end.update({"ph": "E", "ts": span.end_us})
+        events.append(((span.start_us, 1, -duration), begin))
+        events.append(((span.end_us, 0, duration), end))
+    events.sort(key=lambda item: item[0])
+    return [event for _, event in events]
+
+
+def write_chrome_trace(spans: Iterable[Span], path: str) -> int:
+    """Write spans as a Chrome trace JSON array, one event per line.
+
+    The file is a strict JSON array (``json.load``-able, and accepted
+    by Perfetto / ``chrome://tracing``) formatted with one
+    ``trace_event`` object per line so it greps and diffs cleanly.
+    Returns the number of events written.
+    """
+    events = chrome_trace_events(spans)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("[\n")
+        for index, event in enumerate(events):
+            suffix = ",\n" if index < len(events) - 1 else "\n"
+            handle.write(json.dumps(event, sort_keys=True) + suffix)
+        handle.write("]\n")
+    return len(events)
+
+
+class ChromeTraceExporter:
+    """Buffers finished spans; :meth:`flush` writes the trace file."""
+
+    def __init__(self, path: str, capacity: int = 100000):
+        self.path = path
+        self._spans: "deque[Span]" = deque(maxlen=int(capacity))
+        self._lock = threading.Lock()
+
+    def export(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    def flush(self) -> int:
+        with self._lock:
+            spans = list(self._spans)
+        return write_chrome_trace(spans, self.path)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+def validate_chrome_trace(events: List[Dict[str, Any]]) -> None:
+    """Raise ``ValueError`` unless B/E events nest properly per thread."""
+    stacks: Dict[Tuple[Any, Any], List[str]] = {}
+    last_ts: Dict[Tuple[Any, Any], float] = {}
+    for index, event in enumerate(events):
+        for field in ("name", "ph", "ts", "pid", "tid"):
+            if field not in event:
+                raise ValueError(
+                    "event %d is missing field %r" % (index, field)
+                )
+        if event["ph"] not in ("B", "E", "X", "i", "M"):
+            raise ValueError(
+                "event %d has unknown phase %r" % (index, event["ph"])
+            )
+        key = (event["pid"], event["tid"])
+        if event["ts"] < last_ts.get(key, float("-inf")):
+            raise ValueError("event %d goes backwards in time" % index)
+        last_ts[key] = event["ts"]
+        if event["ph"] == "B":
+            stacks.setdefault(key, []).append(event["name"])
+        elif event["ph"] == "E":
+            stack = stacks.get(key)
+            if not stack:
+                raise ValueError(
+                    "event %d: E with no matching B on tid %r"
+                    % (index, event["tid"])
+                )
+            stack.pop()
+    for key, stack in stacks.items():
+        if stack:
+            raise ValueError(
+                "unclosed B events on pid/tid %r: %r" % (key, stack)
+            )

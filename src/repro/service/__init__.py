@@ -20,7 +20,9 @@ The service layer turns the library into a shareable system:
   fault-injection harness behind ``repro serve --chaos``;
 * :mod:`repro.service.server` / :mod:`repro.service.client` — a
   stdlib-only JSON-over-HTTP daemon (``repro serve``) and its typed,
-  retrying client.
+  retrying client, instrumented end to end by :mod:`repro.obs`
+  (Prometheus ``/metrics``, ``traceparent`` propagation, optional
+  Chrome trace export via ``--trace-export``).
 """
 
 from .cache import (

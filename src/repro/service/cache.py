@@ -66,11 +66,23 @@ _MISSING = object()
 
 
 class CacheStats:
-    """Thread-safe hit/miss/eviction counters for one cache."""
+    """Thread-safe hit/miss/eviction counters for one cache.
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
+    ``lock`` lets several stat blocks share one lock: the daemon
+    passes a single :class:`threading.RLock` to every component so a
+    ``/stats`` (or ``/metrics``) scrape can take that one lock and
+    read every counter from the same instant — see
+    :meth:`share_lock`.
+    """
+
+    def __init__(self, lock: Optional[threading.RLock] = None) -> None:
+        self._lock: Any = lock if lock is not None else threading.Lock()
         self._counts: Dict[str, int] = {}
+
+    def share_lock(self, lock: threading.RLock) -> None:
+        """Adopt an external (reentrant) lock for atomic multi-block
+        snapshots."""
+        self._lock = lock
 
     def increment(self, name: str, amount: int = 1) -> None:
         with self._lock:
@@ -362,6 +374,13 @@ class TwoTierCache:
         if self.disk.consecutive_failures >= self.trip_threshold:
             self._degraded = True
             self.stats.increment("disk_trips")
+            from ..obs.logging import get_logger
+
+            get_logger("repro.service.cache").warning(
+                "disk tier tripped to degraded memory-only mode",
+                cache=self.name,
+                consecutive_failures=self.disk.consecutive_failures,
+            )
             return False
         return True
 

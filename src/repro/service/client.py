@@ -55,6 +55,8 @@ from typing import Any, Dict, Optional, Tuple
 
 from ..core.signal_graph import TimedSignalGraph
 from ..io.json_io import decode_number, graph_to_dict
+from ..obs import STATE as _obs
+from ..obs.tracing import tracer as _tracer
 from .resilience import CircuitBreaker, RetryPolicy
 
 
@@ -177,6 +179,19 @@ class ServiceClient:
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        # The retry loop's time budget: an explicit per-request
+        # timeout_ms wins over the client-wide deadline_ms.  Backoff
+        # never sleeps past what remains of it — a retry schedule that
+        # cannot finish in time fails fast with DeadlineExceededError
+        # instead of issuing a doomed final attempt.
+        budget_s: Optional[float] = None
+        if payload is not None and isinstance(
+            payload.get("timeout_ms"), (int, float)
+        ) and not isinstance(payload.get("timeout_ms"), bool):
+            budget_s = float(payload["timeout_ms"]) / 1000.0
+        elif self.deadline_ms is not None:
+            budget_s = self.deadline_ms / 1000.0
+        started = time.monotonic()
         if self.deadline_ms is not None:
             headers["X-Request-Timeout-Ms"] = "%g" % self.deadline_ms
         if idempotent and method == "POST":
@@ -188,62 +203,85 @@ class ServiceClient:
             if idempotent else 0
         )
         last_error: Optional[ServiceError] = None
-        for attempt in range(attempts):
-            if use_breaker and not self.breaker.allow():
-                raise CircuitOpenError(
-                    "circuit breaker open for %s" % self.base_url
-                )
-            retry_after: Optional[str] = None
-            try:
-                status, raw, retry_after = self._attempt(
-                    method, path, body, headers
-                )
-            except (
-                urllib.error.URLError,
-                http.client.HTTPException,
-                socket.timeout,
-                ConnectionError,
-                OSError,
-            ) as error:
-                if use_breaker:
-                    self.breaker.record_failure()
-                reason = getattr(error, "reason", None) or error
-                last_error = TransportError(
-                    "cannot reach %s: %s" % (self.base_url, reason)
-                )
-            else:
-                if use_breaker:
-                    # The server answered: the transport is healthy,
-                    # whatever the HTTP status says.
-                    self.breaker.record_success()
+        with _tracer().span(
+            "client.request", attributes={"method": method, "path": path}
+        ) as span:
+            if _obs.tracing:
+                traceparent = span.to_traceparent()
+                if traceparent is not None:
+                    headers["traceparent"] = traceparent
+            for attempt in range(attempts):
+                if use_breaker and not self.breaker.allow():
+                    raise CircuitOpenError(
+                        "circuit breaker open for %s" % self.base_url
+                    )
+                retry_after: Optional[str] = None
                 try:
-                    document = json.loads(raw)
-                except ValueError:
-                    raise ServiceError(
-                        "BadResponse",
-                        "non-JSON response (HTTP %d)" % status,
-                        status=status,
-                    ) from None
-                if status == 200 and "error" not in document:
-                    return document
-                error_body = document.get("error") or {}
-                last_error = _typed_error(
-                    error_body.get("type", "UnknownError"),
-                    error_body.get("message", "unexpected response"),
-                    status,
-                )
-                if status not in RETRYABLE_STATUSES:
-                    raise last_error
-            if attempt + 1 < attempts:
-                parsed_retry_after: Optional[float] = None
-                if retry_after is not None:
+                    status, raw, retry_after = self._attempt(
+                        method, path, body, headers
+                    )
+                except (
+                    urllib.error.URLError,
+                    http.client.HTTPException,
+                    socket.timeout,
+                    ConnectionError,
+                    OSError,
+                ) as error:
+                    if use_breaker:
+                        self.breaker.record_failure()
+                    reason = getattr(error, "reason", None) or error
+                    last_error = TransportError(
+                        "cannot reach %s: %s" % (self.base_url, reason)
+                    )
+                else:
+                    if use_breaker:
+                        # The server answered: the transport is healthy,
+                        # whatever the HTTP status says.
+                        self.breaker.record_success()
                     try:
-                        parsed_retry_after = float(retry_after)
+                        document = json.loads(raw)
                     except ValueError:
-                        parsed_retry_after = None
-                time.sleep(
-                    self.retry_policy.backoff(attempt, parsed_retry_after)
-                )
+                        raise ServiceError(
+                            "BadResponse",
+                            "non-JSON response (HTTP %d)" % status,
+                            status=status,
+                        ) from None
+                    if status == 200 and "error" not in document:
+                        span.set_attribute("status", status)
+                        return document
+                    error_body = document.get("error") or {}
+                    last_error = _typed_error(
+                        error_body.get("type", "UnknownError"),
+                        error_body.get("message", "unexpected response"),
+                        status,
+                    )
+                    if status not in RETRYABLE_STATUSES:
+                        raise last_error
+                if attempt + 1 < attempts:
+                    parsed_retry_after: Optional[float] = None
+                    if retry_after is not None:
+                        try:
+                            parsed_retry_after = float(retry_after)
+                        except ValueError:
+                            parsed_retry_after = None
+                    pause = self.retry_policy.backoff(
+                        attempt, parsed_retry_after
+                    )
+                    if budget_s is not None:
+                        remaining = budget_s - (time.monotonic() - started)
+                        if pause >= remaining:
+                            # Sleeping would outlive the request budget:
+                            # the retry could only be answered after the
+                            # caller gave up.  Fail locally (status 0 —
+                            # no doomed wire attempt is made).
+                            raise DeadlineExceededError(
+                                "ClientDeadline",
+                                "retry backoff (%.3fs) exceeds the %.3fs "
+                                "remaining of the %.3fs request budget"
+                                % (pause, max(0.0, remaining), budget_s),
+                                status=0,
+                            ) from last_error
+                    time.sleep(pause)
         assert last_error is not None
         raise last_error
 

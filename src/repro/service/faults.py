@@ -110,9 +110,14 @@ class FaultInjector:
     def __init__(self, rules: List[FaultRule], seed: int = 0) -> None:
         self.rules = list(rules)
         self.seed = int(seed)
-        self._lock = threading.Lock()
+        self._lock: object = threading.Lock()
         self._rngs: Dict[str, Random] = {}
         self._counts: Dict[str, int] = {}
+
+    def share_lock(self, lock: "threading.RLock") -> None:
+        """Adopt the daemon's shared stats lock so :meth:`snapshot`
+        joins the atomic multi-component ``/stats`` read."""
+        self._lock = lock
 
     # ------------------------------------------------------------------
     @classmethod

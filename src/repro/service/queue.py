@@ -30,10 +30,18 @@ import numpy as np
 
 from ..core.kernel import BatchBindings, run_border_simulations_batch
 from ..core.signal_graph import TimedSignalGraph
+from ..obs import STATE as _obs
+from ..obs.metrics import registry as _registry
+from ..obs.tracing import SpanContext, current_span, tracer as _tracer
 from . import faults
 from .cache import CacheStats, shared_compiled_graph
 from .hashing import topology_hash
 from .resilience import Deadline, DeadlineExceeded
+
+#: Batch-size buckets: 1, 2, 4, ... requests or samples per batch.
+_SIZE_BUCKETS = tuple(float(2 ** exponent) for exponent in range(15))
+#: Linger-wait buckets: 100µs .. ~1.6s.
+_WAIT_BUCKETS = tuple(0.0001 * 2 ** exponent for exponent in range(15))
 
 
 @dataclass
@@ -45,6 +53,11 @@ class _Pending:
     periods: Optional[int]
     deadline: Optional[Deadline] = None
     future: "Future[np.ndarray]" = field(default_factory=Future)
+    #: ``time.monotonic()`` at submit, for the linger-wait histogram.
+    queued_at: float = 0.0
+    #: Trace context captured at submit — contextvars do not cross the
+    #: worker-thread boundary, so the span parent rides the request.
+    trace: Optional[SpanContext] = None
 
 
 class RequestCoalescer:
@@ -106,8 +119,14 @@ class RequestCoalescer:
         matrix = np.ascontiguousarray(matrix, dtype=np.float64)
         if matrix.ndim != 2:
             raise ValueError("matrix must be 2-D (samples, arcs)")
+        trace = None
+        if _obs.tracing:
+            active = current_span()
+            if active is not None:
+                trace = active.context
         request = _Pending(
-            graph=graph, matrix=matrix, periods=periods, deadline=deadline
+            graph=graph, matrix=matrix, periods=periods, deadline=deadline,
+            queued_at=time.monotonic(), trace=trace,
         )
         if deadline is not None and deadline.expired():
             self.stats.increment("requests")
@@ -223,28 +242,63 @@ class RequestCoalescer:
         if len(batch) > 1:
             self.stats.increment("coalesced_requests", len(batch))
         self.stats.maximum("max_batch_requests", len(batch))
+        if _obs.metrics:
+            self._observe_batch(batch)
+
+    def _observe_batch(self, batch: List[_Pending]) -> None:
+        registry = _registry()
+        registry.histogram(
+            "repro_coalescer_batch_requests",
+            "Requests merged into one dispatched batch.",
+            buckets=_SIZE_BUCKETS,
+        ).observe(len(batch))
+        registry.histogram(
+            "repro_coalescer_batch_samples",
+            "Summed sample rows of one dispatched batch.",
+            buckets=_SIZE_BUCKETS,
+        ).observe(sum(request.matrix.shape[0] for request in batch))
+        linger = registry.histogram(
+            "repro_coalescer_linger_seconds",
+            "Time a request waited in the coalescer before dispatch.",
+            buckets=_WAIT_BUCKETS,
+        )
+        now = time.monotonic()
+        for request in batch:
+            if request.queued_at:
+                linger.observe(max(0.0, now - request.queued_at))
 
     def _sweep(self, batch: List[_Pending]) -> np.ndarray:
-        injector = faults.active()
-        if injector is not None:
-            injector.sleep_kernel()
-        host = batch[0].graph
-        cg = shared_compiled_graph(host)
-        host_pairs = [arc.pair for arc in host.arcs]
-        blocks = []
-        for request in batch:
-            if request.graph is host:
-                blocks.append(request.matrix)
-                continue
-            # Content-equal graphs may enumerate arcs in a different
-            # insertion order; permute columns into the host's order.
-            columns: Dict[object, int] = {
-                arc.pair: index for index, arc in enumerate(request.graph.arcs)
-            }
-            perm = [columns[pair] for pair in host_pairs]
-            blocks.append(request.matrix[:, perm])
-        combined = blocks[0] if len(blocks) == 1 else np.vstack(blocks)
-        sweep = run_border_simulations_batch(
-            host, BatchBindings(cg, combined), periods=batch[0].periods
-        )
-        return sweep.cycle_times()
+        with _tracer().span(
+            "coalescer.sweep",
+            parent=batch[0].trace,
+            attributes={"batch_requests": len(batch)},
+        ):
+            injector = faults.active()
+            if injector is not None:
+                injector.sleep_kernel()
+            host = batch[0].graph
+            cg = shared_compiled_graph(host)
+            host_pairs = [arc.pair for arc in host.arcs]
+            blocks = []
+            for request in batch:
+                if request.graph is host:
+                    blocks.append(request.matrix)
+                    continue
+                # Content-equal graphs may enumerate arcs in a
+                # different insertion order; permute columns into the
+                # host's order.
+                columns: Dict[object, int] = {
+                    arc.pair: index
+                    for index, arc in enumerate(request.graph.arcs)
+                }
+                perm = [columns[pair] for pair in host_pairs]
+                blocks.append(request.matrix[:, perm])
+            combined = blocks[0] if len(blocks) == 1 else np.vstack(blocks)
+            with _tracer().span(
+                "kernel.batch",
+                attributes={"samples": int(combined.shape[0])},
+            ):
+                sweep = run_border_simulations_batch(
+                    host, BatchBindings(cg, combined), periods=batch[0].periods
+                )
+                return sweep.cycle_times()

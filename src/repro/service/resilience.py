@@ -116,6 +116,7 @@ class AdmissionQueue:
         max_inflight: int = 8,
         max_queue_depth: int = 32,
         retry_after: float = 0.25,
+        lock: Optional[threading.RLock] = None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be positive")
@@ -124,7 +125,13 @@ class AdmissionQueue:
         self.max_inflight = max_inflight
         self.max_queue_depth = max_queue_depth
         self.retry_after = retry_after
-        self._cond = threading.Condition(threading.Lock())
+        # `lock` may be the daemon's shared stats RLock, making
+        # snapshot() part of one atomic multi-component read;
+        # Condition.wait releases it, so queued waiters don't hold up
+        # a concurrent scrape.
+        self._cond = threading.Condition(
+            lock if lock is not None else threading.Lock()
+        )
         self._inflight = 0
         self._waiting = 0
         self._counts: Dict[str, int] = {

@@ -75,8 +75,18 @@ from ..core.events import event_label
 from ..core.kernel import KERNELS
 from ..core.signal_graph import TimedSignalGraph
 from ..io.json_io import encode_number, graph_from_dict
+from ..obs import STATE as _obs
+from ..obs.logging import get_logger
+from ..obs.metrics import DEFAULT_BUCKETS, Family, registry as _registry
+from ..obs.tracing import ChromeTraceExporter, parse_traceparent, tracer as _tracer
 from . import faults
-from .cache import CacheStats, LRUCache, result_cache, service_cache_stats
+from .cache import (
+    CacheStats,
+    LRUCache,
+    compile_cache,
+    result_cache,
+    service_cache_stats,
+)
 from .hashing import analysis_key
 from .queue import RequestCoalescer
 from .resilience import AdmissionQueue, Deadline, DeadlineExceeded, Saturated
@@ -113,6 +123,8 @@ class ServiceConfig:
     idempotency_entries: int = 256   # replay cache for keyed retries
     chaos: Optional[str] = None      # fault-injection spec (faults.py)
     quiet: bool = False
+    metrics: bool = True             # serve /metrics + record histograms
+    trace_export: Optional[str] = None  # Chrome trace_event JSON path
 
 
 class AnalysisService:
@@ -121,27 +133,172 @@ class AnalysisService:
     def __init__(self, config: Optional[ServiceConfig] = None):
         self.config = config or ServiceConfig()
         self.results = result_cache()
+        # One reentrant lock shared by every component's counter block:
+        # a /stats or /metrics scrape takes it once and reads all
+        # counters from the same instant (no shed count from mid-storm
+        # paired with a hit count from before it).
+        self.stats_lock = threading.RLock()
         self.coalescer = RequestCoalescer(
             linger_s=self.config.linger_ms / 1000.0,
             max_batch_samples=self.config.max_batch_samples,
         )
+        self.coalescer.stats.share_lock(self.stats_lock)
         self.admission = AdmissionQueue(
             max_inflight=self.config.max_inflight,
             max_queue_depth=self.config.max_queue_depth,
             retry_after=self.config.retry_after_s,
+            lock=self.stats_lock,
         )
         self.idempotency = LRUCache(max_entries=self.config.idempotency_entries)
-        self.counters = CacheStats()
+        self.counters = CacheStats(lock=self.stats_lock)
+        compile_cache().stats.share_lock(self.stats_lock)
+        result_cache().stats.share_lock(self.stats_lock)
         self.draining = False
         self.faults: Optional[faults.FaultInjector] = None
         if self.config.chaos:
             self.faults = faults.install(faults.FaultInjector.parse(self.config.chaos))
+            self.faults.share_lock(self.stats_lock)
         self.started = time.time()
+        self.trace_exporter: Optional[ChromeTraceExporter] = None
+        if self.config.trace_export:
+            self.trace_exporter = ChromeTraceExporter(self.config.trace_export)
+            _tracer().add_exporter(self.trace_exporter)
+            _obs.tracing = True
+        if self.config.metrics:
+            _obs.metrics = True
+            _registry().register_callback(self._collect_families)
 
     def close(self) -> None:
         self.coalescer.close()
         if self.faults is not None and faults.active() is self.faults:
             faults.clear()
+        if self.config.metrics:
+            _registry().unregister_callback(self._collect_families)
+        if self.trace_exporter is not None:
+            _tracer().remove_exporter(self.trace_exporter)
+            try:
+                events = self.trace_exporter.flush()
+            except OSError as error:
+                get_logger("repro.service").error(
+                    "failed to write trace export",
+                    path=self.trace_exporter.path,
+                    error=str(error),
+                )
+            else:
+                get_logger("repro.service").info(
+                    "trace export written",
+                    path=self.trace_exporter.path,
+                    events=events,
+                )
+            self.trace_exporter = None
+
+    # ------------------------------------------------------------------
+    # metrics bridge: existing counter blocks -> Prometheus families
+    # ------------------------------------------------------------------
+    def _collect_families(self):
+        """Snapshot every component counter block at scrape time.
+
+        Holding :attr:`stats_lock` across the whole collection makes
+        the scrape atomic, exactly like :meth:`handle_stats`.
+        """
+        with self.stats_lock:
+            service = self.counters.snapshot()
+            cache = service_cache_stats()
+            coalescer = self.coalescer.stats.snapshot()
+            admission = self.admission.snapshot()
+            injected = (
+                {} if self.faults is None
+                else self.faults.snapshot()["injected"]
+            )
+        families = [
+            Family(
+                "repro_service_events_total",
+                "Service-level request/outcome counters.",
+                "counter",
+                [({"event": name}, value) for name, value in sorted(service.items())],
+            ),
+            Family(
+                "repro_cache_events_total",
+                "Hit/miss/eviction/degraded counters per cache tier.",
+                "counter",
+                [
+                    ({"cache": cache_name, "event": name}, value)
+                    for cache_name, block in sorted(cache.items())
+                    for name, value in sorted(block.items())
+                    if isinstance(value, int) and not isinstance(value, bool)
+                    and name not in ("entries", "max_entries")
+                ],
+            ),
+            Family(
+                "repro_cache_entries",
+                "Live in-memory entries per cache.",
+                "gauge",
+                [
+                    ({"cache": cache_name}, block.get("entries", 0))
+                    for cache_name, block in sorted(cache.items())
+                ],
+            ),
+            Family(
+                "repro_cache_degraded",
+                "1 while a cache's disk tier is tripped to memory-only.",
+                "gauge",
+                [
+                    ({"cache": cache_name}, 1.0 if block.get("degraded") else 0.0)
+                    for cache_name, block in sorted(cache.items())
+                ],
+            ),
+            Family(
+                "repro_coalescer_events_total",
+                "Coalescer request/batch/expiry counters.",
+                "counter",
+                [
+                    ({"event": name}, value)
+                    for name, value in sorted(coalescer.items())
+                    if name != "max_batch_requests"
+                ],
+            ),
+            Family(
+                "repro_coalescer_max_batch_requests",
+                "Largest request count merged into one batch.",
+                "gauge",
+                [({}, coalescer.get("max_batch_requests", 0))],
+            ),
+            Family(
+                "repro_admission_inflight",
+                "Requests currently computing.",
+                "gauge",
+                [({}, admission.get("inflight", 0))],
+            ),
+            Family(
+                "repro_admission_queue_depth",
+                "Requests waiting for an admission slot.",
+                "gauge",
+                [({}, admission.get("waiting", 0))],
+            ),
+            Family(
+                "repro_admission_events_total",
+                "Admission outcomes (admitted/shed/expired_in_queue).",
+                "counter",
+                [
+                    ({"event": name}, value)
+                    for name, value in sorted(admission.items())
+                    if name in ("admitted", "shed", "expired_in_queue")
+                ],
+            ),
+            Family(
+                "repro_fault_injections_total",
+                "Deterministic chaos injections per hook.",
+                "counter",
+                [({"hook": name}, value) for name, value in sorted(injected.items())],
+            ),
+            Family(
+                "repro_service_uptime_seconds",
+                "Seconds since the daemon started.",
+                "gauge",
+                [({}, time.time() - self.started)],
+            ),
+        ]
+        return families
 
     # ------------------------------------------------------------------
     # decoding helpers
@@ -345,6 +502,14 @@ class AnalysisService:
         return dict(response, cached=False)
 
     def handle_stats(self) -> Dict[str, Any]:
+        # Every component snapshot re-acquires the shared RLock, so the
+        # whole multi-component read happens at one instant: a scrape
+        # during a storm can't pair a shed count from mid-storm with a
+        # hit count from before it.
+        with self.stats_lock:
+            return self._stats_locked()
+
+    def _stats_locked(self) -> Dict[str, Any]:
         return {
             "status": "ok",
             "uptime_s": time.time() - self.started,
@@ -373,10 +538,25 @@ class AnalysisService:
             return 503, {"status": "saturated"}
         return 200, {"status": "ready"}
 
+    def handle_metrics(self) -> str:
+        """The Prometheus text exposition (native + bridged series)."""
+        return _registry().render()
+
+
+#: Endpoint label values with bounded cardinality: anything outside
+#: this set is labelled "other" so scanned garbage paths cannot mint
+#: unbounded metric series.
+_KNOWN_ENDPOINTS = frozenset(
+    ("/analyze", "/montecarlo", "/stats", "/healthz", "/readyz", "/metrics")
+)
+
 
 class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-service"
     protocol_version = "HTTP/1.1"
+
+    _request_started: Optional[float] = None
+    _endpoint: str = "other"
 
     @property
     def service(self) -> AnalysisService:
@@ -386,15 +566,43 @@ class _Handler(BaseHTTPRequestHandler):
         self.timeout = self.service.config.request_timeout
         super().setup()
 
+    def _begin_request(self, path: str) -> None:
+        self._request_started = time.perf_counter()
+        self._endpoint = path if path in _KNOWN_ENDPOINTS else "other"
+
+    def _observe_request(self, status: int) -> None:
+        if self._request_started is None:
+            return
+        elapsed = time.perf_counter() - self._request_started
+        self._request_started = None
+        registry = _registry()
+        labels = {"endpoint": self._endpoint, "status": str(status)}
+        registry.counter(
+            "repro_requests_total",
+            "HTTP requests handled, by endpoint and status.",
+            ("endpoint", "status"),
+        ).inc(**labels)
+        registry.histogram(
+            "repro_request_seconds",
+            "Request wall time from route to response written.",
+            ("endpoint", "status"),
+            buckets=DEFAULT_BUCKETS,
+        ).observe(elapsed, **labels)
+
     # -- plumbing ------------------------------------------------------
     def _send_raw(
         self,
         status: int,
         body: bytes,
         extra_headers: Optional[Dict[str, str]] = None,
+        content_type: str = "application/json",
     ) -> None:
+        # Record before writing: once the client has the response it
+        # must find this request in the very next /metrics scrape.
+        if _obs.metrics:
+            self._observe_request(status)
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for name, value in (extra_headers or {}).items():
             self.send_header(name, value)
@@ -566,8 +774,18 @@ class _Handler(BaseHTTPRequestHandler):
             assert outcome is _SENT
 
     # -- routes --------------------------------------------------------
+    def _server_span(self, endpoint: str):
+        """A server-side span, parented to the client's traceparent."""
+        parent = None
+        if _obs.tracing:
+            parent = parse_traceparent(self.headers.get("traceparent"))
+        return _tracer().span(
+            "server.handle", parent=parent, attributes={"endpoint": endpoint}
+        )
+
     def do_GET(self) -> None:  # noqa: N802 — stdlib naming
         path = self.path.split("?", 1)[0]
+        self._begin_request(path)
         if path == "/healthz":
             self.service.counters.increment("healthz")
             self._dispatch(lambda: {"status": "ok"})
@@ -577,17 +795,40 @@ class _Handler(BaseHTTPRequestHandler):
         elif path == "/stats":
             self.service.counters.increment("stats")
             self._dispatch(self.service.handle_stats)
+        elif path == "/metrics":
+            if not self.service.config.metrics:
+                self._send_error_json(
+                    404, "NotFound", "metrics are disabled (--no-metrics)"
+                )
+                return
+            self.service.counters.increment("metrics")
+            try:
+                scrape = self.service.handle_metrics()
+            except Exception as error:  # noqa: BLE001 — last-resort guard
+                self._send_error_json(
+                    500, "InternalError",
+                    "%s: %s" % (type(error).__name__, error),
+                )
+                return
+            self._send_raw(
+                200,
+                scrape.encode("utf-8"),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
         else:
             self._send_error_json(404, "NotFound", "no such endpoint: %s" % path)
 
     def do_POST(self) -> None:  # noqa: N802 — stdlib naming
         path = self.path.split("?", 1)[0]
+        self._begin_request(path)
         if path == "/analyze":
             self.service.counters.increment("analyze")
-            self._dispatch_post(self.service.handle_analyze)
+            with self._server_span(path):
+                self._dispatch_post(self.service.handle_analyze)
         elif path == "/montecarlo":
             self.service.counters.increment("montecarlo")
-            self._dispatch_post(self.service.handle_montecarlo)
+            with self._server_span(path):
+                self._dispatch_post(self.service.handle_montecarlo)
         else:
             self._send_error_json(404, "NotFound", "no such endpoint: %s" % path)
 

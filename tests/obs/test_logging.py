@@ -1,0 +1,90 @@
+"""Structured JSON logs and their trace correlation."""
+
+import io
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.logging import get_logger, set_log_level, set_log_stream
+from repro.obs.tracing import RingExporter, tracer
+
+
+@pytest.fixture
+def captured():
+    stream = io.StringIO()
+    set_log_stream(stream)
+    set_log_level("debug")
+    yield stream
+    set_log_stream(None)
+    set_log_level("info")
+
+
+def lines(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+def test_log_lines_are_json_with_fields(captured):
+    log = get_logger("repro.test")
+    log.info("cache tripped", cache="results", consecutive_failures=3)
+    (record,) = lines(captured)
+    assert record["level"] == "info"
+    assert record["logger"] == "repro.test"
+    assert record["event"] == "cache tripped"
+    assert record["cache"] == "results"
+    assert record["consecutive_failures"] == 3
+    assert record["ts"].endswith("Z")
+
+
+def test_level_threshold_filters(captured):
+    set_log_level("warning")
+    log = get_logger("repro.test")
+    log.debug("hidden")
+    log.info("hidden too")
+    log.warning("shown")
+    log.error("also shown")
+    assert [record["event"] for record in lines(captured)] == [
+        "shown", "also shown",
+    ]
+
+
+def test_unknown_level_rejected():
+    with pytest.raises(ValueError):
+        set_log_level("loud")
+
+
+def test_logs_bind_active_trace_ids(captured):
+    obs.enable(metrics=False, tracing=True)
+    ring = RingExporter()
+    tracer().add_exporter(ring)
+    try:
+        with tracer().span("op") as span:
+            get_logger("repro.test").info("inside span")
+        expected = (span.trace_id, span.span_id)
+    finally:
+        tracer().remove_exporter(ring)
+        obs.disable()
+    (record,) = lines(captured)
+    assert (record["trace_id"], record["span_id"]) == expected
+    get_logger("repro.test").info("outside span")
+    assert "trace_id" not in lines(captured)[1]
+
+
+def test_non_scalar_fields_are_reprd(captured):
+    get_logger("repro.test").info("odd", payload={1: 2})
+    (record,) = lines(captured)
+    assert record["payload"] == repr({1: 2})
+
+
+def test_colliding_field_names_are_prefixed(captured):
+    get_logger("repro.test").info("clash", level="not the level",
+                                  logger="not the logger")
+    (record,) = lines(captured)
+    assert record["event"] == "clash"
+    assert record["level"] == "info"
+    assert record["field_level"] == "not the level"
+    assert record["field_logger"] == "not the logger"
+
+
+def test_get_logger_is_cached():
+    assert get_logger("repro.same") is get_logger("repro.same")

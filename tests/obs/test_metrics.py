@@ -1,0 +1,190 @@
+"""Metrics instruments and the Prometheus text exposition.
+
+Every rendered scrape must survive :func:`repro.obs.textformat.parse`
+— the same pure-python validator a CI scrape check uses — so these
+tests close the loop between what the registry writes and what a
+Prometheus-compatible reader accepts.
+"""
+
+import math
+
+import pytest
+
+from repro.obs import textformat
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Family,
+    MetricsRegistry,
+    log_buckets,
+    registry,
+    reset_registry,
+)
+
+
+@pytest.fixture
+def fresh():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, fresh):
+        c = fresh.counter("repro_test_total", "A counter.")
+        assert c.value() == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_labelled_series_are_independent(self, fresh):
+        c = fresh.counter("repro_test_total", "A counter.", ("endpoint",))
+        c.inc(endpoint="/analyze")
+        c.inc(3, endpoint="/stats")
+        assert c.value(endpoint="/analyze") == 1.0
+        assert c.value(endpoint="/stats") == 3.0
+        assert c.value(endpoint="/other") == 0.0
+
+    def test_counters_never_decrease(self, fresh):
+        c = fresh.counter("repro_test_total", "A counter.")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_label_mismatch_rejected(self, fresh):
+        c = fresh.counter("repro_test_total", "A counter.", ("endpoint",))
+        with pytest.raises(ValueError):
+            c.inc(status="200")
+
+    def test_invalid_metric_name_rejected(self, fresh):
+        with pytest.raises(ValueError):
+            fresh.counter("0bad-name", "Nope.")
+        with pytest.raises(ValueError):
+            fresh.counter("repro_ok_total", "Nope.", ("__reserved",))
+
+
+class TestGauge:
+    def test_set_inc_dec(self, fresh):
+        g = fresh.gauge("repro_depth", "A gauge.")
+        g.set(5)
+        g.inc(2)
+        g.dec(3)
+        assert g.value() == 4.0
+
+
+class TestHistogram:
+    def test_log_buckets_grow_geometrically(self):
+        buckets = log_buckets(0.001, 2.0, 4)
+        assert buckets == (0.001, 0.002, 0.004, 0.008)
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_observations_land_in_cumulative_buckets(self, fresh):
+        h = fresh.histogram(
+            "repro_seconds", "A histogram.", buckets=(0.1, 1.0, 10.0)
+        )
+        for value in (0.05, 0.5, 5.0, 50.0):
+            h.observe(value)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(55.55)
+        assert snap["buckets"] == [
+            (0.1, 1), (1.0, 2), (10.0, 3), (math.inf, 4)
+        ]
+
+    def test_unsorted_buckets_rejected(self, fresh):
+        with pytest.raises(ValueError):
+            fresh.histogram("repro_seconds", "Bad.", buckets=(1.0, 0.5))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self, fresh):
+        first = fresh.counter("repro_test_total", "A counter.")
+        assert fresh.counter("repro_test_total", "A counter.") is first
+
+    def test_kind_conflict_rejected(self, fresh):
+        fresh.counter("repro_test_total", "A counter.")
+        with pytest.raises(ValueError):
+            fresh.gauge("repro_test_total", "Now a gauge?")
+        with pytest.raises(ValueError):
+            fresh.counter("repro_test_total", "Other labels.", ("x",))
+
+    def test_callback_families_render(self, fresh):
+        def collect():
+            return [
+                Family(
+                    "repro_bridge_total",
+                    "Bridged counters.",
+                    "counter",
+                    [({"event": "hits"}, 3), ({"event": "misses"}, 1)],
+                )
+            ]
+
+        fresh.register_callback(collect)
+        families = textformat.parse(fresh.render())
+        assert families["repro_bridge_total"].values(event="hits") == [3.0]
+        fresh.unregister_callback(collect)
+        assert "repro_bridge_total" not in textformat.parse(fresh.render())
+
+    def test_native_instrument_owns_its_name(self, fresh):
+        """A callback must not shadow a native instrument's series."""
+        c = fresh.counter("repro_test_total", "Native.")
+        c.inc(7)
+        fresh.register_callback(
+            lambda: [Family("repro_test_total", "Shadow.", "counter",
+                            [({}, 999)])]
+        )
+        families = textformat.parse(fresh.render())
+        assert families["repro_test_total"].values() == [7.0]
+
+    def test_process_registry_reset(self):
+        reset_registry()
+        registry().counter("repro_reset_total", "X.").inc()
+        reset_registry()
+        assert "repro_reset_total" not in textformat.parse(registry().render())
+
+
+class TestExposition:
+    def test_full_scrape_round_trips_through_validator(self, fresh):
+        c = fresh.counter("repro_requests_total", "Requests.",
+                          ("endpoint", "status"))
+        c.inc(4, endpoint="/analyze", status="200")
+        c.inc(1, endpoint="/analyze", status="504")
+        g = fresh.gauge("repro_inflight", "In flight.")
+        g.set(2)
+        h = fresh.histogram("repro_request_seconds", "Latency.",
+                            ("endpoint",), buckets=(0.01, 0.1, 1.0))
+        h.observe(0.05, endpoint="/analyze")
+        h.observe(5.0, endpoint="/analyze")
+
+        families = textformat.parse(fresh.render())
+
+        assert families["repro_requests_total"].type == "counter"
+        assert sum(families["repro_requests_total"].values()) == 5.0
+        assert families["repro_inflight"].type == "gauge"
+        latency = families["repro_request_seconds"]
+        assert latency.type == "histogram"
+        counts = {
+            labels["le"]: value
+            for name, labels, value in latency.samples
+            if name == "repro_request_seconds_bucket"
+        }
+        assert counts["+Inf"] == 2.0
+
+    def test_label_values_are_escaped(self, fresh):
+        c = fresh.counter("repro_odd_total", "Odd labels.", ("path",))
+        c.inc(path='a"b\\c\nd')
+        families = textformat.parse(fresh.render())
+        assert families["repro_odd_total"].values(path='a"b\\c\nd') == [1.0]
+
+    def test_malformed_exposition_is_rejected(self):
+        with pytest.raises(textformat.PrometheusFormatError):
+            textformat.parse("# TYPE repro_x unknowntype\nrepro_x 1\n")
+        with pytest.raises(textformat.PrometheusFormatError):
+            textformat.parse("repro_x{le=} 1\n")
+
+    def test_incomplete_histogram_is_rejected(self):
+        bad = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1.0"} 2\n'
+            'repro_h_bucket{le="+Inf"} 1\n'  # not cumulative
+            "repro_h_sum 1.0\n"
+            "repro_h_count 1\n"
+        )
+        with pytest.raises(textformat.PrometheusFormatError):
+            textformat.parse(bad)

@@ -1,0 +1,96 @@
+"""Phase profiling of the compiled kernel pipeline."""
+
+import pytest
+
+from repro.core import compute_cycle_time
+from repro.generators import ring_with_chords
+from repro.obs.profile import (
+    PhaseProfiler,
+    active_profiler,
+    phase,
+    profile_phases,
+)
+
+
+@pytest.fixture
+def graph():
+    return ring_with_chords(stages=40, tokens=4, chords=10, seed=3)
+
+
+class TestPhaseProfiler:
+    def test_phase_timer_accumulates(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("work"):
+            pass
+        with profiler.phase("work"):
+            pass
+        assert profiler.as_dict()["phases"]["work"]["count"] == 2
+        assert profiler.total("work") >= 0.0
+        assert profiler.total("missing") == 0.0
+
+    def test_record_period(self):
+        profiler = PhaseProfiler()
+        profiler.record_period(0.25)
+        profiler.record_period(0.75)
+        periods = profiler.as_dict()["periods"]
+        assert periods["count"] == 2
+        assert periods["total_s"] == pytest.approx(1.0)
+
+    def test_clear(self):
+        profiler = PhaseProfiler()
+        profiler.record("x", 1.0)
+        profiler.record_period(1.0)
+        profiler.clear()
+        assert profiler.as_dict()["phases"] == {}
+
+
+class TestActivation:
+    def test_module_phase_is_noop_without_scope(self):
+        assert active_profiler() is None
+        first = phase("anything")
+        assert phase("other") is first  # one shared null object
+
+    def test_scope_activates_and_restores(self):
+        profiler = PhaseProfiler()
+        with profile_phases(profiler) as active:
+            assert active is profiler
+            assert active_profiler() is profiler
+            with phase("inside"):
+                pass
+        assert active_profiler() is None
+        assert profiler.as_dict()["phases"]["inside"]["count"] == 1
+
+    def test_scope_creates_profiler_when_omitted(self):
+        with profile_phases() as profiler:
+            assert active_profiler() is profiler
+
+
+class TestKernelIntegration:
+    def test_analysis_records_pipeline_phases(self, graph):
+        profiler = PhaseProfiler()
+        with profile_phases(profiler):
+            result = compute_cycle_time(graph, cache="off")
+        assert result.cycle_time > 0
+        phases = profiler.as_dict()["phases"]
+        for name in ("validate", "toposort", "simulate", "run",
+                     "collect", "backtrack"):
+            assert name in phases, "missing phase %r" % name
+        # One border simulation per border event, each over >=1 period.
+        assert profiler.as_dict()["periods"]["count"] >= len(
+            graph.border_events
+        )
+        # The simulate phase wraps the runs: it can't be shorter.
+        assert profiler.total("simulate") >= profiler.total("run")
+
+    def test_analysis_unprofiled_records_nothing(self, graph):
+        profiler = PhaseProfiler()
+        compute_cycle_time(graph, cache="off")
+        assert profiler.as_dict()["phases"] == {}
+
+    def test_table_is_human_readable(self, graph):
+        profiler = PhaseProfiler()
+        with profile_phases(profiler):
+            compute_cycle_time(graph, cache="off")
+        table = profiler.table()
+        assert "run" in table
+        assert "%" in table

@@ -1,0 +1,158 @@
+"""Spans, context propagation and the Chrome trace_event export."""
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.tracing import (
+    RingExporter,
+    SpanContext,
+    chrome_trace_events,
+    current_span,
+    current_traceparent,
+    parse_traceparent,
+    tracer,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+@pytest.fixture
+def ring():
+    """Tracing on, spans captured, everything restored afterwards."""
+    obs.enable(metrics=False, tracing=True)
+    exporter = RingExporter()
+    tracer().add_exporter(exporter)
+    yield exporter
+    tracer().remove_exporter(exporter)
+    obs.disable()
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        context = SpanContext("ab" * 16, "cd" * 8)
+        parsed = parse_traceparent(context.to_traceparent())
+        assert parsed.trace_id == context.trace_id
+        assert parsed.span_id == context.span_id
+
+    @pytest.mark.parametrize("header", [
+        None,
+        "",
+        "not-a-traceparent",
+        "00-short-cdcdcdcdcdcdcdcd-01",
+        "ff-" + "ab" * 16 + "-" + "cd" * 8 + "-01",  # forbidden version
+        "00-" + "0" * 32 + "-" + "cd" * 8 + "-01",   # all-zero trace id
+    ])
+    def test_invalid_headers_rejected(self, header):
+        assert parse_traceparent(header) is None
+
+
+class TestSpans:
+    def test_nesting_sets_parent_and_contextvar(self, ring):
+        with tracer().span("outer") as outer:
+            assert current_span() is outer
+            with tracer().span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.trace_id == outer.trace_id
+        assert current_span() is None
+        names = [span.name for span in ring.spans()]
+        assert names == ["inner", "outer"]  # finished innermost-first
+
+    def test_explicit_parent_context_crosses_threads(self, ring):
+        remote = SpanContext("ef" * 16, "12" * 8)
+        with tracer().span("server.handle", parent=remote) as span:
+            assert span.trace_id == remote.trace_id
+            assert span.parent_id == remote.span_id
+
+    def test_current_traceparent_matches_active_span(self, ring):
+        assert current_traceparent() is None
+        with tracer().span("outer") as span:
+            assert current_traceparent() == span.to_traceparent()
+
+    def test_exception_recorded_and_reraised(self, ring):
+        with pytest.raises(RuntimeError):
+            with tracer().span("boom"):
+                raise RuntimeError("nope")
+        (span,) = ring.spans()
+        assert span.attributes["error.type"] == "RuntimeError"
+
+    def test_disabled_tracing_allocates_nothing(self, ring):
+        obs.disable()
+        cm = tracer().span("ignored")
+        with cm as span:
+            assert span.to_traceparent() is None
+            span.set_attribute("any", 1)  # must be a silent no-op
+        assert ring.spans() == []
+
+    def test_broken_exporter_does_not_break_spans(self, ring):
+        class Broken:
+            def export(self, span):
+                raise OSError("disk full")
+
+        broken = Broken()
+        tracer().add_exporter(broken)
+        try:
+            with tracer().span("survives"):
+                pass
+        finally:
+            tracer().remove_exporter(broken)
+        assert [span.name for span in ring.spans()] == ["survives"]
+
+
+class TestChromeExport:
+    def test_b_e_pairs_nest_and_validate(self, ring, tmp_path):
+        with tracer().span("outer", attributes={"k": "v"}):
+            with tracer().span("inner"):
+                pass
+        path = str(tmp_path / "trace.json")
+        count = write_chrome_trace(ring.spans(), path)
+        assert count == 4  # two spans -> two B/E pairs
+
+        with open(path) as handle:
+            events = json.load(handle)
+        validate_chrome_trace(events)
+        assert [(e["ph"], e["name"]) for e in events] == [
+            ("B", "outer"), ("B", "inner"), ("E", "inner"), ("E", "outer"),
+        ]
+        begin_outer = events[0]
+        assert begin_outer["args"]["k"] == "v"
+        assert "parent_id" in events[1]["args"]
+
+    def test_timestamp_ties_still_nest(self, ring):
+        """Shared start or end instants must not unbalance the stacks:
+        at a tied start the longer span begins first, at a tied end
+        the shorter span ends first."""
+        with tracer().span("outer"):
+            with tracer().span("inner"):
+                pass
+        inner, outer = ring.spans()
+        outer.start_us, outer.end_us = 1000, 2000
+        inner.start_us, inner.end_us = 1000, 2000 - 500
+        validate_chrome_trace(chrome_trace_events([inner, outer]))
+        inner.start_us, inner.end_us = 1000 + 500, 2000
+        validate_chrome_trace(chrome_trace_events([inner, outer]))
+
+    def test_validator_rejects_unbalanced_events(self):
+        orphan_end = [
+            {"name": "x", "ph": "E", "ts": 1, "pid": 1, "tid": 1,
+             "cat": "repro"},
+        ]
+        with pytest.raises(ValueError):
+            validate_chrome_trace(orphan_end)
+        unclosed_begin = [
+            {"name": "x", "ph": "B", "ts": 1, "pid": 1, "tid": 1,
+             "cat": "repro", "args": {}},
+        ]
+        with pytest.raises(ValueError):
+            validate_chrome_trace(unclosed_begin)
+
+    def test_validator_rejects_time_travel(self):
+        events = [
+            {"name": "x", "ph": "B", "ts": 5, "pid": 1, "tid": 1,
+             "cat": "repro", "args": {}},
+            {"name": "x", "ph": "E", "ts": 3, "pid": 1, "tid": 1,
+             "cat": "repro"},
+        ]
+        with pytest.raises(ValueError):
+            validate_chrome_trace(events)

@@ -1,0 +1,333 @@
+"""End-to-end observability through the analysis daemon.
+
+In-process: one traced request must produce a correctly nested
+client -> server -> kernel span chain, and a ``/metrics`` scrape must
+parse under the pure-python Prometheus validator with every
+advertised family present.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, HTTPServer
+
+import pytest
+
+import repro.obs as obs
+from repro.circuits.library import muller_ring_tsg
+from repro.obs import textformat
+from repro.obs.metrics import reset_registry
+from repro.obs.tracing import (
+    RingExporter,
+    chrome_trace_events,
+    tracer,
+    validate_chrome_trace,
+)
+from repro.service import faults
+from repro.service.client import (
+    DeadlineExceededError,
+    ServiceClient,
+    ServiceError,
+)
+from repro.service.resilience import RetryPolicy
+from repro.service.server import make_server
+
+
+@pytest.fixture(autouse=True)
+def obs_reset():
+    """Servers flip the global obs switches on; always restore.
+
+    The process-wide registry is reset too (server instruments are
+    fetched lazily per observation) so counter assertions see only
+    this test's traffic."""
+    obs.disable()
+    reset_registry()
+    yield
+    obs.disable()
+    reset_registry()
+    faults.clear()
+
+
+@pytest.fixture
+def server_factory():
+    servers = []
+
+    def build(**overrides):
+        server = make_server(quiet=True, **overrides)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        servers.append((server, thread))
+        return server
+
+    yield build
+    for server, thread in servers:
+        server.shutdown()
+        server.close()
+        thread.join(timeout=5)
+
+
+def scrape(url):
+    raw = urllib.request.urlopen(url + "/metrics", timeout=10)
+    text = raw.read().decode("utf-8")
+    assert raw.headers["Content-Type"].startswith("text/plain")
+    return textformat.parse(text)
+
+
+class TestMetricsEndpoint:
+    def test_scrape_parses_with_required_families(self, server_factory):
+        server = server_factory(metrics=True)
+        client = ServiceClient(server.url, timeout=10, retries=0)
+        ring = muller_ring_tsg(3)
+        client.analyze(ring)
+        client.analyze(ring)  # second hit exercises the result cache
+        client.montecarlo(ring, samples=50, seed=1)
+        client.stats()
+
+        families = scrape(server.url)
+        for name in (
+            "repro_requests_total",
+            "repro_request_seconds",
+            "repro_service_events_total",
+            "repro_cache_events_total",
+            "repro_cache_entries",
+            "repro_coalescer_events_total",
+            "repro_admission_inflight",
+            "repro_admission_queue_depth",
+            "repro_admission_events_total",
+            "repro_service_uptime_seconds",
+        ):
+            assert name in families, "missing family %r" % name
+
+        requests = families["repro_requests_total"]
+        assert sum(requests.values(endpoint="/analyze", status="200")) == 2
+        assert sum(requests.values(endpoint="/montecarlo", status="200")) == 1
+        latency = families["repro_request_seconds"]
+        assert latency.type == "histogram"
+        counts = sum(
+            value for name, labels, value in latency.samples
+            if name.endswith("_count")
+        )
+        assert counts >= 4
+        hits = families["repro_cache_events_total"]
+        assert sum(hits.values(cache="result", event="hits")) >= 1
+
+    def test_fault_injection_family_counts_under_chaos(self, server_factory):
+        server = server_factory(
+            metrics=True, chaos="latency:p=1,ms=1,site=handler;seed=3"
+        )
+        client = ServiceClient(server.url, timeout=10, retries=0)
+        client.analyze(muller_ring_tsg(3))
+        families = scrape(server.url)
+        injected = families["repro_fault_injections_total"]
+        assert sum(injected.values(hook="latency_injected")) >= 1
+
+    def test_metrics_endpoint_404_when_disabled(self, server_factory):
+        server = server_factory(metrics=False)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(server.url + "/metrics", timeout=10)
+        assert excinfo.value.code == 404
+        # ...and the switchboard stays off: no histograms recorded.
+        client = ServiceClient(server.url, timeout=10, retries=0)
+        client.analyze(muller_ring_tsg(3))
+        assert not obs.STATE.metrics
+
+    def test_unknown_endpoint_label_is_bounded(self, server_factory):
+        """404s on arbitrary paths must not mint new label values."""
+        server = server_factory(metrics=True)
+        for path in ("/nope", "/nope2", "/nope3"):
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(server.url + path, timeout=10)
+        families = scrape(server.url)
+        endpoints = {
+            labels["endpoint"]
+            for _, labels, _ in families["repro_requests_total"].samples
+        }
+        assert "/nope" not in endpoints
+        assert "other" in endpoints
+
+
+class TestStatsAtomicity:
+    def test_every_counter_block_shares_the_stats_lock(self, server_factory):
+        server = server_factory(
+            metrics=True, chaos="latency:p=1,ms=1,site=handler;seed=3"
+        )
+        service = server.service
+        lock = service.stats_lock
+        assert service.counters._lock is lock
+        assert service.coalescer.stats._lock is lock
+        assert service.faults._lock is lock
+        # The admission queue's condition wraps the same lock object.
+        assert service.admission._cond._lock is lock
+
+    def test_stats_snapshot_taken_under_one_lock(self, server_factory):
+        """While a reader holds the stats lock, /stats must block —
+        proving the scrape reads all blocks from one instant."""
+        server = server_factory(metrics=True)
+        client = ServiceClient(server.url, timeout=10, retries=0)
+        client.analyze(muller_ring_tsg(3))
+        results = {}
+
+        def read_stats():
+            results["stats"] = client.stats()
+
+        with server.service.stats_lock:
+            thread = threading.Thread(target=read_stats)
+            thread.start()
+            thread.join(timeout=0.3)
+            assert thread.is_alive(), "/stats did not wait for the lock"
+        thread.join(timeout=10)
+        assert "stats" in results
+
+
+class TestTracePropagation:
+    def test_client_server_kernel_spans_nest(self, server_factory):
+        obs.enable(metrics=False, tracing=True)
+        ring_exporter = RingExporter()
+        tracer().add_exporter(ring_exporter)
+        try:
+            server = server_factory(metrics=False)
+            client = ServiceClient(server.url, timeout=10, retries=0)
+            graph = muller_ring_tsg(4)
+            client.analyze(graph)
+            client.montecarlo(graph, samples=50, seed=0)
+            # The sweep runs on the coalescer thread and the server
+            # span ends only once the response is written: wait until
+            # every parent in the chains has finished and exported.
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline:
+                spans = ring_exporter.spans()
+                counts = {}
+                for span in spans:
+                    counts[span.name] = counts.get(span.name, 0) + 1
+                if (
+                    counts.get("client.request", 0) >= 2
+                    and counts.get("server.handle", 0) >= 2
+                    and counts.get("coalescer.sweep", 0) >= 1
+                    and counts.get("kernel.batch", 0) >= 1
+                ):
+                    break
+                time.sleep(0.02)
+            spans = ring_exporter.spans()
+        finally:
+            tracer().remove_exporter(ring_exporter)
+
+        by_id = {span.span_id: span for span in spans}
+        names = {span.name for span in spans}
+        assert {"client.request", "server.handle", "kernel.analyze",
+                "coalescer.sweep", "kernel.batch"} <= names
+
+        def chain_of(name):
+            (leaf,) = [s for s in spans if s.name == name]
+            chain = [leaf.name]
+            cursor = leaf
+            while cursor.parent_id is not None:
+                cursor = by_id[cursor.parent_id]
+                chain.append(cursor.name)
+            return chain
+
+        analyze_chain = chain_of("kernel.analyze")
+        assert analyze_chain == ["kernel.analyze", "server.handle",
+                                 "client.request"]
+        batch_chain = chain_of("kernel.batch")
+        assert batch_chain == ["kernel.batch", "coalescer.sweep",
+                               "server.handle", "client.request"]
+        # One trace id spans the whole analyze request.
+        analyze = [s for s in spans if s.name == "kernel.analyze"][0]
+        assert by_id[analyze.parent_id].trace_id == analyze.trace_id
+
+        events = chrome_trace_events(spans)
+        validate_chrome_trace(events)
+
+    def test_trace_export_file_written_on_close(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        server = make_server(quiet=True, metrics=False, trace_export=path)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(server.url, timeout=10, retries=0)
+            client.analyze(muller_ring_tsg(3))
+        finally:
+            server.shutdown()
+            server.close()
+            thread.join(timeout=5)
+        with open(path) as handle:
+            events = json.load(handle)
+        validate_chrome_trace(events)
+        assert any(event["name"] == "server.handle" for event in events)
+
+
+class _Always503(BaseHTTPRequestHandler):
+    retry_after = "5"
+
+    def do_POST(self):
+        self.server.hits += 1
+        body = json.dumps(
+            {"error": {"type": "Saturated", "message": "busy"}}
+        ).encode()
+        self.send_response(503)
+        self.send_header("Retry-After", self.retry_after)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    do_GET = do_POST
+
+    def log_message(self, *args):
+        pass
+
+
+@pytest.fixture
+def saturated_server():
+    server = HTTPServer(("127.0.0.1", 0), _Always503)
+    server.hits = 0
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+class TestDeadlineAwareRetries:
+    def test_backoff_never_outlives_the_request_budget(self, saturated_server):
+        """A 5 s Retry-After against a 250 ms budget must fail fast
+        and locally — no sleep, no doomed final attempt."""
+        url = "http://127.0.0.1:%d" % saturated_server.server_address[1]
+        client = ServiceClient(url, timeout=10, retries=3)
+        started = time.monotonic()
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            client.analyze(muller_ring_tsg(3), timeout_ms=250)
+        elapsed = time.monotonic() - started
+        assert excinfo.value.status == 0  # raised locally, not a 504
+        assert elapsed < 2.0, "client slept past its budget"
+        assert saturated_server.hits == 1, "doomed retry was sent anyway"
+        # The local failure still carries the server's verdict as cause.
+        assert isinstance(excinfo.value.__cause__, ServiceError)
+        assert excinfo.value.__cause__.status == 503
+
+    def test_client_deadline_ms_bounds_retries_too(self, saturated_server):
+        url = "http://127.0.0.1:%d" % saturated_server.server_address[1]
+        client = ServiceClient(url, timeout=10, retries=3, deadline_ms=250)
+        started = time.monotonic()
+        with pytest.raises(DeadlineExceededError):
+            client.stats()
+        assert time.monotonic() - started < 2.0
+        assert saturated_server.hits == 1
+
+    def test_generous_budget_still_retries(self, saturated_server):
+        _Always503.retry_after = "0.01"
+        try:
+            url = "http://127.0.0.1:%d" % saturated_server.server_address[1]
+            client = ServiceClient(
+                url, timeout=10, retries=2,
+                retry_policy=RetryPolicy(retries=2, base=0.01, cap=0.02),
+            )
+            with pytest.raises(ServiceError) as excinfo:
+                client.analyze(muller_ring_tsg(3), timeout_ms=30000)
+            assert excinfo.value.status == 503
+            assert saturated_server.hits == 3  # initial + 2 retries
+        finally:
+            _Always503.retry_after = "5"
