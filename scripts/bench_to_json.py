@@ -1,12 +1,13 @@
 #!/usr/bin/env python
 """Measure the kernel speedups and record them as JSON.
 
-Four suites::
+Five suites::
 
     PYTHONPATH=src python scripts/bench_to_json.py [--suite kernels]
     PYTHONPATH=src python scripts/bench_to_json.py --suite montecarlo
     PYTHONPATH=src python scripts/bench_to_json.py --suite service
     PYTHONPATH=src python scripts/bench_to_json.py --suite obs
+    PYTHONPATH=src python scripts/bench_to_json.py --suite scaling_out
 
 ``kernels`` (the default) times the legacy, exact and float engines —
 border simulations and end-to-end ``compute_cycle_time`` — on the
@@ -28,6 +29,15 @@ disabled vs tracing vs phase profiling, the measured cost of the
 disabled no-op hooks (must fit a 2%% budget), and warm-cache
 ``/analyze`` HTTP throughput with metrics off/on/traced.  All records
 feed the README's performance notes and the CI smoke checks.
+
+``scaling_out`` measures horizontal scale-out and writes
+``BENCH_scaling_out.json``: warm-cache ``/analyze`` throughput against
+a pre-fork SO_REUSEPORT worker pool at 1/2/4 workers, and the
+process-pool vs threaded Monte-Carlo executor on a GIL-bound n=800
+sweep (with a bit-identity check against the single-process kernel).
+Scaling gates are enforced only when ``os.cpu_count()`` provides the
+parallel hardware they presume; the recorded ``cpu_count`` and
+``hardware_note`` keep single-core runs honest.
 
 Timings are best-of-N wall clock after warmup (the float kernel's
 code-generation tier activates during warmup, as it does in any
@@ -62,6 +72,14 @@ MC_SIZES = (50, 100, 200)
 MC_BATCHES = (100, 1000)
 MC_WARMUP = 2
 MC_REPS = 3
+
+SCALE_WORKERS = (1, 2, 4)
+SCALE_STORM_S = 2.0
+SCALE_CLIENTS = 8
+SCALE_WARMUP_REQUESTS = 4
+SCALE_MC_STAGES = 800
+SCALE_MC_SAMPLES = 64
+SCALE_MIN_SPEEDUP_AT_4 = 2.5
 
 
 def best_of(fn, reps=REPS):
@@ -582,11 +600,234 @@ def run_obs_suite(sizes, output):
     return 0
 
 
+def measure_worker_scaling(worker_counts, storm_s, clients):
+    """Warm-cache /analyze req/s against 1..N pre-fork workers."""
+    import threading
+
+    from repro.service.client import ServiceClient
+    from repro.service.pool import WorkerPool
+    from repro.service.server import ServiceConfig
+
+    graph = ring_with_chords(stages=60, tokens=4, chords=15, seed=7)
+    rows = []
+    for workers in worker_counts:
+        config = ServiceConfig(
+            host="127.0.0.1", port=0, quiet=True, drain_timeout=3.0,
+        )
+        pool = WorkerPool(config, workers, cache_config={})
+        pool.start(timeout=60.0)
+        handles = []
+        try:
+            # Keep-alive pins each client to one kernel-picked worker,
+            # so warming through every client warms every worker the
+            # storm will actually touch.
+            handles = [
+                ServiceClient(pool.url, timeout=30, retries=2)
+                for _ in range(clients)
+            ]
+            for client in handles:
+                for _ in range(SCALE_WARMUP_REQUESTS):
+                    client.analyze(graph)
+            counts = [0] * clients
+            deadline = time.monotonic() + storm_s
+
+            def run(index):
+                client = handles[index]
+                while time.monotonic() < deadline:
+                    client.analyze(graph)
+                    counts[index] += 1
+
+            threads = [
+                threading.Thread(target=run, args=(index,), daemon=True)
+                for index in range(clients)
+            ]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - start
+        finally:
+            for client in handles:
+                client.close()
+            pool.terminate(timeout=15.0)
+        total = sum(counts)
+        rows.append(
+            {
+                "workers": workers,
+                "requests": total,
+                "requests_per_sec": total / elapsed,
+            }
+        )
+        print(
+            "workers=%d  %6d reqs in %.2fs  %7.0f req/s"
+            % (workers, total, elapsed, rows[-1]["requests_per_sec"])
+        )
+    baseline = rows[0]["requests_per_sec"]
+    for row in rows:
+        row["speedup_vs_1_worker"] = row["requests_per_sec"] / baseline
+    return rows
+
+
+def measure_executor_scaling(stages, samples, workers):
+    """Threaded vs process-pool MC executor on one GIL-bound sweep."""
+    from repro.core.kernel import shutdown_process_pool
+
+    graph = ring_with_chords(stages=stages, tokens=4, chords=stages // 4, seed=7)
+    sampler = uniform_spread(0.1)
+
+    def run(executor, pool_workers, batch_size=None):
+        return monte_carlo_cycle_time(
+            graph, sampler, samples=samples, seed=0,
+            track_criticality=False, workers=pool_workers,
+            executor=executor, batch_size=batch_size,
+        )
+
+    try:
+        chunk = max(1, samples // workers)
+        for _ in range(MC_WARMUP):
+            run(None, None)
+            run("thread", workers, chunk)
+            run("process", workers)
+        single = run(None, None)
+        threaded = run("thread", workers, chunk)
+        pooled = run("process", workers)
+        single_s = best_of(lambda: run(None, None), reps=MC_REPS)
+        thread_s = best_of(lambda: run("thread", workers, chunk), reps=MC_REPS)
+        process_s = best_of(lambda: run("process", workers), reps=MC_REPS)
+    finally:
+        shutdown_process_pool()
+    return {
+        "stages": stages,
+        "events": graph.num_events,
+        "arcs": graph.num_arcs,
+        "samples": samples,
+        "workers": workers,
+        "single_samples_per_sec": samples / single_s,
+        "thread_samples_per_sec": samples / thread_s,
+        "process_samples_per_sec": samples / process_s,
+        "process_vs_thread_speedup": thread_s / process_s,
+        "process_vs_single_speedup": single_s / process_s,
+        "identical": bool(
+            np.array_equal(single.samples, threaded.samples)
+            and np.array_equal(single.samples, pooled.samples)
+        ),
+    }
+
+
+def run_scaling_out_suite(output):
+    cpu_count = os.cpu_count() or 1
+    print("cpu_count=%d" % cpu_count)
+    rows = measure_worker_scaling(SCALE_WORKERS, SCALE_STORM_S, SCALE_CLIENTS)
+    executor_row = measure_executor_scaling(
+        SCALE_MC_STAGES, SCALE_MC_SAMPLES, workers=min(4, max(2, cpu_count))
+    )
+    print(
+        "mc n=%d S=%d: single %6.1f  thread %6.1f  process %6.1f "
+        "samples/s (process %0.2fx thread)  identical=%s"
+        % (
+            executor_row["stages"],
+            executor_row["samples"],
+            executor_row["single_samples_per_sec"],
+            executor_row["thread_samples_per_sec"],
+            executor_row["process_samples_per_sec"],
+            executor_row["process_vs_thread_speedup"],
+            executor_row["identical"],
+        )
+    )
+
+    failures = []
+    gates = {}
+    if not executor_row["identical"]:
+        failures.append(
+            "process-pool MC samples are not bit-identical to the "
+            "single-process kernel"
+        )
+    gates["bit_identical"] = "enforced"
+
+    # The scale-out gates presume parallel hardware; on smaller hosts
+    # they are recorded as skipped rather than faked.
+    four = next((r for r in rows if r["workers"] == 4), None)
+    if cpu_count >= 4 and four is not None:
+        gates["worker_scaling_4x"] = "enforced"
+        if four["speedup_vs_1_worker"] < SCALE_MIN_SPEEDUP_AT_4:
+            failures.append(
+                "4-worker speedup %.2fx is below the %.1fx floor"
+                % (four["speedup_vs_1_worker"], SCALE_MIN_SPEEDUP_AT_4)
+            )
+    else:
+        gates["worker_scaling_4x"] = "skipped (cpu_count=%d < 4)" % cpu_count
+        print(
+            "NOTE: %.1fx@4-workers gate skipped — host has %d CPU core(s)"
+            % (SCALE_MIN_SPEEDUP_AT_4, cpu_count)
+        )
+    if cpu_count >= 2:
+        gates["process_beats_thread"] = "enforced"
+        if executor_row["process_vs_thread_speedup"] <= 1.0:
+            failures.append(
+                "process executor (%.1f samples/s) does not beat the "
+                "threaded executor (%.1f samples/s)"
+                % (
+                    executor_row["process_samples_per_sec"],
+                    executor_row["thread_samples_per_sec"],
+                )
+            )
+    else:
+        gates["process_beats_thread"] = (
+            "skipped (cpu_count=%d < 2)" % cpu_count
+        )
+        print(
+            "NOTE: process-beats-thread gate skipped — host has %d CPU "
+            "core(s)" % cpu_count
+        )
+
+    document = {
+        "benchmark": "horizontal scale-out: pre-fork SO_REUSEPORT worker "
+        "pool and process-pool Monte-Carlo executor",
+        "workload": "warm-cache /analyze storm (ring stages=60, %d "
+        "keep-alive clients, %.1fs) at 1/2/4 workers; n=%d GIL-bound MC "
+        "sweep, thread vs process executor"
+        % (SCALE_CLIENTS, SCALE_STORM_S, SCALE_MC_STAGES),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": cpu_count,
+        "hardware_note": None if cpu_count >= 4 else (
+            "host exposes %d CPU core(s); worker and process-pool "
+            "parallelism cannot speed up CPU-bound work here, so the "
+            "numbers below measure correctness and overhead, not "
+            "scale-out" % cpu_count
+        ),
+        "worker_scaling": {
+            "storm_seconds": SCALE_STORM_S,
+            "clients": SCALE_CLIENTS,
+            "rows": rows,
+        },
+        "executor": executor_row,
+        "gates": gates,
+        "headline": {
+            "speedup_at_4_workers": (
+                four["speedup_vs_1_worker"] if four else None
+            ),
+            "process_vs_thread_speedup":
+                executor_row["process_vs_thread_speedup"],
+            "bit_identical": executor_row["identical"],
+        },
+    }
+    with open(output, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print("wrote %s" % os.path.abspath(output))
+    for failure in failures:
+        print("WARNING: %s" % failure)
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     root = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--suite", choices=("kernels", "montecarlo", "service", "obs"),
+        "--suite",
+        choices=("kernels", "montecarlo", "service", "obs", "scaling_out"),
         default="kernels",
         help="what to measure (default: the single-analysis kernels)",
     )
@@ -606,6 +847,9 @@ def main(argv=None) -> int:
         help="comma-separated batch widths S (montecarlo suite only)",
     )
     args = parser.parse_args(argv)
+    if args.suite == "scaling_out":
+        output = args.output or os.path.join(root, "BENCH_scaling_out.json")
+        return run_scaling_out_suite(output)
     if args.suite == "obs":
         sizes = [
             int(part)

@@ -1,0 +1,278 @@
+#!/usr/bin/env python
+"""Sustained load harness for the multi-worker analysis daemon.
+
+Boots ``repro serve --workers N [--router]`` as a subprocess, drives a
+mixed ``/analyze`` + ``/montecarlo`` storm from a pool of keep-alive
+clients for ``--duration`` seconds, and enforces the serving SLOs:
+
+* **every request answered**: each request must end in a structured
+  success after client-side retries — zero abandoned requests;
+* **zero tracebacks** in the server's combined output;
+* the final (router-merged, in ``--router`` mode) ``/metrics`` scrape
+  parses cleanly and its ``repro_requests_total`` count covers every
+  request the storm sent;
+* clean SIGTERM shutdown: all workers drain and the parent exits 0.
+
+Prints p50/p99 latency and throughput per endpoint; exits non-zero on
+any SLO breach, so CI can run it directly::
+
+    PYTHONPATH=src python scripts/load_smoke.py --workers 2 --duration 4
+    PYTHONPATH=src python scripts/load_smoke.py --workers 2 --router
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+import numpy as np  # noqa: E402
+
+from repro.generators import ring_with_chords  # noqa: E402
+from repro.obs import textformat  # noqa: E402
+from repro.service.client import ServiceClient, ServiceError  # noqa: E402
+
+BANNER = re.compile(r"http://[\d.]+:(\d+)")
+
+
+def boot(workers: int, router: bool):
+    """Start the daemon subprocess; returns (process, url)."""
+    src = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", "src"
+    )
+    env = dict(
+        os.environ,
+        PYTHONPATH=os.path.abspath(src),
+        PYTHONUNBUFFERED="1",
+    )
+    argv = [
+        sys.executable, "-m", "repro", "serve",
+        "--workers", str(workers), "--port", "0", "--quiet",
+        "--drain-timeout", "5",
+    ]
+    if router:
+        argv.append("--router")
+    process = subprocess.Popen(
+        argv, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        env=env, text=True,
+    )
+    banner = process.stdout.readline()
+    match = BANNER.search(banner)
+    if not match:
+        process.kill()
+        raise SystemExit("no listening banner from server: %r" % banner)
+    return process, "http://127.0.0.1:%s" % match.group(1)
+
+
+def build_workload():
+    """A mixed request schedule over a handful of distinct topologies."""
+    graphs = [
+        ring_with_chords(stages=n, tokens=4, chords=n // 4, seed=7)
+        for n in (40, 60, 80)
+    ]
+    schedule = []
+    for index, graph in enumerate(graphs):
+        schedule.append(("analyze", graph, {}))
+        schedule.append(
+            ("montecarlo", graph, {"samples": 100, "seed": index})
+        )
+    return graphs, schedule
+
+
+def storm(url: str, schedule, duration: float, concurrency: int):
+    """Drive the schedule from ``concurrency`` keep-alive clients."""
+    deadline = time.monotonic() + duration
+    lock = threading.Lock()
+    latencies = {"analyze": [], "montecarlo": []}
+    failures = []
+    sent = [0]
+
+    def worker(offset: int):
+        client = ServiceClient(url, timeout=30, retries=4)
+        position = offset
+        while time.monotonic() < deadline:
+            kind, graph, params = schedule[position % len(schedule)]
+            position += 1
+            started = time.perf_counter()
+            try:
+                if kind == "analyze":
+                    client.analyze(graph)
+                else:
+                    client.montecarlo(graph, **params)
+            except ServiceError as error:
+                with lock:
+                    failures.append("%s: %s" % (kind, error))
+                continue
+            elapsed = time.perf_counter() - started
+            with lock:
+                latencies[kind].append(elapsed)
+                sent[0] += 1
+        client.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(index,), daemon=True)
+        for index in range(concurrency)
+    ]
+    started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.monotonic() - started
+    return latencies, failures, sent[0], elapsed
+
+
+def percentile(values, q):
+    return float(np.percentile(np.asarray(values), q)) if values else 0.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--router", action="store_true")
+    parser.add_argument("--duration", type=float, default=4.0,
+                        help="storm length in seconds")
+    parser.add_argument("--concurrency", type=int, default=8,
+                        help="concurrent keep-alive clients")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the summary document as JSON")
+    args = parser.parse_args(argv)
+
+    process, url = boot(args.workers, args.router)
+    reader_lines = []
+    reader = threading.Thread(
+        target=lambda: reader_lines.extend(process.stdout),
+        daemon=True,
+    )
+    reader.start()
+    breaches = []
+    try:
+        probe = ServiceClient(url, timeout=30)
+        if not probe.wait_until_ready(timeout=20.0):
+            raise SystemExit("daemon never became ready at %s" % url)
+        graphs, schedule = build_workload()
+        for kind, graph, params in schedule:  # warm every shard once
+            if kind == "analyze":
+                probe.analyze(graph)
+            else:
+                probe.montecarlo(graph, **params)
+
+        latencies, failures, total, elapsed = storm(
+            url, schedule, args.duration, args.concurrency
+        )
+
+        summary = {
+            "url": url,
+            "workers": args.workers,
+            "router": args.router,
+            "concurrency": args.concurrency,
+            "duration_s": elapsed,
+            "requests": total,
+            "requests_per_sec": total / elapsed if elapsed else 0.0,
+            "failures": len(failures),
+            "endpoints": {},
+        }
+        for kind, values in latencies.items():
+            summary["endpoints"][kind] = {
+                "count": len(values),
+                "p50_ms": 1e3 * percentile(values, 50),
+                "p99_ms": 1e3 * percentile(values, 99),
+            }
+            print(
+                "%-11s %6d reqs  p50 %7.2f ms  p99 %7.2f ms"
+                % (
+                    kind,
+                    len(values),
+                    summary["endpoints"][kind]["p50_ms"],
+                    summary["endpoints"][kind]["p99_ms"],
+                )
+            )
+        print(
+            "total       %6d reqs in %.2fs  (%.0f req/s, %d clients)"
+            % (total, elapsed, summary["requests_per_sec"],
+               args.concurrency)
+        )
+
+        # SLO: every request answered (after client retries)
+        if failures:
+            breaches.append(
+                "%d request(s) failed after retries; first: %s"
+                % (len(failures), failures[0])
+            )
+        if total == 0:
+            breaches.append("storm sent zero successful requests")
+
+        # SLO: the scrape parses; only the router merges every worker's
+        # registry, so full storm coverage is checkable in router mode
+        # alone (a SO_REUSEPORT scrape lands on one kernel-picked worker).
+        import urllib.request
+
+        scrape = urllib.request.urlopen(url + "/metrics", timeout=30).read()
+        families = textformat.parse(scrape.decode("utf-8"))
+        counted = sum(
+            value
+            for _, labels, value in families["repro_requests_total"].samples
+            if labels.get("endpoint") in ("/analyze", "/montecarlo")
+            and labels.get("status") == "200"
+        )
+        warmups = len(schedule)
+        if counted <= 0:
+            breaches.append("metrics scrape shows no successful requests")
+        if args.router and counted < total + warmups:
+            breaches.append(
+                "metrics undercount: scrape shows %d 200s, storm sent %d"
+                % (counted, total + warmups)
+            )
+        if args.workers > 1 and args.router:
+            workers_seen = {
+                labels.get("worker")
+                for _, labels, _ in families["repro_requests_total"].samples
+            }
+            if len(workers_seen - {None}) < 2:
+                breaches.append(
+                    "router scrape shows only workers %r" % workers_seen
+                )
+        summary["metrics_requests_200"] = counted
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(summary, handle, indent=2)
+                handle.write("\n")
+            print("wrote %s" % os.path.abspath(args.json))
+    finally:
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            breaches.append("daemon did not exit within 30s of SIGTERM")
+        reader.join(timeout=5)
+
+    output = "".join(reader_lines)
+    if process.returncode != 0:
+        breaches.append("daemon exited %r" % process.returncode)
+    if "Traceback" in output:
+        breaches.append("server output contains a traceback")
+    if "shut down cleanly" not in output:
+        breaches.append("no clean-shutdown banner in server output")
+    if breaches:
+        print("LOAD SMOKE FAILED:")
+        for breach in breaches:
+            print("  - " + breach)
+        sys.stdout.write(output)
+        return 1
+    print("load smoke OK: all SLOs held")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

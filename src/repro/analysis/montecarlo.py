@@ -213,6 +213,7 @@ def monte_carlo_cycle_time(
     track_criticality: bool = True,
     batch_size: Optional[int] = None,
     workers: Optional[int] = None,
+    executor: Optional[str] = None,
     method: str = "batch",
     cache: bool = True,
 ) -> MonteCarloResult:
@@ -227,7 +228,9 @@ def monte_carlo_cycle_time(
 
     ``method="batch"`` (default) sweeps all samples through the
     vectorized batch kernel, with ``batch_size`` bounding per-chunk
-    memory and ``workers`` overlapping chunks on a thread pool;
+    memory and ``workers`` overlapping chunks on a thread pool — or,
+    with ``executor="process"``, fanning them over the shared kernel
+    process pool so GIL-bound sweeps scale with cores;
     ``method="persample"`` keeps the original rebind-per-trial loop
     (the executable reference — bit-identical λ samples).
     ``cache=True`` (default) resolves the compiled topology through the
@@ -271,6 +274,7 @@ def monte_carlo_cycle_time(
             BatchBindings(base, matrix),
             batch_size=batch_size,
             workers=workers,
+            executor=executor,
         )
         values = sweep.cycle_times()
         if track_criticality:

@@ -239,6 +239,7 @@ def _cmd_montecarlo(args) -> int:
         track_criticality=not args.no_criticality,
         batch_size=args.batch_size,
         workers=args.workers,
+        executor=args.executor,
         method=args.kernel,
     )
     print(
@@ -328,27 +329,43 @@ def _cmd_serve(args) -> int:
         except ValueError as error:
             print("error: bad --chaos spec: %s" % error, file=sys.stderr)
             return 2
-    configure(
+    cache_config = dict(
         compile_entries=args.compile_entries,
         result_entries=args.result_entries,
         disk=args.disk_cache,
         disk_dir=args.cache_dir,
     )
-    return serve(
-        ServiceConfig(
-            host=args.host,
-            port=args.port,
-            request_timeout=args.request_timeout,
-            linger_ms=args.linger_ms,
-            max_inflight=args.max_inflight,
-            max_queue_depth=args.max_queue_depth,
-            drain_timeout=args.drain_timeout,
-            chaos=args.chaos,
-            quiet=args.quiet,
-            metrics=not args.no_metrics,
-            trace_export=args.trace_export,
-        )
+    configure(**cache_config)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        request_timeout=args.request_timeout,
+        linger_ms=args.linger_ms,
+        max_inflight=args.max_inflight,
+        max_queue_depth=args.max_queue_depth,
+        drain_timeout=args.drain_timeout,
+        chaos=args.chaos,
+        quiet=args.quiet,
+        metrics=not args.no_metrics,
+        trace_export=args.trace_export,
+        kernel_executor=args.kernel_executor,
+        kernel_workers=args.kernel_workers,
     )
+    if args.workers and args.workers > 1:
+        from .service.pool import serve_pool
+
+        # Workers reconfigure their own caches after the fork; the
+        # knobs travel in cache_config so spawn platforms work too.
+        return serve_pool(
+            config,
+            workers=args.workers,
+            router=args.router,
+            cache_config=cache_config,
+        )
+    if args.router:
+        print("error: --router requires --workers > 1", file=sys.stderr)
+        return 2
+    return serve(config)
 
 
 def _cmd_demo(args) -> int:
@@ -480,7 +497,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     montecarlo.add_argument(
         "--workers", type=int, default=None, metavar="N",
-        help="sweep chunks on a thread pool of N workers",
+        help="sweep chunks on a pool of N workers",
+    )
+    montecarlo.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="chunk executor for --workers: thread pool (default) or "
+        "the kernel process pool (GIL-bound sweeps scale with cores)",
     )
     montecarlo.add_argument(
         "--kernel", choices=("batch", "persample"), default="batch",
@@ -525,6 +547,28 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8177,
                        help="TCP port (0 picks an ephemeral port)")
+    serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="pre-fork N worker processes sharing the listening port "
+        "(SO_REUSEPORT where available, fd inheritance otherwise)",
+    )
+    serve.add_argument(
+        "--router", action="store_true",
+        help="with --workers: run a front-door router that shards "
+        "requests by topology hash so same-topology traffic hits the "
+        "worker whose caches are already warm",
+    )
+    serve.add_argument(
+        "--kernel-executor", choices=("thread", "process"),
+        default="thread", metavar="E",
+        help="batch-sweep chunk executor inside each worker: thread "
+        "(default) or process (Monte-Carlo chunks escape the GIL)",
+    )
+    serve.add_argument(
+        "--kernel-workers", type=int, default=0, metavar="N",
+        help="fan each batched sweep over N kernel executors "
+        "(0 disables chunk fan-out)",
+    )
     serve.add_argument(
         "--request-timeout", type=float, default=30.0, metavar="S",
         help="per-request socket timeout and default server-side "

@@ -81,7 +81,12 @@ order only).
 
 from __future__ import annotations
 
+import itertools
+import os
+import pickle
+import threading
 import time
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
@@ -294,11 +299,15 @@ class CompiledGraph:
         # Generated straight-line kernels are exec-compiled functions
         # and cannot be pickled; the batch structure holds NumPy index
         # arrays cheap to rebuild.  Both regenerate lazily after a
-        # round-trip (e.g. through the service disk cache).
+        # round-trip (e.g. through the service disk cache).  The
+        # process-pool shipping token/blob are parent-local and must
+        # never nest inside another pickle of this object.
         state = dict(self.__dict__)
         state["_float_fns"] = None
         state["_float_runs"] = 0
         state["_batch_structure"] = None
+        state.pop("_pool_token", None)
+        state.pop("_pool_blob", None)
         return state
 
     # ------------------------------------------------------------------
@@ -624,6 +633,111 @@ def run_border_simulations(
     else:
         simulations = [simulate(event) for event in border]
     return dict(zip(border, simulations))
+
+
+# ----------------------------------------------------------------------
+# process-pool chunk executor
+# ----------------------------------------------------------------------
+#: Executor names accepted by the batch entry points.  ``thread`` fans
+#: chunks over a thread pool (NumPy releases the GIL inside its large
+#: vector ops, but the Python-level period loop still serialises);
+#: ``process`` ships chunks to a pool of worker *processes*, so
+#: GIL-bound sweeps — many small vector ops per period on big graphs —
+#: scale with cores.
+EXECUTORS = ("thread", "process")
+
+_pool_lock = threading.Lock()
+_pool = None
+_pool_workers = 0
+_pool_tokens = itertools.count(1)
+
+#: Per-process memo of shipped compiled graphs, keyed by the parent's
+#: shipping token (unique per CompiledGraph object, never reused).
+_CHILD_COMPILED: "OrderedDict[Tuple[int, int], CompiledGraph]" = OrderedDict()
+_CHILD_COMPILED_LIMIT = 8
+
+
+def process_pool(workers: Optional[int] = None):
+    """The shared chunk-executor process pool (created on first use).
+
+    Grows (never shrinks) to ``workers``; the pool is process-wide so
+    repeated sweeps reuse warm workers instead of paying a fork per
+    call.  Prefers the ``fork`` start method — children inherit the
+    imported library instead of re-importing it — falling back to the
+    platform default elsewhere.
+    """
+    global _pool, _pool_workers
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    want = workers or max(1, (os.cpu_count() or 2) - 0)
+    with _pool_lock:
+        if _pool is not None and _pool_workers >= want:
+            return _pool
+        previous = _pool
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        _pool = ProcessPoolExecutor(max_workers=want, mp_context=context)
+        _pool_workers = want
+    if previous is not None:
+        previous.shutdown(wait=False)
+    return _pool
+
+
+def shutdown_process_pool() -> None:
+    """Tear the shared chunk-executor pool down (tests, atexit)."""
+    global _pool, _pool_workers
+    with _pool_lock:
+        pool, _pool, _pool_workers = _pool, None, 0
+    if pool is not None:
+        pool.shutdown(wait=True)
+
+
+def _pool_payload(cg: CompiledGraph) -> Tuple[Tuple[int, int], bytes]:
+    """A stable shipping token and pickled blob for one compiled graph.
+
+    The token is ``(parent pid, counter)`` so a forked pool worker that
+    outlives several parents can never confuse two graphs; the blob is
+    pickled once per CompiledGraph object and cached on it
+    (:meth:`CompiledGraph.__getstate__` strips both attributes, so the
+    blob never nests inside itself through the disk cache).
+    """
+    token = getattr(cg, "_pool_token", None)
+    if token is None:
+        token = (os.getpid(), next(_pool_tokens))
+        cg._pool_blob = pickle.dumps(cg, protocol=pickle.HIGHEST_PROTOCOL)
+        cg._pool_token = token
+    return token, cg._pool_blob
+
+
+def _pool_run_chunk(
+    token: Tuple[int, int],
+    blob: Optional[bytes],
+    matrix: np.ndarray,
+    origin_ids: Sequence[int],
+    periods: int,
+) -> List[np.ndarray]:
+    """Run one chunk's border simulations inside a pool worker.
+
+    Executed in the child process.  The compiled graph is unpickled at
+    most once per (worker, token) and memoised, so a sweep split into
+    many chunks pays the rebuild cost once per worker, not per chunk.
+    """
+    cg = _CHILD_COMPILED.get(token)
+    if cg is None:
+        cg = pickle.loads(blob)
+        _CHILD_COMPILED[token] = cg
+        while len(_CHILD_COMPILED) > _CHILD_COMPILED_LIMIT:
+            _CHILD_COMPILED.popitem(last=False)
+    else:
+        _CHILD_COMPILED.move_to_end(token)
+    bindings = BatchBindings(cg, matrix)
+    return [
+        run_initiated_batch(bindings, origin_id, periods)
+        for origin_id in origin_ids
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -1029,18 +1143,31 @@ def run_border_simulations_batch(
     border: Optional[Sequence[Event]] = None,
     batch_size: Optional[int] = None,
     workers: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> BatchSweepResult:
     """Sweep all S delay bindings through every border simulation.
 
     ``delays`` is a :class:`BatchBindings` or an ``(S, m)`` matrix in
     graph arc order.  ``batch_size`` bounds memory by splitting the S
     bindings into chunks (each chunk allocates ``(chunk, 2n)`` buffers
-    and delay blocks); ``workers`` fans the chunks out over a thread
-    pool — NumPy releases the GIL inside the large vector ops, so
-    chunked sweeps overlap.  Always float64; int/Fraction callers that
-    need exact results use the per-sample exact path instead.
+    and delay blocks); ``workers`` fans the chunks out, either over a
+    thread pool (``executor="thread"``, the default — NumPy releases
+    the GIL inside the large vector ops, so chunked sweeps overlap) or
+    over the shared :func:`process_pool` (``executor="process"`` —
+    chunks escape the GIL entirely; the compiled graph ships once per
+    pool worker via pickle and results concatenate bit-identically to
+    the single-process sweep).  Always float64; int/Fraction callers
+    that need exact results use the per-sample exact path instead.
     """
     from .errors import AcyclicGraphError
+
+    if executor is None:
+        executor = "thread"
+    if executor not in EXECUTORS:
+        raise SignalGraphError(
+            "unknown executor %r (expected one of %s)"
+            % (executor, ", ".join(EXECUTORS))
+        )
 
     cg = compiled_graph(graph)
     if isinstance(delays, BatchBindings):
@@ -1063,6 +1190,10 @@ def run_border_simulations_batch(
     for origin_id in origin_ids:
         structure.p0_suffix(origin_id)  # compile before any fan-out
     samples = bindings.samples
+    if batch_size is None and executor == "process" and workers and workers > 1:
+        # default to one chunk per pool worker so the sweep actually
+        # fans out instead of landing on a single child
+        batch_size = max(1, -(-samples // workers))
     if batch_size is None or batch_size >= samples:
         chunks = [bindings]
     else:
@@ -1079,7 +1210,22 @@ def run_border_simulations_batch(
             for origin_id in origin_ids
         ]
 
-    if workers is not None and workers > 1 and len(chunks) > 1:
+    if executor == "process" and workers is not None and workers > 1:
+        token, blob = _pool_payload(bindings.base)
+        pool = process_pool(workers)
+        futures = [
+            pool.submit(
+                _pool_run_chunk,
+                token,
+                blob,
+                np.ascontiguousarray(chunk.matrix),
+                origin_ids,
+                periods,
+            )
+            for chunk in chunks
+        ]
+        parts = [future.result() for future in futures]
+    elif workers is not None and workers > 1 and len(chunks) > 1:
         from concurrent.futures import ThreadPoolExecutor
 
         with ThreadPoolExecutor(max_workers=workers) as pool:

@@ -360,6 +360,44 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._instruments: "Dict[str, _Instrument]" = {}
         self._callbacks: List[Callable[[], Iterable[Family]]] = []
+        self._constant_labels: Dict[str, str] = {}
+
+    def set_constant_labels(self, **labels: object) -> None:
+        """Labels stamped onto *every* rendered sample.
+
+        The sharded-serving layer uses this to give each pre-fork
+        worker process a ``worker`` label, so scrapes merged across a
+        pool stay distinguishable (and never collide) per worker.
+        Per-sample labels win on a name clash.  Pass a value of
+        ``None`` to drop a previously set label.
+        """
+        with self._lock:
+            for name, value in labels.items():
+                if value is None:
+                    self._constant_labels.pop(name, None)
+                    continue
+                _check_labels((name,))
+                self._constant_labels[name] = str(value)
+
+    def constant_labels(self) -> Dict[str, str]:
+        with self._lock:
+            return dict(self._constant_labels)
+
+    @staticmethod
+    def _stamp(line: str, rendered: str, names: Tuple[str, ...]) -> str:
+        """Inject the constant labels into one rendered sample line.
+
+        Lines come from our own renderers, so the grammar is fixed:
+        ``name value`` or ``name{labels} value``.  A sample already
+        carrying one of the constant names keeps its own value.
+        """
+        brace = line.find("{")
+        if brace < 0:
+            space = line.index(" ")
+            return line[:space] + "{" + rendered + "}" + line[space:]
+        if any(name + '="' in line[brace:] for name in names):
+            return line
+        return line[: brace + 1] + rendered + "," + line[brace + 1:]
 
     def _get_or_create(self, cls, name, help, label_names, **kwargs):
         with self._lock:
@@ -417,6 +455,7 @@ class MetricsRegistry:
         with self._lock:
             instruments = list(self._instruments.values())
             callbacks = list(self._callbacks)
+            constants = dict(self._constant_labels)
         lines: List[str] = []
         seen = {instrument.name for instrument in instruments}
         for instrument in instruments:
@@ -427,6 +466,14 @@ class MetricsRegistry:
                     continue  # native instruments own their name
                 seen.add(family.name)
                 lines.extend(family.render())
+        if constants:
+            rendered = _render_labels(constants)[1:-1]  # strip the braces
+            names = tuple(constants)
+            lines = [
+                line if line.startswith("#") else
+                self._stamp(line, rendered, names)
+                for line in lines
+            ]
         return "\n".join(lines) + "\n"
 
     def clear(self) -> None:

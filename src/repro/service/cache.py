@@ -58,6 +58,25 @@ from .hashing import HASH_VERSION, delay_hash, topology_hash
 #: "2": entries are sha256-checksummed (digest prefix before the pickle).
 CACHE_FORMAT = "2"
 
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal-0 probe).
+
+    ``EPERM`` means the process exists but belongs to someone else —
+    still alive for GC purposes.
+    """
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return True
+    return True
+
 #: Consecutive disk-tier failures before a TwoTierCache trips to
 #: memory-only degraded mode.
 DISK_TRIP_THRESHOLD = 5
@@ -214,18 +233,35 @@ class DiskCache:
         self._gc_temp_files()
 
     def _gc_temp_files(self) -> None:
-        """Drop temp files a crashed concurrent writer left behind."""
+        """Drop temp files a crashed concurrent writer left behind.
+
+        Temp names embed the writer's pid (``w<pid>-*.tmp``), so a
+        multi-worker deployment starting a new worker never collects a
+        *live* sibling's in-flight write.  Unparsable temp names (from
+        pre-pid-tag versions) and dead writers' files are deleted;
+        under pid reuse we err on the side of keeping a file — a
+        leaked temp costs bytes, a collected in-flight write costs a
+        torn ``os.replace`` source.
+        """
         try:
             names = os.listdir(self.directory)
         except OSError:
             return
         for name in names:
-            if name.endswith(".tmp"):
-                try:
-                    os.unlink(os.path.join(self.directory, name))
-                    self.stats.increment("temp_gc")
-                except OSError:
-                    pass
+            if not name.endswith(".tmp"):
+                continue
+            pid = None
+            if name.startswith("w"):
+                head = name[1:].split("-", 1)[0]
+                if head.isdigit():
+                    pid = int(head)
+            if pid is not None and _pid_alive(pid):
+                continue
+            try:
+                os.unlink(os.path.join(self.directory, name))
+                self.stats.increment("temp_gc")
+            except OSError:
+                pass
 
     def _path(self, key: str) -> str:
         # Keys are hex digests already, but guard arbitrary strings.
@@ -300,7 +336,11 @@ class DiskCache:
         blob = hashlib.sha256(payload).digest() + payload
         try:
             os.makedirs(self.directory, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            fd, tmp = tempfile.mkstemp(
+                dir=self.directory,
+                prefix="w%d-" % os.getpid(),
+                suffix=".tmp",
+            )
             try:
                 with os.fdopen(fd, "wb") as handle:
                     handle.write(blob)

@@ -1,10 +1,21 @@
 """Typed, resilient Python client for the repro analysis daemon.
 
-Stdlib only (``urllib``); speaks the JSON wire format of
+Stdlib only (``http.client``); speaks the JSON wire format of
 :mod:`repro.service.server`.  Graphs are serialised with
 :func:`repro.io.json_io.graph_to_dict`; exact cycle times come back as
 tagged numbers and are decoded to :class:`fractions.Fraction`
 transparently.
+
+Transport is a :class:`PooledTransport`: a small bounded pool of
+persistent HTTP/1.1 keep-alive connections, so a client issuing many
+requests (or many threads sharing one client) pays the TCP handshake
+once per pooled socket, not once per request.  A reused socket the
+server closed in the meantime (idle timeout, worker restart) surfaces
+as a *stale read* — the transport transparently reconnects and replays
+the attempt exactly once, and only when the connection had already
+served a request (a fresh connection failing is a real transport
+error).  Pool behaviour is observable via
+:meth:`ServiceClient.transport_stats`.
 
 >>> client = ServiceClient("http://127.0.0.1:8177")
 >>> client.healthz()
@@ -48,15 +59,16 @@ import http.client
 import json
 import os
 import socket
+import threading
 import time
-import urllib.error
-import urllib.request
-from typing import Any, Dict, Optional, Tuple
+import urllib.parse
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.signal_graph import TimedSignalGraph
 from ..io.json_io import decode_number, graph_to_dict
 from ..obs import STATE as _obs
 from ..obs.tracing import tracer as _tracer
+from .hashing import topology_hash
 from .resilience import CircuitBreaker, RetryPolicy
 
 
@@ -95,6 +107,163 @@ class DeadlineExceededError(ServiceError):
 #: statuses the client may safely retry for idempotent requests
 RETRYABLE_STATUSES = (429, 503)
 
+#: exceptions that mean "the reused socket went stale under us" — the
+#: server (or a proxy) closed a keep-alive connection between requests.
+STALE_SOCKET_ERRORS = (
+    http.client.RemoteDisconnected,
+    http.client.BadStatusLine,
+    ConnectionResetError,
+    ConnectionAbortedError,
+    BrokenPipeError,
+)
+
+
+class PooledTransport:
+    """A bounded pool of persistent keep-alive HTTP connections.
+
+    Connections are *checked out* for the duration of one request, so
+    any number of threads may share one transport: up to
+    ``pool_connections`` sockets are kept open between requests,
+    excess concurrent requests open short-lived extra sockets that are
+    closed (``discarded``) instead of pooled on return.
+
+    Counters (all monotonic): ``opened`` sockets created, ``reused``
+    requests served over an already-used socket, ``stale_reconnects``
+    transparent reopen-and-replay events, ``discarded`` sockets
+    dropped (pool full, server said ``Connection: close``, or error).
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 pool_connections: int = 2):
+        parts = urllib.parse.urlsplit(base_url)
+        if parts.scheme not in ("http", "https"):
+            raise ValueError("unsupported URL scheme %r" % parts.scheme)
+        self.scheme = parts.scheme
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or (443 if parts.scheme == "https" else 80)
+        self.timeout = timeout
+        self.pool_connections = max(1, pool_connections)
+        self._idle: List[http.client.HTTPConnection] = []
+        self._lock = threading.Lock()
+        self._closed = False
+        self.stats = {
+            "opened": 0,
+            "reused": 0,
+            "stale_reconnects": 0,
+            "discarded": 0,
+        }
+
+    def _connect(self) -> http.client.HTTPConnection:
+        factory = (
+            http.client.HTTPSConnection
+            if self.scheme == "https"
+            else http.client.HTTPConnection
+        )
+        connection = factory(self.host, self.port, timeout=self.timeout)
+        # flag for "has served at least one request" — stale-socket
+        # replay is only legitimate on such connections
+        connection._repro_used = False
+        with self._lock:
+            self.stats["opened"] += 1
+        return connection
+
+    def _checkout(self) -> Tuple[http.client.HTTPConnection, bool]:
+        with self._lock:
+            if self._idle:
+                connection = self._idle.pop()
+                self.stats["reused"] += 1
+                return connection, True
+        return self._connect(), False
+
+    def _checkin(self, connection: http.client.HTTPConnection) -> None:
+        with self._lock:
+            if not self._closed and len(self._idle) < self.pool_connections:
+                self._idle.append(connection)
+                return
+            self.stats["discarded"] += 1
+        connection.close()
+
+    def _discard(self, connection: http.client.HTTPConnection) -> None:
+        with self._lock:
+            self.stats["discarded"] += 1
+        connection.close()
+
+    def _roundtrip(
+        self,
+        connection: http.client.HTTPConnection,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        headers: Dict[str, str],
+    ) -> Tuple[int, bytes, Optional[str], bool]:
+        """One request/response over ``connection``.
+
+        Returns ``(status, body, retry_after, keep)`` where ``keep``
+        says the connection may be pooled for reuse.
+        """
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        raw = response.read()
+        retry_after = response.headers.get("Retry-After")
+        keep = not response.will_close
+        connection._repro_used = True
+        return response.status, raw, retry_after, keep
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        headers: Dict[str, str],
+    ) -> Tuple[int, bytes, Optional[str]]:
+        """One wire attempt; returns (status, raw body, Retry-After).
+
+        A stale pooled socket is transparently replaced and the
+        attempt replayed once — this never re-executes server work the
+        caller saw an answer for (staleness surfaces *before* any
+        response arrives), so it is safe even for non-idempotent
+        requests.
+        """
+        connection, pooled = self._checkout()
+        try:
+            status, raw, retry_after, keep = self._roundtrip(
+                connection, method, path, body, headers
+            )
+        except STALE_SOCKET_ERRORS:
+            used = getattr(connection, "_repro_used", False)
+            self._discard(connection)
+            if not (pooled or used):
+                raise
+            with self._lock:
+                self.stats["stale_reconnects"] += 1
+            connection = self._connect()
+            try:
+                status, raw, retry_after, keep = self._roundtrip(
+                    connection, method, path, body, headers
+                )
+            except BaseException:
+                self._discard(connection)
+                raise
+        except BaseException:
+            self._discard(connection)
+            raise
+        if keep:
+            self._checkin(connection)
+        else:
+            self._discard(connection)
+        return status, raw, retry_after
+
+    def idle_connections(self) -> int:
+        with self._lock:
+            return len(self._idle)
+
+    def close(self) -> None:
+        with self._lock:
+            idle, self._idle = self._idle, []
+            self._closed = True
+        for connection in idle:
+            connection.close()
+
 
 def _typed_error(kind: str, message: str, status: int) -> ServiceError:
     if status == 429:
@@ -127,6 +296,10 @@ class ServiceClient:
         When set, sent as ``X-Request-Timeout-Ms`` on every request so
         the server bounds its own work (504 instead of a client-side
         socket timeout).
+    pool_connections:
+        How many keep-alive sockets the transport keeps warm between
+        requests (also the useful concurrency of one shared client —
+        more simultaneous callers still work, over unpooled sockets).
     """
 
     def __init__(
@@ -137,6 +310,7 @@ class ServiceClient:
         retry_policy: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
         deadline_ms: Optional[float] = None,
+        pool_connections: int = 2,
     ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
@@ -144,6 +318,9 @@ class ServiceClient:
         self.retry_policy.retries = retries
         self.breaker = breaker or CircuitBreaker()
         self.deadline_ms = deadline_ms
+        self.transport = PooledTransport(
+            self.base_url, timeout=timeout, pool_connections=pool_connections
+        )
 
     # ------------------------------------------------------------------
     # transport
@@ -156,14 +333,25 @@ class ServiceClient:
         headers: Dict[str, str],
     ) -> Tuple[int, bytes, Optional[str]]:
         """One wire attempt; returns (status, raw body, Retry-After)."""
-        request = urllib.request.Request(
-            self.base_url + path, data=body, headers=headers, method=method
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
-                return reply.status, reply.read(), reply.headers.get("Retry-After")
-        except urllib.error.HTTPError as error:
-            return error.code, error.read(), error.headers.get("Retry-After")
+        return self.transport.request(method, path, body, headers)
+
+    def transport_stats(self) -> Dict[str, int]:
+        """Keep-alive pool counters (opened/reused/stale_reconnects/
+        discarded) plus the current idle-socket count."""
+        stats = dict(self.transport.stats)
+        stats["idle"] = self.transport.idle_connections()
+        return stats
+
+    def close(self) -> None:
+        """Close all pooled sockets.  The client stays usable — later
+        requests simply open fresh, unpooled connections."""
+        self.transport.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _request(
         self,
@@ -173,9 +361,12 @@ class ServiceClient:
         idempotent: bool = True,
         use_breaker: bool = True,
         retries: Optional[int] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> Dict[str, Any]:
         body = None
         headers = {"Accept": "application/json"}
+        if extra_headers:
+            headers.update(extra_headers)
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -221,7 +412,6 @@ class ServiceClient:
                         method, path, body, headers
                     )
                 except (
-                    urllib.error.URLError,
                     http.client.HTTPException,
                     socket.timeout,
                     ConnectionError,
@@ -351,7 +541,10 @@ class ServiceClient:
             payload["periods"] = periods
         if timeout_ms is not None:
             payload["timeout_ms"] = timeout_ms
-        result = self._request("POST", "/analyze", payload)
+        result = self._request(
+            "POST", "/analyze", payload,
+            extra_headers={"X-Topology-Hash": topology_hash(graph)},
+        )
         result["cycle_time"] = decode_number(result["cycle_time"])
         for cycle in result.get("critical_cycles", []):
             cycle["length"] = decode_number(cycle["length"])
@@ -380,7 +573,10 @@ class ServiceClient:
         }
         if timeout_ms is not None:
             payload["timeout_ms"] = timeout_ms
-        return self._request("POST", "/montecarlo", payload)
+        return self._request(
+            "POST", "/montecarlo", payload,
+            extra_headers={"X-Topology-Hash": topology_hash(graph)},
+        )
 
     # ------------------------------------------------------------------
     @staticmethod

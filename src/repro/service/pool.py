@@ -1,0 +1,782 @@
+"""Multi-process scale-out: pre-fork worker pool + sharding router.
+
+One Python process can't push the batch kernel and the HTTP layer past
+one core — ``ThreadingHTTPServer`` threads all contend for the GIL.
+``repro serve --workers N`` escapes that by running N *single-process*
+workers (each a full :class:`~repro.service.server.ServiceServer` with
+its own caches, coalescer and admission queue) under one supervising
+parent:
+
+* **reuseport** (default where ``SO_REUSEPORT`` exists): every worker
+  binds the same ``host:port`` with ``SO_REUSEPORT`` and the kernel
+  load-balances accepted connections across them.  The parent holds a
+  bound, *never listening* reservation socket so ``--port 0`` resolves
+  to one concrete port before the first worker starts, and the port
+  cannot be lost while a crashed worker is restarting.
+* **inherit** (fallback): the parent binds + listens once and the
+  listening fd is inherited across ``fork``; all workers ``accept()``
+  from the shared socket.
+* **router** (``--router``): each worker binds a private loopback
+  port and the parent runs a :class:`RouterServer` on the public
+  address that proxies each request to a worker chosen by *rendezvous
+  hashing* of the request's topology hash — same topology, same
+  worker, so the compile/result caches stay warm per shard.  When a
+  worker dies, only its shard moves (to each key's next-best worker);
+  every other shard keeps its warm worker.
+
+The supervisor restarts crashed workers with exponential backoff
+(reset after a stable stretch of uptime) and, on SIGTERM/SIGINT,
+forwards SIGTERM to every worker so each drains in-flight requests
+(PR 4's drain machinery) before the parent exits.
+
+Worker processes rebuild process-global state after the fork: a fresh
+metrics registry stamped with ``worker=<id>`` constant labels (so a
+router-merged ``/metrics`` scrape never collides) and freshly
+``configure()``-d caches, making the pool safe under both ``fork`` and
+``spawn`` start methods (``inherit`` mode is fork-only — a listening
+socket does not pickle).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import http.client
+import json
+import signal
+import socket
+import sys
+import threading
+import time
+from dataclasses import replace
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import SignalGraphError
+from .server import ServiceConfig, ServiceServer
+
+#: restart backoff schedule: base * 2^n seconds, capped; the streak
+#: resets after a worker stays up for STABLE_UPTIME seconds.
+BACKOFF_BASE = 0.1
+BACKOFF_CAP = 5.0
+STABLE_UPTIME = 30.0
+
+
+# ----------------------------------------------------------------------
+# shard routing: rendezvous (highest-random-weight) hashing
+# ----------------------------------------------------------------------
+def _shard_score(key: str, worker_id: int) -> bytes:
+    return hashlib.sha256(("%s|%d" % (key, worker_id)).encode("utf-8")).digest()
+
+
+def shard_worker(key: str, worker_ids: Sequence[int]) -> int:
+    """The worker owning ``key`` among ``worker_ids`` (rendezvous hash).
+
+    Deterministic in the *set* of ids (ordering never matters), and
+    minimally disruptive: removing one worker moves only the keys it
+    owned — every other key keeps its worker — which is exactly the
+    cache-affinity property the router needs across worker restarts.
+    """
+    if not worker_ids:
+        raise SignalGraphError("no workers available to shard %r" % key)
+    return max(worker_ids, key=lambda wid: _shard_score(key, wid))
+
+
+def shard_preference(key: str, worker_ids: Sequence[int]) -> List[int]:
+    """All of ``worker_ids`` ordered best-first for ``key`` — the
+    failover order: index 0 is :func:`shard_worker`'s answer, index 1
+    is where the shard moves if that worker is down, and so on."""
+    return sorted(
+        worker_ids, key=lambda wid: _shard_score(key, wid), reverse=True
+    )
+
+
+# ----------------------------------------------------------------------
+# worker process entry
+# ----------------------------------------------------------------------
+def _worker_main(
+    worker_id: int,
+    config: ServiceConfig,
+    cache_config: Optional[Dict[str, Any]],
+    conn,
+    sock: Optional[socket.socket] = None,
+) -> None:
+    """Run one worker's server until SIGTERM; executed in the child."""
+    # The parent's Ctrl-C is delivered to the whole foreground process
+    # group; workers must only react to the supervisor's SIGTERM so
+    # the drain sequencing stays in one place.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+
+    # Rebuild process-global state the fork (or spawn) carried over:
+    # a private metrics registry and private caches per worker.
+    from ..obs.metrics import reset_registry
+
+    reset_registry()
+    if cache_config is not None:
+        from .cache import configure
+
+        configure(**cache_config)
+    config = replace(config, worker_id=worker_id)
+    try:
+        server = ServiceServer(config, sock=sock)
+    except BaseException as error:  # noqa: BLE001 — reported to parent
+        try:
+            conn.send(("failed", "%s: %s" % (type(error).__name__, error)))
+        finally:
+            conn.close()
+        raise SystemExit(1)
+    conn.send(("ready", int(server.server_address[1])))
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.drain()
+        server.close()
+    raise SystemExit(0)
+
+
+class WorkerHandle:
+    """Parent-side record of one worker slot (stable ``worker_id``)."""
+
+    def __init__(self, worker_id: int):
+        self.worker_id = worker_id
+        self.process = None
+        self.conn = None
+        self.port: Optional[int] = None
+        self.ready = False
+        self.started_at = 0.0
+        self.restarts = 0
+        self.failures = 0  # consecutive, drives backoff
+        self.next_start = 0.0
+
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+
+class WorkerPool:
+    """Spawn, supervise and address N analysis workers.
+
+    ``mode`` is one of ``"reuseport"``, ``"inherit"`` or ``"private"``
+    (each worker on its own ephemeral loopback port — the router's
+    mode); :meth:`default_mode` picks for the platform.  The pool is
+    usable programmatically (tests, benchmarks) without the router or
+    any signal handling: ``start()`` blocks until every worker
+    answered ready, ``terminate()`` SIGTERMs and joins them.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        workers: int,
+        mode: Optional[str] = None,
+        cache_config: Optional[Dict[str, Any]] = None,
+        backoff_base: float = BACKOFF_BASE,
+        backoff_cap: float = BACKOFF_CAP,
+        stable_uptime: float = STABLE_UPTIME,
+    ):
+        if workers < 1:
+            raise SignalGraphError("need at least one worker")
+        self.config = config
+        self.workers = workers
+        self.mode = mode or self.default_mode()
+        if self.mode not in ("reuseport", "inherit", "private"):
+            raise SignalGraphError("unknown pool mode %r" % self.mode)
+        self.cache_config = cache_config
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.stable_uptime = stable_uptime
+        self.handles = [WorkerHandle(i) for i in range(workers)]
+        self._ctx = self._pick_context()
+        self._reservation: Optional[socket.socket] = None
+        self._shared_sock: Optional[socket.socket] = None
+        self._port: Optional[int] = None
+        self._lock = threading.Lock()
+        self._stopping = False
+        self._supervisor: Optional[threading.Thread] = None
+
+    # -- platform plumbing ---------------------------------------------
+    @staticmethod
+    def default_mode() -> str:
+        return "reuseport" if hasattr(socket, "SO_REUSEPORT") else "inherit"
+
+    def _pick_context(self):
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+        if "fork" in methods:
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()
+
+    def _reserve_port(self) -> int:
+        """Resolve ``--port 0`` and pin the port for the pool's lifetime."""
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((self.config.host, self.config.port))
+        self._reservation = sock  # bound, never listening
+        return sock.getsockname()[1]
+
+    def _bind_shared(self) -> socket.socket:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self.config.host, self.config.port))
+        sock.listen(128)
+        return sock
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self, timeout: float = 30.0) -> None:
+        """Spawn every worker and wait until all report ready."""
+        if self.mode == "reuseport":
+            self._port = self._reserve_port()
+        elif self.mode == "inherit":
+            if self._ctx.get_start_method() != "fork":
+                raise SignalGraphError(
+                    "inherit mode needs the fork start method "
+                    "(a listening socket does not pickle)"
+                )
+            self._shared_sock = self._bind_shared()
+            self._port = self._shared_sock.getsockname()[1]
+        deadline = time.monotonic() + timeout
+        for handle in self.handles:
+            self._spawn(handle)
+        for handle in self.handles:
+            self._await_ready(handle, deadline)
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="repro-pool-supervisor", daemon=True
+        )
+        self._supervisor.start()
+
+    def _worker_config(self) -> ServiceConfig:
+        if self.mode == "reuseport":
+            return replace(self.config, port=self._port, reuse_port=True)
+        if self.mode == "inherit":
+            return self.config  # socket is adopted, address ignored
+        return replace(self.config, host="127.0.0.1", port=0)
+
+    def _spawn(self, handle: WorkerHandle) -> None:
+        if handle.conn is not None:
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                handle.worker_id,
+                self._worker_config(),
+                self.cache_config,
+                child_conn,
+                self._shared_sock if self.mode == "inherit" else None,
+            ),
+            name="repro-worker-%d" % handle.worker_id,
+            daemon=False,
+        )
+        process.start()
+        child_conn.close()
+        handle.process = process
+        handle.conn = parent_conn
+        handle.ready = False
+        handle.started_at = time.monotonic()
+
+    def _await_ready(self, handle: WorkerHandle, deadline: float) -> None:
+        remaining = deadline - time.monotonic()
+        if remaining > 0 and handle.conn.poll(remaining):
+            try:
+                message = handle.conn.recv()
+            except (EOFError, OSError):
+                message = None
+            if message and message[0] == "ready":
+                handle.port = message[1]
+                handle.ready = True
+                handle.failures = 0
+                return
+            if message and message[0] == "failed":
+                raise SignalGraphError(
+                    "worker %d failed to start: %s"
+                    % (handle.worker_id, message[1])
+                )
+        raise SignalGraphError(
+            "worker %d did not report ready in time" % handle.worker_id
+        )
+
+    def _supervise(self) -> None:
+        """Restart crashed workers with backoff until :meth:`terminate`."""
+        while not self._stopping:
+            time.sleep(0.05)
+            now = time.monotonic()
+            for handle in self.handles:
+                if self._stopping or handle.alive():
+                    continue
+                with self._lock:
+                    if handle.ready:
+                        # It had been up: decide the next backoff from
+                        # how long it survived.
+                        uptime = now - handle.started_at
+                        if uptime >= self.stable_uptime:
+                            handle.failures = 0
+                        handle.failures += 1
+                        handle.ready = False
+                        pause = min(
+                            self.backoff_cap,
+                            self.backoff_base * (2 ** (handle.failures - 1)),
+                        )
+                        handle.next_start = now + pause
+                    if now < handle.next_start:
+                        continue
+                    handle.restarts += 1
+                    self._spawn(handle)
+                try:
+                    self._await_ready(handle, time.monotonic() + 10.0)
+                except SignalGraphError:
+                    handle.failures += 1
+                    handle.next_start = time.monotonic() + min(
+                        self.backoff_cap,
+                        self.backoff_base * (2 ** (handle.failures - 1)),
+                    )
+
+    def terminate(self, timeout: Optional[float] = None) -> bool:
+        """SIGTERM every worker (each drains) and join; True if all
+        exited within ``timeout`` (default drain_timeout + 5s)."""
+        if timeout is None:
+            timeout = self.config.drain_timeout + 5.0
+        self._stopping = True
+        for handle in self.handles:
+            if handle.alive():
+                handle.process.terminate()  # SIGTERM
+        deadline = time.monotonic() + timeout
+        clean = True
+        for handle in self.handles:
+            if handle.process is None:
+                continue
+            handle.process.join(max(0.0, deadline - time.monotonic()))
+            if handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(1.0)
+                clean = False
+        if self._supervisor is not None:
+            self._supervisor.join(1.0)
+        for sock in (self._reservation, self._shared_sock):
+            if sock is not None:
+                sock.close()
+        self._reservation = self._shared_sock = None
+        return clean
+
+    # -- addressing -----------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The shared public port (reuseport/inherit modes)."""
+        if self._port is None:
+            raise SignalGraphError("pool is not started or runs in router mode")
+        return self._port
+
+    @property
+    def url(self) -> str:
+        return "http://%s:%d" % (self.config.host, self.port)
+
+    def worker_ports(self) -> Dict[int, int]:
+        """Private per-worker ports (populated in every mode)."""
+        return {
+            handle.worker_id: handle.port
+            for handle in self.handles
+            if handle.port is not None
+        }
+
+    def live_ids(self) -> List[int]:
+        return [
+            handle.worker_id
+            for handle in self.handles
+            if handle.alive() and handle.ready
+        ]
+
+    def handle_of(self, worker_id: int) -> WorkerHandle:
+        return self.handles[worker_id]
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "workers": self.workers,
+            "live": self.live_ids(),
+            "restarts": {h.worker_id: h.restarts for h in self.handles},
+        }
+
+
+# ----------------------------------------------------------------------
+# the front-door router
+# ----------------------------------------------------------------------
+#: request headers forwarded verbatim to the chosen worker
+_FORWARD_HEADERS = (
+    "Content-Type",
+    "Accept",
+    "X-Idempotency-Key",
+    "X-Request-Timeout-Ms",
+    "X-Topology-Hash",
+    "traceparent",
+)
+#: response headers forwarded verbatim back to the caller
+_RETURN_HEADERS = ("Retry-After", "Content-Type")
+
+
+class _RouterHandler(BaseHTTPRequestHandler):
+    server_version = "repro-router"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def router(self) -> "RouterServer":
+        return self.server  # type: ignore[return-value]
+
+    # -- plumbing ------------------------------------------------------
+    def _reply(
+        self,
+        status: int,
+        body: bytes,
+        headers: Optional[Dict[str, str]] = None,
+        content_type: str = "application/json",
+    ) -> None:
+        self.send_response(status)
+        headers = dict(headers or {})
+        headers.setdefault("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_json(self, status: int, payload: Dict[str, Any],
+                    headers: Optional[Dict[str, str]] = None) -> None:
+        self._reply(status, json.dumps(payload).encode("utf-8"), headers)
+
+    def _reply_error(self, status: int, kind: str, message: str) -> None:
+        self._reply_json(
+            status, {"error": {"type": kind, "message": message}}
+        )
+
+    def _shard_key(self, body: bytes) -> str:
+        """The affinity key: the client's X-Topology-Hash when present
+        (the real canonical topology hash), else a digest of the raw
+        graph document — stable for byte-identically serialised
+        graphs, which covers any single client's retries."""
+        header = self.headers.get("X-Topology-Hash")
+        if header:
+            return header
+        try:
+            document = json.loads(body)
+            graph = document.get("graph")
+        except ValueError:
+            graph = None
+        if isinstance(graph, dict):
+            canonical = json.dumps(
+                graph, sort_keys=True, separators=(",", ":")
+            )
+            return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        return hashlib.sha256(body).hexdigest()
+
+    # -- routes --------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+        path = self.path.split("?", 1)[0]
+        if path not in ("/analyze", "/montecarlo"):
+            self._reply_error(404, "NotFound", "no such endpoint: %s" % path)
+            return
+        try:
+            length = int(self.headers.get("Content-Length"))
+        except (TypeError, ValueError):
+            self._reply_error(411, "LengthRequired", "Content-Length required")
+            return
+        body = self.rfile.read(length)
+        headers = {
+            name: self.headers[name]
+            for name in _FORWARD_HEADERS
+            if self.headers.get(name)
+        }
+        headers["Content-Length"] = str(len(body))
+        key = self._shard_key(body)
+        self.router.forward(self, "POST", path, body, headers, key)
+
+    def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            self._reply_json(200, {"status": "ok"})
+        elif path == "/readyz":
+            self.router.handle_readyz(self)
+        elif path == "/stats":
+            self.router.handle_stats(self)
+        elif path == "/metrics":
+            self.router.handle_metrics(self)
+        else:
+            self._reply_error(404, "NotFound", "no such endpoint: %s" % path)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.router.quiet:
+            sys.stderr.write(
+                "[repro.router] %s - %s\n"
+                % (self.address_string(), format % args)
+            )
+
+
+class RouterServer(ThreadingHTTPServer):
+    """Topology-affinity front door over a :class:`WorkerPool`.
+
+    POSTs are forwarded to the rendezvous-chosen worker over pooled
+    keep-alive backend connections; a worker that cannot be reached is
+    skipped for that request (failover to the key's next-best worker,
+    counted in ``failovers``) without disturbing any other shard.
+    ``/readyz`` aggregates worker readiness — ready while at least one
+    worker answers ready.  ``/metrics`` merges every worker's scrape
+    into one exposition (series stay distinct via their ``worker``
+    constant label); ``/stats`` nests each worker's stats document.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, config: ServiceConfig, pool: WorkerPool):
+        self.pool = pool
+        self.quiet = config.quiet
+        self.probe_timeout = min(5.0, config.request_timeout)
+        self._transports: Dict[int, Any] = {}
+        self._transports_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self.counters = {"routed": 0, "failovers": 0, "unroutable": 0}
+        self._per_worker: Dict[int, int] = {}
+        self._request_timeout = config.request_timeout
+        super().__init__((config.host, config.port), _RouterHandler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return "http://%s:%d" % (host, port)
+
+    def _count(self, name: str, worker_id: Optional[int] = None) -> None:
+        with self._stats_lock:
+            self.counters[name] += 1
+            if worker_id is not None:
+                self._per_worker[worker_id] = (
+                    self._per_worker.get(worker_id, 0) + 1
+                )
+
+    def _transport(self, worker_id: int):
+        from .client import PooledTransport
+
+        port = self.pool.worker_ports().get(worker_id)
+        if port is None:
+            return None
+        with self._transports_lock:
+            transport = self._transports.get(worker_id)
+            if transport is not None and transport.port == port:
+                return transport
+            if transport is not None:
+                transport.close()  # the worker restarted on a new port
+            transport = PooledTransport(
+                "http://127.0.0.1:%d" % port,
+                timeout=self._request_timeout,
+                pool_connections=4,
+            )
+            self._transports[worker_id] = transport
+            return transport
+
+    # -- proxying ------------------------------------------------------
+    def forward(
+        self,
+        handler: _RouterHandler,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: Dict[str, str],
+        key: str,
+    ) -> None:
+        live = self.pool.live_ids()
+        if not live:
+            handler._reply_error(
+                503, "NoWorkers", "no live workers to route to"
+            )
+            self._count("unroutable")
+            return
+        attempts = 0
+        for worker_id in shard_preference(key, live):
+            transport = self._transport(worker_id)
+            if transport is None:
+                continue
+            attempts += 1
+            try:
+                status, raw, retry_after = transport.request(
+                    method, path, body, headers
+                )
+            except (OSError, http.client.HTTPException):
+                # Worker unreachable mid-restart: fail over to the
+                # key's next-best worker; other shards are untouched.
+                self._count("failovers")
+                continue
+            reply_headers = {"X-Worker-Id": str(worker_id)}
+            if retry_after is not None:
+                reply_headers["Retry-After"] = retry_after
+            self._count("routed", worker_id)
+            handler._reply(status, raw, reply_headers)
+            return
+        handler._reply_error(
+            503,
+            "NoWorkers",
+            "all %d route attempts failed for this request" % attempts,
+        )
+        self._count("unroutable")
+
+    def _scrape_worker(
+        self, worker_id: int, path: str
+    ) -> Optional[Tuple[int, bytes]]:
+        transport = self._transport(worker_id)
+        if transport is None:
+            return None
+        try:
+            status, raw, _ = transport.request(
+                "GET", path, None, {"Accept": "application/json"}
+            )
+        except (OSError, http.client.HTTPException):
+            return None
+        return status, raw
+
+    # -- aggregate endpoints -------------------------------------------
+    def handle_readyz(self, handler: _RouterHandler) -> None:
+        states: Dict[str, bool] = {}
+        any_ready = False
+        for worker_id in self.pool.live_ids():
+            scraped = self._scrape_worker(worker_id, "/readyz")
+            ready = scraped is not None and scraped[0] == 200
+            states[str(worker_id)] = ready
+            any_ready = any_ready or ready
+        status = 200 if any_ready else 503
+        handler._reply_json(
+            status,
+            {
+                "status": "ready" if any_ready else "unavailable",
+                "workers": states,
+            },
+        )
+
+    def handle_stats(self, handler: _RouterHandler) -> None:
+        workers: Dict[str, Any] = {}
+        for worker_id in self.pool.live_ids():
+            scraped = self._scrape_worker(worker_id, "/stats")
+            if scraped is None:
+                workers[str(worker_id)] = {"error": "unreachable"}
+                continue
+            try:
+                workers[str(worker_id)] = json.loads(scraped[1])
+            except ValueError:
+                workers[str(worker_id)] = {"error": "bad stats payload"}
+        with self._stats_lock:
+            router = dict(
+                self.counters,
+                routed_by_worker={
+                    str(k): v for k, v in sorted(self._per_worker.items())
+                },
+            )
+        handler._reply_json(
+            200,
+            {
+                "status": "ok",
+                "router": router,
+                "pool": self.pool.snapshot(),
+                "workers": workers,
+            },
+        )
+
+    def handle_metrics(self, handler: _RouterHandler) -> None:
+        """One merged Prometheus exposition over all workers.
+
+        Family ``# HELP``/``# TYPE`` headers are emitted once; sample
+        lines concatenate from every worker and stay distinct series
+        because each worker stamps its ``worker`` constant label.
+        """
+        seen_headers = set()
+        merged: List[str] = []
+        scraped_any = False
+        for worker_id in self.pool.live_ids():
+            scraped = self._scrape_worker(worker_id, "/metrics")
+            if scraped is None or scraped[0] != 200:
+                continue
+            scraped_any = True
+            for line in scraped[1].decode("utf-8").splitlines():
+                if line.startswith("#"):
+                    if line in seen_headers:
+                        continue
+                    seen_headers.add(line)
+                merged.append(line)
+        if not scraped_any:
+            handler._reply_error(503, "NoWorkers", "no worker scrapes")
+            return
+        handler._reply(
+            200,
+            ("\n".join(merged) + "\n").encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    def close(self) -> None:
+        self.server_close()
+        with self._transports_lock:
+            transports = list(self._transports.values())
+            self._transports.clear()
+        for transport in transports:
+            transport.close()
+
+
+# ----------------------------------------------------------------------
+# the CLI entry: supervise until SIGTERM
+# ----------------------------------------------------------------------
+def serve_pool(
+    config: ServiceConfig,
+    workers: int,
+    router: bool = False,
+    cache_config: Optional[Dict[str, Any]] = None,
+) -> int:
+    """``repro serve --workers N [--router]``: run until SIGINT/SIGTERM.
+
+    Returns 0 when every worker drained and exited cleanly.
+    """
+    mode = "private" if router else None
+    pool = WorkerPool(config, workers, mode=mode, cache_config=cache_config)
+    pool.start()
+    front: Optional[RouterServer] = None
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
+    clean = True
+    try:
+        if router:
+            front = RouterServer(config, pool)
+            print(
+                "repro service router on %s (%d workers: %s)"
+                % (
+                    front.url,
+                    workers,
+                    ", ".join(
+                        ":%d" % p for p in pool.worker_ports().values()
+                    ),
+                ),
+                flush=True,
+            )
+            front.serve_forever(poll_interval=0.2)
+        else:
+            print(
+                "repro service listening on %s (%d workers, %s mode)"
+                % (pool.url, workers, pool.mode),
+                flush=True,
+            )
+            while True:
+                time.sleep(0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        if front is not None:
+            front.close()
+        clean = pool.terminate()
+    if clean:
+        print("repro service pool: shut down cleanly", flush=True)
+        return 0
+    print("repro service pool: worker(s) killed after drain timeout",
+          flush=True)
+    return 1

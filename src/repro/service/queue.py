@@ -72,6 +72,12 @@ class RequestCoalescer:
     max_batch_samples:
         Upper bound on the summed sample count of one dispatched batch;
         a group larger than this is split over several kernel calls.
+    kernel_executor / kernel_workers / kernel_batch_size:
+        Passed through to
+        :func:`~repro.core.kernel.run_border_simulations_batch`:
+        ``kernel_workers > 1`` fans each dispatched batch's chunks over
+        a thread pool (``"thread"``) or the shared kernel process pool
+        (``"process"`` — sweeps escape the GIL).
 
     ``stats`` counts ``requests``, ``batches``, ``coalesced_requests``
     (requests that shared their batch with at least one other) and
@@ -82,11 +88,17 @@ class RequestCoalescer:
         self,
         linger_s: float = 0.002,
         max_batch_samples: int = 65536,
+        kernel_executor: str = "thread",
+        kernel_workers: int = 0,
+        kernel_batch_size: Optional[int] = None,
     ) -> None:
         if max_batch_samples < 1:
             raise ValueError("max_batch_samples must be positive")
         self.linger_s = linger_s
         self.max_batch_samples = max_batch_samples
+        self.kernel_executor = kernel_executor
+        self.kernel_workers = kernel_workers
+        self.kernel_batch_size = kernel_batch_size
         self.stats = CacheStats()
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
@@ -299,6 +311,11 @@ class RequestCoalescer:
                 attributes={"samples": int(combined.shape[0])},
             ):
                 sweep = run_border_simulations_batch(
-                    host, BatchBindings(cg, combined), periods=batch[0].periods
+                    host,
+                    BatchBindings(cg, combined),
+                    periods=batch[0].periods,
+                    batch_size=self.kernel_batch_size,
+                    workers=self.kernel_workers or None,
+                    executor=self.kernel_executor,
                 )
                 return sweep.cycle_times()

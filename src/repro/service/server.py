@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import json
 import signal
+import socket
 import sys
 import threading
 import time
@@ -125,6 +126,11 @@ class ServiceConfig:
     quiet: bool = False
     metrics: bool = True             # serve /metrics + record histograms
     trace_export: Optional[str] = None  # Chrome trace_event JSON path
+    reuse_port: bool = False         # SO_REUSEPORT (multi-worker sharing)
+    worker_id: Optional[int] = None  # set by the pool supervisor
+    kernel_executor: str = "thread"  # batch-sweep chunk executor
+    kernel_workers: int = 0          # 0 = no chunk fan-out
+    kernel_batch_size: Optional[int] = None  # chunk size override
 
 
 class AnalysisService:
@@ -141,6 +147,9 @@ class AnalysisService:
         self.coalescer = RequestCoalescer(
             linger_s=self.config.linger_ms / 1000.0,
             max_batch_samples=self.config.max_batch_samples,
+            kernel_executor=self.config.kernel_executor,
+            kernel_workers=self.config.kernel_workers,
+            kernel_batch_size=self.config.kernel_batch_size,
         )
         self.coalescer.stats.share_lock(self.stats_lock)
         self.admission = AdmissionQueue(
@@ -167,6 +176,10 @@ class AnalysisService:
         if self.config.metrics:
             _obs.metrics = True
             _registry().register_callback(self._collect_families)
+            if self.config.worker_id is not None:
+                # Every series this worker renders carries its id, so a
+                # router-merged multi-worker scrape never collides.
+                _registry().set_constant_labels(worker=self.config.worker_id)
 
     def close(self) -> None:
         self.coalescer.close()
@@ -513,6 +526,7 @@ class AnalysisService:
         return {
             "status": "ok",
             "uptime_s": time.time() - self.started,
+            "worker_id": self.config.worker_id,
             "draining": self.draining,
             "requests": self.counters.snapshot(),
             "cache": service_cache_stats(),
@@ -834,9 +848,14 @@ class _Handler(BaseHTTPRequestHandler):
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if not self.service.config.quiet:
+            worker = self.service.config.worker_id
+            prefix = (
+                "repro.service" if worker is None
+                else "repro.service w%d" % worker
+            )
             sys.stderr.write(
-                "[repro.service] %s - %s\n" % (self.address_string(),
-                                               format % args)
+                "[%s] %s - %s\n" % (prefix, self.address_string(),
+                                    format % args)
             )
 
 
@@ -844,13 +863,48 @@ _SENT = object()  # sentinel: response already written by the handler
 
 
 class ServiceServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer carrying the :class:`AnalysisService`."""
+    """ThreadingHTTPServer carrying the :class:`AnalysisService`.
+
+    Two multi-worker entry paths besides the plain bind:
+
+    * ``config.reuse_port`` sets ``SO_REUSEPORT`` before binding, so N
+      sibling workers can each bind the same address and let the
+      kernel load-balance accepted connections between them;
+    * ``sock`` adopts an already-bound, already-listening socket (fd
+      inheritance across ``fork`` — the fallback where SO_REUSEPORT
+      does not exist), skipping bind/listen entirely.
+    """
 
     daemon_threads = True
 
-    def __init__(self, config: ServiceConfig):
+    def __init__(self, config: ServiceConfig, sock: Optional[socket.socket] = None):
         self.service = AnalysisService(config)
-        super().__init__((config.host, config.port), _Handler)
+        super().__init__(
+            (config.host, config.port), _Handler, bind_and_activate=False
+        )
+        if sock is not None:
+            self.socket.close()
+            self.socket = sock
+            self.server_address = self.socket.getsockname()
+            host, port = self.server_address[:2]
+            self.server_name = host
+            self.server_port = port
+            return
+        try:
+            self.server_bind()
+            self.server_activate()
+        except BaseException:
+            self.server_close()
+            raise
+
+    def server_bind(self) -> None:
+        if self.service.config.reuse_port:
+            if not hasattr(socket, "SO_REUSEPORT"):
+                raise SignalGraphError(
+                    "SO_REUSEPORT is not available on this platform"
+                )
+            self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
 
     @property
     def url(self) -> str:

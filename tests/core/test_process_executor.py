@@ -1,0 +1,105 @@
+"""The process-pool chunk executor: bit-identity and pickling."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import monte_carlo_cycle_time, uniform_spread
+from repro.circuits.library import async_stack_tsg, oscillator_tsg
+from repro.core.errors import SignalGraphError
+from repro.core.kernel import (
+    compiled_graph,
+    run_border_simulations_batch,
+    shutdown_process_pool,
+)
+
+
+@pytest.fixture(autouse=True)
+def _pool_teardown():
+    yield
+    shutdown_process_pool()
+
+
+def _matrix(graph, samples, seed=11):
+    rng = np.random.default_rng(seed)
+    base = np.asarray([float(arc.delay) for arc in graph.arcs])
+    return base * rng.uniform(0.8, 1.2, size=(samples, len(base)))
+
+
+class TestProcessExecutor:
+    def test_bit_identical_to_single_process(self, stack):
+        matrix = _matrix(stack, 48)
+        single = run_border_simulations_batch(stack, matrix)
+        threaded = run_border_simulations_batch(
+            stack, matrix.copy(), workers=2, batch_size=12, executor="thread"
+        )
+        pooled = run_border_simulations_batch(
+            stack, matrix.copy(), workers=2, executor="process"
+        )
+        for event, table in single.initiator_times.items():
+            assert np.array_equal(table, threaded.initiator_times[event])
+            assert np.array_equal(table, pooled.initiator_times[event])
+        assert np.array_equal(single.cycle_times(), pooled.cycle_times())
+
+    def test_process_default_chunking_covers_all_samples(self, oscillator):
+        # samples not divisible by workers: the default per-worker
+        # chunking must still return every row, in order.
+        matrix = _matrix(oscillator, 17)
+        single = run_border_simulations_batch(oscillator, matrix)
+        pooled = run_border_simulations_batch(
+            oscillator, matrix.copy(), workers=4, executor="process"
+        )
+        assert np.array_equal(single.cycle_times(), pooled.cycle_times())
+
+    def test_montecarlo_executor_passthrough(self, oscillator):
+        threaded = monte_carlo_cycle_time(
+            oscillator, uniform_spread(0.1), samples=64, seed=5,
+            track_criticality=False, workers=2, executor="thread",
+            batch_size=16,
+        )
+        pooled = monte_carlo_cycle_time(
+            oscillator.copy(), uniform_spread(0.1), samples=64, seed=5,
+            track_criticality=False, workers=2, executor="process",
+        )
+        assert np.array_equal(threaded.samples, pooled.samples)
+
+    def test_unknown_executor_rejected(self, oscillator):
+        with pytest.raises(SignalGraphError):
+            run_border_simulations_batch(
+                oscillator, _matrix(oscillator, 4), executor="gpu"
+            )
+
+    def test_shutdown_is_idempotent(self):
+        shutdown_process_pool()
+        shutdown_process_pool()
+
+
+class TestCompiledGraphShipping:
+    def test_pool_attributes_never_nest_in_pickles(self):
+        graph = oscillator_tsg()
+        cg = compiled_graph(graph)
+        run_border_simulations_batch(
+            graph, _matrix(graph, 8), workers=2, executor="process"
+        )
+        # The parent-local shipping token/blob must not survive a
+        # pickle round trip (they would otherwise nest a pickle blob
+        # inside every disk-cache entry of this compiled graph).
+        assert hasattr(cg, "_pool_token")
+        clone = pickle.loads(pickle.dumps(cg))
+        assert not hasattr(clone, "_pool_token")
+        assert not hasattr(clone, "_pool_blob")
+
+    def test_unpickled_graph_sweeps_identically(self):
+        graph = async_stack_tsg()
+        cg = compiled_graph(graph)
+        clone = pickle.loads(pickle.dumps(cg))
+        matrix = _matrix(graph, 12)
+        from repro.core.kernel import BatchBindings, run_initiated_batch
+
+        origin = cg.id_of[graph.border_events[0]]
+        original = run_initiated_batch(BatchBindings(cg, matrix), origin, 3)
+        shipped = run_initiated_batch(BatchBindings(clone, matrix), origin, 3)
+        assert np.array_equal(original, shipped)

@@ -188,3 +188,52 @@ class TestExposition:
         )
         with pytest.raises(textformat.PrometheusFormatError):
             textformat.parse(bad)
+
+
+class TestConstantLabels:
+    def test_stamped_onto_every_series(self, fresh):
+        fresh.counter("repro_plain_total", "No labels.").inc(2)
+        fresh.counter(
+            "repro_labelled_total", "Labelled.", ("endpoint",)
+        ).inc(endpoint="/analyze")
+        fresh.histogram("repro_lat_seconds", "Latency.").observe(0.1)
+        fresh.set_constant_labels(worker=3)
+        families = textformat.parse(fresh.render())
+        assert families["repro_plain_total"].values(worker="3") == [2.0]
+        assert families["repro_labelled_total"].values(
+            worker="3", endpoint="/analyze"
+        ) == [1.0]
+        bucket_values = families["repro_lat_seconds"].values(worker="3")
+        assert bucket_values  # buckets, sum and count all stamped
+
+    def test_clearing_and_replacing(self, fresh):
+        fresh.counter("repro_x_total", "X.").inc()
+        fresh.set_constant_labels(worker=1)
+        assert 'worker="1"' in fresh.render()
+        fresh.set_constant_labels(worker=None)
+        assert "worker=" not in fresh.render()
+
+    def test_invalid_label_name_rejected(self, fresh):
+        with pytest.raises(ValueError):
+            fresh.set_constant_labels(**{"bad-name": 1})
+
+    def test_merged_multi_worker_scrape_stays_distinct(self):
+        scrapes = []
+        for worker in (0, 1):
+            reg = MetricsRegistry()
+            reg.counter("repro_merge_total", "M.").inc(worker + 1)
+            reg.set_constant_labels(worker=worker)
+            scrapes.append(reg.render())
+        # family headers deduplicated, sample lines concatenated — the
+        # same merge the router's /metrics endpoint performs
+        seen, merged = set(), []
+        for scrape in scrapes:
+            for line in scrape.splitlines():
+                if line.startswith("#"):
+                    if line in seen:
+                        continue
+                    seen.add(line)
+                merged.append(line)
+        families = textformat.parse("\n".join(merged) + "\n")
+        assert families["repro_merge_total"].values(worker="0") == [1.0]
+        assert families["repro_merge_total"].values(worker="1") == [2.0]

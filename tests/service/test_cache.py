@@ -298,3 +298,92 @@ class TestComputeCycleTimeCacheModes:
         compute_cycle_time(oscillator, cache="off")
         stats = compile_cache().stats
         assert stats.get("misses") == 0 and stats.get("puts") == 0
+
+
+class TestCrossProcessDiskCache:
+    """Multi-worker hardening: concurrent same-key writers never tear an
+    entry, and the temp GC never collects a live sibling's in-flight
+    ``mkstemp`` files."""
+
+    WRITER = (
+        "import sys\n"
+        "sys.path.insert(0, %r)\n"
+        "from repro.service.cache import DiskCache\n"
+        "disk = DiskCache(sys.argv[1], 'xproc')\n"
+        "tag = int(sys.argv[2])\n"
+        "for round in range(150):\n"
+        "    assert disk.put('contended', {'writer': tag, 'round': round,"
+        " 'pad': list(range(256))})\n"
+    ) % os.path.abspath(REPO_SRC)
+
+    def test_concurrent_same_key_writers_never_tear(self, tmp_path):
+        # Two processes hammer one key while this process reads it the
+        # whole time: every read must be a complete record from one
+        # writer (the checksum turns a torn os.replace into a counted
+        # eviction — so corrupt_evicted must stay zero too).
+        writers = [
+            subprocess.Popen(
+                [sys.executable, "-c", self.WRITER, str(tmp_path), str(tag)],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            )
+            for tag in (1, 2)
+        ]
+        disk = DiskCache(str(tmp_path), "xproc")
+        observed = set()
+        while any(writer.poll() is None for writer in writers):
+            record = disk.get("contended")
+            if record is not None:
+                assert set(record) == {"writer", "round", "pad"}
+                assert record["pad"] == list(range(256))
+                observed.add(record["writer"])
+        for writer in writers:
+            _, stderr = writer.communicate(timeout=30)
+            assert writer.returncode == 0, stderr.decode()
+        assert observed <= {1, 2} and observed
+        assert disk.stats.get("corrupt_evicted") == 0
+        final = disk.get("contended")
+        assert final is not None and final["round"] == 149
+
+    def test_temp_gc_spares_live_writers(self, tmp_path):
+        disk = DiskCache(str(tmp_path), "gc")
+        assert disk.put("seed", {"value": 1})  # materialise the directory
+        sleeper = subprocess.Popen([sys.executable, "-c",
+                                    "import time; time.sleep(60)"])
+        dead = subprocess.Popen([sys.executable, "-c", "pass"])
+        dead.wait()
+        try:
+            live_tmp = os.path.join(disk.directory,
+                                    "w%d-inflight.tmp" % sleeper.pid)
+            own_tmp = os.path.join(disk.directory,
+                                   "w%d-inflight.tmp" % os.getpid())
+            dead_tmp = os.path.join(disk.directory,
+                                    "w%d-crashed.tmp" % dead.pid)
+            legacy_tmp = os.path.join(disk.directory, "legacy.tmp")
+            for path in (live_tmp, own_tmp, dead_tmp, legacy_tmp):
+                with open(path, "wb") as handle:
+                    handle.write(b"partial")
+            reopened = DiskCache(str(tmp_path), "gc")
+            # live sibling + our own in-flight files survive; the dead
+            # writer's file and pre-pid-tag leftovers are collected
+            assert os.path.exists(live_tmp)
+            assert os.path.exists(own_tmp)
+            assert not os.path.exists(dead_tmp)
+            assert not os.path.exists(legacy_tmp)
+            assert reopened.stats.get("temp_gc") == 2
+        finally:
+            sleeper.kill()
+            sleeper.wait()
+
+    def test_put_tags_temp_files_with_the_writer_pid(self, tmp_path, monkeypatch):
+        disk = DiskCache(str(tmp_path), "tag")
+        seen = []
+        original = os.replace
+
+        def spy(src, dst):
+            seen.append(os.path.basename(src))
+            return original(src, dst)
+
+        monkeypatch.setattr(os, "replace", spy)
+        assert disk.put("key", {"value": 1})
+        assert seen and seen[0].startswith("w%d-" % os.getpid())
+        assert seen[0].endswith(".tmp")
