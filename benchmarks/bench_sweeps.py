@@ -3,13 +3,20 @@
 The batch kernel (:func:`repro.core.run_border_simulations_batch`)
 advances S delay bindings in lockstep through one compiled arc
 program, so a Monte-Carlo run pays the Python interpreter once per
-period instead of once per sample.  These benchmarks measure
-Monte-Carlo samples/sec for both paths across graph sizes and batch
-widths, and assert the headline recorded in ``BENCH_montecarlo.json``
-(see ``scripts/bench_to_json.py --suite montecarlo``): the batched
-sweep is at least 5x the per-sample loop at S=1000 on the 200-stage
-scaling graph — with bit-identical λ samples, since IEEE float64
-addition and maximum do not care how the bindings are laid out.
+period instead of once per sample; the *fused* tier collapses the
+remaining per-level loop into whole-period index programs over a
+slot-major buffer.  These benchmarks measure Monte-Carlo samples/sec
+for all paths across graph sizes and batch widths, and assert the
+headlines recorded in ``BENCH_montecarlo.json`` (see
+``scripts/bench_to_json.py --suite montecarlo``): the batched sweep is
+at least 5x the per-sample loop, and the fused kernel at least matches
+the batch kernel, at S=1000 on the 200-stage scaling graph — with
+bit-identical λ samples, since IEEE float64 addition and maximum do
+not care how the bindings are laid out.
+
+Run ``python benchmarks/bench_sweeps.py --quick`` for the CI perf
+smoke: a single fused-vs-batch throughput check at n=200 with
+bit-identity asserted, no pytest-benchmark machinery.
 """
 
 import time
@@ -17,9 +24,14 @@ import time
 import numpy as np
 import pytest
 
-from conftest import emit
 from repro.analysis import monte_carlo_cycle_time, uniform_spread
 from repro.generators import ring_with_chords
+
+try:
+    from conftest import emit
+except ImportError:  # invoked as a script (--quick), not under pytest
+    def emit(title, body):
+        print("\n%s\n%s" % (title, body))
 
 SIZES = [50, 100, 200]
 BATCHES = [100, 1000]
@@ -45,10 +57,10 @@ def _best_of(fn, reps=3):
     return best
 
 
-def _run(graph, samples, method):
+def _run(graph, samples, method, kernel=None):
     return monte_carlo_cycle_time(
         graph, SPREAD, samples=samples, seed=0,
-        track_criticality=False, method=method,
+        track_criticality=False, method=method, kernel=kernel,
     )
 
 
@@ -62,6 +74,20 @@ def test_batch_sweep_speed(benchmark, stages, samples):
     assert result.count == samples
     emit(
         "batch Monte-Carlo, n=%d, S=%d" % (stages, samples),
+        "%.0f samples/sec" % (samples / benchmark.stats.stats.mean),
+    )
+
+
+@pytest.mark.parametrize("samples", BATCHES)
+@pytest.mark.parametrize("stages", SIZES)
+def test_fused_sweep_speed(benchmark, stages, samples):
+    graph = _graph(stages)
+    for _ in range(WARMUP):
+        _run(graph, samples, "batch", kernel="fused")
+    result = benchmark(_run, graph, samples, "batch", "fused")
+    assert result.count == samples
+    emit(
+        "fused Monte-Carlo, n=%d, S=%d" % (stages, samples),
         "%.0f samples/sec" % (samples / benchmark.stats.stats.mean),
     )
 
@@ -100,6 +126,45 @@ def test_montecarlo_headline_speedup():
     assert speedup >= 5.0, "batched sweep only %.1fx the per-sample loop" % speedup
 
 
+def test_fused_headline_vs_batch():
+    """The fused tier must at least match the per-level batch kernel
+    at the headline shape, bit-identically (the real bar — 3x at
+    n=800 — is asserted by ``bench_to_json --suite montecarlo``; this
+    keeps the cheaper n=200 regression inside the benchmark suite)."""
+    speedup, fused_rate, batch_rate = _fused_vs_batch(
+        HEADLINE, HEADLINE_SAMPLES
+    )
+    emit(
+        "fused vs batch Monte-Carlo (n=200, S=1000)",
+        "batch %.0f samples/sec, fused %.0f samples/sec -> %.2fx"
+        % (batch_rate, fused_rate, speedup),
+    )
+    assert speedup >= 1.0, (
+        "fused sweep only %.2fx the batch kernel" % speedup
+    )
+
+
+def _fused_vs_batch(graph_kwargs, samples, reps=3):
+    """(fused/batch speedup, fused rate, batch rate), bit-identity
+    asserted."""
+    graph = ring_with_chords(**graph_kwargs)
+    for _ in range(WARMUP):
+        _run(graph, samples, "batch", kernel="batch")
+        _run(graph, samples, "batch", kernel="fused")
+    batch_s = _best_of(
+        lambda: _run(graph, samples, "batch", kernel="batch"), reps
+    )
+    fused_s = _best_of(
+        lambda: _run(graph, samples, "batch", kernel="fused"), reps
+    )
+    batched = _run(graph, samples, "batch", kernel="batch")
+    fused = _run(graph, samples, "batch", kernel="fused")
+    assert np.array_equal(batched.samples, fused.samples), (
+        "fused kernel diverged from the batch kernel"
+    )
+    return batch_s / fused_s, samples / fused_s, samples / batch_s
+
+
 def test_chunked_sweep_matches_and_stays_fast():
     """Chunking bounds memory without giving up the vectorized win."""
     graph = _graph(100)
@@ -128,3 +193,37 @@ def test_chunked_sweep_matches_and_stays_fast():
         % (samples / timed, loop / timed),
     )
     assert timed < loop
+
+
+def main(argv=None):
+    """CI perf smoke: ``python benchmarks/bench_sweeps.py --quick``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="one fused-vs-batch throughput check at n=200, S=1000 "
+        "(bit-identity asserted); exits non-zero if fused < batch",
+    )
+    args = parser.parse_args(argv)
+    if not args.quick:
+        parser.error("run under pytest for the full suite, "
+                     "or pass --quick for the CI perf smoke")
+    speedup, fused_rate, batch_rate = _fused_vs_batch(
+        HEADLINE, HEADLINE_SAMPLES
+    )
+    print("fused vs batch @ n=%d, S=%d: batch %.0f samples/sec, "
+          "fused %.0f samples/sec -> %.2fx (bit-identical)"
+          % (HEADLINE["stages"], HEADLINE_SAMPLES,
+             batch_rate, fused_rate, speedup))
+    if speedup < 1.0:
+        print("FAIL: fused kernel slower than the batch kernel")
+        return 1
+    print("PASS: fused >= batch")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

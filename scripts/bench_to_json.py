@@ -72,6 +72,10 @@ MC_SIZES = (50, 100, 200)
 MC_BATCHES = (100, 1000)
 MC_WARMUP = 2
 MC_REPS = 3
+#: the PR acceptance gate: fused >= 3x batch at n=800, S=1000.
+MC_GATE_STAGES = 800
+MC_GATE_SAMPLES = 1000
+MC_GATE_MIN_SPEEDUP = 3.0
 
 SCALE_WORKERS = (1, 2, 4)
 SCALE_STORM_S = 2.0
@@ -119,14 +123,15 @@ def measure(stages):
     return row
 
 
-def measure_montecarlo(stages, batches):
+def measure_montecarlo(stages, batches, process_workers=2):
     graph = ring_with_chords(stages=stages, tokens=4, chords=stages // 4, seed=7)
     sampler = uniform_spread(0.1)
 
-    def run(samples, method):
+    def run(samples, method, kernel=None, executor="thread", workers=None):
         return monte_carlo_cycle_time(
             graph, sampler, samples=samples, seed=0,
-            track_criticality=False, method=method,
+            track_criticality=False, method=method, kernel=kernel,
+            executor=executor, workers=workers,
         )
 
     row = {
@@ -138,27 +143,118 @@ def measure_montecarlo(stages, batches):
     }
     for samples in batches:
         for _ in range(MC_WARMUP):
-            run(samples, "batch")
-        batch = best_of(lambda: run(samples, "batch"), reps=MC_REPS)
+            run(samples, "batch", kernel="batch")
+            run(samples, "batch", kernel="fused")
+        batch = best_of(
+            lambda: run(samples, "batch", kernel="batch"), reps=MC_REPS
+        )
+        fused = best_of(
+            lambda: run(samples, "batch", kernel="fused"), reps=MC_REPS
+        )
+        shm = best_of(
+            lambda: run(samples, "batch", kernel="fused",
+                        executor="process", workers=process_workers),
+            reps=MC_REPS,
+        )
         loop = best_of(lambda: run(samples, "persample"), reps=MC_REPS)
+        reference = run(samples, "persample").samples
         identical = bool(
-            np.array_equal(
-                run(samples, "batch").samples, run(samples, "persample").samples
+            np.array_equal(run(samples, "batch", kernel="batch").samples,
+                           reference)
+            and np.array_equal(run(samples, "batch", kernel="fused").samples,
+                               reference)
+            and np.array_equal(
+                run(samples, "batch", kernel="fused",
+                    executor="process", workers=process_workers).samples,
+                reference,
             )
         )
         row["sweeps"].append(
             {
                 "samples": samples,
                 "batch_samples_per_sec": samples / batch,
+                "fused_samples_per_sec": samples / fused,
+                "process_shm_samples_per_sec": samples / shm,
+                "process_workers": process_workers,
                 "persample_samples_per_sec": samples / loop,
                 "speedup": loop / batch,
+                "fused_speedup_vs_batch": batch / fused,
                 "identical": identical,
             }
         )
     return row
 
 
-def run_montecarlo_suite(sizes, batches, output):
+def measure_fused_gate(stages=MC_GATE_STAGES, samples=MC_GATE_SAMPLES,
+                       process_workers=2):
+    """The PR acceptance gate: fused vs batch at n=800, S=1000.
+
+    Times the kernel sweeps directly (one pre-sampled delay matrix,
+    same seed-0 stream ``monte_carlo_cycle_time`` draws) so the
+    kernel-vs-kernel ratio is not diluted by sampler overhead; the
+    bit-identity check still goes through the full Monte-Carlo path
+    against the per-sample float64 loop, which runs once — at this
+    size it is the slow path the batch tiers exist to replace.
+    """
+    from repro.analysis.montecarlo import sample_delay_matrix
+    from repro.core import run_border_simulations_batch
+
+    graph = ring_with_chords(stages=stages, tokens=4, chords=stages // 4,
+                             seed=7)
+    sampler = uniform_spread(0.1)
+    matrix = sample_delay_matrix(graph, sampler, samples,
+                                 np.random.default_rng(0))
+
+    def sweep(kernel, executor="thread", workers=None):
+        return run_border_simulations_batch(
+            graph, matrix, kernel=kernel, executor=executor,
+            workers=workers,
+        )
+
+    for _ in range(MC_WARMUP):
+        sweep("batch")
+        sweep("fused")
+    batch = best_of(lambda: sweep("batch"), reps=MC_REPS)
+    fused = best_of(lambda: sweep("fused"), reps=MC_REPS)
+    shm = best_of(
+        lambda: sweep("fused", executor="process",
+                      workers=process_workers),
+        reps=MC_REPS,
+    )
+
+    def mc(method, kernel=None, executor="thread", workers=None):
+        return monte_carlo_cycle_time(
+            graph, sampler, samples=samples, seed=0,
+            track_criticality=False, method=method, kernel=kernel,
+            executor=executor, workers=workers,
+        )
+
+    reference = mc("persample").samples
+    identical = bool(
+        np.array_equal(mc("batch", kernel="fused").samples, reference)
+        and np.array_equal(mc("batch", kernel="batch").samples, reference)
+        and np.array_equal(
+            mc("batch", kernel="fused", executor="process",
+               workers=process_workers).samples,
+            reference,
+        )
+    )
+    return {
+        "graph": "stages=%d" % stages,
+        "samples": samples,
+        "timed": "run_border_simulations_batch only (pre-sampled "
+                 "matrix; sampler excluded)",
+        "batch_samples_per_sec": samples / batch,
+        "fused_samples_per_sec": samples / fused,
+        "process_shm_samples_per_sec": samples / shm,
+        "process_workers": process_workers,
+        "fused_speedup_vs_batch": batch / fused,
+        "min_fused_speedup": MC_GATE_MIN_SPEEDUP,
+        "identical": identical,
+    }
+
+
+def run_montecarlo_suite(sizes, batches, output, fused_gate=False):
     rows = []
     for stages in sizes:
         row = measure_montecarlo(stages, batches)
@@ -166,23 +262,37 @@ def run_montecarlo_suite(sizes, batches, output):
         for sweep in row["sweeps"]:
             print(
                 "n=%-4d S=%-5d  per-sample %8.0f samples/sec  "
-                "batch %8.0f samples/sec (%.1fx)  identical=%s"
+                "batch %8.0f samples/sec (%.1fx)  "
+                "fused %8.0f samples/sec (%.2fx vs batch)  identical=%s"
                 % (
                     stages,
                     sweep["samples"],
                     sweep["persample_samples_per_sec"],
                     sweep["batch_samples_per_sec"],
                     sweep["speedup"],
+                    sweep["fused_samples_per_sec"],
+                    sweep["fused_speedup_vs_batch"],
                     sweep["identical"],
                 )
             )
     headline = rows[-1]["sweeps"][-1]
+    cpu_count = os.cpu_count() or 1
     document = {
         "benchmark": "batched Monte-Carlo delay sweep vs per-sample rebind loop",
         "workload": "ring_with_chords(stages=n, tokens=4, chords=n/4, seed=7), "
         "uniform_spread(0.1), track_criticality=False",
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "cpu_count": cpu_count,
+        "hardware_note": (
+            "process_shm columns ran the shared kernel process pool with "
+            "shared-memory delay matrices on a host exposing %d CPU "
+            "core(s)%s" % (
+                cpu_count,
+                "; with a single core they measure dispatch overhead, "
+                "not scale-out" if cpu_count < 2 else "",
+            )
+        ),
         "warmup_runs": MC_WARMUP,
         "timer": "best of %d, wall clock" % MC_REPS,
         "rows": rows,
@@ -190,16 +300,44 @@ def run_montecarlo_suite(sizes, batches, output):
             "graph": "stages=%d" % rows[-1]["stages"],
             "samples": headline["samples"],
             "batch_samples_per_sec": headline["batch_samples_per_sec"],
+            "fused_samples_per_sec": headline["fused_samples_per_sec"],
+            "process_shm_samples_per_sec":
+                headline["process_shm_samples_per_sec"],
             "persample_samples_per_sec": headline["persample_samples_per_sec"],
             "speedup": headline["speedup"],
+            "fused_speedup_vs_batch": headline["fused_speedup_vs_batch"],
             "identical": headline["identical"],
         },
     }
+    failed = False
+    if fused_gate:
+        gate = measure_fused_gate()
+        document["fused_gate"] = gate
+        print(
+            "fused gate n=%d S=%d: batch %8.0f samples/sec  "
+            "fused %8.0f samples/sec (%.2fx, need >= %.1fx)  identical=%s"
+            % (
+                MC_GATE_STAGES,
+                gate["samples"],
+                gate["batch_samples_per_sec"],
+                gate["fused_samples_per_sec"],
+                gate["fused_speedup_vs_batch"],
+                MC_GATE_MIN_SPEEDUP,
+                gate["identical"],
+            )
+        )
+        if gate["fused_speedup_vs_batch"] < MC_GATE_MIN_SPEEDUP:
+            print("FAIL: fused speedup below the %.1fx acceptance bar"
+                  % MC_GATE_MIN_SPEEDUP)
+            failed = True
+        if not gate["identical"]:
+            print("FAIL: fused sweep diverged from the per-sample loop")
+            failed = True
     with open(output, "w") as handle:
         json.dump(document, handle, indent=2)
         handle.write("\n")
     print("wrote %s" % os.path.abspath(output))
-    return 0
+    return 1 if failed else 0
 
 
 SERVICE_SIZES = (100, 200, 400)
@@ -846,6 +984,11 @@ def main(argv=None) -> int:
         "--samples", default=",".join(str(s) for s in MC_BATCHES),
         help="comma-separated batch widths S (montecarlo suite only)",
     )
+    parser.add_argument(
+        "--fused-gate", action="store_true",
+        help="force the n=%d fused-vs-batch acceptance gate even with "
+        "--sizes overridden (montecarlo suite only)" % MC_GATE_STAGES,
+    )
     args = parser.parse_args(argv)
     if args.suite == "scaling_out":
         output = args.output or os.path.join(root, "BENCH_scaling_out.json")
@@ -871,7 +1014,12 @@ def main(argv=None) -> int:
         ]
         batches = [int(part) for part in args.samples.split(",")]
         output = args.output or os.path.join(root, "BENCH_montecarlo.json")
-        return run_montecarlo_suite(sizes, batches, output)
+        # The n=800 fused acceptance gate runs with the full default
+        # sweep; size-overridden smoke runs stay quick (opt back in
+        # with --fused-gate).
+        fused_gate = args.fused_gate or args.sizes is None
+        return run_montecarlo_suite(sizes, batches, output,
+                                    fused_gate=fused_gate)
     sizes = [
         int(part) for part in (args.sizes or ",".join(map(str, SIZES))).split(",")
     ]

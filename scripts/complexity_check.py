@@ -28,9 +28,23 @@ import json
 import math
 import sys
 
-from repro.core import compute_cycle_time
+import numpy as np
+
+from repro.core import compute_cycle_time, run_border_simulations_batch
 from repro.generators.random_graphs import ring_with_chords
 from repro.obs.profile import PhaseProfiler, profile_phases
+
+#: kernels the fit can target: the scalar per-analysis path, the
+#: per-level batch sweep, and the fused whole-period programs.  The
+#: batch kernels sweep BATCH_SAMPLES bindings and divide the run time
+#: by it, so the fitted exponent measures per-sample work.  S must be
+#: large enough that vector arithmetic dominates numpy dispatch —
+#: small S dilutes the b exponent (the fused kernel stacks the b
+#: origins along the sample axis, so dispatch-bound ops scale like b,
+#: not b^2, until the vectors are wide enough to cost real time).
+KERNEL_CHOICES = ("scalar", "batch", "fused")
+
+BATCH_SAMPLES = 64
 
 #: m sweep: arcs grow ~8x, border count pinned at 4.
 M_SWEEP = [(120, 4), (240, 4), (480, 4), (960, 4)]
@@ -40,7 +54,7 @@ B_SWEEP = [(480, 4), (480, 8), (480, 16), (480, 32), (480, 64)]
 WARMUP_ANALYSES = 3  # settle the codegen tier before timing
 
 
-def measure(stages, tokens, repeats, seed=7):
+def measure(stages, tokens, repeats, kernel="scalar", seed=7):
     """Best-of-``repeats`` run-phase seconds for one configuration."""
     graph = ring_with_chords(
         stages, tokens, chords=stages // 4, max_delay=10, seed=seed
@@ -49,18 +63,32 @@ def measure(stages, tokens, repeats, seed=7):
     # delay so kernel="auto" resolves to float.
     first = graph.arcs[0]
     graph.set_delay(first.source, first.target, float(first.delay))
-    for _ in range(WARMUP_ANALYSES):
-        compute_cycle_time(
-            graph, backtrack=False, keep_simulations=False, cache="off"
+
+    if kernel == "scalar":
+        def analyse():
+            compute_cycle_time(
+                graph, backtrack=False, keep_simulations=False, cache="off"
+            )
+    else:
+        rng = np.random.default_rng(seed)
+        nominal = np.asarray([float(arc.delay) for arc in graph.arcs])
+        matrix = nominal * rng.uniform(
+            0.8, 1.2, size=(BATCH_SAMPLES, nominal.size)
         )
+
+        def analyse():
+            run_border_simulations_batch(graph, matrix, kernel=kernel)
+
+    for _ in range(WARMUP_ANALYSES):
+        analyse()
     best = None
     for _ in range(repeats):
         profiler = PhaseProfiler()
         with profile_phases(profiler):
-            compute_cycle_time(
-                graph, backtrack=False, keep_simulations=False, cache="off"
-            )
+            analyse()
         run_s = profiler.total("run")
+        if kernel != "scalar":
+            run_s /= BATCH_SAMPLES
         if best is None or run_s < best:
             best = run_s
     return {
@@ -97,12 +125,18 @@ def main(argv=None):
                         help="upper acceptance bound on the joint exponent")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="also write the measurements as JSON")
+    parser.add_argument("--kernel", choices=KERNEL_CHOICES,
+                        default="scalar",
+                        help="fit the scalar per-analysis path "
+                        "(default), the per-level batch sweep, or the "
+                        "fused whole-period programs")
     args = parser.parse_args(argv)
 
     points = []
+    print("kernel: %s" % args.kernel)
     print("%8s %8s %8s %10s %12s" % ("b", "m", "events", "b^2*m", "run_s"))
     for stages, tokens in M_SWEEP + B_SWEEP:
-        point = measure(stages, tokens, args.repeats)
+        point = measure(stages, tokens, args.repeats, kernel=args.kernel)
         points.append(point)
         print("%8d %8d %8d %10d %12.6f"
               % (point["b"], point["m"], point["events"],
@@ -130,6 +164,7 @@ def main(argv=None):
         with open(args.json, "w") as handle:
             json.dump(
                 {
+                    "kernel": args.kernel,
                     "points": points,
                     "exponent_m": exponent_m,
                     "exponent_b": exponent_b,

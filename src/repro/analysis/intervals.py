@@ -64,11 +64,14 @@ class IntervalResult:
 def interval_cycle_time(
     graph: TimedSignalGraph,
     bounds: Dict[Tuple[Event, Event], Tuple[Number, Number]],
+    kernel: Optional[str] = None,
 ) -> IntervalResult:
     """Cycle-time bounds for arcs with ``(min, max)`` delay intervals.
 
     ``bounds`` maps arc pairs to intervals; arcs not listed keep their
-    fixed delay.  Raises
+    fixed delay.  ``kernel`` selects the batch kernel for the float
+    corner sweep (``"auto"``/``"batch"``/``"fused"``/``"numba"``); the
+    exact int/Fraction path ignores it.  Raises
     :class:`~repro.core.errors.GraphConstructionError` for an interval
     with ``min > max`` or one naming a missing arc.
     """
@@ -115,7 +118,7 @@ def interval_cycle_time(
             ],
             dtype=np.float64,
         )
-        sweep = run_border_simulations_batch(graph, matrix)
+        sweep = run_border_simulations_batch(graph, matrix, kernel=kernel)
         return IntervalResult(
             lower=sweep.sample_result(0), upper=sweep.sample_result(1)
         )
@@ -133,7 +136,9 @@ def interval_cycle_time(
 
 
 def uniform_interval_cycle_time(
-    graph: TimedSignalGraph, relative_margin: float
+    graph: TimedSignalGraph,
+    relative_margin: float,
+    kernel: Optional[str] = None,
 ) -> IntervalResult:
     """Bounds for a uniform ±margin on every delay (process spread).
 
@@ -149,4 +154,4 @@ def uniform_interval_cycle_time(
         )
         for arc in graph.arcs
     }
-    return interval_cycle_time(graph, bounds)
+    return interval_cycle_time(graph, bounds, kernel=kernel)

@@ -100,6 +100,7 @@ def what_if_delays(
     values: Sequence[Number],
     batch_size: Optional[int] = None,
     workers: Optional[int] = None,
+    kernel: Optional[str] = None,
     cache: bool = True,
 ) -> List[Tuple[float, float]]:
     """λ for each candidate delay of one arc, as ``(delay, λ)`` rows.
@@ -128,7 +129,7 @@ def what_if_delays(
     )
     matrix[:, column] = [float(value) for value in values]
     sweep = run_border_simulations_batch(
-        graph, matrix, batch_size=batch_size, workers=workers
+        graph, matrix, batch_size=batch_size, workers=workers, kernel=kernel
     )
     lambdas = sweep.cycle_times()
     return [
@@ -141,6 +142,7 @@ def empirical_sensitivities(
     epsilon: float = 1e-6,
     batch_size: Optional[int] = None,
     workers: Optional[int] = None,
+    kernel: Optional[str] = None,
     cache: bool = True,
 ) -> List[ArcSensitivity]:
     """Finite-difference dλ/dδ for every repetitive-core arc.
@@ -170,7 +172,7 @@ def empirical_sensitivities(
     for sample, (column, _) in enumerate(core, start=1):
         matrix[sample, column] += epsilon
     sweep = run_border_simulations_batch(
-        graph, matrix, batch_size=batch_size, workers=workers
+        graph, matrix, batch_size=batch_size, workers=workers, kernel=kernel
     )
     lambdas = sweep.cycle_times()
     rows = [

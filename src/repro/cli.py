@@ -231,6 +231,16 @@ def _cmd_montecarlo(args) -> int:
     graph = _load_graph(args.file)
     spreads = {"uniform": uniform_spread, "normal": normal_spread}
     sampler = spreads[args.distribution](args.spread)
+    # "persample" is a method (reference scalar loop); everything else
+    # selects a batch-kernel tier inside method="batch".
+    method = "persample" if args.kernel == "persample" else "batch"
+    batch_kernel = None if args.kernel == "persample" else args.kernel
+    if method == "persample":
+        effective_kernel = "persample"
+    else:
+        from .core.kernel import resolve_batch_kernel
+
+        effective_kernel = resolve_batch_kernel(batch_kernel)
     result = monte_carlo_cycle_time(
         graph,
         sampler,
@@ -240,7 +250,8 @@ def _cmd_montecarlo(args) -> int:
         batch_size=args.batch_size,
         workers=args.workers,
         executor=args.executor,
-        method=args.kernel,
+        method=method,
+        kernel=batch_kernel,
     )
     print(
         "graph: %s (%d events, %d arcs, %d border events)"
@@ -252,7 +263,7 @@ def _cmd_montecarlo(args) -> int:
         % (
             args.distribution,
             args.spread,
-            args.kernel,
+            effective_kernel,
             "" if args.batch_size is None else
             " (batch size %d)" % args.batch_size,
         )
@@ -350,6 +361,7 @@ def _cmd_serve(args) -> int:
         trace_export=args.trace_export,
         kernel_executor=args.kernel_executor,
         kernel_workers=args.kernel_workers,
+        batch_kernel=args.batch_kernel,
     )
     if args.workers and args.workers > 1:
         from .service.pool import serve_pool
@@ -505,9 +517,13 @@ def build_parser() -> argparse.ArgumentParser:
         "the kernel process pool (GIL-bound sweeps scale with cores)",
     )
     montecarlo.add_argument(
-        "--kernel", choices=("batch", "persample"), default="batch",
-        help="vectorized batch sweep (default) or the per-sample "
-        "reference loop",
+        "--kernel",
+        choices=("auto", "batch", "fused", "numba", "persample"),
+        default="auto",
+        help="sweep kernel: auto (fused where available, default), "
+        "batch (per-level reduceat), fused (whole-period program), "
+        "numba (JIT loop, falls back to fused without numba), or "
+        "persample (scalar reference loop)",
     )
     montecarlo.add_argument(
         "--no-criticality", action="store_true",
@@ -568,6 +584,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel-workers", type=int, default=0, metavar="N",
         help="fan each batched sweep over N kernel executors "
         "(0 disables chunk fan-out)",
+    )
+    serve.add_argument(
+        "--batch-kernel", choices=("auto", "batch", "fused", "numba"),
+        default="auto", metavar="K",
+        help="batch-kernel tier for coalesced sweeps (auto picks "
+        "fused; numba falls back to fused when unavailable)",
     )
     serve.add_argument(
         "--request-timeout", type=float, default=30.0, metavar="S",

@@ -77,15 +77,47 @@ cycle is never requested pay nothing for it.  The batched float64
 sweep is bit-identical to S independent :func:`rebind_compiled` +
 single-kernel runs (same IEEE additions and maxima, different loop
 order only).
+
+The top speed tier is the **fused period program**
+(``kernel="fused"``, the ``auto`` default of the batch entry points):
+the per-level Python loop of the batch kernel is collapsed into a
+handful of large vectorized ops per *period* by precomputing flat
+gather / segment-boundary index arrays spanning the whole period.  The
+fused sweep additionally
+
+* stacks all ``b`` border origins along the sample axis (one buffer of
+  ``b * S`` columns), so the ``b`` per-origin period loops of the
+  cycle-time algorithm run as one;
+* works slot-major (``(frames * n, b * S)`` buffers) with a frame ring
+  of precomputed index-array *variants* instead of rolling the buffer,
+  so no period-over-period copy is paid;
+* unrolls 2-4 periods into one program when ``b`` is small, amortising
+  dispatch overhead across periods;
+* replaces the axis-0 segment reduction with degree-sorted levels whose
+  j-th-arc maxima are contiguous-slice ``np.maximum`` calls.
+
+Fused programs are compiled once per topology, cached on the
+:class:`_BatchStructure` (itself carried across the service layer's
+O(1) ``adopt`` path when the arc order matches), and remain
+bit-identical to the per-sample float64 kernel.  An optional ``numba``
+backend JIT-compiles the same flat per-sample period loop when numba
+is importable and falls back to ``fused`` (with a warning) when not —
+it is never a hard dependency.  ``executor="process"`` ships ``(S, m)``
+delay matrices to pool workers through one
+:mod:`multiprocessing.shared_memory` block per sweep (attached
+child-side by name, unlinked by the parent when the sweep ends) so
+chunk dispatch never pickles the matrix.
 """
 
 from __future__ import annotations
 
+import atexit
 import itertools
 import os
 import pickle
 import threading
 import time
+import warnings
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -227,6 +259,7 @@ class CompiledGraph:
         self._float_runs = 0
         self._allow_codegen = True
         self._batch_structure: Optional["_BatchStructure"] = None
+        self._batch_donor: Optional["_BatchStructure"] = None
 
     @classmethod
     def rebound(
@@ -260,6 +293,10 @@ class CompiledGraph:
         new.rep_index = base.rep_index
         new._build_programs(graph, frozenset(base.topo_repetitive))
         new._allow_codegen = allow_codegen
+        # Delay-only rebinds can reuse the (delay-free) batch/fused
+        # index programs, provided the new graph's arc insertion order
+        # matches; validated lazily in _batch_structure_of.
+        new._batch_donor = base._batch_structure or base._batch_donor
         return new
 
     @classmethod
@@ -293,6 +330,10 @@ class CompiledGraph:
         new._float_runs = base._float_runs
         new._allow_codegen = base._allow_codegen
         new._batch_structure = None
+        # Keep adoption O(1): the base's batch structure (with its
+        # compiled fused plans) is recorded as a *donor* and validated
+        # against this graph's own arc order only on first batch use.
+        new._batch_donor = base._batch_structure or base._batch_donor
         return new
 
     def __getstate__(self) -> dict:
@@ -306,6 +347,7 @@ class CompiledGraph:
         state["_float_fns"] = None
         state["_float_runs"] = 0
         state["_batch_structure"] = None
+        state["_batch_donor"] = None
         state.pop("_pool_token", None)
         state.pop("_pool_blob", None)
         return state
@@ -649,6 +691,7 @@ EXECUTORS = ("thread", "process")
 _pool_lock = threading.Lock()
 _pool = None
 _pool_workers = 0
+_pool_method: Optional[str] = None
 _pool_tokens = itertools.count(1)
 
 #: Per-process memo of shipped compiled graphs, keyed by the parent's
@@ -666,7 +709,7 @@ def process_pool(workers: Optional[int] = None):
     imported library instead of re-importing it — falling back to the
     platform default elsewhere.
     """
-    global _pool, _pool_workers
+    global _pool, _pool_workers, _pool_method
     import multiprocessing
     from concurrent.futures import ProcessPoolExecutor
 
@@ -681,6 +724,7 @@ def process_pool(workers: Optional[int] = None):
         )
         _pool = ProcessPoolExecutor(max_workers=want, mp_context=context)
         _pool_workers = want
+        _pool_method = context.get_start_method()
     if previous is not None:
         previous.shutdown(wait=False)
     return _pool
@@ -712,18 +756,121 @@ def _pool_payload(cg: CompiledGraph) -> Tuple[Tuple[int, int], bytes]:
     return token, cg._pool_blob
 
 
+#: Parent-side registry of live shared-memory sweep blocks, so a
+#: crashed/interrupted sweep still unlinks its segments at interpreter
+#: exit instead of leaking them in /dev/shm.
+_SHM_LOCK = threading.Lock()
+_SHM_LIVE: Dict[str, object] = {}
+_SHM_STATS = {"created": 0, "unlinked": 0, "fallback": 0}
+
+
+class _SharedMatrix:
+    """One sweep's ``(S, m)`` delay matrix in a shared-memory block.
+
+    Created once per process-executor sweep; chunks ship only the
+    block *name* plus a ``(lo, hi)`` row range, so chunk dispatch never
+    pickles the matrix.  The parent closes + unlinks the block in the
+    sweep's ``finally`` (and, crash-safe, at interpreter exit via the
+    module registry).
+    """
+
+    def __init__(self, matrix: np.ndarray):
+        from multiprocessing import shared_memory
+
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=matrix.nbytes
+        )
+        self.name = self._shm.name
+        self.shape = matrix.shape
+        view = np.ndarray(matrix.shape, dtype=np.float64,
+                          buffer=self._shm.buf)
+        view[:] = matrix
+        del view
+        with _SHM_LOCK:
+            _SHM_LIVE[self.name] = self._shm
+        _SHM_STATS["created"] += 1
+
+    def close(self) -> None:
+        with _SHM_LOCK:
+            shm = _SHM_LIVE.pop(self.name, None)
+        if shm is None:
+            return
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        _SHM_STATS["unlinked"] += 1
+
+
+def _cleanup_shared_matrices() -> None:
+    """Unlink any sweep blocks still alive (crash-safe atexit hook)."""
+    with _SHM_LOCK:
+        leaked = list(_SHM_LIVE.items())
+        _SHM_LIVE.clear()
+    for _, shm in leaked:
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        _SHM_STATS["unlinked"] += 1
+
+
+# The pool must drain before segments vanish; atexit runs LIFO, so the
+# segment sweep is registered first and the pool shutdown second.
+atexit.register(_cleanup_shared_matrices)
+atexit.register(shutdown_process_pool)
+
+
+def _child_attach_matrix(name: str, shape: Tuple[int, int], untrack: bool):
+    """Attach a parent sweep block inside a pool worker.
+
+    ``untrack`` applies the spawn/forkserver workaround: those workers
+    own a *separate* resource tracker which would unlink the segment a
+    second time when the worker exits (the parent owns the lifecycle),
+    so the attach-side registration is withdrawn.  Fork workers share
+    the parent's tracker — there the attach-side registration collapses
+    into the parent's own and must be left alone.  Returns
+    ``(array, shm)``; the caller must drop every view before closing
+    ``shm``.
+    """
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=name)
+    if untrack:
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+    return np.ndarray(shape, dtype=np.float64, buffer=shm.buf), shm
+
+
 def _pool_run_chunk(
     token: Tuple[int, int],
     blob: Optional[bytes],
-    matrix: np.ndarray,
+    shm_name: Optional[str],
+    shm_shape: Optional[Tuple[int, int]],
+    shm_untrack: bool,
+    lo: int,
+    hi: int,
     origin_ids: Sequence[int],
     periods: int,
+    kernel: str,
+    unroll: Optional[int],
+    matrix: Optional[np.ndarray],
 ) -> List[np.ndarray]:
     """Run one chunk's border simulations inside a pool worker.
 
     Executed in the child process.  The compiled graph is unpickled at
     most once per (worker, token) and memoised, so a sweep split into
     many chunks pays the rebuild cost once per worker, not per chunk.
+    The delay rows come from the parent's shared-memory sweep block
+    (``shm_name``; a contiguous zero-copy row slice) — ``matrix`` is
+    only populated on the pickling fallback path for platforms without
+    working shared memory.
     """
     cg = _CHILD_COMPILED.get(token)
     if cg is None:
@@ -733,11 +880,56 @@ def _pool_run_chunk(
             _CHILD_COMPILED.popitem(last=False)
     else:
         _CHILD_COMPILED.move_to_end(token)
+    if shm_name is not None:
+        full, shm = _child_attach_matrix(shm_name, shm_shape, shm_untrack)
+        bindings = None
+        try:
+            bindings = BatchBindings(cg, full[lo:hi])
+            tables = _run_chunk_tables(
+                bindings, origin_ids, periods, kernel, unroll
+            )
+        finally:
+            # every view of the mapping must be gone before close()
+            # releases the exported buffer
+            del bindings
+            del full
+            shm.close()
+        return tables
     bindings = BatchBindings(cg, matrix)
-    return [
-        run_initiated_batch(bindings, origin_id, periods)
-        for origin_id in origin_ids
-    ]
+    return _run_chunk_tables(bindings, origin_ids, periods, kernel, unroll)
+
+
+def _submit_chunk(
+    pool,
+    token: Tuple[int, int],
+    blob: bytes,
+    shared: Optional[_SharedMatrix],
+    matrix: np.ndarray,
+    lo: int,
+    hi: int,
+    origin_ids: Sequence[int],
+    periods: int,
+    kernel: str,
+    unroll: Optional[int],
+):
+    """Submit one chunk to the process pool.
+
+    The single submission boundary of the process executor — tests
+    interpose here to assert exactly what crosses the pickle fence:
+    with a live shared block the payload is the block name plus a row
+    range, never the matrix.
+    """
+    if shared is not None:
+        return pool.submit(
+            _pool_run_chunk, token, blob, shared.name, shared.shape,
+            _pool_method != "fork", lo, hi, origin_ids, periods,
+            kernel, unroll, None,
+        )
+    return pool.submit(
+        _pool_run_chunk, token, blob, None, None, False, 0, hi - lo,
+        origin_ids, periods, kernel, unroll,
+        np.ascontiguousarray(matrix[lo:hi]),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -882,10 +1074,15 @@ class _BatchStructure:
             p1_rows.append((n + tid, arcs_one))
             ps_rows.append((n + tid, arcs_steady))
         self.n = n
+        self._p1_rows = p1_rows
+        self._ps_rows = ps_rows
         self.p0 = _compile_batch_program(self._p0_rows, n)
         self.p1 = _compile_batch_program(p1_rows, n)
         self.ps = _compile_batch_program(ps_rows, n)
         self._suffixes: Dict[int, _BatchProgram] = {}
+        self._fused_plans: Dict[int, "_FusedPlan"] = {}
+        self._numba_arrays: Optional[tuple] = None
+        self._lock = threading.Lock()
 
     def p0_suffix(self, origin_id: int) -> _BatchProgram:
         """The period-0 program restricted to rows after ``origin_id``.
@@ -902,11 +1099,67 @@ class _BatchStructure:
             )
         return self._suffixes[origin_id]
 
+    def fused_plan(self, span: int) -> "_FusedPlan":
+        """The fused whole-period plan unrolled over ``span`` periods
+        (compiled once per (topology, span), cached)."""
+        plan = self._fused_plans.get(span)
+        if plan is None:
+            with self._lock:
+                plan = self._fused_plans.get(span)
+                if plan is None:
+                    with _phase("codegen"):
+                        plan = _FusedPlan(self, span)
+                    self._fused_plans[span] = plan
+        return plan
+
+    def numba_arrays(self) -> tuple:
+        """The period-class programs as flat ``(targets, starts,
+        offsets, cols)`` arrays — the input of the per-sample numba
+        (or pure-Python reference) interpreter."""
+        if self._numba_arrays is None:
+
+            def flat(rows):
+                starts = [0]
+                offsets: List[int] = []
+                cols: List[int] = []
+                targets: List[int] = []
+                for target, arcs in rows:
+                    targets.append(target)
+                    for offset, col in arcs:
+                        offsets.append(offset)
+                        cols.append(col)
+                    starts.append(len(offsets))
+                return (
+                    np.asarray(targets, dtype=np.intp),
+                    np.asarray(starts, dtype=np.intp),
+                    np.asarray(offsets, dtype=np.intp),
+                    np.asarray(cols, dtype=np.intp),
+                )
+
+            self._numba_arrays = (
+                flat(self._p0_rows),
+                flat(self._p1_rows),
+                flat(self._ps_rows),
+            )
+        return self._numba_arrays
+
 
 def _batch_structure_of(cg: CompiledGraph) -> _BatchStructure:
-    """The (lazily built, cached) batch structure of a compiled graph."""
+    """The (lazily built, cached) batch structure of a compiled graph.
+
+    Adopted/rebound graphs carry the originating structure as a
+    *donor*; it is reused — fused plans, suffix programs and all — iff
+    this graph's own arc insertion order matches the donor's column
+    order (the matrix-column contract of :class:`BatchBindings`).
+    """
     if cg._batch_structure is None:
-        cg._batch_structure = _BatchStructure(cg)
+        donor = getattr(cg, "_batch_donor", None)
+        if donor is not None and donor.pairs == [
+            arc.pair for arc in cg.graph.arcs
+        ]:
+            cg._batch_structure = donor
+        else:
+            cg._batch_structure = _BatchStructure(cg)
     return cg._batch_structure
 
 
@@ -934,6 +1187,7 @@ class BatchBindings:
             raise SignalGraphError("need at least one delay binding")
         self.matrix = matrix
         self._dmats: Dict[int, np.ndarray] = {}
+        self._dmats_t: Dict[int, np.ndarray] = {}
 
     @classmethod
     def nominal(cls, base: CompiledGraph, samples: int = 1) -> "BatchBindings":
@@ -959,6 +1213,7 @@ class BatchBindings:
         clone.structure = self.structure
         clone.matrix = self.matrix[lo:hi]
         clone._dmats = {}
+        clone._dmats_t = {}
         return clone
 
     def delays_for(self, program: _BatchProgram) -> np.ndarray:
@@ -967,6 +1222,16 @@ class BatchBindings:
         if key not in self._dmats:
             self._dmats[key] = self.matrix[:, program.cols]
         return self._dmats[key]
+
+    def delays_t_for(self, program: "_FusedProgram") -> np.ndarray:
+        """The transposed ``(arcs, S)`` delay block of one fused
+        program.  Keyed by the program's ``cols`` array so the frame
+        variants of one span program (which share ``cols`` by
+        reference) share a single cached block."""
+        key = id(program.cols)
+        if key not in self._dmats_t:
+            self._dmats_t[key] = self.matrix.T[program.cols]
+        return self._dmats_t[key]
 
 
 def _batch_sweep(program: _BatchProgram, dmat: np.ndarray,
@@ -1023,6 +1288,547 @@ def run_initiated_batch(
             if profiler is not None:
                 profiler.record_period(time.perf_counter() - started)
     return collected
+
+
+# ----------------------------------------------------------------------
+# fused period programs
+# ----------------------------------------------------------------------
+#: Batch-kernel names accepted by the batch entry points.  ``auto``
+#: resolves to ``fused``; ``numba`` falls back to ``fused`` (with a
+#: warning) when numba is not importable, so it is never a dependency.
+BATCH_KERNELS = ("auto", "batch", "fused", "numba")
+
+
+def resolve_batch_kernel(kernel: Optional[str]) -> str:
+    """Normalise a batch-kernel selector to ``batch``/``fused``/``numba``."""
+    if kernel is None or kernel == "auto":
+        return "fused"
+    if kernel not in ("batch", "fused", "numba"):
+        raise SignalGraphError(
+            "unknown batch kernel %r (choose from %s)"
+            % (kernel, ", ".join(BATCH_KERNELS))
+        )
+    if kernel == "numba" and not numba_available():
+        warnings.warn(
+            "numba is not importable; falling back to the fused kernel",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return "fused"
+    return kernel
+
+
+class _FusedLevel:
+    """One dependency level of a fused program, degree-sorted.
+
+    Rows are sorted by in-degree descending and their arcs laid out
+    *j-major* in ``offsets`` (all first arcs of the level, then all
+    second arcs of rows with >= 2, ...), so the rows still having a
+    j-th arc are exactly rows ``0 .. k-1`` and each reduction step is
+    one contiguous-slice ``np.maximum`` — no segment index arrays, no
+    axis-0 ``reduceat``.
+
+    ``offsets``/``targets``/``empty`` address the slot-major frame-ring
+    buffer (rows = slots, columns = stacked bindings); ``dlo`` is the
+    level's start inside the program's flat ``cols`` array.
+    """
+
+    __slots__ = ("targets", "offsets", "empty", "nrows", "steps", "dlo")
+
+    def __init__(self, targets, offsets, empty, nrows, steps, dlo):
+        self.targets = targets
+        self.offsets = offsets
+        self.empty = empty
+        self.nrows = nrows
+        self.steps = steps
+        self.dlo = dlo
+
+
+class _FusedProgram:
+    """A whole span of periods as one list of fused levels.
+
+    ``cols`` maps every flattened arc (level-major, j-major within a
+    level) to its delay-matrix column; frame-ring variants of one span
+    share it by reference (see :meth:`shifted`), so one transposed
+    delay block serves every variant.
+    """
+
+    __slots__ = ("levels", "cols", "span", "max_level_arcs")
+
+    def __init__(self, levels, cols, span, max_level_arcs):
+        self.levels = levels
+        self.cols = cols
+        self.span = span
+        self.max_level_arcs = max_level_arcs
+
+    def shifted(self, shift: int, size: int) -> "_FusedProgram":
+        """The same program relocated ``shift`` slots down the ring."""
+        if shift == 0:
+            return self
+        levels = [
+            _FusedLevel(
+                targets=(level.targets + shift) % size,
+                offsets=(level.offsets + shift) % size,
+                empty=(
+                    None if level.empty is None
+                    else (level.empty + shift) % size
+                ),
+                nrows=level.nrows,
+                steps=level.steps,
+                dlo=level.dlo,
+            )
+            for level in self.levels
+        ]
+        return _FusedProgram(levels, self.cols, self.span, self.max_level_arcs)
+
+
+def _build_fused_levels(rows):
+    """Level-schedule span-relative ``(target, [(slot, col), ...])``
+    rows into degree-sorted fused levels.
+
+    Rows arrive in execution order (periods ascending, topological ids
+    within a period), so every source that *is* written by this program
+    appears in ``level_of`` before any row reads it; sources absent
+    from ``level_of`` are external (the span's previous frame) and have
+    depth -1.  Empty rows land at level 0 and are written (to ``-inf``)
+    there, before any same-span consumer reads them — ring frames hold
+    stale values from ``frames`` periods ago, so they must not leak.
+
+    Returns ``(levels, cols, max_level_arcs, level_of_target)``.
+    """
+    level_of: Dict[int, int] = {}
+    row_levels: List[int] = []
+    for target, arcs in rows:
+        level = 0
+        for slot, _ in arcs:
+            depth = level_of.get(slot, -1) + 1
+            if depth > level:
+                level = depth
+        level_of[target] = level
+        row_levels.append(level)
+    levels: List[_FusedLevel] = []
+    cols_flat: List[int] = []
+    max_arcs = 0
+    for level in range(max(row_levels) + 1 if row_levels else 0):
+        members = [rows[i] for i, lv in enumerate(row_levels) if lv == level]
+        full = [(t, a) for t, a in members if a]
+        empty = [t for t, a in members if not a]
+        full.sort(key=lambda row: -len(row[1]))
+        offsets: List[int] = []
+        steps: List[Tuple[int, int, int]] = []
+        dlo = len(cols_flat)
+        if full:
+            for j in range(len(full[0][1])):
+                start = len(offsets)
+                count = 0
+                for _, arcs in full:
+                    if len(arcs) <= j:
+                        break
+                    offsets.append(arcs[j][0])
+                    cols_flat.append(arcs[j][1])
+                    count += 1
+                if j:
+                    steps.append((count, start, start + count))
+        max_arcs = max(max_arcs, len(offsets))
+        levels.append(
+            _FusedLevel(
+                targets=np.asarray([t for t, _ in full], dtype=np.intp),
+                offsets=np.asarray(offsets, dtype=np.intp),
+                empty=np.asarray(empty, dtype=np.intp) if empty else None,
+                nrows=len(full),
+                steps=tuple(steps),
+                dlo=dlo,
+            )
+        )
+    return levels, np.asarray(cols_flat, dtype=np.intp), max_arcs, level_of
+
+
+def _expand_span_rows(rows, n: int, span: int):
+    """Unroll per-period rows over ``span`` periods in ring-relative
+    slots: frame 0 is the span's previous period, frames ``1..span``
+    are the periods it computes.  Rolling-buffer offsets translate as
+    ``offset < n`` -> previous period (frame ``u``), ``offset >= n`` ->
+    same period (frame ``u + 1``)."""
+    expanded = []
+    for u in range(span):
+        for target, arcs in rows:
+            expanded.append(
+                (
+                    (u + 1) * n + (target - n),
+                    [
+                        (
+                            u * n + offset if offset < n
+                            else (u + 1) * n + (offset - n),
+                            col,
+                        )
+                        for offset, col in arcs
+                    ],
+                )
+            )
+    return expanded
+
+
+class _FusedPlan:
+    """Everything needed to sweep whole periods in large fused ops.
+
+    * ``p0`` — the full period-0 program in frame 0 (all origins run
+      it *stacked*: every row computes ``-inf`` until the per-origin
+      pin, see :func:`run_border_sweep_fused`);
+    * ``p1`` — period 1 (always frame 0 -> frame 1);
+    * ``steady[f]`` — the steady program spanning ``span`` periods,
+      one variant per start frame ``f`` of the ring;
+    * ``tail[f]`` — single-period steady variants finishing off period
+      counts not divisible by ``span`` (aliases ``steady`` when
+      ``span == 1``).
+
+    The ring has ``frames = span + 1`` frames so a span never
+    overwrites the frame it reads; period ``p`` always lives at frame
+    ``p % frames``.
+    """
+
+    __slots__ = ("n", "span", "frames", "p0", "p0_level_of", "p1",
+                 "steady", "tail", "max_level_arcs")
+
+    def __init__(self, structure: "_BatchStructure", span: int):
+        n = structure.n
+        self.n = n
+        self.span = span
+        self.frames = span + 1
+        size = self.frames * n
+        p0_rows = [
+            (target - n, [(offset - n, col) for offset, col in arcs])
+            for target, arcs in structure._p0_rows
+        ]
+        levels, cols, max_arcs, level_of = _build_fused_levels(p0_rows)
+        self.p0 = _FusedProgram(levels, cols, 1, max_arcs)
+        self.p0_level_of = level_of
+        levels, cols, arcs1, _ = _build_fused_levels(
+            _expand_span_rows(structure._p1_rows, n, 1)
+        )
+        self.p1 = _FusedProgram(levels, cols, 1, arcs1)
+        max_arcs = max(max_arcs, arcs1)
+        levels, cols, arcs_s, _ = _build_fused_levels(
+            _expand_span_rows(structure._ps_rows, n, span)
+        )
+        steady = _FusedProgram(levels, cols, span, arcs_s)
+        max_arcs = max(max_arcs, arcs_s)
+        self.steady = [steady.shifted(f * n, size) for f in range(self.frames)]
+        if span == 1:
+            self.tail = self.steady
+        else:
+            levels, cols, arcs_t, _ = _build_fused_levels(
+                _expand_span_rows(structure._ps_rows, n, 1)
+            )
+            tail = _FusedProgram(levels, cols, 1, arcs_t)
+            max_arcs = max(max_arcs, arcs_t)
+            self.tail = [tail.shifted(f * n, size) for f in range(self.frames)]
+        self.max_level_arcs = max_arcs
+
+
+def _resolve_unroll(unroll: Optional[int], stack: int, periods: int) -> int:
+    """The period-unroll span for ``stack`` stacked origins.
+
+    Unrolling trades program size for fewer, larger vector ops; its
+    win shrinks as the stacked width ``b * S`` grows, so the automatic
+    policy unrolls aggressively only for small ``b``.  Always clamped
+    so a span never exceeds the steady periods available."""
+    if unroll is not None:
+        if unroll < 1 or unroll > 8:
+            raise SignalGraphError(
+                "unroll must be between 1 and 8, got %r" % (unroll,)
+            )
+        limit = unroll
+    elif stack <= 1:
+        limit = 4
+    elif stack == 2:
+        limit = 2
+    else:
+        limit = 1
+    return max(1, min(limit, periods - 1))
+
+
+_FUSED_SCRATCH = threading.local()
+
+
+def _fused_scratch(rows: int, arcs: int, width: int):
+    """Reusable ``(buffer, workspace)`` scratch for fused sweeps.
+
+    The fused execution order writes every slot before any read (p0
+    covers all of frame 0, including ``-inf`` no-predecessor rows;
+    p1/steady write every repetitive row of their target frames before
+    a later level or a collect reads it), so the scratch needs no
+    initialisation — which also makes it safe to reuse across sweeps.
+    Reuse is thread-local and sized to the largest sweep seen, so the
+    hot path of repeated sweeps pays neither the ~``frames * n * b * S``
+    fill nor the page faults of a fresh allocation.
+    """
+    cached = getattr(_FUSED_SCRATCH, "arrays", None)
+    if (
+        cached is not None
+        and cached[0].shape[1] == width
+        and cached[0].shape[0] >= rows
+        and cached[1].shape[0] >= arcs
+    ):
+        buffer, workspace = cached
+    else:
+        buffer = np.empty((rows, width))
+        workspace = np.empty((max(arcs, 1), width))
+        _FUSED_SCRATCH.arrays = (buffer, workspace)
+    return buffer[:rows], workspace
+
+
+def _run_fused_level(level: _FusedLevel, dmat_t: np.ndarray,
+                     buffer: np.ndarray, workspace: np.ndarray,
+                     stack: int) -> None:
+    """Relax one fused level for all stacked bindings at once."""
+    arcs = level.offsets.shape[0]
+    if arcs:
+        values = workspace[:arcs]
+        np.take(buffer, level.offsets, axis=0, out=values)
+        block = dmat_t[level.dlo:level.dlo + arcs]
+        if stack > 1:
+            # one delay column per *sample*: broadcast over the
+            # stacked-origin axis without materialising b copies
+            values.reshape(arcs, stack, -1)[...] += block[:, None, :]
+        else:
+            values += block
+        out = values[:level.nrows]
+        for count, lo, hi in level.steps:
+            np.maximum(out[:count], values[lo:hi], out=out[:count])
+        buffer[level.targets] = out
+    if level.empty is not None:
+        buffer[level.empty] = NEG_INF
+
+
+def run_border_sweep_fused(
+    bindings: BatchBindings,
+    origin_ids: Sequence[int],
+    periods: int,
+    unroll: Optional[int] = None,
+) -> List[np.ndarray]:
+    """All border-initiated batch simulations as one fused sweep.
+
+    Returns one ``(S, periods)`` initiator-times table per origin (the
+    same tables :func:`run_initiated_batch` produces, bit-identically),
+    but computes them in a single slot-major ``(frames * n, b * S)``
+    buffer: the ``b`` origins are stacked along the sample axis, every
+    level of every period is a handful of large vector ops, and the
+    frame ring replaces the period-over-period buffer roll with
+    precomputed index-array variants.
+
+    Period 0 runs the *full* p0 program stacked: with only ``-inf``
+    seeds every row evaluates to ``-inf``, after which each origin's
+    own row is pinned to 0 in its column block — immediately after the
+    level that wrote it, before any later level reads it — which
+    reproduces the per-origin suffix semantics of the scalar kernel
+    exactly.  Origins must be repetitive (border) events.
+    """
+    structure = bindings.structure
+    n = structure.n
+    stack = len(origin_ids)
+    samples = bindings.samples
+    span = _resolve_unroll(unroll, stack, periods)
+    plan = structure.fused_plan(span)
+    frames = plan.frames
+    width = stack * samples
+    profiler = active_profiler()
+    with _phase("run"):
+        buffer, workspace = _fused_scratch(
+            frames * n, plan.max_level_arcs, width
+        )
+        # every cell is assigned by a collect below, so no -inf fill
+        out = np.empty((stack, samples, periods))
+
+        pins: Dict[int, List[Tuple[int, int]]] = {}
+        for gi, origin_id in enumerate(origin_ids):
+            pins.setdefault(plan.p0_level_of[origin_id], []).append(
+                (gi, origin_id)
+            )
+        dmat_t = bindings.delays_t_for(plan.p0)
+        for index, level in enumerate(plan.p0.levels):
+            _run_fused_level(level, dmat_t, buffer, workspace, stack)
+            for gi, origin_id in pins.get(index, ()):
+                buffer[origin_id, gi * samples:(gi + 1) * samples] = 0.0
+
+        def collect(period: int) -> None:
+            base = (period % frames) * n
+            for gi, origin_id in enumerate(origin_ids):
+                out[gi, :, period - 1] = buffer[
+                    base + origin_id, gi * samples:(gi + 1) * samples
+                ]
+
+        def run_span(program: _FusedProgram, first_period: int) -> None:
+            started = time.perf_counter() if profiler is not None else 0.0
+            dmat = bindings.delays_t_for(program)
+            for level in program.levels:
+                _run_fused_level(level, dmat, buffer, workspace, stack)
+            for u in range(program.span):
+                collect(first_period + u)
+            if profiler is not None:
+                share = (time.perf_counter() - started) / program.span
+                for _ in range(program.span):
+                    profiler.record_period(share)
+
+        period = 1
+        if periods >= 1:
+            run_span(plan.p1, 1)
+            period = 2
+        while period + span - 1 <= periods:
+            run_span(plan.steady[(period - 1) % frames], period)
+            period += span
+        while period <= periods:
+            run_span(plan.tail[(period - 1) % frames], period)
+            period += 1
+    return [out[gi] for gi in range(stack)]
+
+
+# ----------------------------------------------------------------------
+# optional numba backend
+# ----------------------------------------------------------------------
+def _sweep_flat(matrix, n, periods, origin_ids,
+                p0_starts, p0_offsets, p0_cols,
+                p1_targets, p1_starts, p1_offsets, p1_cols,
+                ps_targets, ps_starts, ps_offsets, ps_cols,
+                out):
+    """Per-sample border sweep over flat program arrays.
+
+    Plain nested loops on purpose: this is both the pure-Python
+    reference interpreter (always available, used by the
+    cross-validation tests) and the function handed to ``numba.njit``
+    when numba is importable.  Relaxation order and arc order match
+    :func:`_sweep` exactly, so results are bit-identical to the
+    per-sample float64 kernel.
+    """
+    neg_inf = -np.inf
+    buffer = np.empty(2 * n, dtype=np.float64)
+    for gi in range(origin_ids.shape[0]):
+        origin = origin_ids[gi]
+        for s in range(matrix.shape[0]):
+            for i in range(2 * n):
+                buffer[i] = neg_inf
+            buffer[n + origin] = 0.0
+            for row in range(origin + 1, n):
+                best = neg_inf
+                for a in range(p0_starts[row], p0_starts[row + 1]):
+                    value = buffer[p0_offsets[a]] + matrix[s, p0_cols[a]]
+                    if value > best:
+                        best = value
+                buffer[n + row] = best
+            for period in range(1, periods + 1):
+                for i in range(n):
+                    buffer[i] = buffer[n + i]
+                if period == 1:
+                    targets, starts = p1_targets, p1_starts
+                    offsets, cols = p1_offsets, p1_cols
+                else:
+                    targets, starts = ps_targets, ps_starts
+                    offsets, cols = ps_offsets, ps_cols
+                for row in range(targets.shape[0]):
+                    best = neg_inf
+                    for a in range(starts[row], starts[row + 1]):
+                        value = buffer[offsets[a]] + matrix[s, cols[a]]
+                        if value > best:
+                            best = value
+                    buffer[targets[row]] = best
+                out[gi, s, period - 1] = buffer[n + origin]
+    return out
+
+
+_numba_fn = None
+_numba_failed = False
+
+
+def _numba_compiled():
+    """The njit-compiled :func:`_sweep_flat`, or ``None``.
+
+    Compilation is attempted once; any failure (numba missing, numba
+    present but unable to target this platform) permanently selects
+    the fallback so sweeps never re-pay a failing import.
+    """
+    global _numba_fn, _numba_failed
+    if _numba_fn is None and not _numba_failed:
+        try:
+            import numba
+
+            _numba_fn = numba.njit(cache=False, fastmath=False)(_sweep_flat)
+        except Exception:
+            _numba_failed = True
+    return _numba_fn
+
+
+def numba_available() -> bool:
+    """Whether the optional numba backend can be used."""
+    return _numba_compiled() is not None
+
+
+def run_border_sweep_numba(
+    bindings: BatchBindings,
+    origin_ids: Sequence[int],
+    periods: int,
+    force_interpreter: bool = False,
+) -> List[np.ndarray]:
+    """The border sweep through the flat per-sample period loop.
+
+    Uses the njit-compiled loop when numba is importable, the
+    pure-Python reference interpreter otherwise (or when
+    ``force_interpreter`` is set — the cross-validation tests exercise
+    the exact code numba compiles without needing numba installed).
+    Returns the same per-origin ``(S, periods)`` tables as
+    :func:`run_border_sweep_fused`, bit-identically.
+    """
+    global _numba_failed
+    structure = bindings.structure
+    (_, p0_starts, p0_offsets, p0_cols), p1_flat, ps_flat = (
+        structure.numba_arrays()
+    )
+    p1_targets, p1_starts, p1_offsets, p1_cols = p1_flat
+    ps_targets, ps_starts, ps_offsets, ps_cols = ps_flat
+    origin_arr = np.asarray(list(origin_ids), dtype=np.intp)
+    out = np.full((origin_arr.shape[0], bindings.samples, periods), NEG_INF)
+    fn = None if force_interpreter else _numba_compiled()
+    profiler = active_profiler()
+    with _phase("run"):
+        started = time.perf_counter()
+        args = (
+            bindings.matrix, structure.n, periods, origin_arr,
+            p0_starts, p0_offsets, p0_cols,
+            p1_targets, p1_starts, p1_offsets, p1_cols,
+            ps_targets, ps_starts, ps_offsets, ps_cols,
+            out,
+        )
+        if fn is not None:
+            try:
+                fn(*args)
+            except Exception:
+                # typing/lowering failures surface at first call; fall
+                # back for good rather than failing every sweep
+                _numba_failed = True
+                _sweep_flat(*args)
+        else:
+            _sweep_flat(*args)
+        if profiler is not None and periods:
+            share = (time.perf_counter() - started) / periods
+            for _ in range(periods):
+                profiler.record_period(share)
+    return [out[gi] for gi in range(origin_arr.shape[0])]
+
+
+def _run_chunk_tables(
+    bindings: BatchBindings,
+    origin_ids: Sequence[int],
+    periods: int,
+    kernel: str,
+    unroll: Optional[int],
+) -> List[np.ndarray]:
+    """One chunk's per-origin initiator tables under one batch kernel."""
+    if kernel == "batch":
+        return [
+            run_initiated_batch(bindings, origin_id, periods)
+            for origin_id in origin_ids
+        ]
+    if kernel == "numba":
+        return run_border_sweep_numba(bindings, origin_ids, periods)
+    return run_border_sweep_fused(bindings, origin_ids, periods, unroll)
 
 
 class BatchSweepResult:
@@ -1144,20 +1950,29 @@ def run_border_simulations_batch(
     batch_size: Optional[int] = None,
     workers: Optional[int] = None,
     executor: Optional[str] = None,
+    kernel: Optional[str] = None,
+    unroll: Optional[int] = None,
 ) -> BatchSweepResult:
     """Sweep all S delay bindings through every border simulation.
 
     ``delays`` is a :class:`BatchBindings` or an ``(S, m)`` matrix in
-    graph arc order.  ``batch_size`` bounds memory by splitting the S
-    bindings into chunks (each chunk allocates ``(chunk, 2n)`` buffers
-    and delay blocks); ``workers`` fans the chunks out, either over a
-    thread pool (``executor="thread"``, the default — NumPy releases
+    graph arc order.  ``kernel`` picks the batch kernel
+    (:data:`BATCH_KERNELS`; ``auto`` resolves to the fused
+    whole-period programs, ``batch`` keeps the per-level index-array
+    sweep, ``numba`` JIT-compiles the per-sample loop when numba is
+    importable) — every kernel produces bit-identical float64 tables.
+    ``unroll`` forces the fused period-unroll span (default: automatic
+    by border count).  ``batch_size`` bounds memory by splitting the S
+    bindings into chunks; ``workers`` fans the chunks out, either over
+    a thread pool (``executor="thread"``, the default — NumPy releases
     the GIL inside the large vector ops, so chunked sweeps overlap) or
     over the shared :func:`process_pool` (``executor="process"`` —
     chunks escape the GIL entirely; the compiled graph ships once per
-    pool worker via pickle and results concatenate bit-identically to
-    the single-process sweep).  Always float64; int/Fraction callers
-    that need exact results use the per-sample exact path instead.
+    pool worker via pickle, the delay matrix once per sweep via one
+    shared-memory block that chunks reference by name and row range,
+    and results concatenate bit-identically to the single-process
+    sweep).  Always float64; int/Fraction callers that need exact
+    results use the per-sample exact path instead.
     """
     from .errors import AcyclicGraphError
 
@@ -1168,6 +1983,7 @@ def run_border_simulations_batch(
             "unknown executor %r (expected one of %s)"
             % (executor, ", ".join(EXECUTORS))
         )
+    kernel = resolve_batch_kernel(kernel)
 
     cg = compiled_graph(graph)
     if isinstance(delays, BatchBindings):
@@ -1187,51 +2003,65 @@ def run_border_simulations_batch(
         periods = len(border)
     origin_ids = [cg.id_of[event] for event in border]
     structure = bindings.structure
-    for origin_id in origin_ids:
-        structure.p0_suffix(origin_id)  # compile before any fan-out
+    # Compile the shared programs before any fan-out so worker threads
+    # never race on the lazily-built caches.
+    if kernel == "batch":
+        for origin_id in origin_ids:
+            structure.p0_suffix(origin_id)
+    elif kernel == "numba":
+        structure.numba_arrays()
+    else:
+        structure.fused_plan(_resolve_unroll(unroll, len(origin_ids), periods))
     samples = bindings.samples
     if batch_size is None and executor == "process" and workers and workers > 1:
         # default to one chunk per pool worker so the sweep actually
         # fans out instead of landing on a single child
         batch_size = max(1, -(-samples // workers))
+    if batch_size is not None and batch_size < 1:
+        raise SignalGraphError("batch_size must be positive")
     if batch_size is None or batch_size >= samples:
-        chunks = [bindings]
+        ranges = [(0, samples)]
     else:
-        if batch_size < 1:
-            raise SignalGraphError("batch_size must be positive")
-        chunks = [
-            bindings.subset(lo, min(lo + batch_size, samples))
+        ranges = [
+            (lo, min(lo + batch_size, samples))
             for lo in range(0, samples, batch_size)
         ]
 
-    def run_chunk(chunk: BatchBindings):
-        return [
-            run_initiated_batch(chunk, origin_id, periods)
-            for origin_id in origin_ids
-        ]
+    def run_chunk(span: Tuple[int, int]):
+        lo, hi = span
+        chunk = bindings if (lo, hi) == (0, samples) else bindings.subset(lo, hi)
+        return _run_chunk_tables(chunk, origin_ids, periods, kernel, unroll)
 
     if executor == "process" and workers is not None and workers > 1:
         token, blob = _pool_payload(bindings.base)
         pool = process_pool(workers)
-        futures = [
-            pool.submit(
-                _pool_run_chunk,
-                token,
-                blob,
-                np.ascontiguousarray(chunk.matrix),
-                origin_ids,
-                periods,
-            )
-            for chunk in chunks
-        ]
-        parts = [future.result() for future in futures]
-    elif workers is not None and workers > 1 and len(chunks) > 1:
+        shared = None
+        try:
+            try:
+                shared = _SharedMatrix(bindings.matrix)
+            except Exception:
+                # no usable shared memory on this platform: fall back
+                # to pickling per-chunk row slices (correct, slower)
+                _SHM_STATS["fallback"] += 1
+                shared = None
+            futures = [
+                _submit_chunk(
+                    pool, token, blob, shared, bindings.matrix,
+                    lo, hi, origin_ids, periods, kernel, unroll,
+                )
+                for lo, hi in ranges
+            ]
+            parts = [future.result() for future in futures]
+        finally:
+            if shared is not None:
+                shared.close()
+    elif workers is not None and workers > 1 and len(ranges) > 1:
         from concurrent.futures import ThreadPoolExecutor
 
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            parts = list(pool.map(run_chunk, chunks))
+            parts = list(pool.map(run_chunk, ranges))
     else:
-        parts = [run_chunk(chunk) for chunk in chunks]
+        parts = [run_chunk(span) for span in ranges]
     initiator_times = {}
     for position, event in enumerate(border):
         if len(parts) == 1:

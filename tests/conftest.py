@@ -38,5 +38,20 @@ def stack():
     return async_stack_tsg()
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _kernel_pool_session_teardown():
+    """Drain the shared kernel process pool when the session ends.
+
+    Belt-and-braces beside the kernel module's own atexit hooks: CI
+    runners must never be left with orphaned pool workers or
+    semaphores even if the interpreter is torn down abruptly after
+    the test session.
+    """
+    yield
+    from repro.core.kernel import shutdown_process_pool
+
+    shutdown_process_pool()
+
+
 # Hypothesis strategies live in tests/strategies.py so property tests
 # can import them as a regular module.

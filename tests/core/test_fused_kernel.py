@@ -1,0 +1,357 @@
+"""Cross-validation of the fused period-program kernel (and numba tier).
+
+Every batch kernel — the per-level ``batch`` sweep, the ``fused``
+whole-period programs, and the ``numba`` per-sample loop (or its
+pure-Python reference interpreter) — runs the same IEEE float64
+additions and maximums in a semantically identical order, so their
+initiator-time tables, λ values and backtracked critical cycles must
+agree **bit for bit** with each other and with the per-sample float
+kernel.  These tests pin that invariant across random topologies,
+degenerate shapes (b=1, S=1, single-level graphs) and every unroll
+span the fused planner can choose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.circuits.library import (
+    async_stack_tsg,
+    linear_pipeline_tsg,
+    muller_ring_tsg,
+    oscillator_tsg,
+)
+from repro.core import (
+    SignalGraphError,
+    compiled_graph,
+    compute_cycle_time,
+    rebind_compiled,
+    run_border_simulations_batch,
+)
+from repro.core.kernel import (
+    BATCH_KERNELS,
+    BatchBindings,
+    CompiledGraph,
+    _batch_structure_of,
+    numba_available,
+    resolve_batch_kernel,
+    run_border_sweep_fused,
+    run_border_sweep_numba,
+    run_initiated_batch,
+)
+from repro.core.signal_graph import TimedSignalGraph
+from repro.generators import ring_with_chords
+
+from tests.strategies import live_tsgs
+
+COMMON = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+SAMPLES = 5
+
+
+def _floatified(graph):
+    clone = graph.copy(name=graph.name + "-float")
+    for arc in graph.arcs:
+        clone.set_delay(arc.source, arc.target, float(arc.delay) * 1.25)
+    return clone
+
+
+def _random_matrix(graph, samples, seed):
+    rng = np.random.default_rng(seed)
+    nominal = np.asarray([float(arc.delay) for arc in graph.arcs])
+    return nominal * rng.uniform(0.5, 1.5, size=(samples, len(nominal)))
+
+
+def _per_sample(graph, matrix, index, **kwargs):
+    base = compiled_graph(graph)
+    trial = graph.copy()
+    for arc, value in zip(graph.arcs, matrix[index]):
+        trial.set_delay(arc.source, arc.target, float(value))
+    rebind_compiled(trial, base)
+    return compute_cycle_time(
+        trial, check=False, kernel="float", keep_simulations=False, **kwargs
+    )
+
+
+def _tables(graph, matrix, kernel, **kwargs):
+    sweep = run_border_simulations_batch(
+        graph, matrix, kernel=kernel, **kwargs
+    )
+    return sweep, {
+        event: table for event, table in sweep.initiator_times.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# property-based cross-validation
+# ----------------------------------------------------------------------
+@COMMON
+@given(graph=live_tsgs())
+def test_fused_tables_bit_identical_to_batch(graph):
+    clone = _floatified(graph)
+    matrix = _random_matrix(clone, SAMPLES, seed=0)
+    _, batch = _tables(clone, matrix, "batch")
+    _, fused = _tables(clone, matrix, "fused")
+    assert batch.keys() == fused.keys()
+    for event, table in batch.items():
+        assert np.array_equal(table, fused[event])
+
+
+@COMMON
+@given(graph=live_tsgs())
+def test_fused_lambda_bit_identical_to_per_sample(graph):
+    clone = _floatified(graph)
+    matrix = _random_matrix(clone, SAMPLES, seed=1)
+    lambdas = run_border_simulations_batch(
+        clone, matrix, kernel="fused"
+    ).cycle_times()
+    for index in range(SAMPLES):
+        reference = _per_sample(clone, matrix, index, backtrack=False)
+        assert lambdas[index] == float(reference.cycle_time)
+
+
+@COMMON
+@given(graph=live_tsgs())
+def test_fused_backtracked_cycles_match_per_sample(graph):
+    clone = _floatified(graph)
+    matrix = _random_matrix(clone, SAMPLES, seed=2)
+    sweep = run_border_simulations_batch(clone, matrix, kernel="fused")
+    for index in range(SAMPLES):
+        reference = _per_sample(clone, matrix, index)
+        lazy = sweep.sample_result(index)
+        assert lazy.cycle_time == float(reference.cycle_time)
+        assert sorted(cycle.events for cycle in lazy.critical_cycles) == sorted(
+            cycle.events for cycle in reference.critical_cycles
+        )
+
+
+@COMMON
+@given(graph=live_tsgs())
+def test_fused_agrees_with_exact_oracle(graph):
+    # The float64 fused sweep at the graph's own (int/Fraction) delays
+    # must reproduce the exact kernel's λ up to float conversion.
+    matrix = np.asarray(
+        [[float(arc.delay) for arc in graph.arcs]], dtype=np.float64
+    )
+    fused = run_border_simulations_batch(
+        graph, matrix, kernel="fused"
+    ).cycle_times()
+    exact = compute_cycle_time(graph, check=False, kernel="exact")
+    assert fused[0] == pytest.approx(float(exact.cycle_time), rel=1e-12)
+
+
+@COMMON
+@given(graph=live_tsgs())
+def test_numba_interpreter_bit_identical_to_fused(graph):
+    # force_interpreter exercises the exact loop numba would compile,
+    # without requiring numba in the environment.
+    clone = _floatified(graph)
+    matrix = _random_matrix(clone, SAMPLES, seed=3)
+    cg = compiled_graph(clone)
+    bindings = BatchBindings(cg, matrix)
+    origins = [cg.id_of[event] for event in clone.border_events]
+    periods = len(clone.border_events)
+    fused = run_border_sweep_fused(bindings, origins, periods)
+    interp = run_border_sweep_numba(
+        bindings, origins, periods, force_interpreter=True
+    )
+    for expected, got in zip(fused, interp):
+        assert np.array_equal(expected, got)
+
+
+# ----------------------------------------------------------------------
+# odd shapes
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "factory",
+    [
+        oscillator_tsg,                              # b=2, tiny
+        lambda: linear_pipeline_tsg(stages=7),       # b=1 (deep unroll)
+        lambda: linear_pipeline_tsg(stages=2),       # b=1, minimal levels
+        lambda: muller_ring_tsg(stages=5),           # odd ring
+        async_stack_tsg,                             # b=22, wide border
+    ],
+    ids=["oscillator", "pipeline7", "pipeline2", "muller5", "stack"],
+)
+@pytest.mark.filterwarnings(
+    "ignore:numba is not importable:RuntimeWarning"
+)
+def test_odd_shapes_bit_identical(factory):
+    graph = _floatified(factory())
+    for samples in (1, 3):  # S=1 exercises the degenerate sample axis
+        matrix = _random_matrix(graph, samples, seed=samples)
+        _, batch = _tables(graph, matrix, "batch")
+        _, fused = _tables(graph, matrix, "fused")
+        _, numba_t = _tables(graph, matrix, "numba")
+        for event, table in batch.items():
+            assert np.array_equal(table, fused[event])
+            assert np.array_equal(table, numba_t[event])
+
+
+@pytest.mark.parametrize("unroll", [1, 2, 3, 4])
+def test_forced_unroll_spans_bit_identical(unroll):
+    # Forcing every span covers both the empty tail (periods-1 a
+    # multiple of the span) and partial tails.
+    graph = _floatified(ring_with_chords(stages=24, tokens=4, chords=6,
+                                         seed=9))
+    matrix = _random_matrix(graph, 4, seed=unroll)
+    _, batch = _tables(graph, matrix, "batch")
+    _, fused = _tables(graph, matrix, "fused", unroll=unroll)
+    for event, table in batch.items():
+        assert np.array_equal(table, fused[event])
+
+
+def test_single_period_sweep():
+    # periods == 1 leaves no room for any steady span: p0 + p1 only.
+    graph = _floatified(linear_pipeline_tsg(stages=4))
+    matrix = _random_matrix(graph, 3, seed=5)
+    cg = compiled_graph(graph)
+    origins = [cg.id_of[event] for event in graph.border_events]
+    fused = run_border_sweep_fused(BatchBindings(cg, matrix), origins, 1)
+    for origin, table in zip(origins, fused):
+        reference = run_initiated_batch(BatchBindings(cg, matrix), origin, 1)
+        assert np.array_equal(table, reference)
+
+
+# ----------------------------------------------------------------------
+# kernel registry
+# ----------------------------------------------------------------------
+def test_registry_auto_resolves_to_fused():
+    assert resolve_batch_kernel(None) == "fused"
+    assert resolve_batch_kernel("auto") == "fused"
+    assert resolve_batch_kernel("batch") == "batch"
+    assert set(BATCH_KERNELS) == {"auto", "batch", "fused", "numba"}
+
+
+def test_registry_rejects_unknown_kernel():
+    with pytest.raises(SignalGraphError):
+        resolve_batch_kernel("gpu")
+    graph = _floatified(oscillator_tsg())
+    with pytest.raises(SignalGraphError):
+        run_border_simulations_batch(
+            graph, _random_matrix(graph, 2, seed=0), kernel="exact"
+        )
+
+
+def test_numba_fallback_warns_when_unavailable():
+    if numba_available():
+        pytest.skip("numba importable: no fallback to exercise")
+    with pytest.warns(RuntimeWarning, match="falling back"):
+        assert resolve_batch_kernel("numba") == "fused"
+
+
+@pytest.mark.skipif(not numba_available(), reason="numba not installed")
+def test_numba_compiled_bit_identical_to_fused():
+    graph = _floatified(muller_ring_tsg(stages=6))
+    matrix = _random_matrix(graph, 4, seed=13)
+    _, fused = _tables(graph, matrix, "fused")
+    _, jit = _tables(graph, matrix, "numba")
+    for event, table in fused.items():
+        assert np.array_equal(table, jit[event])
+
+
+# ----------------------------------------------------------------------
+# plan caching across adopt / rebound
+# ----------------------------------------------------------------------
+def test_adopt_carries_fused_plans_as_donor():
+    graph = _floatified(ring_with_chords(stages=16, tokens=3, chords=4,
+                                         seed=2))
+    cg = compiled_graph(graph)
+    matrix = _random_matrix(graph, 3, seed=0)
+    run_border_simulations_batch(graph, matrix, kernel="fused")
+    structure = _batch_structure_of(cg)
+    assert structure._fused_plans  # warmed by the sweep
+
+    twin = graph.copy()
+    adopted = CompiledGraph.adopt(cg, twin)
+    # O(1) adoption defers validation: the donor rides along and the
+    # twin's first batch use resolves to the very same structure.
+    assert adopted._batch_structure is None
+    assert _batch_structure_of(adopted) is structure
+
+    sweep = run_border_simulations_batch(
+        twin, matrix, kernel="fused"
+    ).cycle_times()
+    original = run_border_simulations_batch(
+        graph, matrix, kernel="fused"
+    ).cycle_times()
+    assert np.array_equal(sweep, original)
+
+
+def test_rebound_carries_fused_plans_as_donor():
+    graph = _floatified(ring_with_chords(stages=16, tokens=3, chords=4,
+                                         seed=3))
+    cg = compiled_graph(graph)
+    run_border_simulations_batch(
+        graph, _random_matrix(graph, 2, seed=1), kernel="fused"
+    )
+    structure = _batch_structure_of(cg)
+
+    trial = graph.copy()
+    for arc in graph.arcs:
+        trial.set_delay(arc.source, arc.target, float(arc.delay) * 1.5)
+    rebound = rebind_compiled(trial, cg)
+    assert _batch_structure_of(rebound) is structure
+
+
+def test_donor_dropped_when_arc_order_differs():
+    graph = _floatified(ring_with_chords(stages=10, tokens=2, chords=3,
+                                         seed=4))
+    cg = compiled_graph(graph)
+    run_border_simulations_batch(
+        graph, _random_matrix(graph, 2, seed=2), kernel="fused"
+    )
+    donor = _batch_structure_of(cg)
+
+    # Same content, different arc insertion order: the donor's column
+    # layout no longer matches and must be rebuilt, not reused.
+    reordered = TimedSignalGraph(name=graph.name + "-reordered")
+    for event in graph.events:
+        reordered.add_event(event)
+    for arc in reversed(list(graph.arcs)):
+        reordered.add_arc(arc.source, arc.target, arc.delay,
+                          marked=arc.marked,
+                          disengageable=arc.disengageable)
+    assert [a.pair for a in reordered.arcs] != [a.pair for a in graph.arcs]
+    adopted = CompiledGraph.adopt(cg, reordered)
+    fresh = _batch_structure_of(adopted)
+    assert fresh is not donor
+
+    matrix = _random_matrix(reordered, 3, seed=5)
+    got = run_border_simulations_batch(
+        reordered, matrix, kernel="fused"
+    ).cycle_times()
+    want = run_border_simulations_batch(
+        reordered, matrix, kernel="batch"
+    ).cycle_times()
+    assert np.array_equal(got, want)
+
+
+def test_pickle_roundtrip_drops_donor_and_still_sweeps():
+    import pickle
+
+    graph = _floatified(ring_with_chords(stages=10, tokens=2, chords=2,
+                                         seed=6))
+    cg = compiled_graph(graph)
+    matrix = _random_matrix(graph, 3, seed=7)
+    want = run_border_simulations_batch(
+        graph, matrix, kernel="fused"
+    ).cycle_times()
+    clone = pickle.loads(pickle.dumps(cg))
+    assert clone._batch_donor is None
+    origins = [clone.id_of[event] for event in graph.border_events]
+    fused = run_border_sweep_fused(
+        BatchBindings(clone, matrix), origins, len(origins)
+    )
+    reference = run_border_simulations_batch(
+        graph, matrix, kernel="fused"
+    )
+    for event, table in zip(graph.border_events, fused):
+        assert np.array_equal(table, reference.initiator_times[event])
+    assert np.array_equal(want, reference.cycle_times())

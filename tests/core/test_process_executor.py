@@ -2,11 +2,16 @@
 
 from __future__ import annotations
 
+import os
 import pickle
+import subprocess
+import sys
+import textwrap
 
 import numpy as np
 import pytest
 
+import repro.core.kernel as kernel_mod
 from repro.analysis.montecarlo import monte_carlo_cycle_time, uniform_spread
 from repro.circuits.library import async_stack_tsg, oscillator_tsg
 from repro.core.errors import SignalGraphError
@@ -103,3 +108,151 @@ class TestCompiledGraphShipping:
         original = run_initiated_batch(BatchBindings(cg, matrix), origin, 3)
         shipped = run_initiated_batch(BatchBindings(clone, matrix), origin, 3)
         assert np.array_equal(original, shipped)
+
+    def test_chunk_dispatch_never_pickles_delay_matrix(self, stack,
+                                                       monkeypatch):
+        # Interpose on the single submission boundary and record the
+        # exact argument tuples crossing the pickle fence: with a live
+        # shared block every chunk ships the block *name* plus a row
+        # range — never an ndarray, never the (S, m) matrix.
+        matrix = _matrix(stack, 64)
+        real_submit_chunk = kernel_mod._submit_chunk
+        shipped = []
+
+        def spy(pool, token, blob, shared, mat, lo, hi, *rest):
+            real_submit = pool.submit
+
+            def submit(fn, *args):
+                shipped.append(args)
+                return real_submit(fn, *args)
+
+            pool.submit = submit
+            try:
+                return real_submit_chunk(
+                    pool, token, blob, shared, mat, lo, hi, *rest
+                )
+            finally:
+                pool.submit = real_submit
+
+        monkeypatch.setattr(kernel_mod, "_submit_chunk", spy)
+        single = run_border_simulations_batch(stack, matrix)
+        pooled = run_border_simulations_batch(
+            stack, matrix.copy(), workers=2, executor="process"
+        )
+        assert np.array_equal(single.cycle_times(), pooled.cycle_times())
+        assert shipped
+        for args in shipped:
+            # (token, blob, shm_name, shm_shape, untrack, lo, hi,
+            #  origin_ids, periods, kernel, unroll, matrix=None)
+            assert not any(isinstance(arg, np.ndarray) for arg in args)
+            assert args[-1] is None           # the matrix slot
+            assert isinstance(args[2], str)   # the shared-block name
+            beyond_blob = pickle.dumps(args[2:])
+            assert len(beyond_blob) < 2048
+            assert matrix.nbytes > 4 * len(beyond_blob)
+
+    def test_shared_blocks_balanced_and_unlinked(self, stack):
+        before = dict(kernel_mod._SHM_STATS)
+        run_border_simulations_batch(
+            stack, _matrix(stack, 32), workers=2, executor="process"
+        )
+        assert kernel_mod._SHM_STATS["created"] == before["created"] + 1
+        assert kernel_mod._SHM_STATS["unlinked"] == before["unlinked"] + 1
+        assert not kernel_mod._SHM_LIVE
+
+    def test_fallback_without_shared_memory_bit_identical(
+            self, oscillator, monkeypatch):
+        def unavailable(matrix):
+            raise OSError("shared memory unavailable")
+
+        matrix = _matrix(oscillator, 20)
+        single = run_border_simulations_batch(oscillator, matrix)
+        before = kernel_mod._SHM_STATS["fallback"]
+        monkeypatch.setattr(kernel_mod, "_SharedMatrix", unavailable)
+        pooled = run_border_simulations_batch(
+            oscillator, matrix.copy(), workers=2, executor="process"
+        )
+        assert kernel_mod._SHM_STATS["fallback"] == before + 1
+        assert np.array_equal(single.cycle_times(), pooled.cycle_times())
+
+    @pytest.mark.filterwarnings(
+        "ignore:numba is not importable:RuntimeWarning"
+    )
+    def test_all_kernels_bit_identical_through_process_pool(self, stack):
+        matrix = _matrix(stack, 24)
+        want = run_border_simulations_batch(
+            stack, matrix, kernel="batch"
+        ).cycle_times()
+        for kern in ("batch", "fused", "numba"):
+            got = run_border_simulations_batch(
+                stack, matrix.copy(), workers=2, executor="process",
+                kernel=kern,
+            ).cycle_times()
+            assert np.array_equal(want, got)
+
+    def test_cleanup_hook_unlinks_leaked_blocks(self):
+        # The atexit sweep must reap blocks a crashed sweep left
+        # behind, and a later close() of the same block is a no-op.
+        shared = kernel_mod._SharedMatrix(np.ones((4, 3)))
+        assert shared.name in kernel_mod._SHM_LIVE
+        kernel_mod._cleanup_shared_matrices()
+        assert not kernel_mod._SHM_LIVE
+        shared.close()
+        kernel_mod._cleanup_shared_matrices()
+
+
+class TestPoolLifecycle:
+    def test_pool_respawns_after_teardown_twice(self, oscillator):
+        # Regression: tear the pool down and spin it up again, twice —
+        # the second sweep must get a fresh working pool, not a dead
+        # executor or leaked semaphores.
+        matrix = _matrix(oscillator, 8)
+        reference = run_border_simulations_batch(oscillator, matrix)
+        for _ in range(2):
+            sweep = run_border_simulations_batch(
+                oscillator, matrix.copy(), workers=2, executor="process"
+            )
+            assert np.array_equal(
+                reference.cycle_times(), sweep.cycle_times()
+            )
+            shutdown_process_pool()
+
+    @pytest.mark.skipif(
+        not os.path.isdir("/dev/shm"), reason="POSIX shm mount required"
+    )
+    def test_interpreter_exit_reaps_pool_and_segments(self):
+        # A worst-case client: runs a pooled sweep, then leaks a live
+        # shared block and exits without closing anything.  The atexit
+        # hooks must drain the pool (clean exit code) and unlink the
+        # leaked segment from /dev/shm.
+        code = textwrap.dedent(
+            """
+            import numpy as np
+            from repro.circuits.library import oscillator_tsg
+            import repro.core.kernel as kernel
+
+            graph = oscillator_tsg()
+            rng = np.random.default_rng(0)
+            base = np.asarray([float(a.delay) for a in graph.arcs])
+            matrix = base * rng.uniform(0.8, 1.2, size=(12, base.size))
+            kernel.run_border_simulations_batch(
+                graph, matrix, workers=2, executor="process"
+            )
+            leaked = kernel._SharedMatrix(matrix)
+            print(leaked.name)
+            """
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, ["src", env.get("PYTHONPATH")])
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, env=env, timeout=120,
+            cwd=os.path.dirname(os.path.dirname(
+                os.path.dirname(os.path.abspath(__file__)))),
+        )
+        assert proc.returncode == 0, proc.stderr
+        name = proc.stdout.strip().splitlines()[-1].lstrip("/")
+        assert name
+        assert not os.path.exists(os.path.join("/dev/shm", name))
