@@ -1,13 +1,14 @@
 #!/usr/bin/env python
 """Measure the kernel speedups and record them as JSON.
 
-Five suites::
+Six suites::
 
     PYTHONPATH=src python scripts/bench_to_json.py [--suite kernels]
     PYTHONPATH=src python scripts/bench_to_json.py --suite montecarlo
     PYTHONPATH=src python scripts/bench_to_json.py --suite service
     PYTHONPATH=src python scripts/bench_to_json.py --suite obs
     PYTHONPATH=src python scripts/bench_to_json.py --suite scaling_out
+    PYTHONPATH=src python scripts/bench_to_json.py --suite ptime
 
 ``kernels`` (the default) times the legacy, exact and float engines —
 border simulations and end-to-end ``compute_cycle_time`` — on the
@@ -38,6 +39,12 @@ sweep (with a bit-identity check against the single-process kernel).
 Scaling gates are enforced only when ``os.cpu_count()`` provides the
 parallel hardware they presume; the recorded ``cpu_count`` and
 ``hardware_note`` keep single-core runs honest.
+
+``ptime`` times the P-time layer — ``check_consistency`` (exact
+Fraction and float modes), the full ``lambda_range`` interval, and the
+certified-rejection path on planted-inconsistent instances — across
+graph sizes, runs a 3-rate ``cross_validate`` correctness rider, and
+writes ``BENCH_ptime.json``.
 
 Timings are best-of-N wall clock after warmup (the float kernel's
 code-generation tier activates during warmup, as it does in any
@@ -853,6 +860,141 @@ def measure_executor_scaling(stages, samples, workers):
     }
 
 
+PTIME_SIZES = (20, 60, 120)
+PTIME_WARMUP = 1
+PTIME_REPS = 5
+
+
+def measure_ptime(stages):
+    from repro.generators import (
+        plant_inconsistency,
+        ptime_wrap,
+    )
+    from repro.ptime import check_consistency, lambda_range
+
+    graph = ring_with_chords(
+        stages=stages, tokens=3, chords=stages // 4, seed=7
+    )
+    exact = ptime_wrap(
+        graph, tightness=0.5, seed=stages, infinite_fraction=0.2
+    )
+    floaty = exact.copy()
+    for arc, interval in exact.arc_bounds():
+        floaty.set_bounds(
+            arc.source, arc.target,
+            float(interval.lower),
+            None if interval.upper is None else float(interval.upper),
+        )
+    planted = plant_inconsistency(exact, seed=stages)
+
+    for _ in range(PTIME_WARMUP):
+        check_consistency(exact)
+        check_consistency(floaty)
+        lambda_range(exact)
+        check_consistency(planted)
+
+    check_result = check_consistency(exact)
+    range_result = lambda_range(exact)
+    reject_result = check_consistency(planted)
+    assert check_result.consistent and range_result.consistent
+    assert not reject_result.consistent
+
+    return {
+        "stages": stages,
+        "events": exact.num_events,
+        "arcs": exact.num_arcs,
+        "check_exact_ms": 1e3 * best_of(
+            lambda: check_consistency(exact), reps=PTIME_REPS
+        ),
+        "check_float_ms": 1e3 * best_of(
+            lambda: check_consistency(floaty), reps=PTIME_REPS
+        ),
+        "lambda_range_exact_ms": 1e3 * best_of(
+            lambda: lambda_range(exact), reps=PTIME_REPS
+        ),
+        "reject_planted_ms": 1e3 * best_of(
+            lambda: check_consistency(planted), reps=PTIME_REPS
+        ),
+        "check_iterations": check_result.iterations,
+        "range_iterations": range_result.iterations,
+        "lam_min": str(range_result.lam_min),
+        "lam_max": (
+            None if range_result.lam_max is None
+            else str(range_result.lam_max)
+        ),
+    }
+
+
+def run_ptime_suite(sizes, output):
+    from repro.ptime import cross_validate
+
+    rows = []
+    for stages in sizes:
+        row = measure_ptime(stages)
+        rows.append(row)
+        print(
+            "n=%-4d  check exact %7.2f ms  float %7.2f ms  "
+            "lambda-range %7.2f ms (%d passes)  reject %7.2f ms"
+            % (
+                stages,
+                row["check_exact_ms"],
+                row["check_float_ms"],
+                row["lambda_range_exact_ms"],
+                row["range_iterations"],
+                row["reject_planted_ms"],
+            )
+        )
+
+    # correctness rider: the smallest instance must cross-validate
+    # (trajectories verified, kernel bit-exact on induced delays)
+    graph = ring_with_chords(
+        stages=sizes[0], tokens=3, chords=sizes[0] // 4, seed=7
+    )
+    from repro.generators import ptime_wrap
+
+    rider = cross_validate(
+        ptime_wrap(graph, tightness=0.5, seed=sizes[0], infinite_fraction=0.2),
+        samples=3,
+        horizon=4,
+    )
+    failures = [] if rider.ok else [str(rider)]
+
+    cpu_count = os.cpu_count() or 1
+    document = {
+        "benchmark": "P-time analysis: NPC consistency checks and "
+        "lambda-range synthesis",
+        "workload": "ptime_wrap(ring_with_chords(stages=n, tokens=3, "
+        "chords=n/4, seed=7), tightness=0.5, infinite_fraction=0.2); "
+        "rejection rows add two conflicting rigid gadgets",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": cpu_count,
+        "hardware_note": (
+            "single-process, single-thread Bellman-Ford passes on a host "
+            "exposing %d CPU core(s); wall-clock medians are stable but "
+            "absolute times are container-dependent" % cpu_count
+        ),
+        "warmup_runs": PTIME_WARMUP,
+        "timer": "best of %d, wall clock" % PTIME_REPS,
+        "rows": rows,
+        "gates": {
+            "cross_validate": "enforced" if rider.ok else "FAILED",
+        },
+        "headline": {
+            "graph": "stages=%d" % rows[-1]["stages"],
+            "check_exact_ms": rows[-1]["check_exact_ms"],
+            "lambda_range_exact_ms": rows[-1]["lambda_range_exact_ms"],
+        },
+    }
+    with open(output, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print("wrote %s" % os.path.abspath(output))
+    for failure in failures:
+        print("WARNING: %s" % failure)
+    return 1 if failures else 0
+
+
 def run_scaling_out_suite(output):
     cpu_count = os.cpu_count() or 1
     print("cpu_count=%d" % cpu_count)
@@ -965,7 +1107,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("kernels", "montecarlo", "service", "obs", "scaling_out"),
+        choices=("kernels", "montecarlo", "service", "obs", "scaling_out",
+                 "ptime"),
         default="kernels",
         help="what to measure (default: the single-analysis kernels)",
     )
@@ -993,6 +1136,13 @@ def main(argv=None) -> int:
     if args.suite == "scaling_out":
         output = args.output or os.path.join(root, "BENCH_scaling_out.json")
         return run_scaling_out_suite(output)
+    if args.suite == "ptime":
+        sizes = [
+            int(part)
+            for part in (args.sizes or ",".join(map(str, PTIME_SIZES))).split(",")
+        ]
+        output = args.output or os.path.join(root, "BENCH_ptime.json")
+        return run_ptime_suite(sizes, output)
     if args.suite == "obs":
         sizes = [
             int(part)

@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""P-time subsystem smoke test: the corpus-scale acceptance gate.
+
+Generates a reproducible corpus of P-time Signal Graph instances
+(:func:`repro.generators.ptime_corpus` — suite workloads and random
+live graphs wrapped with consistent-by-construction interval bounds of
+sweeping tightness, every 4th instance a certified-inconsistent
+plant), then requires:
+
+1. every consistent instance to pass :func:`repro.ptime.cross_validate`
+   — the synthesized rate interval contains the construction witness,
+   trajectories at sampled rates verify against the interval semantics
+   AND the token-game replay, the induced in-bounds fixed-delay graphs
+   reproduce each sampled rate through the kernel **bit-exactly**
+   (Fraction mode), and the corner sweeps bracket the interval
+   (``lam(lower) <= lam_min``, ``lam_max <= lam(upper)``);
+2. every planted-inconsistent instance to be rejected with a *closed*
+   violating-circuit certificate whose constraint is genuinely
+   violated at the rate it was found;
+3. weak consistency to hold for a sample of the consistent instances
+   (strong implies weak at every horizon);
+4. bit-reproducibility: regenerating the corpus and re-running
+   ``lambda_range`` must give identical Fractions.
+
+Exit code 0 means the gate holds (the default 280 instances contain
+>= 200 consistent ones); this is the CI ptime-smoke job.
+
+Usage::
+
+    PYTHONPATH=src python scripts/ptime_smoke.py [--count N] [--seed S]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from fractions import Fraction
+
+ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.generators import ptime_corpus_list  # noqa: E402
+from repro.ptime import (  # noqa: E402
+    check_consistency,
+    cross_validate,
+    lambda_range,
+    weak_consistency,
+)
+
+#: Every Nth consistent instance also gets the (more expensive)
+#: unfolded weak-consistency check.
+WEAK_EVERY = 10
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--count", type=int, default=280,
+        help="corpus size (default 280: >= 200 consistent instances)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--samples", type=int, default=3,
+        help="rates sampled per consistent instance (default 3)",
+    )
+    parser.add_argument(
+        "--horizon", type=int, default=5,
+        help="verification replay horizon (default 5)",
+    )
+    args = parser.parse_args(argv)
+
+    start = time.time()
+    corpus = ptime_corpus_list(count=args.count, seed=args.seed)
+    failures = []
+    consistent = inconsistent = weak_checked = 0
+    ranges = []
+
+    for index, instance in enumerate(corpus):
+        try:
+            if instance.consistent:
+                outcome = cross_validate(
+                    instance.ptg, samples=args.samples, horizon=args.horizon
+                )
+                if not outcome.ok:
+                    failures.append("%s: %s" % (instance.name, outcome))
+                    continue
+                if not outcome.range.contains(instance.witness_rate):
+                    failures.append(
+                        "%s: witness rate %s outside %s"
+                        % (instance.name, instance.witness_rate, outcome.range)
+                    )
+                    continue
+                ranges.append(
+                    (index, outcome.range.lam_min, outcome.range.lam_max)
+                )
+                consistent += 1
+                if consistent % WEAK_EVERY == 0:
+                    weak = weak_consistency(instance.ptg, horizon=4)
+                    weak_checked += 1
+                    if not weak.feasible:
+                        failures.append(
+                            "%s: strongly consistent but 4-prefix infeasible"
+                            % instance.name
+                        )
+            else:
+                verdict = check_consistency(instance.ptg)
+                if verdict.consistent:
+                    failures.append(
+                        "%s: planted inconsistency not detected" % instance.name
+                    )
+                    continue
+                violation = verdict.violation
+                if not violation.is_closed():
+                    failures.append(
+                        "%s: violating circuit does not close" % instance.name
+                    )
+                elif violation.tested_at is not None and not (
+                    violation.weight_at(violation.tested_at) < 0
+                ):
+                    failures.append(
+                        "%s: certificate weight not negative at tested rate"
+                        % instance.name
+                    )
+                else:
+                    inconsistent += 1
+        except Exception as error:  # noqa: BLE001 — smoke harness boundary
+            failures.append(
+                "%s: %s: %s" % (instance.name, type(error).__name__, error)
+            )
+
+    # bit-reproducibility: same corpus again, same Fractions out
+    replay = ptime_corpus_list(count=args.count, seed=args.seed)
+    for index, lam_min, lam_max in ranges[:: max(1, len(ranges) // 25)]:
+        again = lambda_range(replay[index].ptg)
+        if (again.lam_min, again.lam_max) != (lam_min, lam_max):
+            failures.append(
+                "%s: lambda range not reproducible (%s vs %s)"
+                % (replay[index].name, (lam_min, lam_max),
+                   (again.lam_min, again.lam_max))
+            )
+        elif not isinstance(again.lam_min, (int, Fraction)):
+            failures.append(
+                "%s: exact corpus produced a non-Fraction rate"
+                % replay[index].name
+            )
+
+    elapsed = time.time() - start
+    print(
+        "ptime smoke: %d instances in %.1fs — %d consistent cross-validated "
+        "(%d weak-checked), %d inconsistent certified"
+        % (len(corpus), elapsed, consistent, weak_checked, inconsistent)
+    )
+    if consistent < 200 and args.count >= 280:
+        failures.append(
+            "only %d consistent instances cross-validated (need >= 200)"
+            % consistent
+        )
+    if failures:
+        for failure in failures[:20]:
+            print("FAIL: %s" % failure, file=sys.stderr)
+        if len(failures) > 20:
+            print(
+                "... and %d more failures" % (len(failures) - 20),
+                file=sys.stderr,
+            )
+        return 1
+    print("ptime smoke: all gates hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,13 @@ Commands
 ``verify FILE``
     Cross-verify extraction of a netlist against the independent
     event-driven timed simulator.
+``ptime ACTION FILE``
+    P-time (interval-bound) analysis: strong-consistency check with
+    certificate, feasible 1-periodic rate interval, or explicit
+    trajectory synthesis verified against the token game.
+``intervals FILE``
+    Corner-sweep cycle-time bounds for interval delays (the monotone
+    two-corner analysis of :mod:`repro.analysis.intervals`).
 ``demo NAME``
     Print one of the built-in paper graphs (``oscillator``, ``ring``,
     ``stack``).
@@ -327,6 +334,149 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _load_ptime_graph(args):
+    """A P-time graph for ``repro ptime``: a ``ptime-signal-graph``
+    JSON document directly, or any fixed-delay graph widened by
+    ``--margin``.  Without a margin, delays embed as ``[d, oo)`` — the
+    ASAP-faithful reading where a delay is a *minimum* sojourn (rigid
+    ``[d, d]`` wraps of multi-circuit graphs are inconsistent unless
+    every circuit ratio coincides)."""
+    from fractions import Fraction
+
+    from .ptime import PTimeSignalGraph, from_timed_graph
+
+    if args.file.endswith(".json"):
+        loaded = json_io.load(args.file)
+        if isinstance(loaded, PTimeSignalGraph):
+            return loaded
+    graph = _load_graph(args.file)
+    margin = getattr(args, "margin", None)
+    if not margin:
+        return from_timed_graph(
+            graph, bounds={arc.pair: (arc.delay, None) for arc in graph.arcs}
+        )
+    if margin < 0 or margin >= 1:
+        raise SignalGraphError("--margin must be in [0, 1)")
+    factor = (
+        Fraction(str(margin)) if graph.is_exact else float(margin)
+    )
+    bounds = {
+        arc.pair: (arc.delay * (1 - factor), arc.delay * (1 + factor))
+        for arc in graph.arcs
+    }
+    return from_timed_graph(graph, bounds=bounds)
+
+
+def _print_violation(violation) -> None:
+    print("  " + violation.condition())
+    for edge in violation.edges:
+        print("    " + edge.describe())
+
+
+def _cmd_ptime(args) -> int:
+    from .ptime import (
+        check_consistency,
+        lambda_range,
+        synthesize_trajectory,
+        verify_trajectory,
+    )
+
+    ptg = _load_ptime_graph(args)
+    print(
+        "graph: %s (%d events, %d arcs, %s)"
+        % (
+            ptg.name,
+            ptg.num_events,
+            ptg.num_arcs,
+            "exact" if ptg.is_exact else "float",
+        )
+    )
+    if args.action == "check":
+        result = check_consistency(ptg)
+        print("consistency: %s" % result)
+        if result.consistent:
+            for event, value in sorted(
+                result.offsets.items(), key=lambda item: str(item[0])
+            ):
+                print("  x0(%s) = %s" % (event, value))
+        else:
+            _print_violation(result.violation)
+        return 0 if result.consistent else 1
+    if args.action == "lambda-range":
+        window = lambda_range(ptg)
+        print("rate interval: %s" % window)
+        if not window.consistent:
+            _print_violation(window.violation)
+            return 1
+        return 0
+    # trajectory
+    window = lambda_range(ptg)
+    if not window.consistent:
+        print("rate interval: %s" % window)
+        _print_violation(window.violation)
+        return 1
+    rate = args.rate
+    if rate is not None:
+        from fractions import Fraction
+
+        rate = Fraction(rate) if ptg.is_exact else float(rate)
+        if not window.contains(rate):
+            print(
+                "error: rate %s outside the feasible interval %s"
+                % (rate, window),
+                file=sys.stderr,
+            )
+            return 1
+    trajectory = synthesize_trajectory(ptg, rate=rate, validate=False)
+    verdict = verify_trajectory(ptg, trajectory, horizon=args.horizon)
+    print("rate interval: %s" % window)
+    print("trajectory rate: %s" % trajectory.rate)
+    for event, value in sorted(
+        trajectory.offsets.items(), key=lambda item: str(item[0])
+    ):
+        print("  x0(%s) = %s" % (event, value))
+    print("induced in-bounds delays:")
+    for (source, target), value in trajectory.induced_delays(ptg).items():
+        print("  %s -> %s : %s" % (source, target, value))
+    print(str(verdict))
+    return 0 if verdict.ok else 1
+
+
+def _cmd_intervals(args) -> int:
+    from .analysis import interval_cycle_time, uniform_interval_cycle_time
+    from .ptime import PTimeSignalGraph
+
+    loaded = None
+    if args.file.endswith(".json"):
+        loaded = json_io.load(args.file)
+    if isinstance(loaded, PTimeSignalGraph):
+        # Corner sweep over the finite sub-box of a P-time document.
+        graph = loaded.graph
+        result = interval_cycle_time(
+            graph, loaded.interval_bounds_dict(), kernel=args.kernel
+        )
+        source = "ptime bounds"
+    else:
+        graph = _load_graph(args.file)
+        result = uniform_interval_cycle_time(
+            graph, args.margin, kernel=args.kernel
+        )
+        source = "uniform +/-%g margin" % args.margin
+    print(
+        "graph: %s (%d events, %d arcs)"
+        % (graph.name, graph.num_events, graph.num_arcs)
+    )
+    print("interval source: %s" % source)
+    print(str(result))
+    print("spread: %s" % result.spread)
+    robust = result.robust_critical_events()
+    print(
+        "robust critical events (%d): %s"
+        % (len(robust), ", ".join(sorted(str(e) for e in robust)))
+    )
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from .service.cache import configure
     from .service.server import ServiceConfig, serve
@@ -556,6 +706,59 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("after")
     compare.add_argument("--json", action="store_true")
     compare.set_defaults(func=_cmd_compare)
+
+    ptime = commands.add_parser(
+        "ptime",
+        help="P-time (interval-bound) analysis: consistency, feasible "
+        "rate interval, periodic trajectory synthesis",
+    )
+    ptime.add_argument(
+        "action", choices=("check", "lambda-range", "trajectory"),
+        help="question to answer: strong consistency (with certificate), "
+        "the feasible 1-periodic rate interval, or an explicit verified "
+        "trajectory",
+    )
+    ptime.add_argument(
+        "file",
+        help="ptime-signal-graph JSON, or any .g/.json/demo graph "
+        "(wrapped rigid, or widened with --margin)",
+    )
+    ptime.add_argument(
+        "--margin", type=float, default=None, metavar="M",
+        help="for fixed-delay inputs: widen every delay d to "
+        "[d*(1-M), d*(1+M)]",
+    )
+    ptime.add_argument(
+        "--rate", default=None, metavar="LAM",
+        help="trajectory action: synthesize at this rate instead of the "
+        "smallest feasible one",
+    )
+    ptime.add_argument(
+        "--horizon", type=int, default=8, metavar="K",
+        help="verification replay depth (occurrences per event)",
+    )
+    ptime.set_defaults(func=_cmd_ptime)
+
+    intervals = commands.add_parser(
+        "intervals",
+        help="corner-sweep cycle-time bounds for interval delays "
+        "(monotone two-corner analysis)",
+    )
+    intervals.add_argument(
+        "file",
+        help="ptime-signal-graph JSON (uses its bounds) or any graph "
+        "(uniform --margin sweep)",
+    )
+    intervals.add_argument(
+        "--margin", type=float, default=0.1, metavar="M",
+        help="relative margin for fixed-delay inputs (default 0.1)",
+    )
+    intervals.add_argument(
+        "--kernel", choices=("auto", "batch", "fused", "numba"),
+        default=None,
+        help="batch kernel for the float corner sweep",
+    )
+    intervals.set_defaults(func=_cmd_intervals)
 
     serve = commands.add_parser(
         "serve", help="run the JSON-over-HTTP analysis daemon"

@@ -12,8 +12,20 @@ from .random_graphs import (
     random_marked_graph_batch,
     ring_with_chords,
 )
+from .ptime_variants import (
+    PTimeInstance,
+    plant_inconsistency,
+    ptime_corpus,
+    ptime_corpus_list,
+    ptime_wrap,
+)
 
 __all__ = [
+    "PTimeInstance",
+    "plant_inconsistency",
+    "ptime_corpus",
+    "ptime_corpus_list",
+    "ptime_wrap",
     "WORKLOADS",
     "load_workload",
     "workload_table",

@@ -1,0 +1,226 @@
+"""P-time variants of the workload generators.
+
+Wrap any fixed-delay suite graph with random ``[l, u]`` interval
+bounds of controllable tightness, **consistent by construction**: the
+wrap is built around a concrete 1-periodic witness, so the feasible
+rate interval is provably non-empty and tests/benchmarks get a corpus
+with known-good instances.  :func:`plant_inconsistency` turns any
+instance into a certified-inconsistent one for the negative paths.
+
+The construction: compute the graph's cycle time ``lam*`` and its
+steady-state potentials ``x0`` (longest-path under ``w = d - lam*·m``,
+:func:`repro.analysis.performance.steady_state_potentials`).  The
+potentials satisfy ``x0_t >= x0_q + d_a - lam*·m_a`` for every core
+arc, so the realised sojourn ::
+
+    s_a = x0_t - x0_q + lam*·m_a   (>= d_a >= 0)
+
+is a per-arc witness.  Any bounds with ``l_a <= s_a <= u_a`` therefore
+admit the 1-periodic trajectory ``(x0, lam*)`` — consistency is
+guaranteed no matter how the random draws land.  ``tightness`` in
+``[0, 1]`` scales how far the bounds retreat from the witness: 0
+pins ``[s_a, s_a]`` (rigid — the narrowest consistent wrap), 1 allows
+lowers down to 0 and uppers up to ``3·s_a``.
+
+Inconsistency planting is *universal* (works on any graph, including
+single-circuit rings where naive bound-tightening schemes stay
+consistent): two rigid 2-cycle gadgets are attached to a core event,
+one forcing ``lam = c1`` and the other ``lam = c2 != c1``.  The NPC
+checker returns a violating circuit through one of them.
+
+All random draws are :class:`fractions.Fraction`-valued when the base
+graph is exact, so the exact analysis path stays bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator, List, Optional
+
+from ..analysis.performance import steady_state_potentials
+from ..core.arithmetic import Number
+from ..core.cycle_time import compute_cycle_time
+from ..core.signal_graph import TimedSignalGraph
+from ..ptime.model import PTimeSignalGraph, from_timed_graph
+from .random_graphs import random_live_tsg, ring_with_chords
+from .suite import WORKLOADS
+
+#: Denominator for exact random fractions (bit-reproducible draws).
+_GRAIN = 720
+
+
+def _fraction(rng: random.Random) -> Fraction:
+    return Fraction(rng.randrange(_GRAIN + 1), _GRAIN)
+
+
+def ptime_wrap(
+    graph: TimedSignalGraph,
+    tightness: float = 0.5,
+    seed: Optional[int] = None,
+    infinite_fraction: float = 0.25,
+    rate: Optional[Number] = None,
+    name: Optional[str] = None,
+) -> PTimeSignalGraph:
+    """A consistent-by-construction P-time wrap of ``graph``.
+
+    ``tightness`` in ``[0, 1]`` controls how far bounds retreat from
+    the built-in 1-periodic witness (see module docstring); each upper
+    bound independently becomes ``oo`` with probability
+    ``infinite_fraction``.  ``rate`` overrides the witness rate (must
+    be ``>= `` the graph's cycle time or the potentials do not exist).
+    Equal seeds give identical wraps.
+    """
+    if not 0.0 <= tightness <= 1.0:
+        raise ValueError("tightness must be in [0, 1]")
+    if not 0.0 <= infinite_fraction <= 1.0:
+        raise ValueError("infinite_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    exact = graph.is_exact
+    if rate is None:
+        rate = compute_cycle_time(
+            graph, check=False, keep_simulations=False, backtrack=False
+        ).cycle_time
+    potentials = steady_state_potentials(graph, rate)
+    tight = Fraction(str(tightness)) if exact else tightness
+
+    bounds = {}
+    for arc in graph.arcs:
+        if arc.source in potentials and arc.target in potentials:
+            witness = (
+                potentials[arc.target]
+                - potentials[arc.source]
+                + rate * arc.tokens
+            )
+        else:
+            # Non-repetitive fringe: the arc constrains finitely many
+            # occurrences; bound it around its own delay.
+            witness = arc.delay
+        shrink = tight * _fraction(rng)
+        grow = tight * _fraction(rng)
+        if not exact:
+            shrink, grow = float(shrink), float(grow)
+        lower = witness * (1 - shrink)
+        if lower < 0:
+            lower = 0
+        if rng.random() < infinite_fraction:
+            upper = None
+        else:
+            upper = witness * (1 + 2 * grow)
+        bounds[arc.pair] = (lower, upper)
+    return from_timed_graph(
+        graph,
+        bounds=bounds,
+        name=name or graph.name + "-ptime",
+    )
+
+
+def plant_inconsistency(
+    ptg: PTimeSignalGraph, seed: Optional[int] = None
+) -> PTimeSignalGraph:
+    """A certified-inconsistent copy of ``ptg``.
+
+    Attaches two rigid 2-cycle gadgets to one repetitive event,
+    demanding two different exact rates — no timing can satisfy both,
+    whatever the rest of the graph allows, and the NPC checker
+    produces a violating circuit through one gadget.
+    """
+    rng = random.Random(seed)
+    clone = ptg.copy(name=ptg.name + "-inconsistent")
+    repetitive = clone.graph.repetitive_events
+    anchors = [event for event in clone.graph.events if event in repetitive]
+    anchor = anchors[rng.randrange(len(anchors))]
+    exact = clone.is_exact
+    c1 = Fraction(rng.randrange(1, _GRAIN), 1) if exact else float(
+        rng.randrange(1, _GRAIN)
+    )
+    c2 = c1 + (Fraction(1) if exact else 1.0)
+    for tag, demand in (("demand-a", c1), ("demand-b", c2)):
+        probe = "%s#%s" % (tag, ptg.name)
+        # anchor -> probe [c, c] unmarked; probe -> anchor [0, 0]
+        # marked: the circuit carries one token and total bounds
+        # [c, c], forcing lam == c exactly.
+        clone.add_arc(anchor, probe, demand, demand)
+        clone.add_arc(probe, anchor, 0, 0, marked=True)
+    return clone
+
+
+@dataclass(frozen=True)
+class PTimeInstance:
+    """One corpus entry: a P-time graph with its ground truth."""
+
+    name: str
+    ptg: PTimeSignalGraph
+    consistent: bool
+    witness_rate: Optional[Number] = None  # feasible rate (consistent only)
+
+
+def ptime_corpus(
+    count: int = 200,
+    seed: int = 0,
+    inconsistent_every: int = 4,
+    max_events: int = 24,
+) -> Iterator[PTimeInstance]:
+    """A reproducible stream of P-time instances with ground truth.
+
+    Cycles through the named suite workloads and randomly-shaped
+    rings/graphs, sweeping tightness and the infinite-upper fraction;
+    every ``inconsistent_every``-th instance is a certified-
+    inconsistent plant.  Equal ``(count, seed)`` give an identical
+    corpus (exact bounds throughout), so smoke runs and CI compare
+    bit-identical results.
+    """
+    names = sorted(WORKLOADS)
+    rng = random.Random(seed)
+    for index in range(count):
+        shape = index % (len(names) + 2)
+        instance_seed = rng.randrange(2 ** 31)
+        if shape < len(names):
+            base = WORKLOADS[names[shape]]()
+        elif shape == len(names):
+            stages = 4 + instance_seed % (max_events - 4)
+            tokens = 1 + instance_seed % max(1, stages // 3)
+            base = ring_with_chords(
+                stages, tokens, chords=instance_seed % 4,
+                seed=instance_seed,
+            )
+        else:
+            events = 4 + instance_seed % (max_events - 4)
+            base = random_live_tsg(
+                events, extra_arcs=instance_seed % 6, seed=instance_seed
+            )
+        tightness = (index % 5) / 4.0
+        infinite = (index % 3) / 4.0
+        wrapped = ptime_wrap(
+            base,
+            tightness=tightness,
+            seed=instance_seed,
+            infinite_fraction=infinite,
+            name="%s-t%d-i%d" % (base.name, index, instance_seed % 1000),
+        )
+        witness = compute_cycle_time(
+            base, check=False, keep_simulations=False, backtrack=False
+        ).cycle_time
+        if inconsistent_every and index % inconsistent_every == (
+            inconsistent_every - 1
+        ):
+            yield PTimeInstance(
+                name=wrapped.name + "-inconsistent",
+                ptg=plant_inconsistency(wrapped, seed=instance_seed),
+                consistent=False,
+            )
+        else:
+            yield PTimeInstance(
+                name=wrapped.name,
+                ptg=wrapped,
+                consistent=True,
+                witness_rate=witness,
+            )
+
+
+def ptime_corpus_list(
+    count: int = 200, seed: int = 0, **kwargs
+) -> List[PTimeInstance]:
+    """:func:`ptime_corpus` materialised as a list."""
+    return list(ptime_corpus(count=count, seed=seed, **kwargs))

@@ -14,6 +14,7 @@ from typing import Any, Dict, TextIO, Union
 from ..core.errors import FormatError
 from ..core.signal_graph import TimedSignalGraph
 from ..circuits.netlist import Netlist
+from ..ptime.model import PTimeSignalGraph
 
 
 def _encode_number(value) -> Any:
@@ -90,6 +91,62 @@ def graph_from_dict(data: Dict[str, Any]) -> TimedSignalGraph:
 
 
 # ----------------------------------------------------------------------
+# P-time Signal Graphs
+# ----------------------------------------------------------------------
+def ptime_graph_to_dict(ptg: PTimeSignalGraph) -> Dict[str, Any]:
+    """Lossless document for a P-time graph.
+
+    Each arc carries ``"bounds": [l, u]`` with the same tagged number
+    encoding as delays; ``u = null`` encodes an unbounded sojourn.
+    """
+    return {
+        "kind": "ptime-signal-graph",
+        "name": ptg.name,
+        "events": [str(event) for event in ptg.events],
+        "arcs": [
+            {
+                "source": str(arc.source),
+                "target": str(arc.target),
+                "bounds": [
+                    _encode_number(interval.lower),
+                    None
+                    if interval.upper is None
+                    else _encode_number(interval.upper),
+                ],
+                "marked": arc.marked,
+                "disengageable": arc.disengageable,
+            }
+            for arc, interval in ptg.arc_bounds()
+        ],
+    }
+
+
+def ptime_graph_from_dict(data: Dict[str, Any]) -> PTimeSignalGraph:
+    if data.get("kind") != "ptime-signal-graph":
+        raise FormatError("not a ptime-signal-graph document")
+    ptg = PTimeSignalGraph(name=data.get("name", "ptsg"))
+    for event in data.get("events", []):
+        ptg.add_event(event)
+    for arc in data["arcs"]:
+        try:
+            lower, upper = arc["bounds"]
+        except (KeyError, ValueError, TypeError):
+            raise FormatError(
+                "arc %r -> %r needs a [lower, upper] bounds pair"
+                % (arc.get("source"), arc.get("target"))
+            ) from None
+        ptg.add_arc(
+            arc["source"],
+            arc["target"],
+            _decode_number(lower),
+            None if upper is None else _decode_number(upper),
+            marked=bool(arc.get("marked", False)),
+            disengageable=bool(arc.get("disengageable", False)),
+        )
+    return ptg
+
+
+# ----------------------------------------------------------------------
 # Netlists
 # ----------------------------------------------------------------------
 def netlist_to_dict(netlist: Netlist) -> Dict[str, Any]:
@@ -145,30 +202,40 @@ def netlist_from_dict(data: Dict[str, Any]) -> Netlist:
 # ----------------------------------------------------------------------
 # File-level helpers
 # ----------------------------------------------------------------------
-def dumps(obj: Union[TimedSignalGraph, Netlist], indent: int = 2) -> str:
+def dumps(
+    obj: Union[TimedSignalGraph, PTimeSignalGraph, Netlist], indent: int = 2
+) -> str:
     if isinstance(obj, TimedSignalGraph):
         return json.dumps(graph_to_dict(obj), indent=indent)
+    if isinstance(obj, PTimeSignalGraph):
+        return json.dumps(ptime_graph_to_dict(obj), indent=indent)
     if isinstance(obj, Netlist):
         return json.dumps(netlist_to_dict(obj), indent=indent)
     raise FormatError("cannot serialise %r" % type(obj).__name__)
 
 
-def loads(text: str) -> Union[TimedSignalGraph, Netlist]:
+def loads(text: str) -> Union[TimedSignalGraph, PTimeSignalGraph, Netlist]:
     data = json.loads(text)
     kind = data.get("kind")
     if kind == "timed-signal-graph":
         return graph_from_dict(data)
+    if kind == "ptime-signal-graph":
+        return ptime_graph_from_dict(data)
     if kind == "netlist":
         return netlist_from_dict(data)
     raise FormatError("unknown document kind %r" % kind)
 
 
-def load(path: str) -> Union[TimedSignalGraph, Netlist]:
+def load(path: str) -> Union[TimedSignalGraph, PTimeSignalGraph, Netlist]:
     with open(path, "r", encoding="utf-8") as handle:
         return loads(handle.read())
 
 
-def dump(obj: Union[TimedSignalGraph, Netlist], path: str, indent: int = 2) -> None:
+def dump(
+    obj: Union[TimedSignalGraph, PTimeSignalGraph, Netlist],
+    path: str,
+    indent: int = 2,
+) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(dumps(obj, indent=indent))
         handle.write("\n")

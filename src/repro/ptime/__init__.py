@@ -1,0 +1,66 @@
+"""P-time Signal Graphs: interval bounds, consistency, synthesis.
+
+The scheduling-under-uncertainty analysis family.  Arcs carry
+``[l, u]`` sojourn intervals (``u = oo`` allowed); the subsystem
+decides whether a timing respecting *both* ends exists
+(:func:`check_consistency`, with certificates either way), computes
+the feasible 1-periodic rate interval (:func:`lambda_range`),
+synthesises explicit periodic trajectories
+(:func:`synthesize_trajectory`) verified against the token game, and
+cross-validates everything against the fixed-delay kernel
+(:func:`cross_validate`).
+
+See ``docs/THEORY.md`` (P-time event graphs section) for the model
+and the NPC-weight reduction, and ``docs/API.md`` for the CLI
+(``repro ptime``) and service (``/ptime``) surfaces.
+"""
+
+from .consistency import (
+    ConsistencyResult,
+    ConstraintEdge,
+    ViolatingCircuit,
+    WeakConsistencyResult,
+    build_constraint_edges,
+    check_consistency,
+    weak_consistency,
+)
+from .model import (
+    UNBOUNDED,
+    PTimeBounds,
+    PTimeSignalGraph,
+    from_arcs,
+    from_timed_graph,
+)
+from .synthesis import (
+    CrossValidation,
+    LambdaRange,
+    PeriodicTrajectory,
+    TrajectoryVerification,
+    cross_validate,
+    lambda_range,
+    synthesize_trajectory,
+    verify_trajectory,
+)
+
+__all__ = [
+    "UNBOUNDED",
+    "PTimeBounds",
+    "PTimeSignalGraph",
+    "from_arcs",
+    "from_timed_graph",
+    "ConstraintEdge",
+    "ViolatingCircuit",
+    "ConsistencyResult",
+    "WeakConsistencyResult",
+    "build_constraint_edges",
+    "check_consistency",
+    "weak_consistency",
+    "LambdaRange",
+    "PeriodicTrajectory",
+    "TrajectoryVerification",
+    "CrossValidation",
+    "lambda_range",
+    "synthesize_trajectory",
+    "verify_trajectory",
+    "cross_validate",
+]

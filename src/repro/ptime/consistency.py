@@ -1,0 +1,672 @@
+"""Consistency of P-time Signal Graphs via non-positive circuit weights.
+
+A 1-periodic timing ``x_t(k) = x0_t + lam * k`` satisfies the interval
+constraint of arc ``q -> t`` (marking ``m``, bounds ``[l, u]``) for
+every ``k`` iff two *difference constraints* on the offsets hold::
+
+    x0_t - x0_q  >=  l - lam*m          (lower)
+    x0_t - x0_q  <=  u - lam*m          (upper, when u < oo)
+
+Collecting them over the repetitive core yields the **precedence
+graph** ``G(lam)``: one node per event, one edge per constraint with
+the affine weight ``alpha*lam + beta`` (``alpha`` in ``{-1, 0, +1}``
+since the model is initially safe).  The system is feasible iff
+``G(lam)`` has no negative-weight circuit — the *non-positive circuit
+weight* (NPC) test of the P-TEG literature (Zorzenon, Komenda &
+Raisch 2021; Zorzenon & Raisch 2023) — and Bellman-Ford potentials of
+a feasible ``G(lam)`` are a concrete offset vector ``x0``.
+
+Because every circuit weight is affine in ``lam``, the feasible rates
+form a closed interval ``[lam_min, lam_max]`` (possibly empty, or
+unbounded above); :mod:`repro.ptime.synthesis` computes its ends
+exactly.  This module provides the building blocks and the two
+decision procedures:
+
+* :func:`check_consistency` — **strong consistency**: does an
+  infinite timing respecting all bounds exist?  Decided through the
+  1-periodic criterion (for live initially-safe graphs with a
+  strongly connected core, consistency coincides with the existence
+  of a 1-periodic trajectory — the structure underlying the
+  polynomial-time decidability results above).  Returns a certificate
+  either way: a feasible ``(x0, lam)`` or a violating circuit.
+* :func:`weak_consistency` — does a consistent *finite prefix* of
+  ``K`` occurrences per event exist?  Decided by Bellman-Ford on the
+  unfolded precedence graph (``K*n`` nodes); strong consistency
+  implies weak consistency at every horizon.
+
+Rates are restricted to ``lam >= 0``: delays are non-negative and
+daters non-decreasing, so negative rates are unphysical.
+
+Each fixed-``lam`` test costs one Bellman-Ford pass, ``O(n*m)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..core.arithmetic import Number
+from ..core.errors import SignalGraphError
+from ..core.events import event_label
+from ..core.signal_graph import Event, TimedSignalGraph
+from ..obs import STATE as _obs
+from ..obs.metrics import registry as _registry
+from ..obs.tracing import tracer as _tracer
+from .model import PTimeSignalGraph
+
+#: Relative tolerance for float-mode negative-circuit detection.
+FLOAT_TOLERANCE = 1e-9
+
+
+def _count(outcome: str, metric: str = "repro_ptime_checks_total") -> None:
+    if _obs.metrics:
+        _registry().counter(
+            metric,
+            "P-time consistency/synthesis outcomes.",
+            ("outcome",),
+        ).inc(outcome=outcome)
+
+
+@dataclass(frozen=True)
+class ConstraintEdge:
+    """One difference constraint ``x_head - x_tail <= alpha*lam + beta``.
+
+    ``kind`` is ``"lower"`` or ``"upper"`` and ``arc`` the originating
+    graph arc ``(source, target)``, so certificates can be reported in
+    terms of the model, not the encoding.
+    """
+
+    tail: Hashable
+    head: Hashable
+    alpha: int
+    beta: Number
+    kind: str
+    arc: Tuple[Event, Event]
+
+    def weight_at(self, lam: Number) -> Number:
+        if self.alpha == 0:
+            return self.beta
+        return self.beta + self.alpha * lam
+
+    def describe(self) -> str:
+        source, target = self.arc
+        return "%s constraint of %s -> %s (alpha=%+d, beta=%s)" % (
+            self.kind,
+            event_label(source),
+            event_label(target),
+            self.alpha,
+            self.beta,
+        )
+
+
+@dataclass
+class ViolatingCircuit:
+    """A circuit of the precedence graph certifying infeasibility.
+
+    The circuit's weight is ``alpha*lam + beta``; feasibility of any
+    rate requires it to be non-negative, so the circuit proves:
+
+    * ``alpha > 0`` — every feasible rate satisfies ``lam >= -beta/alpha``;
+    * ``alpha == 0, beta < 0`` — no rate is feasible at all;
+    * ``alpha < 0`` — every feasible rate satisfies ``lam <= -beta/alpha``.
+
+    ``tested_at`` records the rate the Bellman-Ford pass ran at (``None``
+    for the symbolic ``lam -> oo`` pass).
+    """
+
+    edges: List[ConstraintEdge]
+    tested_at: Optional[Number] = None
+
+    @property
+    def alpha(self) -> int:
+        return sum(edge.alpha for edge in self.edges)
+
+    @property
+    def beta(self) -> Number:
+        return sum(edge.beta for edge in self.edges)
+
+    def weight_at(self, lam: Number) -> Number:
+        return sum(edge.weight_at(lam) for edge in self.edges)
+
+    def is_closed(self) -> bool:
+        """Sanity check: the edges chain tail-to-head and close."""
+        if not self.edges:
+            return False
+        for left, right in zip(self.edges, self.edges[1:]):
+            if left.head != right.tail:
+                return False
+        return self.edges[-1].head == self.edges[0].tail
+
+    def condition(self) -> str:
+        alpha, beta = self.alpha, self.beta
+        if alpha > 0:
+            return "requires lam >= %s" % _ratio(-beta, alpha)
+        if alpha < 0:
+            return "requires lam <= %s" % _ratio(-beta, alpha)
+        return "unsatisfiable for every lam (circuit weight %s < 0)" % beta
+
+    def describe(self) -> str:
+        lines = [
+            "violating circuit (alpha=%+d, beta=%s): %s"
+            % (self.alpha, self.beta, self.condition())
+        ]
+        lines.extend("  " + edge.describe() for edge in self.edges)
+        return "\n".join(lines)
+
+
+def _ratio(numerator: Number, denominator: int) -> Number:
+    if isinstance(numerator, (int, Fraction)):
+        return Fraction(numerator, denominator)
+    return numerator / denominator
+
+
+# ----------------------------------------------------------------------
+# precedence-graph construction
+# ----------------------------------------------------------------------
+def build_constraint_edges(ptg: PTimeSignalGraph) -> Tuple[List[Event], List[ConstraintEdge]]:
+    """The precedence graph of the repetitive core.
+
+    Returns ``(nodes, edges)``.  Non-repetitive events fire finitely
+    often and carry no steady-state rate; they are covered by
+    :func:`weak_consistency` over the unfolding instead.
+    """
+    graph = ptg.graph
+    repetitive = graph.repetitive_events
+    nodes = [event for event in graph.events if event in repetitive]
+    if not nodes:
+        raise SignalGraphError(
+            "graph %r has no repetitive core; P-time analysis is about "
+            "steady-state rates" % ptg.name
+        )
+    edges: List[ConstraintEdge] = []
+    for arc, interval in ptg.arc_bounds():
+        if arc.source not in repetitive or arc.target not in repetitive:
+            continue
+        if arc.disengageable:
+            # Disengageable arcs influence finitely many occurrences
+            # only; they impose no steady-state constraint.
+            continue
+        m = arc.tokens
+        # lower:  x_target - x_source >= l - lam*m
+        #     ==  x_source - x_target <= lam*m - l
+        edges.append(
+            ConstraintEdge(
+                tail=arc.target,
+                head=arc.source,
+                alpha=m,
+                beta=-interval.lower,
+                kind="lower",
+                arc=arc.pair,
+            )
+        )
+        if interval.upper is not None:
+            # upper:  x_target - x_source <= u - lam*m
+            edges.append(
+                ConstraintEdge(
+                    tail=arc.source,
+                    head=arc.target,
+                    alpha=-m,
+                    beta=interval.upper,
+                    kind="upper",
+                    arc=arc.pair,
+                )
+            )
+    return nodes, edges
+
+
+# ----------------------------------------------------------------------
+# Bellman-Ford feasibility (fixed lam, and symbolic lam -> oo)
+# ----------------------------------------------------------------------
+def _extract_cycle(
+    predecessor: Dict[Hashable, ConstraintEdge], start: Hashable, node_count: int
+) -> List[ConstraintEdge]:
+    # Walk back far enough to be guaranteed inside the cycle, then
+    # collect until the walk repeats.
+    node = start
+    for _ in range(node_count):
+        node = predecessor[node].tail
+    cycle: List[ConstraintEdge] = []
+    anchor = node
+    while True:
+        edge = predecessor[node]
+        cycle.append(edge)
+        node = edge.tail
+        if node == anchor:
+            break
+    cycle.reverse()
+    return cycle
+
+
+def _bellman_ford(
+    nodes: Sequence[Hashable],
+    edges: Sequence[ConstraintEdge],
+    weight_of,
+    add,
+    improves,
+    zero,
+):
+    """Generic negative-circuit detection / potential computation.
+
+    All nodes start at ``zero`` (a virtual source), so the run decides
+    feasibility of the whole difference system.  Returns
+    ``(potentials, None)`` when feasible, ``(None, cycle_edges)``
+    otherwise.
+    """
+    distance: Dict[Hashable, object] = {node: zero for node in nodes}
+    predecessor: Dict[Hashable, ConstraintEdge] = {}
+    weights = [weight_of(edge) for edge in edges]
+    last_updated = None
+    for round_index in range(len(nodes)):
+        last_updated = None
+        for edge, weight in zip(edges, weights):
+            candidate = add(distance[edge.tail], weight)
+            if improves(candidate, distance[edge.head]):
+                distance[edge.head] = candidate
+                predecessor[edge.head] = edge
+                last_updated = edge.head
+        if last_updated is None:
+            return distance, None
+    if last_updated is None:
+        return distance, None
+    return None, _extract_cycle(predecessor, last_updated, len(nodes))
+
+
+def feasibility_at(
+    nodes: Sequence[Hashable],
+    edges: Sequence[ConstraintEdge],
+    lam: Number,
+    exact: bool,
+) -> Tuple[Optional[Dict[Hashable, Number]], Optional[List[ConstraintEdge]]]:
+    """Is ``G(lam)`` free of negative circuits?
+
+    Returns ``(potentials, None)`` — a feasible offset assignment — or
+    ``(None, circuit)``.  Exact mode runs in Fractions and is
+    bit-reproducible; float mode uses a relative tolerance so
+    accumulated rounding cannot fabricate a circuit.
+    """
+    if exact:
+        lam_exact = Fraction(lam) if not isinstance(lam, Fraction) else lam
+
+        def weight_of(edge):
+            if edge.alpha == 0:
+                return Fraction(edge.beta)
+            return Fraction(edge.beta) + edge.alpha * lam_exact
+
+        return _bellman_ford(
+            nodes,
+            edges,
+            weight_of,
+            lambda a, b: a + b,
+            lambda candidate, current: candidate < current,
+            Fraction(0),
+        )
+    lam_float = float(lam)
+    scale = max(
+        [1.0, abs(lam_float)]
+        + [abs(float(edge.beta)) for edge in edges]
+    )
+    tolerance = FLOAT_TOLERANCE * scale
+
+    def weight_of(edge):
+        return float(edge.beta) + edge.alpha * lam_float
+
+    return _bellman_ford(
+        nodes,
+        edges,
+        weight_of,
+        lambda a, b: a + b,
+        lambda candidate, current: candidate < current - tolerance,
+        0.0,
+    )
+
+
+def feasibility_at_infinity(
+    nodes: Sequence[Hashable],
+    edges: Sequence[ConstraintEdge],
+    exact: bool,
+) -> Tuple[bool, Optional[List[ConstraintEdge]]]:
+    """Is ``G(lam)`` feasible as ``lam -> oo``?
+
+    Circuit weights ``alpha*lam + beta`` are compared symbolically via
+    the lexicographic order on ``(alpha, beta)`` — exact because edge
+    slopes add componentwise.  Feasible means the rate interval is
+    unbounded above.
+    """
+    if exact:
+        def beta_of(edge):
+            return Fraction(edge.beta)
+        def improves(candidate, current):
+            return candidate < current
+        zero_beta = Fraction(0)
+    else:
+        scale = max([1.0] + [abs(float(edge.beta)) for edge in edges])
+        tolerance = FLOAT_TOLERANCE * scale
+        def beta_of(edge):
+            return float(edge.beta)
+        def improves(candidate, current):
+            if candidate[0] != current[0]:
+                return candidate[0] < current[0]
+            return candidate[1] < current[1] - tolerance
+        zero_beta = 0.0
+
+    def weight_of(edge):
+        return (edge.alpha, beta_of(edge))
+
+    if exact:
+        potentials, cycle = _bellman_ford(
+            nodes,
+            edges,
+            weight_of,
+            lambda a, b: (a[0] + b[0], a[1] + b[1]),
+            lambda candidate, current: candidate < current,
+            (0, zero_beta),
+        )
+    else:
+        potentials, cycle = _bellman_ford(
+            nodes,
+            edges,
+            weight_of,
+            lambda a, b: (a[0] + b[0], a[1] + b[1]),
+            improves,
+            (0, zero_beta),
+        )
+    return cycle is None, cycle
+
+
+# ----------------------------------------------------------------------
+# strong consistency
+# ----------------------------------------------------------------------
+@dataclass
+class ConsistencyResult:
+    """Verdict of the strong-consistency decision, with certificate.
+
+    ``consistent`` graphs carry a feasible 1-periodic timing
+    ``(offsets, rate)`` — by construction the smallest feasible rate —
+    and inconsistent ones a :class:`ViolatingCircuit`.  ``iterations``
+    counts the NPC (Bellman-Ford) passes spent.
+    """
+
+    consistent: bool
+    exact: bool
+    rate: Optional[Number] = None
+    offsets: Optional[Dict[Event, Number]] = None
+    violation: Optional[ViolatingCircuit] = None
+    iterations: int = 0
+
+    def __str__(self) -> str:
+        if self.consistent:
+            return "consistent (1-periodic rate %s)" % self.rate
+        return "inconsistent: %s" % self.violation.condition()
+
+
+def minimum_rate(
+    nodes: Sequence[Hashable],
+    edges: Sequence[ConstraintEdge],
+    exact: bool,
+    max_iterations: int = 10_000,
+):
+    """The smallest feasible rate ``lam_min >= 0``, by circuit cutting.
+
+    Dinkelbach/Howard-style iteration: test ``lam`` (starting at 0);
+    an infeasible test yields a violated circuit whose constraint
+    ``alpha*lam + beta >= 0`` is *necessary* for every feasible rate,
+    so its threshold ``-beta/alpha`` is the next candidate.
+    Candidates increase strictly through thresholds of simple circuits
+    (a finite set), so the iteration terminates — at the exact
+    ``lam_min``, since the final candidate is both necessary (a lower
+    bound) and feasible.  Returns ``(lam_min, potentials, None, k)``
+    or ``(None, None, violation, k)`` after ``k`` tests.
+    """
+    lam: Number = Fraction(0) if exact else 0.0
+    for iteration in range(1, max_iterations + 1):
+        potentials, cycle = feasibility_at(nodes, edges, lam, exact)
+        if cycle is not None:
+            circuit = ViolatingCircuit(edges=cycle, tested_at=lam)
+            alpha, beta = circuit.alpha, circuit.beta
+            if alpha <= 0:
+                # alpha == 0: negative for every lam.  alpha < 0: the
+                # weight only shrinks as lam grows, and every feasible
+                # lam must be >= the current candidate (a necessary
+                # bound), so no feasible rate exists.
+                return None, None, circuit, iteration
+            candidate = _ratio(-beta, alpha)
+            if not exact and candidate <= lam:
+                # Rounding stalled the strictly-increasing candidate
+                # sequence; nudge past the stall by one tolerance step.
+                candidate = lam + max(FLOAT_TOLERANCE, abs(lam) * FLOAT_TOLERANCE)
+            lam = candidate
+            continue
+        return lam, potentials, None, iteration
+    raise SignalGraphError(
+        "rate iteration did not converge in %d NPC tests" % max_iterations
+    )
+
+
+def maximum_rate(
+    nodes: Sequence[Hashable],
+    edges: Sequence[ConstraintEdge],
+    lam_min: Number,
+    exact: bool,
+    max_iterations: int = 10_000,
+):
+    """The largest feasible rate ``lam_max`` (``None`` means +oo).
+
+    Mirror image of :func:`minimum_rate`: a symbolic ``lam -> oo``
+    test decides unboundedness; otherwise candidates decrease through
+    circuit thresholds until feasible.  Requires a consistent system
+    (``lam_min`` feasible).  Returns ``(lam_max_or_None, potentials,
+    iterations)``.
+    """
+    unbounded, cycle = feasibility_at_infinity(nodes, edges, exact)
+    iterations = 1
+    if unbounded:
+        return None, None, iterations
+    circuit = ViolatingCircuit(edges=cycle)
+    alpha, beta = circuit.alpha, circuit.beta
+    if alpha >= 0:
+        raise SignalGraphError(
+            "internal error: lam->oo violation with alpha=%d >= 0" % alpha
+        )
+    lam = _ratio(-beta, alpha)
+    if lam < lam_min:
+        if exact:
+            raise SignalGraphError(
+                "internal error: upper iteration crossed below a feasible rate"
+            )
+        lam = lam_min  # float rounding; the interval degenerates to a point
+    for _ in range(max_iterations):
+        potentials, cycle = feasibility_at(nodes, edges, lam, exact)
+        iterations += 1
+        if cycle is None:
+            return lam, potentials, iterations
+        circuit = ViolatingCircuit(edges=cycle, tested_at=lam)
+        alpha, beta = circuit.alpha, circuit.beta
+        if alpha >= 0:
+            if not exact:
+                # Rounding pushed the candidate below lam_min; the
+                # feasible interval is numerically a point.
+                potentials, cycle = feasibility_at(nodes, edges, lam_min, exact)
+                if cycle is None:
+                    return lam_min, potentials, iterations + 1
+            raise SignalGraphError(
+                "internal error: upper iteration found a lower-bounding "
+                "circuit below a feasible rate"
+            )
+        candidate = _ratio(-beta, alpha)
+        if not exact and candidate >= lam:
+            candidate = lam - max(FLOAT_TOLERANCE, abs(lam) * FLOAT_TOLERANCE)
+        if not exact and candidate < lam_min:
+            candidate = lam_min
+            if lam == lam_min:
+                potentials, cycle = feasibility_at(nodes, edges, lam_min, exact)
+                if cycle is None:
+                    return lam_min, potentials, iterations + 1
+                raise SignalGraphError(
+                    "internal error: lam_min infeasible during upper iteration"
+                )
+        lam = candidate
+    raise SignalGraphError(
+        "rate iteration did not converge in %d NPC tests" % max_iterations
+    )
+
+
+def _normalize_offsets(potentials: Dict[Hashable, Number]) -> Dict[Hashable, Number]:
+    lowest = min(potentials.values())
+    return {node: value - lowest for node, value in potentials.items()}
+
+
+def check_consistency(
+    ptg: PTimeSignalGraph,
+    exact: Optional[bool] = None,
+    validate: bool = True,
+) -> ConsistencyResult:
+    """Decide strong consistency, returning a certificate either way.
+
+    ``exact=None`` auto-selects: Fractions when every bound is
+    int/Fraction, float64 otherwise.  The consistent certificate is
+    the 1-periodic timing at the *smallest* feasible rate (offsets
+    normalised to start at 0).
+    """
+    if exact is None:
+        exact = ptg.is_exact
+    if validate:
+        ptg.validate()
+    with _tracer().span(
+        "ptime.check", attributes={"events": ptg.num_events, "arcs": ptg.num_arcs}
+    ):
+        nodes, edges = build_constraint_edges(ptg)
+        lam, potentials, violation, iterations = minimum_rate(nodes, edges, exact)
+    if lam is None:
+        _count("inconsistent")
+        return ConsistencyResult(
+            consistent=False,
+            exact=exact,
+            violation=violation,
+            iterations=iterations,
+        )
+    _count("consistent")
+    return ConsistencyResult(
+        consistent=True,
+        exact=exact,
+        rate=lam,
+        offsets=_normalize_offsets(potentials),
+        iterations=iterations,
+    )
+
+
+# ----------------------------------------------------------------------
+# weak consistency (finite prefixes)
+# ----------------------------------------------------------------------
+@dataclass
+class WeakConsistencyResult:
+    """Verdict of the horizon-``K`` prefix feasibility check.
+
+    ``timing`` maps each core event to its first ``K`` firing times
+    (normalised to start at 0); infeasible prefixes carry the
+    violating circuit of the unfolded precedence graph instead.
+    """
+
+    feasible: bool
+    horizon: int
+    exact: bool
+    timing: Optional[Dict[Event, List[Number]]] = None
+    violation: Optional[ViolatingCircuit] = None
+
+    def __str__(self) -> str:
+        if self.feasible:
+            return "weakly consistent over %d occurrences" % self.horizon
+        return "prefix of %d occurrences infeasible" % self.horizon
+
+
+def weak_consistency(
+    ptg: PTimeSignalGraph,
+    horizon: Optional[int] = None,
+    exact: Optional[bool] = None,
+    validate: bool = True,
+) -> WeakConsistencyResult:
+    """Does a consistent prefix of ``horizon`` occurrences exist?
+
+    Builds the unfolded precedence graph — node ``(event, k)`` for the
+    ``k``-th occurrence, ``k < horizon`` — with the interval
+    constraints linking occurrences (initial tokens are free: ``k < m``
+    imposes nothing) plus dater monotonicity ``x(k) <= x(k+1)``, and
+    runs one Bellman-Ford feasibility pass.  Strong consistency
+    implies weak consistency at every horizon; the converse fails in
+    general (a prefix can be extendable without any infinite
+    extension).  Default horizon: ``2 * b + 2`` with ``b`` the border
+    count, mirroring the paper's unfolding depth.
+    """
+    if exact is None:
+        exact = ptg.is_exact
+    if validate:
+        ptg.validate()
+    graph = ptg.graph
+    if horizon is None:
+        horizon = 2 * max(1, len(graph.border_events)) + 2
+    if horizon < 1:
+        raise SignalGraphError("horizon must be >= 1")
+    repetitive = graph.repetitive_events
+    core_events = [event for event in graph.events if event in repetitive]
+    nodes = [(event, k) for event in core_events for k in range(horizon)]
+    edges: List[ConstraintEdge] = []
+    for event in core_events:
+        for k in range(horizon - 1):
+            # monotone daters: x(k) - x(k+1) <= 0
+            edges.append(
+                ConstraintEdge(
+                    tail=(event, k + 1),
+                    head=(event, k),
+                    alpha=0,
+                    beta=0,
+                    kind="monotone",
+                    arc=(event, event),
+                )
+            )
+    for arc, interval in ptg.arc_bounds():
+        if arc.source not in repetitive or arc.target not in repetitive:
+            continue
+        if arc.disengageable:
+            continue
+        m = arc.tokens
+        for k in range(m, horizon):
+            edges.append(
+                ConstraintEdge(
+                    tail=(arc.target, k),
+                    head=(arc.source, k - m),
+                    alpha=0,
+                    beta=-interval.lower,
+                    kind="lower",
+                    arc=arc.pair,
+                )
+            )
+            if interval.upper is not None:
+                edges.append(
+                    ConstraintEdge(
+                        tail=(arc.source, k - m),
+                        head=(arc.target, k),
+                        alpha=0,
+                        beta=interval.upper,
+                        kind="upper",
+                        arc=arc.pair,
+                    )
+                )
+    zero: Number = Fraction(0) if exact else 0.0
+    potentials, cycle = feasibility_at(nodes, edges, zero, exact)
+    if cycle is not None:
+        _count("weak_infeasible")
+        return WeakConsistencyResult(
+            feasible=False,
+            horizon=horizon,
+            exact=exact,
+            violation=ViolatingCircuit(edges=cycle, tested_at=None),
+        )
+    normalized = _normalize_offsets(potentials)
+    timing: Dict[Event, List[Number]] = {
+        event: [normalized[(event, k)] for k in range(horizon)]
+        for event in core_events
+    }
+    _count("weak_feasible")
+    return WeakConsistencyResult(
+        feasible=True, horizon=horizon, exact=exact, timing=timing
+    )

@@ -1,0 +1,432 @@
+"""The P-time Signal Graph model: per-arc ``[l, u]`` interval bounds.
+
+The paper (and every layer built on it so far) assumes each arc
+carries one fixed delay.  Real gate libraries specify *ranges*, and
+the P-time event graph literature (Zorzenon, Komenda, Balun & Raisch
+— see PAPERS.md) develops the richer model this module promotes to a
+first-class citizen: every arc carries an interval ``[l, u]`` with
+``0 <= l <= u`` (``u = oo`` allowed), and a timing of the graph is
+*consistent* when the sojourn of every token respects **both** ends —
+a token must stay at least ``l`` and at most ``u`` time units.
+
+Formally, writing ``x_t(k)`` for the time of the ``k``-th firing of
+event ``t``, an arc ``q -> t`` with marking ``m`` (0 or 1) and bounds
+``[l, u]`` requires for every ``k >= m``::
+
+    x_q(k - m) + l  <=  x_t(k)  <=  x_q(k - m) + u
+
+(the fixed-delay model is the special case ``l = u = delay`` with the
+upper constraint dropped under MAX/ASAP semantics).  Initial tokens
+are *free*: occurrences with ``k < m`` impose no constraint.
+
+:class:`PTimeSignalGraph` wraps a
+:class:`~repro.core.signal_graph.TimedSignalGraph` whose arc delays
+are the **lower** bounds, so the whole existing stack — validation,
+content hashing, the compiled kernel, the service cache — applies to
+the underlying graph unchanged.  The upper bounds live beside it and
+hash separately (:func:`repro.service.hashing.ptime_bounds_hash`),
+exactly like delays hash separately from structure: the service cache
+adopts a compiled topology across bound rebinds.
+
+Exactness mirrors the rest of the library: ``int``/``Fraction``
+bounds give exact (bit-reproducible) consistency verdicts and λ
+ranges; any float bound selects the float64 path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from numbers import Real
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+from ..core.arithmetic import Number
+from ..core.errors import GraphConstructionError
+from ..core.events import as_event, event_label
+from ..core.signal_graph import Arc, Event, TimedSignalGraph
+from ..core.validation import validate as validate_graph
+
+#: Upper bound value meaning "unbounded" (no maximum sojourn).
+UNBOUNDED = None
+
+BoundValue = Optional[Number]  # None encodes +oo
+
+
+def _check_bound_number(value, what: str) -> Number:
+    if isinstance(value, bool) or not isinstance(value, Real):
+        raise GraphConstructionError(
+            "%s bound must be a real number, got %r" % (what, value)
+        )
+    return value
+
+
+def normalize_upper(upper) -> BoundValue:
+    """Canonical representation of an upper bound (``None`` = +oo)."""
+    if upper is None:
+        return None
+    if isinstance(upper, float) and math.isinf(upper):
+        if upper < 0:
+            raise GraphConstructionError("upper bound cannot be -oo")
+        return None
+    return _check_bound_number(upper, "upper")
+
+
+@dataclass(frozen=True)
+class PTimeBounds:
+    """The ``[lower, upper]`` interval of one arc (``upper=None`` = +oo)."""
+
+    lower: Number
+    upper: BoundValue = None
+
+    @property
+    def is_finite(self) -> bool:
+        return self.upper is not None
+
+    @property
+    def is_rigid(self) -> bool:
+        """True when ``lower == upper`` (the arc admits one delay only)."""
+        return self.upper is not None and self.lower == self.upper
+
+    def contains(self, delay: Number) -> bool:
+        if delay < self.lower:
+            return False
+        return self.upper is None or delay <= self.upper
+
+    def __str__(self) -> str:
+        return "[%s, %s]" % (self.lower, "oo" if self.upper is None else self.upper)
+
+
+class PTimeSignalGraph:
+    """A Timed Signal Graph whose arcs carry ``[l, u]`` interval bounds.
+
+    The underlying :attr:`graph` stores the lower bound as each arc's
+    delay, so every structural query (events, arcs, markings, border
+    events, validation) and the compiled-kernel machinery work
+    unchanged.  Mutations bump an internal revision counter so derived
+    hashes memoised by revision stay sound.
+
+    >>> ptg = PTimeSignalGraph(name="buffer")
+    >>> ptg.add_arc("a", "b", 2, 5)            # sojourn in [2, 5]
+    >>> ptg.add_arc("b", "a", 1, None, marked=True)   # [1, oo)
+    """
+
+    def __init__(self, name: str = "ptsg"):
+        self._graph = TimedSignalGraph(name=name)
+        self._bounds: Dict[Tuple[Event, Event], PTimeBounds] = {}
+        self._revision = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._graph.name
+
+    @property
+    def graph(self) -> TimedSignalGraph:
+        """The underlying graph (delays = lower bounds).  Read-only by
+        convention: mutate through this wrapper so bounds stay in sync."""
+        return self._graph
+
+    @property
+    def revision(self) -> int:
+        """Monotone mutation counter (memoisation key for hashes)."""
+        return self._revision
+
+    def add_event(self, event, initial: bool = False) -> Event:
+        self._revision += 1
+        return self._graph.add_event(event, initial=initial)
+
+    def add_arc(
+        self,
+        source,
+        target,
+        lower: Number = 0,
+        upper: BoundValue = None,
+        marked: bool = False,
+        disengageable: bool = False,
+    ) -> Arc:
+        """Add the arc ``source -> target`` with sojourn in ``[lower, upper]``.
+
+        ``upper=None`` (or ``math.inf``) means no upper constraint.
+        Raises :class:`~repro.core.errors.GraphConstructionError` for
+        ``lower < 0`` or ``upper < lower``.
+        """
+        lower = _check_bound_number(lower, "lower")
+        if isinstance(lower, float) and math.isinf(lower):
+            raise GraphConstructionError("lower bound must be finite")
+        upper = normalize_upper(upper)
+        if lower < 0:
+            raise GraphConstructionError(
+                "lower bound must be non-negative, got %r" % (lower,)
+            )
+        if upper is not None and upper < lower:
+            raise GraphConstructionError(
+                "empty interval [%s, %s] on %s -> %s"
+                % (lower, upper, source, target)
+            )
+        arc = self._graph.add_arc(
+            source, target, lower, marked=marked, disengageable=disengageable
+        )
+        self._bounds[arc.pair] = PTimeBounds(lower, upper)
+        self._revision += 1
+        return arc
+
+    def set_bounds(self, source, target, lower: Number, upper: BoundValue) -> None:
+        """Rebind the interval of an existing arc (KeyError if absent)."""
+        source, target = as_event(source), as_event(target)
+        if (source, target) not in self._bounds:
+            raise KeyError((source, target))
+        lower = _check_bound_number(lower, "lower")
+        upper = normalize_upper(upper)
+        if lower < 0 or (upper is not None and upper < lower):
+            raise GraphConstructionError(
+                "bad interval [%s, %s] on %s -> %s"
+                % (lower, upper, event_label(source), event_label(target))
+            )
+        self._graph.set_delay(source, target, lower)
+        self._bounds[(source, target)] = PTimeBounds(lower, upper)
+        self._revision += 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def bounds(self, source, target) -> PTimeBounds:
+        return self._bounds[(as_event(source), as_event(target))]
+
+    @property
+    def events(self) -> List[Event]:
+        return self._graph.events
+
+    @property
+    def arcs(self) -> List[Arc]:
+        return self._graph.arcs
+
+    @property
+    def num_events(self) -> int:
+        return self._graph.num_events
+
+    @property
+    def num_arcs(self) -> int:
+        return self._graph.num_arcs
+
+    def arc_bounds(self) -> List[Tuple[Arc, PTimeBounds]]:
+        """Every arc with its interval, in insertion order."""
+        return [(arc, self._bounds[arc.pair]) for arc in self._graph.arcs]
+
+    @property
+    def is_exact(self) -> bool:
+        """True when every bound is int/Fraction (``oo`` uppers allowed)."""
+        for interval in self._bounds.values():
+            if not isinstance(interval.lower, (int, Fraction)):
+                return False
+            if interval.upper is not None and not isinstance(
+                interval.upper, (int, Fraction)
+            ):
+                return False
+        return True
+
+    @property
+    def all_upper_finite(self) -> bool:
+        return all(interval.is_finite for interval in self._bounds.values())
+
+    def validate(self) -> None:
+        """Structural validation of the underlying graph (live, safe,
+        connected core).  Interval sanity is enforced at construction."""
+        validate_graph(self._graph)
+
+    # ------------------------------------------------------------------
+    # derived fixed-delay graphs
+    # ------------------------------------------------------------------
+    def lower_graph(self) -> TimedSignalGraph:
+        """The fixed-delay corner with every delay at its lower bound."""
+        clone = self._graph.copy(name=self.name + "-lower")
+        return clone
+
+    def upper_graph(self) -> TimedSignalGraph:
+        """The fixed-delay corner with every delay at its (finite) upper
+        bound.  Raises for graphs with unbounded arcs."""
+        if not self.all_upper_finite:
+            unbounded = [
+                "%s -> %s" % (event_label(a.source), event_label(a.target))
+                for a, b in self.arc_bounds() if not b.is_finite
+            ]
+            raise GraphConstructionError(
+                "upper corner undefined: unbounded arcs %s" % ", ".join(unbounded)
+            )
+        clone = self._graph.copy(name=self.name + "-upper")
+        for arc in clone.arcs:
+            clone.set_delay(arc.source, arc.target, self._bounds[arc.pair].upper)
+        return clone
+
+    def fixed_graph(
+        self,
+        delays: Union[Dict[Tuple[Event, Event], Number], Callable[[Arc, PTimeBounds], Number]],
+        check: bool = True,
+        name: Optional[str] = None,
+    ) -> TimedSignalGraph:
+        """A fixed-delay graph with one in-bounds delay chosen per arc.
+
+        ``delays`` is either a mapping ``(source, target) -> delay``
+        (arcs not listed keep their lower bound) or a callable
+        ``f(arc, bounds) -> delay``.  ``check=True`` verifies every
+        chosen delay lies inside its interval.
+        """
+        clone = self._graph.copy(name=name or self.name + "-fixed")
+        if callable(delays):
+            chosen = {
+                arc.pair: delays(arc, interval)
+                for arc, interval in self.arc_bounds()
+            }
+        else:
+            chosen = {
+                (as_event(s), as_event(t)): value
+                for (s, t), value in delays.items()
+            }
+        for arc in clone.arcs:
+            if arc.pair not in chosen:
+                continue
+            value = chosen[arc.pair]
+            if check and not self._bounds[arc.pair].contains(value):
+                raise GraphConstructionError(
+                    "delay %s outside %s on %s -> %s"
+                    % (
+                        value,
+                        self._bounds[arc.pair],
+                        event_label(arc.source),
+                        event_label(arc.target),
+                    )
+                )
+            clone.set_delay(arc.source, arc.target, value)
+        return clone
+
+    def interval_bounds_dict(self) -> Dict[Tuple[Event, Event], Tuple[Number, Number]]:
+        """The finite intervals as an :func:`~repro.analysis.intervals.interval_cycle_time`
+        bounds mapping (unbounded arcs are clamped to their lower bound
+        for the corner sweep — the honest finite sub-box)."""
+        return {
+            arc.pair: (
+                interval.lower,
+                interval.lower if interval.upper is None else interval.upper,
+            )
+            for arc, interval in self.arc_bounds()
+        }
+
+    # ------------------------------------------------------------------
+    # dunder / display
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "PTimeSignalGraph":
+        clone = PTimeSignalGraph(name=name or self.name)
+        for event in self._graph.events:
+            clone.add_event(
+                event, initial=event in self._graph.declared_initial_events
+            )
+        for arc, interval in self.arc_bounds():
+            clone.add_arc(
+                arc.source,
+                arc.target,
+                interval.lower,
+                interval.upper,
+                marked=arc.marked,
+                disengageable=arc.disengageable,
+            )
+        return clone
+
+    def __len__(self) -> int:
+        return len(self._graph)
+
+    def __repr__(self) -> str:
+        return "PTimeSignalGraph(name=%r, events=%d, arcs=%d)" % (
+            self.name,
+            self.num_events,
+            self.num_arcs,
+        )
+
+    def describe(self) -> str:
+        lines = ["PTimeSignalGraph %r" % self.name]
+        lines.append(
+            "  %d events, %d arcs, %d tokens"
+            % (self.num_events, self.num_arcs, self._graph.total_tokens())
+        )
+        for arc, interval in self.arc_bounds():
+            decoration = " *" if arc.marked else ""
+            lines.append(
+                "  %s -%s-> %s%s"
+                % (
+                    event_label(arc.source),
+                    interval,
+                    event_label(arc.target),
+                    decoration,
+                )
+            )
+        return "\n".join(lines)
+
+
+def from_timed_graph(
+    graph: TimedSignalGraph,
+    bounds: Optional[Dict[Tuple[Event, Event], Tuple[Number, BoundValue]]] = None,
+    name: Optional[str] = None,
+) -> PTimeSignalGraph:
+    """Wrap a fixed-delay graph as a P-time graph.
+
+    Arcs listed in ``bounds`` get that interval; unlisted arcs become
+    rigid ``[delay, delay]`` (the fixed-delay semantics embedded in the
+    interval model).
+    """
+    canonical = {}
+    if bounds:
+        canonical = {
+            (as_event(s), as_event(t)): interval
+            for (s, t), interval in bounds.items()
+        }
+        for pair in canonical:
+            if not graph.has_arc(*pair):
+                raise GraphConstructionError(
+                    "bounds on missing arc %s -> %s"
+                    % (event_label(pair[0]), event_label(pair[1]))
+                )
+    ptg = PTimeSignalGraph(name=name or graph.name)
+    for event in graph.events:
+        ptg.add_event(event, initial=event in graph.declared_initial_events)
+    for arc in graph.arcs:
+        if arc.pair in canonical:
+            lower, upper = canonical[arc.pair]
+        else:
+            lower, upper = arc.delay, arc.delay
+        ptg.add_arc(
+            arc.source,
+            arc.target,
+            lower,
+            upper,
+            marked=arc.marked,
+            disengageable=arc.disengageable,
+        )
+    return ptg
+
+
+def from_arcs(
+    arcs: Iterable[tuple], name: str = "ptsg"
+) -> PTimeSignalGraph:
+    """Build from ``(source, target, lower, upper[, marked])`` tuples.
+
+    ``upper`` may be ``None`` (or ``math.inf``) for an unbounded arc::
+
+        ptg = from_arcs([
+            ("a", "b", 2, 5),
+            ("b", "a", 1, None, True),
+        ])
+    """
+    ptg = PTimeSignalGraph(name=name)
+    for item in arcs:
+        if len(item) == 4:
+            source, target, lower, upper = item
+            marked = False
+        elif len(item) == 5:
+            source, target, lower, upper, marked = item
+        else:
+            raise GraphConstructionError(
+                "arc tuple must have 4 or 5 elements, got %r" % (item,)
+            )
+        ptg.add_arc(source, target, lower, upper, marked=marked)
+    return ptg

@@ -1,0 +1,574 @@
+"""Synthesis of 1-periodic trajectories for P-time Signal Graphs.
+
+Strong consistency (:mod:`repro.ptime.consistency`) asks *whether* a
+timing exists; this module asks *which rates* and *which timings*:
+
+* :func:`lambda_range` — the full feasible rate interval
+  ``[lam_min, lam_max]`` of 1-periodic trajectories
+  ``x_t(k) = x0_t + lam*k`` (``lam_max = None`` when unbounded above,
+  which happens exactly when some circuit direction carries no finite
+  upper bound).  Since every circuit weight of the precedence graph is
+  affine in ``lam``, the feasible set is a closed interval and both
+  ends are computed exactly in Fraction mode.
+* :func:`synthesize_trajectory` — an explicit ``(x0, lam)`` at any
+  feasible rate, from Bellman-Ford potentials of the precedence graph
+  ``G(lam)``.
+* :func:`verify_trajectory` — replay the trajectory over a finite
+  horizon: interval constraints checked directly, and the firing
+  schedule replayed against the token game (every firing must be
+  enabled when its time comes).
+* :func:`cross_validate` — the bridge to the fixed-delay kernel.
+
+Cross-validation rests on the **induced-delays identity**: a feasible
+1-periodic trajectory ``(x0, lam)`` induces per-arc sojourns ::
+
+    s_a = x0_target - x0_source + lam * m_a
+
+which (a) lie inside ``[l_a, u_a]`` by feasibility, and (b) make
+*every* circuit ratio of the fixed-delay graph equal ``lam`` exactly
+(the offset differences telescope around a circuit), so the kernel's
+cycle time on those delays is ``lam`` — bit-exact in Fraction mode.
+Note the converse direction is **false**: an arbitrary in-bounds
+fixed-delay choice ``d`` can have a kernel (ASAP) cycle time outside
+``[lam_min, lam_max]``, because the ASAP trajectory of ``d`` may
+violate upper bounds that a slower schedule would respect.  What does
+hold for every in-bounds ``d`` is the corner bracket
+``lam(lower) <= lam(d) <= lam(upper)`` (monotonicity of the max cycle
+ratio), and ``[lam_min, lam_max]`` itself sits inside the same corner
+bracket.  :func:`cross_validate` checks all of it; see
+``docs/THEORY.md`` for the counterexample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.arithmetic import Number, numbers_close
+from ..core.cycle_time import compute_cycle_time
+from ..core.errors import SignalGraphError
+from ..core.events import event_label
+from ..core.signal_graph import Event, TimedSignalGraph
+from ..core.token_game import TokenGame
+from ..obs import STATE as _obs
+from ..obs.metrics import registry as _registry
+from ..obs.tracing import tracer as _tracer
+from .consistency import (
+    FLOAT_TOLERANCE,
+    ViolatingCircuit,
+    _normalize_offsets,
+    build_constraint_edges,
+    feasibility_at,
+    maximum_rate,
+    minimum_rate,
+)
+from .model import PTimeSignalGraph
+
+
+def _count(outcome: str) -> None:
+    if _obs.metrics:
+        _registry().counter(
+            "repro_ptime_synthesis_total",
+            "P-time lambda-range / trajectory synthesis outcomes.",
+            ("outcome",),
+        ).inc(outcome=outcome)
+
+
+# ----------------------------------------------------------------------
+# feasible rate interval
+# ----------------------------------------------------------------------
+@dataclass
+class LambdaRange:
+    """The feasible 1-periodic rate interval of a P-time graph.
+
+    ``lam_max is None`` encodes "+oo" (unbounded above).  Inconsistent
+    graphs have ``consistent=False`` and carry the violating circuit
+    instead of the interval.  ``iterations`` counts Bellman-Ford
+    passes across both ends.
+    """
+
+    consistent: bool
+    exact: bool
+    lam_min: Optional[Number] = None
+    lam_max: Optional[Number] = None
+    violation: Optional[ViolatingCircuit] = None
+    iterations: int = 0
+
+    @property
+    def unbounded(self) -> bool:
+        return self.consistent and self.lam_max is None
+
+    @property
+    def width(self) -> Optional[Number]:
+        """``lam_max - lam_min`` (``None`` when unbounded or inconsistent)."""
+        if not self.consistent or self.lam_max is None:
+            return None
+        return self.lam_max - self.lam_min
+
+    def contains(self, lam: Number, tolerance: Optional[float] = None) -> bool:
+        if not self.consistent:
+            return False
+        if self.exact and tolerance is None:
+            if lam < self.lam_min:
+                return False
+            return self.lam_max is None or lam <= self.lam_max
+        slack = FLOAT_TOLERANCE if tolerance is None else tolerance
+        scale = max(1.0, abs(float(self.lam_min)))
+        if float(lam) < float(self.lam_min) - slack * scale:
+            return False
+        if self.lam_max is None:
+            return True
+        scale = max(scale, abs(float(self.lam_max)))
+        return float(lam) <= float(self.lam_max) + slack * scale
+
+    def sample(self, count: int) -> List[Number]:
+        """``count`` feasible rates spread across the interval.
+
+        Exact mode uses rational convex combinations (``lam_min +
+        i/(count+1) * width``) so every sample is provably feasible;
+        unbounded intervals step upward from ``lam_min`` in unit
+        increments.  Always includes the interval ends (when finite).
+        """
+        if not self.consistent:
+            raise SignalGraphError("cannot sample an inconsistent rate interval")
+        if count < 1:
+            return []
+        one = Fraction(1) if self.exact else 1.0
+        if self.lam_max is None:
+            return [self.lam_min + i * one for i in range(count)]
+        if self.lam_max == self.lam_min or count == 1:
+            return [self.lam_min] * count
+        width = self.lam_max - self.lam_min
+        samples = []
+        for i in range(count):
+            t = Fraction(i, count - 1) if self.exact else i / (count - 1)
+            samples.append(self.lam_min + t * width)
+        return samples
+
+    def __str__(self) -> str:
+        if not self.consistent:
+            return "infeasible: %s" % self.violation.condition()
+        upper = "oo" if self.lam_max is None else str(self.lam_max)
+        return "lam in [%s, %s]" % (self.lam_min, upper)
+
+
+def lambda_range(
+    ptg: PTimeSignalGraph,
+    exact: Optional[bool] = None,
+    validate: bool = True,
+) -> LambdaRange:
+    """Compute the feasible rate interval ``[lam_min, lam_max]``.
+
+    ``lam_min`` comes from the upward circuit-cutting iteration of
+    :func:`repro.ptime.consistency.minimum_rate`; ``lam_max`` from the
+    symbolic ``lam -> oo`` test followed by the mirrored downward
+    iteration.  Exact mode (int/Fraction bounds) returns Fractions and
+    is bit-reproducible.
+    """
+    if exact is None:
+        exact = ptg.is_exact
+    if validate:
+        ptg.validate()
+    with _tracer().span(
+        "ptime.lambda_range",
+        attributes={"events": ptg.num_events, "arcs": ptg.num_arcs},
+    ):
+        nodes, edges = build_constraint_edges(ptg)
+        lam_min, _, violation, lower_iters = minimum_rate(nodes, edges, exact)
+        if lam_min is None:
+            _count("infeasible")
+            return LambdaRange(
+                consistent=False,
+                exact=exact,
+                violation=violation,
+                iterations=lower_iters,
+            )
+        lam_max, _, upper_iters = maximum_rate(nodes, edges, lam_min, exact)
+    _count("range")
+    return LambdaRange(
+        consistent=True,
+        exact=exact,
+        lam_min=lam_min,
+        lam_max=lam_max,
+        iterations=lower_iters + upper_iters,
+    )
+
+
+# ----------------------------------------------------------------------
+# explicit trajectories
+# ----------------------------------------------------------------------
+@dataclass
+class PeriodicTrajectory:
+    """A 1-periodic timing ``x_t(k) = offsets[t] + rate * k``.
+
+    Offsets are normalised to ``min = 0`` and cover the repetitive
+    core.  ``induced_delays`` realises the trajectory as a fixed-delay
+    graph whose kernel cycle time equals :attr:`rate` exactly (see the
+    module docstring).
+    """
+
+    rate: Number
+    offsets: Dict[Event, Number]
+    exact: bool
+
+    def time(self, event, occurrence: int) -> Number:
+        return self.offsets[event] + self.rate * occurrence
+
+    def prefix(self, horizon: int) -> Dict[Event, List[Number]]:
+        """The first ``horizon`` firing times of every core event."""
+        return {
+            event: [self.time(event, k) for k in range(horizon)]
+            for event in self.offsets
+        }
+
+    def induced_delays(
+        self, ptg: PTimeSignalGraph
+    ) -> Dict[Tuple[Event, Event], Number]:
+        """Per-arc sojourns realised by this trajectory.
+
+        ``s_a = x0_target - x0_source + rate * m_a`` for every core
+        arc; feasibility puts each inside its ``[l, u]`` (float mode
+        clamps away sub-tolerance excursions so the result is always
+        in-bounds).
+        """
+        delays: Dict[Tuple[Event, Event], Number] = {}
+        for arc, interval in ptg.arc_bounds():
+            if arc.source not in self.offsets or arc.target not in self.offsets:
+                continue
+            if arc.disengageable:
+                continue
+            sojourn = (
+                self.offsets[arc.target]
+                - self.offsets[arc.source]
+                + self.rate * arc.tokens
+            )
+            if not self.exact:
+                if sojourn < interval.lower:
+                    sojourn = float(interval.lower)
+                elif interval.upper is not None and sojourn > interval.upper:
+                    sojourn = float(interval.upper)
+            delays[arc.pair] = sojourn
+        return delays
+
+
+def synthesize_trajectory(
+    ptg: PTimeSignalGraph,
+    rate: Optional[Number] = None,
+    exact: Optional[bool] = None,
+    validate: bool = True,
+) -> PeriodicTrajectory:
+    """An explicit feasible 1-periodic trajectory.
+
+    ``rate=None`` synthesises at the smallest feasible rate; an
+    explicit ``rate`` is checked feasible first (raises
+    :class:`~repro.core.errors.SignalGraphError` with the violating
+    circuit otherwise).
+    """
+    if exact is None:
+        exact = ptg.is_exact
+    if validate:
+        ptg.validate()
+    with _tracer().span(
+        "ptime.synthesize", attributes={"events": ptg.num_events}
+    ):
+        nodes, edges = build_constraint_edges(ptg)
+        if rate is None:
+            lam, potentials, violation, _ = minimum_rate(nodes, edges, exact)
+            if lam is None:
+                _count("infeasible")
+                raise SignalGraphError(
+                    "graph %r is inconsistent; %s"
+                    % (ptg.name, violation.describe())
+                )
+        else:
+            lam = Fraction(rate) if exact and not isinstance(rate, Fraction) else rate
+            potentials, cycle = feasibility_at(nodes, edges, lam, exact)
+            if cycle is not None:
+                _count("infeasible_rate")
+                raise SignalGraphError(
+                    "rate %s is infeasible; %s"
+                    % (rate, ViolatingCircuit(edges=cycle, tested_at=lam).describe())
+                )
+    _count("trajectory")
+    return PeriodicTrajectory(
+        rate=lam, offsets=_normalize_offsets(potentials), exact=exact
+    )
+
+
+# ----------------------------------------------------------------------
+# verification against the semantics and the token game
+# ----------------------------------------------------------------------
+@dataclass
+class TrajectoryVerification:
+    """Outcome of :func:`verify_trajectory` (``ok`` + failure strings)."""
+
+    ok: bool
+    horizon: int
+    failures: List[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        if self.ok:
+            return "trajectory verified over %d occurrences" % self.horizon
+        return "trajectory FAILED: " + "; ".join(self.failures[:5])
+
+
+def verify_trajectory(
+    ptg: PTimeSignalGraph,
+    trajectory: PeriodicTrajectory,
+    horizon: int = 8,
+    token_game: bool = True,
+    tolerance: Optional[float] = None,
+) -> TrajectoryVerification:
+    """Replay ``trajectory`` over ``horizon`` occurrences per event.
+
+    Checks, in order: dater monotonicity, every interval constraint
+    ``l <= x_t(k) - x_q(k-m) <= u`` for ``m <= k < horizon``
+    (initial tokens free), and — with ``token_game=True`` — that the
+    time-ordered firing schedule is actually fireable in the token
+    game (each firing enabled when its time comes, ties resolved by
+    firing whichever tied occurrence is enabled first).
+    """
+    failures: List[str] = []
+    exact = trajectory.exact
+    if tolerance is None:
+        # exact mode: integer 0, so bound +/- tolerance stays Fraction
+        # (a float 0.0 would coerce the comparison and break exactness)
+        tolerance = 0 if exact else FLOAT_TOLERANCE * max(
+            1.0, abs(float(trajectory.rate))
+        ) * max(1, horizon)
+
+    if trajectory.rate < -tolerance:
+        failures.append("negative rate %s" % trajectory.rate)
+
+    repetitive = ptg.graph.repetitive_events
+    for arc, interval in ptg.arc_bounds():
+        if arc.source not in trajectory.offsets or arc.target not in trajectory.offsets:
+            if arc.source in repetitive and arc.target in repetitive:
+                failures.append(
+                    "trajectory misses core arc %s -> %s"
+                    % (event_label(arc.source), event_label(arc.target))
+                )
+            continue
+        if arc.disengageable:
+            continue
+        m = arc.tokens
+        for k in range(m, horizon):
+            gap = trajectory.time(arc.target, k) - trajectory.time(
+                arc.source, k - m
+            )
+            if gap < interval.lower - tolerance:
+                failures.append(
+                    "k=%d: %s -> %s sojourn %s below lower %s"
+                    % (
+                        k,
+                        event_label(arc.source),
+                        event_label(arc.target),
+                        gap,
+                        interval.lower,
+                    )
+                )
+                break
+            if interval.upper is not None and gap > interval.upper + tolerance:
+                failures.append(
+                    "k=%d: %s -> %s sojourn %s above upper %s"
+                    % (
+                        k,
+                        event_label(arc.source),
+                        event_label(arc.target),
+                        gap,
+                        interval.upper,
+                    )
+                )
+                break
+
+    if token_game and not failures:
+        failures.extend(_replay_token_game(ptg, trajectory, horizon))
+
+    return TrajectoryVerification(
+        ok=not failures, horizon=horizon, failures=failures
+    )
+
+
+def _core_projection(ptg: PTimeSignalGraph) -> TimedSignalGraph:
+    """The repetitive core as a standalone graph for the replay.
+
+    The trajectory times core events only, so the replay must not
+    demand tokens from border events (they fire finitely often, before
+    the steady state) or from disengageable arcs (excluded from the
+    steady-state constraint system for the same reason).  Every core
+    event keeps at least one core in-arc — repetitive firing needs a
+    repetitive token supply — so the projection stays a live game.
+    """
+    repetitive = ptg.graph.repetitive_events
+    projection = TimedSignalGraph(name=ptg.name + "-core")
+    for event in ptg.graph.events:
+        if event in repetitive:
+            projection.add_event(event)
+    for arc in ptg.graph.arcs:
+        if arc.disengageable:
+            continue
+        if arc.source in repetitive and arc.target in repetitive:
+            projection.add_arc(
+                arc.source, arc.target, arc.delay, marked=arc.marked
+            )
+    return projection
+
+
+def _replay_token_game(
+    ptg: PTimeSignalGraph, trajectory: PeriodicTrajectory, horizon: int
+) -> List[str]:
+    """Fire the schedule in time order through the token game."""
+    core = _core_projection(ptg)
+    game = TokenGame(core)
+    order = {event: index for index, event in enumerate(core.events)}
+    schedule = sorted(
+        (
+            (trajectory.time(event, k), k, order[event], event)
+            for event in trajectory.offsets
+            for k in range(horizon)
+        ),
+    )
+    pending = list(schedule)
+    while pending:
+        # Among the earliest-time occurrences, fire any enabled one;
+        # ties (zero lower bounds) make the order within a time group
+        # flexible, so scan the whole group before giving up.
+        group_time = pending[0][0]
+        group_end = 0
+        while group_end < len(pending) and pending[group_end][0] == group_time:
+            group_end += 1
+        fired = None
+        for index in range(group_end):
+            _, k, _, event = pending[index]
+            if game.is_enabled(event):
+                game.fire(event)
+                fired = index
+                break
+        if fired is None:
+            _, k, _, event = pending[0]
+            return [
+                "token game: occurrence %d of %s scheduled at %s is not "
+                "enabled" % (k, event_label(event), group_time)
+            ]
+        pending.pop(fired)
+    return []
+
+
+# ----------------------------------------------------------------------
+# cross-validation against the fixed-delay kernel
+# ----------------------------------------------------------------------
+@dataclass
+class CrossValidation:
+    """Outcome of :func:`cross_validate` (see module docstring).
+
+    ``kernel_rates`` pairs each sampled feasible rate with the kernel
+    cycle time of its induced-delay graph (equal, exactly in Fraction
+    mode).  ``corner_rates`` is ``(lam(lower), lam(upper))`` — the
+    bracket that must contain the whole synthesized interval —
+    ``upper`` entry ``None`` when some arc is unbounded.
+    """
+
+    ok: bool
+    range: LambdaRange
+    kernel_rates: List[Tuple[Number, Number]] = field(default_factory=list)
+    corner_rates: Tuple[Optional[Number], Optional[Number]] = (None, None)
+    failures: List[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        if self.ok:
+            return "cross-validated %d rates against the kernel" % len(
+                self.kernel_rates
+            )
+        return "cross-validation FAILED: " + "; ".join(self.failures[:5])
+
+
+def _rates_equal(expected: Number, actual: Number, exact: bool) -> bool:
+    if exact:
+        return Fraction(expected) == Fraction(actual)
+    return numbers_close(float(expected), float(actual))
+
+
+def cross_validate(
+    ptg: PTimeSignalGraph,
+    samples: int = 3,
+    horizon: int = 6,
+    exact: Optional[bool] = None,
+    kernel: str = "auto",
+) -> CrossValidation:
+    """Check the synthesis results against the fixed-delay kernel.
+
+    For ``samples`` rates across ``[lam_min, lam_max]``: synthesize a
+    trajectory, verify it (semantics + token game), realise its
+    induced in-bounds delays, and require the kernel cycle time of
+    that fixed-delay graph to equal the rate.  Additionally require
+    the corner bracket: ``lam(lower) <= lam_min`` and (all uppers
+    finite) ``lam_max <= lam(upper)``.  Raises on inconsistent input —
+    use :func:`lambda_range` first.
+    """
+    if exact is None:
+        exact = ptg.is_exact
+    result = lambda_range(ptg, exact=exact)
+    if not result.consistent:
+        raise SignalGraphError(
+            "cannot cross-validate an inconsistent graph; %s"
+            % result.violation.describe()
+        )
+    failures: List[str] = []
+    kernel_rates: List[Tuple[Number, Number]] = []
+    with _tracer().span("ptime.cross_validate", attributes={"samples": samples}):
+        for lam in result.sample(samples):
+            trajectory = synthesize_trajectory(
+                ptg, rate=lam, exact=exact, validate=False
+            )
+            verdict = verify_trajectory(ptg, trajectory, horizon=horizon)
+            if not verdict.ok:
+                failures.append("rate %s: %s" % (lam, verdict))
+                continue
+            delays = trajectory.induced_delays(ptg)
+            fixed = ptg.fixed_graph(delays, check=exact)
+            computed = compute_cycle_time(
+                fixed, check=False, kernel=kernel, keep_simulations=False
+            ).cycle_time
+            kernel_rates.append((lam, computed))
+            if not _rates_equal(lam, computed, exact):
+                failures.append(
+                    "rate %s: kernel computed %s on induced delays"
+                    % (lam, computed)
+                )
+
+        lower_rate = compute_cycle_time(
+            ptg.lower_graph(), check=False, kernel=kernel, keep_simulations=False
+        ).cycle_time
+        upper_rate: Optional[Number] = None
+        if lower_rate > result.lam_min and not (
+            not exact and numbers_close(float(lower_rate), float(result.lam_min))
+        ):
+            failures.append(
+                "lower corner %s exceeds lam_min %s" % (lower_rate, result.lam_min)
+            )
+        if ptg.all_upper_finite:
+            upper_rate = compute_cycle_time(
+                ptg.upper_graph(), check=False, kernel=kernel, keep_simulations=False
+            ).cycle_time
+            if result.lam_max is None:
+                failures.append(
+                    "finite upper bounds but unbounded rate interval"
+                )
+            elif result.lam_max > upper_rate and not (
+                not exact
+                and numbers_close(float(result.lam_max), float(upper_rate))
+            ):
+                failures.append(
+                    "lam_max %s exceeds upper corner %s"
+                    % (result.lam_max, upper_rate)
+                )
+    outcome = "cross_validate_ok" if not failures else "cross_validate_fail"
+    _count(outcome)
+    return CrossValidation(
+        ok=not failures,
+        range=result,
+        kernel_rates=kernel_rates,
+        corner_rates=(lower_rate, upper_rate),
+        failures=failures,
+    )

@@ -65,9 +65,10 @@ import urllib.parse
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.signal_graph import TimedSignalGraph
-from ..io.json_io import decode_number, graph_to_dict
+from ..io.json_io import decode_number, encode_number, graph_to_dict, ptime_graph_to_dict
 from ..obs import STATE as _obs
 from ..obs.tracing import tracer as _tracer
+from ..ptime.model import PTimeSignalGraph
 from .hashing import topology_hash
 from .resilience import CircuitBreaker, RetryPolicy
 
@@ -577,6 +578,47 @@ class ServiceClient:
             "POST", "/montecarlo", payload,
             extra_headers={"X-Topology-Hash": topology_hash(graph)},
         )
+
+    def ptime(
+        self,
+        graph: PTimeSignalGraph,
+        mode: str = "check",
+        rate: Optional[Any] = None,
+        horizon: int = 8,
+        timeout_ms: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """P-time analysis of an interval-bound graph.
+
+        ``mode`` is ``"check"`` (strong consistency + certificate),
+        ``"lambda-range"`` (the feasible 1-periodic rate interval) or
+        ``"trajectory"`` (an explicit verified timing, optionally at
+        ``rate``).  Exact numbers round-trip as tagged values and come
+        back decoded.
+        """
+        payload: Dict[str, Any] = {
+            "graph": ptime_graph_to_dict(graph),
+            "mode": mode,
+            "horizon": horizon,
+        }
+        if rate is not None:
+            payload["rate"] = encode_number(rate)
+        if timeout_ms is not None:
+            payload["timeout_ms"] = timeout_ms
+        result = self._request(
+            "POST", "/ptime", payload,
+            extra_headers={"X-Topology-Hash": topology_hash(graph.graph)},
+        )
+        for field in ("rate", "lam_min", "lam_max"):
+            if result.get(field) is not None:
+                result[field] = decode_number(result[field])
+        if isinstance(result.get("offsets"), dict):
+            result["offsets"] = {
+                name: decode_number(value)
+                for name, value in result["offsets"].items()
+            }
+        for entry in result.get("induced_delays", []) or []:
+            entry["delay"] = decode_number(entry["delay"])
+        return result
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -120,6 +120,74 @@ def graph_hash(graph: TimedSignalGraph) -> str:
     )
 
 
+# ----------------------------------------------------------------------
+# P-time graphs
+# ----------------------------------------------------------------------
+_PTIME_BOUNDS_KEY = "service-ptime-bounds-hash"
+
+
+def bound_token(value) -> str:
+    """Like :func:`delay_token`, with ``None`` encoding ``+oo``."""
+    if value is None:
+        return "inf"
+    return delay_token(value)
+
+
+def ptime_bounds_hash(ptg) -> str:
+    """Order-independent hash of the ``[l, u]`` binding alone.
+
+    The structural half of a P-time graph's address is
+    :func:`topology_hash` of the underlying graph — unchanged, so the
+    service cache adopts compiled topologies across bound rebinds,
+    exactly as fixed-delay rebinds reuse them across delay rebinds.
+    Memoised per wrapper revision (the wrapper mutates through its own
+    API, not ``graph.cached`` invalidation).
+    """
+    cached = getattr(ptg, "_bounds_hash_memo", None)
+    if cached is not None and cached[0] == ptg.revision:
+        return cached[1]
+
+    lines = ["ptime-bounds-v" + HASH_VERSION]
+    for arc, interval in sorted(
+        ptg.arc_bounds(),
+        key=lambda item: (
+            event_sort_key(item[0].source),
+            event_sort_key(item[0].target),
+        ),
+    ):
+        lines.append(
+            "b|%s|%s|%s|%s"
+            % (
+                event_sort_key(arc.source),
+                event_sort_key(arc.target),
+                bound_token(interval.lower),
+                bound_token(interval.upper),
+            )
+        )
+    digest = _digest(lines)
+    ptg._bounds_hash_memo = (ptg.revision, digest)
+    return digest
+
+
+def ptime_graph_hash(ptg) -> str:
+    """Full content address of a P-time graph: topology + bounds."""
+    return _digest(
+        [
+            "ptime-graph-v" + HASH_VERSION,
+            topology_hash(ptg.graph),
+            ptime_bounds_hash(ptg),
+        ]
+    )
+
+
+def ptime_analysis_key(ptg, kind: str, **params) -> str:
+    """Cache key for one finished P-time analysis (cf. :func:`analysis_key`)."""
+    lines = ["ptime-analysis-v" + HASH_VERSION, kind, ptime_graph_hash(ptg)]
+    for name in sorted(params):
+        lines.append("%s=%r" % (name, params[name]))
+    return _digest(lines)
+
+
 def analysis_key(graph: TimedSignalGraph, kind: str, **params) -> str:
     """Cache key for one finished analysis of ``graph``.
 

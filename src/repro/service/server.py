@@ -5,6 +5,8 @@
 
 * ``POST /analyze`` — cycle time / critical cycles of a posted graph;
 * ``POST /montecarlo`` — λ distribution under random delay variation;
+* ``POST /ptime`` — P-time consistency / λ-range / trajectory synthesis
+  for interval-bound graphs (``kind: ptime-signal-graph`` documents);
 * ``GET /stats`` — request counters, cache hit/miss/eviction counters,
   coalescer, admission-queue and fault-injection statistics;
 * ``GET /healthz`` — liveness probe;
@@ -75,11 +77,23 @@ from ..core.errors import SignalGraphError
 from ..core.events import event_label
 from ..core.kernel import KERNELS
 from ..core.signal_graph import TimedSignalGraph
-from ..io.json_io import encode_number, graph_from_dict
+from ..io.json_io import (
+    decode_number,
+    encode_number,
+    graph_from_dict,
+    ptime_graph_from_dict,
+)
 from ..obs import STATE as _obs
 from ..obs.logging import get_logger
 from ..obs.metrics import DEFAULT_BUCKETS, Family, registry as _registry
 from ..obs.tracing import ChromeTraceExporter, parse_traceparent, tracer as _tracer
+from ..ptime import (
+    check_consistency,
+    lambda_range,
+    synthesize_trajectory,
+    verify_trajectory,
+)
+from ..ptime.model import PTimeSignalGraph
 from . import faults
 from .cache import (
     CacheStats,
@@ -88,7 +102,7 @@ from .cache import (
     result_cache,
     service_cache_stats,
 )
-from .hashing import analysis_key
+from .hashing import analysis_key, bound_token, ptime_analysis_key
 from .queue import RequestCoalescer
 from .resilience import AdmissionQueue, Deadline, DeadlineExceeded, Saturated
 
@@ -516,6 +530,137 @@ class AnalysisService:
         self.results.put(key, response)
         return dict(response, cached=False)
 
+    def _decode_ptime_graph(self, payload: Dict[str, Any]) -> PTimeSignalGraph:
+        document = payload.get("graph")
+        if not isinstance(document, dict):
+            raise RequestError("request must carry a 'graph' document")
+        try:
+            return ptime_graph_from_dict(document)
+        except SignalGraphError as error:
+            raise RequestError(str(error), kind=type(error).__name__)
+
+    @staticmethod
+    def _violation_payload(violation) -> Dict[str, Any]:
+        return {
+            "alpha": violation.alpha,
+            "beta": encode_number(violation.beta),
+            "condition": violation.condition(),
+            "edges": [
+                {
+                    "kind": edge.kind,
+                    "source": event_label(edge.arc[0]),
+                    "target": event_label(edge.arc[1]),
+                    "alpha": edge.alpha,
+                    "beta": encode_number(edge.beta),
+                }
+                for edge in violation.edges
+            ],
+        }
+
+    def handle_ptime(
+        self, payload: Dict[str, Any], deadline: Optional[Deadline] = None
+    ) -> Dict[str, Any]:
+        """P-time analysis: consistency / lambda-range / trajectory.
+
+        ``mode`` selects the question; ``rate`` (trajectory mode,
+        tagged number) picks a specific rate instead of the smallest
+        feasible one, and ``horizon`` bounds the verification replay.
+        Responses are memoised per content hash + parameters like
+        ``/analyze``, and the P-time address splits topology from
+        bounds so compiled topologies survive bound rebinds.
+        """
+        deadline = deadline or self.deadline_for(payload, None)
+        mode = payload.get("mode", "check")
+        if mode not in ("check", "lambda-range", "trajectory"):
+            raise RequestError(
+                "unknown mode %r (check, lambda-range or trajectory)" % (mode,)
+            )
+        ptg = self._decode_ptime_graph(payload)
+        horizon = self._int_field(payload, "horizon", 8, 1, 10_000)
+        rate = payload.get("rate")
+        if rate is not None:
+            try:
+                rate = decode_number(rate)
+            except SignalGraphError:
+                raise RequestError("'rate' must be a tagged number")
+        key = ptime_analysis_key(
+            ptg,
+            "ptime",
+            mode=mode,
+            horizon=horizon,
+            rate=None if rate is None else bound_token(rate),
+        )
+        cached = self.results.get(key)
+        if cached is not None:
+            return dict(cached, cached=True)
+        deadline.check("pre-analysis")
+        response: Dict[str, Any] = {
+            "graph": ptg.name,
+            "mode": mode,
+            "events": ptg.num_events,
+            "arcs": ptg.num_arcs,
+            "exact": ptg.is_exact,
+        }
+        if mode == "check":
+            result = check_consistency(ptg)
+            response["consistent"] = result.consistent
+            response["iterations"] = result.iterations
+            if result.consistent:
+                response["rate"] = encode_number(result.rate)
+                response["offsets"] = {
+                    event_label(event): encode_number(value)
+                    for event, value in result.offsets.items()
+                }
+            else:
+                response["violation"] = self._violation_payload(result.violation)
+        elif mode == "lambda-range":
+            result = lambda_range(ptg)
+            response["consistent"] = result.consistent
+            response["iterations"] = result.iterations
+            if result.consistent:
+                response["lam_min"] = encode_number(result.lam_min)
+                response["lam_max"] = (
+                    None if result.lam_max is None
+                    else encode_number(result.lam_max)
+                )
+                response["unbounded"] = result.unbounded
+            else:
+                response["violation"] = self._violation_payload(result.violation)
+        else:
+            window = lambda_range(ptg)
+            if not window.consistent:
+                response["consistent"] = False
+                response["violation"] = self._violation_payload(window.violation)
+            else:
+                if rate is not None and not window.contains(rate):
+                    raise RequestError(
+                        "rate %s outside the feasible interval %s"
+                        % (rate, window)
+                    )
+                deadline.check("pre-synthesis")
+                trajectory = synthesize_trajectory(
+                    ptg, rate=rate, validate=False
+                )
+                verdict = verify_trajectory(ptg, trajectory, horizon=horizon)
+                response["consistent"] = True
+                response["rate"] = encode_number(trajectory.rate)
+                response["offsets"] = {
+                    event_label(event): encode_number(value)
+                    for event, value in trajectory.offsets.items()
+                }
+                response["verified"] = verdict.ok
+                response["horizon"] = verdict.horizon
+                response["induced_delays"] = [
+                    {
+                        "source": event_label(pair[0]),
+                        "target": event_label(pair[1]),
+                        "delay": encode_number(value),
+                    }
+                    for pair, value in trajectory.induced_delays(ptg).items()
+                ]
+        self.results.put(key, response)
+        return dict(response, cached=False)
+
     def handle_stats(self) -> Dict[str, Any]:
         # Every component snapshot re-acquires the shared RLock, so the
         # whole multi-component read happens at one instant: a scrape
@@ -563,7 +708,8 @@ class AnalysisService:
 #: this set is labelled "other" so scanned garbage paths cannot mint
 #: unbounded metric series.
 _KNOWN_ENDPOINTS = frozenset(
-    ("/analyze", "/montecarlo", "/stats", "/healthz", "/readyz", "/metrics")
+    ("/analyze", "/montecarlo", "/ptime", "/stats", "/healthz", "/readyz",
+     "/metrics")
 )
 
 
@@ -845,6 +991,10 @@ class _Handler(BaseHTTPRequestHandler):
             self.service.counters.increment("montecarlo")
             with self._server_span(path):
                 self._dispatch_post(self.service.handle_montecarlo)
+        elif path == "/ptime":
+            self.service.counters.increment("ptime")
+            with self._server_span(path):
+                self._dispatch_post(self.service.handle_ptime)
         else:
             self._send_error_json(404, "NotFound", "no such endpoint: %s" % path)
 

@@ -1,0 +1,95 @@
+"""CLI tests for the ``ptime`` and ``intervals`` verbs."""
+
+import pytest
+
+from repro.cli import main
+from repro.io import json_io
+from repro.ptime import from_arcs
+
+
+@pytest.fixture
+def ptime_file(tmp_path):
+    ptg = from_arcs([("a", "b", 2, 10), ("b", "a", 3, 5, True)])
+    path = str(tmp_path / "ring.json")
+    json_io.dump(ptg, path)
+    return path
+
+
+@pytest.fixture
+def inconsistent_file(tmp_path):
+    ptg = from_arcs([
+        ("a", "b", 2, 2), ("b", "a", 3, 3, True),
+        ("a", "w", 7, 7), ("w", "a", 0, 0, True),
+    ])
+    path = str(tmp_path / "clash.json")
+    json_io.dump(ptg, path)
+    return path
+
+
+class TestPtimeCheck:
+    def test_consistent_file(self, ptime_file, capsys):
+        assert main(["ptime", "check", ptime_file]) == 0
+        out = capsys.readouterr().out
+        assert "consistent (1-periodic rate 5)" in out
+        assert "x0(" in out
+
+    def test_inconsistent_file_exits_1(self, inconsistent_file, capsys):
+        assert main(["ptime", "check", inconsistent_file]) == 1
+        out = capsys.readouterr().out
+        assert "inconsistent" in out
+        assert "constraint" in out  # certificate edges are printed
+
+    def test_demo_graph_unbounded_wrap(self, capsys):
+        # no margin: delays embed as [d, oo), so lam_min matches the
+        # kernel's known cycle time of the oscillator
+        assert main(["ptime", "check", "oscillator"]) == 0
+        assert "rate 10" in capsys.readouterr().out
+
+    def test_demo_graph_with_margin(self, capsys):
+        # the oscillator has a non-critical circuit whose upper corner
+        # (1.2 * 6) sits below the critical lower corner (0.8 * 10):
+        # a uniform +/-20% band is genuinely inconsistent
+        assert main(["ptime", "check", "oscillator", "--margin", "0.2"]) == 1
+        assert "inconsistent" in capsys.readouterr().out
+
+
+class TestPtimeLambdaRange:
+    def test_interval_printed(self, ptime_file, capsys):
+        assert main(["ptime", "lambda-range", ptime_file]) == 0
+        assert "lam in [5, 15]" in capsys.readouterr().out
+
+    def test_inconsistent_exits_1(self, inconsistent_file, capsys):
+        assert main(["ptime", "lambda-range", inconsistent_file]) == 1
+        assert "infeasible" in capsys.readouterr().out
+
+
+class TestPtimeTrajectory:
+    def test_default_rate(self, ptime_file, capsys):
+        assert main(["ptime", "trajectory", ptime_file]) == 0
+        out = capsys.readouterr().out
+        assert "trajectory rate: 5" in out
+        assert "induced in-bounds delays" in out
+        assert "trajectory verified" in out
+
+    def test_explicit_rate(self, ptime_file, capsys):
+        assert main(["ptime", "trajectory", ptime_file, "--rate", "12"]) == 0
+        assert "trajectory rate: 12" in capsys.readouterr().out
+
+    def test_out_of_window_rate(self, ptime_file, capsys):
+        assert main(["ptime", "trajectory", ptime_file, "--rate", "99"]) == 1
+        assert "outside the feasible interval" in capsys.readouterr().err
+
+
+class TestIntervals:
+    def test_uniform_margin_on_demo(self, capsys):
+        assert main(["intervals", "oscillator", "--margin", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "uniform +/-0.1 margin" in out
+        assert "spread:" in out
+        assert "robust critical events" in out
+
+    def test_ptime_document_corner_sweep(self, ptime_file, capsys):
+        assert main(["intervals", ptime_file]) == 0
+        out = capsys.readouterr().out
+        assert "interval source: ptime bounds" in out
+        assert "spread:" in out

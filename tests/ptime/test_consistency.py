@@ -1,0 +1,193 @@
+"""Consistency-decision tests: certificates both ways, exact/float."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.cycle_time import compute_cycle_time
+from repro.generators import (
+    plant_inconsistency,
+    ptime_wrap,
+    random_live_tsg,
+    ring_with_chords,
+)
+from repro.ptime import (
+    check_consistency,
+    from_arcs,
+    from_timed_graph,
+    weak_consistency,
+)
+
+COMMON = settings(
+    max_examples=20, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def two_ring():
+    """a -[2,10]-> b -[3,5]*-> a: one token, lam in [5, 15]."""
+    return from_arcs([("a", "b", 2, 10), ("b", "a", 3, 5, True)])
+
+
+class TestHandComputed:
+    def test_two_event_ring_consistent(self):
+        result = check_consistency(two_ring())
+        assert result.consistent
+        assert result.rate == 5  # smallest feasible rate
+        # certificate offsets satisfy the lower constraint at lam=5
+        assert result.offsets["b"] - result.offsets["a"] >= 2
+
+    def test_rigid_single_ring_rate_is_sum_over_tokens(self):
+        # rigid single circuit: lam forced to sum(d)/tokens exactly
+        ptg = from_arcs([
+            ("a", "b", 2, 2), ("b", "c", 3, 3), ("c", "a", 4, 4, True),
+        ])
+        result = check_consistency(ptg)
+        assert result.consistent
+        assert result.rate == 9
+
+    def test_unbounded_wrap_matches_kernel(self):
+        # [d, oo) wrap of a fixed-delay graph: lam_min == kernel lambda
+        graph = ring_with_chords(8, 2, chords=2, seed=3)
+        ptg = from_timed_graph(
+            graph, bounds={arc.pair: (arc.delay, None) for arc in graph.arcs}
+        )
+        result = check_consistency(ptg)
+        assert result.consistent
+        assert result.rate == compute_cycle_time(graph).cycle_time
+
+    def test_rigid_multi_circuit_inconsistent(self):
+        # rigid wrap forces every circuit ratio equal; unequal ratios
+        # (5 vs 7 here) cannot coexist
+        ptg = from_arcs([
+            ("a", "b", 2, 2), ("b", "a", 3, 3, True),   # ratio 5
+            ("a", "c", 3, 3), ("c", "a", 4, 4, True),   # ratio 7
+        ])
+        result = check_consistency(ptg)
+        assert not result.consistent
+        assert result.violation.is_closed()
+
+    def test_gadget_conflict_certificate(self):
+        ptg = from_arcs([
+            ("a", "b", 2, 2), ("b", "a", 3, 3, True),
+            ("a", "w", 7, 7), ("w", "a", 0, 0, True),
+        ])
+        result = check_consistency(ptg)
+        assert not result.consistent
+        violation = result.violation
+        assert violation.is_closed()
+        # the circuit's constraint must be genuinely violated at some
+        # rate the iteration reached
+        assert violation.alpha < 0 or (
+            violation.alpha == 0 and violation.beta < 0
+        )
+
+
+class TestCertificates:
+    @COMMON
+    @given(seed=st.integers(min_value=0, max_value=3_000))
+    def test_consistent_wraps_accept(self, seed):
+        ptg = ptime_wrap(
+            random_live_tsg(events=6, extra_arcs=4, seed=seed),
+            tightness=(seed % 5) / 4.0,
+            infinite_fraction=(seed % 3) / 4.0,
+            seed=seed,
+        )
+        result = check_consistency(ptg)
+        assert result.consistent, str(result)
+        # certificate satisfies every steady-state constraint
+        offsets, rate = result.offsets, result.rate
+        for arc, interval in ptg.arc_bounds():
+            if arc.source not in offsets or arc.target not in offsets:
+                continue
+            if arc.disengageable:
+                continue
+            sojourn = offsets[arc.target] - offsets[arc.source] + rate * arc.tokens
+            assert sojourn >= interval.lower
+            if interval.upper is not None:
+                assert sojourn <= interval.upper
+
+    @COMMON
+    @given(seed=st.integers(min_value=0, max_value=3_000))
+    def test_planted_inconsistent_reject_with_circuit(self, seed):
+        ptg = plant_inconsistency(
+            ptime_wrap(
+                random_live_tsg(events=5, extra_arcs=3, seed=seed), seed=seed
+            ),
+            seed=seed,
+        )
+        result = check_consistency(ptg)
+        assert not result.consistent
+        violation = result.violation
+        assert violation.is_closed()
+        # a violated circuit's condition is real: its weight is
+        # negative at the rate it was found, or for every rate
+        if violation.tested_at is not None:
+            assert violation.weight_at(violation.tested_at) < 0
+
+    @COMMON
+    @given(seed=st.integers(min_value=0, max_value=3_000))
+    def test_exact_and_float_agree(self, seed):
+        base = random_live_tsg(events=5, extra_arcs=3, seed=seed)
+        exact_wrap = ptime_wrap(base, tightness=0.5, seed=seed)
+        float_wrap = exact_wrap.copy()
+        for arc, interval in exact_wrap.arc_bounds():
+            float_wrap.set_bounds(
+                arc.source, arc.target,
+                float(interval.lower),
+                None if interval.upper is None else float(interval.upper),
+            )
+        exact_result = check_consistency(exact_wrap)
+        float_result = check_consistency(float_wrap, exact=False)
+        assert exact_result.consistent == float_result.consistent
+        if exact_result.consistent:
+            assert float(exact_result.rate) == pytest.approx(
+                float_result.rate, rel=1e-6, abs=1e-6
+            )
+
+    def test_bit_reproducible(self):
+        ptg = ptime_wrap(
+            random_live_tsg(events=8, extra_arcs=6, seed=11), seed=11
+        )
+        first = check_consistency(ptg)
+        second = check_consistency(ptg.copy())
+        assert first.rate == second.rate
+        assert first.offsets == second.offsets
+        assert isinstance(first.rate, (int, Fraction))
+
+
+class TestWeakConsistency:
+    def test_strong_implies_weak(self):
+        ptg = two_ring()
+        weak = weak_consistency(ptg, horizon=6)
+        assert weak.feasible
+        timing = weak.timing
+        # prefix respects the interval semantics (token free for k < m)
+        for k in range(6):
+            gap = timing["b"][k] - timing["a"][k]
+            assert 2 <= gap <= 10
+        for k in range(1, 6):
+            gap = timing["a"][k] - timing["b"][k - 1]
+            assert 3 <= gap <= 5
+            assert timing["a"][k] >= timing["a"][k - 1]
+
+    def test_conflicting_gadgets_prefix_infeasible(self):
+        ptg = from_arcs([
+            ("a", "b", 2, 2), ("b", "a", 3, 3, True),
+            ("a", "w", 7, 7), ("w", "a", 0, 0, True),
+        ])
+        weak = weak_consistency(ptg, horizon=6)
+        assert not weak.feasible
+        assert weak.violation.is_closed()
+
+    def test_weakly_but_not_strongly_consistent(self):
+        # horizon 1 imposes only the m=0 constraints; the conflicting
+        # circuits need repetition to bite
+        ptg = from_arcs([
+            ("a", "b", 2, 2), ("b", "a", 3, 3, True),
+            ("a", "w", 7, 7), ("w", "a", 0, 0, True),
+        ])
+        assert weak_consistency(ptg, horizon=1).feasible
+        assert not check_consistency(ptg).consistent

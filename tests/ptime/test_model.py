@@ -1,0 +1,177 @@
+"""Model-layer tests: construction, bounds, JSON round-trip, hashing."""
+
+from fractions import Fraction
+
+import math
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import GraphConstructionError
+from repro.generators import ptime_wrap, random_live_tsg
+from repro.io import json_io
+from repro.ptime import PTimeBounds, PTimeSignalGraph, from_arcs, from_timed_graph
+from repro.service.hashing import (
+    ptime_bounds_hash,
+    ptime_graph_hash,
+    topology_hash,
+)
+
+COMMON = settings(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def wraps():
+    return st.builds(
+        lambda seed, tightness, infinite: ptime_wrap(
+            random_live_tsg(events=6, extra_arcs=5, seed=seed),
+            tightness=tightness / 4.0,
+            infinite_fraction=infinite / 4.0,
+            seed=seed,
+        ),
+        seed=st.integers(min_value=0, max_value=5_000),
+        tightness=st.integers(min_value=0, max_value=4),
+        infinite=st.integers(min_value=0, max_value=3),
+    )
+
+
+class TestBounds:
+    def test_contains(self):
+        interval = PTimeBounds(2, 5)
+        assert interval.contains(2) and interval.contains(5)
+        assert not interval.contains(1) and not interval.contains(6)
+        assert PTimeBounds(2, None).contains(10 ** 9)
+
+    def test_rigid(self):
+        assert PTimeBounds(3, 3).is_rigid
+        assert not PTimeBounds(3, 4).is_rigid
+        assert not PTimeBounds(3, None).is_rigid
+
+    def test_str(self):
+        assert str(PTimeBounds(2, 5)) == "[2, 5]"
+        assert str(PTimeBounds(2, None)) == "[2, oo]"
+
+
+class TestConstruction:
+    def test_rejects_negative_lower(self):
+        ptg = PTimeSignalGraph()
+        with pytest.raises(GraphConstructionError):
+            ptg.add_arc("a", "b", -1, 5)
+
+    def test_rejects_empty_interval(self):
+        ptg = PTimeSignalGraph()
+        with pytest.raises(GraphConstructionError):
+            ptg.add_arc("a", "b", 5, 2)
+
+    def test_math_inf_upper_normalises_to_none(self):
+        ptg = PTimeSignalGraph()
+        ptg.add_arc("a", "b", 1, math.inf)
+        assert ptg.bounds("a", "b").upper is None
+
+    def test_delays_are_lower_bounds(self):
+        ptg = from_arcs([("a", "b", 2, 10), ("b", "a", 3, 5, True)])
+        assert [arc.delay for arc in ptg.graph.arcs] == [2, 3]
+
+    def test_set_bounds_requires_existing_arc(self):
+        ptg = from_arcs([("a", "b", 2, 10), ("b", "a", 3, 5, True)])
+        with pytest.raises(KeyError):
+            ptg.set_bounds("a", "missing", 1, 2)
+
+    def test_fixed_graph_checks_containment(self):
+        ptg = from_arcs([("a", "b", 2, 10), ("b", "a", 3, 5, True)])
+        fixed = ptg.fixed_graph({("a", "b"): 7})
+        delays = {
+            (str(arc.source), str(arc.target)): arc.delay
+            for arc in fixed.arcs
+        }
+        assert delays[("a", "b")] == 7
+        assert delays[("b", "a")] == 3  # unlisted arcs keep the lower bound
+        with pytest.raises(GraphConstructionError):
+            ptg.fixed_graph({("a", "b"): 11})
+
+    def test_upper_graph_requires_finite_bounds(self):
+        ptg = from_arcs([("a", "b", 2, None), ("b", "a", 3, 5, True)])
+        with pytest.raises(GraphConstructionError):
+            ptg.upper_graph()
+
+    def test_from_timed_graph_defaults_rigid(self):
+        ptg = from_arcs([("a", "b", 2, 10), ("b", "a", 3, 5, True)])
+        rigid = from_timed_graph(ptg.lower_graph())
+        assert all(interval.is_rigid for _, interval in rigid.arc_bounds())
+
+    def test_copy_is_deep(self):
+        ptg = from_arcs([("a", "b", 2, 10), ("b", "a", 3, 5, True)])
+        clone = ptg.copy()
+        clone.set_bounds("a", "b", 2, 20)
+        assert ptg.bounds("a", "b").upper == 10
+        assert clone.bounds("a", "b").upper == 20
+
+
+class TestJsonRoundTrip:
+    @COMMON
+    @given(ptg=wraps())
+    def test_lossless(self, ptg):
+        back = json_io.loads(json_io.dumps(ptg))
+        assert isinstance(back, PTimeSignalGraph)
+        original = {
+            (str(a.source), str(a.target)): (i.lower, i.upper, a.marked)
+            for a, i in ptg.arc_bounds()
+        }
+        restored = {
+            (str(a.source), str(a.target)): (i.lower, i.upper, a.marked)
+            for a, i in back.arc_bounds()
+        }
+        assert original == restored
+        # exactness (value AND type) survives the trip
+        for key in original:
+            for x, y in zip(original[key][:2], restored[key][:2]):
+                assert type(x) is type(y) or (
+                    isinstance(x, (int, Fraction))
+                    and isinstance(y, (int, Fraction))
+                    and x == y
+                )
+
+    def test_fraction_bounds_round_trip(self):
+        ptg = from_arcs([("a", "b", Fraction(7, 3), Fraction(22, 3)),
+                         ("b", "a", 1, None, True)])
+        back = json_io.loads(json_io.dumps(ptg))
+        assert back.bounds("a", "b").lower == Fraction(7, 3)
+        assert back.bounds("a", "b").upper == Fraction(22, 3)
+        assert back.bounds("b", "a").upper is None
+
+
+class TestHashing:
+    def test_topology_shared_across_bound_rebinds(self):
+        ptg = from_arcs([("a", "b", 2, 10), ("b", "a", 3, 5, True)])
+        before_topology = topology_hash(ptg.graph)
+        before_bounds = ptime_bounds_hash(ptg)
+        before_full = ptime_graph_hash(ptg)
+        ptg.set_bounds("a", "b", 2, 12)
+        assert topology_hash(ptg.graph) == before_topology
+        assert ptime_bounds_hash(ptg) != before_bounds
+        assert ptime_graph_hash(ptg) != before_full
+
+    def test_lower_rebind_changes_hash(self):
+        ptg = from_arcs([("a", "b", 2, 10), ("b", "a", 3, 5, True)])
+        before = ptime_graph_hash(ptg)
+        ptg.set_bounds("a", "b", 3, 10)
+        assert ptime_graph_hash(ptg) != before
+
+    def test_insertion_order_independent(self):
+        one = from_arcs([("a", "b", 2, 10), ("b", "a", 3, 5, True)])
+        two = PTimeSignalGraph(name="other")
+        two.add_arc("b", "a", 3, 5, marked=True)
+        two.add_arc("a", "b", 2, 10)
+        assert ptime_graph_hash(one) == ptime_graph_hash(two)
+
+    def test_unbounded_distinct_from_large_finite(self):
+        finite = from_arcs([("a", "b", 2, 10 ** 9), ("b", "a", 3, 5, True)])
+        unbounded = from_arcs([("a", "b", 2, None), ("b", "a", 3, 5, True)])
+        assert ptime_graph_hash(finite) != ptime_graph_hash(unbounded)
+
+    def test_kind_preserving_bounds(self):
+        exact = from_arcs([("a", "b", 2, 5), ("b", "a", 3, 5, True)])
+        floaty = from_arcs([("a", "b", 2.0, 5.0), ("b", "a", 3.0, 5.0, True)])
+        assert ptime_bounds_hash(exact) != ptime_bounds_hash(floaty)

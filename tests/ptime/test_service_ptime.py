@@ -1,0 +1,145 @@
+"""End-to-end /ptime endpoint tests over a live ephemeral server."""
+
+from __future__ import annotations
+
+import threading
+from fractions import Fraction
+
+import pytest
+
+from repro.generators import plant_inconsistency, ptime_wrap, random_live_tsg
+from repro.ptime import from_arcs, lambda_range
+from repro.service.cache import clear_caches, configure
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import make_server
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    configure()
+    yield
+    clear_caches()
+    configure()
+
+
+@pytest.fixture
+def service():
+    server = make_server(quiet=True)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient(server.url, timeout=30)
+    yield client
+    server.shutdown()
+    server.close()
+    thread.join(timeout=5)
+
+
+def two_ring():
+    return from_arcs([("a", "b", 2, 10), ("b", "a", 3, 5, True)])
+
+
+def planted():
+    return plant_inconsistency(
+        ptime_wrap(random_live_tsg(events=5, extra_arcs=3, seed=7), seed=7),
+        seed=7,
+    )
+
+
+class TestCheck:
+    def test_consistent_with_decoded_certificate(self, service):
+        result = service.ptime(two_ring(), mode="check")
+        assert result["consistent"] is True
+        assert result["rate"] == 5
+        assert isinstance(result["rate"], (int, Fraction))
+        assert result["offsets"]["b"] - result["offsets"]["a"] >= 2
+        assert result["cached"] is False
+
+    def test_inconsistent_with_violation_payload(self, service):
+        result = service.ptime(planted(), mode="check")
+        assert result["consistent"] is False
+        violation = result["violation"]
+        assert violation["edges"]
+        assert "lam" in violation["condition"]
+
+    def test_caches_identical_requests(self, service):
+        first = service.ptime(two_ring(), mode="check")
+        again = service.ptime(two_ring(), mode="check")
+        assert first["cached"] is False and again["cached"] is True
+
+    def test_mode_is_part_of_the_key(self, service):
+        service.ptime(two_ring(), mode="check")
+        other = service.ptime(two_ring(), mode="lambda-range")
+        assert other["cached"] is False
+
+    def test_bound_rebind_misses_cache(self, service):
+        ptg = two_ring()
+        service.ptime(ptg, mode="check")
+        rebound = ptg.copy()
+        rebound.set_bounds("a", "b", 2, 12)
+        assert service.ptime(rebound, mode="check")["cached"] is False
+
+
+class TestLambdaRange:
+    def test_matches_library(self, service):
+        ptg = two_ring()
+        remote = service.ptime(ptg, mode="lambda-range")
+        local = lambda_range(ptg)
+        assert remote["consistent"] is True
+        assert remote["lam_min"] == local.lam_min == 5
+        assert remote["lam_max"] == local.lam_max == 15
+        assert remote["unbounded"] is False
+
+    def test_unbounded_serialises_as_null(self, service):
+        ptg = from_arcs([("a", "b", 2, None), ("b", "a", 3, None, True)])
+        remote = service.ptime(ptg, mode="lambda-range")
+        assert remote["lam_min"] == 5
+        assert remote["lam_max"] is None
+        assert remote["unbounded"] is True
+
+
+class TestTrajectory:
+    def test_default_rate(self, service):
+        result = service.ptime(two_ring(), mode="trajectory", horizon=6)
+        assert result["consistent"] is True
+        assert result["rate"] == 5
+        assert result["verified"] is True
+        assert result["horizon"] == 6
+        delays = {
+            (entry["source"], entry["target"]): entry["delay"]
+            for entry in result["induced_delays"]
+        }
+        assert 2 <= delays[("a", "b")] <= 10
+        assert 3 <= delays[("b", "a")] <= 5
+
+    def test_explicit_fraction_rate(self, service):
+        result = service.ptime(
+            two_ring(), mode="trajectory", rate=Fraction(25, 2)
+        )
+        assert result["rate"] == Fraction(25, 2)
+        assert result["verified"] is True
+
+    def test_out_of_window_rate_is_client_error(self, service):
+        with pytest.raises(ServiceError) as caught:
+            service.ptime(two_ring(), mode="trajectory", rate=99)
+        assert caught.value.status == 400
+
+    def test_inconsistent_graph_reports_violation(self, service):
+        result = service.ptime(planted(), mode="trajectory")
+        assert result["consistent"] is False
+        assert result["violation"]["edges"]
+
+
+class TestValidation:
+    def test_unknown_mode_rejected(self, service):
+        with pytest.raises(ServiceError) as caught:
+            service.ptime(two_ring(), mode="sideways")
+        assert caught.value.status == 400
+
+    def test_bad_graph_document_rejected(self, service):
+        with pytest.raises(ServiceError) as caught:
+            service._request("POST", "/ptime", {"graph": {"kind": "nope"}})
+        assert caught.value.status == 400
+
+    def test_requests_counter_tracks_ptime(self, service):
+        service.ptime(two_ring(), mode="check")
+        assert service.stats()["requests"]["ptime"] == 1

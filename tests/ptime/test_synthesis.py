@@ -1,0 +1,194 @@
+"""Synthesis tests: lambda-range semantics, trajectories, kernel bridge."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.cycle_time import compute_cycle_time
+from repro.core.errors import SignalGraphError
+from repro.generators import plant_inconsistency, ptime_wrap, random_live_tsg
+from repro.ptime import (
+    cross_validate,
+    from_arcs,
+    lambda_range,
+    synthesize_trajectory,
+    verify_trajectory,
+)
+
+COMMON = settings(
+    max_examples=15, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def two_ring():
+    return from_arcs([("a", "b", 2, 10), ("b", "a", 3, 5, True)])
+
+
+def wrap_of(seed):
+    return ptime_wrap(
+        random_live_tsg(events=6, extra_arcs=4, seed=seed),
+        tightness=(seed % 5) / 4.0,
+        infinite_fraction=(seed % 3) / 4.0,
+        seed=seed,
+    )
+
+
+class TestLambdaRange:
+    def test_hand_computed_interval(self):
+        result = lambda_range(two_ring())
+        assert result.consistent
+        assert result.lam_min == 5
+        assert result.lam_max == 15
+        assert result.width == 10
+        assert result.contains(5) and result.contains(15)
+        assert not result.contains(Fraction(9, 2))
+        assert not result.contains(16)
+
+    def test_unbounded_above(self):
+        ptg = from_arcs([("a", "b", 2, None), ("b", "a", 3, None, True)])
+        result = lambda_range(ptg)
+        assert result.consistent
+        assert result.lam_min == 5
+        assert result.unbounded
+        assert result.contains(10 ** 6)
+
+    def test_rigid_point_interval(self):
+        ptg = from_arcs([("a", "b", 2, 2), ("b", "a", 3, 3, True)])
+        result = lambda_range(ptg)
+        assert result.consistent
+        assert result.lam_min == result.lam_max == 5
+        assert result.sample(4) == [5, 5, 5, 5]
+
+    def test_inconsistent_carries_violation(self):
+        ptg = from_arcs([
+            ("a", "b", 2, 2), ("b", "a", 3, 3, True),
+            ("a", "w", 7, 7), ("w", "a", 0, 0, True),
+        ])
+        result = lambda_range(ptg)
+        assert not result.consistent
+        assert result.violation.is_closed()
+        with pytest.raises(SignalGraphError):
+            result.sample(3)
+
+    def test_samples_lie_inside(self):
+        result = lambda_range(two_ring())
+        samples = result.sample(7)
+        assert len(samples) == 7
+        assert samples[0] == result.lam_min
+        assert samples[-1] == result.lam_max
+        assert all(result.contains(lam) for lam in samples)
+        assert all(isinstance(lam, (int, Fraction)) for lam in samples)
+
+    @COMMON
+    @given(seed=st.integers(min_value=0, max_value=3_000))
+    def test_witness_rate_in_range(self, seed):
+        base = random_live_tsg(events=6, extra_arcs=4, seed=seed)
+        witness = compute_cycle_time(base).cycle_time
+        result = lambda_range(ptime_wrap(base, seed=seed))
+        assert result.consistent
+        assert result.contains(witness), "%s not in %s" % (witness, result)
+
+    @COMMON
+    @given(seed=st.integers(min_value=0, max_value=3_000))
+    def test_corner_bracket(self, seed):
+        # [lam_min, lam_max] sits inside [MCR(lower), MCR(upper)]
+        ptg = ptime_wrap(
+            random_live_tsg(events=6, extra_arcs=4, seed=seed),
+            seed=seed, infinite_fraction=0.0,
+        )
+        result = lambda_range(ptg)
+        assert result.consistent
+        lower_rate = compute_cycle_time(ptg.lower_graph()).cycle_time
+        upper_rate = compute_cycle_time(ptg.upper_graph()).cycle_time
+        assert lower_rate <= result.lam_min
+        assert result.lam_max is not None
+        assert result.lam_max <= upper_rate
+
+    def test_bit_reproducible(self):
+        ptg = wrap_of(17)
+        first = lambda_range(ptg)
+        second = lambda_range(ptg.copy())
+        assert first.lam_min == second.lam_min
+        assert first.lam_max == second.lam_max
+        assert isinstance(first.lam_min, (int, Fraction))
+
+
+class TestTrajectory:
+    def test_default_rate_is_minimum(self):
+        trajectory = synthesize_trajectory(two_ring())
+        assert trajectory.rate == 5
+        assert min(trajectory.offsets.values()) == 0
+        assert verify_trajectory(two_ring(), trajectory, horizon=10).ok
+
+    def test_explicit_rates_across_interval(self):
+        ptg = two_ring()
+        for rate in (5, 7, Fraction(25, 2), 15):
+            trajectory = synthesize_trajectory(ptg, rate=rate)
+            assert trajectory.rate == rate
+            verdict = verify_trajectory(ptg, trajectory, horizon=8)
+            assert verdict.ok, str(verdict)
+
+    def test_infeasible_rate_raises_with_circuit(self):
+        with pytest.raises(SignalGraphError, match="violating circuit"):
+            synthesize_trajectory(two_ring(), rate=16)
+        with pytest.raises(SignalGraphError, match="violating circuit"):
+            synthesize_trajectory(two_ring(), rate=4)
+
+    def test_inconsistent_graph_raises(self):
+        ptg = plant_inconsistency(wrap_of(3), seed=3)
+        with pytest.raises(SignalGraphError, match="inconsistent"):
+            synthesize_trajectory(ptg)
+
+    def test_induced_delays_in_bounds(self):
+        ptg = two_ring()
+        trajectory = synthesize_trajectory(ptg, rate=7)
+        delays = trajectory.induced_delays(ptg)
+        for arc, interval in ptg.arc_bounds():
+            assert interval.contains(delays[arc.pair])
+
+    def test_verifier_rejects_bad_trajectory(self):
+        ptg = two_ring()
+        trajectory = synthesize_trajectory(ptg, rate=5)
+        broken = type(trajectory)(
+            rate=trajectory.rate,
+            offsets=dict(trajectory.offsets, b=trajectory.offsets["b"] + 100),
+            exact=trajectory.exact,
+        )
+        verdict = verify_trajectory(ptg, broken, horizon=4)
+        assert not verdict.ok
+        assert verdict.failures
+
+
+class TestCrossValidation:
+    def test_two_ring_bit_exact(self):
+        outcome = cross_validate(two_ring(), samples=3, horizon=6)
+        assert outcome.ok, str(outcome)
+        assert [lam for lam, _ in outcome.kernel_rates] == [5, 10, 15]
+        for lam, computed in outcome.kernel_rates:
+            assert Fraction(lam) == Fraction(computed)
+        lower_rate, upper_rate = outcome.corner_rates
+        assert lower_rate <= outcome.range.lam_min
+        assert outcome.range.lam_max <= upper_rate
+
+    def test_unbounded_has_no_upper_corner(self):
+        ptg = from_arcs([("a", "b", 2, None), ("b", "a", 3, None, True)])
+        outcome = cross_validate(ptg, samples=2, horizon=4)
+        assert outcome.ok, str(outcome)
+        assert outcome.corner_rates[1] is None
+
+    def test_inconsistent_raises(self):
+        ptg = plant_inconsistency(wrap_of(5), seed=5)
+        with pytest.raises(SignalGraphError, match="inconsistent"):
+            cross_validate(ptg)
+
+    @COMMON
+    @given(seed=st.integers(min_value=0, max_value=3_000))
+    def test_random_wraps_cross_validate(self, seed):
+        outcome = cross_validate(wrap_of(seed), samples=3, horizon=5)
+        assert outcome.ok, str(outcome)
+        # bit-exact kernel agreement at every sampled rate
+        for lam, computed in outcome.kernel_rates:
+            assert Fraction(lam) == Fraction(computed)
