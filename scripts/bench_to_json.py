@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Measure the kernel speedups and record them as JSON.
 
-Six suites::
+Seven suites::
 
     PYTHONPATH=src python scripts/bench_to_json.py [--suite kernels]
     PYTHONPATH=src python scripts/bench_to_json.py --suite montecarlo
@@ -9,6 +9,7 @@ Six suites::
     PYTHONPATH=src python scripts/bench_to_json.py --suite obs
     PYTHONPATH=src python scripts/bench_to_json.py --suite scaling_out
     PYTHONPATH=src python scripts/bench_to_json.py --suite ptime
+    PYTHONPATH=src python scripts/bench_to_json.py --suite overload
 
 ``kernels`` (the default) times the legacy, exact and float engines —
 border simulations and end-to-end ``compute_cycle_time`` — on the
@@ -45,6 +46,12 @@ Fraction and float modes), the full ``lambda_range`` interval, and the
 certified-rejection path on planted-inconsistent instances — across
 graph sizes, runs a 3-rate ``cross_validate`` correctness rider, and
 writes ``BENCH_ptime.json``.
+
+``overload`` ramps concurrent Monte-Carlo load past a deliberately
+small service capacity and records shed-rate, degraded-rate and
+p50/p99 latency per level along with the AIMD limiter and brownout
+snapshots, writing ``BENCH_overload.json``.  Gates: the limiter stays
+within ``[min_limit, ceiling]`` and no unstructured 5xx ever escapes.
 
 Timings are best-of-N wall clock after warmup (the float kernel's
 code-generation tier activates during warmup, as it does in any
@@ -1102,13 +1109,195 @@ def run_scaling_out_suite(output):
     return 1 if failures else 0
 
 
+OVERLOAD_LEVELS = (2, 6, 12)
+OVERLOAD_LEVEL_S = 3.0
+OVERLOAD_STAGES = 80
+OVERLOAD_SAMPLES = 2048
+OVERLOAD_FLOOR = 64
+OVERLOAD_TIMEOUT_MS = 2000
+
+
+def _percentile(sorted_values, fraction):
+    if not sorted_values:
+        return None
+    index = int(fraction * (len(sorted_values) - 1))
+    return sorted_values[index]
+
+
+def measure_overload_level(url, clients, seed_base):
+    """Offered load of ``clients`` concurrent Monte-Carlo callers for
+    one ramp level; returns outcome mix and latency percentiles."""
+    import threading
+
+    from repro.service.client import (
+        DeadlineExceededError,
+        ServerSaturatedError,
+        ServiceClient,
+        ServiceError,
+    )
+
+    graph = ring_with_chords(stages=OVERLOAD_STAGES, tokens=4, chords=20,
+                             seed=7)
+    lock = threading.Lock()
+    outcomes = {"ok": 0, "shed_429": 0, "deadline_504": 0, "error_5xx": 0}
+    degraded = [0]
+    durations = []
+    counter = [0]
+    deadline = time.monotonic() + OVERLOAD_LEVEL_S
+
+    def on_degraded(_stamp):
+        with lock:
+            degraded[0] += 1
+
+    def run(index):
+        client = ServiceClient(url, timeout=10, retries=0,
+                               on_degraded=on_degraded)
+        try:
+            while time.monotonic() < deadline:
+                with lock:
+                    counter[0] += 1
+                    seed = seed_base + counter[0]
+                started = time.perf_counter()
+                try:
+                    client.montecarlo(
+                        graph, samples=OVERLOAD_SAMPLES, seed=seed,
+                        timeout_ms=OVERLOAD_TIMEOUT_MS,
+                        priority=("interactive", "bulk")[index % 2],
+                    )
+                    outcome = "ok"
+                except ServerSaturatedError:
+                    outcome = "shed_429"
+                except DeadlineExceededError:
+                    outcome = "deadline_504"
+                except ServiceError:
+                    outcome = "error_5xx"
+                elapsed = time.perf_counter() - started
+                with lock:
+                    outcomes[outcome] += 1
+                    if outcome == "ok":
+                        durations.append(elapsed)
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=run, args=(index,), daemon=True)
+        for index in range(clients)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    durations.sort()
+    total = sum(outcomes.values())
+    return {
+        "offered_clients": clients,
+        "requests": total,
+        "throughput_ok_per_sec": outcomes["ok"] / elapsed,
+        "outcomes": dict(outcomes),
+        "shed_rate": outcomes["shed_429"] / total if total else 0.0,
+        "degraded_responses": degraded[0],
+        "degraded_rate": degraded[0] / total if total else 0.0,
+        "p50_ms": (_percentile(durations, 0.50) or 0.0) * 1000.0,
+        "p99_ms": (_percentile(durations, 0.99) or 0.0) * 1000.0,
+    }
+
+
+def run_overload_suite(output):
+    """Ramped-load overload behaviour: shed/degraded rates and latency
+    percentiles as offered concurrency climbs past capacity."""
+    import threading
+
+    from repro.service.client import ServiceClient
+    from repro.service.server import make_server
+
+    server = make_server(
+        quiet=True, max_inflight=2, max_queue_depth=8,
+        adaptive=True, brownout=True, brownout_floor=OVERLOAD_FLOOR,
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    rows = []
+    failures = []
+    try:
+        probe = ServiceClient(server.url, timeout=10, retries=0)
+        for level, clients in enumerate(OVERLOAD_LEVELS):
+            row = measure_overload_level(
+                server.url, clients, seed_base=100000 * (level + 1)
+            )
+            stats = probe.stats()
+            overload = stats.get("overload") or {}
+            row["limiter"] = overload.get("limiter")
+            row["brownout"] = overload.get("brownout")
+            rows.append(row)
+            print(
+                "clients=%-3d %5d reqs  ok %6.1f/s  shed %5.1f%%  "
+                "degraded %5.1f%%  p50 %7.1f ms  p99 %7.1f ms"
+                % (
+                    clients, row["requests"],
+                    row["throughput_ok_per_sec"],
+                    100.0 * row["shed_rate"],
+                    100.0 * row["degraded_rate"],
+                    row["p50_ms"], row["p99_ms"],
+                )
+            )
+        probe.close()
+    finally:
+        server.shutdown()
+        server.close()
+        thread.join(timeout=10)
+
+    for row in rows:
+        limiter = row["limiter"]
+        if limiter is None:
+            failures.append("no adaptive limiter snapshot on /stats")
+        elif not (
+            limiter["min_limit"] <= limiter["limit"] <= limiter["ceiling"]
+        ):
+            failures.append("limiter diverged: %r" % limiter)
+        if row["outcomes"]["error_5xx"]:
+            failures.append(
+                "unstructured 5xx under ramped load: %r" % row["outcomes"]
+            )
+    top = rows[-1]
+    document = {
+        "benchmark": "closed-loop overload control: AIMD limiter, "
+        "deadline/CoDel shedding and brownout degradation under a "
+        "ramped Monte-Carlo load",
+        "workload": "ring_with_chords(stages=%d) /montecarlo "
+        "samples=%d, %.1fs per level at %r concurrent clients, "
+        "max_inflight=2, queue depth 8, brownout floor %d"
+        % (OVERLOAD_STAGES, OVERLOAD_SAMPLES, OVERLOAD_LEVEL_S,
+           list(OVERLOAD_LEVELS), OVERLOAD_FLOOR),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "levels": rows,
+        "headline": {
+            "peak_shed_rate": max(r["shed_rate"] for r in rows),
+            "peak_degraded_rate": max(r["degraded_rate"] for r in rows),
+            "p99_ms_at_peak": top["p99_ms"],
+            "limit_at_peak": (top["limiter"] or {}).get("limit"),
+            "brownout_level_at_peak": (top["brownout"] or {}).get("level"),
+        },
+    }
+    with open(output, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print("wrote %s" % os.path.abspath(output))
+    for failure in failures:
+        print("WARNING: %s" % failure)
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     root = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
         choices=("kernels", "montecarlo", "service", "obs", "scaling_out",
-                 "ptime"),
+                 "ptime", "overload"),
         default="kernels",
         help="what to measure (default: the single-analysis kernels)",
     )
@@ -1133,6 +1322,9 @@ def main(argv=None) -> int:
         "--sizes overridden (montecarlo suite only)" % MC_GATE_STAGES,
     )
     args = parser.parse_args(argv)
+    if args.suite == "overload":
+        output = args.output or os.path.join(root, "BENCH_overload.json")
+        return run_overload_suite(output)
     if args.suite == "scaling_out":
         output = args.output or os.path.join(root, "BENCH_scaling_out.json")
         return run_scaling_out_suite(output)

@@ -22,13 +22,19 @@ tiny admission queue, then
 
 Exit code 0 means every bound held; this is the CI chaos-smoke job.
 
+The same harness can drive a sharded deployment: ``--workers 2
+--router`` runs the storm through ``repro serve --workers 2 --router``
+(topology-affinity router in front of two private workers) and
+aggregates the per-worker ``/stats`` blocks when checking counters.
+
 Usage::
 
-    PYTHONPATH=src python scripts/chaos_smoke.py
+    PYTHONPATH=src python scripts/chaos_smoke.py [--workers N] [--router]
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import random
@@ -75,6 +81,23 @@ class Failure(Exception):
 def check(condition, message):
     if not condition:
         raise Failure(message)
+
+
+def worker_blocks(stats):
+    """Per-daemon stats blocks: [stats] solo, the worker blocks when
+    /stats came from the router (shape: {"router": ..., "workers": ...})."""
+    if "router" in stats and "workers" in stats:
+        return [
+            block for block in stats["workers"].values()
+            if isinstance(block, dict) and "admission" in block
+        ]
+    return [stats]
+
+
+def total_inflight(stats):
+    return sum(
+        block["admission"]["inflight"] for block in worker_blocks(stats)
+    )
 
 
 def make_client(url, seed, retries=4):
@@ -236,7 +259,7 @@ def drain_on_sigterm(url, daemon):
     probe = ServiceClient(url, timeout=10, retries=0)
     for _ in range(600):
         try:
-            if probe.stats()["admission"]["inflight"] >= 1:
+            if total_inflight(probe.stats()) >= 1:
                 break
         except ServiceError:
             break
@@ -259,6 +282,15 @@ def drain_on_sigterm(url, daemon):
 
 
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=1,
+                        help="run the storm against a pre-fork pool of N "
+                        "workers instead of a solo daemon")
+    parser.add_argument("--router", action="store_true",
+                        help="front the pool with the topology-affinity "
+                        "router (requires --workers > 1)")
+    args = parser.parse_args()
+
     cache_dir = tempfile.mkdtemp(prefix="repro-chaos-cache-")
     port = free_port()
     url = "http://127.0.0.1:%d" % port
@@ -266,17 +298,22 @@ def main() -> int:
     env["PYTHONPATH"] = os.path.join(ROOT, "src") + os.pathsep + env.get(
         "PYTHONPATH", ""
     )
+    command = [
+        sys.executable, "-m", "repro", "serve",
+        "--port", str(port), "--quiet",
+        "--disk-cache", "--cache-dir", cache_dir,
+        "--result-entries", "4",
+        "--max-inflight", "2", "--max-queue-depth", "2",
+        "--request-timeout", "15",
+        "--drain-timeout", "15",
+        "--chaos", CHAOS,
+    ]
+    if args.workers > 1:
+        command += ["--workers", str(args.workers)]
+        if args.router:
+            command.append("--router")
     daemon = subprocess.Popen(
-        [
-            sys.executable, "-m", "repro", "serve",
-            "--port", str(port), "--quiet",
-            "--disk-cache", "--cache-dir", cache_dir,
-            "--result-entries", "4",
-            "--max-inflight", "2", "--max-queue-depth", "2",
-            "--request-timeout", "15",
-            "--drain-timeout", "15",
-            "--chaos", CHAOS,
-        ],
+        command,
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
     )
     out = ""
@@ -293,28 +330,32 @@ def main() -> int:
         print("chaos: storm outcomes %r, p99 %.2fs" % (outcomes, p99))
 
         stats = client.stats()
-        requests = stats["requests"]
-        result_cache = stats["cache"]["result"]
-        check(requests.get("shed", 0) > 0,
-              "/stats shed counter is zero: %r" % requests)
-        check(requests.get("expired", 0) > 0,
-              "/stats expired counter is zero: %r" % requests)
-        check(result_cache.get("corrupt_evicted", 0) > 0,
-              "/stats corrupt_evicted is zero: %r" % result_cache)
-        check(result_cache.get("degraded") is True,
-              "corrupting disk tier did not trip degraded mode: %r"
-              % result_cache)
-        check(stats["faults"] is not None
-              and stats["faults"]["injected"].get("latency_injected", 0) > 0,
-              "fault injection counters missing: %r" % stats["faults"])
+        blocks = worker_blocks(stats)
+        check(blocks, "no worker stats blocks in /stats: %r" % sorted(stats))
+        shed = sum(b["requests"].get("shed", 0) for b in blocks)
+        expired = sum(b["requests"].get("expired", 0) for b in blocks)
+        corrupt_evicted = sum(
+            b["cache"]["result"].get("corrupt_evicted", 0) for b in blocks
+        )
+        degraded = any(
+            b["cache"]["result"].get("degraded") is True for b in blocks
+        )
+        latency_injected = sum(
+            b["faults"]["injected"].get("latency_injected", 0)
+            for b in blocks if b.get("faults")
+        )
+        check(shed > 0, "/stats shed counter is zero across workers")
+        check(expired > 0, "/stats expired counter is zero across workers")
+        check(corrupt_evicted > 0,
+              "/stats corrupt_evicted is zero across workers")
+        check(degraded,
+              "corrupting disk tier did not trip degraded mode anywhere")
+        check(latency_injected > 0, "fault injection counters missing")
         print(
             "chaos: shed=%d expired=%d corrupt_evicted=%d degraded=%s "
-            "injected=%r"
-            % (
-                requests["shed"], requests["expired"],
-                result_cache["corrupt_evicted"], result_cache["degraded"],
-                stats["faults"]["injected"],
-            )
+            "latency_injected=%d across %d daemon(s)"
+            % (shed, expired, corrupt_evicted, degraded, latency_injected,
+               len(blocks))
         )
 
         replay_bit_identical(url)

@@ -512,6 +512,10 @@ def _cmd_serve(args) -> int:
         kernel_executor=args.kernel_executor,
         kernel_workers=args.kernel_workers,
         batch_kernel=args.batch_kernel,
+        adaptive=not args.no_adaptive,
+        brownout=args.brownout,
+        brownout_floor=args.brownout_floor,
+        hedge_ms=args.hedge_ms,
     )
     if args.workers and args.workers > 1:
         from .service.pool import serve_pool
@@ -807,6 +811,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-queue-depth", type=int, default=32, metavar="N",
         help="admission control: bounded wait queue; beyond it requests "
         "are shed with 429 + Retry-After",
+    )
+    serve.add_argument(
+        "--no-adaptive", action="store_true",
+        help="disable the AIMD adaptive concurrency limiter and run "
+        "with the static --max-inflight cap only",
+    )
+    serve.add_argument(
+        "--brownout", action="store_true",
+        help="under sustained overload, shrink Monte-Carlo sample "
+        "counts toward --brownout-floor; degraded responses carry a "
+        "{'degraded': {...}} stamp, never silent",
+    )
+    serve.add_argument(
+        "--brownout-floor", type=int, default=64, metavar="N",
+        help="minimum Monte-Carlo samples brownout will degrade to",
+    )
+    serve.add_argument(
+        "--hedge-ms", type=float, default=0.0, metavar="MS",
+        help="router only: hedge idempotent requests to a second "
+        "worker after MS milliseconds without a reply (0 disables)",
     )
     serve.add_argument(
         "--drain-timeout", type=float, default=10.0, metavar="S",

@@ -115,6 +115,7 @@ import atexit
 import itertools
 import os
 import pickle
+import sys
 import threading
 import time
 import warnings
@@ -700,6 +701,30 @@ _CHILD_COMPILED: "OrderedDict[Tuple[int, int], CompiledGraph]" = OrderedDict()
 _CHILD_COMPILED_LIMIT = 8
 
 
+def _chunk_child_init() -> None:
+    """Tie each chunk-executor child to its parent's lifetime.
+
+    A SIGKILLed parent (worker crash, chaos test) cannot shut its
+    executor down, and orphaned children would otherwise block forever
+    on the call queue — keeping inherited pipes open.  On Linux,
+    ``PR_SET_PDEATHSIG`` makes the kernel deliver SIGKILL to the child
+    the moment the parent dies; elsewhere this is a silent no-op.
+    """
+    if not sys.platform.startswith("linux"):
+        return
+    try:
+        import ctypes
+        import signal as _signal
+
+        libc = ctypes.CDLL(None, use_errno=True)
+        libc.prctl(1, _signal.SIGKILL)  # PR_SET_PDEATHSIG
+        if os.getppid() == 1:
+            # The parent died in the window before prctl took effect.
+            os._exit(0)
+    except Exception:
+        pass
+
+
 def process_pool(workers: Optional[int] = None):
     """The shared chunk-executor process pool (created on first use).
 
@@ -722,7 +747,10 @@ def process_pool(workers: Optional[int] = None):
         context = multiprocessing.get_context(
             "fork" if "fork" in methods else None
         )
-        _pool = ProcessPoolExecutor(max_workers=want, mp_context=context)
+        _pool = ProcessPoolExecutor(
+            max_workers=want, mp_context=context,
+            initializer=_chunk_child_init,
+        )
         _pool_workers = want
         _pool_method = context.get_start_method()
     if previous is not None:
@@ -764,6 +792,11 @@ _SHM_LIVE: Dict[str, object] = {}
 _SHM_STATS = {"created": 0, "unlinked": 0, "fallback": 0}
 
 
+def shm_stats() -> Dict[str, int]:
+    """Shared-memory segment counters (created/unlinked/fallback)."""
+    return dict(_SHM_STATS)
+
+
 class _SharedMatrix:
     """One sweep's ``(S, m)`` delay matrix in a shared-memory block.
 
@@ -777,6 +810,10 @@ class _SharedMatrix:
     def __init__(self, matrix: np.ndarray):
         from multiprocessing import shared_memory
 
+        if os.environ.get("REPRO_DISABLE_SHM"):
+            # Chaos hook: pretend /dev/shm is unavailable so the
+            # pickled-fallback path (and its counter) is exercised.
+            raise OSError("shared memory disabled by REPRO_DISABLE_SHM")
         self._shm = shared_memory.SharedMemory(
             create=True, size=matrix.nbytes
         )

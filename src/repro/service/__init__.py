@@ -13,9 +13,13 @@ The service layer turns the library into a shareable system:
 * :mod:`repro.service.queue` — a request coalescer that merges pending
   Monte-Carlo sweeps sharing a topology into single batched kernel
   calls, evicting requests whose deadline lapses while they linger;
-* :mod:`repro.service.resilience` — deadlines, bounded admission
-  queues, retry backoff and circuit breakers shared by server and
-  client;
+* :mod:`repro.service.resilience` — deadlines, bounded
+  priority/CoDel admission queues, retry backoff and circuit breakers
+  shared by server and client;
+* :mod:`repro.service.overload` — the closed-loop overload layer: an
+  AIMD adaptive concurrency limiter and the brownout controller that
+  degrades Monte-Carlo sample counts (honestly labelled) under
+  sustained pressure;
 * :mod:`repro.service.faults` — the deterministic, seedable
   fault-injection harness behind ``repro serve --chaos``;
 * :mod:`repro.service.server` / :mod:`repro.service.client` — a
@@ -47,8 +51,10 @@ from .client import (
 )
 from .faults import FaultInjector, InjectedFault
 from .hashing import delay_hash, graph_hash, topology_hash
+from .overload import AdaptiveLimiter, BrownoutController
 from .queue import RequestCoalescer
 from .resilience import (
+    PRIORITIES,
     AdmissionQueue,
     CircuitBreaker,
     Deadline,
@@ -58,7 +64,10 @@ from .resilience import (
 )
 
 __all__ = [
+    "AdaptiveLimiter",
     "AdmissionQueue",
+    "BrownoutController",
+    "PRIORITIES",
     "CacheStats",
     "CircuitBreaker",
     "CircuitOpenError",

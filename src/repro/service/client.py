@@ -196,28 +196,28 @@ class PooledTransport:
         path: str,
         body: Optional[bytes],
         headers: Dict[str, str],
-    ) -> Tuple[int, bytes, Optional[str], bool]:
+    ) -> Tuple[int, bytes, Dict[str, str], bool]:
         """One request/response over ``connection``.
 
-        Returns ``(status, body, retry_after, keep)`` where ``keep``
-        says the connection may be pooled for reuse.
+        Returns ``(status, body, response_headers, keep)`` where
+        ``keep`` says the connection may be pooled for reuse.
         """
         connection.request(method, path, body=body, headers=headers)
         response = connection.getresponse()
         raw = response.read()
-        retry_after = response.headers.get("Retry-After")
+        response_headers = dict(response.headers.items())
         keep = not response.will_close
         connection._repro_used = True
-        return response.status, raw, retry_after, keep
+        return response.status, raw, response_headers, keep
 
-    def request(
+    def request_ex(
         self,
         method: str,
         path: str,
         body: Optional[bytes],
         headers: Dict[str, str],
-    ) -> Tuple[int, bytes, Optional[str]]:
-        """One wire attempt; returns (status, raw body, Retry-After).
+    ) -> Tuple[int, bytes, Dict[str, str]]:
+        """One wire attempt; returns (status, raw body, response headers).
 
         A stale pooled socket is transparently replaced and the
         attempt replayed once — this never re-executes server work the
@@ -227,7 +227,7 @@ class PooledTransport:
         """
         connection, pooled = self._checkout()
         try:
-            status, raw, retry_after, keep = self._roundtrip(
+            status, raw, response_headers, keep = self._roundtrip(
                 connection, method, path, body, headers
             )
         except STALE_SOCKET_ERRORS:
@@ -239,7 +239,7 @@ class PooledTransport:
                 self.stats["stale_reconnects"] += 1
             connection = self._connect()
             try:
-                status, raw, retry_after, keep = self._roundtrip(
+                status, raw, response_headers, keep = self._roundtrip(
                     connection, method, path, body, headers
                 )
             except BaseException:
@@ -252,6 +252,24 @@ class PooledTransport:
             self._checkin(connection)
         else:
             self._discard(connection)
+        return status, raw, response_headers
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        headers: Dict[str, str],
+    ) -> Tuple[int, bytes, Optional[str]]:
+        """:meth:`request_ex`, reduced to (status, body, Retry-After)."""
+        status, raw, response_headers = self.request_ex(
+            method, path, body, headers
+        )
+        retry_after = None
+        for name, value in response_headers.items():
+            if name.lower() == "retry-after":
+                retry_after = value
+                break
         return status, raw, retry_after
 
     def idle_connections(self) -> int:
@@ -301,6 +319,12 @@ class ServiceClient:
         How many keep-alive sockets the transport keeps warm between
         requests (also the useful concurrency of one shared client —
         more simultaneous callers still work, over unpooled sockets).
+    on_degraded:
+        Optional callback invoked with the server's ``degraded`` stamp
+        (``{"requested": S, "served": S'}``) whenever a brownout-
+        degraded Monte-Carlo response arrives — degradation is never
+        silent on the client either.  :attr:`degraded_responses`
+        counts them regardless.
     """
 
     def __init__(
@@ -312,6 +336,7 @@ class ServiceClient:
         breaker: Optional[CircuitBreaker] = None,
         deadline_ms: Optional[float] = None,
         pool_connections: int = 2,
+        on_degraded=None,
     ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
@@ -319,6 +344,9 @@ class ServiceClient:
         self.retry_policy.retries = retries
         self.breaker = breaker or CircuitBreaker()
         self.deadline_ms = deadline_ms
+        self.on_degraded = on_degraded
+        self.degraded_responses = 0
+        self._degraded_lock = threading.Lock()
         self.transport = PooledTransport(
             self.base_url, timeout=timeout, pool_connections=pool_connections
         )
@@ -526,12 +554,15 @@ class ServiceClient:
         kernel: str = "auto",
         backtrack: bool = True,
         timeout_ms: Optional[float] = None,
+        priority: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Cycle time and critical cycles of ``graph``.
 
         ``result["cycle_time"]`` and each critical cycle's ``length``
         are decoded back to exact numbers.  ``timeout_ms`` bounds the
-        *server-side* work (a structured 504 on expiry).
+        *server-side* work (a structured 504 on expiry).  ``priority``
+        (``interactive``/``normal``/``bulk``) orders the server's
+        admission queue — interactive traffic preempts bulk sweeps.
         """
         payload: Dict[str, Any] = {
             "graph": graph_to_dict(graph),
@@ -542,6 +573,8 @@ class ServiceClient:
             payload["periods"] = periods
         if timeout_ms is not None:
             payload["timeout_ms"] = timeout_ms
+        if priority is not None:
+            payload["priority"] = priority
         result = self._request(
             "POST", "/analyze", payload,
             extra_headers={"X-Topology-Hash": topology_hash(graph)},
@@ -561,8 +594,15 @@ class ServiceClient:
         track_criticality: bool = False,
         bins: int = 0,
         timeout_ms: Optional[float] = None,
+        priority: Optional[str] = None,
     ) -> Dict[str, Any]:
-        """λ distribution of ``graph`` under random delay variation."""
+        """λ distribution of ``graph`` under random delay variation.
+
+        A brownout-degraded response (``--brownout`` servers under
+        pressure answer fewer samples than requested) carries the
+        server's ``degraded`` stamp; the client counts it in
+        :attr:`degraded_responses` and invokes ``on_degraded``.
+        """
         payload: Dict[str, Any] = {
             "graph": graph_to_dict(graph),
             "samples": samples,
@@ -574,10 +614,19 @@ class ServiceClient:
         }
         if timeout_ms is not None:
             payload["timeout_ms"] = timeout_ms
-        return self._request(
+        if priority is not None:
+            payload["priority"] = priority
+        result = self._request(
             "POST", "/montecarlo", payload,
             extra_headers={"X-Topology-Hash": topology_hash(graph)},
         )
+        stamp = result.get("degraded")
+        if stamp:
+            with self._degraded_lock:
+                self.degraded_responses += 1
+            if self.on_degraded is not None:
+                self.on_degraded(stamp)
+        return result
 
     def ptime(
         self,
@@ -586,6 +635,7 @@ class ServiceClient:
         rate: Optional[Any] = None,
         horizon: int = 8,
         timeout_ms: Optional[float] = None,
+        priority: Optional[str] = None,
     ) -> Dict[str, Any]:
         """P-time analysis of an interval-bound graph.
 
@@ -604,6 +654,8 @@ class ServiceClient:
             payload["rate"] = encode_number(rate)
         if timeout_ms is not None:
             payload["timeout_ms"] = timeout_ms
+        if priority is not None:
+            payload["priority"] = priority
         result = self._request(
             "POST", "/ptime", payload,
             extra_headers={"X-Topology-Hash": topology_hash(graph.graph)},

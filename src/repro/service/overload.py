@@ -1,0 +1,287 @@
+"""Adaptive overload control: closed-loop limits and brownout.
+
+PR 4 gave the daemon *static* knobs — ``--max-inflight`` and
+``--max-queue-depth`` — that must be tuned by hand against the
+hardware: too high and load turns into a latency cliff, too low and
+capacity is wasted.  This module closes the loop, in the same spirit
+as the paper's simulation method itself: observe the system's actual
+timing behaviour and let the numbers, not a guess, set the bounds.
+
+Two independent pieces, both stdlib-only and deterministic under an
+injected clock so their control laws are unit-testable:
+
+* :class:`AdaptiveLimiter` — an AIMD concurrency limiter driven by
+  observed service latency against a windowed moving-minimum RTT.
+  While latency stays near the no-queueing floor the limit creeps up
+  additively (the capacity probe); once latency inflates past
+  ``tolerance`` times the floor — the signature of GIL/queueing
+  contention — the limit backs off multiplicatively.  A server-side
+  deadline expiry inside compute is treated as a hard congestion
+  signal.  The static ``--max-inflight`` knob survives as the hard
+  *ceiling* the limit may never exceed, and ``min_limit`` keeps the
+  service from choking itself off entirely.
+
+* :class:`BrownoutController` — degradation-by-accuracy for the
+  Monte-Carlo endpoint.  The paper's method is sampling-based, so its
+  answer degrades *gracefully* with sample count: under sustained
+  pressure the controller steps a degradation level up and the server
+  shrinks ``samples`` geometrically toward a floor, answering a
+  smaller, honestly-labelled sweep (``{"degraded": {"requested": S,
+  "served": S'}}``) instead of a 429 or a blown deadline.  When
+  pressure subsides the level steps back down.  Degradation is never
+  silent and never cached.
+
+The deadline-aware, priority/CoDel queue discipline that consumes the
+limiter lives in :class:`repro.service.resilience.AdmissionQueue`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, Optional
+
+__all__ = ["AdaptiveLimiter", "BrownoutController"]
+
+
+class AdaptiveLimiter:
+    """AIMD concurrency limit from observed latency vs a moving floor.
+
+    ``observe(rtt_s, outcome)`` feeds one completed request:
+
+    * ``outcome="timeout"`` (server-side deadline expired while
+      computing) is a hard congestion signal — multiplicative decrease
+      regardless of the RTT sample;
+    * otherwise the sample is compared against ``tolerance`` times the
+      windowed minimum RTT: above → multiplicative decrease (at most
+      once per ``cooldown_s``, so one burst of slow completions does
+      not collapse the limit to the floor), below → additive increase
+      of ``increase_step`` per full window of ``limit`` samples
+      (classic AIMD: probe one slot per "round trip" of traffic).
+
+    ``limit()`` floors the continuous control value to an integer in
+    ``[min_limit, ceiling]``.  All state is visible via
+    :meth:`snapshot` for ``/stats`` and ``/metrics``.
+    """
+
+    def __init__(
+        self,
+        ceiling: int = 8,
+        min_limit: int = 1,
+        tolerance: float = 2.0,
+        decrease_ratio: float = 0.7,
+        increase_step: float = 1.0,
+        rtt_window_s: float = 30.0,
+        cooldown_s: float = 0.1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if ceiling < 1:
+            raise ValueError("ceiling must be positive")
+        if not 1 <= min_limit <= ceiling:
+            raise ValueError("need 1 <= min_limit <= ceiling")
+        if tolerance <= 1.0:
+            raise ValueError("tolerance must exceed 1.0")
+        if not 0.0 < decrease_ratio < 1.0:
+            raise ValueError("decrease_ratio must be in (0, 1)")
+        self.ceiling = ceiling
+        self.min_limit = min_limit
+        self.tolerance = tolerance
+        self.decrease_ratio = decrease_ratio
+        self.increase_step = increase_step
+        self.rtt_window_s = rtt_window_s
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._limit = float(ceiling)
+        #: (bucket_start, bucket_min) pairs; the window minimum is the
+        #: min over live buckets — O(1) amortised, bounded memory.
+        self._buckets: "deque[list]" = deque()
+        self._bucket_span = max(rtt_window_s / 10.0, 1e-6)
+        self._last_decrease = -float("inf")
+        self._since_increase = 0
+        self._last_rtt = 0.0
+        self._counts: Dict[str, int] = {
+            "samples": 0, "increases": 0, "decreases": 0, "timeouts": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def _note_rtt(self, rtt_s: float, now: float) -> None:
+        while self._buckets and self._buckets[0][0] <= now - self.rtt_window_s:
+            self._buckets.popleft()
+        if self._buckets and now - self._buckets[-1][0] < self._bucket_span:
+            bucket = self._buckets[-1]
+            if rtt_s < bucket[1]:
+                bucket[1] = rtt_s
+        else:
+            self._buckets.append([now, rtt_s])
+
+    def _min_rtt_locked(self) -> Optional[float]:
+        if not self._buckets:
+            return None
+        return min(bucket[1] for bucket in self._buckets)
+
+    def _decrease(self, now: float) -> None:
+        if now - self._last_decrease < self.cooldown_s:
+            return
+        self._last_decrease = now
+        self._since_increase = 0
+        self._limit = max(float(self.min_limit),
+                          self._limit * self.decrease_ratio)
+        self._counts["decreases"] += 1
+
+    # ------------------------------------------------------------------
+    def observe(self, rtt_s: float, outcome: str = "ok") -> None:
+        """Feed one completed request's service time and outcome."""
+        now = self._clock()
+        with self._lock:
+            self._counts["samples"] += 1
+            self._last_rtt = rtt_s
+            if outcome == "timeout":
+                self._counts["timeouts"] += 1
+                self._decrease(now)
+                return
+            self._note_rtt(rtt_s, now)
+            floor = self._min_rtt_locked()
+            if floor is not None and rtt_s > floor * self.tolerance:
+                self._decrease(now)
+                return
+            self._since_increase += 1
+            if self._since_increase >= max(1, int(self._limit)):
+                self._since_increase = 0
+                if self._limit < self.ceiling:
+                    self._limit = min(float(self.ceiling),
+                                      self._limit + self.increase_step)
+                    self._counts["increases"] += 1
+
+    def limit(self) -> int:
+        """The current integer concurrency limit."""
+        with self._lock:
+            return max(self.min_limit, min(self.ceiling, int(self._limit)))
+
+    def min_rtt(self) -> Optional[float]:
+        with self._lock:
+            return self._min_rtt_locked()
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            floor = self._min_rtt_locked()
+            return {
+                "limit": max(self.min_limit,
+                             min(self.ceiling, int(self._limit))),
+                "raw_limit": self._limit,
+                "ceiling": self.ceiling,
+                "min_limit": self.min_limit,
+                "min_rtt_ms": None if floor is None else floor * 1000.0,
+                "last_rtt_ms": self._last_rtt * 1000.0,
+                "samples": self._counts["samples"],
+                "increases": self._counts["increases"],
+                "decreases": self._counts["decreases"],
+                "timeouts": self._counts["timeouts"],
+            }
+
+
+class BrownoutController:
+    """Step a degradation level under sustained pressure.
+
+    ``update(pressure)`` feeds one boolean pressure reading (the
+    caller's signal — queued waiters, limiter at its floor, recent
+    sheds).  An exponentially weighted average of those readings must
+    stay above ``on_threshold`` to ratchet the level up, and drop
+    below ``off_threshold`` to step it back down; each step is
+    separated by at least ``hold_s`` so one burst never slams the
+    service to the deepest level.
+
+    ``degrade(requested)`` maps a requested Monte-Carlo sample count
+    to the served one: ``requested * shrink**level``, floored at
+    ``floor`` samples (never *raised* above the request).  Level 0 is
+    the identity — brownout is inert until pressure is sustained.
+    """
+
+    def __init__(
+        self,
+        floor: int = 64,
+        shrink: float = 0.5,
+        max_level: int = 4,
+        ewma_alpha: float = 0.3,
+        on_threshold: float = 0.7,
+        off_threshold: float = 0.2,
+        hold_s: float = 0.5,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if floor < 1:
+            raise ValueError("floor must be positive")
+        if not 0.0 < shrink < 1.0:
+            raise ValueError("shrink must be in (0, 1)")
+        if max_level < 1:
+            raise ValueError("max_level must be positive")
+        if not 0.0 <= off_threshold < on_threshold <= 1.0:
+            raise ValueError("need 0 <= off_threshold < on_threshold <= 1")
+        self.floor = floor
+        self.shrink = shrink
+        self.max_level = max_level
+        self.ewma_alpha = ewma_alpha
+        self.on_threshold = on_threshold
+        self.off_threshold = off_threshold
+        self.hold_s = hold_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._level = 0
+        self._ewma = 0.0
+        self._next_step = -float("inf")
+        self._counts: Dict[str, int] = {
+            "updates": 0, "degraded_requests": 0, "samples_saved": 0,
+            "level_ups": 0, "level_downs": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def update(self, pressure: bool) -> int:
+        """Feed one pressure reading; returns the (new) level."""
+        now = self._clock()
+        with self._lock:
+            self._counts["updates"] += 1
+            self._ewma += self.ewma_alpha * (
+                (1.0 if pressure else 0.0) - self._ewma
+            )
+            if now >= self._next_step:
+                if self._ewma > self.on_threshold and self._level < self.max_level:
+                    self._level += 1
+                    self._counts["level_ups"] += 1
+                    self._next_step = now + self.hold_s
+                elif self._ewma < self.off_threshold and self._level > 0:
+                    self._level -= 1
+                    self._counts["level_downs"] += 1
+                    self._next_step = now + self.hold_s
+            return self._level
+
+    def degrade(self, requested: int) -> int:
+        """The sample count actually served for ``requested``."""
+        with self._lock:
+            if self._level == 0:
+                return requested
+            served = int(requested * self.shrink ** self._level)
+            served = max(served, min(requested, self.floor))
+            if served < requested:
+                self._counts["degraded_requests"] += 1
+                self._counts["samples_saved"] += requested - served
+            return served
+
+    @property
+    def level(self) -> int:
+        with self._lock:
+            return self._level
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "level": self._level,
+                "max_level": self.max_level,
+                "factor": self.shrink ** self._level,
+                "floor": self.floor,
+                "pressure_ewma": self._ewma,
+                "updates": self._counts["updates"],
+                "level_ups": self._counts["level_ups"],
+                "level_downs": self._counts["level_downs"],
+                "degraded_requests": self._counts["degraded_requests"],
+                "samples_saved": self._counts["samples_saved"],
+            }

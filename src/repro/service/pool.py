@@ -42,6 +42,7 @@ from __future__ import annotations
 import hashlib
 import http.client
 import json
+import queue as queue_module
 import signal
 import socket
 import sys
@@ -402,7 +403,127 @@ class WorkerPool:
             "workers": self.workers,
             "live": self.live_ids(),
             "restarts": {h.worker_id: h.restarts for h in self.handles},
+            "pids": {
+                h.worker_id: h.process.pid
+                for h in self.handles
+                if h.process is not None and h.process.pid is not None
+            },
         }
+
+
+# ----------------------------------------------------------------------
+# per-worker health scoring
+# ----------------------------------------------------------------------
+class WorkerHealth:
+    """EWMA error/latency score with outlier ejection and probation.
+
+    Replaces blind in-order failover: the router records every
+    forwarding outcome (``record``), and a worker whose error EWMA
+    climbs past ``eject_threshold`` (after ``min_samples``
+    observations) is *ejected* — :meth:`allow` answers False, so the
+    shard moves to the key's next-best worker without burning a
+    request on the sick one.  After ``cooldown_s`` one *probation
+    probe* is admitted (single-claim, like the circuit breaker's
+    half-open slot): success re-enters the worker with a clean error
+    score, failure re-ejects it with the cooldown doubled up to
+    ``cooldown_cap_s``.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.3,
+        eject_threshold: float = 0.5,
+        min_samples: int = 3,
+        cooldown_s: float = 2.0,
+        cooldown_cap_s: float = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if not 0.0 < eject_threshold <= 1.0:
+            raise ValueError("eject_threshold must be in (0, 1]")
+        self.alpha = alpha
+        self.eject_threshold = eject_threshold
+        self.min_samples = min_samples
+        self.cooldown_s = cooldown_s
+        self.cooldown_cap_s = cooldown_cap_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.error_ewma = 0.0
+        self.latency_ewma_ms = 0.0
+        self.samples = 0
+        self.ejections = 0
+        self._cooldown = cooldown_s
+        self._ejected_until: Optional[float] = None
+        self._probing = False
+
+    def record(self, ok: bool, rtt_s: Optional[float] = None) -> None:
+        """One forwarding outcome for this worker."""
+        now = self._clock()
+        with self._lock:
+            self.samples += 1
+            self.error_ewma += self.alpha * (
+                (0.0 if ok else 1.0) - self.error_ewma
+            )
+            if rtt_s is not None:
+                self.latency_ewma_ms += self.alpha * (
+                    rtt_s * 1000.0 - self.latency_ewma_ms
+                )
+            if ok:
+                if self._probing:
+                    # Probation probe succeeded: full re-entry.
+                    self._probing = False
+                    self._ejected_until = None
+                    self._cooldown = self.cooldown_s
+                    self.error_ewma = 0.0
+                return
+            if self._probing:
+                # Probation probe failed: re-eject, cooldown doubled.
+                self._probing = False
+                self._cooldown = min(self._cooldown * 2.0,
+                                     self.cooldown_cap_s)
+                self._ejected_until = now + self._cooldown
+                self.ejections += 1
+            elif (
+                self._ejected_until is None
+                and self.samples >= self.min_samples
+                and self.error_ewma > self.eject_threshold
+            ):
+                self._ejected_until = now + self._cooldown
+                self.ejections += 1
+
+    def allow(self) -> bool:
+        """May the router send this worker a request right now?
+
+        While ejected: False until the cooldown lapses, then True for
+        exactly one caller (the probation probe claim).
+        """
+        with self._lock:
+            if self._ejected_until is None:
+                return True
+            if self._probing:
+                return False
+            if self._clock() >= self._ejected_until:
+                self._probing = True
+                return True
+            return False
+
+    @property
+    def ejected(self) -> bool:
+        with self._lock:
+            return self._ejected_until is not None
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "error_ewma": self.error_ewma,
+                "latency_ewma_ms": self.latency_ewma_ms,
+                "samples": self.samples,
+                "ejections": self.ejections,
+                "ejected": self._ejected_until is not None,
+                "probing": self._probing,
+                "cooldown_s": self._cooldown,
+            }
 
 
 # ----------------------------------------------------------------------
@@ -417,8 +538,11 @@ _FORWARD_HEADERS = (
     "X-Topology-Hash",
     "traceparent",
 )
-#: response headers forwarded verbatim back to the caller
-_RETURN_HEADERS = ("Retry-After", "Content-Type")
+#: response headers forwarded verbatim back to the caller —
+#: X-Worker-Id and traceparent included so pool-level traces and
+#: affinity stay observable across the router hop
+_RETURN_HEADERS = ("Retry-After", "Content-Type", "X-Worker-Id",
+                   "traceparent")
 
 
 class _RouterHandler(BaseHTTPRequestHandler):
@@ -521,13 +645,22 @@ class RouterServer(ThreadingHTTPServer):
     """Topology-affinity front door over a :class:`WorkerPool`.
 
     POSTs are forwarded to the rendezvous-chosen worker over pooled
-    keep-alive backend connections; a worker that cannot be reached is
-    skipped for that request (failover to the key's next-best worker,
-    counted in ``failovers``) without disturbing any other shard.
+    keep-alive backend connections.  Per-worker :class:`WorkerHealth`
+    scores steer routing: an ejected worker is skipped outright until
+    its probation probe succeeds.  A worker that cannot be reached is
+    skipped for that request — but the *failover replay* only happens
+    for idempotent requests (GETs, or POSTs carrying an
+    ``X-Idempotency-Key``); a non-idempotent request whose bytes may
+    already have reached a worker is answered 503
+    ``NonIdempotentFailover`` and counted ``unroutable`` instead of
+    risking double execution.  With ``hedge_ms`` set, an idempotent
+    request that hasn't answered within that delay is *hedged* to the
+    key's second-best worker and the first answer wins.
     ``/readyz`` aggregates worker readiness — ready while at least one
     worker answers ready.  ``/metrics`` merges every worker's scrape
     into one exposition (series stay distinct via their ``worker``
-    constant label); ``/stats`` nests each worker's stats document.
+    constant label); ``/stats`` nests each worker's stats document and
+    the health scores.
     """
 
     daemon_threads = True
@@ -536,13 +669,26 @@ class RouterServer(ThreadingHTTPServer):
         self.pool = pool
         self.quiet = config.quiet
         self.probe_timeout = min(5.0, config.request_timeout)
+        self.hedge_ms = config.hedge_ms
         self._transports: Dict[int, Any] = {}
         self._transports_lock = threading.Lock()
         self._stats_lock = threading.Lock()
-        self.counters = {"routed": 0, "failovers": 0, "unroutable": 0}
+        self.counters = {
+            "routed": 0, "failovers": 0, "unroutable": 0,
+            "hedged": 0, "hedged_wins": 0,
+        }
         self._per_worker: Dict[int, int] = {}
+        self._health: Dict[int, WorkerHealth] = {}
+        self._health_lock = threading.Lock()
         self._request_timeout = config.request_timeout
         super().__init__((config.host, config.port), _RouterHandler)
+
+    def health_of(self, worker_id: int) -> WorkerHealth:
+        with self._health_lock:
+            health = self._health.get(worker_id)
+            if health is None:
+                health = self._health[worker_id] = WorkerHealth()
+            return health
 
     @property
     def url(self) -> str:
@@ -578,6 +724,109 @@ class RouterServer(ThreadingHTTPServer):
             return transport
 
     # -- proxying ------------------------------------------------------
+    @staticmethod
+    def _pick_return_headers(
+        worker_id: int, response_headers: Dict[str, str]
+    ) -> Dict[str, str]:
+        """The worker reply headers the router forwards to the caller."""
+        reply: Dict[str, str] = {}
+        wanted = {name.lower(): name for name in _RETURN_HEADERS}
+        for name, value in response_headers.items():
+            canonical = wanted.get(name.lower())
+            if canonical is not None:
+                reply[canonical] = value
+        # A worker that didn't stamp itself still gets identified.
+        reply.setdefault("X-Worker-Id", str(worker_id))
+        return reply
+
+    def _attempt_worker(
+        self,
+        worker_id: int,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        headers: Dict[str, str],
+    ) -> Optional[Tuple[int, int, bytes, Dict[str, str]]]:
+        """One forwarding attempt; records the health outcome.
+
+        Returns ``(worker_id, status, body, headers)`` or ``None`` on
+        a transport error.
+        """
+        transport = self._transport(worker_id)
+        if transport is None:
+            return None
+        started = time.monotonic()
+        try:
+            status, raw, response_headers = transport.request_ex(
+                method, path, body, headers
+            )
+        except (OSError, http.client.HTTPException):
+            self.health_of(worker_id).record(False)
+            return None
+        # Structured client errors (4xx) prove the worker is healthy;
+        # only 5xx counts against its score.
+        self.health_of(worker_id).record(
+            status < 500, time.monotonic() - started
+        )
+        return worker_id, status, raw, response_headers
+
+    def _hedged_attempt(
+        self,
+        primary: int,
+        backup: int,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        headers: Dict[str, str],
+    ) -> Optional[Tuple[int, int, bytes, Dict[str, str]]]:
+        """Race ``primary`` against a delayed ``backup``; first answer
+        wins.  Only called for idempotent requests — the loser's work
+        is wasted, never harmful."""
+        results: "queue_module.Queue" = queue_module.Queue()
+
+        def run(worker_id: int) -> None:
+            results.put(
+                self._attempt_worker(worker_id, method, path, body, headers)
+            )
+
+        threading.Thread(
+            target=run, args=(primary,), daemon=True,
+            name="repro-router-hedge-primary",
+        ).start()
+        deadline = time.monotonic() + self._request_timeout
+        pending = 1
+        hedged = False
+        wait = self.hedge_ms / 1000.0
+        while pending:
+            try:
+                outcome = results.get(
+                    timeout=max(0.01, min(
+                        wait, deadline - time.monotonic()
+                    ))
+                )
+            except queue_module.Empty:
+                if hedged or time.monotonic() >= deadline:
+                    return None
+                outcome = False  # sentinel: hedge fire, nothing read
+            if outcome is False or (outcome is None and not hedged):
+                if outcome is None:
+                    pending -= 1
+                self._count("hedged")
+                hedged = True
+                pending += 1
+                wait = max(0.01, deadline - time.monotonic())
+                threading.Thread(
+                    target=run, args=(backup,), daemon=True,
+                    name="repro-router-hedge-backup",
+                ).start()
+                continue
+            pending -= 1
+            if outcome is not None:
+                if outcome[0] == backup:
+                    self._count("hedged_wins")
+                return outcome
+        return None
+
     def forward(
         self,
         handler: _RouterHandler,
@@ -594,26 +843,67 @@ class RouterServer(ThreadingHTTPServer):
             )
             self._count("unroutable")
             return
+        # Failover replay is only safe when re-execution is: a GET, or
+        # a POST carrying an idempotency key (the worker replays the
+        # stored byte-identical response instead of recomputing).
+        idempotent = method == "GET" or bool(
+            headers.get("X-Idempotency-Key")
+        )
+        preference = shard_preference(key, live)
+        candidates = [
+            worker_id for worker_id in preference
+            if self.health_of(worker_id).allow()
+        ]
+        if not candidates:
+            # Every worker ejected: routing *somewhere* beats a
+            # guaranteed 503 — fall back to plain preference order.
+            candidates = preference
+        if idempotent and self.hedge_ms > 0 and len(candidates) >= 2:
+            outcome = self._hedged_attempt(
+                candidates[0], candidates[1], method, path, body, headers
+            )
+            if outcome is not None:
+                worker_id, status, raw, response_headers = outcome
+                self._count("routed", worker_id)
+                handler._reply(
+                    status, raw,
+                    self._pick_return_headers(worker_id, response_headers),
+                )
+                return
+            candidates = candidates[2:]
         attempts = 0
-        for worker_id in shard_preference(key, live):
-            transport = self._transport(worker_id)
-            if transport is None:
+        for worker_id in candidates:
+            if self._transport(worker_id) is None:
+                # No known port yet (worker mid-restart): nothing was
+                # sent, so skipping is safe even for non-idempotent
+                # requests.
                 continue
             attempts += 1
-            try:
-                status, raw, retry_after = transport.request(
-                    method, path, body, headers
-                )
-            except (OSError, http.client.HTTPException):
-                # Worker unreachable mid-restart: fail over to the
-                # key's next-best worker; other shards are untouched.
+            outcome = self._attempt_worker(
+                worker_id, method, path, body, headers
+            )
+            if outcome is None:
+                # Worker unreachable (mid-restart or sick).  Replaying
+                # elsewhere is only safe for idempotent requests: for
+                # anything else the bytes may already have reached the
+                # worker, and a replay could double-execute.
+                if not idempotent:
+                    self._count("unroutable")
+                    handler._reply_error(
+                        503, "NonIdempotentFailover",
+                        "worker %d failed mid-request; refusing to replay "
+                        "a non-idempotent request (add X-Idempotency-Key "
+                        "to opt in to failover)" % worker_id,
+                    )
+                    return
                 self._count("failovers")
                 continue
-            reply_headers = {"X-Worker-Id": str(worker_id)}
-            if retry_after is not None:
-                reply_headers["Retry-After"] = retry_after
+            worker_id, status, raw, response_headers = outcome
             self._count("routed", worker_id)
-            handler._reply(status, raw, reply_headers)
+            handler._reply(
+                status, raw,
+                self._pick_return_headers(worker_id, response_headers),
+            )
             return
         handler._reply_error(
             503,
@@ -672,11 +962,17 @@ class RouterServer(ThreadingHTTPServer):
                     str(k): v for k, v in sorted(self._per_worker.items())
                 },
             )
+        with self._health_lock:
+            health = {
+                str(worker_id): tracker.snapshot()
+                for worker_id, tracker in sorted(self._health.items())
+            }
         handler._reply_json(
             200,
             {
                 "status": "ok",
                 "router": router,
+                "health": health,
                 "pool": self.pool.snapshot(),
                 "workers": workers,
             },

@@ -18,7 +18,13 @@ Four independent, composable pieces:
   plus a bounded wait queue in front of the compute path.  When both
   are full the request is *shed* immediately with a 429 +
   ``Retry-After`` instead of piling another unbounded thread onto
-  ``ThreadingHTTPServer``.
+  ``ThreadingHTTPServer``.  PR 9 made the discipline deadline- and
+  priority-aware: expired waiters are dropped at *dequeue* (a slot is
+  never wasted on a caller that already gave up), sustained sojourn
+  above a CoDel-style target sheds the worst-priority newest waiter,
+  an ``interactive`` arrival may displace a queued ``bulk`` sweep,
+  and an attached :class:`repro.service.overload.AdaptiveLimiter`
+  lowers the effective in-flight limit below the static ceiling.
 * :class:`RetryPolicy` — client-side exponential backoff with *full
   jitter* (delay drawn uniformly from ``[0, min(cap, base·2^attempt)]``),
   honouring a server-supplied ``Retry-After`` floor.
@@ -33,11 +39,12 @@ all import it freely.
 
 from __future__ import annotations
 
+import math
 import random
 import threading
 import time
 from contextlib import contextmanager
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 
 class DeadlineExceeded(Exception):
@@ -99,16 +106,52 @@ class Saturated(Exception):
         self.retry_after = retry_after
 
 
-class AdmissionQueue:
-    """Bounded admission control in front of the compute path.
+#: Priority classes, best first.  ``interactive`` preempts ``normal``
+#: which preempts ``bulk``; within a class FIFO order is preserved.
+PRIORITIES: Dict[str, int] = {"interactive": 0, "normal": 1, "bulk": 2}
 
-    At most ``max_inflight`` requests compute concurrently; at most
-    ``max_queue_depth`` more wait for a slot.  A request arriving with
-    both full is rejected immediately with :exc:`Saturated` (the
-    *shed* counter); a queued request whose :class:`Deadline` expires
-    before a slot frees raises :exc:`DeadlineExceeded` (the
-    ``expired_in_queue`` counter).  All counters surface through
-    :meth:`snapshot` on the daemon's ``/stats``.
+
+class _Waiter:
+    """One parked acquire(); its ``state`` is owned by the queue lock."""
+
+    __slots__ = ("rank", "enqueued_at", "deadline", "state")
+
+    WAITING = "waiting"
+    ADMITTED = "admitted"
+    EXPIRED = "expired"
+    SHED = "shed"
+
+    def __init__(self, rank: int, enqueued_at: float,
+                 deadline: Optional[Deadline]) -> None:
+        self.rank = rank
+        self.enqueued_at = enqueued_at
+        self.deadline = deadline
+        self.state = self.WAITING
+
+
+class AdmissionQueue:
+    """Bounded, priority- and deadline-aware admission control.
+
+    At most ``max_inflight`` requests compute concurrently (an attached
+    :class:`~repro.service.overload.AdaptiveLimiter` may lower the
+    *effective* limit below that ceiling, never above); at most
+    ``max_queue_depth`` more wait for a slot.  The discipline:
+
+    * a request arriving with queue and slots full is shed immediately
+      with :exc:`Saturated` — unless a strictly worse-priority waiter
+      is queued, in which case that waiter is *displaced* (it gets the
+      429) and the arrival takes its place;
+    * slots are granted strictly by ``(priority, arrival time)``;
+    * a waiter whose :class:`Deadline` has expired is dropped at
+      dequeue — a freed slot is never wasted on a caller that already
+      gave up (``expired_in_queue`` counter, HTTP 504);
+    * when the sojourn of dequeued requests stays above
+      ``codel_target_ms`` for a full ``codel_interval_ms`` the queue
+      enters a CoDel-style dropping state, shedding the worst-priority
+      newest waiter on an ``interval/sqrt(drops)`` schedule until
+      sojourn recovers (``codel_shed`` counter).
+
+    All counters surface through :meth:`snapshot` on ``/stats``.
     """
 
     def __init__(
@@ -117,6 +160,10 @@ class AdmissionQueue:
         max_queue_depth: int = 32,
         retry_after: float = 0.25,
         lock: Optional[threading.RLock] = None,
+        limiter=None,
+        codel_target_ms: float = 50.0,
+        codel_interval_ms: float = 100.0,
+        clock=time.monotonic,
     ) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be positive")
@@ -125,6 +172,10 @@ class AdmissionQueue:
         self.max_inflight = max_inflight
         self.max_queue_depth = max_queue_depth
         self.retry_after = retry_after
+        self.limiter = limiter
+        self.codel_target_s = codel_target_ms / 1000.0
+        self.codel_interval_s = codel_interval_ms / 1000.0
+        self._clock = clock
         # `lock` may be the daemon's shared stats RLock, making
         # snapshot() part of one atomic multi-component read;
         # Condition.wait releases it, so queued waiters don't hold up
@@ -133,39 +184,139 @@ class AdmissionQueue:
             lock if lock is not None else threading.Lock()
         )
         self._inflight = 0
-        self._waiting = 0
+        self._waiters: List[_Waiter] = []
+        self._first_above: Optional[float] = None
+        self._dropping = False
+        self._drop_count = 0
+        self._drop_next = 0.0
+        self._last_sojourn = 0.0
         self._counts: Dict[str, int] = {
             "admitted": 0, "shed": 0, "expired_in_queue": 0,
             "peak_inflight": 0, "peak_waiting": 0,
+            "codel_shed": 0, "displaced": 0,
         }
 
     # ------------------------------------------------------------------
-    def acquire(self, deadline: Optional[Deadline] = None) -> None:
+    def _limit_locked(self) -> int:
+        if self.limiter is None:
+            return self.max_inflight
+        return max(1, min(self.max_inflight, self.limiter.limit()))
+
+    def _finish_locked(self, waiter: _Waiter, state: str) -> None:
+        waiter.state = state
+        try:
+            self._waiters.remove(waiter)
+        except ValueError:
+            pass
+        if state == _Waiter.EXPIRED:
+            self._counts["expired_in_queue"] += 1
+
+    def _victim_locked(self, rank: int) -> Optional[_Waiter]:
+        """The newest waiter with priority strictly worse than ``rank``."""
+        worst: Optional[_Waiter] = None
+        for waiter in self._waiters:
+            if waiter.rank <= rank:
+                continue
+            if worst is None or (
+                (waiter.rank, waiter.enqueued_at)
+                > (worst.rank, worst.enqueued_at)
+            ):
+                worst = waiter
+        return worst
+
+    def _codel_locked(self, now: float, sojourn: float) -> None:
+        self._last_sojourn = sojourn
+        if sojourn < self.codel_target_s:
+            self._first_above = None
+            self._dropping = False
+            return
+        if self._first_above is None:
+            self._first_above = now + self.codel_interval_s
+            return
+        if not self._dropping and now >= self._first_above:
+            self._dropping = True
+            self._drop_count = 0
+            self._drop_next = now
+        while self._dropping and now >= self._drop_next:
+            victim = self._victim_locked(-1)
+            if victim is None:
+                break
+            self._finish_locked(victim, _Waiter.SHED)
+            self._counts["codel_shed"] += 1
+            self._counts["shed"] += 1
+            self._drop_count += 1
+            self._drop_next = now + (
+                self.codel_interval_s / math.sqrt(self._drop_count)
+            )
+
+    def _promote_locked(self) -> None:
+        """Grant freed capacity to the best live waiters."""
+        changed = False
+        while self._waiters:
+            best = min(
+                self._waiters, key=lambda w: (w.rank, w.enqueued_at)
+            )
+            if best.deadline is not None and best.deadline.expired():
+                self._finish_locked(best, _Waiter.EXPIRED)
+                changed = True
+                continue
+            if self._inflight >= self._limit_locked():
+                break
+            now = self._clock()
+            self._finish_locked(best, _Waiter.ADMITTED)
+            self._admit()
+            self._codel_locked(now, now - best.enqueued_at)
+            changed = True
+        if changed:
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    def acquire(self, deadline: Optional[Deadline] = None,
+                priority: str = "normal") -> None:
+        try:
+            rank = PRIORITIES[priority]
+        except KeyError:
+            raise ValueError(
+                "unknown priority %r (expected one of %s)"
+                % (priority, "/".join(sorted(PRIORITIES)))
+            )
         with self._cond:
-            if self._inflight < self.max_inflight and self._waiting == 0:
+            if self._inflight < self._limit_locked() and not self._waiters:
                 self._admit()
                 return
-            if self._waiting >= self.max_queue_depth:
+            if len(self._waiters) >= self.max_queue_depth:
+                victim = self._victim_locked(rank)
+                if victim is None:
+                    self._counts["shed"] += 1
+                    raise Saturated(self.retry_after)
+                self._finish_locked(victim, _Waiter.SHED)
+                self._counts["displaced"] += 1
                 self._counts["shed"] += 1
-                raise Saturated(self.retry_after)
-            self._waiting += 1
-            if self._waiting > self._counts["peak_waiting"]:
-                self._counts["peak_waiting"] = self._waiting
-            try:
-                while self._inflight >= self.max_inflight:
-                    if deadline is not None:
-                        remaining = deadline.remaining()
-                        if remaining <= 0.0:
-                            self._counts["expired_in_queue"] += 1
-                            raise DeadlineExceeded(
-                                "admission-queue", deadline.timeout_s
-                            )
-                        self._cond.wait(min(remaining, 0.05))
-                    else:
-                        self._cond.wait(0.05)
-            finally:
-                self._waiting -= 1
-            self._admit()
+                self._cond.notify_all()
+            waiter = _Waiter(rank, self._clock(), deadline)
+            self._waiters.append(waiter)
+            if len(self._waiters) > self._counts["peak_waiting"]:
+                self._counts["peak_waiting"] = len(self._waiters)
+            while waiter.state == _Waiter.WAITING:
+                self._promote_locked()
+                if waiter.state != _Waiter.WAITING:
+                    break
+                if deadline is not None:
+                    remaining = deadline.remaining()
+                    if remaining <= 0.0:
+                        self._finish_locked(waiter, _Waiter.EXPIRED)
+                        break
+                    self._cond.wait(min(remaining, 0.05))
+                else:
+                    self._cond.wait(0.05)
+            if waiter.state == _Waiter.ADMITTED:
+                return
+            if waiter.state == _Waiter.EXPIRED:
+                raise DeadlineExceeded(
+                    "admission-queue",
+                    deadline.timeout_s if deadline is not None else None,
+                )
+            raise Saturated(self.retry_after)  # displaced or CoDel-shed
 
     def _admit(self) -> None:
         self._inflight += 1
@@ -176,12 +327,14 @@ class AdmissionQueue:
     def release(self) -> None:
         with self._cond:
             self._inflight -= 1
-            self._cond.notify()
+            self._promote_locked()
+            self._cond.notify_all()
 
     @contextmanager
-    def admit(self, deadline: Optional[Deadline] = None):
+    def admit(self, deadline: Optional[Deadline] = None,
+              priority: str = "normal"):
         """``with queue.admit(deadline):`` — acquire a slot, always release."""
-        self.acquire(deadline)
+        self.acquire(deadline, priority=priority)
         try:
             yield
         finally:
@@ -194,23 +347,31 @@ class AdmissionQueue:
 
     def waiting(self) -> int:
         with self._cond:
-            return self._waiting
+            return len(self._waiters)
+
+    def limit(self) -> int:
+        """The effective in-flight limit right now."""
+        with self._cond:
+            return self._limit_locked()
 
     def saturated(self) -> bool:
-        """Would a request arriving right now be shed?"""
+        """Would a ``normal``-priority request arriving right now be shed?"""
         with self._cond:
             return (
-                self._inflight >= self.max_inflight
-                and self._waiting >= self.max_queue_depth
+                self._inflight >= self._limit_locked()
+                and len(self._waiters) >= self.max_queue_depth
             )
 
     def snapshot(self) -> Dict[str, int]:
         with self._cond:
             data = dict(self._counts)
             data["inflight"] = self._inflight
-            data["waiting"] = self._waiting
+            data["waiting"] = len(self._waiters)
             data["max_inflight"] = self.max_inflight
             data["max_queue_depth"] = self.max_queue_depth
+            data["limit"] = self._limit_locked()
+            data["codel_dropping"] = self._dropping
+            data["last_sojourn_ms"] = self._last_sojourn * 1000.0
             return data
 
 

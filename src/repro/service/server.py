@@ -35,6 +35,15 @@ Bounded failure behaviour (:mod:`repro.service.resilience`):
   unbounded threads;
 * POSTs carrying an ``X-Idempotency-Key`` header replay the stored
   byte-identical response on retry instead of recomputing;
+* an AIMD :class:`~repro.service.overload.AdaptiveLimiter` (on by
+  default, ``--no-adaptive`` to pin the static limit) lowers the
+  effective in-flight limit when observed latency inflates past the
+  no-queueing floor; a ``priority`` request field
+  (``interactive``/``normal``/``bulk``) orders the wait queue, and
+  CoDel-style shedding keeps queue sojourn bounded;
+* ``--brownout`` lets ``/montecarlo`` degrade ``samples`` toward
+  ``--brownout-floor`` under sustained pressure, stamping
+  ``{"degraded": {"requested": S, "served": S'}}`` — never silently;
 * ``--chaos SPEC`` arms the deterministic fault-injection harness
   (:mod:`repro.service.faults`) for resilience testing.
 
@@ -54,6 +63,7 @@ in-flight requests *drain* (finish writing their responses) for up to
 from __future__ import annotations
 
 import json
+import os
 import signal
 import socket
 import sys
@@ -75,7 +85,7 @@ from ..analysis.montecarlo import (
 from ..core.cycle_time import compute_cycle_time
 from ..core.errors import SignalGraphError
 from ..core.events import event_label
-from ..core.kernel import KERNELS
+from ..core.kernel import KERNELS, shm_stats
 from ..core.signal_graph import TimedSignalGraph
 from ..io.json_io import (
     decode_number,
@@ -86,7 +96,12 @@ from ..io.json_io import (
 from ..obs import STATE as _obs
 from ..obs.logging import get_logger
 from ..obs.metrics import DEFAULT_BUCKETS, Family, registry as _registry
-from ..obs.tracing import ChromeTraceExporter, parse_traceparent, tracer as _tracer
+from ..obs.tracing import (
+    ChromeTraceExporter,
+    current_traceparent,
+    parse_traceparent,
+    tracer as _tracer,
+)
 from ..ptime import (
     check_consistency,
     lambda_range,
@@ -103,8 +118,15 @@ from .cache import (
     service_cache_stats,
 )
 from .hashing import analysis_key, bound_token, ptime_analysis_key
+from .overload import AdaptiveLimiter, BrownoutController
 from .queue import RequestCoalescer
-from .resilience import AdmissionQueue, Deadline, DeadlineExceeded, Saturated
+from .resilience import (
+    PRIORITIES,
+    AdmissionQueue,
+    Deadline,
+    DeadlineExceeded,
+    Saturated,
+)
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8177
@@ -146,6 +168,12 @@ class ServiceConfig:
     kernel_workers: int = 0          # 0 = no chunk fan-out
     kernel_batch_size: Optional[int] = None  # chunk size override
     batch_kernel: Optional[str] = None  # auto/batch/fused/numba tier
+    adaptive: bool = True            # AIMD limiter under --max-inflight
+    brownout: bool = False           # degrade /montecarlo under pressure
+    brownout_floor: int = 64         # smallest degraded sample count
+    codel_target_ms: float = 50.0    # queue sojourn target (CoDel)
+    codel_interval_ms: float = 100.0  # CoDel observation interval
+    hedge_ms: float = 0.0            # router: hedge idempotent requests
 
 
 class AnalysisService:
@@ -168,11 +196,25 @@ class AnalysisService:
             kernel=self.config.batch_kernel,
         )
         self.coalescer.stats.share_lock(self.stats_lock)
+        # The old static knobs survive as hard bounds: the limiter may
+        # pull the effective in-flight limit *below* --max-inflight,
+        # never above it.
+        self.limiter: Optional[AdaptiveLimiter] = (
+            AdaptiveLimiter(ceiling=self.config.max_inflight)
+            if self.config.adaptive else None
+        )
+        self.brownout: Optional[BrownoutController] = (
+            BrownoutController(floor=self.config.brownout_floor)
+            if self.config.brownout else None
+        )
         self.admission = AdmissionQueue(
             max_inflight=self.config.max_inflight,
             max_queue_depth=self.config.max_queue_depth,
             retry_after=self.config.retry_after_s,
             lock=self.stats_lock,
+            limiter=self.limiter,
+            codel_target_ms=self.config.codel_target_ms,
+            codel_interval_ms=self.config.codel_interval_ms,
         )
         self.idempotency = LRUCache(max_entries=self.config.idempotency_entries)
         self.counters = CacheStats(lock=self.stats_lock)
@@ -238,6 +280,10 @@ class AnalysisService:
             injected = (
                 {} if self.faults is None
                 else self.faults.snapshot()["injected"]
+            )
+            limiter = None if self.limiter is None else self.limiter.snapshot()
+            brownout = (
+                None if self.brownout is None else self.brownout.snapshot()
             )
         families = [
             Family(
@@ -306,13 +352,21 @@ class AnalysisService:
             ),
             Family(
                 "repro_admission_events_total",
-                "Admission outcomes (admitted/shed/expired_in_queue).",
+                "Admission outcomes (admitted/shed/expired_in_queue/"
+                "codel_shed/displaced).",
                 "counter",
                 [
                     ({"event": name}, value)
                     for name, value in sorted(admission.items())
-                    if name in ("admitted", "shed", "expired_in_queue")
+                    if name in ("admitted", "shed", "expired_in_queue",
+                                "codel_shed", "displaced")
                 ],
+            ),
+            Family(
+                "repro_admission_limit",
+                "Effective in-flight limit (adaptive, <= --max-inflight).",
+                "gauge",
+                [({}, admission.get("limit", 0))],
             ),
             Family(
                 "repro_fault_injections_total",
@@ -327,7 +381,55 @@ class AnalysisService:
                 [({}, time.time() - self.started)],
             ),
         ]
+        if limiter is not None:
+            families.append(Family(
+                "repro_overload_limit",
+                "AIMD concurrency limit (within [min_limit, ceiling]).",
+                "gauge",
+                [({}, limiter["limit"])],
+            ))
+            families.append(Family(
+                "repro_overload_events_total",
+                "Adaptive-limiter control actions.",
+                "counter",
+                [
+                    ({"event": name}, limiter[name])
+                    for name in ("samples", "increases", "decreases",
+                                 "timeouts")
+                ],
+            ))
+        if brownout is not None:
+            families.append(Family(
+                "repro_brownout_level",
+                "Current Monte-Carlo degradation level (0 = full fidelity).",
+                "gauge",
+                [({}, brownout["level"])],
+            ))
+            families.append(Family(
+                "repro_brownout_events_total",
+                "Brownout degradation counters.",
+                "counter",
+                [
+                    ({"event": name}, brownout[name])
+                    for name in ("degraded_requests", "samples_saved",
+                                 "level_ups", "level_downs")
+                ],
+            ))
         return families
+
+    # ------------------------------------------------------------------
+    def note_pressure(self, forced: Optional[bool] = None) -> None:
+        """Feed the brownout controller one pressure reading.
+
+        ``forced=True`` records unambiguous pressure (a shed request);
+        otherwise pressure is inferred from a non-empty wait queue.
+        """
+        if self.brownout is None:
+            return
+        pressure = (
+            forced if forced is not None else self.admission.waiting() > 0
+        )
+        self.brownout.update(pressure)
 
     # ------------------------------------------------------------------
     # decoding helpers
@@ -463,7 +565,16 @@ class AnalysisService:
         )
         cached = self.results.get(key)
         if cached is not None:
+            # A cached full-fidelity answer always beats degrading.
             return dict(cached, cached=True)
+        requested = samples
+        if self.brownout is not None:
+            # Brownout: under sustained pressure serve a smaller,
+            # honestly-labelled sweep instead of shedding or timing
+            # out.  Never silent (`degraded` stamp) and never cached
+            # under the full-fidelity key.
+            samples = self.brownout.degrade(requested)
+        degraded = samples < requested
         sampler = (
             uniform_spread(spread) if distribution == "uniform"
             else normal_spread(spread)
@@ -527,6 +638,11 @@ class AnalysisService:
                 [float(edges[i]), float(edges[i + 1]), int(counts[i])]
                 for i in range(len(counts))
             ]
+        if degraded:
+            response["degraded"] = {
+                "requested": requested, "served": samples,
+            }
+            return dict(response, cached=False)
         self.results.put(key, response)
         return dict(response, cached=False)
 
@@ -674,11 +790,22 @@ class AnalysisService:
             "status": "ok",
             "uptime_s": time.time() - self.started,
             "worker_id": self.config.worker_id,
+            "pid": os.getpid(),
             "draining": self.draining,
             "requests": self.counters.snapshot(),
             "cache": service_cache_stats(),
             "coalescer": self.coalescer.stats.snapshot(),
             "admission": self.admission.snapshot(),
+            "overload": {
+                "limiter": (
+                    None if self.limiter is None else self.limiter.snapshot()
+                ),
+                "brownout": (
+                    None if self.brownout is None
+                    else self.brownout.snapshot()
+                ),
+            },
+            "kernel": {"shm": shm_stats()},
             "faults": None if self.faults is None else self.faults.snapshot(),
             "config": {
                 "request_timeout": self.config.request_timeout,
@@ -689,6 +816,11 @@ class AnalysisService:
                 "max_queue_depth": self.config.max_queue_depth,
                 "drain_timeout": self.config.drain_timeout,
                 "chaos": self.config.chaos,
+                "adaptive": self.config.adaptive,
+                "brownout": self.config.brownout,
+                "brownout_floor": self.config.brownout_floor,
+                "codel_target_ms": self.config.codel_target_ms,
+                "codel_interval_ms": self.config.codel_interval_ms,
             },
         }
 
@@ -766,6 +898,15 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        worker_id = self.service.config.worker_id
+        if worker_id is not None:
+            # Which pool member answered — the router forwards this so
+            # affinity and failover are observable end to end.
+            self.send_header("X-Worker-Id", str(worker_id))
+        if _obs.tracing:
+            traceparent = current_traceparent()
+            if traceparent is not None:
+                self.send_header("traceparent", traceparent)
         for name, value in (extra_headers or {}).items():
             self.send_header(name, value)
         if self.service.draining:
@@ -874,6 +1015,12 @@ class _Handler(BaseHTTPRequestHandler):
             deadline = service.deadline_for(
                 payload, self.headers.get("X-Request-Timeout-Ms")
             )
+            priority = payload.get("priority", "normal")
+            if priority not in PRIORITIES:
+                raise RequestError(
+                    "'priority' must be one of %s, got %r"
+                    % ("/".join(sorted(PRIORITIES)), priority)
+                )
             idempotency_key = self.headers.get("X-Idempotency-Key")
             if idempotency_key:
                 stored = service.idempotency.get(idempotency_key)
@@ -885,13 +1032,27 @@ class _Handler(BaseHTTPRequestHandler):
             # The admission slot covers compute AND the response write,
             # so drain() waiting on inflight==0 guarantees no response
             # is cut mid-write by shutdown.
-            with service.admission.admit(deadline):
+            with service.admission.admit(deadline, priority=priority):
+                service.note_pressure()
                 injector = service.faults
                 if injector is not None:
                     injector.sleep_latency(site="handler")
                     injector.maybe_error(site="handler")
                 deadline.check("admitted")
-                response = method(payload, deadline)
+                # Post-admission service time feeds the AIMD limiter:
+                # queueing delay is what the limiter *controls*, so it
+                # must not pollute the congestion signal.
+                started = time.monotonic()
+                try:
+                    response = method(payload, deadline)
+                except DeadlineExceeded:
+                    if service.limiter is not None:
+                        service.limiter.observe(
+                            time.monotonic() - started, "timeout"
+                        )
+                    raise
+                if service.limiter is not None:
+                    service.limiter.observe(time.monotonic() - started, "ok")
                 body = json.dumps(response).encode("utf-8")
                 if idempotency_key:
                     # Replayed retries must be byte-identical: store
@@ -911,12 +1072,14 @@ class _Handler(BaseHTTPRequestHandler):
             )
         except Saturated as error:
             service.counters.increment("shed")
+            service.note_pressure(True)
             self._send_error_json(
                 429, "Saturated", str(error),
                 extra_headers={"Retry-After": "%g" % error.retry_after},
             )
         except DeadlineExceeded as error:
             service.counters.increment("expired")
+            service.note_pressure(True)
             self._send_error_json(504, "DeadlineExceeded", str(error))
         except faults.InjectedFault as error:
             service.counters.increment("faults_injected")

@@ -331,3 +331,78 @@ class TestDeadlineAwareRetries:
             assert saturated_server.hits == 3  # initial + 2 retries
         finally:
             _Always503.retry_after = "5"
+
+
+class TestTraceparentResponseHeader:
+    """The traced daemon stamps its reply with a ``traceparent`` so
+    callers (and the pool router, which forwards the header verbatim)
+    can join server-side spans to their own traces."""
+
+    _W3C = r"00-[0-9a-f]{32}-[0-9a-f]{16}-[0-9a-f]{2}"
+
+    def _post_analyze(self, transport, extra_headers=None):
+        from repro.io.json_io import graph_to_dict
+
+        body = json.dumps(
+            {"graph": graph_to_dict(muller_ring_tsg(3))}
+        ).encode("utf-8")
+        headers = {
+            "Content-Type": "application/json",
+            "Content-Length": str(len(body)),
+        }
+        headers.update(extra_headers or {})
+        return transport.request_ex("POST", "/analyze", body, headers)
+
+    def test_traced_reply_carries_traceparent(self, server_factory, tmp_path):
+        import re
+
+        from repro.service.client import PooledTransport
+
+        server = server_factory(
+            metrics=False, trace_export=str(tmp_path / "trace.json")
+        )
+        transport = PooledTransport(server.url, timeout=10)
+        try:
+            status, _, headers = self._post_analyze(transport)
+            assert status == 200
+            lowered = {k.lower(): v for k, v in headers.items()}
+            assert re.fullmatch(self._W3C, lowered["traceparent"])
+        finally:
+            transport.close()
+
+    def test_reply_traceparent_joins_the_callers_trace(
+        self, server_factory, tmp_path
+    ):
+        from repro.obs.tracing import parse_traceparent
+        from repro.service.client import PooledTransport
+
+        server = server_factory(
+            metrics=False, trace_export=str(tmp_path / "trace.json")
+        )
+        caller = "00-" + "ab" * 16 + "-" + "12" * 8 + "-01"
+        transport = PooledTransport(server.url, timeout=10)
+        try:
+            status, _, headers = self._post_analyze(
+                transport, extra_headers={"traceparent": caller}
+            )
+            assert status == 200
+            lowered = {k.lower(): v for k, v in headers.items()}
+            context = parse_traceparent(lowered["traceparent"])
+            assert context is not None
+            # Same trace, new server-side span.
+            assert context.trace_id == "ab" * 16
+            assert context.span_id != "12" * 8
+        finally:
+            transport.close()
+
+    def test_untraced_reply_has_no_traceparent(self, server_factory):
+        from repro.service.client import PooledTransport
+
+        server = server_factory(metrics=False)
+        transport = PooledTransport(server.url, timeout=10)
+        try:
+            status, _, headers = self._post_analyze(transport)
+            assert status == 200
+            assert "traceparent" not in {k.lower() for k in headers}
+        finally:
+            transport.close()

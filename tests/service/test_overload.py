@@ -1,0 +1,486 @@
+"""Overload layer: AIMD limiter, brownout, priority/CoDel admission."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.circuits.library import muller_ring_tsg
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.overload import AdaptiveLimiter, BrownoutController
+from repro.service.resilience import (
+    AdmissionQueue,
+    Deadline,
+    DeadlineExceeded,
+    Saturated,
+)
+from repro.service.server import make_server
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def server_factory():
+    servers = []
+
+    def build(**overrides):
+        server = make_server(quiet=True, **overrides)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        servers.append((server, thread))
+        return server
+
+    yield build
+    for server, thread in servers:
+        server.shutdown()
+        server.close()
+        thread.join(timeout=5)
+
+
+def spin_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+class TestAdaptiveLimiter:
+    def test_starts_at_the_static_ceiling(self):
+        limiter = AdaptiveLimiter(ceiling=8, clock=FakeClock())
+        assert limiter.limit() == 8
+
+    def test_timeout_is_a_hard_congestion_signal(self):
+        limiter = AdaptiveLimiter(ceiling=8, decrease_ratio=0.7,
+                                  clock=FakeClock())
+        limiter.observe(0.1, "timeout")
+        assert limiter.limit() == 5  # int(8 * 0.7)
+        assert limiter.snapshot()["timeouts"] == 1
+        assert limiter.snapshot()["decreases"] == 1
+
+    def test_decreases_are_rate_limited_by_cooldown(self):
+        clock = FakeClock()
+        limiter = AdaptiveLimiter(ceiling=8, cooldown_s=0.1, clock=clock)
+        limiter.observe(0.1, "timeout")
+        limiter.observe(0.1, "timeout")  # inside the cooldown: ignored
+        assert limiter.snapshot()["decreases"] == 1
+        clock.now += 0.2
+        limiter.observe(0.1, "timeout")
+        assert limiter.snapshot()["decreases"] == 2
+
+    def test_inflated_rtt_vs_moving_floor_decreases(self):
+        clock = FakeClock()
+        limiter = AdaptiveLimiter(ceiling=8, tolerance=2.0, clock=clock)
+        limiter.observe(0.010)  # establishes the 10 ms floor
+        clock.now += 0.2
+        limiter.observe(0.050)  # 5x the floor: congestion
+        snapshot = limiter.snapshot()
+        assert snapshot["decreases"] == 1
+        assert snapshot["min_rtt_ms"] == pytest.approx(10.0)
+
+    def test_additive_increase_after_a_window_of_good_samples(self):
+        clock = FakeClock()
+        limiter = AdaptiveLimiter(ceiling=4, cooldown_s=0.01, clock=clock)
+        limiter.observe(0.1, "timeout")  # 4 -> 2.8 (limit 2)
+        assert limiter.limit() == 2
+        clock.now += 1.0
+        for _ in range(2):  # one full window at limit 2
+            limiter.observe(0.010)
+        assert limiter.limit() == 3  # 2.8 + 1.0
+        assert limiter.snapshot()["increases"] == 1
+
+    def test_limit_never_leaves_the_configured_band(self):
+        clock = FakeClock()
+        limiter = AdaptiveLimiter(ceiling=4, min_limit=2, cooldown_s=0.01,
+                                  clock=clock)
+        for _ in range(20):
+            limiter.observe(0.1, "timeout")
+            clock.now += 0.1
+        assert limiter.limit() == 2
+        for _ in range(200):
+            limiter.observe(0.010)
+        assert limiter.limit() == 4
+
+    def test_rtt_window_forgets_stale_floors(self):
+        clock = FakeClock()
+        limiter = AdaptiveLimiter(ceiling=8, rtt_window_s=1.0, clock=clock)
+        limiter.observe(0.001)
+        clock.now += 5.0  # the 1 ms floor ages out entirely
+        limiter.observe(0.050)  # would be 50x the stale floor
+        assert limiter.snapshot()["decreases"] == 0
+        assert limiter.snapshot()["min_rtt_ms"] == pytest.approx(50.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            AdaptiveLimiter(ceiling=0)
+        with pytest.raises(ValueError):
+            AdaptiveLimiter(ceiling=4, min_limit=5)
+        with pytest.raises(ValueError):
+            AdaptiveLimiter(tolerance=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveLimiter(decrease_ratio=1.0)
+
+
+class TestBrownoutController:
+    def test_level_zero_is_the_identity(self):
+        brownout = BrownoutController(clock=FakeClock())
+        assert brownout.degrade(1000) == 1000
+        assert brownout.snapshot()["degraded_requests"] == 0
+
+    def test_sustained_pressure_ratchets_one_level_per_hold(self):
+        clock = FakeClock()
+        brownout = BrownoutController(hold_s=0.5, clock=clock)
+        for _ in range(6):
+            brownout.update(True)
+        assert brownout.level == 1  # crossed on_threshold once
+        for _ in range(4):
+            brownout.update(True)  # still inside hold_s
+        assert brownout.level == 1
+        clock.now += 0.6
+        brownout.update(True)
+        assert brownout.level == 2
+
+    def test_degrade_shrinks_geometrically_with_counters(self):
+        clock = FakeClock()
+        brownout = BrownoutController(floor=64, shrink=0.5, clock=clock)
+        for _ in range(6):
+            brownout.update(True)
+        assert brownout.level == 1
+        assert brownout.degrade(1000) == 500
+        snapshot = brownout.snapshot()
+        assert snapshot["degraded_requests"] == 1
+        assert snapshot["samples_saved"] == 500
+
+    def test_floor_bounds_degradation(self):
+        clock = FakeClock()
+        brownout = BrownoutController(floor=64, shrink=0.5, max_level=4,
+                                      hold_s=0.1, clock=clock)
+        for _ in range(40):
+            brownout.update(True)
+            clock.now += 0.2
+        assert brownout.level == 4
+        assert brownout.degrade(100) == 64     # floored
+        assert brownout.degrade(32) == 32      # never raised above request
+        assert brownout.snapshot()["degraded_requests"] == 1
+
+    def test_recovers_when_pressure_clears(self):
+        clock = FakeClock()
+        brownout = BrownoutController(hold_s=0.1, clock=clock)
+        for _ in range(10):
+            brownout.update(True)
+            clock.now += 0.2
+        assert brownout.level >= 2
+        level = brownout.level
+        for _ in range(40):
+            brownout.update(False)
+            clock.now += 0.2
+        assert brownout.level == 0
+        assert brownout.snapshot()["level_downs"] == level
+
+
+class TestPriorityAdmission:
+    def _occupy(self, queue):
+        hold = threading.Event()
+
+        def occupant():
+            with queue.admit():
+                hold.wait(10)
+
+        thread = threading.Thread(target=occupant, daemon=True)
+        thread.start()
+        assert spin_until(lambda: queue.inflight() == 1)
+        return hold, thread
+
+    def test_interactive_preempts_bulk_on_dequeue(self):
+        queue = AdmissionQueue(max_inflight=1, max_queue_depth=8)
+        hold, occupant = self._occupy(queue)
+        order = []
+        admitted = threading.Event()
+
+        def waiter(priority):
+            with queue.admit(priority=priority):
+                order.append(priority)
+                admitted.wait(5)
+
+        bulk = threading.Thread(target=waiter, args=("bulk",), daemon=True)
+        bulk.start()
+        assert spin_until(lambda: queue.waiting() == 1)
+        interactive = threading.Thread(
+            target=waiter, args=("interactive",), daemon=True
+        )
+        interactive.start()
+        assert spin_until(lambda: queue.waiting() == 2)
+        hold.set()  # free the slot: the later interactive arrival wins
+        assert spin_until(lambda: len(order) == 1)
+        assert order == ["interactive"]
+        admitted.set()
+        for thread in (occupant, bulk, interactive):
+            thread.join(5)
+        assert order == ["interactive", "bulk"]
+
+    def test_interactive_arrival_displaces_newest_bulk_waiter(self):
+        queue = AdmissionQueue(max_inflight=1, max_queue_depth=1)
+        hold, occupant = self._occupy(queue)
+        bulk_outcome = []
+
+        def bulk_waiter():
+            try:
+                with queue.admit(priority="bulk"):
+                    bulk_outcome.append("admitted")
+            except Saturated:
+                bulk_outcome.append("shed")
+
+        bulk = threading.Thread(target=bulk_waiter, daemon=True)
+        bulk.start()
+        assert spin_until(lambda: queue.waiting() == 1)
+
+        done = []
+
+        def interactive_waiter():
+            with queue.admit(priority="interactive"):
+                done.append(True)
+
+        interactive = threading.Thread(target=interactive_waiter, daemon=True)
+        interactive.start()
+        assert spin_until(lambda: bulk_outcome == ["shed"])
+        hold.set()
+        interactive.join(5)
+        assert done == [True]
+        snapshot = queue.snapshot()
+        assert snapshot["displaced"] == 1
+        assert snapshot["shed"] == 1
+
+    def test_bulk_arrival_cannot_displace_bulk(self):
+        queue = AdmissionQueue(max_inflight=1, max_queue_depth=1)
+        hold, occupant = self._occupy(queue)
+
+        def bulk_waiter():
+            with queue.admit(priority="bulk"):
+                pass
+
+        bulk = threading.Thread(target=bulk_waiter, daemon=True)
+        bulk.start()
+        assert spin_until(lambda: queue.waiting() == 1)
+        with pytest.raises(Saturated):
+            queue.acquire(priority="bulk")
+        hold.set()
+        bulk.join(5)
+
+    def test_unknown_priority_is_rejected(self):
+        queue = AdmissionQueue(max_inflight=1, max_queue_depth=1)
+        with pytest.raises(ValueError):
+            queue.acquire(priority="urgent")
+
+    def test_expired_waiter_is_dropped_at_dequeue(self):
+        clock = FakeClock()
+        queue = AdmissionQueue(max_inflight=1, max_queue_depth=4)
+        hold, occupant = self._occupy(queue)
+        outcome = []
+
+        def waiter():
+            try:
+                with queue.admit(Deadline(0.05, clock=clock)):
+                    outcome.append("admitted")
+            except DeadlineExceeded:
+                outcome.append("expired")
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        assert spin_until(lambda: queue.waiting() == 1)
+        clock.now += 0.1  # the waiter's budget lapses while queued
+        hold.set()
+        thread.join(5)
+        assert outcome == ["expired"]
+        snapshot = queue.snapshot()
+        assert snapshot["expired_in_queue"] == 1
+        assert snapshot["inflight"] == 0  # the freed slot was not wasted
+
+
+class TestCodelShedding:
+    def test_sustained_sojourn_sheds_the_worst_waiter(self):
+        clock = FakeClock()
+        queue = AdmissionQueue(
+            max_inflight=1, max_queue_depth=8,
+            codel_target_ms=50.0, codel_interval_ms=100.0, clock=clock,
+        )
+        hold_first = threading.Event()
+
+        def occupant():
+            with queue.admit():
+                hold_first.wait(10)
+
+        first = threading.Thread(target=occupant, daemon=True)
+        first.start()
+        assert spin_until(lambda: queue.inflight() == 1)
+
+        outcomes = []
+        admitted_hold = threading.Event()
+
+        def waiter(index):
+            try:
+                with queue.admit(priority="bulk"):
+                    outcomes.append(("admitted", index))
+                    admitted_hold.wait(5)
+            except Saturated:
+                outcomes.append(("shed", index))
+
+        waiters = []
+        for index in range(3):
+            thread = threading.Thread(target=waiter, args=(index,),
+                                      daemon=True)
+            thread.start()
+            waiters.append(thread)
+            assert spin_until(
+                lambda count=index + 1: queue.waiting() == count
+            )
+        # First dequeue at t=0.2: sojourn 200 ms > 50 ms target arms
+        # the interval timer (expires at t=0.3).
+        clock.now = 0.2
+        hold_first.set()
+        assert spin_until(
+            lambda: any(o[0] == "admitted" for o in outcomes)
+        )
+        # Second dequeue at t=0.45: still above target past the armed
+        # interval -> dropping state -> the newest waiter is shed.
+        clock.now = 0.45
+        admitted_hold.set()
+        assert spin_until(lambda: len(outcomes) == 3)
+        kinds = [kind for kind, _ in outcomes]
+        assert kinds.count("admitted") == 2
+        assert kinds.count("shed") == 1
+        snapshot = queue.snapshot()
+        assert snapshot["codel_shed"] == 1
+        assert snapshot["codel_dropping"] is True
+        for thread in waiters:
+            thread.join(5)
+
+    def test_recovered_sojourn_leaves_dropping_state(self):
+        clock = FakeClock()
+        queue = AdmissionQueue(
+            max_inflight=1, max_queue_depth=8,
+            codel_target_ms=50.0, codel_interval_ms=100.0, clock=clock,
+        )
+        # Fast admissions keep sojourn at zero: never arms the timer.
+        for _ in range(5):
+            with queue.admit():
+                pass
+        snapshot = queue.snapshot()
+        assert snapshot["codel_shed"] == 0
+        assert snapshot["codel_dropping"] is False
+
+
+class TestLimiterIntegration:
+    def test_limiter_lowers_the_effective_limit(self):
+        clock = FakeClock()
+        limiter = AdaptiveLimiter(ceiling=4, cooldown_s=0.05, clock=clock)
+        queue = AdmissionQueue(max_inflight=4, max_queue_depth=0,
+                               limiter=limiter, clock=clock)
+        assert queue.limit() == 4
+        for _ in range(6):
+            limiter.observe(0.1, "timeout")
+            clock.now += 0.1
+        assert queue.limit() == 1
+        queue.acquire()
+        with pytest.raises(Saturated):
+            queue.acquire()
+        queue.release()
+        assert queue.snapshot()["limit"] == 1
+
+    def test_limiter_never_raises_above_the_static_cap(self):
+        limiter = AdaptiveLimiter(ceiling=16, clock=FakeClock())
+        queue = AdmissionQueue(max_inflight=2, max_queue_depth=0,
+                               limiter=limiter)
+        assert queue.limit() == 2
+
+
+class TestServerBrownout:
+    def test_degraded_response_is_stamped_and_surfaced(self, server_factory):
+        server = server_factory(brownout=True, brownout_floor=16,
+                                max_inflight=4)
+        service = server.service
+        for _ in range(6):
+            service.brownout.update(True)
+        assert service.brownout.level >= 1
+        stamps = []
+        client = ServiceClient(server.url, timeout=10, retries=0,
+                               on_degraded=stamps.append)
+        result = client.montecarlo(muller_ring_tsg(3), samples=256, seed=3)
+        assert result["count"] < 256
+        assert result["degraded"] == {
+            "requested": 256, "served": result["count"],
+        }
+        assert stamps == [result["degraded"]]
+        assert client.degraded_responses == 1
+        stats = client.stats()
+        assert stats["overload"]["brownout"]["level"] >= 1
+        assert stats["overload"]["brownout"]["degraded_requests"] >= 1
+        client.close()
+
+    def test_degraded_result_is_never_cached(self, server_factory):
+        server = server_factory(brownout=True, brownout_floor=16,
+                                max_inflight=4)
+        service = server.service
+        for _ in range(6):
+            service.brownout.update(True)
+        client = ServiceClient(server.url, timeout=10, retries=0)
+        degraded = client.montecarlo(muller_ring_tsg(3), samples=256, seed=9)
+        assert degraded["count"] < 256
+        # Pressure clears: the same request must be recomputed at full
+        # fidelity, not replayed from a degraded cache entry.  (The
+        # controller's real clock enforces hold_s between steps.)
+        for _ in range(60):
+            service.brownout.update(False)
+        assert spin_until(
+            lambda: service.brownout.update(False) == 0, timeout=5.0
+        )
+        full = client.montecarlo(muller_ring_tsg(3), samples=256, seed=9)
+        assert full["count"] == 256
+        assert "degraded" not in full
+        assert full["cached"] is False
+        client.close()
+
+    def test_brownout_disabled_by_default(self, server_factory):
+        server = server_factory(max_inflight=4)
+        client = ServiceClient(server.url, timeout=10, retries=0)
+        result = client.montecarlo(muller_ring_tsg(3), samples=128, seed=1)
+        assert result["count"] == 128
+        assert "degraded" not in result
+        stats = client.stats()
+        assert stats["overload"]["brownout"] is None
+        assert stats["overload"]["limiter"] is not None  # adaptive default
+        client.close()
+
+    def test_unknown_priority_is_a_structured_400(self, server_factory):
+        server = server_factory(max_inflight=4)
+        client = ServiceClient(server.url, timeout=10, retries=0)
+        with pytest.raises(ServiceError) as caught:
+            client.montecarlo(muller_ring_tsg(3), samples=32, seed=1,
+                              priority="urgent")
+        assert caught.value.status == 400
+        client.close()
+
+    def test_adaptive_limit_on_stats_and_metrics(self, server_factory):
+        server = server_factory(max_inflight=3, metrics=True)
+        client = ServiceClient(server.url, timeout=10, retries=0)
+        client.analyze(muller_ring_tsg(3))
+        stats = client.stats()
+        limiter = stats["overload"]["limiter"]
+        assert limiter["ceiling"] == 3
+        assert limiter["min_limit"] <= limiter["limit"] <= 3
+        assert limiter["samples"] >= 1
+        assert stats["admission"]["limit"] <= 3
+        status, raw, _ = client.transport.request("GET", "/metrics", None, {})
+        assert status == 200
+        text = raw.decode("utf-8")
+        assert "repro_overload_limit" in text
+        assert "repro_admission_limit" in text
+        client.close()

@@ -18,6 +18,7 @@ from repro.service.client import PooledTransport, ServiceClient
 from repro.service.hashing import topology_hash
 from repro.service.pool import (
     RouterServer,
+    WorkerHealth,
     WorkerPool,
     shard_preference,
     shard_worker,
@@ -118,18 +119,17 @@ class TestWorkerPool:
             _terminated(pool)
 
 
-def _post_analyze(transport, graph):
+def _post_analyze(transport, graph, extra_headers=None):
     from repro.io.json_io import graph_to_dict
 
     body = json.dumps({"graph": graph_to_dict(graph)}).encode("utf-8")
-    return transport.request(
-        "POST", "/analyze", body,
-        {
-            "Content-Type": "application/json",
-            "Content-Length": str(len(body)),
-            "X-Topology-Hash": topology_hash(graph),
-        },
-    )
+    headers = {
+        "Content-Type": "application/json",
+        "Content-Length": str(len(body)),
+        "X-Topology-Hash": topology_hash(graph),
+    }
+    headers.update(extra_headers or {})
+    return transport.request("POST", "/analyze", body, headers)
 
 
 class _RawTransport(PooledTransport):
@@ -140,16 +140,11 @@ class _RawTransport(PooledTransport):
         self.last_headers = {}
 
     def _roundtrip(self, connection, method, path, body, headers):
-        connection.request(method, path, body=body, headers=headers)
-        response = connection.getresponse()
-        raw = response.read()
-        self.last_headers = dict(response.headers)
-        connection._repro_used = True
-        return (
-            response.status, raw,
-            response.headers.get("Retry-After"),
-            not response.will_close,
+        status, raw, response_headers, keep = super()._roundtrip(
+            connection, method, path, body, headers
         )
+        self.last_headers = dict(response_headers)
+        return status, raw, response_headers, keep
 
 
 @pytest.fixture
@@ -246,6 +241,177 @@ class TestRouter:
             labels["worker"] for _, labels, _ in requests.samples
         }
         assert workers_seen == {"0", "1"}
+        transport.close()
+
+
+class _FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestWorkerHealth:
+    def test_healthy_worker_always_allowed(self):
+        health = WorkerHealth()
+        assert health.allow()
+        health.record(True, rtt_s=0.01)
+        assert health.allow()
+        assert not health.ejected
+
+    def test_ejects_after_errors_but_not_before_min_samples(self):
+        clock = _FakeClock()
+        health = WorkerHealth(min_samples=3, clock=clock)
+        # alpha=0.3: two failures push the EWMA past 0.5 but the
+        # sample floor holds the ejection back until the third.
+        health.record(False)
+        health.record(False)
+        assert not health.ejected
+        assert health.allow()
+        health.record(False)
+        assert health.ejected
+        assert not health.allow()
+        assert health.snapshot()["ejections"] == 1
+
+    def test_probation_admits_exactly_one_probe(self):
+        clock = _FakeClock()
+        health = WorkerHealth(min_samples=3, cooldown_s=2.0, clock=clock)
+        for _ in range(3):
+            health.record(False)
+        assert not health.allow()
+        clock.now = 2.0
+        # cooldown lapsed: exactly one probe claim is handed out
+        assert health.allow()
+        assert not health.allow()
+        assert health.snapshot()["probing"] is True
+
+    def test_probe_success_re_enters_with_clean_score(self):
+        clock = _FakeClock()
+        health = WorkerHealth(min_samples=3, cooldown_s=2.0, clock=clock)
+        for _ in range(3):
+            health.record(False)
+        clock.now = 2.0
+        assert health.allow()
+        health.record(True, rtt_s=0.005)
+        assert not health.ejected
+        assert health.allow()
+        assert health.snapshot()["error_ewma"] == 0.0
+
+    def test_probe_failure_doubles_cooldown_up_to_cap(self):
+        clock = _FakeClock()
+        health = WorkerHealth(
+            min_samples=3, cooldown_s=2.0, cooldown_cap_s=5.0, clock=clock,
+        )
+        for _ in range(3):
+            health.record(False)
+        clock.now = 2.0
+        assert health.allow()
+        health.record(False)  # failed probe: cooldown 2 -> 4
+        assert health.snapshot()["cooldown_s"] == 4.0
+        assert not health.allow()
+        clock.now += 4.0
+        assert health.allow()
+        health.record(False)  # failed probe: 8 capped to 5
+        assert health.snapshot()["cooldown_s"] == 5.0
+        assert health.snapshot()["ejections"] == 3
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            WorkerHealth(alpha=0.0)
+        with pytest.raises(ValueError):
+            WorkerHealth(eject_threshold=1.5)
+
+
+class TestReturnHeaders:
+    def test_forwards_allowlist_case_insensitively(self):
+        picked = RouterServer._pick_return_headers(3, {
+            "content-type": "application/json",
+            "TRACEPARENT": "00-" + "ab" * 16 + "-" + "cd" * 8 + "-01",
+            "retry-after": "2",
+            "X-Internal-Detail": "never-forwarded",
+        })
+        assert picked == {
+            "Content-Type": "application/json",
+            "traceparent": "00-" + "ab" * 16 + "-" + "cd" * 8 + "-01",
+            "Retry-After": "2",
+            "X-Worker-Id": "3",
+        }
+
+    def test_worker_stamp_wins_over_router_default(self):
+        picked = RouterServer._pick_return_headers(
+            3, {"x-worker-id": "7"}
+        )
+        assert picked["X-Worker-Id"] == "7"
+
+
+class TestRouterFailoverPolicy:
+    def _break_worker(self, router, target):
+        """Simulate a transport failure for one worker id."""
+        original = router._attempt_worker
+
+        def flaky(worker_id, method, path, body, headers):
+            if worker_id == target:
+                return None
+            return original(worker_id, method, path, body, headers)
+
+        router._attempt_worker = flaky
+        return original
+
+    def test_non_idempotent_requests_never_replay(self, router_pool):
+        pool, router = router_pool
+        graph = muller_ring_tsg(5)
+        target = shard_worker(topology_hash(graph), pool.live_ids())
+        original = self._break_worker(router, target)
+        try:
+            transport = _RawTransport(router.url, timeout=15)
+            before = router.counters["unroutable"]
+            status, raw, _ = _post_analyze(transport, graph)
+            assert status == 503
+            document = json.loads(raw)
+            assert document["error"]["type"] == "NonIdempotentFailover"
+            assert router.counters["unroutable"] == before + 1
+            assert router.counters["failovers"] == 0
+            transport.close()
+        finally:
+            router._attempt_worker = original
+
+    def test_idempotency_key_opts_into_failover(self, router_pool):
+        pool, router = router_pool
+        graph = muller_ring_tsg(5)
+        live = pool.live_ids()
+        target = shard_worker(topology_hash(graph), live)
+        survivor = next(w for w in live if w != target)
+        original = self._break_worker(router, target)
+        try:
+            transport = _RawTransport(router.url, timeout=15)
+            status, raw, _ = _post_analyze(
+                transport, graph,
+                extra_headers={"X-Idempotency-Key": "failover-test-1"},
+            )
+            assert status == 200
+            assert "cycle_time" in json.loads(raw)
+            assert transport.last_headers["X-Worker-Id"] == str(survivor)
+            assert router.counters["failovers"] >= 1
+            transport.close()
+        finally:
+            router._attempt_worker = original
+
+    def test_stats_expose_per_worker_health(self, router_pool):
+        pool, router = router_pool
+        transport = _RawTransport(router.url, timeout=15)
+        graph = oscillator_tsg()
+        status, _, _ = _post_analyze(transport, graph)
+        assert status == 200
+        status, raw, _ = transport.request("GET", "/stats", None, {})
+        assert status == 200
+        document = json.loads(raw)
+        owner = str(shard_worker(topology_hash(graph), pool.live_ids()))
+        assert owner in document["health"]
+        block = document["health"][owner]
+        assert block["samples"] >= 1
+        assert block["ejected"] is False
+        assert block["error_ewma"] == 0.0
         transport.close()
 
 

@@ -236,6 +236,39 @@ class TestCircuitBreaker:
         assert breaker.state == CircuitBreaker.OPEN
         assert not breaker.allow()
 
+    def test_half_open_race_admits_exactly_one_probe(self):
+        """Two threads racing into half-open must get exactly one True."""
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_after=5,
+                                 clock=clock)
+        for _ in range(50):  # many rounds to flush out lock races
+            breaker.record_failure()
+            assert breaker.state == CircuitBreaker.OPEN
+            clock.now += 6.0
+            barrier = threading.Barrier(2)
+            verdicts = []
+            lock = threading.Lock()
+
+            def racer():
+                barrier.wait(5)
+                allowed = breaker.allow()
+                with lock:
+                    verdicts.append(allowed)
+
+            threads = [
+                threading.Thread(target=racer, daemon=True) for _ in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(5)
+            assert sorted(verdicts) == [False, True]
+            # The losing thread's outcome must not have corrupted the
+            # transitions: the single probe decides the state.
+            breaker.record_success()
+            assert breaker.state == CircuitBreaker.CLOSED
+            assert breaker.allow()
+
 
 class TestFaultInjector:
     def test_parse_round_trip(self):
