@@ -10,6 +10,7 @@ Seven suites::
     PYTHONPATH=src python scripts/bench_to_json.py --suite scaling_out
     PYTHONPATH=src python scripts/bench_to_json.py --suite ptime
     PYTHONPATH=src python scripts/bench_to_json.py --suite overload
+    PYTHONPATH=src python scripts/bench_to_json.py --suite netlist
 
 ``kernels`` (the default) times the legacy, exact and float engines —
 border simulations and end-to-end ``compute_cycle_time`` — on the
@@ -46,6 +47,14 @@ Fraction and float modes), the full ``lambda_range`` interval, and the
 certified-rejection path on planted-inconsistent instances — across
 graph sizes, runs a 3-rate ``cross_validate`` correctness rider, and
 writes ``BENCH_ptime.json``.
+
+``netlist`` times the real-circuit pipeline — ``.bench`` parsing,
+ring-wrap closure, structural DAG extraction and cycle-time analysis —
+on the shipped corpus (c17 through the 1440-gate mult16), checks the
+golden unit-delay cycle times, cross-checks structural extraction
+against the exhaustive oracle on c17 and the sparse ratio-form Howard
+against the token-graph reduction on rca8, and writes
+``BENCH_netlist.json``.
 
 ``overload`` ramps concurrent Monte-Carlo load past a deliberately
 small service capacity and records shed-rate, degraded-rate and
@@ -1291,13 +1300,181 @@ def run_overload_suite(output):
     return 1 if failures else 0
 
 
+NETLIST_CORPUS = ("c17", "rca8", "sreg16", "mult16")
+NETLIST_GOLDEN = {"c17": 8, "rca8": 22, "sreg16": 132, "mult16": 91}
+NETLIST_REPS_SMALL = 5
+NETLIST_REPS_LARGE = 2
+
+
+def measure_netlist(name):
+    from fractions import Fraction
+
+    from repro.baselines import compute_cycle_time as baseline_cycle_time
+    from repro.netlist import (
+        corpus_path,
+        load_corpus,
+        parse_bench,
+        ring_wrap,
+        structural_extract,
+    )
+
+    with open(corpus_path(name), encoding="utf-8") as handle:
+        source = handle.read()
+    network = parse_bench(source)
+    reps = NETLIST_REPS_SMALL if network.num_gates < 500 else NETLIST_REPS_LARGE
+
+    parse_s = best_of(lambda: parse_bench(source), reps=reps)
+    wrapped = ring_wrap(network)
+    transform_s = best_of(lambda: ring_wrap(network), reps=reps)
+    graph = structural_extract(wrapped)
+    extract_s = best_of(lambda: structural_extract(wrapped), reps=reps)
+
+    border = len(graph.border_events)
+    method = "timing" if border <= 48 else "howard-ratio"
+    if method == "timing":
+        result = compute_cycle_time(graph)
+        analyze_s = best_of(lambda: compute_cycle_time(graph), reps=reps)
+    else:
+        result = baseline_cycle_time(graph, "howard-ratio")
+        analyze_s = best_of(
+            lambda: baseline_cycle_time(graph, "howard-ratio"), reps=reps
+        )
+    value = result.cycle_time
+    return {
+        "circuit": name,
+        "gates": network.num_gates,
+        "wrapped_gates": len(wrapped.gates),
+        "events": graph.num_events,
+        "arcs": graph.num_arcs,
+        "border_events": border,
+        "method": method,
+        "cycle_time": str(Fraction(value)) if not isinstance(value, float)
+        else repr(value),
+        "parse_ms": parse_s * 1e3,
+        "transform_ms": transform_s * 1e3,
+        "extract_ms": extract_s * 1e3,
+        "analyze_ms": analyze_s * 1e3,
+        "end_to_end_ms": (parse_s + transform_s + extract_s + analyze_s) * 1e3,
+    }
+
+
+def run_netlist_suite(output):
+    from repro.baselines import compute_cycle_time as baseline_cycle_time
+    from repro.circuits.extraction import extract_signal_graph
+    from repro.netlist import load_corpus, ring_wrap, structural_extract
+
+    failures = []
+    rows = []
+    for name in NETLIST_CORPUS:
+        row = measure_netlist(name)
+        rows.append(row)
+        expected = NETLIST_GOLDEN[name]
+        if row["cycle_time"] != str(expected):
+            failures.append(
+                "%s: cycle time %s, expected %d"
+                % (name, row["cycle_time"], expected)
+            )
+        print(
+            "%-7s %4d gates  parse %6.1f ms  wrap %6.1f ms  "
+            "extract %7.1f ms  analyze %8.1f ms  lambda=%s (%s)"
+            % (
+                name,
+                row["gates"],
+                row["parse_ms"],
+                row["transform_ms"],
+                row["extract_ms"],
+                row["analyze_ms"],
+                row["cycle_time"],
+                row["method"],
+            )
+        )
+
+    # correctness riders: the scalable path must match the exhaustive
+    # oracle on c17, and the sparse ratio-form Howard must match the
+    # token-graph reduction on a mid-size circuit.
+    wrapped_c17 = ring_wrap(load_corpus("c17"))
+    if not structural_extract(wrapped_c17).structurally_equal(
+        extract_signal_graph(wrapped_c17)
+    ):
+        failures.append("structural extraction != oracle on wrapped c17")
+    rca8_graph = structural_extract(ring_wrap(load_corpus("rca8")))
+    via_ratio = baseline_cycle_time(rca8_graph, "howard-ratio").cycle_time
+    via_reduction = baseline_cycle_time(rca8_graph, "howard").cycle_time
+    if via_ratio != via_reduction:
+        failures.append(
+            "howard-ratio %r != reduction howard %r on rca8"
+            % (via_ratio, via_reduction)
+        )
+    ratio_s = best_of(
+        lambda: baseline_cycle_time(rca8_graph, "howard-ratio"),
+        reps=NETLIST_REPS_SMALL,
+    )
+    reduction_s = best_of(
+        lambda: baseline_cycle_time(rca8_graph, "howard"),
+        reps=NETLIST_REPS_SMALL,
+    )
+    print(
+        "rca8 analyze: howard-ratio %.1f ms vs reduction howard %.1f ms "
+        "(%.1fx)"
+        % (ratio_s * 1e3, reduction_s * 1e3, reduction_s / ratio_s)
+    )
+
+    largest = rows[-1]
+    cpu_count = os.cpu_count() or 1
+    document = {
+        "benchmark": "real-circuit netlist pipeline: parse -> ring-wrap -> "
+        "structural extraction -> cycle time",
+        "workload": "shipped .bench corpus with unit gate/ack delays; "
+        "structural extraction with hash-window fold; method auto-selected "
+        "by border size (timing <= 48 border events, else ratio-form "
+        "Howard on the sparse repetitive core)",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": cpu_count,
+        "timer": "best of %d (small) / %d (>=500 gates), wall clock"
+        % (NETLIST_REPS_SMALL, NETLIST_REPS_LARGE),
+        "rows": rows,
+        "howard_ratio_vs_reduction": {
+            "circuit": "rca8",
+            "ratio_ms": ratio_s * 1e3,
+            "reduction_ms": reduction_s * 1e3,
+            "speedup": reduction_s / ratio_s,
+        },
+        "gates": {
+            "golden_cycle_times": "FAILED" if any(
+                f.startswith(tuple(NETLIST_CORPUS)) for f in failures
+            ) else "enforced",
+            "structural_equals_oracle_c17": "FAILED" if any(
+                "oracle" in f for f in failures
+            ) else "enforced",
+            "ratio_equals_reduction_rca8": "FAILED" if any(
+                "reduction" in f for f in failures
+            ) else "enforced",
+        },
+        "headline": {
+            "circuit": largest["circuit"],
+            "gates": largest["gates"],
+            "events": largest["events"],
+            "end_to_end_ms": largest["end_to_end_ms"],
+            "cycle_time": largest["cycle_time"],
+        },
+    }
+    with open(output, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print("wrote %s" % os.path.abspath(output))
+    for failure in failures:
+        print("WARNING: %s" % failure)
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     root = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
         choices=("kernels", "montecarlo", "service", "obs", "scaling_out",
-                 "ptime", "overload"),
+                 "ptime", "overload", "netlist"),
         default="kernels",
         help="what to measure (default: the single-analysis kernels)",
     )
@@ -1322,6 +1499,9 @@ def main(argv=None) -> int:
         "--sizes overridden (montecarlo suite only)" % MC_GATE_STAGES,
     )
     args = parser.parse_args(argv)
+    if args.suite == "netlist":
+        output = args.output or os.path.join(root, "BENCH_netlist.json")
+        return run_netlist_suite(output)
     if args.suite == "overload":
         output = args.output or os.path.join(root, "BENCH_overload.json")
         return run_overload_suite(output)

@@ -144,3 +144,193 @@ def _evaluate(
         for member in path:
             state[member] = 1
     return eta, potential, cycles
+
+
+# ----------------------------------------------------------------------
+# Ratio form: policy iteration directly on the Timed Signal Graph
+# ----------------------------------------------------------------------
+def max_cycle_ratio_howard(
+    graph, max_iterations: int = 100_000
+) -> Tuple[Number, List]:
+    """Maximum cycle ratio ``sum(delay)/sum(tokens)`` of a live graph.
+
+    Runs the policy iteration on the *sparse* repetitive core itself —
+    no token-graph reduction.  The classical reduction builds up to
+    ``b^2`` edges for ``b`` tokens, which is quadratic death for
+    ring-wrapped netlists where almost half the fold's arcs are marked
+    (every DFF seam and every window-crossing cause carries a token);
+    working on the original arcs keeps one iteration at ``O(m)``.
+
+    With exact (int/Fraction) delays the policy is first converged in
+    float arithmetic — a warm start only — and then re-evaluated and
+    re-improved exactly until an exact fixed point, so the result stays
+    exact while the bulk of the iterations run on machine floats.
+
+    Returns ``(ratio, witness event cycle)``.  Raises
+    :class:`AcyclicGraphError` when no cycle exists.
+    """
+    repetitive = graph.repetitive_events
+    successors: Dict[object, List[Tuple[object, Number, int]]] = {}
+    exact = True
+    for arc in graph.arcs:
+        if arc.disengageable:
+            continue
+        if arc.source not in repetitive or arc.target not in repetitive:
+            continue
+        if isinstance(arc.delay, float):
+            exact = False
+        successors.setdefault(arc.source, []).append(
+            (arc.target, arc.delay, arc.tokens)
+        )
+
+    # Peel nodes that cannot lie on a cycle (mirrors _cyclic_closure).
+    while True:
+        targets = {
+            entry[0]
+            for arcs in successors.values()
+            for entry in arcs
+            if entry[0] in successors
+        }
+        alive = {node for node in successors if node in targets}
+        pruned = {
+            node: [entry for entry in arcs if entry[0] in alive]
+            for node, arcs in successors.items()
+            if node in alive
+        }
+        pruned = {node: arcs for node, arcs in pruned.items() if arcs}
+        if len(pruned) == len(successors) and all(
+            len(pruned[node]) == len(successors[node]) for node in pruned
+        ):
+            break
+        successors = pruned
+    if not successors:
+        raise AcyclicGraphError("graph has no cycles on its repetitive core")
+
+    policy: Dict[object, int] = {
+        node: max(
+            range(len(arcs)),
+            key=lambda index: (arcs[index][1], str(arcs[index][0])),
+        )
+        for node, arcs in successors.items()
+    }
+    if exact:
+        floated = {
+            node: [(target, float(delay), tokens)
+                   for target, delay, tokens in arcs]
+            for node, arcs in successors.items()
+        }
+        _howard_iterate(floated, policy, max_iterations, tolerance=1e-9)
+    eta, cycles = _howard_iterate(successors, policy, max_iterations)
+    best = max(cycles, key=lambda cycle: eta[cycle[0]])
+    return eta[best[0]], best
+
+
+def _howard_iterate(
+    successors: Dict[object, List[Tuple[object, Number, int]]],
+    policy: Dict[object, int],
+    max_iterations: int,
+    tolerance: Number = 0,
+) -> Tuple[Dict, List[List]]:
+    """Run ratio-form policy iteration to a fixed point, in place.
+
+    ``policy`` maps each node to an index into its successor list and
+    is mutated toward the optimum.  A non-zero ``tolerance`` makes the
+    improvement tests strict-by-margin, which keeps float warm-start
+    rounds from oscillating on rounding noise.  It must stay the int
+    ``0`` in the exact phase: adding a float ``0.0`` would silently
+    round the Fraction comparisons.
+    """
+    for _ in range(max_iterations):
+        eta, potential, cycles = _evaluate_ratio(successors, policy)
+        improved = False
+        for node, arcs in successors.items():
+            node_eta = eta[node]
+            switched = False
+            for index, entry in enumerate(arcs):
+                if eta[entry[0]] > node_eta + tolerance:
+                    policy[node] = index
+                    improved = True
+                    switched = True
+                    break
+            if switched:
+                continue
+            current = potential[node]
+            chosen = policy[node]
+            for index, (target, delay, tokens) in enumerate(arcs):
+                if not (node_eta - tolerance <= eta[target]
+                        <= node_eta + tolerance):
+                    continue
+                candidate = delay - node_eta * tokens + potential[target]
+                if candidate > current + tolerance:
+                    current = candidate
+                    chosen = index
+            if chosen != policy[node]:
+                policy[node] = chosen
+                improved = True
+        if not improved:
+            return eta, cycles
+    raise RuntimeError("Howard ratio iteration did not converge")
+
+
+def _evaluate_ratio(
+    successors: Dict[object, List[Tuple[object, Number, int]]],
+    policy: Dict[object, int],
+) -> Tuple[Dict, Dict, List[List]]:
+    """Per-node cycle ratios and potentials under ``policy``.
+
+    Like :func:`_evaluate` with weight ``delay - eta * tokens``: on a
+    policy cycle ``eta = sum(delay)/sum(tokens)`` makes the potential
+    recurrence close exactly.
+    """
+    from ..core.errors import NotLiveError
+
+    eta: Dict[object, Number] = {}
+    potential: Dict[object, Number] = {}
+    cycles: List[List] = []
+    visited: set = set()
+
+    for start in policy:
+        if start in visited:
+            continue
+        path: List = []
+        on_path: set = set()
+        node = start
+        while node not in on_path and node not in eta:
+            path.append(node)
+            on_path.add(node)
+            node = successors[node][policy[node]][0]
+        if node in on_path:  # fresh policy cycle
+            cycle = path[path.index(node):]
+            total_delay: Number = 0
+            total_tokens = 0
+            for member in cycle:
+                _, delay, tokens = successors[member][policy[member]]
+                total_delay = total_delay + delay
+                total_tokens += tokens
+            if total_tokens == 0:
+                raise NotLiveError(
+                    "policy cycle %s carries no token: the graph is not "
+                    "live" % ([str(event) for event in cycle],),
+                    cycle=cycle,
+                )
+            ratio = exact_div(total_delay, total_tokens)
+            cycles.append(cycle)
+            anchor = cycle[0]
+            eta[anchor] = ratio
+            potential[anchor] = 0
+            for member in reversed(cycle[1:]):
+                successor, delay, tokens = successors[member][policy[member]]
+                eta[member] = ratio
+                potential[member] = (
+                    delay - ratio * tokens + potential[successor]
+                )
+        for member in reversed(path):
+            if member in eta:
+                continue
+            successor, delay, tokens = successors[member][policy[member]]
+            eta[member] = eta[successor]
+            potential[member] = (
+                delay - eta[successor] * tokens + potential[successor]
+            )
+        visited.update(path)
+    return eta, potential, cycles

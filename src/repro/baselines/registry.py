@@ -10,9 +10,15 @@ method         algorithm                                   result
 ``exhaustive`` enumerate all simple cycles (Johnson)       exact
 ``karp``       Karp max-mean-cycle on the token reduction  exact
 ``howard``     Howard policy iteration on the reduction    exact
+``howard-     Howard policy iteration in ratio form,      exact
+ratio``        directly on the sparse repetitive core
 ``lawler``     binary search with positive-cycle tests     exact*
 ``lp``         Burns' linear program (scipy/HiGHS)         float
 ============== =========================================== ==========
+
+``howard-ratio`` skips the ``O(b^2)``-edge token reduction entirely,
+which makes it the only practical exact method on large ring-wrapped
+netlists (thousands of events, ~half the arcs marked).
 
 (*) exact for int/Fraction delays, tolerance-bounded for floats.
 
@@ -31,7 +37,7 @@ from ..core.cycles import Cycle
 from ..core.signal_graph import TimedSignalGraph
 from .burns_lp import cycle_time_lp
 from .exhaustive import max_cycle_ratio_exhaustive
-from .howard import max_mean_cycle_howard
+from .howard import max_cycle_ratio_howard, max_mean_cycle_howard
 from .karp import max_mean_cycle
 from .lawler import max_cycle_ratio_lawler
 from .reduction import reduce_to_token_graph
@@ -91,6 +97,15 @@ def _run_howard(graph: TimedSignalGraph) -> MethodResult:
     return MethodResult("howard", value, cycles)
 
 
+def _run_howard_ratio(graph: TimedSignalGraph) -> MethodResult:
+    from ..core.cycles import make_cycle
+
+    value, events = max_cycle_ratio_howard(graph)
+    cycle = make_cycle(graph, events)
+    cycles = [cycle] if cycle.effective_length == value else []
+    return MethodResult("howard-ratio", value, cycles)
+
+
 def _run_lawler(graph: TimedSignalGraph) -> MethodResult:
     value = max_cycle_ratio_lawler(graph)
     return MethodResult("lawler", value, [])
@@ -106,12 +121,15 @@ METHODS: Dict[str, Callable[[TimedSignalGraph], MethodResult]] = {
     "exhaustive": _run_exhaustive,
     "karp": _run_karp,
     "howard": _run_howard,
+    "howard-ratio": _run_howard_ratio,
     "lawler": _run_lawler,
     "lp": _run_lp,
 }
 
 #: Methods returning exact results on int/Fraction delays.
-EXACT_METHODS = ("timing", "exhaustive", "karp", "howard", "lawler")
+EXACT_METHODS = (
+    "timing", "exhaustive", "karp", "howard", "howard-ratio", "lawler"
+)
 
 
 def compute_cycle_time(graph: TimedSignalGraph, method: str = "timing") -> MethodResult:

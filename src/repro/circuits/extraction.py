@@ -154,32 +154,47 @@ class _Simulator:
         return record
 
     def _cause_set(self, gate: Gate, new_value: int) -> Tuple[int, ...]:
-        """Necessary-and-new input transitions for an output change."""
-        input_values = [self.values[name] for name in gate.inputs]
-        necessary = []
-        for pin, name in enumerate(gate.inputs):
-            flipped = list(input_values)
-            flipped[pin] = 1 - flipped[pin]
-            still = evaluate(gate.gate_type, flipped, self.values[gate.output])
-            if still != new_value:
-                necessary.append(name)
-        news = self.news[gate.output]
-        causes = tuple(
-            sorted(news[name] for name in necessary if name in news)
+        return compute_cause_set(
+            gate, new_value, self.values, self.news[gate.output]
         )
-        if not causes and news:
-            raise DistributivityError(
-                "transition %s%s has no necessary-and-new cause: OR-causality "
-                "or hazard (necessary inputs: %s, new inputs: %s)"
-                % (
-                    gate.output,
-                    RISE if new_value else FALL,
-                    necessary,
-                    sorted(news),
-                ),
-                transition=(gate.output, new_value),
-            )
-        return causes
+
+
+def compute_cause_set(
+    gate: Gate,
+    new_value: int,
+    values: Dict[str, int],
+    news: Dict[str, int],
+) -> Tuple[int, ...]:
+    """Necessary-and-new input transitions for an output change.
+
+    Shared by the exhaustive oracle simulator above and the scalable
+    structural path (:mod:`repro.netlist.extract`) — both must record
+    bit-identical cause structure for their folds to coincide.
+    """
+    input_values = [values[name] for name in gate.inputs]
+    necessary = []
+    for pin, name in enumerate(gate.inputs):
+        flipped = list(input_values)
+        flipped[pin] = 1 - flipped[pin]
+        still = evaluate(gate.gate_type, flipped, values[gate.output])
+        if still != new_value:
+            necessary.append(name)
+    causes = tuple(
+        sorted(news[name] for name in necessary if name in news)
+    )
+    if not causes and news:
+        raise DistributivityError(
+            "transition %s%s has no necessary-and-new cause: OR-causality "
+            "or hazard (necessary inputs: %s, new inputs: %s)"
+            % (
+                gate.output,
+                RISE if new_value else FALL,
+                necessary,
+                sorted(news),
+            ),
+            transition=(gate.output, new_value),
+        )
+    return causes
 
 
 def simulate_untimed(netlist: Netlist, max_transitions: int = 100_000) -> Trace:
@@ -427,6 +442,7 @@ def extract_signal_graph(
     check_semi_modular: bool = True,
     max_transitions: int = 100_000,
     max_states: int = 2_000_000,
+    max_steps: Optional[int] = None,
 ) -> TimedSignalGraph:
     """Netlist + initial state -> Timed Signal Graph (TRASPEC substitute).
 
@@ -437,9 +453,15 @@ def extract_signal_graph(
     DistributivityError
         If the behaviour exhibits OR-causality.
     ExtractionError
-        If the behaviour cannot be folded into an initially-safe graph.
+        If the behaviour cannot be folded into an initially-safe graph,
+        or (:class:`~repro.core.errors.StateSpaceLimitError`) the
+        exhaustive exploration budget ran out — large netlists should
+        use :func:`repro.netlist.extract.structural_extract` instead.
     """
     if check_semi_modular:
-        explore(netlist, max_states=max_states, check_semi_modular=True)
+        explore(
+            netlist, max_states=max_states, check_semi_modular=True,
+            max_steps=max_steps,
+        )
     trace = simulate_untimed(netlist, max_transitions=max_transitions)
     return fold_trace(trace)

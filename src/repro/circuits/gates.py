@@ -63,6 +63,12 @@ def _sr_latch(inputs: Sequence[int], current: int) -> int:
 #: (evaluate, min_inputs, max_inputs or None for unbounded).
 GATE_TYPES: Dict[str, Tuple[GateFunction, int, int]] = {
     "BUF": (_combinational(lambda v: v[0]), 1, 1),
+    # A D-flop in the self-timed reading: the clock is abstracted away
+    # and the output follows D after the pin delay, like a buffer.  Its
+    # real role is *structural* — netlist front ends keep DFFs distinct
+    # from BUFs so the ring-wrap transform can treat each flop as a
+    # token-holding pipeline seam (see repro.netlist.transforms).
+    "DFF": (_combinational(lambda v: v[0]), 1, 1),
     "NOT": (_combinational(lambda v: 1 - v[0]), 1, 1),
     "AND": (_combinational(lambda v: int(all(v))), 2, 0),
     "OR": (_combinational(lambda v: int(any(v))), 2, 0),

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
-from ..core.errors import NotSemiModularError
+from ..core.errors import NotSemiModularError, StateSpaceLimitError
 from .netlist import Netlist
 
 State = Tuple[int, ...]
@@ -66,12 +66,21 @@ def explore(
     netlist: Netlist,
     max_states: int = 2_000_000,
     check_semi_modular: bool = True,
+    max_steps: Optional[int] = None,
 ) -> StateSpace:
     """Exhaustively explore all interleavings from the initial state.
 
     Raises :class:`~repro.core.errors.NotSemiModularError` when a
     transition disables another excited gate (with the witness state
     and signal), if ``check_semi_modular`` is set.
+
+    Exploration is budgeted: at most ``max_states`` reachable
+    configurations and (when given) ``max_steps`` explored moves.  An
+    exhausted budget raises a structured
+    :class:`~repro.core.errors.StateSpaceLimitError` — the state space
+    of a wide circuit grows exponentially in its concurrency, so a
+    netlist beyond a few tens of signals should go through the
+    structural extraction path instead of a bigger budget.
     """
     netlist.validate()
     order = tuple(netlist.signals)
@@ -94,8 +103,19 @@ def explore(
         excited = frozenset(_excited_signals(netlist, values, pending))
         states[config] = excited
         if len(states) > max_states:
-            raise NotSemiModularError(
-                "state space exceeded %d states; aborting" % max_states
+            raise StateSpaceLimitError(
+                "state space exceeded %d states after %d moves; "
+                "exploration abandoned (use the structural extraction "
+                "path for large netlists)" % (max_states, len(moves)),
+                states=len(states), steps=len(moves),
+                max_states=max_states, max_steps=max_steps,
+            )
+        if max_steps is not None and len(moves) > max_steps:
+            raise StateSpaceLimitError(
+                "exploration exceeded %d moves across %d states; "
+                "abandoned" % (max_steps, len(states)),
+                states=len(states), steps=len(moves),
+                max_states=max_states, max_steps=max_steps,
             )
         for signal in excited:
             next_state = list(state)
@@ -131,7 +151,11 @@ def _check_semi_modularity(space: StateSpace) -> None:
 
 
 def is_semi_modular(netlist: Netlist, max_states: int = 2_000_000) -> bool:
-    """Boolean wrapper around :func:`explore`'s semi-modularity check."""
+    """Boolean wrapper around :func:`explore`'s semi-modularity check.
+
+    A :class:`~repro.core.errors.StateSpaceLimitError` propagates: an
+    abandoned exploration is neither a yes nor a no.
+    """
     try:
         explore(netlist, max_states=max_states, check_semi_modular=True)
     except NotSemiModularError:

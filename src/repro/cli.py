@@ -13,10 +13,20 @@ Commands
     ASCII timing diagram (Figure 1c/1d style).
 ``extract FILE``
     Extract the Timed Signal Graph from a netlist JSON file
-    (TRASPEC-substitute flow) and print it as ``.g`` text.
+    (TRASPEC-substitute flow) — or from a ``.bench`` / structural
+    Verilog circuit, which is ring-wrapped and structurally
+    extracted — and print it as ``.g`` text.
+``netlist FILE``
+    Full real-circuit pipeline: parse a ``.bench`` / Verilog /
+    logic-network JSON circuit (or ``corpus:NAME``), ring-wrap it
+    into an autonomous self-timed workload, extract the Timed Signal
+    Graph and report its cycle time.  ``--list`` shows the shipped
+    corpus.
 ``convert FILE``
     Convert between ``.g`` and ``.json`` (by output extension), or
-    render Graphviz DOT with ``-o out.dot``.
+    render Graphviz DOT with ``-o out.dot``.  Circuit inputs
+    (``.bench``, ``.v``, logic-network JSON, ``corpus:NAME``)
+    convert between the circuit formats instead.
 ``report FILE``
     Full performance report: slacks, critical subgraph, sensitivities.
 ``montecarlo FILE``
@@ -151,7 +161,69 @@ def _cmd_diagram(args) -> int:
     return 0
 
 
+#: Circuit-source file extensions handled by the netlist front ends.
+_CIRCUIT_SUFFIXES = (".bench", ".v", ".sv")
+
+
+def _read_circuit_source(spec: str):
+    """Resolve a circuit argument to ``(source text, path, name)``.
+
+    ``corpus:NAME`` reads a shipped corpus circuit; anything else is a
+    file path.
+    """
+    from .netlist import corpus_path
+
+    if spec.startswith("corpus:"):
+        name = spec.split(":", 1)[1]
+        path = corpus_path(name)
+    else:
+        name = spec.rsplit("/", 1)[-1].rsplit(".", 1)[0] or "netlist"
+        path = spec
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read(), path, name
+
+
+def _maybe_load_logic_network(spec: str):
+    """A LogicNetwork when ``spec`` names a circuit source, else None."""
+    from .netlist.model import LogicNetwork
+
+    if spec.startswith("corpus:") or spec.endswith(_CIRCUIT_SUFFIXES):
+        from .netlist import parse_source
+
+        source, path, name = _read_circuit_source(spec)
+        return parse_source(source, name=name, path=path)
+    if spec.endswith(".json"):
+        loaded = json_io.load(spec)
+        if isinstance(loaded, LogicNetwork):
+            return loaded
+    return None
+
+
+def _parse_delay_spec(text: str):
+    """CLI delay syntax: ``D`` fixed or ``LO:HI`` sampled interval.
+
+    Values parse exactly (``3``, ``3/2``, ``1.5`` all stay exact).
+    """
+    from fractions import Fraction
+
+    def one(token: str):
+        value = Fraction(token.strip())
+        return int(value) if value.denominator == 1 else value
+
+    if ":" in text:
+        low, high = text.split(":", 1)
+        return (one(low), one(high))
+    return one(text)
+
+
 def _cmd_extract(args) -> int:
+    network = _maybe_load_logic_network(args.file)
+    if network is not None:
+        from .netlist import ring_wrap, structural_extract
+
+        graph = structural_extract(ring_wrap(network))
+        sys.stdout.write(astg.dumps(graph))
+        return 0
     loaded = json_io.load(args.file)
     if not isinstance(loaded, Netlist):
         print("error: %s is not a netlist document" % args.file, file=sys.stderr)
@@ -161,7 +233,92 @@ def _cmd_extract(args) -> int:
     return 0
 
 
+def _cmd_netlist(args) -> int:
+    from .netlist import corpus_names
+    from .netlist.pipeline import analyze_source, parse_source
+
+    if args.list:
+        for name in corpus_names():
+            print(name)
+        return 0
+    if not args.file:
+        print("error: FILE (or corpus:NAME, or --list) required",
+              file=sys.stderr)
+        return 2
+    source, path, name = _read_circuit_source(args.file)
+    if args.stats_only:
+        network = parse_source(source, fmt=args.format, name=name, path=path)
+        stats = network.stats()
+        print("circuit: %s" % network.name)
+        for key in sorted(stats):
+            print("  %s: %s" % (key, stats[key]))
+        return 0
+    graph, report = analyze_source(
+        source,
+        fmt=args.format,
+        name=name,
+        path=path,
+        delay=_parse_delay_spec(args.delay),
+        ack_delay=_parse_delay_spec(args.ack_delay),
+        seed=args.delay_seed,
+        max_fanout=args.max_fanout,
+        extraction=args.extraction,
+        method=args.method,
+    )
+    stats = report["network"]
+    print("circuit: %s (%d inputs, %d outputs, %d gates, depth %d)"
+          % (name, stats["inputs"], stats["outputs"], stats["gates"],
+             stats["depth"]))
+    print("wrapped: %d signals -> graph: %d events, %d arcs, %d border "
+          "events" % (report["wrapped"]["signals"], report["graph"]["events"],
+                      report["graph"]["arcs"],
+                      report["graph"]["border_events"]))
+    print("extraction: %s   method: %s" % (report["extraction"],
+                                           report["method"]))
+    print("cycle time: %s" % report["cycle_time"])
+    for cycle in report["critical_cycles"]:
+        print("critical cycle: %s" % " -> ".join(cycle))
+    timings = report["timings_ms"]
+    print("timings: " + "  ".join(
+        "%s=%.1fms" % (key.replace("_ms", ""), timings[key])
+        for key in ("parse_ms", "transform_ms", "extract_ms", "analyze_ms")
+        if key in timings
+    ))
+    if args.output:
+        if args.output.endswith(".json"):
+            json_io.dump(graph, args.output)
+        else:
+            astg.dump(graph, args.output)
+        print("wrote %s" % args.output)
+    return 0
+
+
+def _convert_circuit(network, output: Optional[str]) -> int:
+    from .netlist import write_bench, write_verilog
+
+    if output is None or output == "-":
+        sys.stdout.write(write_bench(network))
+        return 0
+    if output.endswith(".json"):
+        json_io.dump(network, output)
+    elif output.endswith(_CIRCUIT_SUFFIXES[1:]):  # .v / .sv
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(write_verilog(network))
+    elif output.endswith(".bench"):
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(write_bench(network))
+    else:
+        print("error: circuit outputs must be .bench/.v/.sv/.json, got %r"
+              % output, file=sys.stderr)
+        return 2
+    print("wrote %s" % output)
+    return 0
+
+
 def _cmd_convert(args) -> int:
+    network = _maybe_load_logic_network(args.file)
+    if network is not None:
+        return _convert_circuit(network, args.output)
     graph = _load_graph(args.file)
     output: Optional[str] = args.output
     if output is None or output == "-":
@@ -606,14 +763,75 @@ def build_parser() -> argparse.ArgumentParser:
     diagram.add_argument("--width", type=int, default=72)
     diagram.set_defaults(func=_cmd_diagram)
 
-    extract = commands.add_parser("extract", help="netlist JSON -> .g")
-    extract.add_argument("file")
+    extract = commands.add_parser(
+        "extract", help="netlist JSON or .bench/.v circuit -> .g"
+    )
+    extract.add_argument("file", help="netlist JSON, .bench/.v circuit, "
+                         "or corpus:NAME")
     extract.set_defaults(func=_cmd_extract)
 
-    convert = commands.add_parser("convert", help="convert graph formats")
-    convert.add_argument("file")
+    netlist = commands.add_parser(
+        "netlist",
+        help="real-circuit pipeline: parse, ring-wrap, extract, analyze",
+    )
+    netlist.add_argument(
+        "file", nargs="?", default=None,
+        help=".bench / structural Verilog / logic-network JSON file, "
+        "or corpus:NAME",
+    )
+    netlist.add_argument("--list", action="store_true",
+                         help="list the shipped corpus circuits and exit")
+    netlist.add_argument(
+        "--format", choices=("auto", "bench", "verilog", "json"),
+        default="auto", help="input format (default: sniff)",
+    )
+    netlist.add_argument(
+        "--stats-only", action="store_true",
+        help="parse and print circuit statistics, skip the analysis",
+    )
+    netlist.add_argument(
+        "--delay", default="1", metavar="D",
+        help="per-stage gate delay: fixed (e.g. 2, 3/2) or a LO:HI "
+        "interval sampled per stage (default 1)",
+    )
+    netlist.add_argument(
+        "--ack-delay", default="1", metavar="D",
+        help="completion/acknowledge stage delay (same syntax)",
+    )
+    netlist.add_argument(
+        "--delay-seed", type=int, default=0, metavar="N",
+        help="PRNG seed for interval delay sampling",
+    )
+    netlist.add_argument(
+        "--max-fanout", type=int, default=None, metavar="K",
+        help="split gates driving more than K loads before wrapping",
+    )
+    netlist.add_argument(
+        "--extraction", choices=("auto", "structural", "oracle"),
+        default="auto",
+        help="TSG extraction path (auto: oracle on small circuits)",
+    )
+    netlist.add_argument(
+        "--method", default="auto",
+        choices=("auto",) + tuple(sorted(METHODS)),
+        help="cycle-time algorithm (auto: paper timing simulation "
+        "while the border stays small, ratio-form Howard beyond)",
+    )
+    netlist.add_argument(
+        "-o", "--output", metavar="PATH",
+        help="also write the extracted graph (.json or .g)",
+    )
+    netlist.set_defaults(func=_cmd_netlist)
+
+    convert = commands.add_parser(
+        "convert", help="convert graph or circuit formats"
+    )
+    convert.add_argument("file", help="graph (.g/.json/demo) or circuit "
+                         "(.bench/.v/logic-network JSON/corpus:NAME)")
     convert.add_argument(
-        "-o", "--output", help="output path (.g/.json/.dot/.svg)"
+        "-o", "--output",
+        help="output path (graphs: .g/.json/.dot/.svg; circuits: "
+        ".bench/.v/.json)",
     )
     convert.set_defaults(func=_cmd_convert)
 

@@ -108,5 +108,25 @@ class ExtractionError(CircuitError):
     """
 
 
+class StateSpaceLimitError(ExtractionError):
+    """Exhaustive exploration hit its state or step budget.
+
+    Not a verdict about the circuit — the analysis was *abandoned*, so
+    neither semi-modularity nor its violation was established.
+    ``states`` and ``steps`` record how far exploration got;
+    ``max_states``/``max_steps`` the budget that stopped it.  Large
+    netlists should use the structural extraction path
+    (:mod:`repro.netlist.extract`) instead of raising these budgets.
+    """
+
+    def __init__(self, message, states=None, steps=None,
+                 max_states=None, max_steps=None):
+        super().__init__(message)
+        self.states = states
+        self.steps = steps
+        self.max_states = max_states
+        self.max_steps = max_steps
+
+
 class FormatError(SignalGraphError):
     """A file being parsed does not conform to its expected format."""

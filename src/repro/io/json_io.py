@@ -200,17 +200,58 @@ def netlist_from_dict(data: Dict[str, Any]) -> Netlist:
 
 
 # ----------------------------------------------------------------------
+# Logic networks (open combinational/sequential DAGs)
+# ----------------------------------------------------------------------
+def logic_network_to_dict(network) -> Dict[str, Any]:
+    """Document for an open :class:`~repro.netlist.model.LogicNetwork`."""
+    return {
+        "kind": "logic-network",
+        "name": network.name,
+        "inputs": list(network.inputs),
+        "outputs": list(network.outputs),
+        "gates": [
+            {
+                "output": gate.output,
+                "type": gate.gate_type,
+                "inputs": list(gate.inputs),
+            }
+            for gate in network.gates
+        ],
+    }
+
+
+def logic_network_from_dict(data: Dict[str, Any]):
+    from ..netlist.model import LogicNetwork
+
+    if data.get("kind") != "logic-network":
+        raise FormatError("not a logic-network document")
+    network = LogicNetwork(name=data.get("name", "network"))
+    for signal in data.get("inputs", []):
+        network.add_input(signal)
+    for entry in data["gates"]:
+        network.add_gate(entry["output"], entry["type"], entry["inputs"])
+    for signal in data.get("outputs", []):
+        network.add_output(signal)
+    network.validate()
+    return network
+
+
+# ----------------------------------------------------------------------
 # File-level helpers
 # ----------------------------------------------------------------------
 def dumps(
     obj: Union[TimedSignalGraph, PTimeSignalGraph, Netlist], indent: int = 2
 ) -> str:
+    from ..netlist.model import LogicNetwork
+
     if isinstance(obj, TimedSignalGraph):
         return json.dumps(graph_to_dict(obj), indent=indent)
     if isinstance(obj, PTimeSignalGraph):
         return json.dumps(ptime_graph_to_dict(obj), indent=indent)
     if isinstance(obj, Netlist):
         return json.dumps(netlist_to_dict(obj), indent=indent)
+    if isinstance(obj, LogicNetwork):
+        return json.dumps(logic_network_to_dict(obj), indent=indent)
     raise FormatError("cannot serialise %r" % type(obj).__name__)
 
 
@@ -223,6 +264,8 @@ def loads(text: str) -> Union[TimedSignalGraph, PTimeSignalGraph, Netlist]:
         return ptime_graph_from_dict(data)
     if kind == "netlist":
         return netlist_from_dict(data)
+    if kind == "logic-network":
+        return logic_network_from_dict(data)
     raise FormatError("unknown document kind %r" % kind)
 
 

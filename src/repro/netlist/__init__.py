@@ -1,0 +1,68 @@
+"""Real-circuit front ends for the Timed Signal Graph pipeline.
+
+This package turns standard benchmark circuits into analysable
+self-timed workloads:
+
+* :mod:`~repro.netlist.model` — the open :class:`LogicNetwork` IR
+  (primary inputs/outputs, library cells, DFF seams);
+* :mod:`~repro.netlist.bench` / :mod:`~repro.netlist.verilog` —
+  ISCAS-85/89 ``.bench`` and structural-Verilog parsers and writers
+  (round-trip clean);
+* :mod:`~repro.netlist.transforms` — buffer insertion, fanout
+  splitting and the **ring-wrap** transform closing a combinational
+  DAG into an autonomous Muller-style handshake circuit with per-gate
+  delay annotation;
+* :mod:`~repro.netlist.extract` — the scalable structural extraction
+  path (``structural_extract``) that folds thousands-of-gates wrapped
+  circuits into Timed Signal Graphs without exhaustive state-space
+  exploration, bit-identical to ``circuits.extraction`` where the
+  oracle is feasible;
+* :mod:`~repro.netlist.corpus` — the shipped ``.bench`` corpus plus
+  parametric circuit generators;
+* :mod:`~repro.netlist.pipeline` — the shared parse -> transform ->
+  extract -> analyze pipeline behind ``repro netlist`` and the
+  service's ``POST /netlist``.
+"""
+
+from .model import LogicGate, LogicNetwork, SUPPORTED_CELLS
+from .bench import dump_bench, load_bench, parse_bench, write_bench
+from .verilog import (
+    dump_verilog,
+    load_verilog,
+    parse_verilog,
+    write_verilog,
+)
+from .transforms import insert_buffers, ring_wrap, split_fanout
+from .extract import structural_extract
+from .corpus import corpus_names, corpus_path, load_corpus
+from .pipeline import (
+    analyze_network,
+    analyze_source,
+    detect_format,
+    parse_source,
+)
+
+__all__ = [
+    "LogicGate",
+    "LogicNetwork",
+    "SUPPORTED_CELLS",
+    "parse_bench",
+    "write_bench",
+    "load_bench",
+    "dump_bench",
+    "parse_verilog",
+    "write_verilog",
+    "load_verilog",
+    "dump_verilog",
+    "insert_buffers",
+    "split_fanout",
+    "ring_wrap",
+    "structural_extract",
+    "corpus_names",
+    "corpus_path",
+    "load_corpus",
+    "analyze_network",
+    "analyze_source",
+    "detect_format",
+    "parse_source",
+]

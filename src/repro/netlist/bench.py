@@ -1,0 +1,135 @@
+"""ISCAS-85/89 ``.bench`` reader and writer.
+
+The ``.bench`` format (used by the ISCAS-85 combinational and
+ISCAS-89 sequential benchmark sets) is line-oriented::
+
+    # comment
+    INPUT(1)
+    OUTPUT(22)
+    10 = NAND(1, 3)
+    G5 = DFF(G10)
+    22 = BUFF(10)
+
+Signal names are free-form tokens (the ISCAS-85 sets use bare
+numbers); cell names are case-insensitive.  ``BUFF`` is the format's
+spelling of a buffer and maps to the library's ``BUF``; single-input
+``AND``/``OR`` collapse to ``BUF`` and single-input
+``NAND``/``NOR``/``XOR``/``XNOR`` to ``NOT`` (both appear in the wild
+as fanout repeaters).
+
+``parse_bench``/``write_bench`` round-trip: parsing the written text
+reproduces an equal :class:`~repro.netlist.model.LogicNetwork`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from ..core.errors import FormatError
+from .model import LogicNetwork, SUPPORTED_CELLS
+
+_DECL = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^()\s]+)\s*\)$", re.IGNORECASE)
+_GATE = re.compile(r"^([^=\s]+)\s*=\s*([A-Za-z]+)\s*\(\s*([^()]*)\s*\)$")
+
+#: Format spellings -> library cells.
+_CELL_ALIASES = {"BUFF": "BUF", "INV": "NOT"}
+
+#: Library cells -> the spelling the writer emits.
+_WRITE_ALIASES = {"BUF": "BUFF"}
+
+#: n-ary cells degraded to their 1-input meaning.
+_UNARY_FALLBACK = {
+    "AND": "BUF", "OR": "BUF",
+    "NAND": "NOT", "NOR": "NOT", "XOR": "NOT", "XNOR": "NOT",
+}
+
+
+def _resolve_cell(token: str, arity: int, line_no: int) -> str:
+    cell = token.upper()
+    cell = _CELL_ALIASES.get(cell, cell)
+    if cell not in SUPPORTED_CELLS:
+        raise FormatError(
+            "line %d: unknown cell %r (supported: %s)"
+            % (line_no, token, ", ".join(sorted(SUPPORTED_CELLS)))
+        )
+    if arity == 1 and cell in _UNARY_FALLBACK:
+        return _UNARY_FALLBACK[cell]
+    return cell
+
+
+def parse_bench(text: str, name: str = "bench") -> LogicNetwork:
+    """Parse ``.bench`` text into a :class:`LogicNetwork`."""
+    network = LogicNetwork(name=name)
+    outputs: List[str] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        declaration = _DECL.match(line)
+        if declaration:
+            kind, signal = declaration.group(1).upper(), declaration.group(2)
+            if kind == "INPUT":
+                try:
+                    network.add_input(signal)
+                except Exception as error:
+                    raise FormatError("line %d: %s" % (line_no, error)) from None
+            else:
+                outputs.append(signal)
+            continue
+        gate = _GATE.match(line)
+        if gate is None:
+            raise FormatError("line %d: cannot parse %r" % (line_no, line))
+        output, cell_token, arguments = gate.groups()
+        inputs = [token for token in
+                  (piece.strip() for piece in arguments.split(","))
+                  if token]
+        if not inputs:
+            raise FormatError(
+                "line %d: gate %r has no inputs" % (line_no, output)
+            )
+        cell = _resolve_cell(cell_token, len(inputs), line_no)
+        try:
+            network.add_gate(output, cell, inputs)
+        except Exception as error:
+            raise FormatError("line %d: %s" % (line_no, error)) from None
+    for signal in outputs:
+        network.add_output(signal)
+    try:
+        network.validate()
+    except Exception as error:
+        raise FormatError("invalid bench netlist: %s" % error) from None
+    return network
+
+
+def write_bench(network: LogicNetwork, header: Optional[str] = None) -> str:
+    """Render a :class:`LogicNetwork` as ``.bench`` text."""
+    lines = ["# %s" % (header if header is not None else network.name)]
+    lines.append("# %d inputs, %d outputs, %d gates" % (
+        len(network.inputs), len(network.outputs), network.num_gates
+    ))
+    lines.append("")
+    for signal in network.inputs:
+        lines.append("INPUT(%s)" % signal)
+    lines.append("")
+    for signal in network.outputs:
+        lines.append("OUTPUT(%s)" % signal)
+    lines.append("")
+    for gate in network.gates:
+        cell = _WRITE_ALIASES.get(gate.gate_type, gate.gate_type)
+        lines.append("%s = %s(%s)" % (gate.output, cell, ", ".join(gate.inputs)))
+    return "\n".join(lines) + "\n"
+
+
+def load_bench(path: str, name: Optional[str] = None) -> LogicNetwork:
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if name is None:
+        base = path.replace("\\", "/").rsplit("/", 1)[-1]
+        name = base[:-6] if base.endswith(".bench") else base
+    return parse_bench(text, name=name)
+
+
+def dump_bench(network: LogicNetwork, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_bench(network))

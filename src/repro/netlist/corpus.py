@@ -1,0 +1,197 @@
+"""The shipped real-circuit corpus and its parametric generators.
+
+``data/`` holds ``.bench`` files ready for the parse -> transform ->
+extract -> analyze pipeline:
+
+* ``c17`` — the smallest ISCAS-85 benchmark, verbatim (6 NANDs);
+* ``rca8`` — an 8-bit ripple-carry adder (generator output);
+* ``sreg16`` — a 16-stage serial shift register with an input XOR tap
+  (sequential: 16 DFF seams);
+* ``mult16`` — a 16x16 shift-add array multiplier, ~1.4k gates — the
+  corpus' thousands-of-signals workload.
+
+Everything except ``c17`` is emitted by the generators below (see
+``regenerate``), so the files carry no provenance questions and other
+widths are one call away.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+from .bench import dump_bench, load_bench
+from .model import LogicNetwork
+
+_DATA_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "data")
+
+
+def corpus_names() -> List[str]:
+    """Names of the shipped ``.bench`` circuits."""
+    return sorted(
+        entry[: -len(".bench")]
+        for entry in os.listdir(_DATA_DIR)
+        if entry.endswith(".bench")
+    )
+
+
+def corpus_path(name: str) -> str:
+    """Absolute path of a shipped circuit's ``.bench`` file."""
+    path = os.path.join(_DATA_DIR, name + ".bench")
+    if not os.path.isfile(path):
+        raise KeyError(
+            "no corpus circuit %r (available: %s)"
+            % (name, ", ".join(corpus_names()))
+        )
+    return path
+
+
+def load_corpus(name: str) -> LogicNetwork:
+    """Parse a shipped circuit into a :class:`LogicNetwork`."""
+    return load_bench(corpus_path(name), name=name)
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+def ripple_carry_adder(width: int = 8) -> LogicNetwork:
+    """``width``-bit ripple-carry adder: a + b + cin -> sum, cout."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    network = LogicNetwork(name="rca%d" % width)
+    for i in range(width):
+        network.add_input("a%d" % i)
+        network.add_input("b%d" % i)
+    network.add_input("cin")
+    carry = "cin"
+    for i in range(width):
+        a, b = "a%d" % i, "b%d" % i
+        network.add_gate("p%d" % i, "XOR", [a, b])
+        network.add_gate("sum%d" % i, "XOR", ["p%d" % i, carry])
+        network.add_gate("g%d" % i, "AND", [a, b])
+        network.add_gate("t%d" % i, "AND", ["p%d" % i, carry])
+        network.add_gate("c%d" % i, "OR", ["g%d" % i, "t%d" % i])
+        carry = "c%d" % i
+        network.add_output("sum%d" % i)
+    network.add_gate("cout", "BUF", [carry])
+    network.add_output("cout")
+    network.validate()
+    return network
+
+
+def _vector_add(
+    network: LogicNetwork, xs: List[str], ys: List[str], prefix: str
+) -> List[str]:
+    """Gate-level unsigned add of two LSB-first signal vectors.
+
+    Returns the LSB-first result vector (one bit longer than the wider
+    operand when a final carry exists).  Unequal lengths are fine; no
+    constant-zero nets are ever created.
+    """
+    if len(xs) < len(ys):
+        xs, ys = ys, xs
+    sums: List[str] = []
+    carry = None
+    for j, x in enumerate(xs):
+        operands = [x]
+        if j < len(ys):
+            operands.append(ys[j])
+        if carry is not None:
+            operands.append(carry)
+        if len(operands) == 1:
+            sums.append(x)
+            continue
+        if len(operands) == 2:
+            total = "%s_s%d" % (prefix, j)
+            network.add_gate(total, "XOR", operands)
+            carry_out = "%s_c%d" % (prefix, j)
+            network.add_gate(carry_out, "AND", operands)
+        else:
+            a, b, cin = operands
+            propagate = "%s_p%d" % (prefix, j)
+            network.add_gate(propagate, "XOR", [a, b])
+            total = "%s_s%d" % (prefix, j)
+            network.add_gate(total, "XOR", [propagate, cin])
+            generate = "%s_g%d" % (prefix, j)
+            network.add_gate(generate, "AND", [a, b])
+            transmit = "%s_t%d" % (prefix, j)
+            network.add_gate(transmit, "AND", [propagate, cin])
+            carry_out = "%s_c%d" % (prefix, j)
+            network.add_gate(carry_out, "OR", [generate, transmit])
+        sums.append(total)
+        carry = carry_out
+    if carry is not None:
+        sums.append(carry)
+    return sums
+
+
+def array_multiplier(width: int = 16) -> LogicNetwork:
+    """``width x width`` unsigned shift-add array multiplier.
+
+    AND partial products plus one ripple-carry row adder per operand
+    bit — for ``width=16`` about 1.4k gates, the corpus' scalability
+    workload.
+    """
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    network = LogicNetwork(name="mult%d" % width)
+    for i in range(width):
+        network.add_input("a%d" % i)
+    for i in range(width):
+        network.add_input("b%d" % i)
+
+    def partial(row: int, column: int) -> str:
+        name = "pp_%d_%d" % (row, column)
+        network.add_gate(name, "AND", ["a%d" % column, "b%d" % row])
+        return name
+
+    running = [partial(0, j) for j in range(width)]
+    product = [running[0]]
+    for row in range(1, width):
+        addend = [partial(row, j) for j in range(width)]
+        running = _vector_add(network, addend, running[1:], "r%d" % row)
+        product.append(running[0])
+    product.extend(running[1:])
+    for bit, signal in enumerate(product):
+        network.add_gate("prod%d" % bit, "BUF", [signal])
+        network.add_output("prod%d" % bit)
+    network.validate()
+    return network
+
+
+def shift_register(width: int = 16) -> LogicNetwork:
+    """Serial shift register with an input XOR tap off the last stage.
+
+    The DFF chain gives the corpus a sequential entry: ring-wrapping
+    places a token seam on every register stage.
+    """
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    network = LogicNetwork(name="sreg%d" % width)
+    network.add_input("si")
+    network.add_gate("feed", "XOR", ["si", "d%d" % (width - 1)])
+    network.add_gate("d0", "DFF", ["feed"])
+    for i in range(1, width):
+        network.add_gate("d%d" % i, "DFF", ["d%d" % (i - 1)])
+    network.add_gate("so", "BUF", ["d%d" % (width - 1)])
+    network.add_output("so")
+    network.validate()
+    return network
+
+
+#: name -> zero-argument builder for every generated corpus entry.
+GENERATORS = {
+    "rca8": lambda: ripple_carry_adder(8),
+    "sreg16": lambda: shift_register(16),
+    "mult16": lambda: array_multiplier(16),
+}
+
+
+def regenerate(directory: str = _DATA_DIR) -> Dict[str, str]:
+    """Re-emit every generated corpus file; returns name -> path."""
+    written = {}
+    for name, build in sorted(GENERATORS.items()):
+        path = os.path.join(directory, name + ".bench")
+        dump_bench(build(), path)
+        written[name] = path
+    return written

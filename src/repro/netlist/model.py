@@ -1,0 +1,246 @@
+"""Open logic-network model — the front-end IR for real circuits.
+
+The circuit substrate's :class:`repro.circuits.netlist.Netlist` is
+*closed*: every signal is driven, behaviour is autonomous, and delays
+are part of the description.  Benchmark circuits (ISCAS-85/89 ``.bench``,
+structural Verilog) are the opposite: an *open* DAG with primary
+inputs, primary outputs, no delays and — for the sequential sets —
+D-flops.  :class:`LogicNetwork` models exactly that middle ground:
+
+* named primary inputs and outputs;
+* gates drawn from the substrate's cell library
+  (:data:`repro.circuits.gates.GATE_TYPES`), each driving one signal;
+* ``DFF`` cells (single D input) marking the sequential seams;
+* validation: single driver per signal, declared inputs, known cells,
+  and no combinational cycles (cycles must pass through a DFF).
+
+A network carries no timing and no initial state; the ring-wrap
+transform (:mod:`repro.netlist.transforms`) turns it into a closed,
+delay-annotated self-timed :class:`~repro.circuits.netlist.Netlist`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.errors import NetlistError
+from ..circuits.gates import check_arity
+
+#: Cells a combinational core may use.  ``DFF`` is allowed in the
+#: network but tracked separately (it breaks combinational cycles).
+COMBINATIONAL_CELLS = frozenset(
+    ("BUF", "NOT", "AND", "OR", "NAND", "NOR", "XOR", "XNOR")
+)
+SEQUENTIAL_CELLS = frozenset(("DFF",))
+SUPPORTED_CELLS = COMBINATIONAL_CELLS | SEQUENTIAL_CELLS
+
+
+@dataclass(frozen=True)
+class LogicGate:
+    """One cell instance: ``output = gate_type(inputs)`` (no delays)."""
+
+    output: str
+    gate_type: str
+    inputs: Tuple[str, ...]
+
+    @property
+    def is_dff(self) -> bool:
+        return self.gate_type == "DFF"
+
+
+class LogicNetwork:
+    """Builder and container for an open gate-level network."""
+
+    def __init__(self, name: str = "network"):
+        self.name = name
+        self._inputs: List[str] = []
+        self._outputs: List[str] = []
+        self._gates: Dict[str, LogicGate] = {}
+        self._driven: set = set()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_input(self, signal: str) -> None:
+        if signal in self._driven:
+            raise NetlistError("signal %r is already driven" % signal)
+        self._driven.add(signal)
+        self._inputs.append(signal)
+
+    def add_output(self, signal: str) -> None:
+        if signal in self._outputs:
+            raise NetlistError("output %r declared twice" % signal)
+        self._outputs.append(signal)
+
+    def add_gate(
+        self, output: str, gate_type: str, inputs: Sequence[str]
+    ) -> LogicGate:
+        gate_type = gate_type.upper()
+        if gate_type not in SUPPORTED_CELLS:
+            raise NetlistError(
+                "unsupported cell %r (supported: %s)"
+                % (gate_type, ", ".join(sorted(SUPPORTED_CELLS)))
+            )
+        if output in self._driven:
+            raise NetlistError("signal %r is already driven" % output)
+        check_arity(gate_type, len(inputs))
+        gate = LogicGate(output, gate_type, tuple(inputs))
+        self._driven.add(output)
+        self._gates[output] = gate
+        return gate
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def inputs(self) -> List[str]:
+        return list(self._inputs)
+
+    @property
+    def outputs(self) -> List[str]:
+        return list(self._outputs)
+
+    @property
+    def gates(self) -> List[LogicGate]:
+        return list(self._gates.values())
+
+    @property
+    def signals(self) -> List[str]:
+        """All driven signals: inputs first, then gate outputs."""
+        return list(self._inputs) + list(self._gates)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self._gates)
+
+    def gate(self, output: str) -> LogicGate:
+        try:
+            return self._gates[output]
+        except KeyError:
+            raise NetlistError("no gate drives signal %r" % output) from None
+
+    def has_gate(self, output: str) -> bool:
+        return output in self._gates
+
+    def is_input(self, signal: str) -> bool:
+        return signal in set(self._inputs)
+
+    def is_combinational(self) -> bool:
+        return not any(gate.is_dff for gate in self._gates.values())
+
+    def dffs(self) -> List[LogicGate]:
+        return [gate for gate in self._gates.values() if gate.is_dff]
+
+    def fanout_map(self) -> Dict[str, List[LogicGate]]:
+        """``signal -> gates reading it`` over the whole network."""
+        fanout: Dict[str, List[LogicGate]] = {s: [] for s in self.signals}
+        for gate in self._gates.values():
+            for name in gate.inputs:
+                fanout.setdefault(name, []).append(gate)
+        return fanout
+
+    def cell_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for gate in self._gates.values():
+            counts[gate.gate_type] = counts.get(gate.gate_type, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Single driver, declared reads, and an acyclic comb core.
+
+        DFF outputs act as sources and DFF inputs as sinks of the
+        combinational dependency graph, so feedback loops are legal
+        exactly when every one passes through a flop.
+        """
+        driven = self._driven
+        for gate in self._gates.values():
+            unknown = [s for s in gate.inputs if s not in driven]
+            if unknown:
+                raise NetlistError(
+                    "gate %r reads undriven signals %s"
+                    % (gate.output, sorted(unknown))
+                )
+        for signal in self._outputs:
+            if signal not in driven:
+                raise NetlistError("output %r is not driven" % signal)
+        self.levels()  # raises on a combinational cycle
+
+    def levels(self) -> Dict[str, int]:
+        """Topological level of every signal (longest path from a source).
+
+        Sources are primary inputs and DFF outputs (level 0); DFF
+        *inputs* do not propagate levels, which is what makes sequential
+        feedback legal.  Raises :class:`NetlistError` on a combinational
+        cycle.
+        """
+        level: Dict[str, int] = {s: 0 for s in self._inputs}
+        for gate in self._gates.values():
+            if gate.is_dff:
+                level[gate.output] = 0
+        indegree: Dict[str, int] = {}
+        readers: Dict[str, List[LogicGate]] = {}
+        comb = [g for g in self._gates.values() if not g.is_dff]
+        for gate in comb:
+            count = 0
+            for name in gate.inputs:
+                if name in level:  # source: contributes level, no edge
+                    continue
+                count += 1
+                readers.setdefault(name, []).append(gate)
+            indegree[gate.output] = count
+        ready = [g for g in comb if indegree[g.output] == 0]
+        seen = 0
+        while ready:
+            gate = ready.pop()
+            seen += 1
+            level[gate.output] = 1 + max(
+                (level[name] for name in gate.inputs), default=0
+            )
+            for reader in readers.get(gate.output, ()):
+                indegree[reader.output] -= 1
+                if indegree[reader.output] == 0:
+                    ready.append(reader)
+        if seen != len(comb):
+            stuck = sorted(
+                output for output, count in indegree.items() if count > 0
+            )
+            raise NetlistError(
+                "combinational cycle through %s (cycles must pass "
+                "through a DFF)" % stuck[:5]
+            )
+        return level
+
+    def depth(self) -> int:
+        """Longest combinational path, in gate levels."""
+        levels = self.levels()
+        return max(levels.values(), default=0)
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "inputs": len(self._inputs),
+            "outputs": len(self._outputs),
+            "gates": len(self._gates),
+            "dffs": len(self.dffs()),
+            "cells": self.cell_counts(),
+            "depth": self.depth(),
+        }
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, LogicNetwork):
+            return NotImplemented
+        return (
+            self._inputs == other._inputs
+            and self._outputs == other._outputs
+            and self._gates == other._gates
+        )
+
+    def __repr__(self) -> str:
+        return "LogicNetwork(name=%r, inputs=%d, outputs=%d, gates=%d)" % (
+            self.name, len(self._inputs), len(self._outputs), len(self._gates)
+        )

@@ -1,0 +1,370 @@
+"""Netlist transforms: buffering, fanout splitting and ring-wrap.
+
+The first two are classic DAG hygiene passes over the open
+:class:`~repro.netlist.model.LogicNetwork`.  The third is the bridge
+into the paper's pipeline: :func:`ring_wrap` closes a benchmark DAG
+into an **autonomous self-timed circuit** — a generalised Muller ring
+— that the extractor can fold into a Timed Signal Graph.
+
+Ring-wrap construction
+----------------------
+The transform keeps only the network's *event structure*: every DAG
+node (primary input, gate or flop) becomes one pipeline stage
+
+* ``v = C(preds(v)..., v_k)`` — a Muller C-element joining the
+  stage's producers with its acknowledge, and
+* ``v_k = NC(succs(v)...)`` — an inverted-C completion detector over
+  the stage's consumers (a plain inverter for a single consumer),
+
+exactly the cell pattern of the paper's Figure-5 Muller ring; a chain
+DAG reduces to ``muller_ring_netlist``.  A completion stage ``w``
+(the "omega" node) joins the primary outputs and any dangling gates,
+and feeds every primary input — closing the request/acknowledge loop
+so the wrapped circuit oscillates forever.  Data tokens sit at ``w``
+and at every DFF stage (value 1); all other stages start at 0.  Hole
+stages (extra buffers) are inserted wherever two token stages would
+be adjacent, and on every DFF fan-in edge, so each ring cycle keeps
+at least one token *and* one bubble — the liveness condition of a
+Muller ring.
+
+Gate-level logic (AND vs XOR vs NAND) does not influence the wrapped
+behaviour: the wrap is a timing skeleton in which each gate fires
+when all its producers have, which is the standard speed-independent
+reading of a bounded-delay datapath.  What survives of the original
+circuit is its *shape* — depth, fanout, reconvergence — which is what
+drives cycle time.
+
+Delay annotation is per stage: fixed (a number), sampled (an
+``(lo, hi)`` interval drawn per stage from a seeded RNG) or explicit
+(a mapping / callable from original signal names).  Margin intervals
+for P-time analysis stay downstream: wrap with the nominal delay and
+widen with ``repro ptime --margin`` on the extracted graph.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from fractions import Fraction
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.errors import NetlistError
+from ..circuits.netlist import Netlist
+from .model import LogicGate, LogicNetwork
+
+_PLAIN_NAME = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+# ----------------------------------------------------------------------
+# DAG hygiene passes
+# ----------------------------------------------------------------------
+def _rebuild(
+    network: LogicNetwork,
+    gates: Sequence[LogicGate],
+    name: Optional[str] = None,
+) -> LogicNetwork:
+    result = LogicNetwork(name=name if name is not None else network.name)
+    for signal in network.inputs:
+        result.add_input(signal)
+    for gate in gates:
+        result.add_gate(gate.output, gate.gate_type, gate.inputs)
+    for signal in network.outputs:
+        result.add_output(signal)
+    result.validate()
+    return result
+
+
+def _fresh(base: str, used: set) -> str:
+    name = base
+    counter = 2
+    while name in used:
+        name = "%s_%d" % (base, counter)
+        counter += 1
+    used.add(name)
+    return name
+
+
+def insert_buffers(
+    network: LogicNetwork, signals: Sequence[str], suffix: str = "_buf"
+) -> LogicNetwork:
+    """Insert a ``BUF`` stage after each of ``signals``.
+
+    Every gate reading a listed signal is rewired to read the new
+    buffer instead (primary-output taps keep the original net), adding
+    one level of depth — the classic pipelining/padding pass.
+    """
+    used = set(network.signals)
+    renamed: Dict[str, str] = {}
+    buffers: List[LogicGate] = []
+    for signal in signals:
+        if signal not in used:
+            raise NetlistError("cannot buffer unknown signal %r" % signal)
+        if signal in renamed:
+            raise NetlistError("signal %r listed twice" % signal)
+        buffered = _fresh(signal + suffix, used)
+        renamed[signal] = buffered
+        buffers.append(LogicGate(buffered, "BUF", (signal,)))
+    gates = [
+        LogicGate(
+            gate.output,
+            gate.gate_type,
+            tuple(renamed.get(name, name) for name in gate.inputs),
+        )
+        for gate in network.gates
+    ]
+    return _rebuild(network, gates + buffers)
+
+
+def split_fanout(network: LogicNetwork, max_fanout: int) -> LogicNetwork:
+    """Bound every signal's fanout with a balanced ``BUF`` tree.
+
+    Signals read by more than ``max_fanout`` gates get repeater
+    buffers, recursively, until no net (original or inserted) drives
+    more than ``max_fanout`` readers.  Primary-output taps do not
+    count toward fanout.
+    """
+    if max_fanout < 2:
+        raise NetlistError("max_fanout must be at least 2")
+    used = set(network.signals)
+    gates: List[LogicGate] = list(network.gates)
+    # readers[signal] -> list of (gate index, pin index)
+    while True:
+        readers: Dict[str, List[Tuple[int, int]]] = {}
+        for position, gate in enumerate(gates):
+            for pin, name in enumerate(gate.inputs):
+                readers.setdefault(name, []).append((position, pin))
+        overloaded = [
+            signal
+            for signal in network.inputs + [g.output for g in gates]
+            if len(readers.get(signal, ())) > max_fanout
+        ]
+        if not overloaded:
+            break
+        for signal in overloaded:
+            sites = readers[signal]
+            groups = [
+                sites[start : start + max_fanout]
+                for start in range(0, len(sites), max_fanout)
+            ]
+            for group in groups:
+                repeater = _fresh(signal + "_f", used)
+                gates.append(LogicGate(repeater, "BUF", (signal,)))
+                for position, pin in group:
+                    gate = gates[position]
+                    pins = list(gate.inputs)
+                    pins[pin] = repeater
+                    gates[position] = LogicGate(
+                        gate.output, gate.gate_type, tuple(pins)
+                    )
+    return _rebuild(network, gates)
+
+
+# ----------------------------------------------------------------------
+# Delay annotation
+# ----------------------------------------------------------------------
+def make_delay_fn(delay, seed: int = 0) -> Callable[[str], object]:
+    """Normalise a delay spec into ``name -> delay``.
+
+    * a number — the same fixed delay for every stage;
+    * an ``(lo, hi)`` pair — per-stage delay sampled uniformly from
+      the interval by a ``random.Random(seed)`` (reproducible);
+    * a mapping — explicit per-signal delays, missing names get 1;
+    * a callable — used as-is.
+    """
+    if callable(delay):
+        return delay
+    if isinstance(delay, Mapping):
+        table = dict(delay)
+        return lambda name: table.get(name, 1)
+    if isinstance(delay, tuple):
+        if len(delay) != 2:
+            raise NetlistError("interval delay spec needs (lo, hi)")
+        lo, hi = delay
+        if not (0 <= lo <= hi):
+            raise NetlistError("bad delay interval (%r, %r)" % (lo, hi))
+        rng = random.Random(seed)
+        cache: Dict[str, object] = {}
+
+        def sampled(name: str):
+            if name not in cache:
+                cache[name] = lo + (hi - lo) * Fraction(
+                    rng.randrange(0, 1001), 1000
+                )
+            return cache[name]
+
+        return sampled
+    if delay < 0:
+        raise NetlistError("negative stage delay %r" % (delay,))
+    return lambda name: delay
+
+
+# ----------------------------------------------------------------------
+# Ring wrap
+# ----------------------------------------------------------------------
+class _Stage:
+    """One pipeline stage of the wrapped circuit."""
+
+    __slots__ = ("key", "signal", "token", "delay", "preds", "succs")
+
+    def __init__(self, key: str, signal: str, token: bool, delay):
+        self.key = key
+        self.signal = signal       # sanitised C-element output name
+        self.token = token         # holds a data token initially
+        self.delay = delay         # C-element pin delay
+        self.preds: List[str] = []
+        self.succs: List[str] = []
+
+
+_OMEGA = "\x00omega"  # stage-key sentinel; never a user signal name
+
+
+def _sanitize(name: str, used: set) -> str:
+    if not _PLAIN_NAME.fullmatch(name):
+        cleaned = re.sub(r"[^A-Za-z0-9_]", "_", name)
+        name = "n" + cleaned if not _PLAIN_NAME.fullmatch(cleaned) else cleaned
+        if not _PLAIN_NAME.fullmatch(name):
+            name = "n_" + re.sub(r"[^A-Za-z0-9_]", "", name)
+    return _fresh(name, used)
+
+
+def ring_wrap(
+    network: LogicNetwork,
+    delay=1,
+    ack_delay=1,
+    infra_delay=1,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> Netlist:
+    """Close an open DAG into an autonomous self-timed ring circuit.
+
+    Returns a closed :class:`~repro.circuits.netlist.Netlist` of
+    ``2 * (stages)`` gates — one C-element plus one completion gate
+    (NC, or NOT for single-consumer stages) per stage — ready for
+    extraction.  ``delay`` follows :func:`make_delay_fn` and lands on
+    the C-element pins of original stages; ``ack_delay`` on the
+    completion gates; ``infra_delay`` on the completion stage ``w``
+    and inserted hole stages.
+
+    Signal names are sanitised (ISCAS numeric names become ``n22``
+    style) and uniquified; acknowledges carry a ``_k`` suffix, holes
+    ``_h``, and the completion stage is ``w``.
+    """
+    network.validate()
+    if not network.inputs:
+        raise NetlistError(
+            "ring_wrap needs at least one primary input to anchor the "
+            "completion loop"
+        )
+    delay_fn = make_delay_fn(delay, seed=seed)
+
+    used: set = set()
+    stages: Dict[str, _Stage] = {}
+    order: List[str] = []
+
+    def add_stage(key: str, base_name: str, token: bool, stage_delay) -> _Stage:
+        stage = _Stage(key, _sanitize(base_name, used), token, stage_delay)
+        stages[key] = stage
+        order.append(key)
+        return stage
+
+    for signal in network.inputs:
+        add_stage(signal, signal, False, delay_fn(signal))
+    for gate in network.gates:
+        add_stage(gate.output, gate.output, gate.is_dff, delay_fn(gate.output))
+    omega = add_stage(_OMEGA, "w", True, infra_delay)
+
+    def connect(source: str, target: str) -> None:
+        stages[source].succs.append(target)
+        stages[target].preds.append(source)
+
+    for gate in network.gates:
+        # A repeated pin (g = AND(a, a)) adds no event constraint:
+        # connect each producer once.
+        for source in dict.fromkeys(gate.inputs):
+            connect(source, gate.output)
+    # Primary outputs and dangling gates feed the completion stage;
+    # the completion stage feeds every primary input.
+    joined = set()
+    for signal in network.outputs:
+        if signal not in joined:
+            joined.add(signal)
+            connect(signal, _OMEGA)
+    for key in order:
+        if key != _OMEGA and not stages[key].succs:
+            connect(key, _OMEGA)
+    for signal in network.inputs:
+        connect(_OMEGA, signal)
+
+    # Hole insertion: a ring cycle needs a bubble next to each token.
+    # (a) every DFF fan-in edge, (b) token -> token edges, (c) the
+    # degenerate two-stage loop w -> v -> w (an input that is also an
+    # output).
+    def needs_hole(source: _Stage, target: _Stage) -> bool:
+        if target.token and target.key != _OMEGA:
+            return True                      # (a) DFF fan-in
+        if source.token and target.token:
+            return True                      # (b) adjacent tokens
+        return (
+            target.key == _OMEGA and source.key in omega.succs
+        )                                    # (c) w -> v -> w
+
+    for key in list(order):
+        stage = stages[key]
+        for position, succ_key in enumerate(list(stage.succs)):
+            succ = stages[succ_key]
+            if not needs_hole(stage, succ):
+                continue
+            hole = add_stage(
+                "\x00hole:%s:%s" % (key, succ_key),
+                succ.signal + "_h" if succ.key != _OMEGA
+                else stage.signal + "_h",
+                False,
+                infra_delay,
+            )
+            stage.succs[position] = hole.key
+            hole.preds.append(key)
+            hole.succs.append(succ_key)
+            succ.preds[succ.preds.index(key)] = hole.key
+
+    # Emit the closed netlist: per stage one C-element and one
+    # completion gate.  Initial values: tokens 1, others 0; an
+    # acknowledge starts at 1 exactly when all consumers are at 0.
+    wrapped = Netlist(
+        name=name if name is not None else network.name + "-ring"
+    )
+    ack_name: Dict[str, str] = {
+        key: _fresh(stages[key].signal + "_k", used) for key in order
+    }
+    for key in order:
+        stage = stages[key]
+        consumers = [stages[succ].signal for succ in stage.succs]
+        if not consumers:
+            raise NetlistError(
+                "stage %r has no consumers after wrapping" % stage.signal
+            )
+        ack_initial = int(all(not stages[succ].token for succ in stage.succs))
+        wrapped.add_gate(
+            ack_name[key],
+            "NOT" if len(consumers) == 1 else "NC",
+            consumers,
+            delays={signal: ack_delay for signal in consumers},
+            initial=ack_initial,
+        )
+    for key in order:
+        stage = stages[key]
+        producers = [stages[pred].signal for pred in stage.preds]
+        pins = producers + [ack_name[key]]
+        if len(set(pins)) != len(pins):
+            raise NetlistError(
+                "stage %r reads a producer twice (unsupported multi-edge)"
+                % stage.signal
+            )
+        wrapped.add_gate(
+            stage.signal,
+            "C" if len(pins) > 1 else "BUF",
+            pins,
+            delays={pin: stage.delay for pin in pins},
+            initial=int(stage.token),
+        )
+    wrapped.validate()
+    return wrapped

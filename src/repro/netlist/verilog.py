@@ -1,0 +1,250 @@
+"""Structural-Verilog subset reader and writer.
+
+The subset is what gate-level benchmark translations actually use:
+
+* one ``module`` with a port list, ``input``/``output``/``wire``
+  declarations (scalar nets only, comma-separated lists allowed);
+* gate-primitive instantiations — ``and``, ``or``, ``nand``, ``nor``,
+  ``xor``, ``xnor``, ``not``, ``buf`` and a ``dff`` cell — with the
+  *first* port the output (Verilog primitive convention), an optional
+  instance name, and one instance per statement;
+* ``//`` and ``/* ... */`` comments; escaped identifiers
+  (``\\22 `` — a backslash, the name, a terminating space) so the
+  numeric signal names of the ISCAS sets survive a ``.bench`` ->
+  Verilog -> ``.bench`` round-trip.
+
+No expressions, no ``assign``, no vectors, no parameters — anything
+else is a :class:`~repro.core.errors.FormatError` with a line number.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
+
+from ..core.errors import FormatError
+from .model import LogicNetwork
+
+#: primitive name (lowercase) -> library cell.
+_PRIMITIVES = {
+    "and": "AND", "or": "OR", "nand": "NAND", "nor": "NOR",
+    "xor": "XOR", "xnor": "XNOR", "not": "NOT", "buf": "BUF",
+    "dff": "DFF",
+}
+_CELL_TO_PRIMITIVE = {cell: prim for prim, cell in _PRIMITIVES.items()}
+
+_KEYWORDS = frozenset(("module", "endmodule", "input", "output", "wire"))
+
+_SIMPLE_ID = re.compile(r"[A-Za-z_][A-Za-z0-9_$]*")
+
+_TOKEN = re.compile(
+    r"\\(?P<escaped>\S+)\s"      # escaped identifier: \name<ws>
+    r"|(?P<id>[A-Za-z_$][A-Za-z0-9_$]*)"
+    r"|(?P<punct>[();,])"
+    r"|(?P<bad>\S)"
+)
+
+_LINE_COMMENT = re.compile(r"//[^\n]*")
+_BLOCK_COMMENT = re.compile(r"/\*.*?\*/", re.DOTALL)
+
+
+class _Token(NamedTuple):
+    kind: str   # "id" (escaped or simple) or "punct"
+    text: str
+    line: int
+    escaped: bool
+
+
+def _tokenize(text: str) -> List[_Token]:
+    # Blank comments out (preserving newlines) so line numbers survive.
+    def blank(match: "re.Match") -> str:
+        return re.sub(r"[^\n]", " ", match.group(0))
+
+    text = _BLOCK_COMMENT.sub(blank, text)
+    text = _LINE_COMMENT.sub(blank, text)
+    tokens: List[_Token] = []
+    line = 1
+    position = 0
+    for match in _TOKEN.finditer(text):
+        line += text.count("\n", position, match.start())
+        position = match.start()
+        if match.lastgroup == "bad":
+            raise FormatError(
+                "line %d: unexpected character %r" % (line, match.group(0))
+            )
+        if match.lastgroup == "escaped":
+            tokens.append(_Token("id", match.group("escaped"), line, True))
+        elif match.lastgroup == "id":
+            tokens.append(_Token("id", match.group("id"), line, False))
+        else:
+            tokens.append(_Token("punct", match.group("punct"), line, False))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    def peek(self) -> Optional[_Token]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self, expect: Optional[str] = None) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise FormatError("unexpected end of file")
+        self.index += 1
+        if expect is not None and token.text != expect:
+            raise FormatError(
+                "line %d: expected %r, got %r"
+                % (token.line, expect, token.text)
+            )
+        return token
+
+    def identifier(self) -> _Token:
+        token = self.next()
+        if token.kind != "id":
+            raise FormatError(
+                "line %d: expected an identifier, got %r"
+                % (token.line, token.text)
+            )
+        return token
+
+    def name_list(self) -> List[str]:
+        """``a, b, c`` up to (but not consuming) ``;`` or ``)``."""
+        names = [self.identifier().text]
+        while self.peek() is not None and self.peek().text == ",":
+            self.next()
+            names.append(self.identifier().text)
+        return names
+
+
+def parse_verilog(text: str, name: Optional[str] = None) -> LogicNetwork:
+    """Parse structural-Verilog text into a :class:`LogicNetwork`."""
+    parser = _Parser(_tokenize(text))
+    parser.next(expect="module")
+    module_name = parser.identifier().text
+    network = LogicNetwork(name=name if name is not None else module_name)
+    token = parser.next()
+    if token.text == "(":
+        if parser.peek() is not None and parser.peek().text != ")":
+            parser.name_list()  # port order is re-derived from the decls
+        parser.next(expect=")")
+        token = parser.next()
+    if token.text != ";":
+        raise FormatError(
+            "line %d: expected ';' after module header, got %r"
+            % (token.line, token.text)
+        )
+
+    outputs: List[str] = []
+    while True:
+        token = parser.next()
+        if token.kind != "id":
+            raise FormatError(
+                "line %d: expected a statement, got %r"
+                % (token.line, token.text)
+            )
+        keyword = token.text
+        if token.escaped:
+            keyword = None  # escaped ids never form keywords/primitives
+        if keyword == "endmodule":
+            break
+        if keyword in ("input", "output", "wire"):
+            names = parser.name_list()
+            parser.next(expect=";")
+            if keyword == "input":
+                for signal in names:
+                    try:
+                        network.add_input(signal)
+                    except Exception as error:
+                        raise FormatError(
+                            "line %d: %s" % (token.line, error)
+                        ) from None
+            elif keyword == "output":
+                outputs.extend(names)
+            continue  # wire decls carry no information we keep
+        primitive = None if keyword is None else _PRIMITIVES.get(
+            keyword.lower()
+        )
+        if primitive is None:
+            raise FormatError(
+                "line %d: unsupported statement or primitive %r"
+                % (token.line, token.text)
+            )
+        after = parser.peek()
+        if after is not None and after.kind == "id":
+            parser.next()  # optional instance name, discarded
+        parser.next(expect="(")
+        ports = parser.name_list()
+        parser.next(expect=")")
+        parser.next(expect=";")
+        if len(ports) < 2:
+            raise FormatError(
+                "line %d: primitive %r needs an output and at least one "
+                "input" % (token.line, token.text)
+            )
+        try:
+            network.add_gate(ports[0], primitive, ports[1:])
+        except Exception as error:
+            raise FormatError("line %d: %s" % (token.line, error)) from None
+    for signal in outputs:
+        network.add_output(signal)
+    try:
+        network.validate()
+    except Exception as error:
+        raise FormatError("invalid verilog netlist: %s" % error) from None
+    return network
+
+
+def _emit_id(name: str) -> str:
+    """Escape identifiers the simple-name grammar cannot carry."""
+    if _SIMPLE_ID.fullmatch(name) and name.lower() not in _KEYWORDS \
+            and name.lower() not in _PRIMITIVES:
+        return name
+    return "\\" + name + " "
+
+
+def _module_id(name: str) -> str:
+    if _SIMPLE_ID.fullmatch(name) and name.lower() not in _KEYWORDS:
+        return name
+    cleaned = re.sub(r"[^A-Za-z0-9_]", "_", name)
+    if not cleaned or not re.match(r"[A-Za-z_]", cleaned):
+        cleaned = "m_" + cleaned
+    return cleaned
+
+
+def write_verilog(network: LogicNetwork) -> str:
+    """Render a :class:`LogicNetwork` as structural Verilog."""
+    ports = [_emit_id(s) for s in network.inputs + network.outputs]
+    lines = ["// %s" % network.name]
+    lines.append("module %s (%s);" % (_module_id(network.name),
+                                      ", ".join(ports)))
+    for signal in network.inputs:
+        lines.append("  input %s;" % _emit_id(signal))
+    for signal in network.outputs:
+        lines.append("  output %s;" % _emit_id(signal))
+    declared = set(network.inputs) | set(network.outputs)
+    wires = [g.output for g in network.gates if g.output not in declared]
+    for signal in wires:
+        lines.append("  wire %s;" % _emit_id(signal))
+    for position, gate in enumerate(network.gates):
+        primitive = _CELL_TO_PRIMITIVE[gate.gate_type]
+        pins = ", ".join(
+            _emit_id(s) for s in (gate.output,) + gate.inputs
+        )
+        lines.append("  %s g%d (%s);" % (primitive, position, pins))
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def load_verilog(path: str, name: Optional[str] = None) -> LogicNetwork:
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_verilog(handle.read(), name=name)
+
+
+def dump_verilog(network: LogicNetwork, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_verilog(network))

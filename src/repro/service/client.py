@@ -69,7 +69,7 @@ from ..io.json_io import decode_number, encode_number, graph_to_dict, ptime_grap
 from ..obs import STATE as _obs
 from ..obs.tracing import tracer as _tracer
 from ..ptime.model import PTimeSignalGraph
-from .hashing import topology_hash
+from .hashing import netlist_source_hash, topology_hash
 from .resilience import CircuitBreaker, RetryPolicy
 
 
@@ -670,6 +670,60 @@ class ServiceClient:
             }
         for entry in result.get("induced_delays", []) or []:
             entry["delay"] = decode_number(entry["delay"])
+        return result
+
+    def netlist(
+        self,
+        source: str,
+        fmt: str = "auto",
+        name: str = "netlist",
+        delay: Any = 1,
+        ack_delay: Any = 1,
+        seed: int = 0,
+        max_fanout: Optional[int] = None,
+        extraction: str = "auto",
+        method: str = "auto",
+        timeout_ms: Optional[float] = None,
+        priority: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Run the real-circuit pipeline on circuit text server-side.
+
+        ``source`` is ``.bench`` / structural Verilog / logic-network
+        JSON text; ``delay``/``ack_delay`` are a number or a
+        ``(lo, hi)`` interval sampled per stage with ``seed``.  The
+        response mirrors ``repro netlist``: circuit stats, wrapped and
+        graph sizes, the chosen extraction path and method, and the
+        exact ``cycle_time`` (decoded).  Results are cached server-side
+        by source hash and parameters.
+        """
+
+        def wire(value):
+            if isinstance(value, (tuple, list)):
+                low, high = value
+                return [encode_number(low), encode_number(high)]
+            return encode_number(value)
+
+        payload: Dict[str, Any] = {
+            "source": source,
+            "format": fmt,
+            "name": name,
+            "delay": wire(delay),
+            "ack_delay": wire(ack_delay),
+            "seed": seed,
+            "extraction": extraction,
+            "method": method,
+        }
+        if max_fanout is not None:
+            payload["max_fanout"] = max_fanout
+        if timeout_ms is not None:
+            payload["timeout_ms"] = timeout_ms
+        if priority is not None:
+            payload["priority"] = priority
+        result = self._request(
+            "POST", "/netlist", payload,
+            extra_headers={"X-Topology-Hash": netlist_source_hash(source)},
+        )
+        result["cycle_time"] = decode_number(result["cycle_time"])
         return result
 
     # ------------------------------------------------------------------

@@ -199,3 +199,30 @@ def analysis_key(graph: TimedSignalGraph, kind: str, **params) -> str:
     for name in sorted(params):
         lines.append("%s=%r" % (name, params[name]))
     return _digest(lines)
+
+
+# ----------------------------------------------------------------------
+# Netlist front-end sources
+# ----------------------------------------------------------------------
+def netlist_source_hash(source: str) -> str:
+    """Content address of a raw circuit source (.bench/Verilog/JSON).
+
+    Hashing the text verbatim is deliberate: the parse itself is part
+    of what a cached ``/netlist`` response certifies, so two sources
+    that would parse identically but differ textually get distinct
+    entries (cheap) rather than sharing one (needs a parse to prove).
+    """
+    return _digest(["netlist-source-v" + HASH_VERSION, source])
+
+
+def netlist_analysis_key(source: str, **params) -> str:
+    """Cache key for one finished ``/netlist`` pipeline run.
+
+    ``params`` are the transform/extract/analyze knobs (delay, ack
+    delay, fanout bound, seed, extraction mode, method) as JSON-ish
+    scalars, folded in sorted by name like :func:`analysis_key`.
+    """
+    lines = ["netlist-analysis-v" + HASH_VERSION, netlist_source_hash(source)]
+    for name in sorted(params):
+        lines.append("%s=%r" % (name, params[name]))
+    return _digest(lines)

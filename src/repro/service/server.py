@@ -7,6 +7,10 @@
 * ``POST /montecarlo`` — λ distribution under random delay variation;
 * ``POST /ptime`` — P-time consistency / λ-range / trajectory synthesis
   for interval-bound graphs (``kind: ptime-signal-graph`` documents);
+* ``POST /netlist`` — the real-circuit front end: parse a ``.bench``/
+  structural-Verilog/``logic-network`` source, ring-wrap it into an
+  autonomous self-timed circuit, extract the Timed Signal Graph
+  (structural path for large instances) and return its cycle time;
 * ``GET /stats`` — request counters, cache hit/miss/eviction counters,
   coalescer, admission-queue and fault-injection statistics;
 * ``GET /healthz`` — liveness probe;
@@ -117,7 +121,14 @@ from .cache import (
     result_cache,
     service_cache_stats,
 )
-from .hashing import analysis_key, bound_token, ptime_analysis_key
+from .hashing import (
+    analysis_key,
+    bound_token,
+    delay_token,
+    netlist_analysis_key,
+    netlist_source_hash,
+    ptime_analysis_key,
+)
 from .overload import AdaptiveLimiter, BrownoutController
 from .queue import RequestCoalescer
 from .resilience import (
@@ -777,6 +788,108 @@ class AnalysisService:
         self.results.put(key, response)
         return dict(response, cached=False)
 
+    @staticmethod
+    def _netlist_delay_field(payload: Dict[str, Any], name: str, default):
+        """A delay knob: tagged number, or ``[lo, hi]`` for sampling."""
+        value = payload.get(name, default)
+        if isinstance(value, list):
+            if len(value) != 2:
+                raise RequestError(
+                    "'%s' interval must be a [lo, hi] pair" % name
+                )
+            try:
+                return (decode_number(value[0]), decode_number(value[1]))
+            except SignalGraphError:
+                raise RequestError(
+                    "'%s' interval endpoints must be numbers" % name
+                )
+        if isinstance(value, bool):
+            raise RequestError("'%s' must be a number" % name)
+        try:
+            return decode_number(value)
+        except SignalGraphError:
+            raise RequestError(
+                "'%s' must be a number, a {'fraction': [n, d]} tag or a "
+                "[lo, hi] pair" % name
+            )
+
+    def handle_netlist(
+        self, payload: Dict[str, Any], deadline: Optional[Deadline] = None
+    ) -> Dict[str, Any]:
+        """The real-circuit pipeline: parse -> wrap -> extract -> analyze."""
+        from ..netlist.pipeline import (
+            EXTRACTION_MODES,
+            FORMATS,
+            analyze_source,
+        )
+
+        deadline = deadline or self.deadline_for(payload, None)
+        source = payload.get("source")
+        if not isinstance(source, str) or not source.strip():
+            raise RequestError("'source' must be non-empty circuit text")
+        fmt = payload.get("format", "auto")
+        if fmt not in FORMATS:
+            raise RequestError(
+                "unknown format %r (choose from %s)"
+                % (fmt, ", ".join(FORMATS))
+            )
+        name = payload.get("name", "netlist")
+        if not isinstance(name, str):
+            raise RequestError("'name' must be a string")
+        delay = self._netlist_delay_field(payload, "delay", 1)
+        ack_delay = self._netlist_delay_field(payload, "ack_delay", 1)
+        seed = self._int_field(payload, "seed", 0, -(2 ** 62), 2 ** 62)
+        max_fanout = payload.get("max_fanout")
+        if max_fanout is not None:
+            max_fanout = self._int_field(payload, "max_fanout", None, 2, 10 ** 6)
+        extraction = payload.get("extraction", "auto")
+        if extraction not in EXTRACTION_MODES:
+            raise RequestError(
+                "unknown extraction mode %r (choose from %s)"
+                % (extraction, ", ".join(EXTRACTION_MODES))
+            )
+        method = payload.get("method", "auto")
+
+        def token(value):
+            if isinstance(value, tuple):
+                return "%s..%s" % (delay_token(value[0]), delay_token(value[1]))
+            return delay_token(value)
+
+        key = netlist_analysis_key(
+            source,
+            fmt=fmt,
+            delay=token(delay),
+            ack_delay=token(ack_delay),
+            seed=seed,
+            max_fanout=max_fanout,
+            extraction=extraction,
+            method=method,
+        )
+        cached = self.results.get(key)
+        if cached is not None:
+            return dict(cached, cached=True)
+        deadline.check("pre-parse")
+        _, report = analyze_source(
+            source,
+            fmt=fmt,
+            name=name,
+            delay=delay,
+            ack_delay=ack_delay,
+            seed=seed,
+            max_fanout=max_fanout,
+            extraction=extraction,
+            method=method,
+        )
+        deadline.check("post-analyze")
+        response = dict(
+            report,
+            cycle_time=encode_number(report["cycle_time"]),
+            cycle_time_float=float(report["cycle_time"]),
+            source_hash=netlist_source_hash(source),
+        )
+        self.results.put(key, response)
+        return dict(response, cached=False)
+
     def handle_stats(self) -> Dict[str, Any]:
         # Every component snapshot re-acquires the shared RLock, so the
         # whole multi-component read happens at one instant: a scrape
@@ -840,8 +953,8 @@ class AnalysisService:
 #: this set is labelled "other" so scanned garbage paths cannot mint
 #: unbounded metric series.
 _KNOWN_ENDPOINTS = frozenset(
-    ("/analyze", "/montecarlo", "/ptime", "/stats", "/healthz", "/readyz",
-     "/metrics")
+    ("/analyze", "/montecarlo", "/ptime", "/netlist", "/stats", "/healthz",
+     "/readyz", "/metrics")
 )
 
 
@@ -1158,6 +1271,10 @@ class _Handler(BaseHTTPRequestHandler):
             self.service.counters.increment("ptime")
             with self._server_span(path):
                 self._dispatch_post(self.service.handle_ptime)
+        elif path == "/netlist":
+            self.service.counters.increment("netlist")
+            with self._server_span(path):
+                self._dispatch_post(self.service.handle_netlist)
         else:
             self._send_error_json(404, "NotFound", "no such endpoint: %s" % path)
 

@@ -1,0 +1,112 @@
+"""Ratio-form Howard policy iteration on the sparse repetitive core."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines import compute_cycle_time
+from repro.baselines.howard import max_cycle_ratio_howard
+from repro.core import compute_cycle_time as timing_cycle_time
+from repro.core.cycles import make_cycle
+from repro.core.errors import AcyclicGraphError
+from repro.core.signal_graph import TimedSignalGraph
+
+from tests.strategies import live_tsgs, token_rings
+
+
+def two_ring():
+    g = TimedSignalGraph(name="two-ring")
+    for event in ("a+", "a-", "b+", "b-"):
+        g.add_event(event)
+    g.add_arc("a+", "a-", 3)
+    g.add_arc("a-", "a+", 5, marked=True)
+    g.add_arc("b+", "b-", 1)
+    g.add_arc("b-", "b+", 1, marked=True)
+    g.add_arc("a+", "b+", 0)
+    g.add_arc("b+", "a+", 0, marked=True)
+    return g
+
+
+class TestMaxCycleRatio:
+    def test_picks_the_slower_ring(self):
+        value, events = max_cycle_ratio_howard(two_ring())
+        assert value == 8
+        cycle = make_cycle(two_ring(), events)
+        assert cycle.effective_length == 8
+
+    def test_acyclic_core_raises(self):
+        g = TimedSignalGraph(name="chain")
+        g.add_arc("a", "b", 1, marked=True)
+        with pytest.raises(AcyclicGraphError):
+            max_cycle_ratio_howard(g)
+
+    def test_agrees_with_timing_on_library(self, oscillator, stack):
+        for graph in (oscillator, stack):
+            value, _ = max_cycle_ratio_howard(graph)
+            assert value == timing_cycle_time(graph).cycle_time
+
+    def test_exact_fraction_result(self, muller_ring_graph):
+        value, _ = max_cycle_ratio_howard(muller_ring_graph)
+        assert value == Fraction(20, 3)
+        assert isinstance(value, Fraction)
+
+    @settings(max_examples=30, deadline=None)
+    @given(live_tsgs())
+    def test_matches_reduction_howard_on_random_graphs(self, graph):
+        via_ratio = compute_cycle_time(graph, "howard-ratio")
+        via_reduction = compute_cycle_time(graph, "howard")
+        assert via_ratio.cycle_time == via_reduction.cycle_time
+
+    @settings(max_examples=30, deadline=None)
+    @given(token_rings())
+    def test_token_rings_closed_form(self, ring):
+        graph, stages, tokens, forward, backward = ring
+        expected = timing_cycle_time(graph).cycle_time
+        value, _ = max_cycle_ratio_howard(graph)
+        assert value == expected
+
+    def test_fractional_random_delays_stay_exact(self):
+        rng = random.Random(11)
+        from repro.circuits.library import linear_pipeline_tsg
+
+        for _ in range(10):
+            base = linear_pipeline_tsg(rng.randint(2, 6))
+            g = TimedSignalGraph(name="frac")
+            for event in base.events:
+                g.add_event(event)
+            for arc in base.arcs:
+                g.add_arc(
+                    arc.source,
+                    arc.target,
+                    Fraction(rng.randint(1, 40), rng.randint(1, 9)),
+                    marked=arc.marked,
+                    disengageable=arc.disengageable,
+                )
+            value, _ = max_cycle_ratio_howard(g)
+            assert value == timing_cycle_time(g).cycle_time
+
+    def test_float_delays_supported(self):
+        g = TimedSignalGraph(name="float")
+        g.add_arc("a", "b", 1.5)
+        g.add_arc("b", "a", 2.5, marked=True)
+        value, _ = max_cycle_ratio_howard(g)
+        assert value == pytest.approx(4.0)
+
+
+class TestRegistry:
+    def test_method_registered(self):
+        from repro.baselines.registry import EXACT_METHODS, METHODS
+
+        assert "howard-ratio" in METHODS
+        assert "howard-ratio" in EXACT_METHODS
+
+    def test_result_carries_witness(self, oscillator):
+        result = compute_cycle_time(oscillator, "howard-ratio")
+        assert result.method == "howard-ratio"
+        assert result.critical_cycles
+        cycle = result.critical_cycles[0]
+        assert cycle.effective_length == result.cycle_time

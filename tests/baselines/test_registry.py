@@ -14,7 +14,10 @@ from repro.baselines import (
 
 class TestRegistry:
     def test_all_methods_registered(self):
-        assert set(METHODS) == {"timing", "exhaustive", "karp", "howard", "lawler", "lp"}
+        assert set(METHODS) == {
+            "timing", "exhaustive", "karp", "howard", "howard-ratio",
+            "lawler", "lp",
+        }
 
     def test_unknown_method_rejected(self, oscillator):
         with pytest.raises(ValueError):
@@ -29,7 +32,9 @@ class TestRegistry:
         else:
             assert outcome.cycle_time == 10
 
-    @pytest.mark.parametrize("method", ["timing", "exhaustive", "karp", "howard"])
+    @pytest.mark.parametrize(
+        "method", ["timing", "exhaustive", "karp", "howard", "howard-ratio"]
+    )
     def test_witness_cycles_achieve_the_ratio(self, oscillator, method):
         outcome = compute_cycle_time(oscillator, method)
         assert outcome.critical_cycles, method

@@ -4,7 +4,11 @@ import pytest
 
 from repro.circuits.netlist import Netlist
 from repro.circuits.state_space import explore, is_semi_modular
-from repro.core.errors import NotSemiModularError
+from repro.core.errors import (
+    ExtractionError,
+    NotSemiModularError,
+    StateSpaceLimitError,
+)
 
 
 class TestExploration:
@@ -37,8 +41,26 @@ class TestExploration:
         assert set(view) == {"a", "b", "c", "e", "f"}
 
     def test_max_states_guard(self, oscillator_circuit):
-        with pytest.raises(NotSemiModularError):
+        with pytest.raises(StateSpaceLimitError) as info:
             explore(oscillator_circuit, max_states=2)
+        error = info.value
+        assert error.max_states == 2
+        assert error.states is not None and error.states > 2
+        # A blown budget is an abandoned analysis, not a semi-modularity
+        # verdict: the structured error derives from ExtractionError.
+        assert isinstance(error, ExtractionError)
+        assert not isinstance(error, NotSemiModularError)
+
+    def test_max_steps_guard(self, oscillator_circuit):
+        with pytest.raises(StateSpaceLimitError) as info:
+            explore(oscillator_circuit, max_steps=3)
+        error = info.value
+        assert error.max_steps == 3
+        assert error.steps is not None and error.steps > 3
+
+    def test_budgets_do_not_fire_when_sufficient(self, oscillator_circuit):
+        space = explore(oscillator_circuit, max_steps=10_000)
+        assert space.num_states > 0
 
 
 class TestSemiModularity:

@@ -1,0 +1,132 @@
+"""ISCAS ``.bench`` front end: golden c17, aliases, round-trips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import FormatError
+from repro.netlist import (
+    load_corpus,
+    parse_bench,
+    write_bench,
+)
+
+C17 = """
+# c17 comment
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+"""
+
+
+class TestGoldenC17:
+    def test_counts(self):
+        network = parse_bench(C17, name="c17")
+        stats = network.stats()
+        assert stats["inputs"] == 5
+        assert stats["outputs"] == 2
+        assert stats["gates"] == 6
+        assert stats["cells"] == {"NAND": 6}
+        assert stats["depth"] == 3
+
+    def test_shipped_corpus_matches_inline_text(self):
+        assert load_corpus("c17") == parse_bench(C17, name="c17")
+
+    def test_structure(self):
+        network = parse_bench(C17)
+        gate = network.gate("22")
+        assert gate.gate_type == "NAND"
+        assert gate.inputs == ("10", "16")
+
+
+class TestParsing:
+    def test_buff_and_inv_aliases(self):
+        network = parse_bench(
+            "INPUT(a)\nOUTPUT(c)\nb = BUFF(a)\nc = INV(b)\n"
+        )
+        assert network.gate("b").gate_type == "BUF"
+        assert network.gate("c").gate_type == "NOT"
+
+    def test_undriven_signal_rejected(self):
+        with pytest.raises(FormatError):
+            parse_bench("INPUT(a)\nOUTPUT(c)\nc = AND(a, ghost)\n")
+
+    def test_bad_line_rejected_with_line_number(self):
+        with pytest.raises(FormatError) as info:
+            parse_bench("INPUT(a)\nwhat is this\n")
+        assert "line 2" in str(info.value)
+
+    def test_dff_parses(self):
+        network = parse_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n")
+        assert network.gate("q").gate_type == "DFF"
+        assert [g.output for g in network.dffs()] == ["q"]
+
+
+names = st.text(
+    alphabet=st.sampled_from("abcdefgh012345"), min_size=1, max_size=6
+)
+
+
+@st.composite
+def random_networks(draw):
+    """A random well-formed combinational DAG over safe signal names."""
+    from repro.netlist.model import LogicNetwork
+
+    network = LogicNetwork(name="rand")
+    signals = []
+    for name in sorted(draw(st.sets(names, min_size=2, max_size=5))):
+        network.add_input("i_" + name)
+        signals.append("i_" + name)
+    cells = ("AND", "OR", "NAND", "NOR", "XOR", "NOT", "BUF", "DFF")
+    count = draw(st.integers(min_value=1, max_value=8))
+    for index in range(count):
+        cell = draw(st.sampled_from(cells))
+        arity = 1 if cell in ("NOT", "BUF", "DFF") else draw(
+            st.integers(min_value=2, max_value=3)
+        )
+        picks = draw(
+            st.lists(
+                st.sampled_from(signals), min_size=arity, max_size=arity,
+                unique=True,
+            )
+            if arity <= len(signals)
+            else st.just(signals[:arity])
+        )
+        output = "g%d" % index
+        network.add_gate(output, cell, picks)
+        signals.append(output)
+    network.add_output(signals[-1])
+    network.validate()
+    return network
+
+
+class TestRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(random_networks())
+    def test_parse_write_parse_fixpoint(self, network):
+        text = write_bench(network)
+        reparsed = parse_bench(text, name=network.name)
+        assert write_bench(reparsed) == text
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_networks())
+    def test_round_trip_preserves_structure(self, network):
+        reparsed = parse_bench(write_bench(network), name=network.name)
+        assert reparsed.stats() == network.stats()
+
+    @pytest.mark.parametrize("name", ["c17", "rca8", "sreg16", "mult16"])
+    def test_corpus_round_trips(self, name):
+        network = load_corpus(name)
+        assert parse_bench(write_bench(network), name=name) == network

@@ -1,0 +1,100 @@
+"""CLI: ``repro netlist``, circuit-aware ``convert`` and ``extract``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.io import json_io
+from repro.netlist import load_corpus, write_bench
+
+
+@pytest.fixture
+def c17_file(tmp_path):
+    path = str(tmp_path / "c17.bench")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_bench(load_corpus("c17")))
+    return path
+
+
+class TestNetlistCommand:
+    def test_corpus_listing(self, capsys):
+        assert main(["netlist", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "c17" in out and "mult16" in out
+
+    def test_corpus_analysis(self, capsys):
+        assert main(["netlist", "corpus:c17"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle time: 8" in out
+        assert "extraction: oracle" in out
+
+    def test_file_analysis(self, c17_file, capsys):
+        assert main(["netlist", c17_file]) == 0
+        assert "cycle time: 8" in capsys.readouterr().out
+
+    def test_stats_only(self, capsys):
+        assert main(["netlist", "corpus:rca8", "--stats-only"]) == 0
+        out = capsys.readouterr().out
+        assert "gates: 41" in out
+
+    def test_interval_delay_and_output(self, c17_file, tmp_path, capsys):
+        graph_path = str(tmp_path / "c17.json")
+        assert main([
+            "netlist", c17_file, "--delay", "2:5", "--delay-seed", "3",
+            "-o", graph_path,
+        ]) == 0
+        graph = json_io.load(graph_path)
+        assert graph.num_events > 0
+
+    def test_explicit_method(self, capsys):
+        assert main(["netlist", "corpus:c17", "--method", "howard-ratio"]) == 0
+        out = capsys.readouterr().out
+        assert "method: howard-ratio" in out
+        assert "cycle time: 8" in out
+
+    def test_unknown_corpus_fails(self, capsys):
+        with pytest.raises(KeyError):
+            main(["netlist", "corpus:c9999"])
+
+
+class TestConvertCommand:
+    def test_bench_to_verilog_to_bench(self, c17_file, tmp_path, capsys):
+        verilog = str(tmp_path / "c17.v")
+        back = str(tmp_path / "back.bench")
+        assert main(["convert", c17_file, "-o", verilog]) == 0
+        assert main(["convert", verilog, "-o", back]) == 0
+        with open(back, encoding="utf-8") as handle:
+            from repro.netlist import parse_bench
+
+            assert parse_bench(handle.read()) == load_corpus("c17")
+
+    def test_circuit_to_json(self, c17_file, tmp_path, capsys):
+        out = str(tmp_path / "c17.json")
+        assert main(["convert", c17_file, "-o", out]) == 0
+        assert json_io.load(out) == load_corpus("c17")
+
+    def test_stdout_default_is_bench(self, capsys):
+        assert main(["convert", "corpus:c17"]) == 0
+        assert "NAND" in capsys.readouterr().out
+
+    def test_graph_conversion_still_works(self, tmp_path, oscillator, capsys):
+        from repro.io import astg
+
+        source = str(tmp_path / "osc.g")
+        astg.dump(oscillator, source)
+        target = str(tmp_path / "osc.json")
+        assert main(["convert", source, "-o", target]) == 0
+        assert json_io.load(target).structurally_equal(oscillator)
+
+
+class TestExtractCommand:
+    def test_bench_input_extracts(self, c17_file, capsys):
+        assert main(["extract", c17_file]) == 0
+        out = capsys.readouterr().out
+        assert ".model" in out
+        assert "n22+" in out
+
+    def test_corpus_input(self, capsys):
+        assert main(["extract", "corpus:c17"]) == 0
+        assert ".model" in capsys.readouterr().out

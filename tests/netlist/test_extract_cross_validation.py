@@ -1,0 +1,135 @@
+"""Structural extraction must be bit-identical to the oracle.
+
+The acceptance bar for the scalable path: on every circuit small
+enough for ``circuits.extraction`` (exhaustive exploration + quadratic
+simulation), ``structural_extract`` must produce the *same* Timed
+Signal Graph — same events, same arcs, same delays, same markings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.extraction import extract_signal_graph, simulate_untimed
+from repro.circuits.library import (
+    c_element_synchronizer_netlist,
+    inverter_ring_netlist,
+    muller_ring_netlist,
+    oscillator_netlist,
+)
+from repro.circuits.netlist import Netlist
+from repro.core.errors import ExtractionError, NotSemiModularError
+from repro.netlist import load_corpus, ring_wrap, structural_extract
+from repro.netlist.extract import structural_simulate
+
+ORACLE_CIRCUITS = {
+    "oscillator": oscillator_netlist,
+    "muller3": lambda: muller_ring_netlist(3),
+    "muller5": lambda: muller_ring_netlist(5),
+    "inverter3": lambda: inverter_ring_netlist(3),
+    "inverter5": lambda: inverter_ring_netlist(5),
+    "c_sync": c_element_synchronizer_netlist,
+    "c17_wrapped": lambda: ring_wrap(load_corpus("c17")),
+}
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("name", sorted(ORACLE_CIRCUITS))
+    def test_structural_equals_oracle(self, name):
+        netlist = ORACLE_CIRCUITS[name]()
+        oracle = extract_signal_graph(netlist)
+        structural = structural_extract(netlist)
+        assert structural.structurally_equal(oracle)
+
+    @pytest.mark.parametrize("name", sorted(ORACLE_CIRCUITS))
+    def test_same_trace_and_window(self, name):
+        netlist = ORACLE_CIRCUITS[name]()
+        oracle = simulate_untimed(netlist)
+        fast = structural_simulate(netlist)
+        assert fast.prefix_end == oracle.prefix_end
+        assert fast.window == oracle.window
+        assert fast.fired == oracle.fired
+
+    def test_explore_mode_matches_trace_mode(self):
+        netlist = muller_ring_netlist(3)
+        assert structural_extract(netlist, check="explore").structurally_equal(
+            structural_extract(netlist, check="trace")
+        )
+
+
+class TestSemiModularity:
+    def racing_latch(self):
+        n = Netlist("race")
+        n.add_input("set", initial=1)
+        n.add_input("reset", initial=1)
+        n.add_gate("q", "NOR", ["reset", "qb"], initial=0)
+        n.add_gate("qb", "NOR", ["set", "q"], initial=0)
+        n.add_stimulus("set")
+        n.add_stimulus("reset")
+        return n
+
+    def glitching_and(self):
+        # After a+ both b (NOT) and c (AND) are excited; the serialised
+        # rule fires b first, which disables c — a visible hazard.
+        n = Netlist("glitch")
+        n.add_input("a", initial=0)
+        n.add_gate("b", "NOT", ["a"], initial=1)
+        n.add_gate("c", "AND", ["a", "b"], initial=0)
+        n.add_stimulus("a")
+        return n
+
+    def test_trace_check_catches_the_hazard(self):
+        with pytest.raises(NotSemiModularError):
+            structural_extract(self.glitching_and(), check="trace")
+
+    def test_explore_check_catches_the_race(self):
+        # The latch race hides from the serialised interleaving (reset
+        # fires before set), but exhaustive exploration still finds it.
+        with pytest.raises(NotSemiModularError):
+            structural_extract(self.racing_latch(), check="explore")
+
+    def test_violation_does_not_fall_back(self):
+        """Semi-modularity is a circuit property: the oracle fallback
+        must not mask it."""
+        with pytest.raises(NotSemiModularError):
+            structural_extract(self.glitching_and(), check="trace",
+                               fallback=True)
+
+    def test_unknown_check_mode_rejected(self):
+        with pytest.raises(ValueError):
+            structural_extract(oscillator_netlist(), check="maybe")
+
+
+class TestDetectorLimits:
+    def test_transition_budget_raises(self):
+        with pytest.raises(ExtractionError):
+            structural_simulate(oscillator_netlist(), max_transitions=3)
+
+    def test_fallback_disabled_propagates(self):
+        with pytest.raises(ExtractionError):
+            structural_extract(oscillator_netlist(), max_transitions=3,
+                               fallback=False)
+
+    def test_quiescent_circuit_folds_empty_window(self):
+        n = Netlist("quiet")
+        n.add_input("a", initial=0)
+        n.add_gate("b", "BUF", ["a"], initial=0)
+        trace = structural_simulate(n)
+        assert trace.window == 0
+        assert trace.fired == []
+
+
+class TestScale:
+    @pytest.mark.parametrize("name", ["rca8", "sreg16"])
+    def test_corpus_extracts(self, name):
+        graph = structural_extract(ring_wrap(load_corpus(name)))
+        assert graph.num_events > 100
+
+    def test_thousand_gate_circuit_extracts(self):
+        """The tentpole scale requirement: >=1000 gates end to end."""
+        network = load_corpus("mult16")
+        assert network.num_gates >= 1000
+        graph = structural_extract(ring_wrap(network))
+        assert graph.num_events == 2 * (
+            len(ring_wrap(network).gates)
+        )

@@ -1,0 +1,161 @@
+"""Netlist transforms: buffering, fanout splitting, ring-wrapping."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.circuits.netlist import Netlist
+from repro.core.errors import NetlistError
+from repro.netlist import (
+    insert_buffers,
+    load_corpus,
+    parse_bench,
+    ring_wrap,
+    split_fanout,
+    structural_extract,
+)
+from repro.netlist.model import LogicNetwork
+from repro.netlist.transforms import make_delay_fn
+
+
+def cone():
+    network = LogicNetwork(name="cone")
+    network.add_input("a")
+    network.add_input("b")
+    network.add_gate("w", "AND", ["a", "b"])
+    network.add_gate("y", "NOT", ["w"])
+    network.add_output("y")
+    return network
+
+
+class TestInsertBuffers:
+    def test_rewires_readers(self):
+        buffered = insert_buffers(cone(), ["w"])
+        assert buffered.gate("w_buf").gate_type == "BUF"
+        assert buffered.gate("y").inputs == ("w_buf",)
+        assert buffered.depth() == cone().depth() + 1
+
+    def test_unknown_signal_rejected(self):
+        with pytest.raises(NetlistError):
+            insert_buffers(cone(), ["ghost"])
+
+    def test_duplicate_listing_rejected(self):
+        with pytest.raises(NetlistError):
+            insert_buffers(cone(), ["w", "w"])
+
+
+class TestSplitFanout:
+    def fanout_heavy(self, readers: int = 7):
+        network = LogicNetwork(name="wide")
+        network.add_input("a")
+        network.add_input("b")
+        for index in range(readers):
+            network.add_gate("g%d" % index, "AND", ["a", "b"])
+        network.add_gate(
+            "y", "OR", ["g%d" % index for index in range(readers)][:3]
+        )
+        network.add_output("y")
+        return network
+
+    def max_fanout_of(self, network: LogicNetwork) -> int:
+        readers = {}
+        for gate in network.gates:
+            for name in gate.inputs:
+                readers[name] = readers.get(name, 0) + 1
+        return max(readers.values())
+
+    def test_bounds_every_net(self):
+        split = split_fanout(self.fanout_heavy(), 2)
+        assert self.max_fanout_of(split) <= 2
+        split.validate()
+
+    def test_identity_when_under_limit(self):
+        network = self.fanout_heavy()
+        assert split_fanout(network, 10) == network
+
+    def test_rejects_degenerate_limit(self):
+        with pytest.raises(NetlistError):
+            split_fanout(self.fanout_heavy(), 1)
+
+    def test_corpus_split_still_analyses(self):
+        network = split_fanout(load_corpus("c17"), 2)
+        graph = structural_extract(ring_wrap(network))
+        assert graph.num_events > 0
+
+
+class TestMakeDelayFn:
+    def test_fixed(self):
+        fn = make_delay_fn(3)
+        assert fn("anything") == 3
+
+    def test_mapping_defaults_to_unit(self):
+        fn = make_delay_fn({"a": 5})
+        assert fn("a") == 5
+        assert fn("other") == 1
+
+    def test_interval_is_deterministic_per_seed(self):
+        one = make_delay_fn((2, 5), seed=9)
+        two = make_delay_fn((2, 5), seed=9)
+        other = make_delay_fn((2, 5), seed=10)
+        values = [one("s%d" % i) for i in range(20)]
+        assert values == [two("s%d" % i) for i in range(20)]
+        assert values != [other("s%d" % i) for i in range(20)]
+        assert all(2 <= value <= 5 for value in values)
+
+    def test_interval_caches_per_name(self):
+        fn = make_delay_fn((1, 9), seed=0)
+        assert fn("x") == fn("x")
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(NetlistError):
+            make_delay_fn((5, 2))
+        with pytest.raises(NetlistError):
+            make_delay_fn(-1)
+
+
+class TestRingWrap:
+    def test_produces_closed_valid_netlist(self):
+        wrapped = ring_wrap(cone())
+        assert isinstance(wrapped, Netlist)
+        wrapped.validate()
+        assert not wrapped.inputs  # autonomous: no open inputs
+
+    def test_sanitises_iscas_numeric_names(self):
+        wrapped = ring_wrap(load_corpus("c17"))
+        names = {gate.output for gate in wrapped.gates}
+        assert "n22" in names and "n22_k" in names
+
+    def test_needs_an_input(self):
+        network = LogicNetwork(name="closed")
+        with pytest.raises(NetlistError):
+            ring_wrap(network)
+
+    def test_extracts_and_oscillates(self):
+        graph = structural_extract(ring_wrap(cone()))
+        # every stage rises and falls once per period
+        assert graph.num_events > 0
+        assert graph.num_events % 2 == 0
+
+    def test_delay_annotation_reaches_the_graph(self):
+        from repro.baselines import compute_cycle_time
+
+        fast = structural_extract(ring_wrap(cone(), delay=1))
+        slow = structural_extract(ring_wrap(cone(), delay=4))
+        lam_fast = compute_cycle_time(fast, "howard-ratio").cycle_time
+        lam_slow = compute_cycle_time(slow, "howard-ratio").cycle_time
+        assert lam_slow > lam_fast
+
+    def test_interval_delays_are_reproducible(self):
+        one = ring_wrap(cone(), delay=(1, 3), seed=4)
+        two = ring_wrap(cone(), delay=(1, 3), seed=4)
+        assert [g.delays for g in one.gates] == [g.delays for g in two.gates]
+
+    def test_dff_seam_wraps(self):
+        network = parse_bench(
+            "INPUT(si)\nOUTPUT(so)\n"
+            "d0 = DFF(si)\nso = BUF(d0)\n"
+        )
+        graph = structural_extract(ring_wrap(network))
+        assert graph.num_events > 0

@@ -1,0 +1,78 @@
+"""Structural-Verilog front end: parse, escaped names, round-trips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.errors import FormatError
+from repro.netlist import (
+    load_corpus,
+    parse_bench,
+    parse_verilog,
+    write_bench,
+    write_verilog,
+)
+
+from .test_bench import random_networks
+
+MODULE = """
+// a two-gate cone
+module cone (a, b, y);
+  input a, b;
+  output y;
+  wire w;
+  and g0 (w, a, b);
+  not g1 (y, w);
+endmodule
+"""
+
+
+class TestParsing:
+    def test_basic_module(self):
+        network = parse_verilog(MODULE)
+        assert network.name == "cone"
+        assert network.inputs == ["a", "b"]
+        assert network.outputs == ["y"]
+        assert network.gate("w").gate_type == "AND"
+        assert network.gate("y").gate_type == "NOT"
+
+    def test_dff_instance(self):
+        network = parse_verilog(
+            "module m (d, q); input d; output q;\n"
+            "  dff r0 (q, d);\nendmodule\n"
+        )
+        assert network.gate("q").gate_type == "DFF"
+
+    def test_unknown_primitive_rejected(self):
+        with pytest.raises(FormatError):
+            parse_verilog(
+                "module m (a, y); input a; output y;\n"
+                "  mystery g (y, a);\nendmodule\n"
+            )
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(FormatError):
+            parse_verilog("module m (a); input a\nendmodule\n")
+
+
+class TestRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(random_networks())
+    def test_parse_write_parse_fixpoint(self, network):
+        text = write_verilog(network)
+        reparsed = parse_verilog(text)
+        assert write_verilog(reparsed) == text
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_networks())
+    def test_verilog_round_trip_equals_bench_round_trip(self, network):
+        """The two front ends must agree on the same circuit."""
+        via_verilog = parse_verilog(write_verilog(network))
+        via_bench = parse_bench(write_bench(network))
+        assert via_verilog == via_bench
+
+    @pytest.mark.parametrize("name", ["c17", "rca8", "sreg16"])
+    def test_corpus_cross_format(self, name):
+        network = load_corpus(name)
+        assert parse_verilog(write_verilog(network)) == network
